@@ -1,0 +1,38 @@
+"""Figure 3: residue-polynomial-level instruction counts.
+
+Instruction mixes are independent of the ring degree, so this always
+runs at the paper's (levels=24, dnum=4) parameter point.
+"""
+
+from repro.analysis import figure3, format_table
+from repro.analysis.instruction_mix import MULT_ADD_TAGS
+
+
+def test_fig03_instruction_mix(benchmark, bench_detail):
+    rows = benchmark.pedantic(
+        lambda: figure3(n=2 ** 13, detail=bench_detail),
+        rounds=1, iterations=1)
+
+    table = []
+    for r in rows:
+        table.append([
+            r.name, r.total,
+            f"{r.mult_add_share:.1%}",
+            f"{r.ntt_share:.1%}",
+            f"{r.bconv_share_of_mult:.1%}",
+            f"{r.bconv_share_of_add:.1%}",
+        ])
+    print()
+    print(format_table(
+        ["benchmark", "instrs", "MULT+ADD", "NTT", "BC/MULT", "BC/ADD"],
+        table, title="Figure 3: instruction mix (paper: MULT+ADD ~90.9%,"
+        " NTT ~6.5-7%, BConv >52% of MULT/ADD on bootstrapping)"))
+
+    boot = next(r for r in rows if r.name == "Bootstrapping")
+    # Paper: 90.7-90.9% MULT+ADD; 52.7% of MULTs in BConv.
+    assert 0.85 < boot.mult_add_share < 0.95
+    assert 0.04 < boot.ntt_share < 0.10
+    assert boot.bconv_share_of_mult > 0.45
+    assert boot.bconv_share_of_add > 0.45
+    helr = next(r for r in rows if r.name == "HELR")
+    assert 0.80 < helr.mult_add_share < 0.97

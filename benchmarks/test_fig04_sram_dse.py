@@ -1,0 +1,48 @@
+"""Figure 4: SRAM design-space exploration on bootstrapping.
+
+Paper: runtime and DRAM-bandwidth utilization fall steeply up to the
+27 MB / 54 MB turning points, then flatten; NTT and MULT/ADD unit
+utilizations rise as the memory bottleneck lifts.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table, sram_sweep
+from repro.core.config import ASIC_EFFACT, MIB
+from repro.workloads.bootstrap_workload import bootstrap_workload
+
+
+def test_fig04_sram_sweep(benchmark, bench_n, bench_detail):
+    workload = bootstrap_workload(n=bench_n, detail=bench_detail)
+    # Scale the MB axis with the limb size when running reduced N.
+    scale = bench_n / 2 ** 16
+    sizes = tuple(mb * scale for mb in (13.5, 27, 54, 108, 162))
+    points = benchmark.pedantic(
+        lambda: sram_sweep(workload, ASIC_EFFACT, sizes_mb=sizes),
+        rounds=1, iterations=1)
+
+    table = [[f"{p.sram_mb:.1f}", f"{p.runtime_ms:.2f}",
+              f"{p.dram_bw_utilization:.1%}", f"{p.ntt_utilization:.1%}",
+              f"{p.mult_add_utilization:.1%}",
+              f"{p.dram_bytes / 2 ** 30:.1f}"]
+             for p in points]
+    print()
+    print(format_table(
+        ["SRAM MB", "runtime ms", "DRAM BW", "NTT util", "MUL/ADD util",
+         "DRAM GiB"],
+        table, title="Figure 4: SRAM size DSE (paper: turning points at"
+        " 27MB and 54MB; MULT/ADD saturates <=50%)"))
+
+    runtimes = [p.runtime_ms for p in points]
+    # Runtime improves with SRAM and flattens: the 13.5->54 gain
+    # dominates the 54->162 gain.
+    assert runtimes[0] > runtimes[2]
+    early_gain = runtimes[0] - runtimes[2]
+    late_gain = runtimes[2] - runtimes[4]
+    assert early_gain > late_gain
+    # DRAM bandwidth stops being the bottleneck as SRAM grows.
+    assert points[0].dram_bw_utilization > points[-1].dram_bw_utilization
+    # Compute utilization rises once memory pressure lifts.
+    assert points[-1].ntt_utilization > points[0].ntt_utilization
+    # MULT/ADD units stay below ~50% (paper's saturation observation).
+    assert points[-1].mult_add_utilization <= 0.55

@@ -1,0 +1,38 @@
+"""Figure 10: performance scaling with memory + compute.
+
+Paper: EFFACT-54/108/162 speed up all three CKKS benchmarks; the
+memory-bound bootstrapping benefits most from the larger SRAM.
+"""
+
+from repro.analysis import figure10, format_table
+from repro.core.config import SCALABILITY_CONFIGS
+from repro.workloads.bootstrap_workload import bootstrap_workload
+from repro.workloads.helr import helr_workload
+from repro.workloads.resnet import resnet_workload
+
+
+def test_fig10_scaling(benchmark, bench_n, bench_detail):
+    workloads = [
+        bootstrap_workload(n=bench_n, detail=bench_detail),
+        helr_workload(n=bench_n, detail=bench_detail),
+        resnet_workload(n=bench_n, detail=min(bench_detail, 0.5)),
+    ]
+    points = benchmark.pedantic(lambda: figure10(workloads),
+                                rounds=1, iterations=1)
+
+    table = [[p.workload_name, p.config_name, f"{p.runtime_ms:.1f}",
+              f"{p.speedup_over_base:.2f}x"] for p in points]
+    print()
+    print(format_table(
+        ["workload", "config", "runtime ms", "speedup vs EFFACT-27"],
+        table, title="Figure 10: scalability (paper: monotone speedups,"
+        " ~1.4-3.5x at EFFACT-162)"))
+
+    for workload in {p.workload_name for p in points}:
+        series = [p for p in points if p.workload_name == workload]
+        speedups = [p.speedup_over_base for p in series]
+        # Monotone non-decreasing speedup with scale.
+        assert all(b >= a * 0.97 for a, b in zip(speedups, speedups[1:])), \
+            (workload, speedups)
+        # EFFACT-162 shows a clear gain over EFFACT-27.
+        assert speedups[-1] > 1.3, (workload, speedups)

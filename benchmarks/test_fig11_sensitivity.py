@@ -1,0 +1,39 @@
+"""Figure 11: incremental optimizations on bootstrapping.
+
+Paper: MAD-enhanced baseline gains 1.24x; EFFACT's global scheduling +
+streaming removes 42.2% of DRAM transfers and 30.6% of runtime; the
+circuit-level NTT reuse adds ~1.1x runtime at unchanged DRAM traffic.
+"""
+
+from repro.analysis import FIG11_CONFIG, figure11, format_table
+from repro.workloads.bootstrap_workload import bootstrap_workload
+
+
+def test_fig11_optimization_ladder(benchmark, bench_n, bench_detail):
+    workload = bootstrap_workload(n=bench_n, detail=bench_detail)
+    steps = benchmark.pedantic(lambda: figure11(workload),
+                               rounds=1, iterations=1)
+
+    table = [[s.name, f"{s.runtime_ms:.1f}", f"{s.dram_gb:.1f}",
+              f"{s.speedup_over_baseline:.2f}x",
+              f"{s.dram_ratio_to_baseline:.2f}x"]
+             for s in steps]
+    print()
+    print(format_table(
+        ["configuration", "runtime ms", "DRAM GB", "speedup", "DRAM vs base"],
+        table, title="Figure 11: incremental optimizations (paper: MAD"
+        " 1.24x; +streaming -42% DRAM/-31% time; +reuse 1.1x)"))
+
+    base, mad, stream, full = steps
+    # MAD's caching/buffers improve over the naive baseline (~1.24x).
+    assert 1.05 < mad.speedup_over_baseline < 1.6
+    assert mad.dram_gb < base.dram_gb
+    # Streaming + global scheduling improves further on both axes.
+    assert stream.speedup_over_baseline > mad.speedup_over_baseline
+    assert stream.dram_gb < mad.dram_gb
+    # Circuit reuse speeds execution without adding DRAM traffic.
+    assert full.speedup_over_baseline >= stream.speedup_over_baseline
+    assert full.dram_gb <= stream.dram_gb * 1.02
+    # Full stack: a clear cumulative win.
+    assert full.speedup_over_baseline > 1.3
+    assert full.dram_ratio_to_baseline < 0.75

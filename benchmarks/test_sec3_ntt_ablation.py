@@ -1,0 +1,53 @@
+"""Section III-3 ablation: fine-grained vs fully-pipelined NTT units.
+
+The paper argues a fully-pipelined NTT can buy at most ~2.7x end-to-end
+speedup while costing >=8x the computing resources, so the fine-grained
+design is the better trade-off for a cost-sensitive accelerator.  This
+ablation runs bootstrapping under both NTT styles and evaluates
+speedup against the area model's resource cost.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.arch.area import AREA_MM2_PER_BUTTERFLY
+from repro.core.config import ASIC_EFFACT
+from repro.workloads.base import run_workload
+from repro.workloads.bootstrap_workload import bootstrap_workload
+
+
+def test_sec3_ntt_ablation(benchmark, bench_n, bench_detail):
+    workload = bootstrap_workload(n=bench_n, detail=bench_detail)
+
+    def run_both():
+        fine = run_workload(workload, ASIC_EFFACT)
+        # Fully-pipelined: every stage owns its multiplier/adders —
+        # the paper's >=8x resource multiplier for a log2(N)-stage pipe.
+        pipelined_cfg = replace(ASIC_EFFACT, name="fully-pipelined",
+                                fine_grained_ntt=False,
+                                ntt_butterflies=ASIC_EFFACT
+                                .ntt_butterflies * 8)
+        piped = run_workload(workload, pipelined_cfg)
+        return fine, piped
+
+    fine, piped = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    speedup = fine.runtime_ms / piped.runtime_ms
+    resource_factor = 8.0
+    extra_area = (ASIC_EFFACT.ntt_butterflies * (resource_factor - 1)
+                  * AREA_MM2_PER_BUTTERFLY)
+
+    print()
+    print(format_table(
+        ["design", "runtime ms", "NTT util"],
+        [["fine-grained (EFFACT)", f"{fine.runtime_ms:.1f}",
+          f"{fine.utilization('ntt'):.1%}"],
+         ["fully-pipelined (8x resources)", f"{piped.runtime_ms:.1f}",
+          f"{piped.utilization('ntt'):.1%}"]],
+        title=f"Section III-3 NTT ablation: {speedup:.2f}x speedup for "
+        f"~{extra_area:.0f} mm2 extra (paper: <=2.7x for >=8x "
+        f"resources)"))
+
+    # The paper's bound: the pipelined design cannot exceed ~2.7x.
+    assert 1.0 <= speedup <= 2.7
+    # Efficiency: speedup per added area is poor (the paper's point).
+    assert speedup < resource_factor / 2

@@ -1,0 +1,40 @@
+"""Table IV: ASIC-EFFACT area and power breakdown."""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.arch.area import area_power
+from repro.core.config import ASIC_EFFACT
+
+PAPER_TABLE4 = {
+    "NTTU": (37.13, 21.16),
+    "MADDU": (3.59, 3.51),
+    "MMULU": (18.21, 10.12),
+    "AUTOU": (4.65, 4.88),
+    "SRAM": (81.50, 43.14),
+    "HBM": (29.60, 31.80),
+    "Others": (37.20, 21.13),
+}
+
+
+def test_tab04_breakdown(benchmark):
+    breakdown = benchmark.pedantic(lambda: area_power(ASIC_EFFACT),
+                                   rounds=1, iterations=1)
+    rows = []
+    for name, (area, power) in breakdown.components.items():
+        paper_area, paper_power = PAPER_TABLE4[name]
+        rows.append([name, f"{area:.2f}", f"{paper_area:.2f}",
+                     f"{power:.2f}", f"{paper_power:.2f}"])
+    rows.append(["Total", f"{breakdown.total_area_mm2:.1f}", "211.9",
+                 f"{breakdown.total_power_w:.1f}", "135.7"])
+    print()
+    print(format_table(
+        ["component", "area mm2", "paper", "power W", "paper"],
+        rows, title="Table IV: ASIC-EFFACT breakdown"))
+
+    for name, (area, power) in breakdown.components.items():
+        assert area == pytest.approx(PAPER_TABLE4[name][0], rel=1e-6)
+        assert power == pytest.approx(PAPER_TABLE4[name][1], rel=1e-6)
+    # Paper: SRAM 38.46% of area / 31.79% of power; FUs ~30% / ~29%.
+    assert breakdown.sram_area_fraction == pytest.approx(0.3846, abs=0.01)
+    assert breakdown.fu_area_fraction == pytest.approx(0.30, abs=0.02)

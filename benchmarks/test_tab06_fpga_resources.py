@@ -1,0 +1,33 @@
+"""Table VI: FPGA resource comparison."""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.arch.fpga import (
+    FAB_RESOURCES,
+    PAPER_FPGA_EFFACT_RESOURCES,
+    POSEIDON_RESOURCES,
+    estimate_resources,
+)
+from repro.core.config import FPGA_EFFACT
+
+
+def test_tab06_fpga_resources(benchmark):
+    est = benchmark.pedantic(lambda: estimate_resources(FPGA_EFFACT),
+                             rounds=1, iterations=1)
+    rows = []
+    for r in (FAB_RESOURCES, POSEIDON_RESOURCES,
+              PAPER_FPGA_EFFACT_RESOURCES, est):
+        rows.append([r.name, r.platform, f"{r.lut_k:.0f}K",
+                     f"{r.ff_k:.0f}K", r.bram, r.uram, r.dsp])
+    print()
+    print(format_table(
+        ["work", "platform", "LUT", "FF", "BRAM", "URAM", "DSP"],
+        rows, title="Table VI: FPGA resource comparison"))
+
+    pub = PAPER_FPGA_EFFACT_RESOURCES
+    assert est.lut_k == pytest.approx(pub.lut_k, rel=0.05)
+    assert est.ff_k == pytest.approx(pub.ff_k, rel=0.05)
+    assert est.bram == pytest.approx(pub.bram, rel=0.05)
+    assert est.uram == pytest.approx(pub.uram, rel=0.05)
+    assert est.dsp == pytest.approx(pub.dsp, rel=0.05)

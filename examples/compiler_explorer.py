@@ -1,0 +1,86 @@
+"""Compiler explorer: watch EFFACT's passes transform a key switch.
+
+Lowers one hybrid key-switching operation (the iNTT -> BConv -> NTT ->
+MAC -> ModDown pipeline of paper Figure 2) and reports what each
+optimization stage does: copy propagation, the eq.-5 constant merge,
+CSE/PRE, MAC fusion, streaming-load marking, scheduling, and the
+linear-scan SRAM allocation — then sweeps the SRAM budget to show the
+spill cliff the streaming FIFO softens.
+
+Usage:  python examples/compiler_explorer.py
+"""
+
+from repro.analysis import format_table
+from repro.compiler import (
+    CompileOptions,
+    HeLowering,
+    LoweringParams,
+    compile_program,
+)
+from repro.core.config import ASIC_EFFACT
+from repro.arch.simulator import simulate
+
+
+def build_program():
+    lp = LoweringParams(n=2 ** 14, levels=12, dnum=4)
+    low = HeLowering(lp, "keyswitch-demo")
+    ct = low.fresh_ciphertext(12, "ct")
+    rotated = low.hoisted_rotations(ct, [1, 2, 3, 4])
+    acc = rotated[1]
+    for step in (2, 3, 4):
+        acc = low.hadd(acc, rotated[step])
+    return low.finish(low.rescale(acc)), lp
+
+
+def main() -> None:
+    program, lp = build_program()
+    print(f"lowered program: {len(program.instrs)} instructions "
+          f"(4 hoisted rotations + aggregation + rescale)")
+    mix = program.instruction_mix()
+    total = sum(mix.values())
+    print("instruction mix:",
+          ", ".join(f"{k}={v} ({v / total:.0%})"
+                    for k, v in mix.most_common()))
+
+    options = CompileOptions(sram_bytes=ASIC_EFFACT.sram_bytes)
+    result = compile_program(program, options)
+    st = result.stats
+    print()
+    print(format_table(
+        ["pass", "effect"],
+        [["copy propagation", f"{st.copies_removed} VecCopies removed"],
+         ["constant merge (eq. 5)", f"{st.consts_merged} multiplies "
+          f"folded"],
+         ["CSE / PRE", f"{st.cse_removed} redundant ops removed "
+          f"(hoisting found automatically)"],
+         ["dead code", f"{st.dead_removed} removed"],
+         ["total code opt", f"{st.code_opt_fraction:.1%} of program"],
+         ["MAC fusion", f"{st.macs_fused} MMUL+MMAD pairs -> MMAC "
+          f"(run on NTT butterflies)"],
+         ["memory legalization", f"{st.loads_inserted} loads"],
+         ["streaming merge", f"{st.streaming_loads} single-consumer "
+          f"loads bypass SRAM"]],
+        title="Pass pipeline effects"))
+
+    print()
+    rows = []
+    for slots in (48, 96, 192, 768):
+        sram = slots * lp.limb_bytes
+        fresh, _ = build_program()
+        res = compile_program(fresh, CompileOptions(sram_bytes=sram))
+        sim = simulate(res.program, ASIC_EFFACT)
+        rows.append([slots, f"{sram / 2**20:.0f} MiB",
+                     res.stats.alloc.spill_stores,
+                     res.stats.alloc.spill_reloads
+                     + res.stats.alloc.remat_reloads,
+                     f"{res.dram_bytes / 2**20:.0f} MiB",
+                     f"{sim.runtime_ms:.3f} ms"])
+    print(format_table(
+        ["SRAM slots", "SRAM", "spill stores", "reloads", "DRAM",
+         "runtime"],
+        rows, title="SRAM budget sweep (one residue polynomial = "
+        f"{lp.limb_bytes // 1024} KiB)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""HELR: logistic-regression training on encrypted data.
+
+Trains a binary classifier with batch gradient descent where both the
+weights and all intermediate values stay encrypted (the paper's HELR
+benchmark, after Han et al.).  Compares the encrypted model against
+plaintext training with the same polynomial sigmoid, then shows the
+paper-scale IR workload the EFFACT simulator consumes.
+
+Usage:  python examples/helr_training.py
+"""
+
+import numpy as np
+
+from repro.core.config import ASIC_EFFACT
+from repro.schemes.ckks import CkksParams
+from repro.workloads.base import run_workload
+from repro.workloads.helr import (
+    HelrConfig,
+    HelrTrainer,
+    accuracy,
+    helr_workload,
+    train_plain,
+)
+
+
+def make_dataset(rng, samples: int, features: int):
+    true_w = rng.uniform(-1, 1, features)
+    x = np.clip(rng.normal(0, 0.5, (samples, features)), -1, 1)
+    x[:, -1] = 1.0                      # bias column
+    y = ((x @ true_w) > 0).astype(float)
+    return x, y
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    config = HelrConfig(features=4, samples=32, learning_rate=1.0)
+    x, y = make_dataset(rng, config.samples, config.features)
+
+    print("=== Encrypted training (RNS-CKKS) ===")
+    params = CkksParams(n=2 ** 9, levels=16, dnum=2, scale_bits=25,
+                        q0_bits=29, p_bits=30, seed=3)
+    trainer = HelrTrainer(config, params)
+    iterations = 2
+    w_enc = trainer.train(x, y, iterations=iterations)
+    w_ref = train_plain(x, y, iterations, config.learning_rate)
+    print(f"  encrypted weights: {np.round(w_enc, 4)}")
+    print(f"  plaintext weights: {np.round(w_ref, 4)}")
+    print(f"  max divergence:    {np.abs(w_enc - w_ref).max():.2e}")
+    print(f"  training accuracy: {accuracy(x, y, w_enc):.1%} "
+          f"(plaintext: {accuracy(x, y, w_ref):.1%})")
+
+    # Longer plaintext training shows where the model converges (the
+    # paper reports 96.67% inference accuracy after 30 iterations).
+    w30 = train_plain(x, y, 30, config.learning_rate)
+    print(f"  after 30 plaintext iterations: {accuracy(x, y, w30):.1%}")
+
+    print("\n=== Paper-scale HELR workload on ASIC-EFFACT ===")
+    workload = helr_workload(n=2 ** 14)   # reduce N for a quick demo
+    run = run_workload(workload, ASIC_EFFACT)
+    print(f"  segments: 2 iterations + one 256-slot bootstrap "
+          f"(Table III row 2)")
+    print(f"  simulated time per iteration: {run.runtime_ms / 2:.2f} ms")
+    print(f"  DRAM traffic: {run.dram_bytes / 2**30:.2f} GiB")
+
+
+if __name__ == "__main__":
+    main()

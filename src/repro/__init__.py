@@ -1,0 +1,27 @@
+"""EFFACT: A Highly Efficient Full-Stack FHE Acceleration Platform.
+
+A from-scratch Python reproduction of the HPCA 2025 paper: RNS-CKKS /
+BGV / BFV functional schemes, the residue-polynomial vector ISA, the
+optimizing compiler backend (SSA passes, streaming memory access,
+linear-scan SRAM allocation), a cycle-level architecture simulator with
+area/power models, and the full evaluation harness (Tables IV-VII,
+Figures 3, 4, 9, 10, 11).
+"""
+
+from . import analysis, arch, compiler, core, nttmath, rns, schemes, \
+    workloads
+from .core.platform import EffactPlatform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EffactPlatform",
+    "analysis",
+    "arch",
+    "compiler",
+    "core",
+    "nttmath",
+    "rns",
+    "schemes",
+    "workloads",
+]

@@ -1,0 +1,41 @@
+"""Experiment drivers regenerating every table and figure."""
+
+from .dse import DsePoint, knee_point, sram_sweep
+from .efficiency import EfficiencyRow, best_baseline, \
+    effact_spec_from_model, figure9
+from .instruction_mix import MixRow, figure3, figure3_workloads
+from .performance import (
+    PerformanceRow,
+    baseline_rows,
+    paper_effact_rows,
+    simulate_effact,
+    table7,
+    tfhe_bootstrap_ms,
+)
+from .report import format_table
+from .scalability import ScalePoint, figure10
+from .sensitivity import FIG11_CONFIG, LadderStep, figure11
+
+__all__ = [
+    "DsePoint",
+    "EfficiencyRow",
+    "FIG11_CONFIG",
+    "LadderStep",
+    "MixRow",
+    "PerformanceRow",
+    "ScalePoint",
+    "baseline_rows",
+    "best_baseline",
+    "effact_spec_from_model",
+    "figure10",
+    "figure11",
+    "figure3",
+    "figure3_workloads",
+    "format_table",
+    "knee_point",
+    "paper_effact_rows",
+    "simulate_effact",
+    "sram_sweep",
+    "table7",
+    "tfhe_bootstrap_ms",
+]

@@ -1,0 +1,61 @@
+"""Figure 4: SRAM-size design-space exploration.
+
+Sweeps on-chip memory while holding compute constant and reports unit
+utilizations, DRAM bandwidth utilization and total runtime — the
+analysis behind EFFACT's choice of 27 MB ("the performance and
+efficiency turning points at 27MB and 54MB").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..compiler.pipeline import CompileOptions
+from ..core.config import MIB, HardwareConfig
+from ..workloads.base import Workload, run_workload
+
+#: The paper's sweep range (MB).  27 and 54 are the turning points.
+DEFAULT_SWEEP_MB = (13.5, 27, 54, 108, 162)
+
+
+@dataclass
+class DsePoint:
+    sram_mb: float
+    runtime_ms: float
+    dram_bw_utilization: float
+    ntt_utilization: float
+    mult_add_utilization: float
+    dram_bytes: int
+
+
+def sram_sweep(workload: Workload, base_config: HardwareConfig,
+               sizes_mb=DEFAULT_SWEEP_MB) -> list[DsePoint]:
+    """Simulate ``workload`` at each SRAM size (compute held fixed)."""
+    points = []
+    for size_mb in sizes_mb:
+        sram = int(size_mb * MIB)
+        config = replace(base_config,
+                         name=f"{base_config.name}-{size_mb}MB",
+                         sram_bytes=sram)
+        options = CompileOptions(sram_bytes=sram)
+        run = run_workload(workload, config, options)
+        mult_add = (run.utilization("mmul") + run.utilization("madd")) / 2
+        points.append(DsePoint(
+            sram_mb=size_mb,
+            runtime_ms=run.runtime_ms,
+            dram_bw_utilization=run.utilization("hbm"),
+            ntt_utilization=run.utilization("ntt"),
+            mult_add_utilization=mult_add,
+            dram_bytes=run.dram_bytes,
+        ))
+    return points
+
+
+def knee_point(points: list[DsePoint], *,
+               threshold: float = 0.10) -> DsePoint:
+    """First sweep point whose runtime is within ``threshold`` of the
+    next point's — the cost/performance knee the paper picks 27 MB at."""
+    for current, following in zip(points, points[1:]):
+        if current.runtime_ms <= following.runtime_ms * (1 + threshold):
+            return current
+    return points[-1]

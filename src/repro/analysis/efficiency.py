@@ -1,0 +1,85 @@
+"""Figure 9 and Table V: area/power efficiency comparisons.
+
+Performance density = throughput per 28nm-scaled mm^2; power efficiency
+= throughput per Watt; both normalized to F1.  The paper's headline:
+ASIC-EFFACT beats every ASIC baseline on both metrics for every
+benchmark (>= 1.46x density and >= 1.48x power efficiency vs the best
+prior design on bootstrapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.area import area_power
+from ..arch.baselines import (
+    ASIC_BASELINES,
+    F1,
+    AcceleratorSpec,
+)
+from ..core.config import ASIC_EFFACT, HardwareConfig
+
+BENCHMARK_FIELDS = ("boot_amortized_us", "helr_iter_ms", "resnet_ms")
+
+
+@dataclass
+class EfficiencyRow:
+    name: str
+    benchmark: str
+    performance_density: float      # normalized to F1
+    power_efficiency: float         # normalized to F1
+
+
+def effact_spec_from_model(config: HardwareConfig,
+                           performance: dict[str, float]
+                           ) -> AcceleratorSpec:
+    """Build an AcceleratorSpec for EFFACT using the area/power model
+    and simulated performance numbers."""
+    breakdown = area_power(config)
+    return AcceleratorSpec(
+        name=config.name, kind="asic", tech="28nm",
+        freq_ghz=config.freq_ghz,
+        area_mm2=breakdown.total_area_mm2,
+        power_w=breakdown.total_power_w,
+        parallelism=config.lanes,
+        multipliers=config.total_multipliers,
+        hbm_tb_s=config.hbm_bw_tb_s,
+        sram_mb=config.sram_bytes / 2 ** 20,
+        boot_amortized_us=performance.get("boot_amortized_us"),
+        helr_iter_ms=performance.get("helr_iter_ms"),
+        resnet_ms=performance.get("resnet_ms"),
+        dblookup_ms=performance.get("dblookup_ms"),
+    )
+
+
+def figure9(effact: AcceleratorSpec,
+            baselines: tuple[AcceleratorSpec, ...] = ASIC_BASELINES,
+            reference: AcceleratorSpec = F1) -> list[EfficiencyRow]:
+    """Density/efficiency rows for every (accelerator, benchmark)."""
+    rows: list[EfficiencyRow] = []
+    for spec in (*baselines, effact):
+        for bench in BENCHMARK_FIELDS:
+            t = getattr(spec, bench)
+            t0 = getattr(reference, bench)
+            if t is None or t0 is None:
+                continue
+            area = spec.area_28nm
+            power = spec.power_28nm
+            area0 = reference.area_28nm
+            power0 = reference.power_28nm
+            assert None not in (area, power, area0, power0)
+            rows.append(EfficiencyRow(
+                name=spec.name,
+                benchmark=bench,
+                performance_density=(t0 * area0) / (t * area),
+                power_efficiency=(t0 * power0) / (t * power),
+            ))
+    return rows
+
+
+def best_baseline(rows: list[EfficiencyRow], benchmark: str,
+                  metric: str) -> EfficiencyRow:
+    """Strongest non-EFFACT competitor on one benchmark/metric."""
+    candidates = [r for r in rows
+                  if r.benchmark == benchmark and "EFFACT" not in r.name]
+    return max(candidates, key=lambda r: getattr(r, metric))

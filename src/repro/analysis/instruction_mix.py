@@ -1,0 +1,72 @@
+"""Figure 3: residue-level instruction mix across the four benchmarks.
+
+The paper's histogram shows BC_MULT / BC_ADD / MULT / ADD dominating
+(90.7-90.9% combined MULT+ADD), NTT at ~6.5-7%, and more than half of
+all MULT/ADD instructions belonging to BConv — the observation driving
+EFFACT's removal of dedicated BConv units and the NTT-as-MAC reuse.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..workloads.base import Workload
+from ..workloads.bootstrap_workload import bootstrap_workload
+from ..workloads.dblookup import dblookup_workload
+from ..workloads.helr import helr_workload
+from ..workloads.resnet import resnet_workload
+
+MULT_ADD_TAGS = ("mult", "add", "bc_mult", "bc_add")
+
+
+@dataclass
+class MixRow:
+    """One benchmark's instruction-mix summary."""
+
+    name: str
+    counts: Counter
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def share(self, *tags: str) -> float:
+        return sum(self.counts.get(t, 0) for t in tags) / self.total
+
+    @property
+    def mult_add_share(self) -> float:
+        return self.share(*MULT_ADD_TAGS)
+
+    @property
+    def ntt_share(self) -> float:
+        return self.share("ntt", "intt")
+
+    @property
+    def bconv_share_of_mult(self) -> float:
+        bc = self.counts.get("bc_mult", 0)
+        return bc / max(1, bc + self.counts.get("mult", 0))
+
+    @property
+    def bconv_share_of_add(self) -> float:
+        bc = self.counts.get("bc_add", 0)
+        return bc / max(1, bc + self.counts.get("add", 0))
+
+
+def figure3_workloads(*, n: int | None = None,
+                      detail: float = 1.0) -> dict[str, Workload]:
+    """The four Figure 3 benchmarks at paper scale (or reduced n)."""
+    return {
+        "DBLookup": dblookup_workload(n=n or 2 ** 14),
+        "ResNet20": resnet_workload(n=n, detail=detail),
+        "HELR": helr_workload(n=n, detail=detail),
+        "Bootstrapping": bootstrap_workload(n=n, detail=detail),
+    }
+
+
+def figure3(*, n: int | None = None, detail: float = 1.0) -> list[MixRow]:
+    """Compute the Figure 3 histogram rows."""
+    rows = []
+    for name, workload in figure3_workloads(n=n, detail=detail).items():
+        rows.append(MixRow(name=name, counts=workload.instruction_mix()))
+    return rows

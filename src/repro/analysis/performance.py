@@ -1,0 +1,119 @@
+"""Table VII: performance on the four benchmarks, EFFACT vs baselines.
+
+EFFACT rows are *simulated* by this repository (compiler + cycle-level
+model); baseline rows are the published numbers the paper compares
+against.  EXPERIMENTS.md records simulated-vs-paper for every EFFACT
+cell; the benchmark suite asserts the *ordering* relations the paper
+highlights (faster than MAD/F1/GPU on bootstrapping, slower than
+ARK/CraterLake; competitive on HELR; and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.baselines import (
+    ALL_BASELINES,
+    PAPER_ASIC_EFFACT,
+    PAPER_FPGA_EFFACT,
+    AcceleratorSpec,
+)
+from ..core.config import ASIC_EFFACT, FPGA_EFFACT, HardwareConfig
+from ..schemes.tfhe import TfheParams, bootstrap_counts
+from ..workloads.base import run_workload
+from ..workloads.bootstrap_workload import bootstrap_workload
+from ..workloads.dblookup import dblookup_workload
+from ..workloads.helr import helr_workload
+from ..workloads.resnet import resnet_workload
+
+
+@dataclass
+class PerformanceRow:
+    """One accelerator's Table VII row (times; None = not reported)."""
+
+    name: str
+    boot_amortized_us: float | None = None
+    helr_iter_ms: float | None = None
+    resnet_ms: float | None = None
+    dblookup_ms: float | None = None
+    simulated: bool = False
+
+
+def simulate_effact(config: HardwareConfig, *, n: int | None = None,
+                    detail: float = 1.0) -> PerformanceRow:
+    """Produce EFFACT's Table VII row with the simulator."""
+    boot = bootstrap_workload(n=n, detail=detail)
+    boot_run = run_workload(boot, config)
+    helr = helr_workload(n=n, detail=detail)
+    helr_run = run_workload(helr, config)
+    resnet = resnet_workload(n=n, detail=detail)
+    resnet_run = run_workload(resnet, config)
+    # DB-lookup keeps its own parameter point (F1's N = 2^14 BGV
+    # setting) independent of the CKKS benchmarks' ring degree.
+    dbl = dblookup_workload(n=min(n, 2 ** 14) if n else 2 ** 14)
+    dbl_run = run_workload(dbl, config)
+    return PerformanceRow(
+        name=config.name,
+        boot_amortized_us=boot_run.amortized_us_per_slot,
+        helr_iter_ms=helr_run.runtime_ms / 2,   # 2 iters + 1 bootstrap
+        resnet_ms=resnet_run.runtime_ms,
+        dblookup_ms=dbl_run.runtime_ms,
+        simulated=True,
+    )
+
+
+def baseline_rows() -> list[PerformanceRow]:
+    rows = []
+    for spec in ALL_BASELINES:
+        rows.append(PerformanceRow(
+            name=spec.name,
+            boot_amortized_us=spec.boot_amortized_us,
+            helr_iter_ms=spec.helr_iter_ms,
+            resnet_ms=spec.resnet_ms,
+            dblookup_ms=spec.dblookup_ms,
+        ))
+    return rows
+
+
+def paper_effact_rows() -> list[PerformanceRow]:
+    return [PerformanceRow(
+        name=spec.name,
+        boot_amortized_us=spec.boot_amortized_us,
+        helr_iter_ms=spec.helr_iter_ms,
+        resnet_ms=spec.resnet_ms,
+        dblookup_ms=spec.dblookup_ms,
+    ) for spec in (PAPER_FPGA_EFFACT, PAPER_ASIC_EFFACT)]
+
+
+def table7(*, n: int | None = None, detail: float = 1.0,
+           include_fpga: bool = True) -> list[PerformanceRow]:
+    """The full Table VII: baselines + simulated EFFACT rows."""
+    rows = baseline_rows()
+    if include_fpga:
+        rows.append(simulate_effact(FPGA_EFFACT, n=n, detail=detail))
+    rows.append(simulate_effact(ASIC_EFFACT, n=n, detail=detail))
+    return rows
+
+
+def tfhe_bootstrap_ms(config: HardwareConfig = ASIC_EFFACT,
+                      params: TfheParams | None = None) -> float:
+    """Section VI-D: TFHE programmable bootstrapping on EFFACT.
+
+    An operation-count model: the blind-rotation NTTs/MACs and the
+    shift-style automorphisms run on their units at the configured
+    throughput (paper reports 0.576 ms at HEAP's parameter point).
+    """
+    params = params or TfheParams()
+    counts = bootstrap_counts(params)
+    n = params.n_ring
+    log_n = n.bit_length() - 1
+    ntt_cycles = counts.ntt * (n // 2 * log_n) // config.ntt_butterflies
+    mult_cycles = counts.mult * n // config.modular_multipliers
+    add_cycles = counts.add * n // config.modular_adders
+    auto_cycles = counts.auto_shift * n // config.auto_lanes
+    # NTT dominates and overlaps imperfectly with the MAC stream; the
+    # critical path is the NTT pipe plus the non-overlapped remainder.
+    overlap = min(ntt_cycles, mult_cycles + add_cycles)
+    cycles = ntt_cycles + (mult_cycles + add_cycles - overlap) \
+        + auto_cycles
+    return cycles / (config.freq_ghz * 1e9) * 1e3

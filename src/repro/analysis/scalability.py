@@ -1,0 +1,43 @@
+"""Figure 10: how performance scales with memory + compute resources.
+
+EFFACT-54/-108/-162 double/quadruple/sextuple the multipliers and SRAM
+of the 27 MB baseline.  The paper's findings: all three benchmarks
+speed up monotonically; bootstrapping (most memory-bound) needs
+EFFACT-162 to catch ARK/CraterLake while HELR/ResNet already pass them
+at EFFACT-108.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import SCALABILITY_CONFIGS, HardwareConfig
+from ..workloads.base import Workload, run_workload
+
+
+@dataclass
+class ScalePoint:
+    config_name: str
+    workload_name: str
+    runtime_ms: float
+    speedup_over_base: float
+
+
+def figure10(workloads: list[Workload],
+             configs: tuple[HardwareConfig, ...] = SCALABILITY_CONFIGS
+             ) -> list[ScalePoint]:
+    """Simulate every workload on every scaled configuration."""
+    points: list[ScalePoint] = []
+    for workload in workloads:
+        base_runtime: float | None = None
+        for config in configs:
+            run = run_workload(workload, config)
+            if base_runtime is None:
+                base_runtime = run.runtime_ms
+            points.append(ScalePoint(
+                config_name=config.name,
+                workload_name=workload.name,
+                runtime_ms=run.runtime_ms,
+                speedup_over_base=base_runtime / run.runtime_ms,
+            ))
+    return points

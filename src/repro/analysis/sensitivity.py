@@ -1,0 +1,76 @@
+"""Figure 11: incremental-optimization sensitivity study.
+
+Starting from a bold baseline accelerator at EFFACT's resource budget
+(27 MB SRAM, 1 TB/s DRAM, 2048 modular multipliers, 3072 modular
+adders) the study applies, cumulatively:
+
+1. MAD's caching/buffering (SRAM reuse of DRAM data + FU-side
+   forwarding buffers),
+2. EFFACT's global scheduling + streaming memory access,
+3. EFFACT's circuit-level NTT reuse (MAC on the NTT butterflies).
+
+The paper reports: MAD-enhanced = 1.24x over baseline (DRAM and
+runtime); streaming/global removes 42.2% of DRAM transfers and 30.6% of
+runtime; circuit reuse adds 1.1x runtime at unchanged DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..compiler.pipeline import CompileOptions
+from ..core.config import ASIC_EFFACT, HardwareConfig
+from ..workloads.base import Workload, run_workload
+
+#: The paper's Figure 11 hardware point (1 TB/s "for simplification").
+FIG11_CONFIG = replace(ASIC_EFFACT, name="fig11-base",
+                       hbm_bw_bytes_per_cycle=2000)
+
+
+@dataclass
+class LadderStep:
+    name: str
+    runtime_ms: float
+    dram_gb: float
+    speedup_over_baseline: float = 1.0
+    dram_ratio_to_baseline: float = 1.0
+
+
+def _step_options(sram_bytes: int) -> list[tuple[str, CompileOptions, bool]]:
+    return [
+        ("baseline", CompileOptions(
+            sram_bytes=sram_bytes, streaming=False, scheduling="naive",
+            mac_fusion=False, forward_window=0, reuse_window=0,
+            prefetch_distance=24), False),
+        ("MAD-enhanced", CompileOptions(
+            sram_bytes=sram_bytes, streaming=False, scheduling="naive",
+            mac_fusion=False, forward_window=32, reuse_window=256,
+            prefetch_distance=24), False),
+        ("global streaming and memory opt", CompileOptions(
+            sram_bytes=sram_bytes, streaming=True, scheduling="list",
+            mac_fusion=False, forward_window=32, reuse_window=256,
+            prefetch_distance=24), False),
+        ("full EFFACT", CompileOptions(
+            sram_bytes=sram_bytes, streaming=True, scheduling="list",
+            mac_fusion=True, forward_window=32, reuse_window=256,
+            prefetch_distance=24), True),
+    ]
+
+
+def figure11(workload: Workload,
+             config: HardwareConfig = FIG11_CONFIG) -> list[LadderStep]:
+    """Run the four-step ladder and return the cumulative results."""
+    steps: list[LadderStep] = []
+    for name, options, mac_reuse in _step_options(config.sram_bytes):
+        hw = replace(config, ntt_mac_reuse=mac_reuse)
+        run = run_workload(workload, hw, options)
+        steps.append(LadderStep(
+            name=name,
+            runtime_ms=run.runtime_ms,
+            dram_gb=run.dram_bytes / 2 ** 30,
+        ))
+    base = steps[0]
+    for step in steps:
+        step.speedup_over_baseline = base.runtime_ms / step.runtime_ms
+        step.dram_ratio_to_baseline = step.dram_gb / base.dram_gb
+    return steps

@@ -1,0 +1,65 @@
+"""EFFACT architecture: timing, simulation, area/power, baselines."""
+
+from .area import AreaBreakdown, area_power, scale_area_to_28nm, \
+    scale_power_to_28nm
+from .baselines import (
+    ALL_BASELINES,
+    ARK,
+    ASIC_BASELINES,
+    BTS,
+    CL_MAD,
+    CRATERLAKE,
+    F1,
+    FAB,
+    FPGA_BASELINES,
+    GPU_100X,
+    PAPER_ASIC_EFFACT,
+    PAPER_FPGA_EFFACT,
+    POSEIDON,
+    AcceleratorSpec,
+    geometric_mean,
+    performance_density,
+    power_efficiency,
+)
+from .fpga import (
+    FAB_RESOURCES,
+    PAPER_FPGA_EFFACT_RESOURCES,
+    POSEIDON_RESOURCES,
+    FpgaResources,
+    estimate_resources,
+)
+from .simulator import EffactSimulator, SimulationResult, simulate
+from .units import TimingModel
+
+__all__ = [
+    "ALL_BASELINES",
+    "ARK",
+    "ASIC_BASELINES",
+    "AcceleratorSpec",
+    "AreaBreakdown",
+    "BTS",
+    "CL_MAD",
+    "CRATERLAKE",
+    "EffactSimulator",
+    "F1",
+    "FAB",
+    "FAB_RESOURCES",
+    "FPGA_BASELINES",
+    "FpgaResources",
+    "GPU_100X",
+    "PAPER_ASIC_EFFACT",
+    "PAPER_FPGA_EFFACT",
+    "PAPER_FPGA_EFFACT_RESOURCES",
+    "POSEIDON",
+    "POSEIDON_RESOURCES",
+    "SimulationResult",
+    "TimingModel",
+    "area_power",
+    "estimate_resources",
+    "geometric_mean",
+    "performance_density",
+    "power_efficiency",
+    "scale_area_to_28nm",
+    "scale_power_to_28nm",
+    "simulate",
+]

@@ -1,0 +1,121 @@
+"""Area/power model for ASIC-EFFACT (paper Tables IV and V).
+
+A linear component model calibrated on the paper's Table IV breakdown
+(TSMC 28 nm, Synopsys DC + commercial SRAM IP): each function unit
+contributes area/power proportional to its element count, SRAM per MB,
+HBM per TB/s.  At the ASIC-EFFACT configuration the model reproduces
+Table IV exactly (it is the calibration point); other configurations
+(EFFACT-54/108/162, FPGA-scale) are predictions of the same model.
+
+Technology scaling to 28 nm follows the paper's method (logic and SRAM
+scale by published TSMC density factors, HBM kept unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import ASIC_EFFACT, MIB, HardwareConfig
+
+# ---------------------------------------------------------------------
+# Calibration constants derived from Table IV at the ASIC-EFFACT point
+# (1024 butterflies, 1024 multipliers, 1024 adders, 1024 auto lanes,
+#  27 MB SRAM, 1.2 TB/s HBM).
+# ---------------------------------------------------------------------
+_CAL = ASIC_EFFACT
+
+AREA_MM2_PER_BUTTERFLY = 37.13 / _CAL.ntt_butterflies
+AREA_MM2_PER_ADDER = 3.59 / _CAL.modular_adders
+AREA_MM2_PER_MULTIPLIER = 18.21 / _CAL.modular_multipliers
+AREA_MM2_PER_AUTO_LANE = 4.65 / _CAL.auto_lanes
+AREA_MM2_PER_SRAM_MB = 81.50 / (_CAL.sram_bytes / MIB)
+AREA_MM2_PER_HBM_TBS = 29.60 / _CAL.hbm_bw_tb_s
+AREA_MM2_OTHERS_PER_LANE = 37.20 / _CAL.lanes
+
+POWER_W_PER_BUTTERFLY = 21.16 / _CAL.ntt_butterflies
+POWER_W_PER_ADDER = 3.51 / _CAL.modular_adders
+POWER_W_PER_MULTIPLIER = 10.12 / _CAL.modular_multipliers
+POWER_W_PER_AUTO_LANE = 4.88 / _CAL.auto_lanes
+POWER_W_PER_SRAM_MB = 43.14 / (_CAL.sram_bytes / MIB)
+POWER_W_PER_HBM_TBS = 31.80 / _CAL.hbm_bw_tb_s
+POWER_W_OTHERS_PER_LANE = 21.13 / _CAL.lanes
+
+#: Density / power scaling factors to 28 nm (TSMC refs [51], [72], [73]).
+TECH_AREA_SCALE_TO_28NM = {"28nm": 1.00, "16nm": 1.55, "14/12nm": 1.80,
+                           "7nm": 3.80}
+TECH_POWER_SCALE_TO_28NM = {"28nm": 1.00, "16nm": 1.60, "14/12nm": 2.10,
+                            "7nm": 3.20}
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component area (mm^2) and power (W), Table IV layout."""
+
+    nttu: tuple[float, float]
+    maddu: tuple[float, float]
+    mmulu: tuple[float, float]
+    autou: tuple[float, float]
+    sram: tuple[float, float]
+    hbm: tuple[float, float]
+    others: tuple[float, float]
+
+    @property
+    def components(self) -> dict[str, tuple[float, float]]:
+        return {"NTTU": self.nttu, "MADDU": self.maddu,
+                "MMULU": self.mmulu, "AUTOU": self.autou,
+                "SRAM": self.sram, "HBM": self.hbm,
+                "Others": self.others}
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(a for a, _ in self.components.values())
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(p for _, p in self.components.values())
+
+    @property
+    def sram_area_fraction(self) -> float:
+        return self.sram[0] / self.total_area_mm2
+
+    @property
+    def fu_area_fraction(self) -> float:
+        fu = (self.nttu[0] + self.maddu[0] + self.mmulu[0]
+              + self.autou[0])
+        return fu / self.total_area_mm2
+
+
+def area_power(config: HardwareConfig) -> AreaBreakdown:
+    """Model the component breakdown for any EFFACT configuration."""
+    sram_mb = config.sram_bytes / MIB
+    hbm_tbs = config.hbm_bw_tb_s
+    return AreaBreakdown(
+        nttu=(config.ntt_butterflies * AREA_MM2_PER_BUTTERFLY,
+              config.ntt_butterflies * POWER_W_PER_BUTTERFLY),
+        maddu=(config.modular_adders * AREA_MM2_PER_ADDER,
+               config.modular_adders * POWER_W_PER_ADDER),
+        mmulu=(config.modular_multipliers * AREA_MM2_PER_MULTIPLIER,
+               config.modular_multipliers * POWER_W_PER_MULTIPLIER),
+        autou=(config.auto_lanes * AREA_MM2_PER_AUTO_LANE,
+               config.auto_lanes * POWER_W_PER_AUTO_LANE),
+        sram=(sram_mb * AREA_MM2_PER_SRAM_MB,
+              sram_mb * POWER_W_PER_SRAM_MB),
+        hbm=(hbm_tbs * AREA_MM2_PER_HBM_TBS,
+             hbm_tbs * POWER_W_PER_HBM_TBS),
+        others=(config.lanes * AREA_MM2_OTHERS_PER_LANE,
+                config.lanes * POWER_W_OTHERS_PER_LANE),
+    )
+
+
+def scale_area_to_28nm(area_mm2: float, tech: str,
+                       hbm_area_mm2: float = 0.0) -> float:
+    """Scale a die area to 28 nm; the HBM PHY portion is not scaled
+    (the paper: "HBM keeps unchanged when scaling")."""
+    factor = TECH_AREA_SCALE_TO_28NM[tech]
+    return (area_mm2 - hbm_area_mm2) * factor + hbm_area_mm2
+
+
+def scale_power_to_28nm(power_w: float, tech: str,
+                        hbm_power_w: float = 0.0) -> float:
+    factor = TECH_POWER_SCALE_TO_28NM[tech]
+    return (power_w - hbm_power_w) * factor + hbm_power_w

@@ -1,0 +1,148 @@
+"""Cycle-level simulator for the EFFACT architecture (paper Fig. 5).
+
+Models the OoO scoreboard core issuing residue-level instructions to
+four function-unit pools (ModAdd, ModMult, NTT, Auto), a multi-channel
+HBM interface, SRAM bandwidth, and the streaming FIFO path.  Each pool
+is a throughput server: per-instruction service time already folds in
+the pool's lane count, so pool-level serialization models aggregate
+throughput (the same abstraction the paper's own "cycle-accurate C++
+simulator" takes for the Figure 10 study).
+
+The scoreboard allows any instruction inside the reorder window to
+start once its operands and its unit are free — dynamic scheduling on
+top of the compiler's static schedule (section IV-D1: the OoO core lets
+SRAM and the streaming FIFO compete for DRAM transfers instead of tying
+DRAM to the slow fine-grained NTT).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..compiler.ir import Program
+from ..core.config import HardwareConfig
+from ..core.isa import Opcode
+from .units import TimingModel
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of simulating one compiled program."""
+
+    config_name: str
+    program_name: str
+    cycles: int
+    freq_ghz: float
+    instructions: int
+    dram_bytes: int
+    unit_busy: dict[str, int] = field(default_factory=dict)
+    stall_cycles: int = 0
+
+    @property
+    def runtime_ms(self) -> float:
+        return self.cycles / (self.freq_ghz * 1e9) * 1e3
+
+    @property
+    def runtime_us(self) -> float:
+        return self.runtime_ms * 1e3
+
+    def utilization(self, unit: str) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.unit_busy.get(unit, 0) / self.cycles
+
+    @property
+    def dram_bw_utilization(self) -> float:
+        return self.utilization("hbm")
+
+    def __repr__(self) -> str:
+        return (f"SimulationResult({self.program_name} on "
+                f"{self.config_name}: {self.cycles} cycles, "
+                f"{self.runtime_ms:.3f} ms)")
+
+
+class EffactSimulator:
+    """Scoreboard simulator over a compiled (allocated) program."""
+
+    #: Pipeline startup latency added to every instruction's completion
+    #: (register/NoC hops); small against vector occupancies.
+    PIPELINE_LATENCY = 4
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+
+    def run(self, program: Program) -> SimulationResult:
+        cfg = self.config
+        timing = TimingModel(cfg, program.n)
+        unit_free: dict[str, int] = {
+            "mmul": 0, "madd": 0, "ntt": 0, "auto": 0,
+            "hbm": 0, "sram": 0, "scalar": 0,
+        }
+        unit_busy: dict[str, int] = {k: 0 for k in unit_free}
+        ready: dict[int, int] = {}
+        window: deque[int] = deque()
+        sram_free = 0
+        dram_bytes = 0
+        stall = 0
+        finish = 0
+
+        for ins in program.instrs:
+            op = ins.op
+            unit = timing.unit_for(op)
+            dur = timing.cycles(op, streaming=ins.streaming)
+
+            operand_ready = 0
+            for s in ins.srcs:
+                t = ready.get(s)
+                if t is not None and t > operand_ready:
+                    operand_ready = t
+
+            # Reorder window: cannot issue before the oldest in-flight
+            # instruction in the window has started.
+            window_gate = window[0] if len(window) >= cfg.ooo_window else 0
+
+            start = max(operand_ready, unit_free[unit], window_gate)
+
+            # SRAM port pressure: non-streaming operand traffic shares
+            # the banked SRAM bandwidth.
+            sram_bytes = timing.sram_bytes_touched(
+                op, len(ins.srcs), streaming=ins.streaming)
+            if sram_bytes:
+                sram_dur = max(1, sram_bytes
+                               // cfg.sram_bw_bytes_per_cycle)
+                start = max(start, sram_free - dur)
+                sram_free = max(sram_free, start) + sram_dur
+                unit_busy["sram"] += sram_dur
+
+            end = start + dur
+            unit_free[unit] = end
+            unit_busy[unit] += dur
+            stall += max(0, start - operand_ready)
+
+            if op in (Opcode.LOAD, Opcode.STORE):
+                dram_bytes += program.n * 8
+
+            if ins.dest is not None:
+                ready[ins.dest] = end + self.PIPELINE_LATENCY
+            window.append(start)
+            if len(window) > cfg.ooo_window:
+                window.popleft()
+            if end > finish:
+                finish = end
+
+        return SimulationResult(
+            config_name=cfg.name,
+            program_name=program.name,
+            cycles=finish,
+            freq_ghz=cfg.freq_ghz,
+            instructions=len(program.instrs),
+            dram_bytes=dram_bytes,
+            unit_busy=unit_busy,
+            stall_cycles=stall,
+        )
+
+
+def simulate(program: Program, config: HardwareConfig) -> SimulationResult:
+    """Convenience wrapper."""
+    return EffactSimulator(config).run(program)

@@ -1,0 +1,84 @@
+"""Function-unit timing models (paper section IV-D).
+
+Throughput-level models: a pool of ``u`` parallel lanes working on an
+N-coefficient residue polynomial takes ``ceil(N/u)`` cycles; the
+fine-grained NTT unit shares its butterflies across all stages, so a
+full (i)NTT costs ``(N/2) * log2(N) / butterflies`` cycles, versus a
+fully-pipelined design's ``N / lanes`` at ~8x the multiplier area
+(the trade-off analysed in section III-3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.config import HardwareConfig
+from ..core.isa import Opcode
+
+
+class TimingModel:
+    """Per-instruction cycle counts for one hardware configuration."""
+
+    def __init__(self, config: HardwareConfig, n: int):
+        self.config = config
+        self.n = n
+        self.log_n = max(1, n.bit_length() - 1)
+
+    # ------------------------------------------------------------------
+    def cycles(self, op: Opcode, *, streaming: bool = False) -> int:
+        cfg = self.config
+        n = self.n
+        if op is Opcode.MMUL:
+            return max(1, math.ceil(n / cfg.modular_multipliers))
+        if op is Opcode.MMAD:
+            return max(1, math.ceil(n / cfg.modular_adders))
+        if op is Opcode.MMAC:
+            if cfg.ntt_mac_reuse:
+                # One butterfly performs one multiply-accumulate.
+                return max(1, math.ceil(n / cfg.ntt_butterflies))
+            # Without circuit reuse the pair runs as MULT then ADD.
+            return (self.cycles(Opcode.MMUL) + self.cycles(Opcode.MMAD))
+        if op in (Opcode.NTT, Opcode.INTT):
+            butterflies_total = (n // 2) * self.log_n
+            if cfg.fine_grained_ntt:
+                return max(1, math.ceil(butterflies_total
+                                        / cfg.ntt_butterflies))
+            # Fully-pipelined: one stage per cycle once warm; initiate a
+            # new batch of ``lanes`` coefficients each cycle.
+            return max(1, math.ceil(n / cfg.lanes) + self.log_n)
+        if op is Opcode.AUTO:
+            return max(1, math.ceil(n / cfg.auto_lanes))
+        if op in (Opcode.LOAD, Opcode.STORE):
+            return max(1, math.ceil(n * 8 / cfg.hbm_bw_bytes_per_cycle))
+        if op is Opcode.VCOPY:
+            return max(1, math.ceil(n * 8 / cfg.sram_bw_bytes_per_cycle))
+        return 1
+
+    # ------------------------------------------------------------------
+    def unit_for(self, op: Opcode) -> str:
+        """Which pool executes the op under this configuration."""
+        if op is Opcode.MMAC:
+            return "ntt" if self.config.ntt_mac_reuse else "mmul"
+        return {
+            Opcode.MMUL: "mmul",
+            Opcode.MMAD: "madd",
+            Opcode.NTT: "ntt",
+            Opcode.INTT: "ntt",
+            Opcode.AUTO: "auto",
+            Opcode.LOAD: "hbm",
+            Opcode.STORE: "hbm",
+            Opcode.VCOPY: "sram",
+            Opcode.SCALAR: "scalar",
+        }[op]
+
+    def sram_bytes_touched(self, op: Opcode, n_srcs: int, *,
+                           streaming: bool = False) -> int:
+        """SRAM traffic of one instruction (operand reads + writeback).
+
+        Streaming operands bypass SRAM entirely (section IV-C)."""
+        if streaming:
+            return 0
+        if op in (Opcode.LOAD, Opcode.STORE):
+            return self.n * 8
+        words = (n_srcs + 1) * self.n * 8
+        return words

@@ -1,0 +1,40 @@
+"""EFFACT compiler backend: IR, lowering, passes, scheduling, codegen."""
+
+from .codegen import generate
+from .ir import Instr, Program, Value
+from .lowering import (
+    CtHandle,
+    HeLowering,
+    KeyHandle,
+    LoweringParams,
+    PtHandle,
+)
+from .pipeline import (
+    CompiledProgram,
+    CompileOptions,
+    CompileStats,
+    compile_program,
+)
+from .regalloc import AllocationStats, OutOfSlotsError, allocate
+from .scheduler import apply_schedule, schedule
+
+__all__ = [
+    "AllocationStats",
+    "CompileOptions",
+    "CompileStats",
+    "CompiledProgram",
+    "CtHandle",
+    "HeLowering",
+    "Instr",
+    "KeyHandle",
+    "LoweringParams",
+    "OutOfSlotsError",
+    "Program",
+    "PtHandle",
+    "Value",
+    "allocate",
+    "apply_schedule",
+    "compile_program",
+    "generate",
+    "schedule",
+]

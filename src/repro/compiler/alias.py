@@ -1,0 +1,53 @@
+"""Alias analysis for memory ordering (paper section IV-B2).
+
+The IR is SSA over residues, so the only memory hazards are between
+``LoadRes``/``StoreRes`` instructions touching the same DRAM address.
+The paper chains such pairs before scheduling; we reproduce that as an
+explicit dependence-edge computation the scheduler consumes.  Since the
+translator assigns every logical operand a distinct address, programs
+only alias through spill slots and explicit output stores — but the
+analysis is conservative and address-based, as Andersen-style analysis
+degenerates to in a flat address space.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.isa import Opcode
+from .ir import Program
+
+
+def memory_dependencies(program: Program) -> list[tuple[int, int]]:
+    """Extra (earlier_idx, later_idx) ordering edges for aliasing memory
+    operations: store->load, load->store and store->store on the same
+    address, in program order."""
+    last_store: dict[int, int] = {}
+    loads_since_store: dict[int, list[int]] = defaultdict(list)
+    edges: list[tuple[int, int]] = []
+    for idx, ins in enumerate(program.instrs):
+        if ins.op is Opcode.LOAD:
+            addr = _address_of(program, ins.srcs[0])
+            if addr is None:
+                continue
+            if addr in last_store:
+                edges.append((last_store[addr], idx))
+            loads_since_store[addr].append(idx)
+        elif ins.op is Opcode.STORE:
+            addr = _address_of(program, ins.srcs[0])
+            if addr is None:
+                continue
+            if addr in last_store:
+                edges.append((last_store[addr], idx))
+            for load_idx in loads_since_store[addr]:
+                edges.append((load_idx, idx))
+            loads_since_store[addr] = []
+            last_store[addr] = idx
+    return edges
+
+
+def _address_of(program: Program, vid: int) -> int | None:
+    value = program.values.get(vid)
+    if value is None:
+        return None
+    return value.address

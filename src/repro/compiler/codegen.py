@@ -1,0 +1,36 @@
+"""Machine code generation (paper section IV-B4).
+
+Translates the allocated program into :class:`MachineInstruction`
+words: value ids become SRAM slot numbers, DRAM operands become
+addresses, streaming operands carry the FIFO flag.
+"""
+
+from __future__ import annotations
+
+from ..core.isa import MachineInstruction, Opcode
+from .ir import Program
+
+
+def generate(program: Program) -> list[MachineInstruction]:
+    """Emit the machine program.  Requires a prior allocation pass
+    (``program.slot_of`` must exist)."""
+    slot_of = getattr(program, "slot_of", None)
+    if slot_of is None:
+        raise ValueError("run the register allocator before codegen")
+
+    def location(vid: int) -> int:
+        value = program.values.get(vid)
+        if value is not None and value.address is not None:
+            return value.address
+        return slot_of.get(vid, 0)
+
+    words: list[MachineInstruction] = []
+    for ins in program.instrs:
+        src0 = location(ins.srcs[0]) if len(ins.srcs) > 0 else 0
+        src1 = location(ins.srcs[1]) if len(ins.srcs) > 1 else 0
+        dest = location(ins.dest) if ins.dest is not None else 0
+        words.append(MachineInstruction(
+            opcode=ins.op, dest=dest, src0=src0, src1=src1,
+            modulus=ins.modulus, imm=abs(ins.imm),
+            streaming=ins.streaming))
+    return words

@@ -1,0 +1,162 @@
+"""SSA intermediate representation at the residue-polynomial level.
+
+The compiler front half (an LLVM-style IR in the paper, section IV-B)
+is modelled as a straight-line SSA program over residue-polynomial
+values: FHE evaluation traces are fully unrolled, which is also how the
+paper's instruction-mix analysis (Figure 3) counts instructions.
+
+Values carry an ``origin`` so later passes know what must come from
+DRAM (ciphertext limbs, evaluation keys, plaintext operands), what is
+a pre-computed constant table (twiddles, BConv factors), and what is
+produced on chip.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.isa import Opcode
+
+
+@dataclass(slots=True)
+class Value:
+    """One SSA value: a single residue polynomial (N words)."""
+
+    vid: int
+    origin: str = "compute"   # "dram" | "const" | "compute"
+    name: str = ""
+    address: int | None = None   # DRAM address for origin == "dram"
+
+    def __hash__(self) -> int:
+        return self.vid
+
+
+@dataclass(slots=True)
+class Instr:
+    """One residue-level SSA instruction."""
+
+    op: Opcode
+    dest: int | None            # value id (None for STORE)
+    srcs: tuple[int, ...]
+    modulus: int = 0            # prime index within the chain
+    imm: int = 0                # immediate (constant id / galois step)
+    tag: str = "other"          # Figure-3 classification tag
+    streaming: bool = False     # set by the streaming-merge pass
+
+    def uses(self) -> tuple[int, ...]:
+        return self.srcs
+
+
+class Program:
+    """A straight-line SSA program plus value table and metadata."""
+
+    def __init__(self, n: int, *, name: str = "program",
+                 limb_bytes: int | None = None):
+        self.n = n
+        self.name = name
+        self.limb_bytes = limb_bytes if limb_bytes is not None else n * 8
+        self.instrs: list[Instr] = []
+        self.values: dict[int, Value] = {}
+        self._next_vid = itertools.count()
+        self._next_addr = itertools.count()
+        self.outputs: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_value(self, origin: str = "compute", name: str = "") -> int:
+        vid = next(self._next_vid)
+        address = None
+        if origin == "dram":
+            address = next(self._next_addr)
+        self.values[vid] = Value(vid=vid, origin=origin, name=name,
+                                 address=address)
+        return vid
+
+    def emit(self, op: Opcode, srcs: tuple[int, ...], *, modulus: int = 0,
+             imm: int = 0, tag: str = "other",
+             name: str = "") -> int | None:
+        dest: int | None = None
+        if op is not Opcode.STORE:
+            dest = self.new_value("compute", name)
+        self.instrs.append(Instr(op=op, dest=dest, srcs=srcs,
+                                 modulus=modulus, imm=imm, tag=tag))
+        return dest
+
+    def dram_value(self, name: str = "") -> int:
+        """Declare an input residing in DRAM (ciphertext limb, key...)."""
+        return self.new_value("dram", name)
+
+    def const_value(self, name: str = "") -> int:
+        """Declare a pre-computed constant residue (twiddles, BConv
+        factors); constants stream from DRAM but are never written."""
+        return self.new_value("const", name)
+
+    def load(self, vid: int, *, modulus: int = 0) -> int:
+        """Explicit LoadRes of a DRAM/const value into SRAM."""
+        dest = self.emit(Opcode.LOAD, (vid,), modulus=modulus, tag="mem")
+        assert dest is not None
+        return dest
+
+    def store(self, vid: int, *, modulus: int = 0) -> None:
+        self.emit(Opcode.STORE, (vid,), modulus=modulus, tag="mem")
+
+    def mark_output(self, vid: int) -> None:
+        self.outputs.add(vid)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def use_counts(self) -> Counter:
+        counts: Counter = Counter()
+        for ins in self.instrs:
+            for s in ins.srcs:
+                counts[s] += 1
+        for vid in self.outputs:
+            counts[vid] += 1
+        return counts
+
+    def instruction_mix(self) -> Counter:
+        """Counter over Figure-3 tags (excluding loads/stores, which
+        the paper's IR histogram does not show)."""
+        mix: Counter = Counter()
+        for ins in self.instrs:
+            if ins.op in (Opcode.LOAD, Opcode.STORE, Opcode.VCOPY):
+                continue
+            mix[ins.tag] += 1
+        return mix
+
+    def count(self, op: Opcode) -> int:
+        return sum(1 for ins in self.instrs if ins.op is op)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:
+        return (f"Program({self.name!r}, n={self.n}, "
+                f"{len(self.instrs)} instrs, {len(self.values)} values)")
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check SSA well-formedness: defs precede uses, unique defs."""
+        defined: set[int] = set()
+        for vid, value in self.values.items():
+            if value.origin in ("dram", "const"):
+                defined.add(vid)
+        for i, ins in enumerate(self.instrs):
+            for s in ins.srcs:
+                if s not in defined:
+                    raise ValueError(
+                        f"instr {i} ({ins.op}) uses undefined value {s}")
+            if ins.dest is not None:
+                if ins.dest in defined and \
+                        self.values[ins.dest].origin == "compute":
+                    raise ValueError(f"value {ins.dest} defined twice")
+                defined.add(ins.dest)
+        for vid in self.outputs:
+            if vid not in defined:
+                raise ValueError(f"output {vid} never defined")

@@ -1,0 +1,536 @@
+"""Lowering HE primitives to the EFFACT residue-level ISA.
+
+This implements the paper's "automatic IR translator" (section IV-B):
+every homomorphic primitive — HMULT with hybrid key-switching, rescale,
+rotations with hoisting, BSGS matrix-vector products — expands into the
+residue-polynomial instructions of Table II.  The translator is
+deliberately *naive* in the same ways the paper describes:
+
+* iNTT emits an explicit 1/N post-scaling multiply;
+* Montgomery representation conversions around modulus-switching
+  operations are emitted explicitly (``to_NM`` / ``to_SM`` constant
+  multiplies, section IV-D5);
+* ModUp copies a digit's own limbs with ``VecCopy``.
+
+The optimization passes then remove this redundancy (constant-multiply
+merging reproduces eq. 5, copy propagation kills the VecCopies), which
+is exactly the ~12.9% instruction elimination the paper reports for
+fully-packed bootstrapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.isa import (
+    Opcode,
+    TAG_ADD,
+    TAG_AUTO,
+    TAG_BCONV_ADD,
+    TAG_BCONV_MULT,
+    TAG_INTT,
+    TAG_MULT,
+    TAG_NTT,
+)
+from .ir import Program
+
+
+@dataclass(frozen=True)
+class LoweringParams:
+    """Paper-scale scheme descriptor the translator works against."""
+
+    n: int = 2 ** 16
+    levels: int = 24          # L: max level
+    dnum: int = 4
+    log_q: int = 54
+
+    @property
+    def alpha(self) -> int:
+        return math.ceil((self.levels + 1) / self.dnum)
+
+    @property
+    def k_special(self) -> int:
+        """Number of P limbs (one per digit prime, = alpha)."""
+        return self.alpha
+
+    @property
+    def limb_bytes(self) -> int:
+        return self.n * 8
+
+
+@dataclass
+class CtHandle:
+    """A ciphertext in the IR: limb value-ids per component."""
+
+    c0: list[int]
+    c1: list[int]
+    level: int
+    ntt: bool = True
+
+    @property
+    def limbs(self) -> int:
+        return self.level + 1
+
+
+@dataclass
+class KeyHandle:
+    """A switching key: per digit, (b, a) limbs over the full QP basis."""
+
+    b: list[list[int]]        # [digit][limb] -> dram value id
+    a: list[list[int]]
+    name: str = ""
+
+
+@dataclass
+class PtHandle:
+    """A plaintext operand (NTT domain) resident in DRAM."""
+
+    limbs: list[int]
+    level: int
+
+
+class HeLowering:
+    """Stateful translator from HE primitives to an IR :class:`Program`."""
+
+    def __init__(self, params: LoweringParams, name: str = "he-program"):
+        self.params = params
+        self.program = Program(params.n, name=name,
+                               limb_bytes=params.limb_bytes)
+        self._key_cache: dict[str, KeyHandle] = {}
+        self._consts: dict[str, int] = {}
+
+    def _const(self, name: str) -> int:
+        """Stable integer id for a named pre-computed scalar constant.
+
+        Two constant multiplies with the same id are the same math, so
+        CSE may merge them and the constant-merge peephole may compose
+        them symbolically."""
+        if name not in self._consts:
+            self._consts[name] = len(self._consts) + 1
+        return self._consts[name]
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def _mmul(self, a: int, b: int | None = None, *, modulus: int = 0,
+              imm: int = 0, tag: str = TAG_MULT) -> int:
+        srcs = (a,) if b is None else (a, b)
+        dest = self.program.emit(Opcode.MMUL, srcs, modulus=modulus,
+                                 imm=imm, tag=tag)
+        assert dest is not None
+        return dest
+
+    def _mmad(self, a: int, b: int | None = None, *, modulus: int = 0,
+              imm: int = 0, tag: str = TAG_ADD) -> int:
+        srcs = (a,) if b is None else (a, b)
+        dest = self.program.emit(Opcode.MMAD, srcs, modulus=modulus,
+                                 imm=imm, tag=tag)
+        assert dest is not None
+        return dest
+
+    def _ntt(self, a: int, *, modulus: int = 0) -> int:
+        dest = self.program.emit(Opcode.NTT, (a,), modulus=modulus,
+                                 tag=TAG_NTT)
+        assert dest is not None
+        return dest
+
+    def _intt_raw(self, a: int, *, modulus: int = 0) -> int:
+        dest = self.program.emit(Opcode.INTT, (a,), modulus=modulus,
+                                 tag=TAG_INTT)
+        assert dest is not None
+        return dest
+
+    def _auto(self, a: int, step: int, *, modulus: int = 0) -> int:
+        dest = self.program.emit(Opcode.AUTO, (a,), modulus=modulus,
+                                 imm=step, tag=TAG_AUTO)
+        assert dest is not None
+        return dest
+
+    def _vcopy(self, a: int, *, modulus: int = 0) -> int:
+        dest = self.program.emit(Opcode.VCOPY, (a,), modulus=modulus,
+                                 tag="mem")
+        assert dest is not None
+        return dest
+
+    # ------------------------------------------------------------------
+    # Operand declaration
+    # ------------------------------------------------------------------
+    def fresh_ciphertext(self, level: int, name: str = "ct") -> CtHandle:
+        limbs = level + 1
+        c0 = [self.program.dram_value(f"{name}.c0[{j}]")
+              for j in range(limbs)]
+        c1 = [self.program.dram_value(f"{name}.c1[{j}]")
+              for j in range(limbs)]
+        return CtHandle(c0=c0, c1=c1, level=level, ntt=True)
+
+    def fresh_plaintext(self, level: int, name: str = "pt") -> PtHandle:
+        limbs = [self.program.dram_value(f"{name}[{j}]")
+                 for j in range(level + 1)]
+        return PtHandle(limbs=limbs, level=level)
+
+    def switching_key(self, name: str) -> KeyHandle:
+        """Declare (or fetch) a switching key over the full QP basis."""
+        if name in self._key_cache:
+            return self._key_cache[name]
+        p = self.params
+        total = p.levels + 1 + p.k_special
+        key = KeyHandle(
+            b=[[self.program.dram_value(f"{name}.b[{j}][{i}]")
+                for i in range(total)] for j in range(p.dnum)],
+            a=[[self.program.dram_value(f"{name}.a[{j}][{i}]")
+                for i in range(total)] for j in range(p.dnum)],
+            name=name)
+        self._key_cache[name] = key
+        return key
+
+    # ------------------------------------------------------------------
+    # Domain transforms
+    # ------------------------------------------------------------------
+    def intt_poly(self, limbs: list[int]) -> list[int]:
+        """iNTT + the naive 1/N post-scaling constant multiply."""
+        out = []
+        for j, v in enumerate(limbs):
+            raw = self._intt_raw(v, modulus=j)
+            out.append(self._mmul(raw, modulus=j,
+                                  imm=self._const(f"ninv[{j}]"),
+                                  tag=TAG_MULT))
+        return out
+
+    def ntt_poly(self, limbs: list[int]) -> list[int]:
+        return [self._ntt(v, modulus=j) for j, v in enumerate(limbs)]
+
+    # ------------------------------------------------------------------
+    # Base conversion (the BConv of eq. 3, executed on MULT/ADD units)
+    # ------------------------------------------------------------------
+    def bconv(self, limbs: list[int], out_count: int, *,
+              mont_penalty: bool = True) -> list[int]:
+        """Fast base conversion of ``limbs`` into ``out_count`` limbs.
+
+        Emits the naive Montgomery conversion multiplies the merged
+        formulation (eq. 5) later removes: one ``to_NM`` per input limb
+        and one ``to_SM`` per output limb.
+        """
+        shape = f"bc{len(limbs)}to{out_count}"
+        ins = limbs
+        if mont_penalty:
+            ins = [self._mmul(v, modulus=j,
+                              imm=self._const(f"to_nm[{j}]"),
+                              tag=TAG_MULT)
+                   for j, v in enumerate(ins)]
+        # v_j = a_j * qhat_inv_j
+        v = [self._mmul(x, modulus=j,
+                        imm=self._const(f"{shape}.qhatinv[{j}]"),
+                        tag=TAG_BCONV_MULT)
+             for j, x in enumerate(ins)]
+        out = []
+        for i in range(out_count):
+            acc: int | None = None
+            for j, vj in enumerate(v):
+                term = self._mmul(vj, modulus=i,
+                                  imm=self._const(f"{shape}.qhat[{j}][{i}]"),
+                                  tag=TAG_BCONV_MULT)
+                acc = term if acc is None else self._mmad(
+                    acc, term, modulus=i, tag=TAG_BCONV_ADD)
+            assert acc is not None
+            if mont_penalty:
+                acc = self._mmul(acc, modulus=i,
+                                 imm=self._const(f"to_sm[{i}]"),
+                                 tag=TAG_MULT)
+            out.append(acc)
+        return out
+
+    # ------------------------------------------------------------------
+    # Key switching (hybrid, dnum digits): iNTT -> BConv -> NTT -> MAC
+    # ------------------------------------------------------------------
+    def num_digits(self, level: int) -> int:
+        return math.ceil((level + 1) / self.params.alpha)
+
+    def key_switch(self, d2: list[int], level: int, key: KeyHandle,
+                   *, d2_is_ntt: bool = True,
+                   pre_rotated: int | None = None
+                   ) -> tuple[list[int], list[int]]:
+        """Switch ``d2`` (limb values) to the key's target secret.
+
+        Returns NTT-domain (ks0, ks1) limb lists over the level basis.
+        ``pre_rotated`` applies an automorphism to the lifted digits
+        before the key MAC (the hoisted-rotation path).
+
+        The dataflow is *limb-major*: the per-digit BConv ``v`` factors
+        are prepared once, then each extended limb is produced,
+        multiplied with the key, accumulated and folded into ModDown
+        immediately.  This keeps the live working set near the
+        ``beta*alpha`` coefficient limbs rather than the 2x(l+1+k)
+        accumulators a digit-major order would hold — the data-path
+        scheduling freedom the paper's compiler exploits to survive on
+        27 MB of SRAM.
+        """
+        p = self.params
+        l1 = level + 1
+        ext = l1 + p.k_special
+        coeff = self.intt_poly(d2) if d2_is_ntt else d2
+        beta = self.num_digits(level)
+        shape = f"ks{l1}"
+
+        # Per-digit BConv factors: v[j][jj] = to_NM(a) * qhat_inv.
+        v: list[list[int]] = []
+        for j in range(beta):
+            lo = j * p.alpha
+            hi = min(lo + p.alpha, l1)
+            row = []
+            for jj in range(lo, hi):
+                nm = self._mmul(coeff[jj], modulus=jj,
+                                imm=self._const(f"to_nm[{jj}]"),
+                                tag=TAG_MULT)
+                row.append(self._mmul(
+                    nm, modulus=jj,
+                    imm=self._const(f"{shape}.qhatinv[{jj}]"),
+                    tag=TAG_BCONV_MULT))
+            v.append(row)
+
+        def lifted_limb(j: int, i: int) -> int:
+            """Digit j's ModUp result at extended limb i (NTT domain)."""
+            lo = j * p.alpha
+            hi = min(lo + p.alpha, l1)
+            if lo <= i < hi:
+                base = self._vcopy(coeff[i], modulus=i)
+            else:
+                acc: int | None = None
+                for jj, vj in enumerate(v[j]):
+                    term = self._mmul(
+                        vj, modulus=i,
+                        imm=self._const(f"{shape}.qhat[{jj}][{i}]"),
+                        tag=TAG_BCONV_MULT)
+                    acc = term if acc is None else self._mmad(
+                        acc, term, modulus=i, tag=TAG_BCONV_ADD)
+                assert acc is not None
+                base = self._mmul(acc, modulus=i,
+                                  imm=self._const(f"to_sm[{i}]"),
+                                  tag=TAG_MULT)
+            base = self._ntt(base, modulus=i)
+            if pre_rotated is not None:
+                base = self._auto(base, pre_rotated, modulus=i)
+            return base
+
+        def mac_limb(i: int) -> tuple[int, int]:
+            """Accumulate all digits' key products at extended limb i."""
+            key_row = i if i < l1 else p.levels + 1 + (i - l1)
+            acc0: int | None = None
+            acc1: int | None = None
+            for j in range(beta):
+                lifted = lifted_limb(j, i)
+                t0 = self._mmul(lifted, key.b[j][key_row], modulus=i,
+                                tag=TAG_MULT)
+                t1 = self._mmul(lifted, key.a[j][key_row], modulus=i,
+                                tag=TAG_MULT)
+                acc0 = t0 if acc0 is None else self._mmad(
+                    acc0, t0, modulus=i, tag=TAG_ADD)
+                acc1 = t1 if acc1 is None else self._mmad(
+                    acc1, t1, modulus=i, tag=TAG_ADD)
+            assert acc0 is not None and acc1 is not None
+            return acc0, acc1
+
+        # Phase 1: the P limbs, immediately taken back to coefficients
+        # and turned into ModDown BConv factors.
+        pv0: list[int] = []
+        pv1: list[int] = []
+        for i in range(l1, ext):
+            w0, w1 = mac_limb(i)
+            for w, pv in ((w0, pv0), (w1, pv1)):
+                c = self.intt_poly([w])[0]
+                nm = self._mmul(c, modulus=i,
+                                imm=self._const(f"to_nm[p{i}]"),
+                                tag=TAG_MULT)
+                pv.append(self._mmul(
+                    nm, modulus=i,
+                    imm=self._const(f"md{l1}.qhatinv[{i - l1}]"),
+                    tag=TAG_BCONV_MULT))
+
+        # Phase 2: each Q limb is produced and folded at once:
+        # ks = (acc - NTT(BConv_P(acc))) * P^-1.
+        ks0: list[int] = []
+        ks1: list[int] = []
+        for i in range(l1):
+            w0, w1 = mac_limb(i)
+            for w, pv, ks in ((w0, pv0, ks0), (w1, pv1, ks1)):
+                corr: int | None = None
+                for jj, pvj in enumerate(pv):
+                    term = self._mmul(
+                        pvj, modulus=i,
+                        imm=self._const(f"md{l1}.qhat[{jj}][{i}]"),
+                        tag=TAG_BCONV_MULT)
+                    corr = term if corr is None else self._mmad(
+                        corr, term, modulus=i, tag=TAG_BCONV_ADD)
+                assert corr is not None
+                corr = self._mmul(corr, modulus=i,
+                                  imm=self._const(f"to_sm[{i}]"),
+                                  tag=TAG_MULT)
+                corr_ntt = self._ntt(corr, modulus=i)
+                diff = self._mmad(w, corr_ntt, modulus=i, tag=TAG_ADD)
+                ks.append(self._mmul(diff, modulus=i,
+                                     imm=self._const(f"pinv[{i}]"),
+                                     tag=TAG_MULT))
+        return ks0, ks1
+
+    # ------------------------------------------------------------------
+    # HE primitives
+    # ------------------------------------------------------------------
+    def hadd(self, x: CtHandle, y: CtHandle) -> CtHandle:
+        level = min(x.level, y.level)
+        l1 = level + 1
+        c0 = [self._mmad(a, b, modulus=j, tag=TAG_ADD)
+              for j, (a, b) in enumerate(zip(x.c0[:l1], y.c0[:l1]))]
+        c1 = [self._mmad(a, b, modulus=j, tag=TAG_ADD)
+              for j, (a, b) in enumerate(zip(x.c1[:l1], y.c1[:l1]))]
+        return CtHandle(c0=c0, c1=c1, level=level)
+
+    def hmult(self, x: CtHandle, y: CtHandle,
+              relin_key: KeyHandle) -> CtHandle:
+        """HMULT: tensor, key-switch d2, aggregate (paper section II-C).
+
+        ``d2`` is produced first and consumed by the key switch; the
+        ``d0``/``d1`` tensor limbs are then recomputed per limb at
+        aggregation time so they never sit live across the long
+        key-switch chain (their inputs re-stream from DRAM/SRAM).
+        """
+        level = min(x.level, y.level)
+        l1 = level + 1
+        d2 = [self._mmul(x.c1[j], y.c1[j], modulus=j, tag=TAG_MULT)
+              for j in range(l1)]
+        ks0, ks1 = self.key_switch(d2, level, relin_key)
+        c0, c1 = [], []
+        for j in range(l1):
+            d0 = self._mmul(x.c0[j], y.c0[j], modulus=j, tag=TAG_MULT)
+            t0 = self._mmul(x.c0[j], y.c1[j], modulus=j, tag=TAG_MULT)
+            t1 = self._mmul(x.c1[j], y.c0[j], modulus=j, tag=TAG_MULT)
+            d1 = self._mmad(t0, t1, modulus=j, tag=TAG_ADD)
+            c0.append(self._mmad(d0, ks0[j], modulus=j, tag=TAG_ADD))
+            c1.append(self._mmad(d1, ks1[j], modulus=j, tag=TAG_ADD))
+        return CtHandle(c0=c0, c1=c1, level=level)
+
+    def hsquare(self, x: CtHandle, relin_key: KeyHandle) -> CtHandle:
+        return self.hmult(x, x, relin_key)
+
+    def mult_plain(self, ct: CtHandle, pt: PtHandle) -> CtHandle:
+        l1 = min(ct.level, pt.level) + 1
+        c0 = [self._mmul(a, p, modulus=j, tag=TAG_MULT)
+              for j, (a, p) in enumerate(zip(ct.c0[:l1], pt.limbs[:l1]))]
+        c1 = [self._mmul(a, p, modulus=j, tag=TAG_MULT)
+              for j, (a, p) in enumerate(zip(ct.c1[:l1], pt.limbs[:l1]))]
+        return CtHandle(c0=c0, c1=c1, level=l1 - 1)
+
+    def mult_const(self, ct: CtHandle) -> CtHandle:
+        """Multiply by a scalar constant (per-limb immediate)."""
+        cid = self._const(f"scalar[{len(self._consts)}]")
+        c0 = [self._mmul(a, modulus=j, imm=cid, tag=TAG_MULT)
+              for j, a in enumerate(ct.c0)]
+        c1 = [self._mmul(a, modulus=j, imm=cid, tag=TAG_MULT)
+              for j, a in enumerate(ct.c1)]
+        return CtHandle(c0=c0, c1=c1, level=ct.level)
+
+    def rescale(self, ct: CtHandle) -> CtHandle:
+        """Drop the last limb: iNTT, subtract, scale, NTT back.
+
+        Emits the naive Montgomery conversions around the modulus
+        switch (section IV-D5's penalty) for the optimizer to remove.
+        """
+        new_l1 = ct.level
+        out = []
+        for comp in (ct.c0, ct.c1):
+            coeff = self.intt_poly(comp)
+            last = coeff[-1]
+            last_nm = self._mmul(last, modulus=ct.level,
+                                 imm=self._const(f"to_nm[{ct.level}]"),
+                                 tag=TAG_MULT)
+            limbs = []
+            for j in range(new_l1):
+                diff = self._mmad(coeff[j], last_nm, modulus=j, tag=TAG_ADD)
+                scaled = self._mmul(
+                    diff, modulus=j,
+                    imm=self._const(f"rescale.qinv[{ct.level}][{j}]"),
+                    tag=TAG_MULT)
+                limbs.append(self._ntt(scaled, modulus=j))
+            out.append(limbs)
+        return CtHandle(c0=out[0], c1=out[1], level=ct.level - 1)
+
+    def rotate(self, ct: CtHandle, step: int) -> CtHandle:
+        """HROT: automorphism + key switch with the step's Galois key."""
+        key = self.switching_key(f"galois[{step}]")
+        rc0 = [self._auto(v, step, modulus=j)
+               for j, v in enumerate(ct.c0)]
+        rc1 = [self._auto(v, step, modulus=j)
+               for j, v in enumerate(ct.c1)]
+        ks0, ks1 = self.key_switch(rc1, ct.level, key)
+        c0 = [self._mmad(a, b, modulus=j, tag=TAG_ADD)
+              for j, (a, b) in enumerate(zip(rc0, ks0))]
+        return CtHandle(c0=c0, c1=ks1, level=ct.level)
+
+    def hoisted_rotations(self, ct: CtHandle,
+                          steps: list[int]) -> dict[int, CtHandle]:
+        """Hoisting: decompose/ModUp/NTT shared across steps, one
+        automorphism + key MAC per step (paper section III, obs. 2).
+
+        Each step emits a full key switch with ``pre_rotated`` set; the
+        decompose/BConv/NTT chains are instruction-identical across
+        steps, so the compiler's CSE/PRE pass collapses them to a
+        single shared copy — hoisting discovered automatically rather
+        than hand-scheduled, as the paper's compiler claims.
+        """
+        out: dict[int, CtHandle] = {}
+        for step in steps:
+            if step == 0:
+                out[0] = ct
+                continue
+            key = self.switching_key(f"galois[{step}]")
+            ks0, ks1 = self.key_switch(ct.c1, ct.level, key,
+                                       pre_rotated=step)
+            rc0 = [self._auto(v, step, modulus=j)
+                   for j, v in enumerate(ct.c0)]
+            c0 = [self._mmad(a, b, modulus=j, tag=TAG_ADD)
+                  for j, (a, b) in enumerate(zip(rc0, ks0))]
+            out[step] = CtHandle(c0=c0, c1=ks1, level=ct.level)
+        return out
+
+    # ------------------------------------------------------------------
+    # BSGS matrix-vector product (MatMul1D)
+    # ------------------------------------------------------------------
+    def matmul_bsgs(self, ct: CtHandle, diag_count: int,
+                    name: str = "mat") -> CtHandle:
+        """Diagonal matmul with n1 x n2 BSGS and hoisted baby steps.
+
+        ``diag_count`` non-zero diagonals; plaintext diagonals stream
+        from DRAM.  Consumes one level (ends with a rescale).
+        """
+        n1 = max(1, 2 ** round(math.log2(math.sqrt(diag_count))))
+        n2 = math.ceil(diag_count / n1)
+        baby_steps = list(range(n1))
+        rotated = self.hoisted_rotations(ct, baby_steps)
+        result: CtHandle | None = None
+        produced = 0
+        for b in range(n2):
+            inner: CtHandle | None = None
+            for k in range(n1):
+                if produced >= diag_count:
+                    break
+                produced += 1
+                pt = self.fresh_plaintext(ct.level,
+                                          f"{name}.diag[{b}][{k}]")
+                term = self.mult_plain(rotated[k], pt)
+                inner = term if inner is None else self.hadd(inner, term)
+            if inner is None:
+                break
+            if b > 0:
+                inner = self.rotate(inner, b * n1)
+            result = inner if result is None else self.hadd(result, inner)
+        assert result is not None
+        return self.rescale(result)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def finish(self, *cts: CtHandle) -> Program:
+        for ct in cts:
+            for v in ct.c0 + ct.c1:
+                self.program.mark_output(v)
+        self.program.validate()
+        return self.program

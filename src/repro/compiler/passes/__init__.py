@@ -1,0 +1,26 @@
+"""Compiler optimization passes (paper section IV-B1).
+
+The pipeline mirrors the paper's compiler backend: copy propagation,
+constant propagation / computation merge (the peephole that reproduces
+eq. 5's merged BConv), partial redundancy elimination (value-numbering
+CSE for the straight-line programs FHE traces produce), dead code
+elimination, MAC fusion for the circuit-level NTT reuse scheme, memory
+legalization, and streaming instruction merging.
+"""
+
+from .const_merge import merge_constant_multiplies
+from .copy_prop import propagate_copies
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code
+from .mac_fuse import fuse_mac
+from .memory import insert_loads, mark_streaming
+
+__all__ = [
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "fuse_mac",
+    "insert_loads",
+    "mark_streaming",
+    "merge_constant_multiplies",
+    "propagate_copies",
+]

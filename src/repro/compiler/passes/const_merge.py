@@ -1,0 +1,75 @@
+"""Constant-multiply merging: the computation-merge peephole.
+
+Chains of scalar-constant ``MMUL`` instructions on a single-use value
+compose into one multiply by a pre-computed product constant.  This
+single peephole reproduces both halves of the paper's section IV-D5:
+
+* the iNTT 1/N post-scaling folds into BConv's ``qhat_inv`` multiply
+  (rewriting the constant as ``qhat_inv * 1/N``), and
+* the Montgomery representation conversions (``to_NM`` / ``to_SM``)
+  fold into the neighbouring BConv constants (the double-Montgomery
+  representation of eq. 5).
+"""
+
+from __future__ import annotations
+
+from ...core.isa import Opcode
+from ..ir import Program
+
+_MERGEABLE_TAGS = {"mult", "bc_mult"}
+
+
+def _is_const_mul(ins) -> bool:
+    return (ins.op is Opcode.MMUL and len(ins.srcs) == 1
+            and ins.imm != 0 and ins.tag in _MERGEABLE_TAGS)
+
+
+def merge_constant_multiplies(program: Program,
+                              const_registry: dict | None = None) -> int:
+    """Fuse consecutive single-use constant multiplies.
+
+    ``const_registry`` maps constant-id pairs to merged ids so repeated
+    merges of the same constants share one pre-computed table entry.
+    Returns the number of instructions eliminated.
+    """
+    if const_registry is None:
+        const_registry = {}
+    use_counts = program.use_counts()
+    producer: dict[int, int] = {}
+    for idx, ins in enumerate(program.instrs):
+        if ins.dest is not None:
+            producer[ins.dest] = idx
+
+    removed_indices: set[int] = set()
+    removed = 0
+    replacement: dict[int, int] = {}
+    for idx, ins in enumerate(program.instrs):
+        if not _is_const_mul(ins):
+            continue
+        src = replacement.get(ins.srcs[0], ins.srcs[0])
+        ins.srcs = (src,)
+        prev_idx = producer.get(src)
+        if prev_idx is None or prev_idx in removed_indices:
+            continue
+        prev = program.instrs[prev_idx]
+        if not _is_const_mul(prev):
+            continue
+        if use_counts[src] != 1 or src in program.outputs:
+            continue
+        if prev.modulus != ins.modulus:
+            continue
+        # Fold: dest = (x * c1) * c2  ->  dest = x * (c1*c2)
+        key = (prev.imm, ins.imm)
+        if key not in const_registry:
+            const_registry[key] = -(len(const_registry) + 1)
+        ins.srcs = prev.srcs
+        ins.imm = const_registry[key]
+        # The merged multiply belongs to BConv when either side did.
+        if "bc" in (prev.tag, ins.tag) or "bc_mult" in (prev.tag, ins.tag):
+            ins.tag = "bc_mult"
+        removed_indices.add(prev_idx)
+        removed += 1
+    if removed_indices:
+        program.instrs = [ins for i, ins in enumerate(program.instrs)
+                          if i not in removed_indices]
+    return removed

@@ -1,0 +1,32 @@
+"""Copy propagation: eliminate VecCopy chains.
+
+The automatic IR translator emits ``VecCopy`` when ModUp places a
+digit's own limbs into the extended basis; the paper's compiler
+"performs copy propagation ... to eliminate redundant vector copies
+across different on-chip SRAMs" (section IV-B1).
+"""
+
+from __future__ import annotations
+
+from ...core.isa import Opcode
+from ..ir import Program
+
+
+def propagate_copies(program: Program) -> int:
+    """Rewrite uses of VCOPY results to the copy source and drop the
+    copies.  Returns the number of instructions removed."""
+    replacement: dict[int, int] = {}
+    kept = []
+    removed = 0
+    for ins in program.instrs:
+        srcs = tuple(replacement.get(s, s) for s in ins.srcs)
+        if ins.op is Opcode.VCOPY:
+            assert ins.dest is not None
+            replacement[ins.dest] = srcs[0]
+            removed += 1
+            continue
+        ins.srcs = srcs
+        kept.append(ins)
+    program.instrs = kept
+    program.outputs = {replacement.get(v, v) for v in program.outputs}
+    return removed

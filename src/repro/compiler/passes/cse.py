@@ -1,0 +1,49 @@
+"""Common subexpression / partial redundancy elimination.
+
+FHE traces are straight-line programs, so global value numbering
+subsumes the lazy-code-motion PRE of the paper's citations for our
+purposes: two instructions with the same opcode, operands, modulus and
+immediate compute the same residue polynomial and the second is
+redundant.  Repeated iNTTs of a rotated ciphertext component and
+repeated digit decompositions are the common real-world hits — the
+redundancy hoisting-style optimizations remove by hand, discovered here
+automatically.
+"""
+
+from __future__ import annotations
+
+from ...core.isa import Opcode
+from ..ir import Program
+
+_PURE_OPS = {Opcode.MMUL, Opcode.MMAD, Opcode.MMAC, Opcode.NTT,
+             Opcode.INTT, Opcode.AUTO}
+
+
+def eliminate_common_subexpressions(program: Program) -> int:
+    """Value-numbering CSE; returns instructions removed."""
+    table: dict[tuple, int] = {}
+    replacement: dict[int, int] = {}
+    kept = []
+    removed = 0
+    for ins in program.instrs:
+        ins.srcs = tuple(replacement.get(s, s) for s in ins.srcs)
+        if ins.op not in _PURE_OPS:
+            kept.append(ins)
+            continue
+        # MMAD/MMUL on two operands are commutative.
+        srcs = ins.srcs
+        if ins.op in (Opcode.MMUL, Opcode.MMAD) and len(srcs) == 2:
+            srcs = tuple(sorted(srcs))
+        key = (ins.op, srcs, ins.modulus, ins.imm)
+        hit = table.get(key)
+        if hit is not None:
+            assert ins.dest is not None
+            replacement[ins.dest] = hit
+            removed += 1
+            continue
+        if ins.dest is not None:
+            table[key] = ins.dest
+        kept.append(ins)
+    program.instrs = kept
+    program.outputs = {replacement.get(v, v) for v in program.outputs}
+    return removed

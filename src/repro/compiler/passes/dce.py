@@ -1,0 +1,27 @@
+"""Dead code elimination: drop instructions whose results are unused."""
+
+from __future__ import annotations
+
+from ...core.isa import Opcode
+from ..ir import Program
+
+_SIDE_EFFECT_OPS = {Opcode.STORE, Opcode.SCALAR}
+
+
+def eliminate_dead_code(program: Program) -> int:
+    """Backward liveness sweep; returns instructions removed."""
+    live: set[int] = set(program.outputs)
+    keep_flags = [False] * len(program.instrs)
+    for idx in range(len(program.instrs) - 1, -1, -1):
+        ins = program.instrs[idx]
+        needed = (ins.op in _SIDE_EFFECT_OPS
+                  or (ins.dest is not None and ins.dest in live))
+        if not needed:
+            continue
+        keep_flags[idx] = True
+        live.update(ins.srcs)
+    removed = keep_flags.count(False)
+    if removed:
+        program.instrs = [ins for ins, keep in zip(program.instrs,
+                                                   keep_flags) if keep]
+    return removed

@@ -1,0 +1,52 @@
+"""MAC fusion: feed multiply-accumulate chains to the NTT units.
+
+Paper section IV-D3: the NTT butterfly "naturally possesses a
+mult-accumulate data path", so EFFACT reconfigures NTT units as MAC
+units for the consecutive normal MULT and ADD instructions that cannot
+run in parallel with NTT anyway.  The compiler side of that scheme is
+this peephole: an ``MMUL`` whose single use is a following ``MMAD``
+fuses into one ``MMAC``, which the scheduler may place on either the
+MULT/ADD units or a reconfigured NTT unit.
+"""
+
+from __future__ import annotations
+
+from ...core.isa import Opcode
+from ..ir import Program
+
+
+def fuse_mac(program: Program) -> int:
+    """Fuse MMUL+MMAD pairs into MMAC; returns pairs fused."""
+    use_counts = program.use_counts()
+    producer: dict[int, int] = {}
+    for idx, ins in enumerate(program.instrs):
+        if ins.dest is not None:
+            producer[ins.dest] = idx
+    removed_indices: set[int] = set()
+    fused = 0
+    for idx, ins in enumerate(program.instrs):
+        if ins.op is not Opcode.MMAD or len(ins.srcs) != 2:
+            continue
+        for pos, src in enumerate(ins.srcs):
+            prev_idx = producer.get(src)
+            if prev_idx is None or prev_idx in removed_indices:
+                continue
+            prev = program.instrs[prev_idx]
+            if prev.op is not Opcode.MMUL or len(prev.srcs) != 2:
+                continue
+            if prev.imm != 0:
+                continue
+            if use_counts[src] != 1 or src in program.outputs:
+                continue
+            if prev.modulus != ins.modulus:
+                continue
+            other = ins.srcs[1 - pos]
+            ins.op = Opcode.MMAC
+            ins.srcs = (prev.srcs[0], prev.srcs[1], other)
+            removed_indices.add(prev_idx)
+            fused += 1
+            break
+    if removed_indices:
+        program.instrs = [ins for i, ins in enumerate(program.instrs)
+                          if i not in removed_indices]
+    return fused

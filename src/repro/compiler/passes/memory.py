@@ -1,0 +1,119 @@
+"""Memory legalization and streaming instruction merging.
+
+``insert_loads`` materializes one ``LoadRes`` per DRAM-resident operand
+(ciphertext limbs, evaluation keys, plaintext diagonals) — the staging
+step every accelerator performs.  ``mark_streaming`` then implements
+the paper's section IV-B3: "the compiler identifies load operations
+with a single consumer and merges them as a new streaming operation";
+such loads bypass the SRAM entirely and flow through the streaming FIFO
+straight to the function units (Figure 2d).  Store-side streaming marks
+stores whose operand has no other consumer, and FU-to-FU forwarding
+records single-use intermediate values that never need an SRAM slot.
+"""
+
+from __future__ import annotations
+
+from ...core.isa import Opcode
+from ..ir import Program
+
+
+def insert_loads(program: Program, *, reuse_window: int = 256,
+                 prefetch_distance: int = 12) -> int:
+    """Insert LOADs for DRAM/const operands and rewrite uses.
+
+    A use within ``reuse_window`` instructions of the previous load of
+    the same value reuses it (SRAM-cached); a use farther away gets a
+    fresh load.  Far-apart re-reads of bulk data (evaluation keys,
+    plaintext diagonals) therefore become independent single-consumer
+    loads, which the streaming pass turns into FIFO traffic instead of
+    letting them thrash the small SRAM — the access pattern the paper's
+    streaming memory controller is built for.
+    Loads are *hoisted* ``prefetch_distance`` instructions ahead of
+    their first consumer to hide HBM latency; a non-streaming load
+    therefore holds an SRAM slot for the whole prefetch window, which
+    is exactly the staging pressure the streaming FIFO removes
+    (paper Figure 2c vs 2d).
+    Returns the number of loads inserted.
+    """
+    last_load: dict[int, tuple[int, int]] = {}   # vid -> (pos, dest)
+    new_instrs = []
+    inserted = 0
+    for ins in program.instrs:
+        new_srcs = []
+        for s in ins.srcs:
+            value = program.values[s]
+            if value.origin in ("dram", "const"):
+                pos = len(new_instrs)
+                cached = last_load.get(s)
+                if cached is not None and pos - cached[0] <= reuse_window:
+                    new_srcs.append(cached[1])
+                    continue
+                dest = program.new_value("compute",
+                                         f"load({value.name})")
+                new_instrs.append(
+                    _load_instr(program, s, dest, ins.modulus))
+                last_load[s] = (pos, dest)
+                inserted += 1
+                new_srcs.append(dest)
+            else:
+                new_srcs.append(s)
+        ins.srcs = tuple(new_srcs)
+        new_instrs.append(ins)
+    if prefetch_distance > 0:
+        new_instrs = _hoist_loads(new_instrs, prefetch_distance)
+    program.instrs = new_instrs
+    return inserted
+
+
+def _hoist_loads(instrs: list, distance: int) -> list:
+    """Move each LOAD ``distance`` slots earlier (it only depends on
+    immutable DRAM data, so any earlier position is legal)."""
+    out: list = []
+    for ins in instrs:
+        if ins.op is Opcode.LOAD:
+            position = max(0, len(out) - distance)
+            out.insert(position, ins)
+        else:
+            out.append(ins)
+    return out
+
+
+def _load_instr(program: Program, src: int, dest: int, modulus: int):
+    from ..ir import Instr
+
+    return Instr(op=Opcode.LOAD, dest=dest, srcs=(src,), modulus=modulus,
+                 tag="mem")
+
+
+def mark_streaming(program: Program, *, streaming_loads_enabled: bool = True,
+                   forwarding_enabled: bool = True) -> tuple[int, int]:
+    """Mark single-consumer loads as streaming and record FU-to-FU
+    forwarded values.
+
+    Returns ``(streaming_loads, forwarded_values)``.  Streaming loads
+    feed the FIFO address space instead of SRAM (EFFACT's streaming
+    memory access); forwarded values are compute results consumed
+    exactly once, which the register allocator may keep out of SRAM if
+    producer and consumer are close in the schedule (the
+    computing-resource-side buffers MAD relies on).  The two features
+    toggle independently so the sensitivity study can model
+    MAD-enhanced (buffers only) versus EFFACT (buffers + streaming).
+    """
+    use_counts = program.use_counts()
+    streaming_loads = 0
+    forwarded = 0
+    program_forwarded: set[int] = set()
+    for ins in program.instrs:
+        if ins.dest is None:
+            continue
+        single_use = (use_counts[ins.dest] == 1
+                      and ins.dest not in program.outputs)
+        if ins.op is Opcode.LOAD and single_use and streaming_loads_enabled:
+            ins.streaming = True
+            streaming_loads += 1
+        elif ins.op not in (Opcode.LOAD, Opcode.STORE) and single_use \
+                and forwarding_enabled:
+            program_forwarded.add(ins.dest)
+            forwarded += 1
+    program.forwarded = program_forwarded  # type: ignore[attr-defined]
+    return streaming_loads, forwarded

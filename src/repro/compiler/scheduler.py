@@ -1,0 +1,99 @@
+"""Static instruction scheduling (paper section IV-B2).
+
+Global list scheduling over the SSA dependence graph: priorities are
+longest-path-to-exit (critical path) with per-opcode latency weights,
+ties broken by program order.  The paper contrasts this "excessive
+static scheduling" with MAD's hand-tuned per-primitive data paths; the
+sensitivity study (Figure 11) compares the same program under ``naive``
+(translator order) and ``list`` scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..core.isa import Opcode
+from .alias import memory_dependencies
+from .ir import Program
+
+#: Rough latency weights for critical-path computation (cycles are
+#: architecture-dependent; ratios are what matters for priorities).
+_LATENCY_WEIGHT = {
+    Opcode.MMUL: 1,
+    Opcode.MMAD: 1,
+    Opcode.MMAC: 1,
+    Opcode.NTT: 16,
+    Opcode.INTT: 16,
+    Opcode.AUTO: 1,
+    Opcode.LOAD: 8,
+    Opcode.STORE: 8,
+    Opcode.VCOPY: 1,
+    Opcode.SCALAR: 1,
+}
+
+
+def schedule(program: Program, *, policy: str = "list",
+             band_size: int = 1024) -> list[int]:
+    """Return a topologically-valid execution order (instruction
+    indices).  ``policy`` is ``"list"`` or ``"naive"``.
+
+    List scheduling is *banded*: ready instructions are drained in
+    coarse original-order bands of ``band_size``, with critical-path
+    priority inside a band.  Pure global priority order would interleave
+    unrelated subtrees and explode live ranges far beyond the few dozen
+    residue-sized SRAM slots a 27 MB configuration has; banding is the
+    register-pressure awareness of the paper's static scheduler.
+    """
+    if policy == "naive":
+        return list(range(len(program.instrs)))
+    if policy != "list":
+        raise ValueError(f"unknown scheduling policy {policy!r}")
+
+    n = len(program.instrs)
+    producer: dict[int, int] = {}
+    for idx, ins in enumerate(program.instrs):
+        if ins.dest is not None:
+            producer[ins.dest] = idx
+
+    successors: list[list[int]] = [[] for _ in range(n)]
+    indegree = [0] * n
+    for idx, ins in enumerate(program.instrs):
+        for s in ins.srcs:
+            p = producer.get(s)
+            if p is not None and p != idx:
+                successors[p].append(idx)
+                indegree[idx] += 1
+    for earlier, later in memory_dependencies(program):
+        successors[earlier].append(later)
+        indegree[later] += 1
+
+    # Longest path to exit (reverse topological accumulation).
+    priority = [0] * n
+    for idx in range(n - 1, -1, -1):
+        weight = _LATENCY_WEIGHT[program.instrs[idx].op]
+        best = 0
+        for succ in successors[idx]:
+            if priority[succ] > best:
+                best = priority[succ]
+        priority[idx] = weight + best
+
+    ready = [(i // band_size, -priority[i], i)
+             for i in range(n) if indegree[i] == 0]
+    heapq.heapify(ready)
+    order: list[int] = []
+    while ready:
+        __, ___, idx = heapq.heappop(ready)
+        order.append(idx)
+        for succ in successors[idx]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(
+                    ready, (succ // band_size, -priority[succ], succ))
+    if len(order) != n:
+        raise ValueError("dependence cycle detected in program")
+    return order
+
+
+def apply_schedule(program: Program, order: list[int]) -> None:
+    """Reorder the program in place according to ``order``."""
+    program.instrs = [program.instrs[i] for i in order]

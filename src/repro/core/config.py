@@ -1,0 +1,86 @@
+"""Hardware configurations for EFFACT and its ablation variants.
+
+ASIC-EFFACT (paper Table VII): 1024 lanes, 2048 multipliers, 27 MB
+SRAM, 1.2 TB/s HBM, 500 MHz.  The 2048 multipliers split between the
+fine-grained NTT unit (whose butterflies are reusable as MAC units) and
+the standalone modular-multiply unit; the modular adders comprise the
+two adders in each NTT butterfly plus the standalone ModAdd unit — the
+split mirrors the Table IV area ratio (NTTU ~2x MMULU).
+
+FPGA-EFFACT: 256 lanes, 512 multipliers, 7.6 MB SRAM, 460 GB/s HBM,
+300 MHz (the scaled VCU128 target).
+
+EFFACT-54/-108/-162 are the Figure 10 scalability points: 2x/4x/6x
+multipliers and SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+MIB = 2 ** 20
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """One EFFACT hardware instance for the cycle-level simulator."""
+
+    name: str
+    lanes: int = 1024
+    modular_multipliers: int = 1024     # standalone MMULU multipliers
+    modular_adders: int = 1024          # standalone MADDU adders
+    ntt_butterflies: int = 1024         # fine-grained NTTU butterflies
+    auto_lanes: int = 1024
+    sram_bytes: int = 27 * MIB
+    sram_bw_bytes_per_cycle: int = 60_000     # ~30 TB/s at 500 MHz
+    hbm_bw_bytes_per_cycle: int = 2_400       # 1.2 TB/s at 500 MHz
+    freq_ghz: float = 0.5
+    ntt_mac_reuse: bool = True
+    fine_grained_ntt: bool = True
+    ooo_window: int = 256
+
+    @property
+    def total_multipliers(self) -> int:
+        """Headline multiplier count (Table VII row)."""
+        return self.modular_multipliers + self.ntt_butterflies
+
+    @property
+    def hbm_bw_tb_s(self) -> float:
+        return self.hbm_bw_bytes_per_cycle * self.freq_ghz / 1000.0
+
+    def scaled(self, factor: int, name: str) -> "HardwareConfig":
+        """Scale compute and SRAM together (Figure 10 points)."""
+        return replace(
+            self, name=name,
+            modular_multipliers=self.modular_multipliers * factor,
+            modular_adders=self.modular_adders * factor,
+            ntt_butterflies=self.ntt_butterflies * factor,
+            auto_lanes=self.auto_lanes * factor,
+            lanes=self.lanes * factor,
+            sram_bytes=self.sram_bytes * factor,
+            sram_bw_bytes_per_cycle=self.sram_bw_bytes_per_cycle * factor,
+        )
+
+
+ASIC_EFFACT = HardwareConfig(name="ASIC-EFFACT")
+
+FPGA_EFFACT = HardwareConfig(
+    name="FPGA-EFFACT",
+    lanes=256,
+    modular_multipliers=256,
+    modular_adders=256,
+    ntt_butterflies=256,
+    auto_lanes=256,
+    sram_bytes=int(7.6 * MIB),
+    sram_bw_bytes_per_cycle=15_000,
+    hbm_bw_bytes_per_cycle=1_533,    # 460 GB/s at 300 MHz
+    freq_ghz=0.3,
+)
+
+#: Figure 10 scalability points (54/108/162 MB SRAM with 2x/4x/6x compute).
+EFFACT_27 = ASIC_EFFACT
+EFFACT_54 = ASIC_EFFACT.scaled(2, "EFFACT-54")
+EFFACT_108 = ASIC_EFFACT.scaled(4, "EFFACT-108")
+EFFACT_162 = ASIC_EFFACT.scaled(6, "EFFACT-162")
+
+SCALABILITY_CONFIGS = (EFFACT_27, EFFACT_54, EFFACT_108, EFFACT_162)

@@ -1,0 +1,118 @@
+"""The EFFACT ISA (paper Table II).
+
+EFFACT breaks HE primitives down to the residue-polynomial level and
+exposes a small vector ISA over residues, plus a scalar subset for
+control flow.  One instruction touches one residue polynomial (N
+coefficients) — the granularity at which the compiler also allocates
+on-chip SRAM ("view each part as a register", section IV-B2).
+
+=============  ==========================================================
+Instruction    Description (paper Table II)
+=============  ==========================================================
+MMUL           modular multiplication on residues (vector x vector/imm)
+MMAD           modular addition on residues (vector x vector/imm)
+NTT / INTT     forward / inverse NTT on a residue
+AUTO           automorphism on a residue
+LoadRes        load a residue from main memory
+StoreRes       store a residue into main memory
+VecCopy        move residues among on-chip SRAM
+Scalar subset  loops, branches, address calculation
+=============  ==========================================================
+
+``MMAC`` is the fused multiply-accumulate the compiler's peephole pass
+produces; it executes on the *reconfigured NTT units* (section IV-D3's
+circuit-level reuse scheme), not on a dedicated unit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.Enum):
+    """Residue-level vector opcodes plus the scalar subset."""
+
+    MMUL = "mmul"        # dest <- src0 * src1 (or imm) mod q
+    MMAD = "mmad"        # dest <- src0 + src1 (or imm) mod q
+    MMAC = "mmac"        # dest <- src0 * src1 + src2 mod q (fused)
+    NTT = "ntt"          # dest <- NTT(src0)
+    INTT = "intt"        # dest <- iNTT(src0)
+    AUTO = "auto"        # dest <- sigma_imm(src0)
+    LOAD = "load"        # dest <- DRAM[addr]
+    STORE = "store"      # DRAM[addr] <- src0
+    VCOPY = "vcopy"      # dest <- src0 (SRAM to SRAM)
+    SCALAR = "scalar"    # int64 control-flow subset
+
+
+#: Which function unit executes each opcode (section IV-D).
+OPCODE_UNIT = {
+    Opcode.MMUL: "mmul",
+    Opcode.MMAD: "madd",
+    Opcode.MMAC: "ntt",      # circuit-level NTT reuse (section IV-D3)
+    Opcode.NTT: "ntt",
+    Opcode.INTT: "ntt",
+    Opcode.AUTO: "auto",
+    Opcode.LOAD: "mem",
+    Opcode.STORE: "mem",
+    Opcode.VCOPY: "mem",
+    Opcode.SCALAR: "scalar",
+}
+
+#: Instruction tags used for the paper's Figure 3 classification.
+TAG_BCONV_MULT = "bc_mult"
+TAG_BCONV_ADD = "bc_add"
+TAG_MULT = "mult"        # "normal" MULT (not part of BConv)
+TAG_ADD = "add"          # "normal" ADD
+TAG_NTT = "ntt"
+TAG_INTT = "intt"
+TAG_AUTO = "auto"
+TAG_MEM = "mem"
+TAG_OTHER = "other"
+
+
+@dataclass(frozen=True)
+class MachineInstruction:
+    """One encoded EFFACT machine word (the codegen output).
+
+    The RTL encodes these as fixed-width words; here we keep named
+    fields plus an ``encode`` helper producing a stable 128-bit packing
+    so tests can check round-trips.
+    """
+
+    opcode: Opcode
+    dest: int            # SRAM slot / FIFO id / DRAM address
+    src0: int
+    src1: int
+    modulus: int         # index into the prime table
+    imm: int = 0
+    streaming: bool = False
+
+    _OP_BITS = 4
+    _REG_BITS = 20
+    _MOD_BITS = 8
+    _IMM_BITS = 48
+
+    def encode(self) -> int:
+        ops = list(Opcode)
+        word = ops.index(self.opcode)
+        word |= (self.dest & ((1 << self._REG_BITS) - 1)) << 4
+        word |= (self.src0 & ((1 << self._REG_BITS) - 1)) << 24
+        word |= (self.src1 & ((1 << self._REG_BITS) - 1)) << 44
+        word |= (self.modulus & ((1 << self._MOD_BITS) - 1)) << 64
+        word |= (self.imm & ((1 << self._IMM_BITS) - 1)) << 72
+        word |= (1 if self.streaming else 0) << 120
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "MachineInstruction":
+        ops = list(Opcode)
+        return cls(
+            opcode=ops[word & 0xF],
+            dest=(word >> 4) & ((1 << cls._REG_BITS) - 1),
+            src0=(word >> 24) & ((1 << cls._REG_BITS) - 1),
+            src1=(word >> 44) & ((1 << cls._REG_BITS) - 1),
+            modulus=(word >> 64) & ((1 << cls._MOD_BITS) - 1),
+            imm=(word >> 72) & ((1 << cls._IMM_BITS) - 1),
+            streaming=bool((word >> 120) & 1),
+        )

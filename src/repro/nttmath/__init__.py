@@ -1,0 +1,33 @@
+"""Number-theoretic substrate: primes, bit reversal, NTT, Montgomery."""
+
+from .bitrev import (
+    bit_reverse,
+    bit_reverse_indices,
+    bit_reverse_permute,
+)
+from .montgomery import MontgomeryContext
+from .ntt import (
+    ConstantGeometryNTT,
+    NegacyclicNTT,
+    automorphism,
+    conjugation_element,
+    galois_element,
+    polymul_negacyclic_reference,
+)
+from .primes import find_ntt_primes, is_prime, root_of_unity
+
+__all__ = [
+    "ConstantGeometryNTT",
+    "MontgomeryContext",
+    "NegacyclicNTT",
+    "automorphism",
+    "bit_reverse",
+    "bit_reverse_indices",
+    "bit_reverse_permute",
+    "conjugation_element",
+    "find_ntt_primes",
+    "galois_element",
+    "is_prime",
+    "polymul_negacyclic_reference",
+    "root_of_unity",
+]

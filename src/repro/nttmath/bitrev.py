@@ -1,0 +1,50 @@
+"""Bit-reversal permutations.
+
+EFFACT removes per-coefficient bit-reversal from the NTT data path by
+bit-reversing the *twiddle factors* instead (paper section IV-D3), and
+its fixed-network automorphism unit exploits the fact that a
+bit-reversed coefficient matrix transposes with a row-invariant pattern
+(paper Figure 7).  Both tricks need fast, well-tested bit-reversal
+helpers, collected here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Reverse the lowest ``bits`` bits of ``value``."""
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Index vector ``r`` with ``r[i] = bit_reverse(i, log2 n)``.
+
+    Computed iteratively (doubling construction) so it is O(n) rather
+    than O(n log n).
+    """
+    if n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    result = np.zeros(n, dtype=np.int64)
+    length = 1
+    while length < n:
+        result[:length] *= 2
+        result[length:2 * length] = result[:length] + 1
+        length *= 2
+    return result
+
+
+def bit_reverse_permute(array: np.ndarray) -> np.ndarray:
+    """Return a copy of ``array`` permuted into bit-reversed order."""
+    return array[bit_reverse_indices(len(array))]
+
+
+def is_bit_reversal_involution(n: int) -> bool:
+    """Check BR(BR(x)) == x for vectors of length n (used by tests)."""
+    idx = bit_reverse_indices(n)
+    return bool(np.array_equal(idx[idx], np.arange(n)))

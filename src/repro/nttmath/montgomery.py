@@ -1,0 +1,89 @@
+"""Montgomery arithmetic with single/double-Montgomery representations.
+
+EFFACT keeps residue data in the single-Montgomery (SM) representation
+``X -> X*R mod q`` throughout execution and introduces a
+double-Montgomery (DM) representation ``X -> X*R^2 mod q`` for
+pre-computed constants (paper section IV-D5).  Multiplying an
+NM-represented intermediate by a DM constant lands the result back in
+SM form, which removes the explicit representation-conversion step from
+modulus-switching operations; :mod:`repro.rns.bconv` uses these helpers
+to reproduce the merged-BConv computation of paper eq. 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MontgomeryContext:
+    """Montgomery arithmetic modulo an odd prime ``q < R = 2**r_bits``."""
+
+    def __init__(self, q: int, r_bits: int = 32):
+        if q % 2 == 0:
+            raise ValueError("Montgomery reduction requires an odd modulus")
+        if q >= (1 << r_bits):
+            raise ValueError(f"q must be < 2^{r_bits}")
+        self.q = q
+        self.r_bits = r_bits
+        self.r = 1 << r_bits
+        self.r_mask = self.r - 1
+        self.r_mod_q = self.r % q
+        self.r2_mod_q = self.r_mod_q * self.r_mod_q % q
+        # q' with q * q' = -1 (mod R)
+        self.q_neg_inv = (-pow(q, -1, self.r)) % self.r
+
+    # ------------------------------------------------------------------
+    # Scalar operations
+    # ------------------------------------------------------------------
+    def redc(self, t: int) -> int:
+        """Montgomery reduction: returns t * R^-1 mod q for t < q*R."""
+        m = (t & self.r_mask) * self.q_neg_inv & self.r_mask
+        u = (t + m * self.q) >> self.r_bits
+        return u - self.q if u >= self.q else u
+
+    def to_sm(self, x: int) -> int:
+        """Single-Montgomery representation: x*R mod q."""
+        return self.redc((x % self.q) * self.r2_mod_q)
+
+    def from_sm(self, x_sm: int) -> int:
+        """Back to the normal (NM) representation."""
+        return self.redc(x_sm)
+
+    def to_dm(self, x: int) -> int:
+        """Double-Montgomery representation: x*R^2 mod q."""
+        return self.to_sm(self.to_sm(x))
+
+    def mont_mul(self, a: int, b: int) -> int:
+        """MontMult(a, b) = a*b*R^-1 mod q.
+
+        SM * SM -> SM;  SM * NM -> NM;  NM * DM -> SM.  These three
+        identities are exactly what the merged BConv exploits.
+        """
+        return self.redc(a * b)
+
+    # ------------------------------------------------------------------
+    # Vector operations (int64, q < 2^31 so products fit)
+    # ------------------------------------------------------------------
+    def vec_to_sm(self, x: np.ndarray) -> np.ndarray:
+        return self.vec_mont_mul(np.asarray(x, dtype=np.int64) % self.q,
+                                 np.int64(self.r2_mod_q))
+
+    def vec_from_sm(self, x_sm: np.ndarray) -> np.ndarray:
+        return self.vec_mont_mul(x_sm, np.int64(1))
+
+    def vec_mont_mul(self, a: np.ndarray, b) -> np.ndarray:
+        """Vectorized MontMult; ``b`` may be an array or a scalar.
+
+        Requires q < 2^31 with r_bits <= 32 so all intermediates fit in
+        unsigned 64-bit arithmetic.
+        """
+        if self.q.bit_length() > 31 or self.r_bits > 32:
+            raise ValueError("vectorized path requires q < 2^31, R <= 2^32")
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        t = a * b
+        mask = np.uint64(self.r_mask)
+        m = (t & mask) * np.uint64(self.q_neg_inv) & mask
+        u = (t + m * np.uint64(self.q)) >> np.uint64(self.r_bits)
+        u = np.where(u >= self.q, u - np.uint64(self.q), u)
+        return u.astype(np.int64)

@@ -1,0 +1,321 @@
+"""Negacyclic (negative wrapped convolution) NTT kernels.
+
+Two dataflows are provided, mirroring the paper's discussion in
+sections II-B and IV-D3:
+
+* :class:`NegacyclicNTT` — the classic fused-twiddle Cooley-Tukey DIT
+  forward / Gentleman-Sande DIF inverse pair.  The forward transform
+  takes naturally-ordered coefficients and produces bit-reversed output;
+  the inverse consumes bit-reversed input.  Twiddle factors are stored
+  bit-reversed, which is exactly the trick EFFACT uses to remove
+  per-coefficient bit reversal from the data path.
+* :class:`ConstantGeometryNTT` — a constant-geometry (CG, Pease/Stockham
+  style) dataflow in which every stage performs the same butterfly
+  access pattern, the property that makes CG-NTT "vector friendly"
+  (paper section IV-D3, citing Banerjee et al.).  It computes the same
+  transform through pre/post twisting and is validated against the
+  Cooley-Tukey pair.
+
+All kernels are vectorized with numpy ``int64`` arithmetic and therefore
+require ``q < 2**31`` so that butterfly products never overflow.  FHE
+parameter sets in this repository use 28-30 bit primes for functional
+runs; paper-scale 54-bit moduli are exercised through the (slower)
+pure-Python big-int path in :mod:`repro.rns.basis`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitrev import bit_reverse_indices
+from .primes import root_of_unity
+
+_INT64_SAFE_MODULUS_BITS = 31
+
+
+def _check_modulus(q: int) -> None:
+    if q.bit_length() > _INT64_SAFE_MODULUS_BITS:
+        raise ValueError(
+            f"vectorized NTT requires q < 2^{_INT64_SAFE_MODULUS_BITS}; "
+            f"got a {q.bit_length()}-bit modulus")
+
+
+class NegacyclicNTT:
+    """Fused-twiddle negacyclic NTT over ``Z_q[X]/(X^n + 1)``.
+
+    Parameters
+    ----------
+    n:
+        Ring degree, a power of two.
+    q:
+        NTT-friendly prime with ``q = 1 (mod 2n)``.
+    """
+
+    def __init__(self, n: int, q: int):
+        if n & (n - 1) or n < 2:
+            raise ValueError(f"n must be a power of two >= 2, got {n}")
+        if (q - 1) % (2 * n) != 0:
+            raise ValueError(f"q = {q} is not NTT friendly for n = {n}")
+        _check_modulus(q)
+        self.n = n
+        self.q = q
+        self.psi = root_of_unity(2 * n, q)
+        self.psi_inv = pow(self.psi, -1, q)
+        self.n_inv = pow(n, -1, q)
+        rev = bit_reverse_indices(n)
+        powers = self._power_table(self.psi)
+        inv_powers = self._power_table(self.psi_inv)
+        # psi^i for i in bit-reversed order: stage s of the DIT forward
+        # transform reads entries [m, 2m) of this table.
+        self._psi_br = powers[rev]
+        self._psi_inv_br = inv_powers[rev]
+
+    def _power_table(self, base: int) -> np.ndarray:
+        table = np.empty(self.n, dtype=np.int64)
+        value = 1
+        for i in range(self.n):
+            table[i] = value
+            value = value * base % self.q
+        return table
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Natural-order coefficients -> bit-reversed NTT values."""
+        a = np.asarray(coeffs, dtype=np.int64) % self.q
+        if a.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {a.shape}")
+        a = a.copy()
+        q = self.q
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            blocks = a.reshape(m, 2 * t)
+            s = self._psi_br[m:2 * m, None]
+            u = blocks[:, :t].copy()
+            v = blocks[:, t:] * s % q
+            blocks[:, :t] = (u + v) % q
+            blocks[:, t:] = (u - v) % q
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray, *,
+                scale_by_n_inv: bool = True) -> np.ndarray:
+        """Bit-reversed NTT values -> natural-order coefficients.
+
+        ``scale_by_n_inv=False`` skips the final 1/n constant multiply.
+        EFFACT merges that multiply into the first BConv constant
+        (paper eq. 5); :mod:`repro.rns.bconv` relies on this hook.
+        """
+        a = np.asarray(values, dtype=np.int64) % self.q
+        if a.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {a.shape}")
+        a = a.copy()
+        q = self.q
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m // 2
+            blocks = a.reshape(h, 2 * t)
+            s = self._psi_inv_br[h:2 * h, None]
+            u = blocks[:, :t].copy()
+            v = blocks[:, t:]
+            blocks[:, :t] = (u + v) % q
+            blocks[:, t:] = (u - v) * s % q
+            t *= 2
+            m = h
+        if scale_by_n_inv:
+            a = a * self.n_inv % q
+        return a
+
+    # ------------------------------------------------------------------
+    # Convenience operations
+    # ------------------------------------------------------------------
+    def polymul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two naturally-ordered polynomials."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(fa * fb % self.q)
+
+    def automorphism_ntt(self, values: np.ndarray,
+                         galois_elt: int) -> np.ndarray:
+        """Apply sigma'_s in the NTT domain on bit-reversed data.
+
+        Implements ``NTT(sigma_s(a)) = BR(sigma'_s(BR(NTT(a))))`` (paper
+        eq. 2): the automorphism becomes a pure permutation of NTT
+        values, which is what EFFACT's automorphism unit executes.
+        """
+        rev = bit_reverse_indices(self.n)
+        natural = np.asarray(values)[rev]
+        permuted = _ntt_domain_permutation(self.n, galois_elt)
+        return natural[permuted][rev]
+
+
+def automorphism(coeffs: np.ndarray, galois_elt: int, q: int) -> np.ndarray:
+    """Coefficient-domain automorphism ``a(X) -> a(X^galois_elt)``.
+
+    Index ``i`` maps to ``i * galois_elt mod 2n`` with a sign flip when
+    the image falls in the upper half (because ``X^n = -1``).
+    """
+    a = np.asarray(coeffs, dtype=np.int64)
+    n = len(a)
+    i = np.arange(n, dtype=np.int64)
+    j = (i * galois_elt) % (2 * n)
+    sign_flip = j >= n
+    j = np.where(sign_flip, j - n, j)
+    out = np.zeros_like(a)
+    out[j] = np.where(sign_flip, (-a) % q, a % q)
+    return out
+
+
+def galois_element(step: int, n: int) -> int:
+    """Galois element 5^step mod 2n used by slot rotations (paper eq. 4)."""
+    return pow(5, step, 2 * n)
+
+
+def conjugation_element(n: int) -> int:
+    """Galois element for complex conjugation of slots (2n - 1)."""
+    return 2 * n - 1
+
+
+def _ntt_domain_permutation(n: int, galois_elt: int) -> np.ndarray:
+    """Permutation sigma'_s acting on naturally-ordered NTT values.
+
+    NTT value at index ``i`` is the evaluation of the polynomial at
+    ``psi^(2i+1)``; the automorphism substitutes ``X -> X^g`` so the
+    evaluation point of output index ``i`` is ``psi^((2i+1) * g)``,
+    i.e. output ``i`` takes input index ``((2i+1)*g - 1) / 2 mod n``.
+    """
+    i = np.arange(n, dtype=np.int64)
+    src = ((2 * i + 1) * galois_elt % (2 * n) - 1) // 2
+    return src % n
+
+
+class ConstantGeometryNTT:
+    """Constant-geometry NTT dataflow (pre/post-twisted Stockham DFT).
+
+    Every stage applies the *same* butterfly geometry: read pairs
+    ``(x[j], x[j + n/2])``, write results contiguously.  This is the
+    vector-friendly access pattern EFFACT's fine-grained NTT unit
+    executes (section IV-D3).  The negacyclic wrap is obtained by
+    twisting coefficients with powers of ``psi`` before/after a cyclic
+    transform, so the overall map equals a negacyclic NTT up to output
+    ordering, which is all pointwise multiplication requires.
+    """
+
+    def __init__(self, n: int, q: int):
+        if n & (n - 1) or n < 2:
+            raise ValueError(f"n must be a power of two >= 2, got {n}")
+        if (q - 1) % (2 * n) != 0:
+            raise ValueError(f"q = {q} is not NTT friendly for n = {n}")
+        _check_modulus(q)
+        self.n = n
+        self.q = q
+        self.psi = root_of_unity(2 * n, q)
+        self.omega = self.psi * self.psi % q
+        psi_inv = pow(self.psi, -1, q)
+        self._twist = self._powers(self.psi)
+        self._untwist = self._powers(psi_inv)
+        self.n_inv = pow(n, -1, q)
+        self._stage_twiddles = self._build_stage_twiddles(self.omega)
+        self._stage_twiddles_inv = self._build_stage_twiddles(
+            pow(self.omega, -1, q))
+        self.stages = n.bit_length() - 1
+
+    def _powers(self, base: int) -> np.ndarray:
+        table = np.empty(self.n, dtype=np.int64)
+        value = 1
+        for i in range(self.n):
+            table[i] = value
+            value = value * base % self.q
+        return table
+
+    def _build_stage_twiddles(self, omega: int) -> list[np.ndarray]:
+        """Per-stage twiddles: stage with sub-length L uses omega_L^p.
+
+        ``omega_L = omega^(n/L)``, so the exponent at global stage ``s``
+        (where ``L = n >> s``) is ``p * 2^s``.
+        """
+        n, q = self.n, self.q
+        tables = []
+        stride = 1
+        length = n
+        while length > 1:
+            half = length // 2
+            tw = np.empty(half, dtype=np.int64)
+            value = 1
+            step = pow(int(omega), stride, q)
+            for p in range(half):
+                tw[p] = value
+                value = value * step % q
+            tables.append(tw)
+            length = half
+            stride *= 2
+        return tables
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Constant-geometry forward transform (self-ordered output)."""
+        a = np.asarray(coeffs, dtype=np.int64) % self.q
+        a = a * self._twist % self.q
+        return self._stockham(a, self._stage_twiddles)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        a = self._stockham(np.asarray(values, dtype=np.int64) % self.q,
+                           self._stage_twiddles_inv)
+        a = a * self.n_inv % self.q
+        return a * self._untwist % self.q
+
+    def _stockham(self, a: np.ndarray,
+                  twiddles: list[np.ndarray]) -> np.ndarray:
+        """Self-sorting Stockham DIF: every stage reads the first and
+        second half of the working buffer and writes interleaved, the
+        fixed access geometry a vector unit can stream."""
+        q = self.q
+        x = a.copy()
+        y = np.empty_like(x)
+        length = self.n
+        s = 1
+        stage = 0
+        while length > 1:
+            half = length // 2
+            src = x.reshape(length, s)
+            dst = y.reshape(length, s)
+            top = src[:half]
+            bottom = src[half:]
+            w = twiddles[stage][:, None]
+            dst[0::2] = (top + bottom) % q
+            dst[1::2] = (top - bottom) * w % q
+            x, y = y, x
+            length = half
+            s *= 2
+            stage += 1
+        return x.copy()
+
+    def polymul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product via the constant-geometry dataflow."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(fa * fb % self.q)
+
+
+def polymul_negacyclic_reference(a, b, q: int) -> np.ndarray:
+    """Schoolbook negacyclic product, the ground truth for NTT tests."""
+    a = [int(x) % q for x in a]
+    b = [int(x) % q for x in b]
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("length mismatch")
+    out = [0] * n
+    for i in range(n):
+        if a[i] == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = a[i] * b[j]
+            if k < n:
+                out[k] = (out[k] + term) % q
+            else:
+                out[k - n] = (out[k - n] - term) % q
+    return np.array(out, dtype=np.int64)

@@ -1,0 +1,129 @@
+"""Prime generation and primitive roots for NTT-friendly moduli.
+
+EFFACT (like every RNS FHE accelerator) works on residue polynomials
+modulo primes ``q`` satisfying ``q = 1 (mod 2N)`` so that a primitive
+2N-th root of unity exists and negacyclic NTT (negative wrapped
+convolution, paper section II-B) is possible.
+"""
+
+from __future__ import annotations
+
+import random
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+# Deterministic Miller-Rabin witnesses: sufficient for all n < 3.3e24,
+# which covers every modulus used in FHE parameter sets (<= 64 bits).
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test for n < 3.3e24."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        if a >= n:
+            continue
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_ntt_primes(bits: int, n: int, count: int, *,
+                    descending: bool = True,
+                    exclude: tuple[int, ...] = ()) -> list[int]:
+    """Find ``count`` primes of roughly ``bits`` bits with q = 1 (mod 2n).
+
+    Primes are searched downward (or upward) from 2**bits in steps of
+    2n so every candidate already satisfies the congruence.  ``exclude``
+    lets callers build disjoint bases (e.g. the Q chain and the P
+    extension limbs of hybrid key-switching must not share primes).
+    """
+    if count <= 0:
+        return []
+    step = 2 * n
+    start = (1 << bits) + 1 if not descending else (1 << bits) + 1 - step
+    found: list[int] = []
+    candidate = start
+    excluded = set(exclude)
+    while len(found) < count:
+        if candidate <= step:
+            raise ValueError(
+                f"exhausted {bits}-bit candidates for N={n}; "
+                f"found only {len(found)}/{count} primes")
+        if candidate % step == 1 and candidate not in excluded \
+                and is_prime(candidate):
+            found.append(candidate)
+        candidate += step if not descending else -step
+    return found
+
+
+def primitive_root(q: int) -> int:
+    """Smallest primitive root modulo prime ``q``."""
+    order = q - 1
+    factors = _factorize(order)
+    for g in range(2, q):
+        if all(pow(g, order // f, q) != 1 for f in factors):
+            return g
+    raise ValueError(f"{q} has no primitive root (is it prime?)")
+
+
+def root_of_unity(order: int, q: int) -> int:
+    """A primitive ``order``-th root of unity modulo prime ``q``."""
+    if (q - 1) % order != 0:
+        raise ValueError(f"no {order}-th root of unity mod {q}: "
+                         f"{order} does not divide q-1")
+    g = primitive_root(q)
+    omega = pow(g, (q - 1) // order, q)
+    # Defensive check: omega^order == 1 and omega^(order/2) == -1.
+    assert pow(omega, order, q) == 1
+    if order % 2 == 0:
+        assert pow(omega, order // 2, q) == q - 1
+    return omega
+
+
+def _factorize(n: int) -> list[int]:
+    """Distinct prime factors of n (n is (q-1) so it is smooth enough)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def random_ntt_prime(bits: int, n: int, rng: random.Random) -> int:
+    """A random NTT-friendly prime, used by property-based tests."""
+    step = 2 * n
+    for _ in range(10000):
+        k = rng.randrange(1 << (bits - 1), 1 << bits) // step
+        candidate = k * step + 1
+        if candidate.bit_length() == bits and is_prime(candidate):
+            return candidate
+    raise ValueError(f"could not sample a {bits}-bit NTT prime for N={n}")

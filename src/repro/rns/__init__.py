@@ -1,0 +1,27 @@
+"""RNS substrate: bases, residue polynomials, base conversion."""
+
+from .basis import RnsBasis, default_basis
+from .bconv import (
+    MergedBConv,
+    base_convert,
+    base_convert_exact,
+    intt_then_merged_bconv,
+    mod_down,
+    mod_up,
+    rescale_last,
+)
+from .poly import RnsPolynomial, ntt_table
+
+__all__ = [
+    "MergedBConv",
+    "RnsBasis",
+    "RnsPolynomial",
+    "base_convert",
+    "base_convert_exact",
+    "default_basis",
+    "intt_then_merged_bconv",
+    "mod_down",
+    "mod_up",
+    "ntt_table",
+    "rescale_last",
+]

@@ -1,0 +1,135 @@
+"""RNS (residue number system) basis management.
+
+RNS-CKKS (paper section II-A) decomposes the big ciphertext modulus
+``Q = prod(q_i)`` into word-sized primes via the Chinese Remainder
+Theorem so that every polynomial in ``R_Q`` becomes a stack of residue
+polynomials ("limbs"), each of which EFFACT's vector ISA processes
+independently.  This module owns the basis bookkeeping: CRT
+composition/decomposition and the ``q_hat`` / ``q_hat_inv`` constants
+that base conversion (paper eq. 3) needs.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+import numpy as np
+
+
+class RnsBasis:
+    """An ordered set of pairwise-coprime NTT-friendly primes."""
+
+    def __init__(self, primes):
+        primes = tuple(int(p) for p in primes)
+        if len(set(primes)) != len(primes):
+            raise ValueError("basis primes must be distinct")
+        if not primes:
+            raise ValueError("basis must contain at least one prime")
+        self.primes = primes
+        self.modulus = reduce(lambda a, b: a * b, primes, 1)
+        # q_hat[j] = Q / q_j,  q_hat_inv[j] = (Q/q_j)^-1 mod q_j
+        self.q_hat = tuple(self.modulus // p for p in primes)
+        self.q_hat_inv = tuple(
+            pow(self.q_hat[j] % p, -1, p) for j, p in enumerate(primes))
+
+    def __len__(self) -> int:
+        return len(self.primes)
+
+    def __iter__(self):
+        return iter(self.primes)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RnsBasis) and self.primes == other.primes
+
+    def __hash__(self) -> int:
+        return hash(self.primes)
+
+    def __repr__(self) -> str:
+        bits = [p.bit_length() for p in self.primes]
+        return f"RnsBasis({len(self.primes)} primes, bits={bits})"
+
+    # ------------------------------------------------------------------
+    # Sub-bases
+    # ------------------------------------------------------------------
+    def prefix(self, count: int) -> "RnsBasis":
+        """The first ``count`` primes (a lower ciphertext level)."""
+        if not 1 <= count <= len(self.primes):
+            raise ValueError(f"invalid prefix length {count}")
+        return RnsBasis(self.primes[:count])
+
+    def extend(self, other: "RnsBasis") -> "RnsBasis":
+        """Concatenated basis (e.g. Q basis extended with P limbs)."""
+        return RnsBasis(self.primes + other.primes)
+
+    def digit(self, index: int, alpha: int) -> "RnsBasis":
+        """Digit ``index`` of the dnum decomposition: alpha primes each."""
+        lo = index * alpha
+        hi = min(lo + alpha, len(self.primes))
+        if lo >= len(self.primes):
+            raise ValueError(f"digit {index} out of range")
+        return RnsBasis(self.primes[lo:hi])
+
+    # ------------------------------------------------------------------
+    # CRT
+    # ------------------------------------------------------------------
+    def compose(self, residues) -> int:
+        """CRT-compose one coefficient's residues into an integer in
+        ``[0, Q)``."""
+        if len(residues) != len(self.primes):
+            raise ValueError("residue count does not match basis size")
+        total = 0
+        for j, r in enumerate(residues):
+            term = (int(r) * self.q_hat_inv[j]) % self.primes[j]
+            total += term * self.q_hat[j]
+        return total % self.modulus
+
+    def decompose(self, value: int):
+        """Residues of an integer (or of each array element)."""
+        return tuple(int(value) % p for p in self.primes)
+
+    def compose_signed(self, residues) -> int:
+        """CRT-compose and lift into the centred range (-Q/2, Q/2]."""
+        value = self.compose(residues)
+        if value > self.modulus // 2:
+            value -= self.modulus
+        return value
+
+    # ------------------------------------------------------------------
+    # Vectorized CRT over polynomials
+    # ------------------------------------------------------------------
+    def compose_poly(self, limbs: np.ndarray) -> list[int]:
+        """CRT-compose a residue-polynomial stack of shape (L, N)."""
+        limbs = np.asarray(limbs)
+        if limbs.shape[0] != len(self.primes):
+            raise ValueError("limb count does not match basis size")
+        n = limbs.shape[1]
+        out = []
+        for i in range(n):
+            out.append(self.compose(limbs[:, i]))
+        return out
+
+    def decompose_poly(self, coeffs) -> np.ndarray:
+        """Integer coefficient vector -> residue stack of shape (L, N).
+
+        Coefficients may be arbitrarily large Python ints (or negative);
+        each limb is reduced into ``[0, q_j)``.
+        """
+        n = len(coeffs)
+        out = np.empty((len(self.primes), n), dtype=np.int64)
+        for j, p in enumerate(self.primes):
+            out[j] = np.array([int(c) % p for c in coeffs], dtype=np.int64)
+        return out
+
+    def compose_signed_poly(self, limbs: np.ndarray) -> list[int]:
+        """Centred CRT composition of every coefficient."""
+        half = self.modulus // 2
+        return [v - self.modulus if v > half else v
+                for v in self.compose_poly(limbs)]
+
+
+def default_basis(n: int, *, bits: int, count: int,
+                  exclude: tuple[int, ...] = ()) -> RnsBasis:
+    """Convenience constructor searching primes downward from 2**bits."""
+    from ..nttmath.primes import find_ntt_primes
+
+    return RnsBasis(find_ntt_primes(bits, n, count, exclude=exclude))

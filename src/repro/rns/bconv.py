@@ -1,0 +1,228 @@
+"""Base conversion (BConv) and the RNS level-maintenance kernels.
+
+BConv (paper eq. 3) converts residues from one prime basis to another
+and is "almost as frequent as NTT/iNTT" in CKKS workloads.  EFFACT's
+key decision (paper section III-1) is to *remove* dedicated BConv
+hardware and execute the conversion as plain vector MULT/ADD
+instructions; the functions here are written in exactly that
+multiply-accumulate form so the compiler lowering in
+:mod:`repro.compiler.lowering` matches the arithmetic one-to-one.
+
+The merged variant (paper eq. 5 / section IV-D5) folds the iNTT 1/N
+post-scaling and all Montgomery representation conversions into BConv's
+pre-computed constants, using the single-Montgomery (SM) and
+double-Montgomery (DM) representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nttmath.montgomery import MontgomeryContext
+from ..nttmath.ntt import NegacyclicNTT
+from .basis import RnsBasis
+from .poly import RnsPolynomial, ntt_table
+
+
+def base_convert(poly: RnsPolynomial, to_basis: RnsBasis) -> RnsPolynomial:
+    """Fast base conversion ``BConv_{C->B}`` (paper eq. 3).
+
+    The result equals ``a + e*Q`` for a small non-negative integer
+    ``e < l`` (the classic fast-BConv overshoot), which downstream
+    CKKS operations absorb into noise, exactly as in RNS-CKKS.
+    Input must be in the coefficient domain (BConv aggregates
+    coefficient-wise, which is why it serialises against NTT in the
+    paper's pipeline analysis).
+    """
+    if poly.is_ntt:
+        raise ValueError("BConv operates on coefficient-domain data")
+    from_basis = poly.basis
+    n = poly.n
+    # v_j = a_j * qhat_inv_j mod q_j   (one MMUL per source limb)
+    v = np.empty_like(poly.data)
+    for j, q in enumerate(from_basis.primes):
+        v[j] = poly.data[j] * (from_basis.q_hat_inv[j] % q) % q
+    # out_i = sum_j v_j * (qhat_j mod p_i)  (MMUL + MMAD chains)
+    out = np.zeros((len(to_basis), n), dtype=np.int64)
+    for i, p in enumerate(to_basis.primes):
+        acc = np.zeros(n, dtype=np.int64)
+        for j in range(len(from_basis)):
+            weight = from_basis.q_hat[j] % p
+            acc = (acc + v[j] * weight) % p
+        out[i] = acc
+    return RnsPolynomial(to_basis, out, is_ntt=False)
+
+
+def base_convert_exact(poly: RnsPolynomial,
+                       to_basis: RnsBasis) -> RnsPolynomial:
+    """Base conversion with floating-point correction of the overshoot.
+
+    Computes ``e = round(sum_j v_j / q_j)`` and subtracts ``e*Q``,
+    giving the exact centred representative.  Used where the fast
+    variant's ``+eQ`` error is not acceptable (BFV scaling).
+    """
+    if poly.is_ntt:
+        raise ValueError("BConv operates on coefficient-domain data")
+    from_basis = poly.basis
+    n = poly.n
+    v = np.empty_like(poly.data)
+    frac = np.zeros(n, dtype=np.float64)
+    for j, q in enumerate(from_basis.primes):
+        v[j] = poly.data[j] * (from_basis.q_hat_inv[j] % q) % q
+        frac += v[j].astype(np.float64) / float(q)
+    e = np.rint(frac).astype(np.int64)
+    out = np.zeros((len(to_basis), n), dtype=np.int64)
+    big_q = from_basis.modulus
+    for i, p in enumerate(to_basis.primes):
+        acc = np.zeros(n, dtype=np.int64)
+        for j in range(len(from_basis)):
+            weight = from_basis.q_hat[j] % p
+            acc = (acc + v[j] * weight) % p
+        acc = (acc - e * (big_q % p)) % p
+        out[i] = acc
+    return RnsPolynomial(to_basis, out, is_ntt=False)
+
+
+def mod_up(poly: RnsPolynomial, full_basis: RnsBasis) -> RnsPolynomial:
+    """Extend residues from a sub-basis to ``full_basis``.
+
+    Primes already present keep their residues; missing primes are
+    filled by fast BConv.  This is the ModUp step of hybrid
+    key-switching (paper section II-C).
+    """
+    if poly.is_ntt:
+        raise ValueError("mod_up operates on coefficient-domain data")
+    present = {p: j for j, p in enumerate(poly.basis.primes)}
+    missing = RnsBasis([p for p in full_basis.primes if p not in present])
+    converted = base_convert(poly, missing)
+    missing_index = {p: i for i, p in enumerate(missing.primes)}
+    data = np.empty((len(full_basis), poly.n), dtype=np.int64)
+    for i, p in enumerate(full_basis.primes):
+        if p in present:
+            data[i] = poly.data[present[p]]
+        else:
+            data[i] = converted.data[missing_index[p]]
+    return RnsPolynomial(full_basis, data, is_ntt=False)
+
+
+def mod_down(poly: RnsPolynomial, q_basis: RnsBasis,
+             p_basis: RnsBasis) -> RnsPolynomial:
+    """ModDown: divide by ``P`` and return to the Q basis.
+
+    ``poly`` lives on ``q_basis + p_basis`` (the P limbs last):
+    ``result = (a - BConv_{P->Q}(a mod P)) * P^-1 mod Q``.
+    """
+    if poly.is_ntt:
+        raise ValueError("mod_down operates on coefficient-domain data")
+    lq, lp = len(q_basis), len(p_basis)
+    if len(poly.basis) != lq + lp:
+        raise ValueError("input basis is not Q + P")
+    a_q = RnsPolynomial(q_basis, poly.data[:lq].copy(), is_ntt=False)
+    a_p = RnsPolynomial(p_basis, poly.data[lq:].copy(), is_ntt=False)
+    correction = base_convert(a_p, q_basis)
+    big_p = p_basis.modulus
+    data = np.empty((lq, poly.n), dtype=np.int64)
+    for j, q in enumerate(q_basis.primes):
+        p_inv = pow(big_p % q, -1, q)
+        data[j] = (a_q.data[j] - correction.data[j]) % q * p_inv % q
+    return RnsPolynomial(q_basis, data, is_ntt=False)
+
+
+def rescale_last(poly: RnsPolynomial) -> RnsPolynomial:
+    """CKKS rescale: divide by the last limb's prime and drop it.
+
+    ``b_j = (a_j - a_l) * q_l^-1 mod q_j``; requires the coefficient
+    domain because limb ``l`` must be re-reduced modulo every other
+    prime (the modulus-switch data dependency of paper Fig. 1b).
+    """
+    if poly.is_ntt:
+        raise ValueError("rescale operates on coefficient-domain data")
+    if len(poly.basis) < 2:
+        raise ValueError("cannot rescale a single-limb polynomial")
+    last = poly.data[-1]
+    q_last = poly.basis.primes[-1]
+    new_basis = poly.basis.prefix(len(poly.basis) - 1)
+    # Centre the dropped limb so rounding is to nearest.
+    centred = np.where(last > q_last // 2, last - q_last, last)
+    data = np.empty((len(new_basis), poly.n), dtype=np.int64)
+    for j, q in enumerate(new_basis.primes):
+        inv = pow(q_last % q, -1, q)
+        data[j] = (poly.data[j] - centred) % q * inv % q
+    return RnsPolynomial(new_basis, data, is_ntt=False)
+
+
+class MergedBConv:
+    """BConv with iNTT post-scale and Montgomery conversions folded in.
+
+    Reproduces paper eq. 5: input limbs arrive in SM representation
+    *without* the iNTT 1/N scaling (``NegacyclicNTT.inverse(...,
+    scale_by_n_inv=False)``); the first constant is pre-multiplied by
+    ``1/N`` and kept NM, the second constant is kept DM, and the output
+    lands in SM representation with zero explicit conversion steps.
+    """
+
+    def __init__(self, from_basis: RnsBasis, to_basis: RnsBasis, n: int):
+        self.from_basis = from_basis
+        self.to_basis = to_basis
+        self.n = n
+        self._mont_from = [MontgomeryContext(q) for q in from_basis.primes]
+        self._mont_to = [MontgomeryContext(p) for p in to_basis.primes]
+        # (qhat_inv_j * 1/N) mod q_j, kept in the NM representation.
+        self._c1_nm = []
+        for j, q in enumerate(from_basis.primes):
+            n_inv = pow(n, -1, q)
+            self._c1_nm.append(from_basis.q_hat_inv[j] * n_inv % q)
+        # (qhat_j mod p_i) in the DM representation of p_i.
+        self._c2_dm = []
+        for i, p in enumerate(to_basis.primes):
+            row = [self._mont_to[i].to_dm(from_basis.q_hat[j] % p)
+                   for j in range(len(from_basis))]
+            self._c2_dm.append(row)
+
+    def apply(self, unscaled_sm_limbs: np.ndarray) -> np.ndarray:
+        """Convert SM-represented, 1/N-unscaled limbs; returns SM limbs.
+
+        ``unscaled_sm_limbs`` has shape (l, n): limb j is the raw output
+        of an iNTT butterfly network (no 1/N) on SM-represented data.
+        """
+        limbs = np.asarray(unscaled_sm_limbs, dtype=np.int64)
+        if limbs.shape != (len(self.from_basis), self.n):
+            raise ValueError("input shape mismatch")
+        # MontMul(SM, NM) -> NM: one multiply also applies 1/N.
+        v_nm = np.empty_like(limbs)
+        for j, mont in enumerate(self._mont_from):
+            v_nm[j] = mont.vec_mont_mul(limbs[j], np.int64(self._c1_nm[j]))
+        out = np.zeros((len(self.to_basis), self.n), dtype=np.int64)
+        for i, (p, mont) in enumerate(zip(self.to_basis.primes,
+                                          self._mont_to)):
+            acc = np.zeros(self.n, dtype=np.int64)
+            for j in range(len(self.from_basis)):
+                # MontMul(NM, DM) -> SM: lands back in SM for free.
+                term = mont.vec_mont_mul(v_nm[j] % p,
+                                         np.int64(self._c2_dm[i][j]))
+                acc = (acc + term) % p
+            out[i] = acc
+        return out
+
+    def reference(self, coeff_limbs: np.ndarray) -> np.ndarray:
+        """Plain-representation BConv of already-scaled coefficients,
+        the golden model the merged path must match (up to the fast
+        BConv ``+eQ`` overshoot being identical)."""
+        poly = RnsPolynomial(self.from_basis, coeff_limbs, is_ntt=False)
+        return base_convert(poly, self.to_basis).data
+
+
+def intt_then_merged_bconv(ntt_limbs_sm: np.ndarray, from_basis: RnsBasis,
+                           to_basis: RnsBasis, n: int) -> np.ndarray:
+    """The full ``iNTT -> BConv`` flow with merged constants.
+
+    Demonstrates (and lets tests verify) that running the unscaled
+    iNTT butterflies on SM data followed by :class:`MergedBConv`
+    produces the same residues as the naive scale-then-convert flow.
+    """
+    merged = MergedBConv(from_basis, to_basis, n)
+    unscaled = np.empty_like(np.asarray(ntt_limbs_sm, dtype=np.int64))
+    for j, q in enumerate(from_basis.primes):
+        table = ntt_table(n, q)
+        unscaled[j] = table.inverse(ntt_limbs_sm[j], scale_by_n_inv=False)
+    return merged.apply(unscaled)

@@ -1,0 +1,239 @@
+"""Residue polynomials: the data type EFFACT's ISA operates on.
+
+A :class:`RnsPolynomial` is an element of ``R_Q`` stored as a stack of
+residue polynomials (limbs), shape ``(L, N)`` with ``int64`` entries.
+Every homomorphic-evaluation kernel in :mod:`repro.schemes` reduces to
+the limb-wise vector operations defined here, mirroring the level-1
+operations of paper Figure 1 (vector ModAdd/ModMult, NTT, Auto).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nttmath.ntt import NegacyclicNTT, automorphism
+from .basis import RnsBasis
+
+_NTT_CACHE: dict[tuple[int, int], NegacyclicNTT] = {}
+
+
+def ntt_table(n: int, q: int) -> NegacyclicNTT:
+    """Shared NTT kernel cache keyed by (ring degree, modulus)."""
+    key = (n, q)
+    table = _NTT_CACHE.get(key)
+    if table is None:
+        table = NegacyclicNTT(n, q)
+        _NTT_CACHE[key] = table
+    return table
+
+
+class RnsPolynomial:
+    """A polynomial on ``R_Q`` in the RNS system (paper Fig. 1a)."""
+
+    __slots__ = ("basis", "data", "is_ntt", "n")
+
+    def __init__(self, basis: RnsBasis, data: np.ndarray, *,
+                 is_ntt: bool = False):
+        data = np.asarray(data, dtype=np.int64)
+        if data.ndim != 2 or data.shape[0] != len(basis):
+            raise ValueError(
+                f"data shape {data.shape} does not match basis of "
+                f"{len(basis)} primes")
+        self.basis = basis
+        self.data = data
+        self.is_ntt = is_ntt
+        self.n = data.shape[1]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, basis: RnsBasis, n: int, *,
+             is_ntt: bool = False) -> "RnsPolynomial":
+        return cls(basis, np.zeros((len(basis), n), dtype=np.int64),
+                   is_ntt=is_ntt)
+
+    @classmethod
+    def from_int_coeffs(cls, basis: RnsBasis, coeffs) -> "RnsPolynomial":
+        """From (possibly huge / negative) integer coefficients."""
+        return cls(basis, basis.decompose_poly(coeffs), is_ntt=False)
+
+    @classmethod
+    def from_small_coeffs(cls, basis: RnsBasis,
+                          coeffs: np.ndarray) -> "RnsPolynomial":
+        """From int64 coefficients already small enough per limb."""
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        data = np.empty((len(basis), len(coeffs)), dtype=np.int64)
+        for j, p in enumerate(basis.primes):
+            data[j] = coeffs % p
+        return cls(basis, data, is_ntt=False)
+
+    @classmethod
+    def random_uniform(cls, basis: RnsBasis, n: int,
+                       rng: np.random.Generator) -> "RnsPolynomial":
+        """Uniform element of R_Q (sampled limb-wise, which is uniform
+        by CRT)."""
+        data = np.empty((len(basis), n), dtype=np.int64)
+        for j, p in enumerate(basis.primes):
+            data[j] = rng.integers(0, p, n, dtype=np.int64)
+        return cls(basis, data, is_ntt=False)
+
+    @classmethod
+    def random_ternary(cls, basis: RnsBasis, n: int,
+                       rng: np.random.Generator, *,
+                       hamming_weight: int | None = None) -> "RnsPolynomial":
+        """Ternary secret polynomial, optionally sparse."""
+        if hamming_weight is None:
+            coeffs = rng.integers(-1, 2, n, dtype=np.int64)
+        else:
+            coeffs = np.zeros(n, dtype=np.int64)
+            idx = rng.choice(n, size=hamming_weight, replace=False)
+            coeffs[idx] = rng.choice(np.array([-1, 1], dtype=np.int64),
+                                     size=hamming_weight)
+        return cls.from_small_coeffs(basis, coeffs)
+
+    @classmethod
+    def random_gaussian(cls, basis: RnsBasis, n: int,
+                        rng: np.random.Generator,
+                        sigma: float = 3.2) -> "RnsPolynomial":
+        """Discrete-Gaussian error polynomial (rounded normal)."""
+        coeffs = np.round(rng.normal(0.0, sigma, n)).astype(np.int64)
+        return cls.from_small_coeffs(basis, coeffs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def level_count(self) -> int:
+        return len(self.basis)
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.basis, self.data.copy(), is_ntt=self.is_ntt)
+
+    def to_int_coeffs(self, *, signed: bool = True) -> list[int]:
+        """CRT-composed integer coefficients (centred when ``signed``)."""
+        poly = self.to_coeff()
+        if signed:
+            return poly.basis.compose_signed_poly(poly.data)
+        return poly.basis.compose_poly(poly.data)
+
+    def __repr__(self) -> str:
+        domain = "ntt" if self.is_ntt else "coeff"
+        return (f"RnsPolynomial(n={self.n}, limbs={len(self.basis)}, "
+                f"domain={domain})")
+
+    # ------------------------------------------------------------------
+    # Domain transforms
+    # ------------------------------------------------------------------
+    def to_ntt(self) -> "RnsPolynomial":
+        if self.is_ntt:
+            return self
+        data = np.empty_like(self.data)
+        for j, p in enumerate(self.basis.primes):
+            data[j] = ntt_table(self.n, p).forward(self.data[j])
+        return RnsPolynomial(self.basis, data, is_ntt=True)
+
+    def to_coeff(self) -> "RnsPolynomial":
+        if not self.is_ntt:
+            return self
+        data = np.empty_like(self.data)
+        for j, p in enumerate(self.basis.primes):
+            data[j] = ntt_table(self.n, p).inverse(self.data[j])
+        return RnsPolynomial(self.basis, data, is_ntt=False)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (limb-wise modular vector ops)
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.basis != other.basis:
+            raise ValueError("basis mismatch")
+        if self.is_ntt != other.is_ntt:
+            raise ValueError("domain mismatch (ntt vs coeff)")
+
+    def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        data = np.empty_like(self.data)
+        for j, p in enumerate(self.basis.primes):
+            data[j] = (self.data[j] + other.data[j]) % p
+        return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
+
+    def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        data = np.empty_like(self.data)
+        for j, p in enumerate(self.basis.primes):
+            data[j] = (self.data[j] - other.data[j]) % p
+        return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
+
+    def __neg__(self) -> "RnsPolynomial":
+        data = np.empty_like(self.data)
+        for j, p in enumerate(self.basis.primes):
+            data[j] = (-self.data[j]) % p
+        return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
+
+    def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Polynomial product; both operands are moved to the NTT domain
+        if needed so the product is negacyclic."""
+        if isinstance(other, int):
+            return self.mul_scalar(other)
+        self._check_basis_only(other)
+        a = self.to_ntt()
+        b = other.to_ntt()
+        data = np.empty_like(a.data)
+        for j, p in enumerate(self.basis.primes):
+            data[j] = a.data[j] * b.data[j] % p
+        return RnsPolynomial(self.basis, data, is_ntt=True)
+
+    def _check_basis_only(self, other: "RnsPolynomial") -> None:
+        if self.basis != other.basis:
+            raise ValueError("basis mismatch")
+
+    def pointwise_mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Element-wise modular product in the current domain."""
+        self._check_compatible(other)
+        data = np.empty_like(self.data)
+        for j, p in enumerate(self.basis.primes):
+            data[j] = self.data[j] * other.data[j] % p
+        return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
+
+    def mul_scalar(self, scalar: int) -> "RnsPolynomial":
+        """Multiply by an integer constant (reduced per limb)."""
+        data = np.empty_like(self.data)
+        for j, p in enumerate(self.basis.primes):
+            data[j] = self.data[j] * (int(scalar) % p) % p
+        return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
+
+    def mul_scalar_per_limb(self, scalars) -> "RnsPolynomial":
+        """Multiply limb j by ``scalars[j]`` (e.g. BConv constants)."""
+        if len(scalars) != len(self.basis):
+            raise ValueError("scalar count does not match basis")
+        data = np.empty_like(self.data)
+        for j, p in enumerate(self.basis.primes):
+            data[j] = self.data[j] * (int(scalars[j]) % p) % p
+        return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
+
+    # ------------------------------------------------------------------
+    # Automorphism / level movement
+    # ------------------------------------------------------------------
+    def apply_automorphism(self, galois_elt: int) -> "RnsPolynomial":
+        """sigma_s on each limb.  In the NTT domain this is the pure
+        permutation EFFACT's fixed-network automorphism unit performs."""
+        data = np.empty_like(self.data)
+        if self.is_ntt:
+            for j, p in enumerate(self.basis.primes):
+                data[j] = ntt_table(self.n, p).automorphism_ntt(
+                    self.data[j], galois_elt)
+        else:
+            for j, p in enumerate(self.basis.primes):
+                data[j] = automorphism(self.data[j], galois_elt, p)
+        return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
+
+    def drop_to(self, basis: RnsBasis) -> "RnsPolynomial":
+        """Restrict to a prefix basis (drop the top limbs)."""
+        if basis.primes != self.basis.primes[:len(basis)]:
+            raise ValueError("target basis is not a prefix of this basis")
+        return RnsPolynomial(basis, self.data[:len(basis)].copy(),
+                             is_ntt=self.is_ntt)
+
+    def limb(self, index: int) -> np.ndarray:
+        """Residue polynomial ``index`` (read-only view)."""
+        return self.data[index]

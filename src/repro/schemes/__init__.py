@@ -1,0 +1,5 @@
+"""FHE schemes supported by the EFFACT platform: CKKS, BGV, BFV, TFHE."""
+
+from . import bfv, bgv, ckks, tfhe
+
+__all__ = ["bfv", "bgv", "ckks", "tfhe"]

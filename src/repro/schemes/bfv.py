@@ -1,0 +1,244 @@
+"""BFV: scale-invariant exact integer FHE.
+
+The third scheme of EFFACT's generality claim (paper abstract and
+section VI-D).  BFV encodes the plaintext at ``Delta = floor(Q/t)`` and
+its multiplication rescales the tensor product by ``t/Q`` with exact
+rounding.  Ring degree stays small in the functional runs, so the
+division/rounding steps use exact CRT-composed integers; the
+hardware-relevant decomposition of these operations into residue-level
+instructions is handled by the compiler lowering, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nttmath.primes import find_ntt_primes
+from ..rns.basis import RnsBasis
+from ..rns.poly import RnsPolynomial, ntt_table
+
+
+@dataclass(frozen=True)
+class BfvParams:
+    """Functional BFV parameters (non-secure, test-sized)."""
+
+    n: int = 2 ** 6
+    t_bits: int = 17
+    q_bits: int = 29
+    q_count: int = 6
+    sigma: float = 3.2
+    seed: int = 2025
+
+
+class BfvContext:
+    def __init__(self, params: BfvParams):
+        self.params = params
+        n = params.n
+        self.t = find_ntt_primes(params.t_bits, n, 1)[0]
+        q_primes = find_ntt_primes(params.q_bits, n, params.q_count,
+                                   exclude=(self.t,))
+        self.q_basis = RnsBasis(q_primes)
+        self.delta = self.q_basis.modulus // self.t
+        self.rng = np.random.default_rng(params.seed)
+        self._pack = ntt_table(n, self.t)
+
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    def encode(self, slots) -> np.ndarray:
+        slots = np.asarray(slots, dtype=np.int64) % self.t
+        return self._pack.inverse(slots)
+
+    def decode(self, coeffs) -> np.ndarray:
+        return self._pack.forward(np.asarray(coeffs, dtype=np.int64)
+                                  % self.t)
+
+
+@dataclass
+class BfvCiphertext:
+    """Coefficient-domain integer polynomials (exact big-int lists)."""
+
+    c0: list[int]
+    c1: list[int]
+
+
+@dataclass
+class BfvSecretKey:
+    coeffs: np.ndarray
+
+
+@dataclass
+class BfvRelinKey:
+    """Base-2^w decomposed relinearization key: pairs per digit."""
+
+    b: list[list[int]]
+    a: list[list[int]]
+    base_bits: int
+
+
+class BfvScheme:
+    """Keygen, encryption and evaluation for BFV (exact arithmetic)."""
+
+    def __init__(self, context: BfvContext):
+        self.ctx = context
+
+    # ------------------------------------------------------------------
+    def gen_secret(self) -> BfvSecretKey:
+        coeffs = self.ctx.rng.integers(-1, 2, self.ctx.n, dtype=np.int64)
+        return BfvSecretKey(coeffs=coeffs)
+
+    def _uniform(self) -> list[int]:
+        q = self.ctx.q_basis.modulus
+        words = (q.bit_length() + 59) // 60 + 1
+        out = []
+        for _ in range(self.ctx.n):
+            value = 0
+            for _ in range(words):
+                value = (value << 60) | int(
+                    self.ctx.rng.integers(0, 1 << 60))
+            out.append(value % q)
+        return out
+
+    def _gaussian(self) -> list[int]:
+        e = np.round(self.ctx.rng.normal(0, self.ctx.params.sigma,
+                                         self.ctx.n)).astype(np.int64)
+        return [int(v) for v in e]
+
+    def gen_relin(self, sk: BfvSecretKey,
+                  base_bits: int = 20) -> BfvRelinKey:
+        """RLWE encryptions of ``s^2 * 2^(w*i)`` for each digit i."""
+        ctx = self.ctx
+        q = ctx.q_basis.modulus
+        s = [int(v) for v in sk.coeffs]
+        s2 = polymul_negacyclic_reference_big(s, s, q)
+        digits = (q.bit_length() + base_bits - 1) // base_bits
+        b_list, a_list = [], []
+        for i in range(digits):
+            a = self._uniform()
+            e = self._gaussian()
+            a_s = polymul_negacyclic_reference_big(a, s, q)
+            factor = 1 << (base_bits * i)
+            b = [(-int(asj) + int(ej) + factor * s2j) % q
+                 for asj, ej, s2j in zip(a_s, e, s2)]
+            b_list.append(b)
+            a_list.append(a)
+        return BfvRelinKey(b=b_list, a=a_list, base_bits=base_bits)
+
+    # ------------------------------------------------------------------
+    def encrypt(self, slots, sk: BfvSecretKey) -> BfvCiphertext:
+        ctx = self.ctx
+        q = ctx.q_basis.modulus
+        m = ctx.encode(slots)
+        a = self._uniform()
+        e = self._gaussian()
+        s = [int(v) for v in sk.coeffs]
+        a_s = polymul_negacyclic_reference_big(a, s, q)
+        c0 = [(-int(asj) + int(ej) + ctx.delta * int(mj)) % q
+              for asj, ej, mj in zip(a_s, e, m)]
+        return BfvCiphertext(c0=c0, c1=a)
+
+    def decrypt(self, ct: BfvCiphertext, sk: BfvSecretKey) -> np.ndarray:
+        ctx = self.ctx
+        q = ctx.q_basis.modulus
+        s = [int(v) for v in sk.coeffs]
+        c1_s = polymul_negacyclic_reference_big(ct.c1, s, q)
+        noisy = [(c0j + int(c1sj)) % q for c0j, c1sj in zip(ct.c0, c1_s)]
+        m = [((ctx.t * v + q // 2) // q) % ctx.t for v in noisy]
+        return ctx.decode(np.array(m, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    def add(self, x: BfvCiphertext, y: BfvCiphertext) -> BfvCiphertext:
+        q = self.ctx.q_basis.modulus
+        return BfvCiphertext(
+            c0=[(a + b) % q for a, b in zip(x.c0, y.c0)],
+            c1=[(a + b) % q for a, b in zip(x.c1, y.c1)])
+
+    def multiply(self, x: BfvCiphertext, y: BfvCiphertext,
+                 rk: BfvRelinKey) -> BfvCiphertext:
+        """Tensor over the integers, scale by t/Q, relinearize."""
+        ctx = self.ctx
+        q = ctx.q_basis.modulus
+        lift = self._centered
+        x0, x1 = lift(x.c0), lift(x.c1)
+        y0, y1 = lift(y.c0), lift(y.c1)
+        d0 = self._scale_round(self._polymul_int(x0, y0))
+        d1 = self._scale_round(
+            [a + b for a, b in zip(self._polymul_int(x0, y1),
+                                   self._polymul_int(x1, y0))])
+        d2 = self._scale_round(self._polymul_int(x1, y1))
+        ks0, ks1 = self._relin_apply(d2, rk)
+        return BfvCiphertext(
+            c0=[(a + b) % q for a, b in zip(d0, ks0)],
+            c1=[(a + b) % q for a, b in zip(d1, ks1)])
+
+    # ------------------------------------------------------------------
+    def _centered(self, coeffs: list[int]) -> list[int]:
+        q = self.ctx.q_basis.modulus
+        return [c - q if c > q // 2 else c for c in coeffs]
+
+    def _polymul_int(self, a: list[int], b: list[int]) -> list[int]:
+        """Exact negacyclic product over the integers."""
+        n = self.ctx.n
+        out = [0] * n
+        for i, ai in enumerate(a):
+            if ai == 0:
+                continue
+            for j, bj in enumerate(b):
+                k = i + j
+                term = ai * bj
+                if k < n:
+                    out[k] += term
+                else:
+                    out[k - n] -= term
+        return out
+
+    def _scale_round(self, coeffs: list[int]) -> list[int]:
+        """round(t * c / Q) mod Q, the BFV invariant scaling."""
+        ctx = self.ctx
+        q = ctx.q_basis.modulus
+        t = ctx.t
+        out = []
+        for c in coeffs:
+            scaled = (2 * t * c + q) // (2 * q)   # round-half-up
+            out.append(scaled % q)
+        return out
+
+    def _relin_apply(self, d2: list[int], rk: BfvRelinKey):
+        """Base-2^w digit decomposition MAC against the relin key."""
+        ctx = self.ctx
+        q = ctx.q_basis.modulus
+        w = rk.base_bits
+        digits = len(rk.b)
+        mask = (1 << w) - 1
+        ks0 = [0] * ctx.n
+        ks1 = [0] * ctx.n
+        remaining = [c % q for c in d2]
+        for i in range(digits):
+            digit = [c & mask for c in remaining]
+            remaining = [c >> w for c in remaining]
+            t0 = polymul_negacyclic_reference_big(digit, rk.b[i], q)
+            t1 = polymul_negacyclic_reference_big(digit, rk.a[i], q)
+            ks0 = [(a + b) % q for a, b in zip(ks0, t0)]
+            ks1 = [(a + b) % q for a, b in zip(ks1, t1)]
+        return ks0, ks1
+
+
+def polymul_negacyclic_reference_big(a: list[int], b: list[int],
+                                     q: int) -> list[int]:
+    """Schoolbook negacyclic product with Python-int (big) coefficients."""
+    n = len(a)
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            k = i + j
+            term = ai * bj
+            if k < n:
+                out[k] = (out[k] + term) % q
+            else:
+                out[k - n] = (out[k - n] - term) % q
+    return out

@@ -1,0 +1,351 @@
+"""BGV: exact integer FHE over ``Z_t`` slots.
+
+EFFACT supports BGV through the same residue-polynomial ISA (paper
+section VI-D evaluates HElib's DB-lookup on BGV); this module provides
+the functional scheme so the DB-lookup workload actually runs.
+
+The implementation keeps ciphertexts in RNS form over a prime chain Q
+and uses a single-pair key-switching key over ``QP`` with ``P``
+comfortably larger than ``Q`` (noise from the undecomposed product is
+divided away by ``P``; the digit-decomposed variant lives in the CKKS
+evaluator, which is where the paper's key-switching analysis applies).
+Key-switch rounding is corrected to a multiple of ``t`` so exactness is
+preserved, the BGV-specific twist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nttmath.ntt import galois_element
+from ..nttmath.primes import find_ntt_primes
+from ..rns.basis import RnsBasis
+from ..rns.poly import RnsPolynomial, ntt_table
+
+
+@dataclass(frozen=True)
+class BgvParams:
+    """Functional BGV parameters (non-secure, test-sized)."""
+
+    n: int = 2 ** 6
+    t_bits: int = 17          # plaintext modulus bits (t = 1 mod 2n)
+    t: int | None = None      # explicit plaintext modulus (overrides bits)
+    q_bits: int = 28
+    q_count: int = 10
+    p_extra: int = 2          # P gets q_count + p_extra primes
+    sigma: float = 3.2
+    seed: int = 2025
+
+    def __post_init__(self):
+        if self.n & (self.n - 1):
+            raise ValueError("n must be a power of two")
+
+
+class BgvContext:
+    """Parameters, bases and the slot-packing NTT for BGV."""
+
+    def __init__(self, params: BgvParams):
+        self.params = params
+        n = params.n
+        if params.t is not None:
+            if (params.t - 1) % (2 * n) != 0:
+                raise ValueError("t must be = 1 mod 2n for slot packing")
+            self.t = params.t
+        else:
+            self.t = find_ntt_primes(params.t_bits, n, 1)[0]
+        q_primes = find_ntt_primes(params.q_bits, n, params.q_count,
+                                   exclude=(self.t,))
+        p_primes = find_ntt_primes(params.q_bits + 1, n,
+                                   params.q_count + params.p_extra,
+                                   exclude=(self.t,) + tuple(q_primes))
+        self.q_basis = RnsBasis(q_primes)
+        self.p_basis = RnsBasis(p_primes)
+        self.qp_basis = self.q_basis.extend(self.p_basis)
+        self.rng = np.random.default_rng(params.seed)
+        self._pack = ntt_table(n, self.t)
+
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    # ------------------------------------------------------------------
+    # SIMD packing: slot values in Z_t <-> plaintext polynomial
+    # ------------------------------------------------------------------
+    def encode(self, slots) -> np.ndarray:
+        """Vector of n values in Z_t -> plaintext coefficients."""
+        slots = np.asarray(slots, dtype=np.int64) % self.t
+        if slots.shape != (self.n,):
+            raise ValueError(f"expected {self.n} slots")
+        return self._pack.inverse(slots)
+
+    def decode(self, coeffs: np.ndarray) -> np.ndarray:
+        """Plaintext coefficients -> slot values in Z_t."""
+        return self._pack.forward(np.asarray(coeffs, dtype=np.int64)
+                                  % self.t)
+
+
+@dataclass
+class BgvCiphertext:
+    c0: RnsPolynomial
+    c1: RnsPolynomial
+    #: Accumulated plaintext factor mod t: modulus switching by q
+    #: multiplies the underlying plaintext by q^-1 mod t, which decrypt
+    #: undoes.  Ciphertexts must share a factor before addition.
+    scale_t: int = 1
+
+    @property
+    def basis(self) -> RnsBasis:
+        return self.c0.basis
+
+    @property
+    def level(self) -> int:
+        return len(self.c0.basis) - 1
+
+
+@dataclass
+class BgvSecretKey:
+    coeffs: np.ndarray
+
+    def poly_ntt(self, basis: RnsBasis) -> RnsPolynomial:
+        return RnsPolynomial.from_small_coeffs(basis, self.coeffs).to_ntt()
+
+
+@dataclass
+class BgvRelinKey:
+    b: RnsPolynomial   # -a*s + t*e + P*s^2 over QP (NTT)
+    a: RnsPolynomial
+
+
+@dataclass
+class BgvGaloisKey:
+    b: RnsPolynomial   # -a*s + t*e + P*sigma(s) over QP (NTT)
+    a: RnsPolynomial
+    galois_elt: int
+
+
+class BgvScheme:
+    """Keygen, encryption and homomorphic evaluation for BGV."""
+
+    def __init__(self, context: BgvContext):
+        self.ctx = context
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def gen_secret(self) -> BgvSecretKey:
+        ctx = self.ctx
+        poly = RnsPolynomial.random_ternary(ctx.q_basis, ctx.n, ctx.rng)
+        coeffs = np.array(poly.to_int_coeffs(signed=True), dtype=np.int64)
+        return BgvSecretKey(coeffs=coeffs)
+
+    def _noise(self, basis: RnsBasis) -> RnsPolynomial:
+        """t * e with e discrete Gaussian (BGV places noise at t*e)."""
+        ctx = self.ctx
+        e = RnsPolynomial.random_gaussian(basis, ctx.n, ctx.rng,
+                                          ctx.params.sigma)
+        return e.mul_scalar(ctx.t)
+
+    def gen_relin(self, sk: BgvSecretKey) -> BgvRelinKey:
+        ctx = self.ctx
+        basis = ctx.qp_basis
+        s = sk.poly_ntt(basis)
+        a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
+        b = (-(a.pointwise_mul(s)) + self._noise(basis).to_ntt()
+             + s.pointwise_mul(s).mul_scalar(ctx.p_basis.modulus))
+        return BgvRelinKey(b=b, a=a)
+
+    def gen_galois(self, step: int, sk: BgvSecretKey) -> BgvGaloisKey:
+        ctx = self.ctx
+        basis = ctx.qp_basis
+        g = galois_element(step, ctx.n)
+        s = sk.poly_ntt(basis)
+        target = RnsPolynomial.from_small_coeffs(
+            basis, sk.coeffs).apply_automorphism(g).to_ntt()
+        a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
+        b = (-(a.pointwise_mul(s)) + self._noise(basis).to_ntt()
+             + target.mul_scalar(ctx.p_basis.modulus))
+        return BgvGaloisKey(b=b, a=a, galois_elt=g)
+
+    # ------------------------------------------------------------------
+    # Encrypt / decrypt (symmetric, sufficient for the workloads)
+    # ------------------------------------------------------------------
+    def encrypt(self, slots, sk: BgvSecretKey) -> BgvCiphertext:
+        ctx = self.ctx
+        basis = ctx.q_basis
+        m = RnsPolynomial.from_small_coeffs(basis,
+                                            ctx.encode(slots)).to_ntt()
+        a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
+        s = sk.poly_ntt(basis)
+        c0 = -(a.pointwise_mul(s)) + self._noise(basis).to_ntt() + m
+        return BgvCiphertext(c0=c0, c1=a)
+
+    def decrypt(self, ct: BgvCiphertext, sk: BgvSecretKey) -> np.ndarray:
+        s = sk.poly_ntt(ct.basis)
+        m = ct.c0 + ct.c1.pointwise_mul(s)
+        coeffs = m.to_int_coeffs(signed=True)
+        correction = pow(ct.scale_t, -1, self.ctx.t)
+        reduced = np.array([c * correction % self.ctx.t for c in coeffs],
+                           dtype=np.int64)
+        return self.ctx.decode(reduced)
+
+    def noise_budget_bits(self, ct: BgvCiphertext,
+                          sk: BgvSecretKey) -> int:
+        """log2(Q / (2 * |noise|)): bits of multiplicative headroom."""
+        s = sk.poly_ntt(ct.basis)
+        m = ct.c0 + ct.c1.pointwise_mul(s)
+        coeffs = m.to_int_coeffs(signed=True)
+        worst = max((abs(c) for c in coeffs), default=1)
+        budget = ct.basis.modulus // (2 * max(worst, 1))
+        return max(0, budget.bit_length() - 1)
+
+    # ------------------------------------------------------------------
+    # Homomorphic operations
+    # ------------------------------------------------------------------
+    def add(self, x: BgvCiphertext, y: BgvCiphertext) -> BgvCiphertext:
+        self._check_factors(x, y)
+        return BgvCiphertext(c0=x.c0 + y.c0, c1=x.c1 + y.c1,
+                             scale_t=x.scale_t)
+
+    def _check_factors(self, x: BgvCiphertext, y: BgvCiphertext) -> None:
+        if x.scale_t != y.scale_t:
+            raise ValueError("plaintext factors differ; mod-switch both "
+                             "operands identically before adding")
+        if x.basis != y.basis:
+            raise ValueError("operand bases differ")
+
+    def sub(self, x: BgvCiphertext, y: BgvCiphertext) -> BgvCiphertext:
+        self._check_factors(x, y)
+        return BgvCiphertext(c0=x.c0 - y.c0, c1=x.c1 - y.c1,
+                             scale_t=x.scale_t)
+
+    def add_plain(self, ct: BgvCiphertext, slots) -> BgvCiphertext:
+        m = RnsPolynomial.from_small_coeffs(
+            ct.basis, self.ctx.encode(slots)).to_ntt()
+        if ct.scale_t != 1:
+            m = m.mul_scalar(ct.scale_t)
+        return BgvCiphertext(c0=ct.c0 + m, c1=ct.c1.copy(),
+                             scale_t=ct.scale_t)
+
+    def mul_plain(self, ct: BgvCiphertext, slots) -> BgvCiphertext:
+        m = RnsPolynomial.from_small_coeffs(
+            ct.basis, self.ctx.encode(slots)).to_ntt()
+        return BgvCiphertext(c0=ct.c0.pointwise_mul(m),
+                             c1=ct.c1.pointwise_mul(m),
+                             scale_t=ct.scale_t)
+
+    def multiply(self, x: BgvCiphertext, y: BgvCiphertext,
+                 rk: BgvRelinKey) -> BgvCiphertext:
+        """Tensor product then relinearization."""
+        if x.basis != y.basis:
+            raise ValueError("operand bases differ")
+        d0 = x.c0.pointwise_mul(y.c0)
+        d1 = x.c0.pointwise_mul(y.c1) + x.c1.pointwise_mul(y.c0)
+        d2 = x.c1.pointwise_mul(y.c1)
+        ks0, ks1 = self._key_switch(d2, rk.b, rk.a)
+        return BgvCiphertext(c0=d0 + ks0, c1=d1 + ks1,
+                             scale_t=x.scale_t * y.scale_t % self.ctx.t)
+
+    def rotate(self, ct: BgvCiphertext, step: int,
+               gk: BgvGaloisKey) -> BgvCiphertext:
+        """Rotate slot contents by ``step`` positions."""
+        g = galois_element(step, self.ctx.n)
+        if g != gk.galois_elt:
+            raise ValueError("Galois key does not match rotation step")
+        rc0 = ct.c0.apply_automorphism(g)
+        rc1 = ct.c1.apply_automorphism(g)
+        ks0, ks1 = self._key_switch(rc1, gk.b, gk.a)
+        return BgvCiphertext(c0=rc0 + ks0, c1=ks1, scale_t=ct.scale_t)
+
+    def mod_switch(self, ct: BgvCiphertext, times: int = 1
+                   ) -> BgvCiphertext:
+        """BGV modulus switching: divide by the last chain prime(s)
+        while keeping the plaintext mod t intact (up to the tracked
+        q^-1 factor) and shrinking the noise by ~q each time."""
+        t = self.ctx.t
+        c0, c1 = ct.c0, ct.c1
+        factor = ct.scale_t
+        for _ in range(times):
+            if len(c0.basis) < 2:
+                raise ValueError("no limbs left to switch away")
+            q_last = c0.basis.primes[-1]
+            c0 = _bgv_drop_limb(c0, t)
+            c1 = _bgv_drop_limb(c1, t)
+            factor = factor * pow(q_last, -1, t) % t
+        return BgvCiphertext(c0=c0, c1=c1, scale_t=factor)
+
+    # ------------------------------------------------------------------
+    def _key_switch(self, d2: RnsPolynomial, kb: RnsPolynomial,
+                    ka: RnsPolynomial):
+        """Undecomposed key switch with t-divisible rounding.
+
+        Lift d2 to QP, multiply by the key, then divide by P with the
+        correction delta chosen ``= d2*key mod P`` and ``= 0 mod t`` so
+        the BGV plaintext is untouched.
+        """
+        ctx = self.ctx
+        from ..rns.bconv import mod_up
+
+        basis = d2.basis
+        ext = basis.extend(ctx.p_basis)
+        lifted = mod_up(d2.to_coeff(), ext).to_ntt()
+        w0 = lifted.pointwise_mul(self._restrict(kb, basis))
+        w1 = lifted.pointwise_mul(self._restrict(ka, basis))
+        return self._div_p(w0, basis), self._div_p(w1, basis)
+
+    def _restrict(self, key_poly: RnsPolynomial,
+                  q_basis: RnsBasis) -> RnsPolynomial:
+        """Key rows for the current Q prefix plus all P limbs."""
+        lq_full = len(self.ctx.q_basis)
+        rows = np.concatenate([key_poly.data[:len(q_basis)],
+                               key_poly.data[lq_full:]])
+        return RnsPolynomial(q_basis.extend(self.ctx.p_basis), rows,
+                             is_ntt=key_poly.is_ntt)
+
+    def _div_p(self, w: RnsPolynomial,
+               q_basis: RnsBasis | None = None) -> RnsPolynomial:
+        """(w - delta)/P over Q, with delta = [w]_P lifted to 0 mod t."""
+        ctx = self.ctx
+        if q_basis is None:
+            q_basis = ctx.q_basis
+        lq = len(q_basis)
+        w = w.to_coeff()
+        p_part = RnsPolynomial(ctx.p_basis, w.data[lq:].copy(),
+                               is_ntt=False)
+        # Centered delta as exact integers (n is small for BGV runs).
+        delta = p_part.to_int_coeffs(signed=True)
+        big_p = ctx.p_basis.modulus
+        t = ctx.t
+        p_inv_t = pow(big_p % t, -1, t)
+        adjusted = []
+        for d in delta:
+            k = (-d * p_inv_t) % t
+            if k > t // 2:
+                k -= t
+            adjusted.append(d + big_p * k)
+        out = np.empty((lq, ctx.n), dtype=np.int64)
+        for j, q in enumerate(q_basis.primes):
+            inv = pow(big_p % q, -1, q)
+            dmod = np.array([d % q for d in adjusted], dtype=np.int64)
+            out[j] = (w.data[j] - dmod) % q * inv % q
+        return RnsPolynomial(q_basis, out, is_ntt=False).to_ntt()
+
+
+def _bgv_drop_limb(poly: RnsPolynomial, t: int) -> RnsPolynomial:
+    """One BGV modulus switch: ``(c - delta)/q_last`` with the
+    correction ``delta = [c]_q_last`` lifted to a multiple of ``t``."""
+    coeff = poly.to_coeff()
+    q_last = coeff.basis.primes[-1]
+    last = coeff.data[-1]
+    centred = np.where(last > q_last // 2, last - q_last, last)
+    q_inv_t = pow(q_last, -1, t)
+    k = (-centred * q_inv_t) % t
+    k = np.where(k > t // 2, k - t, k)
+    new_basis = coeff.basis.prefix(len(coeff.basis) - 1)
+    out = np.empty((len(new_basis), coeff.n), dtype=np.int64)
+    for j, q in enumerate(new_basis.primes):
+        inv = pow(q_last % q, -1, q)
+        delta = (centred + q_last * k) % q
+        out[j] = (coeff.data[j] - delta) % q * inv % q
+    return RnsPolynomial(new_basis, out, is_ntt=False).to_ntt()

@@ -1,0 +1,68 @@
+"""RNS-CKKS: the approximate-arithmetic FHE scheme EFFACT targets."""
+
+from .bootstrap import BootstrapConfig, CkksBootstrapper
+from .ciphertext import Ciphertext, Ciphertext3, Plaintext
+from .linear_transform import (
+    Diagonals,
+    matvec_bsgs,
+    replicate_slot,
+    required_rotations,
+    sum_slots,
+)
+from .polyeval import (
+    ChebyshevEvaluator,
+    chebyshev_eval_plain,
+    chebyshev_fit,
+    evaluate_chebyshev,
+)
+from .encoder import CkksEncoder
+from .evaluator import CkksEvaluator
+from .keys import (
+    CkksContext,
+    Decryptor,
+    Encryptor,
+    KeyChain,
+    KeyGenerator,
+    PublicKey,
+    SecretKey,
+    SwitchingKey,
+)
+from .params import (
+    HELR_START_LEVEL,
+    PAPER_BOOT_256,
+    PAPER_BOOT_FULL,
+    BootstrappingParams,
+    CkksParams,
+)
+
+__all__ = [
+    "BootstrapConfig",
+    "BootstrappingParams",
+    "ChebyshevEvaluator",
+    "CkksBootstrapper",
+    "Diagonals",
+    "chebyshev_eval_plain",
+    "chebyshev_fit",
+    "evaluate_chebyshev",
+    "matvec_bsgs",
+    "replicate_slot",
+    "required_rotations",
+    "sum_slots",
+    "Ciphertext",
+    "Ciphertext3",
+    "CkksContext",
+    "CkksEncoder",
+    "CkksEvaluator",
+    "CkksParams",
+    "Decryptor",
+    "Encryptor",
+    "HELR_START_LEVEL",
+    "KeyChain",
+    "KeyGenerator",
+    "PAPER_BOOT_256",
+    "PAPER_BOOT_FULL",
+    "Plaintext",
+    "PublicKey",
+    "SecretKey",
+    "SwitchingKey",
+]

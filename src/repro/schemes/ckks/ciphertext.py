@@ -1,0 +1,69 @@
+"""Plaintext and ciphertext containers for RNS-CKKS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...rns.basis import RnsBasis
+from ...rns.poly import RnsPolynomial
+
+
+@dataclass
+class Plaintext:
+    """An encoded message: one polynomial plus its scaling factor."""
+
+    poly: RnsPolynomial
+    scale: float
+
+    @property
+    def level(self) -> int:
+        return len(self.poly.basis) - 1
+
+    def copy(self) -> "Plaintext":
+        return Plaintext(poly=self.poly.copy(), scale=self.scale)
+
+
+@dataclass
+class Ciphertext:
+    """A CKKS ciphertext ``(c0, c1)`` with ``c0 + c1*s = scale*m + e``.
+
+    Both polynomials are kept in the NTT (evaluation) domain between
+    operations, matching how real accelerators (and this paper's data
+    flow diagrams) stage ciphertext data.
+    """
+
+    c0: RnsPolynomial
+    c1: RnsPolynomial
+    scale: float
+
+    def __post_init__(self):
+        if self.c0.basis != self.c1.basis:
+            raise ValueError("ciphertext components must share a basis")
+
+    @property
+    def basis(self) -> RnsBasis:
+        return self.c0.basis
+
+    @property
+    def level(self) -> int:
+        """Current level l: the basis holds l+1 limbs (paper Table I)."""
+        return len(self.c0.basis) - 1
+
+    @property
+    def n(self) -> int:
+        return self.c0.n
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(c0=self.c0.copy(), c1=self.c1.copy(),
+                          scale=self.scale)
+
+
+@dataclass
+class Ciphertext3:
+    """The pre-relinearization triple ``(d0, d1, d2)`` of HMULT,
+    decryptable under ``(1, s, s^2)`` (paper section II-C)."""
+
+    d0: RnsPolynomial
+    d1: RnsPolynomial
+    d2: RnsPolynomial
+    scale: float

@@ -1,0 +1,90 @@
+"""CKKS canonical-embedding encoder/decoder.
+
+A message is a vector of ``N/2`` complex slots; encoding evaluates the
+inverse canonical embedding so that the integer plaintext polynomial
+``m(X)``, evaluated at the primitive 2N-th roots of unity indexed by
+powers of five, reproduces the slots (paper section II-A).  The
+implementation uses the FFT factorization: evaluation at all odd powers
+``zeta^(2t+1)`` equals a length-N DFT of the ``zeta^j``-twisted
+coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...rns.basis import RnsBasis
+from ...rns.poly import RnsPolynomial
+from .ciphertext import Plaintext
+
+
+class CkksEncoder:
+    """Encode/decode between complex slot vectors and plaintexts."""
+
+    def __init__(self, n: int):
+        if n & (n - 1) or n < 4:
+            raise ValueError("n must be a power of two >= 4")
+        self.n = n
+        self.slots = n // 2
+        two_n = 2 * n
+        # Slot i is the evaluation at zeta^(5^i mod 2n); its complex
+        # conjugate lives at zeta^(2n - 5^i).
+        self._slot_index = np.empty(self.slots, dtype=np.int64)
+        self._conj_index = np.empty(self.slots, dtype=np.int64)
+        g = 1
+        for i in range(self.slots):
+            self._slot_index[i] = (g - 1) // 2
+            self._conj_index[i] = (two_n - g - 1) // 2
+            g = g * 5 % two_n
+        j = np.arange(n)
+        self._twist = np.exp(1j * np.pi * j / n)        # zeta^j
+        self._untwist = np.conj(self._twist)
+
+    # ------------------------------------------------------------------
+    # Real-vector embedding (float level)
+    # ------------------------------------------------------------------
+    def embed(self, values: np.ndarray) -> np.ndarray:
+        """Complex slots -> real coefficient vector (unscaled)."""
+        z = np.asarray(values, dtype=np.complex128)
+        if len(z) > self.slots:
+            raise ValueError(f"at most {self.slots} slots, got {len(z)}")
+        if len(z) < self.slots:
+            padded = np.zeros(self.slots, dtype=np.complex128)
+            padded[:len(z)] = z
+            z = padded
+        evals = np.zeros(self.n, dtype=np.complex128)
+        evals[self._slot_index] = z
+        evals[self._conj_index] = np.conj(z)
+        twisted = np.fft.fft(evals) / self.n
+        coeffs = twisted * self._untwist
+        return np.real(coeffs)
+
+    def project(self, coeffs: np.ndarray) -> np.ndarray:
+        """Real coefficient vector -> complex slots (unscaled)."""
+        a = np.asarray(coeffs, dtype=np.complex128) * self._twist
+        evals = np.fft.ifft(a) * self.n
+        return evals[self._slot_index]
+
+    # ------------------------------------------------------------------
+    # Plaintext encode/decode (integer level)
+    # ------------------------------------------------------------------
+    def encode(self, values, scale: float, basis: RnsBasis) -> Plaintext:
+        """Scale, round, and CRT-decompose a slot vector."""
+        coeffs = self.embed(values) * scale
+        int_coeffs = [int(round(c)) for c in coeffs]
+        poly = RnsPolynomial.from_int_coeffs(basis, int_coeffs)
+        return Plaintext(poly=poly.to_ntt(), scale=float(scale))
+
+    def decode(self, plaintext: Plaintext,
+               slots: int | None = None) -> np.ndarray:
+        """Plaintext -> complex slot values (first ``slots`` of them)."""
+        coeffs = plaintext.poly.to_int_coeffs(signed=True)
+        values = self.project(np.array(coeffs, dtype=np.float64)
+                              / plaintext.scale)
+        if slots is not None:
+            return values[:slots]
+        return values
+
+    def decode_real(self, plaintext: Plaintext,
+                    slots: int | None = None) -> np.ndarray:
+        return np.real(self.decode(plaintext, slots))

@@ -1,0 +1,303 @@
+"""Homomorphic evaluation for RNS-CKKS.
+
+Every operation here decomposes into the residue-polynomial-level
+kernels of paper Figure 1 (vector ModAdd/ModMult, NTT/iNTT,
+automorphism, BConv) — the same decomposition
+:mod:`repro.compiler.lowering` performs symbolically when compiling for
+the EFFACT architecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nttmath.ntt import conjugation_element, galois_element
+from ...rns.basis import RnsBasis
+from ...rns.bconv import mod_down, mod_up, rescale_last
+from ...rns.poly import RnsPolynomial
+from .ciphertext import Ciphertext, Ciphertext3, Plaintext
+from .keys import CkksContext, KeyChain, SwitchingKey
+
+_SCALE_TOLERANCE = 1e-6
+
+
+class CkksEvaluator:
+    """Stateless evaluator bound to a context and a key chain."""
+
+    def __init__(self, context: CkksContext, keys: KeyChain | None = None):
+        self.context = context
+        self.keys = keys or KeyChain()
+
+    # ------------------------------------------------------------------
+    # Level and scale maintenance
+    # ------------------------------------------------------------------
+    def drop_level(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Drop to a lower level without rescaling (Mod Down in Fig 1b)."""
+        if level > ct.level:
+            raise ValueError("cannot raise a ciphertext level by dropping")
+        if level == ct.level:
+            return ct
+        basis = self.context.q_basis(level)
+        return Ciphertext(c0=ct.c0.drop_to(basis), c1=ct.c1.drop_to(basis),
+                          scale=ct.scale)
+
+    def _align(self, x: Ciphertext,
+               y: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        level = min(x.level, y.level)
+        return self.drop_level(x, level), self.drop_level(y, level)
+
+    def _check_scales(self, a: float, b: float) -> None:
+        if abs(a - b) > _SCALE_TOLERANCE * max(a, b):
+            raise ValueError(
+                f"scale mismatch: {a:g} vs {b:g}; rescale or use "
+                f"multiply_scalar to match scales first")
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Divide by the last chain prime and drop one level."""
+        q_last = ct.basis.primes[-1]
+        c0 = rescale_last(ct.c0.to_coeff()).to_ntt()
+        c1 = rescale_last(ct.c1.to_coeff()).to_ntt()
+        return Ciphertext(c0=c0, c1=c1, scale=ct.scale / q_last)
+
+    def rescale_to(self, ct: Ciphertext, level: int,
+                   target_scale: float) -> Ciphertext:
+        """Bring ``ct`` down to ``level`` with *exactly* ``target_scale``.
+
+        Multiplies by the integer constant closest to
+        ``target_scale * q_{level+1} / ct.scale`` and rescales once, so
+        the recorded scale is exact up to an integer-rounding error of
+        ~2^-25 relative — the precision-preserving level alignment deep
+        circuits (EvalMod) require.
+        """
+        if ct.level < level:
+            raise ValueError("cannot raise a ciphertext level")
+        if ct.level == level:
+            if abs(ct.scale - target_scale) > 1e-6 * target_scale:
+                raise ValueError(
+                    f"same-level scale adjustment impossible: "
+                    f"{ct.scale:g} -> {target_scale:g}")
+            out = ct.copy()
+            out.scale = target_scale
+            return out
+        ct = self.drop_level(ct, level + 1)
+        q_next = ct.basis.primes[-1]
+        constant = max(1, int(round(target_scale * q_next / ct.scale)))
+        scaled = Ciphertext(c0=ct.c0.mul_scalar(constant),
+                            c1=ct.c1.mul_scalar(constant),
+                            scale=ct.scale * constant)
+        out = self.rescale(scaled)
+        if abs(out.scale - target_scale) > 1e-6 * target_scale:
+            raise ValueError("rescale_to drifted; scales incompatible")
+        out.scale = target_scale
+        return out
+
+    # ------------------------------------------------------------------
+    # Addition family
+    # ------------------------------------------------------------------
+    def add(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        x, y = self._align(x, y)
+        self._check_scales(x.scale, y.scale)
+        return Ciphertext(c0=x.c0 + y.c0, c1=x.c1 + y.c1, scale=x.scale)
+
+    def sub(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        x, y = self._align(x, y)
+        self._check_scales(x.scale, y.scale)
+        return Ciphertext(c0=x.c0 - y.c0, c1=x.c1 - y.c1, scale=x.scale)
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext(c0=-ct.c0, c1=-ct.c1, scale=ct.scale)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        self._check_scales(ct.scale, pt.scale)
+        poly = self._match_plain(pt, ct)
+        return Ciphertext(c0=ct.c0 + poly, c1=ct.c1.copy(), scale=ct.scale)
+
+    def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        self._check_scales(ct.scale, pt.scale)
+        poly = self._match_plain(pt, ct)
+        return Ciphertext(c0=ct.c0 - poly, c1=ct.c1.copy(), scale=ct.scale)
+
+    def add_scalar(self, ct: Ciphertext, value: complex) -> Ciphertext:
+        pt = self.context.encode(
+            np.full(self.context.params.slots, value),
+            level=ct.level, scale=ct.scale)
+        return self.add_plain(ct, pt)
+
+    def _match_plain(self, pt: Plaintext, ct: Ciphertext) -> RnsPolynomial:
+        poly = pt.poly if pt.poly.is_ntt else pt.poly.to_ntt()
+        if poly.basis == ct.basis:
+            return poly
+        if len(poly.basis) < len(ct.basis):
+            raise ValueError("plaintext level below ciphertext level")
+        return RnsPolynomial(ct.basis, poly.data[:len(ct.basis)].copy(),
+                             is_ntt=True)
+
+    # ------------------------------------------------------------------
+    # Multiplication family
+    # ------------------------------------------------------------------
+    def multiply_no_relin(self, x: Ciphertext,
+                          y: Ciphertext) -> Ciphertext3:
+        x, y = self._align(x, y)
+        d0 = x.c0.pointwise_mul(y.c0)
+        d1 = x.c0.pointwise_mul(y.c1) + x.c1.pointwise_mul(y.c0)
+        d2 = x.c1.pointwise_mul(y.c1)
+        return Ciphertext3(d0=d0, d1=d1, d2=d2, scale=x.scale * y.scale)
+
+    def relinearize(self, ct3: Ciphertext3) -> Ciphertext:
+        if self.keys.relin is None:
+            raise ValueError("no relinearization key in the key chain")
+        ks0, ks1 = self.key_switch(ct3.d2.to_coeff(), self.keys.relin)
+        return Ciphertext(c0=ct3.d0 + ks0, c1=ct3.d1 + ks1, scale=ct3.scale)
+
+    def multiply(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        """HMULT with relinearization; caller rescales when ready."""
+        return self.relinearize(self.multiply_no_relin(x, y))
+
+    def square(self, ct: Ciphertext) -> Ciphertext:
+        return self.multiply(ct, ct)
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        poly = self._match_plain(pt, ct)
+        return Ciphertext(c0=ct.c0.pointwise_mul(poly),
+                          c1=ct.c1.pointwise_mul(poly),
+                          scale=ct.scale * pt.scale)
+
+    def multiply_scalar(self, ct: Ciphertext, value: float,
+                        scale: float | None = None) -> Ciphertext:
+        """Multiply by a real constant encoded at ``scale``.
+
+        The default scale is the ciphertext's last chain prime, so a
+        following :meth:`rescale` restores the original scale *exactly*
+        (the standard trick for keeping scales aligned across deep
+        circuits such as EvalMod).
+        """
+        if scale is None:
+            scale = float(ct.basis.primes[-1])
+        encoded = int(round(value * scale))
+        return Ciphertext(c0=ct.c0.mul_scalar(encoded),
+                          c1=ct.c1.mul_scalar(encoded),
+                          scale=ct.scale * scale)
+
+    def multiply_int(self, ct: Ciphertext, value: int) -> Ciphertext:
+        """Multiply by a small integer without scale growth."""
+        return Ciphertext(c0=ct.c0.mul_scalar(value),
+                          c1=ct.c1.mul_scalar(value), scale=ct.scale)
+
+    # ------------------------------------------------------------------
+    # Key switching (hybrid, dnum digits) — the iNTT-BConv-NTT pipeline
+    # ------------------------------------------------------------------
+    def key_switch(self, d2: RnsPolynomial,
+                   key: SwitchingKey) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Switch coefficient-domain ``d2`` to the secret key; returns
+        NTT-domain ``(ks0, ks1)`` over d2's basis.
+
+        This is the paper's Figure 2 data flow: per digit, iNTT (already
+        done by the caller handing coefficient data), BConv (inside
+        :func:`mod_up`), NTT, then multiply-accumulate with the evk and
+        a final ModDown.
+        """
+        if d2.is_ntt:
+            raise ValueError("key_switch expects coefficient-domain input")
+        ctx = self.context
+        level = len(d2.basis) - 1
+        ext = ctx.ext_basis(level)
+        acc0: RnsPolynomial | None = None
+        acc1: RnsPolynomial | None = None
+        for j, lifted in enumerate(self._decompose_and_lift(d2, level, ext)):
+            kb = self._restrict_key(key.b[j], level)
+            ka = self._restrict_key(key.a[j], level)
+            term0 = lifted.pointwise_mul(kb)
+            term1 = lifted.pointwise_mul(ka)
+            acc0 = term0 if acc0 is None else acc0 + term0
+            acc1 = term1 if acc1 is None else acc1 + term1
+        assert acc0 is not None and acc1 is not None
+        q_basis = ctx.q_basis(level)
+        ks0 = mod_down(acc0.to_coeff(), q_basis, ctx.p_basis).to_ntt()
+        ks1 = mod_down(acc1.to_coeff(), q_basis, ctx.p_basis).to_ntt()
+        return ks0, ks1
+
+    def _decompose_and_lift(self, d2: RnsPolynomial, level: int,
+                            ext: RnsBasis):
+        """Yield each digit of ``d2`` lifted (ModUp) to the ext basis,
+        in the NTT domain."""
+        ctx = self.context
+        alpha = ctx.params.alpha
+        for j in range(ctx.num_digits(level)):
+            primes = ctx.digit_primes(j, level)
+            rows = slice(j * alpha, j * alpha + len(primes))
+            digit = RnsPolynomial(RnsBasis(primes), d2.data[rows].copy(),
+                                  is_ntt=False)
+            yield mod_up(digit, ext).to_ntt()
+
+    def _restrict_key(self, poly: RnsPolynomial,
+                      level: int) -> RnsPolynomial:
+        """Select the key rows for primes q_0..q_level plus the P limbs."""
+        ctx = self.context
+        k = len(ctx.p_basis)
+        rows = np.concatenate([poly.data[:level + 1], poly.data[-k:]])
+        return RnsPolynomial(ctx.ext_basis(level), rows, is_ntt=poly.is_ntt)
+
+    # ------------------------------------------------------------------
+    # Rotations (automorphism + key switch), plain and hoisted
+    # ------------------------------------------------------------------
+    def rotate(self, ct: Ciphertext, step: int) -> Ciphertext:
+        if step % self.context.params.slots == 0:
+            return ct.copy()
+        key = self.keys.galois.get(step)
+        if key is None:
+            raise ValueError(f"no Galois key for rotation step {step}")
+        g = galois_element(step, self.context.n)
+        return self._apply_galois(ct, g, key)
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        if self.keys.conjugation is None:
+            raise ValueError("no conjugation key in the key chain")
+        g = conjugation_element(self.context.n)
+        return self._apply_galois(ct, g, self.keys.conjugation)
+
+    def _apply_galois(self, ct: Ciphertext, galois_elt: int,
+                      key: SwitchingKey) -> Ciphertext:
+        rc0 = ct.c0.apply_automorphism(galois_elt)
+        rc1 = ct.c1.apply_automorphism(galois_elt)
+        ks0, ks1 = self.key_switch(rc1.to_coeff(), key)
+        return Ciphertext(c0=rc0 + ks0, c1=ks1, scale=ct.scale)
+
+    def rotate_hoisted(self, ct: Ciphertext,
+                       steps) -> dict[int, Ciphertext]:
+        """Rotate one ciphertext by many steps, decomposing c1 once.
+
+        The expensive decompose + ModUp + NTT runs once; each rotation
+        then only permutes the NTT-domain digits (EFFACT's automorphism
+        unit) and multiply-accumulates with its Galois key — the
+        hoisting pattern the paper's section III analysis builds on.
+        """
+        ctx = self.context
+        level = ct.level
+        ext = ctx.ext_basis(level)
+        lifted = list(self._decompose_and_lift(ct.c1.to_coeff(), level, ext))
+        q_basis = ctx.q_basis(level)
+        out: dict[int, Ciphertext] = {}
+        for step in steps:
+            if step % ctx.params.slots == 0:
+                out[step] = ct.copy()
+                continue
+            key = self.keys.galois.get(step)
+            if key is None:
+                raise ValueError(f"no Galois key for rotation step {step}")
+            g = galois_element(step, ctx.n)
+            acc0: RnsPolynomial | None = None
+            acc1: RnsPolynomial | None = None
+            for j, digit in enumerate(lifted):
+                rotated = digit.apply_automorphism(g)
+                kb = self._restrict_key(key.b[j], level)
+                ka = self._restrict_key(key.a[j], level)
+                t0 = rotated.pointwise_mul(kb)
+                t1 = rotated.pointwise_mul(ka)
+                acc0 = t0 if acc0 is None else acc0 + t0
+                acc1 = t1 if acc1 is None else acc1 + t1
+            assert acc0 is not None and acc1 is not None
+            ks0 = mod_down(acc0.to_coeff(), q_basis, ctx.p_basis).to_ntt()
+            ks1 = mod_down(acc1.to_coeff(), q_basis, ctx.p_basis).to_ntt()
+            rc0 = ct.c0.apply_automorphism(g)
+            out[step] = Ciphertext(c0=rc0 + ks0, c1=ks1, scale=ct.scale)
+        return out

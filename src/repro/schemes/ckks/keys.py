@@ -1,0 +1,248 @@
+"""CKKS context, key material, encryption and decryption.
+
+Key switching follows the hybrid (digit-decomposed) construction of
+Han-Ki, the algorithm the paper targets (section II-C, ``dnum``
+decompose digits): the switching key holds one ciphertext per digit,
+``evk_j = (-a_j*s + e_j + g_j*target, a_j)`` over the extended basis
+``QP`` with gadget factor ``g_j = P * Q~_j * [Q~_j^{-1}]_{Q_j}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...nttmath.ntt import conjugation_element, galois_element
+from ...rns.basis import RnsBasis
+from ...rns.poly import RnsPolynomial
+from .ciphertext import Ciphertext, Plaintext
+from .encoder import CkksEncoder
+from .params import CkksParams, build_moduli
+
+
+class CkksContext:
+    """Shared parameter/basis/encoder state for one CKKS instance."""
+
+    def __init__(self, params: CkksParams):
+        self.params = params
+        self.q_full, self.p_basis = build_moduli(params)
+        self.key_basis = self.q_full.extend(self.p_basis)
+        self.encoder = CkksEncoder(params.n)
+        self.rng = np.random.default_rng(params.seed)
+
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    @property
+    def max_level(self) -> int:
+        return self.params.max_level
+
+    def q_basis(self, level: int) -> RnsBasis:
+        """Basis of a level-``level`` ciphertext: primes q_0..q_level."""
+        if not 0 <= level <= self.max_level:
+            raise ValueError(f"level {level} out of range")
+        return self.q_full.prefix(level + 1)
+
+    def ext_basis(self, level: int) -> RnsBasis:
+        """Key-switching working basis ``C_l + P``."""
+        return self.q_basis(level).extend(self.p_basis)
+
+    def digit_primes(self, digit: int, level: int) -> tuple[int, ...]:
+        """Digit ``digit``'s primes restricted to the current chain."""
+        alpha = self.params.alpha
+        lo = digit * alpha
+        hi = min(lo + alpha, level + 1)
+        if lo > level:
+            return ()
+        return self.q_full.primes[lo:hi]
+
+    def num_digits(self, level: int) -> int:
+        """beta: digits needed to cover a level-``level`` ciphertext."""
+        alpha = self.params.alpha
+        return -(-(level + 1) // alpha)
+
+    def encode(self, values, *, level: int | None = None,
+               scale: float | None = None) -> Plaintext:
+        if level is None:
+            level = self.max_level
+        if scale is None:
+            scale = self.params.scale
+        return self.encoder.encode(values, scale, self.q_basis(level))
+
+    def decode(self, plaintext: Plaintext,
+               slots: int | None = None) -> np.ndarray:
+        return self.encoder.decode(plaintext, slots)
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret; stored as small coefficients so it can be
+    materialized over any basis (Q at any level, or QP for keys)."""
+
+    coeffs: np.ndarray
+
+    def poly(self, basis: RnsBasis) -> RnsPolynomial:
+        return RnsPolynomial.from_small_coeffs(basis, self.coeffs)
+
+    def poly_ntt(self, basis: RnsBasis) -> RnsPolynomial:
+        return self.poly(basis).to_ntt()
+
+
+@dataclass
+class PublicKey:
+    b: RnsPolynomial   # -a*s + e  (NTT domain, level-L basis)
+    a: RnsPolynomial
+
+
+@dataclass
+class SwitchingKey:
+    """One hybrid key-switching key: a pair of polynomials per digit,
+    all over the full QP basis in the NTT domain."""
+
+    b: list[RnsPolynomial]
+    a: list[RnsPolynomial]
+
+    @property
+    def dnum(self) -> int:
+        return len(self.b)
+
+
+@dataclass
+class KeyChain:
+    """All evaluation keys an application needs."""
+
+    relin: SwitchingKey | None = None
+    galois: dict[int, SwitchingKey] = field(default_factory=dict)
+    conjugation: SwitchingKey | None = None
+
+
+class KeyGenerator:
+    """Samples secret/public/evaluation keys for a context."""
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+
+    def gen_secret(self) -> SecretKey:
+        ctx = self.context
+        poly = RnsPolynomial.random_ternary(
+            ctx.q_full, ctx.n, ctx.rng,
+            hamming_weight=ctx.params.hamming_weight)
+        coeffs = np.array(poly.to_int_coeffs(signed=True), dtype=np.int64)
+        return SecretKey(coeffs=coeffs)
+
+    def gen_public(self, sk: SecretKey) -> PublicKey:
+        ctx = self.context
+        basis = ctx.q_basis(ctx.max_level)
+        a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
+        e = RnsPolynomial.random_gaussian(basis, ctx.n, ctx.rng,
+                                          ctx.params.sigma).to_ntt()
+        s = sk.poly_ntt(basis)
+        b = -(a.pointwise_mul(s)) + e
+        return PublicKey(b=b, a=a)
+
+    # ------------------------------------------------------------------
+    # Switching keys (hybrid / dnum gadget)
+    # ------------------------------------------------------------------
+    def _gadget_factor(self, digit: int) -> int:
+        """g_j = P * Q~_j * [Q~_j^{-1}]_{Q_j} (an integer mod QP)."""
+        ctx = self.context
+        alpha = ctx.params.alpha
+        primes = ctx.q_full.primes
+        lo = digit * alpha
+        hi = min(lo + alpha, len(primes))
+        digit_product = 1
+        for p in primes[lo:hi]:
+            digit_product *= p
+        q_tilde = ctx.q_full.modulus // digit_product
+        inv = pow(q_tilde % digit_product, -1, digit_product)
+        return ctx.p_basis.modulus * q_tilde * inv
+
+    def gen_switching_key(self, target: RnsPolynomial,
+                          sk: SecretKey) -> SwitchingKey:
+        """Key switching ``target -> s`` (target given over QP, NTT)."""
+        ctx = self.context
+        basis = ctx.key_basis
+        s = sk.poly_ntt(basis)
+        b_list, a_list = [], []
+        for j in range(ctx.params.dnum):
+            g = self._gadget_factor(j)
+            a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
+            e = RnsPolynomial.random_gaussian(basis, ctx.n, ctx.rng,
+                                              ctx.params.sigma).to_ntt()
+            b = -(a.pointwise_mul(s)) + e + target.mul_scalar(g)
+            b_list.append(b)
+            a_list.append(a)
+        return SwitchingKey(b=b_list, a=a_list)
+
+    def gen_relin(self, sk: SecretKey) -> SwitchingKey:
+        """evk for s^2 -> s (used by HMULT relinearization)."""
+        ctx = self.context
+        s = sk.poly_ntt(ctx.key_basis)
+        return self.gen_switching_key(s.pointwise_mul(s), sk)
+
+    def gen_galois(self, step: int, sk: SecretKey) -> SwitchingKey:
+        """Key for rotation by ``step`` slots: sigma_g(s) -> s."""
+        ctx = self.context
+        g = galois_element(step, ctx.n)
+        target = sk.poly(ctx.key_basis).apply_automorphism(g).to_ntt()
+        return self.gen_switching_key(target, sk)
+
+    def gen_conjugation(self, sk: SecretKey) -> SwitchingKey:
+        ctx = self.context
+        g = conjugation_element(ctx.n)
+        target = sk.poly(ctx.key_basis).apply_automorphism(g).to_ntt()
+        return self.gen_switching_key(target, sk)
+
+    def gen_keychain(self, sk: SecretKey, *,
+                     rotations=()) -> KeyChain:
+        chain = KeyChain(relin=self.gen_relin(sk))
+        for step in rotations:
+            chain.galois[step] = self.gen_galois(step, sk)
+        chain.conjugation = self.gen_conjugation(sk)
+        return chain
+
+
+class Encryptor:
+    """Public-key encryption."""
+
+    def __init__(self, context: CkksContext, pk: PublicKey):
+        self.context = context
+        self.pk = pk
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        ctx = self.context
+        level = plaintext.level
+        basis = ctx.q_basis(level)
+        pk_b = self._drop(self.pk.b, basis)
+        pk_a = self._drop(self.pk.a, basis)
+        u = RnsPolynomial.random_ternary(basis, ctx.n, ctx.rng).to_ntt()
+        e0 = RnsPolynomial.random_gaussian(basis, ctx.n, ctx.rng,
+                                           ctx.params.sigma).to_ntt()
+        e1 = RnsPolynomial.random_gaussian(basis, ctx.n, ctx.rng,
+                                           ctx.params.sigma).to_ntt()
+        m = plaintext.poly if plaintext.poly.is_ntt else plaintext.poly.to_ntt()
+        c0 = pk_b.pointwise_mul(u) + e0 + m
+        c1 = pk_a.pointwise_mul(u) + e1
+        return Ciphertext(c0=c0, c1=c1, scale=plaintext.scale)
+
+    @staticmethod
+    def _drop(poly: RnsPolynomial, basis: RnsBasis) -> RnsPolynomial:
+        if poly.basis == basis:
+            return poly
+        return RnsPolynomial(basis, poly.data[:len(basis)].copy(),
+                             is_ntt=poly.is_ntt)
+
+
+class Decryptor:
+    def __init__(self, context: CkksContext, sk: SecretKey):
+        self.context = context
+        self.sk = sk
+
+    def decrypt(self, ct: Ciphertext) -> Plaintext:
+        s = self.sk.poly_ntt(ct.basis)
+        c0 = ct.c0 if ct.c0.is_ntt else ct.c0.to_ntt()
+        c1 = ct.c1 if ct.c1.is_ntt else ct.c1.to_ntt()
+        m = c0 + c1.pointwise_mul(s)
+        return Plaintext(poly=m, scale=ct.scale)

@@ -1,0 +1,155 @@
+"""CKKS parameter sets.
+
+Two kinds of parameters coexist in this repository:
+
+* :class:`CkksParams` — *functional* parameter sets used to actually run
+  the scheme in Python.  These use <= 31-bit primes so the vectorized
+  int64 kernels apply; ring degrees are small (2^10 - 2^13) because the
+  goal is bit-level correctness, not security.
+* :class:`BootstrappingParams` — *paper-scale* descriptors (Table III:
+  N = 2^16, L = 24, log q = 54, dnum = 4) used by the workload
+  generators and the architecture simulator, where polynomials are
+  symbolic and only instruction counts and data volumes matter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ...nttmath.primes import find_ntt_primes
+from ...rns.basis import RnsBasis
+
+
+@dataclass(frozen=True)
+class CkksParams:
+    """Functional RNS-CKKS parameters (non-secure, test-sized)."""
+
+    n: int = 2 ** 11
+    q0_bits: int = 30
+    scale_bits: int = 25
+    levels: int = 8
+    dnum: int = 4
+    p_bits: int = 30
+    sigma: float = 3.2
+    hamming_weight: int | None = None
+    seed: int = 2025
+
+    def __post_init__(self):
+        if self.n & (self.n - 1):
+            raise ValueError("n must be a power of two")
+        if self.q0_bits > 31 or self.p_bits > 31 or self.scale_bits > 31:
+            raise ValueError("functional parameters require <= 31-bit primes")
+        if self.levels < 1:
+            raise ValueError("need at least one rescalable level")
+
+    @property
+    def slots(self) -> int:
+        return self.n // 2
+
+    @property
+    def scale(self) -> float:
+        return float(2 ** self.scale_bits)
+
+    @property
+    def max_level(self) -> int:
+        """Fresh ciphertexts start at this level (paper notation L)."""
+        return self.levels
+
+    @property
+    def alpha(self) -> int:
+        """Primes per key-switching digit: ceil((L+1)/dnum)."""
+        return math.ceil((self.levels + 1) / self.dnum)
+
+
+def build_moduli(params: CkksParams) -> tuple[RnsBasis, RnsBasis]:
+    """Construct the (Q, P) bases for a functional parameter set.
+
+    Q = [q0] + L primes near 2^scale_bits;  P = alpha primes near
+    2^p_bits with product larger than any key-switching digit.
+    """
+    n = params.n
+    q0 = find_ntt_primes(params.q0_bits, n, 1)
+    # Alternate chain primes just below and just above 2^scale_bits so
+    # the rescaling factor q_i/Delta oscillates around 1 and the scale
+    # drift stays bounded instead of compounding with depth.
+    below = find_ntt_primes(params.scale_bits, n,
+                            (params.levels + 1) // 2, exclude=tuple(q0))
+    above = find_ntt_primes(params.scale_bits, n, params.levels // 2,
+                            descending=False, exclude=tuple(q0))
+    q_scale = []
+    for i in range(params.levels):
+        source = below if i % 2 == 0 else above
+        q_scale.append(source[i // 2])
+    q_primes = q0 + q_scale
+    p_primes = find_ntt_primes(params.p_bits, n, params.alpha,
+                               exclude=tuple(q_primes))
+    q_basis = RnsBasis(q_primes)
+    p_basis = RnsBasis(p_primes)
+    _check_special_modulus(params, q_basis, p_basis)
+    return q_basis, p_basis
+
+def _check_special_modulus(params: CkksParams, q_basis: RnsBasis,
+                           p_basis: RnsBasis) -> None:
+    """P must exceed every digit product or key-switch noise explodes."""
+    alpha = params.alpha
+    for j in range(params.dnum):
+        lo = j * alpha
+        digit = q_basis.primes[lo:lo + alpha]
+        if not digit:
+            continue
+        product = math.prod(digit)
+        if p_basis.modulus <= product:
+            raise ValueError(
+                f"special modulus P (~2^{p_basis.modulus.bit_length()}) "
+                f"must exceed digit {j} product "
+                f"(~2^{product.bit_length()}); raise p_bits or dnum")
+
+
+@dataclass(frozen=True)
+class BootstrappingParams:
+    """Paper Table III: fully-packed and 256-slot bootstrapping."""
+
+    slots: int
+    n: int
+    levels: int            # L
+    l_boot: int            # levels consumed by bootstrapping
+    l_cts: int             # CoeffToSlot
+    l_evalmod: int         # EvalMod
+    l_stc: int             # SlotToCoeff
+    log_q: int             # word length of each limb prime
+    dnum: int
+
+    def __post_init__(self):
+        if self.l_cts + self.l_evalmod + self.l_stc != self.l_boot:
+            raise ValueError("bootstrapping sub-procedure levels must sum "
+                             "to l_boot")
+
+    @property
+    def alpha(self) -> int:
+        return math.ceil((self.levels + 1) / self.dnum)
+
+    @property
+    def limb_bytes(self) -> int:
+        """Bytes of one residue polynomial (8-byte words, as the
+        64-bit-word accelerators in the paper store 54-bit limbs)."""
+        return self.n * 8
+
+    @property
+    def remaining_levels(self) -> int:
+        """Usable levels after a bootstrap (amortization denominator)."""
+        return self.levels - self.l_boot
+
+
+#: Paper Table III, row 1: fully-packed (2^15 slots) bootstrapping.
+PAPER_BOOT_FULL = BootstrappingParams(
+    slots=2 ** 15, n=2 ** 16, levels=24, l_boot=15,
+    l_cts=4, l_evalmod=8, l_stc=3, log_q=54, dnum=4)
+
+#: Paper Table III, row 2: 256-slot bootstrapping (used by HELR).
+PAPER_BOOT_256 = BootstrappingParams(
+    slots=2 ** 8, n=2 ** 16, levels=24, l_boot=13,
+    l_cts=3, l_evalmod=8, l_stc=2, log_q=54, dnum=4)
+
+#: HELR starts its computation at level 23 (paper section V-A).
+HELR_START_LEVEL = 23

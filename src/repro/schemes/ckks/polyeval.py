@@ -1,0 +1,207 @@
+"""Homomorphic polynomial evaluation in the Chebyshev basis.
+
+Paterson-Stockmeyer evaluation with O(sqrt(d)) ciphertext products and
+O(log d) depth: compute baby powers ``T_1..T_L`` and giant powers
+``T_2L, T_4L, ...`` with the double-angle identity, then recursively
+split ``p = q * T_g + r`` using exact Chebyshev division.  This is the
+EvalMod workhorse of CKKS bootstrapping (paper Table III's
+``L_EvalMod = 8`` levels) and is also used for activation-function
+approximation in the ML workloads.
+
+Scale management is exact: a scale table ``S[level]`` is derived from
+the input ciphertext (``S[l-1] = S[l]^2 / q_l``), every
+ciphertext-ciphertext product happens between operands aligned to the
+same level at scale ``S[level]`` (using
+:meth:`CkksEvaluator.rescale_to`), so additions never mix mismatched
+scales and no precision is lost to scale drift.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .evaluator import CkksEvaluator
+
+
+def chebyshev_fit(func, degree: int) -> np.ndarray:
+    """Chebyshev interpolation of ``func`` on [-1, 1] at ``degree+1``
+    Chebyshev nodes; returns the coefficient vector c_0..c_degree."""
+    return np.polynomial.chebyshev.chebinterpolate(func, degree)
+
+
+def chebyshev_eval_plain(coeffs: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Cleartext reference evaluation (Clenshaw)."""
+    return np.polynomial.chebyshev.chebval(t, coeffs)
+
+
+def _chebyshev_divide(coeffs: list[float],
+                      g: int) -> tuple[list[float], list[float]]:
+    """Exact division in the Chebyshev basis: p = q * T_g + r, deg r < g.
+
+    Uses ``T_i = 2 T_g T_{i-g} - T_{|2g-i|}`` to peel leading terms.
+    """
+    r = list(coeffs)
+    degree = len(r) - 1
+    if degree < g:
+        return [0.0], r
+    q = [0.0] * (degree - g + 1)
+    for i in range(degree, g, -1):
+        ci = r[i]
+        if ci == 0.0:
+            continue
+        q[i - g] += 2.0 * ci
+        mirror = abs(2 * g - i)
+        r[mirror] -= ci
+        r[i] = 0.0
+    q[0] += r[g]
+    r[g] = 0.0
+    return q, r[:g] if g > 0 else [0.0]
+
+
+class ChebyshevEvaluator:
+    """Evaluates a Chebyshev-basis polynomial on a ciphertext.
+
+    The input ciphertext must hold values in [-1, 1] (callers scale the
+    argument down first, as EvalMod does with its K-range reduction).
+    """
+
+    def __init__(self, ev: CkksEvaluator, coeffs):
+        self.ev = ev
+        self.coeffs = [float(c) for c in np.atleast_1d(coeffs)]
+        while len(self.coeffs) > 1 and self.coeffs[-1] == 0.0:
+            self.coeffs.pop()
+        self.degree = len(self.coeffs) - 1
+        # Baby-step bound L = 2^ell ~ sqrt(degree); giants are the
+        # powers of two from 2L up to the largest needed split point.
+        self.ell = max(1, math.ceil(math.log2(max(self.degree, 1)) / 2))
+        self.baby_count = 2 ** self.ell
+        self._scale_table: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def __call__(self, ct: Ciphertext) -> Ciphertext:
+        if self.degree == 0:
+            out = self.ev.rescale(self.ev.multiply_scalar(ct, 0.0))
+            return self.ev.add_scalar(out, self.coeffs[0])
+        self._build_scale_table(ct)
+        powers = self._compute_powers(ct)
+        return self._eval(self.coeffs, powers)
+
+    def _build_scale_table(self, ct: Ciphertext) -> None:
+        """S[l]: the exact scale every node at level l carries."""
+        primes = self.ev.context.q_full.primes
+        table = {ct.level: ct.scale}
+        scale = ct.scale
+        for level in range(ct.level, 0, -1):
+            scale = scale * scale / primes[level]
+            table[level - 1] = scale
+        self._scale_table = table
+
+    def _level_scale(self, level: int) -> float:
+        return self._scale_table[level]
+
+    # ------------------------------------------------------------------
+    def _align_pair(self, a: Ciphertext,
+                    b: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        """Bring both operands to the lower level at its exact S scale."""
+        level = min(a.level, b.level)
+        target = self._level_scale(level)
+        return (self.ev.rescale_to(a, level, target),
+                self.ev.rescale_to(b, level, target))
+
+    def _mul(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        a, b = self._align_pair(a, b)
+        return self.ev.rescale(self.ev.multiply(a, b))
+
+    def _square(self, a: Ciphertext) -> Ciphertext:
+        a = self.ev.rescale_to(a, a.level, self._level_scale(a.level))
+        return self.ev.rescale(self.ev.square(a))
+
+    # ------------------------------------------------------------------
+    def _compute_powers(self, ct: Ciphertext) -> dict[int, Ciphertext]:
+        """T_1..T_L plus giant T_{2L}, T_{4L}, ...; every entry sits at
+        the exact table scale of its level."""
+        ev = self.ev
+        powers: dict[int, Ciphertext] = {1: ct}
+        for k in range(2, self.baby_count + 1):
+            if k in powers:
+                continue
+            i = 1 << (k.bit_length() - 1)
+            j = k - i
+            if j == 0:
+                # k is a power of two: T_k = 2 T_{k/2}^2 - 1
+                sq = self._square(powers[k // 2])
+                powers[k] = ev.add_scalar(ev.multiply_int(sq, 2), -1.0)
+            else:
+                # T_{i+j} = 2 T_i T_j - T_{i-j}
+                prod = self._mul(powers[i], powers[j])
+                term = ev.multiply_int(prod, 2)
+                low = ev.rescale_to(powers[i - j], term.level, term.scale)
+                powers[k] = ev.sub(term, low)
+        g = self.baby_count
+        while g < self.degree:
+            g *= 2
+            sq = self._square(powers[g // 2])
+            powers[g] = ev.add_scalar(ev.multiply_int(sq, 2), -1.0)
+        return powers
+
+    # ------------------------------------------------------------------
+    def _eval(self, coeffs: list[float],
+              powers: dict[int, Ciphertext]) -> Ciphertext:
+        degree = len(coeffs) - 1
+        while degree > 0 and coeffs[degree] == 0.0:
+            degree -= 1
+        coeffs = coeffs[:degree + 1]
+        if degree < self.baby_count:
+            return self._eval_direct(coeffs, powers)
+        g = self.baby_count
+        while 2 * g <= degree:
+            g *= 2
+        q, r = _chebyshev_divide(coeffs, g)
+        q_ct = self._eval(q, powers)
+        r_ct = self._eval(r, powers)
+        prod = self._mul(q_ct, powers[g])
+        r_ct = self.ev.rescale_to(r_ct, prod.level, prod.scale)
+        return self.ev.add(prod, r_ct)
+
+    def _eval_direct(self, coeffs: list[float],
+                     powers: dict[int, Ciphertext]) -> Ciphertext:
+        """sum_k c_k T_k for deg < baby_count: scalar mults and adds.
+
+        Each term is produced directly at the exact table scale one
+        level below its baby power, so all additions are scale-exact.
+        """
+        ev = self.ev
+        acc: Ciphertext | None = None
+        for k in range(len(coeffs) - 1, 0, -1):
+            if coeffs[k] == 0.0:
+                continue
+            t_k = powers[k]
+            q_next = t_k.basis.primes[-1]
+            target = self._level_scale(t_k.level - 1)
+            pt_scale = target * q_next / t_k.scale
+            term = ev.rescale(ev.multiply_scalar(t_k, coeffs[k],
+                                                 scale=pt_scale))
+            term.scale = target
+            if acc is None:
+                acc = term
+            else:
+                level = min(acc.level, term.level)
+                target = self._level_scale(level)
+                acc = ev.add(ev.rescale_to(acc, level, target),
+                             ev.rescale_to(term, level, target))
+        if acc is None:
+            base = powers[1]
+            acc = ev.rescale(ev.multiply_scalar(base, 0.0))
+            acc.scale = self._level_scale(acc.level)
+        if coeffs[0] != 0.0:
+            acc = ev.add_scalar(acc, coeffs[0])
+        return acc
+
+
+def evaluate_chebyshev(ev: CkksEvaluator, ct: Ciphertext,
+                       coeffs) -> Ciphertext:
+    """One-shot helper around :class:`ChebyshevEvaluator`."""
+    return ChebyshevEvaluator(ev, coeffs)(ct)

@@ -1,0 +1,46 @@
+"""Paper benchmarks: bootstrapping, HELR, ResNet-20, DB-lookup."""
+
+from .base import Segment, Workload, WorkloadRun, run_workload
+from .bootstrap_workload import bootstrap_workload, build_bootstrap_program
+from .dblookup import EncryptedDatabase, build_dblookup_program, \
+    dblookup_workload
+from .helr import (
+    HelrConfig,
+    HelrTrainer,
+    accuracy,
+    build_helr_iteration,
+    helr_workload,
+    sigmoid_poly,
+    train_plain,
+)
+from .resnet import (
+    HomomorphicConv2d,
+    ResNetShape,
+    build_conv_block,
+    conv2d_plain,
+    resnet_workload,
+)
+
+__all__ = [
+    "EncryptedDatabase",
+    "HelrConfig",
+    "HelrTrainer",
+    "HomomorphicConv2d",
+    "ResNetShape",
+    "Segment",
+    "Workload",
+    "WorkloadRun",
+    "accuracy",
+    "bootstrap_workload",
+    "build_bootstrap_program",
+    "build_conv_block",
+    "build_dblookup_program",
+    "build_helr_iteration",
+    "conv2d_plain",
+    "dblookup_workload",
+    "helr_workload",
+    "resnet_workload",
+    "run_workload",
+    "sigmoid_poly",
+    "train_plain",
+]

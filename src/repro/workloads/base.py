@@ -1,0 +1,111 @@
+"""Workload framework: segmented IR programs for the simulator.
+
+Real applications repeat large phases (bootstrapping inside ResNet-20,
+HELR's per-iteration gradient step).  A :class:`Workload` is a list of
+``(builder, repeat)`` segments: the harness builds + compiles each
+distinct segment once per hardware configuration and multiplies, which
+keeps memory bounded at paper scale while preserving per-phase timing
+fidelity.  Segments carry *builders* (not programs) because the
+compiler pipeline mutates programs in place.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..arch.simulator import SimulationResult, simulate
+from ..compiler.ir import Program
+from ..compiler.pipeline import CompiledProgram, CompileOptions, \
+    compile_program
+from ..core.config import HardwareConfig
+
+
+@dataclass
+class Segment:
+    """One repeated program phase; ``builder`` returns a fresh IR."""
+
+    builder: Callable[[], Program]
+    repeat: int = 1
+    _mix_cache: Counter | None = field(default=None, repr=False)
+
+    def fresh_program(self) -> Program:
+        return self.builder()
+
+    def instruction_mix(self) -> Counter:
+        if self._mix_cache is None:
+            self._mix_cache = self.builder().instruction_mix()
+        return self._mix_cache
+
+
+@dataclass
+class Workload:
+    """A named application as a sequence of repeated IR segments."""
+
+    name: str
+    segments: list[Segment]
+    #: Slots and amortization denominator for T_A.S.-style metrics.
+    slots: int = 0
+    amortization_levels: int = 1
+
+    def instruction_mix(self) -> Counter:
+        mix: Counter = Counter()
+        for seg in self.segments:
+            for tag, count in seg.instruction_mix().items():
+                mix[tag] += count * seg.repeat
+        return mix
+
+
+@dataclass
+class WorkloadRun:
+    """Compiled + simulated workload on one hardware configuration."""
+
+    workload: Workload
+    config: HardwareConfig
+    segment_results: list[tuple[SimulationResult, int]]
+    compiled: list[CompiledProgram] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return sum(r.cycles * rep for r, rep in self.segment_results)
+
+    @property
+    def runtime_ms(self) -> float:
+        return self.cycles / (self.config.freq_ghz * 1e9) * 1e3
+
+    @property
+    def dram_bytes(self) -> int:
+        return sum(r.dram_bytes * rep for r, rep in self.segment_results)
+
+    @property
+    def amortized_us_per_slot(self) -> float:
+        """T_A.S.: runtime / (slots * remaining levels) (paper VI-B)."""
+        denom = self.workload.slots * self.workload.amortization_levels
+        if denom == 0:
+            raise ValueError("workload has no amortization parameters")
+        return self.runtime_ms * 1e3 / denom
+
+    def utilization(self, unit: str) -> float:
+        busy = sum(r.unit_busy.get(unit, 0) * rep
+                   for r, rep in self.segment_results)
+        total = self.cycles
+        if total == 0:
+            return 0.0
+        return busy / total
+
+
+def run_workload(workload: Workload, config: HardwareConfig,
+                 options: CompileOptions | None = None) -> WorkloadRun:
+    """Build + compile every segment for ``config`` and simulate."""
+    if options is None:
+        options = CompileOptions(sram_bytes=config.sram_bytes)
+    results = []
+    compiled = []
+    for seg in workload.segments:
+        cp = compile_program(seg.fresh_program(), options)
+        res = simulate(cp.program, config)
+        results.append((res, seg.repeat))
+        compiled.append(cp)
+    return WorkloadRun(workload=workload, config=config,
+                       segment_results=results, compiled=compiled)

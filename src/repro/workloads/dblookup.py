@@ -1,0 +1,117 @@
+"""DB-Lookup on BGV (paper sections V-A and VI-D, HElib's application).
+
+Functional half: an encrypted database lookup.  Each database entry
+sits in one BGV slot; the query returns an encrypted indicator vector
+(1 at matching positions) via Fermat's little theorem —
+``eq(x, k) = 1 - (x - k)^(t-1)`` — which for ``t = 2^16 + 1`` is
+exactly 16 homomorphic squarings.  A masked payload product then
+extracts the selected record.
+
+Paper-scale half: the IR workload EFFACT runs through the same vector
+ISA (the generality claim: BGV's residue-level ops are the same
+MMUL/MMAD/NTT/AUTO instructions).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..compiler.lowering import HeLowering, LoweringParams
+from ..compiler.ir import Program
+from ..schemes.bgv import BgvCiphertext, BgvContext, BgvParams, BgvScheme
+from .base import Segment, Workload
+
+
+# ---------------------------------------------------------------------
+# Functional lookup on the real BGV scheme
+# ---------------------------------------------------------------------
+class EncryptedDatabase:
+    """Slot-packed encrypted key/value store with equality lookup."""
+
+    def __init__(self, params: BgvParams | None = None):
+        if params is None:
+            params = BgvParams(t=2 ** 16 + 1, q_bits=30, q_count=36,
+                               p_extra=2)
+        self.ctx = BgvContext(params)
+        if (self.ctx.t - 1) & (self.ctx.t - 2):
+            # t-1 must be a power of two so x^(t-1) is pure squarings.
+            raise ValueError("plaintext modulus must satisfy t = 2^k + 1")
+        self.scheme = BgvScheme(self.ctx)
+        self.sk = self.scheme.gen_secret()
+        self.rk = self.scheme.gen_relin(self.sk)
+        self.keys_ct: BgvCiphertext | None = None
+        self.values: np.ndarray | None = None
+
+    def store(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Encrypt the key column; the value column stays plaintext on
+        the server (HElib's lookup setting)."""
+        n = self.ctx.n
+        packed = np.zeros(n, dtype=np.int64)
+        packed[:len(keys)] = keys
+        self.keys_ct = self.scheme.encrypt(packed, self.sk)
+        vals = np.zeros(n, dtype=np.int64)
+        vals[:len(values)] = values
+        self.values = vals
+
+    def lookup(self, query: int) -> BgvCiphertext:
+        """Homomorphically select the payload where key == query."""
+        if self.keys_ct is None or self.values is None:
+            raise ValueError("store() a database first")
+        sch, ctx = self.scheme, self.ctx
+        # x = keys - query (as a plaintext constant subtraction)
+        minus_q = np.full(ctx.n, (-query) % ctx.t, dtype=np.int64)
+        x = sch.add_plain(self.keys_ct, minus_q)
+        # x^(t-1) by repeated squaring: 0 where equal, 1 elsewhere.
+        # Two modulus switches per squaring keep the noise bounded
+        # (BGV's level mechanism).
+        power = x
+        for _ in range(int(math.log2(ctx.t - 1))):
+            power = sch.multiply(power, power, self.rk)
+            power = sch.mod_switch(power, times=2)
+        # indicator = 1 - x^(t-1)
+        ones = np.ones(ctx.n, dtype=np.int64)
+        neg = sch.mul_plain(power, np.full(ctx.n, ctx.t - 1,
+                                           dtype=np.int64))
+        indicator = sch.add_plain(neg, ones)
+        # masked payload
+        return sch.mul_plain(indicator, self.values)
+
+    def decrypt_result(self, ct: BgvCiphertext) -> np.ndarray:
+        return self.scheme.decrypt(ct, self.sk)
+
+
+# ---------------------------------------------------------------------
+# Paper-scale IR workload
+# ---------------------------------------------------------------------
+def build_dblookup_program(lp: LoweringParams, *,
+                           squarings: int = 16,
+                           name: str = "dblookup") -> Program:
+    """The residue-level DB-lookup circuit: 16 squarings with key
+    switching at a fixed level (BGV consumes noise budget, not limbs),
+    the indicator mask, and a log-depth aggregation rotation tree."""
+    low = HeLowering(lp, name)
+    relin = low.switching_key("relin")
+    level = lp.levels
+    ct = low.fresh_ciphertext(level, "keys")
+    for _ in range(squarings):
+        ct = low.hmult(ct, ct, relin)
+    ct = low.mult_plain(ct, low.fresh_plaintext(ct.level, "payload"))
+    # Aggregation of the selected record: log2(n) rotate-and-adds.
+    for k in range(int(math.log2(lp.n)) - 1):
+        ct = low.hadd(ct, low.rotate(ct, 1 << k))
+    return low.finish(ct)
+
+
+def dblookup_workload(*, n: int = 2 ** 14, levels: int = 11,
+                      dnum: int = 4) -> Workload:
+    """Table VII row "DBLookup" (F1's BGV parameter point)."""
+    lp = LoweringParams(n=n, levels=levels, dnum=dnum, log_q=54)
+    return Workload(
+        name="dblookup",
+        segments=[Segment(
+            builder=lambda: build_dblookup_program(lp))],
+        slots=n,
+        amortization_levels=1,
+    )

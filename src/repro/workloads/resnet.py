@@ -1,0 +1,177 @@
+"""ResNet-20 inference under CKKS (paper section V-A, citing Lee et al.).
+
+Functional half: homomorphic 2-D convolution on a packed image by the
+rotation/mask method (each kernel tap is one rotation plus one
+plaintext multiply), plus the square activation CKKS DNNs use, verified
+against a plaintext reference.
+
+Paper-scale half: an IR workload with the published structure — 20
+convolution layers as diagonal matmuls interleaved with activations,
+and fully-packed bootstrapping after (roughly) every residual block,
+which is what makes ResNet-20 bootstrapping-dominated on every
+accelerator in Table VII.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compiler.lowering import CtHandle, HeLowering, LoweringParams
+from ..compiler.ir import Program
+from ..schemes.ckks import (
+    Ciphertext,
+    CkksContext,
+    CkksEvaluator,
+    CkksParams,
+    Decryptor,
+    Encryptor,
+    KeyGenerator,
+)
+from ..schemes.ckks.params import PAPER_BOOT_FULL
+from .base import Segment, Workload
+from .bootstrap_workload import build_bootstrap_program
+
+
+# ---------------------------------------------------------------------
+# Functional homomorphic convolution
+# ---------------------------------------------------------------------
+class HomomorphicConv2d:
+    """Same-padding 2-D convolution on an encrypted H x W image.
+
+    The image is packed row-major into slots; kernel tap (di, dj)
+    contributes ``rotate(ct, di*W + dj) * mask_shifted(weight)``.
+    Edge effects are handled by baking zeros into the plaintext masks.
+    """
+
+    def __init__(self, context: CkksContext, evaluator: CkksEvaluator,
+                 height: int, width: int):
+        if height * width > context.params.slots:
+            raise ValueError("image does not fit in the slot vector")
+        self.ctx = context
+        self.ev = evaluator
+        self.h = height
+        self.w = width
+
+    def rotation_steps(self, kernel: np.ndarray) -> list[int]:
+        kh, kw = kernel.shape
+        steps = set()
+        for di in range(-(kh // 2), kh // 2 + 1):
+            for dj in range(-(kw // 2), kw // 2 + 1):
+                step = di * self.w + dj
+                if step != 0:
+                    steps.add(step)
+        return sorted(steps)
+
+    def _tap_mask(self, di: int, dj: int, weight: float) -> np.ndarray:
+        """Plaintext mask for one kernel tap: the weight wherever the
+        shifted pixel is in-bounds, zero elsewhere."""
+        mask = np.zeros(self.ctx.params.slots)
+        for i in range(self.h):
+            si = i + di
+            if not 0 <= si < self.h:
+                continue
+            for j in range(self.w):
+                sj = j + dj
+                if not 0 <= sj < self.w:
+                    continue
+                mask[i * self.w + j] = weight
+        return mask
+
+    def apply(self, ct: Ciphertext, kernel: np.ndarray) -> Ciphertext:
+        kh, kw = kernel.shape
+        ev, ctx = self.ev, self.ctx
+        acc: Ciphertext | None = None
+        for di in range(-(kh // 2), kh // 2 + 1):
+            for dj in range(-(kw // 2), kw // 2 + 1):
+                weight = float(kernel[di + kh // 2, dj + kw // 2])
+                if weight == 0.0:
+                    continue
+                step = di * self.w + dj
+                rotated = ct if step == 0 else ev.rotate(ct, step)
+                pt = ctx.encode(self._tap_mask(di, dj, weight),
+                                level=rotated.level,
+                                scale=float(rotated.basis.primes[-1]))
+                term = ev.multiply_plain(rotated, pt)
+                acc = term if acc is None else ev.add(acc, term)
+        assert acc is not None
+        return ev.rescale(acc)
+
+
+def conv2d_plain(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Same-padding plaintext reference."""
+    h, w = image.shape
+    kh, kw = kernel.shape
+    out = np.zeros_like(image, dtype=np.float64)
+    for i in range(h):
+        for j in range(w):
+            total = 0.0
+            for di in range(-(kh // 2), kh // 2 + 1):
+                for dj in range(-(kw // 2), kw // 2 + 1):
+                    si, sj = i + di, j + dj
+                    if 0 <= si < h and 0 <= sj < w:
+                        total += image[si, sj] * \
+                            kernel[di + kh // 2, dj + kw // 2]
+            out[i, j] = total
+    return out
+
+
+# ---------------------------------------------------------------------
+# Paper-scale IR workload
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResNetShape:
+    """Structural parameters of the homomorphic ResNet-20."""
+
+    layers: int = 20
+    bootstraps: int = 9          # one per residual pair, roughly
+    conv_diagonals: int = 19     # 3x3 taps x channel packing overhead
+    start_level: int = 24 - 15 + 6   # post-bootstrap working levels
+
+
+def build_conv_block(lp: LoweringParams, shape: ResNetShape,
+                     name: str = "conv-block") -> Program:
+    """Two conv layers + square activations = one residual block worth
+    of non-bootstrap compute (runs between bootstraps)."""
+    low = HeLowering(lp, name)
+    relin = low.switching_key("relin")
+    ct = low.fresh_ciphertext(shape.start_level, "act")
+    for layer in range(2):
+        ct = low.matmul_bsgs(ct, shape.conv_diagonals,
+                             name=f"{name}.conv{layer}")
+        # Square activation + residual add.
+        sq = low.rescale(low.hmult(ct, ct, relin))
+        skip = CtHandle(c0=ct.c0[:sq.level + 1], c1=ct.c1[:sq.level + 1],
+                        level=sq.level)
+        ct = low.hadd(sq, skip)
+    return low.finish(ct)
+
+
+def resnet_workload(*, n: int | None = None,
+                    detail: float = 1.0) -> Workload:
+    """ResNet-20 inference: conv blocks interleaved with fully-packed
+    bootstrapping (Table VII row "ResNet-20")."""
+    boot = PAPER_BOOT_FULL
+    shape = ResNetShape()
+    lp = LoweringParams(n=n if n is not None else boot.n,
+                        levels=boot.levels, dnum=boot.dnum,
+                        log_q=boot.log_q)
+    blocks = max(1, round(shape.layers / 2 * detail))
+    boots = max(1, round(shape.bootstraps * detail))
+
+    def build_block() -> Program:
+        return build_conv_block(lp, shape)
+
+    def build_boot() -> Program:
+        return build_bootstrap_program(lp, boot, detail=detail,
+                                       name="resnet-boot")
+
+    return Workload(
+        name="resnet20",
+        segments=[Segment(builder=build_block, repeat=blocks),
+                  Segment(builder=build_boot, repeat=boots)],
+        slots=boot.slots,
+        amortization_levels=boot.remaining_levels,
+    )

@@ -1,0 +1,64 @@
+"""Shared fixtures: small-but-real CKKS contexts are expensive to set
+up (keygen dominates), so they are session-scoped."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schemes.ckks import (
+    CkksContext,
+    CkksEvaluator,
+    CkksParams,
+    Decryptor,
+    Encryptor,
+    KeyGenerator,
+)
+
+
+class CkksFixture:
+    """A ready-to-use CKKS instance bundling keys and helpers."""
+
+    def __init__(self, params: CkksParams, rotations=()):
+        self.params = params
+        self.ctx = CkksContext(params)
+        self.keygen = KeyGenerator(self.ctx)
+        self.sk = self.keygen.gen_secret()
+        self.pk = self.keygen.gen_public(self.sk)
+        self.keys = self.keygen.gen_keychain(self.sk, rotations=rotations)
+        self.enc = Encryptor(self.ctx, self.pk)
+        self.dec = Decryptor(self.ctx, self.sk)
+        self.ev = CkksEvaluator(self.ctx, self.keys)
+
+    def random_message(self, rng: np.random.Generator,
+                       magnitude: float = 1.0) -> np.ndarray:
+        s = self.params.slots
+        return (rng.uniform(-magnitude, magnitude, s)
+                + 1j * rng.uniform(-magnitude, magnitude, s))
+
+    def encrypt(self, values, **kw):
+        return self.enc.encrypt(self.ctx.encode(values, **kw))
+
+    def decrypt(self, ct) -> np.ndarray:
+        return self.ctx.decode(self.dec.decrypt(ct))
+
+
+@pytest.fixture(scope="session")
+def ckks_small() -> CkksFixture:
+    """N=256, 6 levels: fast general-purpose instance with a few keys."""
+    params = CkksParams(n=2 ** 8, levels=6, dnum=3, scale_bits=25,
+                        q0_bits=30, p_bits=30, seed=101)
+    return CkksFixture(params, rotations=[1, 2, 3, 5, -1, -2, 8, 16])
+
+
+@pytest.fixture(scope="session")
+def ckks_deep() -> CkksFixture:
+    """N=128, 14 levels, sparse secret: for bootstrapping/polyeval."""
+    params = CkksParams(n=2 ** 7, levels=14, dnum=2, scale_bits=25,
+                        q0_bits=27, p_bits=30, hamming_weight=8, seed=7)
+    return CkksFixture(params)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,99 @@
+"""Analysis drivers at reduced scale."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import (
+    FIG11_CONFIG,
+    baseline_rows,
+    best_baseline,
+    effact_spec_from_model,
+    figure9,
+    figure3,
+    figure10,
+    figure11,
+    format_table,
+    knee_point,
+    paper_effact_rows,
+    sram_sweep,
+)
+from repro.arch.baselines import PAPER_ASIC_EFFACT
+from repro.core.config import ASIC_EFFACT, MIB
+from repro.workloads.bootstrap_workload import bootstrap_workload
+
+SMALL_N = 2 ** 12
+
+
+@pytest.fixture(scope="module")
+def small_boot():
+    return bootstrap_workload(n=SMALL_N, detail=0.3)
+
+
+def test_figure3_rows():
+    rows = figure3(n=SMALL_N, detail=0.25)
+    names = {r.name for r in rows}
+    assert names == {"DBLookup", "ResNet20", "HELR", "Bootstrapping"}
+    for row in rows:
+        assert 0.75 < row.mult_add_share < 0.97
+        assert row.total > 0
+
+
+def test_sram_sweep_monotone(small_boot):
+    cfg = replace(ASIC_EFFACT, sram_bytes=int(4 * MIB))
+    # At reduced N the limb is 32 KiB: scale the sweep down too.
+    points = sram_sweep(small_boot, cfg, sizes_mb=(1, 2, 4, 8))
+    assert len(points) == 4
+    assert points[0].runtime_ms >= points[-1].runtime_ms
+    assert points[0].dram_bytes >= points[-1].dram_bytes
+    knee = knee_point(points)
+    assert knee in points
+
+
+def test_figure11_ladder(small_boot):
+    cfg = replace(FIG11_CONFIG, sram_bytes=int(2 * MIB))
+    steps = figure11(small_boot, cfg)
+    assert [s.name for s in steps][0] == "baseline"
+    assert steps[0].speedup_over_baseline == 1.0
+    # Every cumulative optimization at least doesn't hurt much, and the
+    # full stack is a clear win.
+    assert steps[-1].speedup_over_baseline > 1.1
+    assert steps[-1].dram_ratio_to_baseline < 0.9
+
+
+def test_figure10_scaling(small_boot):
+    from repro.core.config import EFFACT_54
+
+    base = replace(ASIC_EFFACT, sram_bytes=int(2 * MIB))
+    big = replace(EFFACT_54, sram_bytes=int(4 * MIB))
+    points = figure10([small_boot], configs=(base, big))
+    assert points[0].speedup_over_base == 1.0
+    assert points[1].speedup_over_base > 1.0
+
+
+def test_efficiency_rows():
+    spec = effact_spec_from_model(ASIC_EFFACT, {
+        "boot_amortized_us": PAPER_ASIC_EFFACT.boot_amortized_us,
+        "helr_iter_ms": PAPER_ASIC_EFFACT.helr_iter_ms,
+        "resnet_ms": PAPER_ASIC_EFFACT.resnet_ms,
+    })
+    rows = figure9(spec)
+    effact_rows = [r for r in rows if r.name == ASIC_EFFACT.name]
+    assert len(effact_rows) == 3
+    best = best_baseline(rows, "boot_amortized_us",
+                         "performance_density")
+    mine = next(r for r in effact_rows
+                if r.benchmark == "boot_amortized_us")
+    assert mine.performance_density > best.performance_density
+
+
+def test_baseline_and_paper_rows():
+    rows = baseline_rows()
+    assert any(r.name == "F1" for r in rows)
+    paper = paper_effact_rows()
+    assert len(paper) == 2
+
+
+def test_format_table():
+    text = format_table(["a", "b"], [[1, 2.5], [None, "x"]], title="T")
+    assert "T" in text and "2.5" in text and "-" in text

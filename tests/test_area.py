@@ -1,0 +1,56 @@
+"""Area/power model: Table IV reproduction and scaling behavior."""
+
+import pytest
+
+from repro.arch.area import (
+    area_power,
+    scale_area_to_28nm,
+    scale_power_to_28nm,
+)
+from repro.core.config import ASIC_EFFACT, EFFACT_54
+
+
+def test_table4_reproduced_exactly():
+    """The model is calibrated at ASIC-EFFACT: Table IV must match."""
+    b = area_power(ASIC_EFFACT)
+    assert b.nttu[0] == pytest.approx(37.13)
+    assert b.maddu[0] == pytest.approx(3.59)
+    assert b.mmulu[0] == pytest.approx(18.21)
+    assert b.autou[0] == pytest.approx(4.65)
+    assert b.sram[0] == pytest.approx(81.50)
+    assert b.hbm[0] == pytest.approx(29.60)
+    assert b.others[0] == pytest.approx(37.20)
+    assert b.total_area_mm2 == pytest.approx(211.88, abs=0.1)
+    assert b.total_power_w == pytest.approx(135.74, abs=0.1)
+
+
+def test_sram_dominates_area():
+    """Paper: SRAM occupies 38.46% of area, FUs ~30%."""
+    b = area_power(ASIC_EFFACT)
+    assert b.sram_area_fraction == pytest.approx(0.3846, abs=0.01)
+    assert b.fu_area_fraction == pytest.approx(0.30, abs=0.02)
+
+
+def test_scaled_config_grows_linearly():
+    b27 = area_power(ASIC_EFFACT)
+    b54 = area_power(EFFACT_54)
+    assert b54.sram[0] == pytest.approx(2 * b27.sram[0])
+    assert b54.nttu[0] == pytest.approx(2 * b27.nttu[0])
+    # HBM does not scale with compute.
+    assert b54.hbm[0] == pytest.approx(b27.hbm[0])
+
+
+def test_tech_scaling_identity_at_28nm():
+    assert scale_area_to_28nm(100.0, "28nm") == pytest.approx(100.0)
+    assert scale_power_to_28nm(100.0, "28nm") == pytest.approx(100.0)
+
+
+def test_tech_scaling_excludes_hbm():
+    scaled = scale_area_to_28nm(100.0, "7nm", hbm_area_mm2=30.0)
+    assert scaled == pytest.approx(70.0 * 3.80 + 30.0)
+
+
+def test_7nm_scales_more_than_14nm():
+    a7 = scale_area_to_28nm(100.0, "7nm")
+    a14 = scale_area_to_28nm(100.0, "14/12nm")
+    assert a7 > a14 > 100.0

@@ -1,0 +1,99 @@
+"""Baseline database consistency with the paper's reported ratios."""
+
+import pytest
+
+from repro.arch.baselines import (
+    ARK,
+    BTS,
+    CL_MAD,
+    CRATERLAKE,
+    F1,
+    FAB,
+    GPU_100X,
+    PAPER_ASIC_EFFACT,
+    PAPER_FPGA_EFFACT,
+    POSEIDON,
+    geometric_mean,
+    performance_density,
+    power_efficiency,
+)
+
+E = PAPER_ASIC_EFFACT
+
+
+def test_paper_bootstrap_speedup_ratios():
+    """Section VI-B: 13.49x GPU, 4743.79x F1, 0.82x BTS, 0.31x CL,
+    0.26x ARK, 4.93x MAD."""
+    t = E.boot_amortized_us
+    assert GPU_100X.boot_amortized_us / t == pytest.approx(13.5, rel=0.01)
+    assert F1.boot_amortized_us / t == pytest.approx(4744, rel=0.01)
+    assert BTS.boot_amortized_us / t == pytest.approx(0.82, rel=0.02)
+    assert CRATERLAKE.boot_amortized_us / t == pytest.approx(0.31, rel=0.02)
+    assert ARK.boot_amortized_us / t == pytest.approx(0.26, rel=0.02)
+    assert CL_MAD.boot_amortized_us / t == pytest.approx(4.93, rel=0.01)
+
+
+def test_paper_helr_speedup_ratios():
+    t = E.helr_iter_ms
+    assert GPU_100X.helr_iter_ms / t == pytest.approx(89.1, rel=0.01)
+    assert F1.helr_iter_ms / t == pytest.approx(117.7, rel=0.01)
+    assert BTS.helr_iter_ms / t == pytest.approx(3.26, rel=0.02)
+    assert CL_MAD.helr_iter_ms / t == pytest.approx(5.5, rel=0.01)
+
+
+def test_paper_resnet_ratios():
+    t = E.resnet_ms
+    assert F1.resnet_ms / t == pytest.approx(6.16, rel=0.01)
+    assert BTS.resnet_ms / t == pytest.approx(4.62, rel=0.01)
+    assert ARK.resnet_ms / t == pytest.approx(0.67, rel=0.02)
+
+
+def test_fpga_effact_vs_fpga_baselines():
+    """FPGA-EFFACT beats FAB and Poseidon on HELR (1.59x / 1.34x) and
+    Poseidon on bootstrapping (1.48x) but not FAB."""
+    f = PAPER_FPGA_EFFACT
+    assert FAB.helr_iter_ms / f.helr_iter_ms == pytest.approx(1.59,
+                                                              rel=0.01)
+    assert POSEIDON.helr_iter_ms / f.helr_iter_ms == pytest.approx(
+        1.34, rel=0.01)
+    assert POSEIDON.boot_amortized_us / f.boot_amortized_us == \
+        pytest.approx(1.48, rel=0.01)
+    assert FAB.boot_amortized_us < f.boot_amortized_us
+
+
+def test_dblookup_vs_f1():
+    """Section VI-D: 33.54x and 5.07x faster than F1."""
+    assert F1.dblookup_ms / E.dblookup_ms == pytest.approx(33.5, rel=0.02)
+    assert F1.dblookup_ms / PAPER_FPGA_EFFACT.dblookup_ms == \
+        pytest.approx(5.07, rel=0.02)
+
+
+def test_performance_density_effact_wins_bootstrap():
+    """Figure 9a: EFFACT beats every ASIC baseline on density."""
+    for spec in (BTS, CRATERLAKE, ARK, CL_MAD):
+        e = performance_density(E, "boot_amortized_us")
+        b = performance_density(spec, "boot_amortized_us")
+        assert e is not None and b is not None
+        assert e / b > 1.2, spec.name
+
+
+def test_power_efficiency_effact_wins_bootstrap():
+    for spec in (BTS, CRATERLAKE, ARK, CL_MAD):
+        e = power_efficiency(E, "boot_amortized_us")
+        b = power_efficiency(spec, "boot_amortized_us")
+        assert e is not None and b is not None
+        assert e / b > 1.2, spec.name
+
+
+def test_area_scaling_to_28nm_ballpark():
+    """Table V: scaled areas give EFFACT <= 0.8x of F1, ~0.15x of BTS."""
+    assert E.area_mm2 / F1.area_28nm == pytest.approx(0.783, rel=0.15)
+    assert E.area_mm2 / BTS.area_28nm == pytest.approx(0.153, rel=0.20)
+    assert E.area_mm2 / ARK.area_28nm == pytest.approx(0.137, rel=0.20)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0, None, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([None])

@@ -1,0 +1,52 @@
+"""BFV: scale-invariant exact multiplication."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.bfv import BfvContext, BfvParams, BfvScheme
+
+
+@pytest.fixture(scope="module")
+def bfv():
+    ctx = BfvContext(BfvParams(n=32, q_count=5, seed=5))
+    scheme = BfvScheme(ctx)
+    sk = scheme.gen_secret()
+    rk = scheme.gen_relin(sk)
+    return ctx, scheme, sk, rk
+
+
+def test_encrypt_decrypt(bfv, rng):
+    ctx, scheme, sk, _ = bfv
+    x = rng.integers(0, ctx.t, ctx.n)
+    assert np.array_equal(scheme.decrypt(scheme.encrypt(x, sk), sk),
+                          x % ctx.t)
+
+
+def test_add(bfv, rng):
+    ctx, scheme, sk, _ = bfv
+    x, y = (rng.integers(0, ctx.t, ctx.n) for _ in range(2))
+    got = scheme.decrypt(
+        scheme.add(scheme.encrypt(x, sk), scheme.encrypt(y, sk)), sk)
+    assert np.array_equal(got, (x + y) % ctx.t)
+
+
+def test_multiply(bfv, rng):
+    ctx, scheme, sk, rk = bfv
+    x, y = (rng.integers(0, ctx.t, ctx.n) for _ in range(2))
+    got = scheme.decrypt(
+        scheme.multiply(scheme.encrypt(x, sk), scheme.encrypt(y, sk), rk),
+        sk)
+    assert np.array_equal(got, x * y % ctx.t)
+
+
+def test_multiply_depth2(bfv, rng):
+    ctx, scheme, sk, rk = bfv
+    x, y = (rng.integers(0, ctx.t, ctx.n) for _ in range(2))
+    cm = scheme.multiply(scheme.encrypt(x, sk), scheme.encrypt(y, sk), rk)
+    cm2 = scheme.multiply(cm, scheme.encrypt(x, sk), rk)
+    assert np.array_equal(scheme.decrypt(cm2, sk), x * y % ctx.t * x % ctx.t)
+
+
+def test_delta_definition(bfv):
+    ctx, *_ = bfv
+    assert ctx.delta == ctx.q_basis.modulus // ctx.t

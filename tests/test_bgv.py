@@ -1,0 +1,120 @@
+"""BGV: exact arithmetic, noise management, modulus switching."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.bgv import BgvContext, BgvParams, BgvScheme
+
+
+@pytest.fixture(scope="module")
+def bgv():
+    ctx = BgvContext(BgvParams(n=64, q_count=8, seed=5))
+    scheme = BgvScheme(ctx)
+    sk = scheme.gen_secret()
+    rk = scheme.gen_relin(sk)
+    return ctx, scheme, sk, rk
+
+
+def _vec(ctx, rng):
+    return rng.integers(0, ctx.t, ctx.n)
+
+
+def test_encrypt_decrypt(bgv, rng):
+    ctx, scheme, sk, _ = bgv
+    x = _vec(ctx, rng)
+    assert np.array_equal(scheme.decrypt(scheme.encrypt(x, sk), sk), x)
+
+
+def test_add_sub(bgv, rng):
+    ctx, scheme, sk, _ = bgv
+    x, y = _vec(ctx, rng), _vec(ctx, rng)
+    cx, cy = scheme.encrypt(x, sk), scheme.encrypt(y, sk)
+    assert np.array_equal(scheme.decrypt(scheme.add(cx, cy), sk),
+                          (x + y) % ctx.t)
+    assert np.array_equal(scheme.decrypt(scheme.sub(cx, cy), sk),
+                          (x - y) % ctx.t)
+
+
+def test_plain_ops(bgv, rng):
+    ctx, scheme, sk, _ = bgv
+    x, y = _vec(ctx, rng), _vec(ctx, rng)
+    cx = scheme.encrypt(x, sk)
+    assert np.array_equal(scheme.decrypt(scheme.add_plain(cx, y), sk),
+                          (x + y) % ctx.t)
+    assert np.array_equal(scheme.decrypt(scheme.mul_plain(cx, y), sk),
+                          (x * y) % ctx.t)
+
+
+def test_multiply(bgv, rng):
+    ctx, scheme, sk, rk = bgv
+    x, y = _vec(ctx, rng), _vec(ctx, rng)
+    cm = scheme.multiply(scheme.encrypt(x, sk), scheme.encrypt(y, sk), rk)
+    assert np.array_equal(scheme.decrypt(cm, sk), (x * y) % ctx.t)
+
+
+def test_multiply_depth(bgv, rng):
+    ctx, scheme, sk, rk = bgv
+    x, y = _vec(ctx, rng), _vec(ctx, rng)
+    ct = scheme.encrypt(x, sk)
+    cy = scheme.encrypt(y, sk)
+    expect = x.copy()
+    for _ in range(4):
+        ct = scheme.multiply(ct, cy, rk)
+        expect = expect * y % ctx.t
+    assert np.array_equal(scheme.decrypt(ct, sk), expect)
+
+
+def test_noise_budget_decreases(bgv, rng):
+    ctx, scheme, sk, rk = bgv
+    x = _vec(ctx, rng)
+    ct = scheme.encrypt(x, sk)
+    fresh = scheme.noise_budget_bits(ct, sk)
+    deeper = scheme.noise_budget_bits(
+        scheme.multiply(ct, ct, rk), sk)
+    assert fresh > deeper > 0
+
+
+def test_mod_switch_preserves_plaintext(bgv, rng):
+    ctx, scheme, sk, rk = bgv
+    x = _vec(ctx, rng)
+    ct = scheme.mod_switch(scheme.encrypt(x, sk), times=2)
+    assert len(ct.basis) == len(ctx.q_basis) - 2
+    assert np.array_equal(scheme.decrypt(ct, sk), x)
+
+
+def test_mod_switch_controls_squaring_noise(bgv, rng):
+    """Repeated squaring diverges without switching; with two switches
+    per squaring the chain stays correct."""
+    ctx, scheme, sk, rk = bgv
+    x = _vec(ctx, rng)
+    ct = scheme.encrypt(x, sk)
+    expect = x.copy()
+    for _ in range(2):
+        ct = scheme.mod_switch(scheme.multiply(ct, ct, rk), times=2)
+        expect = expect * expect % ctx.t
+    assert np.array_equal(scheme.decrypt(ct, sk), expect)
+
+
+def test_mismatched_factors_rejected(bgv, rng):
+    ctx, scheme, sk, _ = bgv
+    x = _vec(ctx, rng)
+    a = scheme.encrypt(x, sk)
+    b = scheme.mod_switch(scheme.encrypt(x, sk), times=1)
+    with pytest.raises(ValueError):
+        scheme.add(a, b)
+
+
+def test_rotation_permutes_slots(bgv, rng):
+    ctx, scheme, sk, _ = bgv
+    gk = scheme.gen_galois(1, sk)
+    x = _vec(ctx, rng)
+    got = scheme.decrypt(scheme.rotate(scheme.encrypt(x, sk), 1, gk), sk)
+    assert sorted(got) == sorted(x)
+    assert not np.array_equal(got, x)
+
+
+def test_explicit_plaintext_modulus():
+    ctx = BgvContext(BgvParams(n=32, t=2 ** 16 + 1, q_count=4))
+    assert ctx.t == 65537
+    with pytest.raises(ValueError):
+        BgvContext(BgvParams(n=32, t=97))   # 96 not divisible by 64

@@ -1,0 +1,49 @@
+"""Bit-reversal helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nttmath.bitrev import (
+    bit_reverse,
+    bit_reverse_indices,
+    bit_reverse_permute,
+    is_bit_reversal_involution,
+)
+
+
+def test_bit_reverse_examples():
+    assert bit_reverse(0b001, 3) == 0b100
+    assert bit_reverse(0b110, 3) == 0b011
+    assert bit_reverse(1, 8) == 128
+
+
+@given(st.integers(min_value=1, max_value=16),
+       st.integers(min_value=0))
+def test_bit_reverse_involution(bits, value):
+    value %= 1 << bits
+    assert bit_reverse(bit_reverse(value, bits), bits) == value
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 64, 1024])
+def test_indices_match_scalar(n):
+    idx = bit_reverse_indices(n)
+    bits = n.bit_length() - 1
+    for i in range(n):
+        assert idx[i] == bit_reverse(i, bits)
+
+
+@pytest.mark.parametrize("n", [2, 16, 256])
+def test_involution_property(n):
+    assert is_bit_reversal_involution(n)
+
+
+def test_permute_is_permutation():
+    a = np.arange(64)
+    p = bit_reverse_permute(a)
+    assert sorted(p) == list(range(64))
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(ValueError):
+        bit_reverse_indices(24)

@@ -1,0 +1,75 @@
+"""CKKS bootstrapping: phases and end-to-end recryption."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.ckks.bootstrap import BootstrapConfig, CkksBootstrapper
+from repro.schemes.ckks import CkksEvaluator
+
+
+@pytest.fixture(scope="module")
+def boot_env(ckks_deep):
+    ev = CkksEvaluator(ckks_deep.ctx)
+    boot = CkksBootstrapper(ckks_deep.ctx, ev,
+                            BootstrapConfig(k_range=6, cheb_degree=63))
+    keys = ckks_deep.keygen.gen_keychain(
+        ckks_deep.sk, rotations=sorted(boot.required_rotations()))
+    ev.keys = keys
+    return boot, ev
+
+
+def test_mod_raise_plaintext(boot_env, ckks_deep, rng):
+    boot, ev = boot_env
+    z = ckks_deep.random_message(rng) * 0.2
+    ct0 = ev.drop_level(ckks_deep.encrypt(z), 0)
+    raised = boot.mod_raise(ct0)
+    assert raised.level == ckks_deep.params.max_level
+    # The raised plaintext is m + q0*I: I must be small.
+    q0 = ckks_deep.ctx.q_full.primes[0]
+    coeffs = np.array(ckks_deep.dec.decrypt(raised)
+                      .poly.to_int_coeffs(signed=True), dtype=np.float64)
+    assert np.abs(coeffs / q0).max() < 6.5   # within K range
+
+
+def test_coeff_to_slot_inverts_encoding(boot_env, ckks_deep, rng):
+    boot, ev = boot_env
+    z = ckks_deep.random_message(rng) * 0.2
+    ct0 = ev.drop_level(ckks_deep.encrypt(z), 0)
+    raised = boot.mod_raise(ct0)
+    t_coeffs = np.array(ckks_deep.dec.decrypt(raised)
+                        .poly.to_int_coeffs(signed=True),
+                        dtype=np.float64)
+    z0, z1 = boot.coeff_to_slot(raised)
+    got0 = np.real(ckks_deep.decrypt(z0))
+    slots = ckks_deep.params.slots
+    want0 = t_coeffs[:slots] / ckks_deep.params.scale
+    scale_ref = max(1.0, np.abs(want0).max())
+    assert np.abs(got0 - want0).max() / scale_ref < 1e-2
+
+
+@pytest.mark.slow
+def test_bootstrap_end_to_end(boot_env, ckks_deep, rng):
+    boot, ev = boot_env
+    z = ckks_deep.random_message(rng) * 0.2
+    ct0 = ev.drop_level(ckks_deep.encrypt(z), 0)
+    out = boot.bootstrap(ct0)
+    assert out.level >= 3      # levels were actually recovered
+    got = ckks_deep.decrypt(out)
+    assert np.abs(got - z).max() < 5e-2
+
+
+def test_bootstrap_then_compute(boot_env, ckks_deep, rng):
+    """The recrypted ciphertext supports further multiplication."""
+    boot, ev = boot_env
+    z = ckks_deep.random_message(rng) * 0.2
+    ct0 = ev.drop_level(ckks_deep.encrypt(z), 0)
+    out = boot.bootstrap(ct0)
+    sq = ev.rescale(ev.multiply(out, out))
+    got = ckks_deep.decrypt(sq)
+    assert np.abs(got - z * z).max() < 5e-2
+
+
+def test_required_rotations_nonempty(boot_env):
+    boot, _ = boot_env
+    steps = boot.required_rotations()
+    assert len(steps) >= 4

@@ -1,0 +1,150 @@
+"""CKKS end-to-end homomorphic operations."""
+
+import numpy as np
+import pytest
+
+TOL = 5e-3
+
+
+def test_encrypt_decrypt(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.encrypt(z)
+    assert np.abs(ckks_small.decrypt(ct) - z).max() < TOL
+
+
+def test_add_sub(ckks_small, rng):
+    z1, z2 = (ckks_small.random_message(rng) for _ in range(2))
+    c1, c2 = ckks_small.encrypt(z1), ckks_small.encrypt(z2)
+    ev = ckks_small.ev
+    assert np.abs(ckks_small.decrypt(ev.add(c1, c2)) - (z1 + z2)).max() < TOL
+    assert np.abs(ckks_small.decrypt(ev.sub(c1, c2)) - (z1 - z2)).max() < TOL
+
+
+def test_negate(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.ev.negate(ckks_small.encrypt(z))
+    assert np.abs(ckks_small.decrypt(ct) + z).max() < TOL
+
+
+def test_multiply_rescale(ckks_small, rng):
+    z1, z2 = (ckks_small.random_message(rng) for _ in range(2))
+    ev = ckks_small.ev
+    ct = ev.rescale(ev.multiply(ckks_small.encrypt(z1),
+                                ckks_small.encrypt(z2)))
+    assert np.abs(ckks_small.decrypt(ct) - z1 * z2).max() < TOL
+    assert ct.level == ckks_small.params.max_level - 1
+
+
+def test_square(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ev = ckks_small.ev
+    ct = ev.rescale(ev.square(ckks_small.encrypt(z)))
+    assert np.abs(ckks_small.decrypt(ct) - z * z).max() < TOL
+
+
+def test_multiply_plain(ckks_small, rng):
+    z1, z2 = (ckks_small.random_message(rng) for _ in range(2))
+    ev = ckks_small.ev
+    pt = ckks_small.ctx.encode(z2)
+    ct = ev.rescale(ev.multiply_plain(ckks_small.encrypt(z1), pt))
+    assert np.abs(ckks_small.decrypt(ct) - z1 * z2).max() < TOL
+
+
+def test_add_plain_scalar(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ev = ckks_small.ev
+    ct = ev.add_scalar(ckks_small.encrypt(z), 0.25 + 0.5j)
+    assert np.abs(ckks_small.decrypt(ct) - (z + 0.25 + 0.5j)).max() < TOL
+
+
+def test_multiply_scalar(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ev = ckks_small.ev
+    ct = ev.rescale(ev.multiply_scalar(ckks_small.encrypt(z), 0.75))
+    assert np.abs(ckks_small.decrypt(ct) - 0.75 * z).max() < TOL
+
+
+def test_multiply_scalar_preserves_scale(ckks_small, rng):
+    """Encoding at the next chain prime keeps the scale exact."""
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.encrypt(z)
+    out = ckks_small.ev.rescale(ckks_small.ev.multiply_scalar(ct, 0.5))
+    assert abs(out.scale - ct.scale) / ct.scale < 1e-9
+
+
+@pytest.mark.parametrize("step", [1, 2, 5])
+def test_rotate(ckks_small, rng, step):
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.ev.rotate(ckks_small.encrypt(z), step)
+    assert np.abs(ckks_small.decrypt(ct) - np.roll(z, -step)).max() < TOL
+
+
+def test_rotate_negative(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.ev.rotate(ckks_small.encrypt(z), -2)
+    assert np.abs(ckks_small.decrypt(ct) - np.roll(z, 2)).max() < TOL
+
+
+def test_conjugate(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.ev.conjugate(ckks_small.encrypt(z))
+    assert np.abs(ckks_small.decrypt(ct) - np.conj(z)).max() < TOL
+
+
+def test_hoisted_rotations_match_plain(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.encrypt(z)
+    outs = ckks_small.ev.rotate_hoisted(ct, [1, 5])
+    for step, rotated in outs.items():
+        direct = ckks_small.ev.rotate(ct, step) if step else ct
+        a = ckks_small.decrypt(rotated)
+        b = ckks_small.decrypt(direct)
+        assert np.abs(a - b).max() < TOL
+
+
+def test_depth_chain(ckks_small, rng):
+    z = ckks_small.random_message(rng) * 0.5
+    ev = ckks_small.ev
+    ct = ckks_small.encrypt(z)
+    expect = z.copy()
+    for _ in range(3):
+        fresh = ckks_small.random_message(rng) * 0.5
+        pt = ckks_small.ctx.encode(fresh, level=ct.level,
+                                   scale=float(ct.basis.primes[-1]))
+        ct = ev.rescale(ev.multiply_plain(ct, pt))
+        expect = expect * fresh
+    assert np.abs(ckks_small.decrypt(ct) - expect).max() < TOL
+
+
+def test_drop_level(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.encrypt(z)
+    dropped = ckks_small.ev.drop_level(ct, 2)
+    assert dropped.level == 2
+    assert np.abs(ckks_small.decrypt(dropped) - z).max() < TOL
+    with pytest.raises(ValueError):
+        ckks_small.ev.drop_level(dropped, 5)
+
+
+def test_scale_mismatch_rejected(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    a = ckks_small.encrypt(z)
+    b = ckks_small.ev.multiply_scalar(ckks_small.encrypt(z), 1.0)
+    with pytest.raises(ValueError):
+        ckks_small.ev.add(a, b)
+
+
+def test_missing_galois_key(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    with pytest.raises(ValueError):
+        ckks_small.ev.rotate(ckks_small.encrypt(z), 7)
+
+
+def test_rescale_to_exact(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.encrypt(z)
+    target = ct.scale * 1.0
+    out = ckks_small.ev.rescale_to(ct, 3, target)
+    assert out.level == 3
+    assert out.scale == target
+    assert np.abs(ckks_small.decrypt(out) - z).max() < TOL

@@ -1,0 +1,79 @@
+"""CKKS canonical-embedding encoder."""
+
+import numpy as np
+import pytest
+
+from repro.nttmath.primes import find_ntt_primes
+from repro.rns.basis import RnsBasis
+from repro.schemes.ckks.encoder import CkksEncoder
+
+N = 256
+BASIS = RnsBasis(find_ntt_primes(28, N, 3))
+SCALE = 2.0 ** 25
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return CkksEncoder(N)
+
+
+def test_embed_project_roundtrip(encoder, rng):
+    z = rng.uniform(-1, 1, N // 2) + 1j * rng.uniform(-1, 1, N // 2)
+    coeffs = encoder.embed(z)
+    assert coeffs.dtype == np.float64
+    back = encoder.project(coeffs)
+    assert np.abs(back - z).max() < 1e-9
+
+
+def test_encode_decode_roundtrip(encoder, rng):
+    z = rng.uniform(-1, 1, N // 2) + 1j * rng.uniform(-1, 1, N // 2)
+    pt = encoder.encode(z, SCALE, BASIS)
+    got = encoder.decode(pt)
+    assert np.abs(got - z).max() < 1e-5
+
+
+def test_short_vector_padding(encoder):
+    z = np.array([1.0 + 0j, 2.0])
+    pt = encoder.encode(z, SCALE, BASIS)
+    got = encoder.decode(pt)
+    assert abs(got[0] - 1.0) < 1e-5 and abs(got[1] - 2.0) < 1e-5
+    assert np.abs(got[2:]).max() < 1e-5
+
+
+def test_too_many_slots_rejected(encoder):
+    with pytest.raises(ValueError):
+        encoder.embed(np.zeros(N))
+
+
+def test_embedding_is_linear(encoder, rng):
+    z1 = rng.uniform(-1, 1, N // 2)
+    z2 = rng.uniform(-1, 1, N // 2)
+    lhs = encoder.embed(z1 + z2)
+    rhs = encoder.embed(z1) + encoder.embed(z2)
+    assert np.abs(lhs - rhs).max() < 1e-9
+
+
+def test_slot_product_is_poly_product(encoder, rng):
+    """The embedding is a ring homomorphism: slot-wise products map to
+    negacyclic polynomial products."""
+    z1 = rng.uniform(-1, 1, N // 2)
+    z2 = rng.uniform(-1, 1, N // 2)
+    a = encoder.embed(z1)
+    b = encoder.embed(z2)
+    # negacyclic product in float
+    prod = np.zeros(N)
+    for i in range(N):
+        for j in range(N):
+            k = i + j
+            if k < N:
+                prod[k] += a[i] * b[j]
+            else:
+                prod[k - N] -= a[i] * b[j]
+    got = encoder.project(prod)
+    assert np.abs(got - z1 * z2).max() < 1e-7
+
+
+def test_real_message_gives_real_decode(encoder, rng):
+    z = rng.uniform(-1, 1, N // 2)
+    pt = encoder.encode(z, SCALE, BASIS)
+    assert np.abs(np.imag(encoder.decode(pt))).max() < 1e-5

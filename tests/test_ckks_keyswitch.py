@@ -1,0 +1,76 @@
+"""Hybrid key-switching internals across levels."""
+
+import numpy as np
+import pytest
+
+from repro.rns.basis import RnsBasis
+
+
+def test_keyswitch_at_every_level(ckks_small, rng):
+    """Multiplication must stay correct after dropping to any level."""
+    ev = ckks_small.ev
+    z1 = ckks_small.random_message(rng) * 0.5
+    z2 = ckks_small.random_message(rng) * 0.5
+    for level in range(2, ckks_small.params.max_level + 1):
+        a = ev.drop_level(ckks_small.encrypt(z1), level)
+        b = ev.drop_level(ckks_small.encrypt(z2), level)
+        prod = ev.rescale(ev.multiply(a, b))
+        got = ckks_small.decrypt(prod)
+        assert np.abs(got - z1 * z2).max() < 5e-3, f"level {level}"
+
+
+def test_digit_counts_shrink_with_level(ckks_small):
+    ctx = ckks_small.ctx
+    top = ctx.num_digits(ctx.max_level)
+    low = ctx.num_digits(1)
+    assert top >= low >= 1
+    assert top <= ckks_small.params.dnum
+
+
+def test_digit_primes_partition_chain(ckks_small):
+    ctx = ckks_small.ctx
+    level = ctx.max_level
+    collected = []
+    for j in range(ctx.num_digits(level)):
+        collected.extend(ctx.digit_primes(j, level))
+    assert tuple(collected) == ctx.q_basis(level).primes
+
+
+def test_ext_basis_is_q_plus_p(ckks_small):
+    ctx = ckks_small.ctx
+    ext = ctx.ext_basis(2)
+    assert ext.primes == ctx.q_basis(2).primes + ctx.p_basis.primes
+
+
+def test_special_modulus_exceeds_digits(ckks_small):
+    """P must dominate every key-switching digit product."""
+    ctx = ckks_small.ctx
+    alpha = ckks_small.params.alpha
+    for j in range(ckks_small.params.dnum):
+        primes = ctx.q_full.primes[j * alpha:(j + 1) * alpha]
+        product = 1
+        for p in primes:
+            product *= p
+        assert ctx.p_basis.modulus > product
+
+
+def test_relin_key_digit_count(ckks_small):
+    assert ckks_small.keys.relin.dnum == ckks_small.params.dnum
+
+
+def test_galois_keys_differ_per_step(ckks_small):
+    k1 = ckks_small.keys.galois[1]
+    k2 = ckks_small.keys.galois[2]
+    assert not np.array_equal(k1.b[0].data, k2.b[0].data)
+
+
+def test_rotation_composes(ckks_small, rng):
+    """rotate(rotate(ct, 1), 2) == rotate by 3."""
+    z = ckks_small.random_message(rng)
+    ev = ckks_small.ev
+    ct = ckks_small.encrypt(z)
+    two_step = ev.rotate(ev.rotate(ct, 1), 2)
+    direct = ev.rotate(ct, 3)
+    a = ckks_small.decrypt(two_step)
+    b = ckks_small.decrypt(direct)
+    assert np.abs(a - b).max() < 5e-3

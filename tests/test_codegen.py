@@ -1,0 +1,45 @@
+"""Machine-code generation."""
+
+import pytest
+
+from repro.compiler.codegen import generate
+from repro.compiler.lowering import HeLowering, LoweringParams
+from repro.compiler.pipeline import CompileOptions, compile_program
+from repro.core.isa import MachineInstruction, Opcode
+
+LP = LoweringParams(n=2 ** 10, levels=4, dnum=2)
+
+
+def _compiled():
+    low = HeLowering(LP)
+    ct = low.fresh_ciphertext(4)
+    out = low.rescale(low.hmult(ct, ct, low.switching_key("relin")))
+    return compile_program(low.finish(out), CompileOptions(
+        sram_bytes=LP.limb_bytes * 64))
+
+
+def test_one_word_per_instruction():
+    result = _compiled()
+    words = generate(result.program)
+    assert len(words) == len(result.program.instrs)
+
+
+def test_words_roundtrip():
+    result = _compiled()
+    for word in generate(result.program)[:200]:
+        assert MachineInstruction.decode(word.encode()) == word
+
+
+def test_streaming_flag_propagates():
+    result = _compiled()
+    words = generate(result.program)
+    flags = [w.streaming for w in words if w.opcode is Opcode.LOAD]
+    assert any(flags)
+
+
+def test_codegen_requires_allocation():
+    low = HeLowering(LP)
+    ct = low.fresh_ciphertext(2)
+    prog = low.finish(low.hadd(ct, ct))
+    with pytest.raises(ValueError):
+        generate(prog)

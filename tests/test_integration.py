@@ -1,0 +1,59 @@
+"""Cross-module integration: the full stack on one workload."""
+
+import pytest
+
+from repro.compiler.pipeline import CompileOptions, compile_program
+from repro.arch.simulator import simulate
+from repro.core.config import ASIC_EFFACT
+from repro.core.isa import Opcode
+from repro.workloads.base import run_workload
+from repro.workloads.bootstrap_workload import bootstrap_workload
+
+N = 2 ** 12
+
+
+@pytest.fixture(scope="module")
+def boot_run():
+    wl = bootstrap_workload(n=N, detail=0.3)
+    return wl, run_workload(wl, ASIC_EFFACT)
+
+
+def test_full_stack_completes(boot_run):
+    wl, run = boot_run
+    assert run.cycles > 0
+    assert run.dram_bytes > 0
+    assert run.amortized_us_per_slot > 0
+
+
+def test_compiler_simulator_agree_on_traffic(boot_run):
+    _, run = boot_run
+    for sim, compiled in zip((r for r, _ in run.segment_results),
+                             run.compiled):
+        assert sim.dram_bytes == compiled.stats.alloc.dram_total_bytes
+
+
+def test_code_opt_fraction_nontrivial(boot_run):
+    """Paper section IV-B: the optimizer eliminates 12.9% of the
+    bootstrapping program; ours should be in that neighbourhood."""
+    _, run = boot_run
+    frac = run.compiled[0].stats.code_opt_fraction
+    assert 0.05 < frac < 0.25
+
+
+def test_streaming_loads_present(boot_run):
+    _, run = boot_run
+    assert run.compiled[0].stats.streaming_loads > 100
+
+
+def test_every_instruction_executed_once(boot_run):
+    _, run = boot_run
+    prog = run.compiled[0].program
+    sim = run.segment_results[0][0]
+    assert sim.instructions == len(prog.instrs)
+
+
+def test_ntt_busy_share_reasonable(boot_run):
+    """NTT must be a major consumer but not the only one."""
+    _, run = boot_run
+    ntt = run.utilization("ntt")
+    assert 0.02 < ntt <= 1.0

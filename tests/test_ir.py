@@ -1,0 +1,65 @@
+"""SSA IR: construction, validation, instruction mix."""
+
+import pytest
+
+from repro.compiler.ir import Program
+from repro.core.isa import Opcode
+
+
+def _tiny_program():
+    p = Program(64, name="tiny")
+    a = p.dram_value("a")
+    b = p.dram_value("b")
+    s = p.emit(Opcode.MMAD, (a, b), modulus=0, tag="add")
+    t = p.emit(Opcode.MMUL, (s, s), modulus=0, tag="mult")
+    p.mark_output(t)
+    return p, (a, b, s, t)
+
+
+def test_validate_accepts_wellformed():
+    p, _ = _tiny_program()
+    p.validate()
+
+
+def test_validate_rejects_undefined_use():
+    p, _ = _tiny_program()
+    p.instrs[0].srcs = (999,)
+    with pytest.raises(ValueError):
+        p.validate()
+
+
+def test_validate_rejects_undefined_output():
+    p, _ = _tiny_program()
+    p.outputs.add(777)
+    with pytest.raises(ValueError):
+        p.validate()
+
+
+def test_use_counts():
+    p, (a, b, s, t) = _tiny_program()
+    counts = p.use_counts()
+    assert counts[s] == 2      # used twice by the square
+    assert counts[t] == 1      # output counts as a use
+    assert counts[a] == 1
+
+
+def test_instruction_mix_skips_memory_ops():
+    p, (a, *_rest) = _tiny_program()
+    p.load(a)
+    mix = p.instruction_mix()
+    assert mix["add"] == 1 and mix["mult"] == 1
+    assert "mem" not in mix
+
+
+def test_dram_values_get_addresses():
+    p = Program(64)
+    v1, v2 = p.dram_value(), p.dram_value()
+    assert p.values[v1].address != p.values[v2].address
+    c = p.new_value("compute")
+    assert p.values[c].address is None
+
+
+def test_store_has_no_dest():
+    p, (a, b, s, t) = _tiny_program()
+    p.store(t)
+    assert p.instrs[-1].dest is None

@@ -1,0 +1,37 @@
+"""ISA encoding (Table II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.isa import OPCODE_UNIT, MachineInstruction, Opcode
+
+
+def test_all_opcodes_have_units():
+    for op in Opcode:
+        assert op in OPCODE_UNIT
+
+
+def test_mmac_runs_on_ntt_unit():
+    """The circuit-level reuse scheme: MAC executes on NTT butterflies."""
+    assert OPCODE_UNIT[Opcode.MMAC] == "ntt"
+
+
+@given(st.sampled_from(list(Opcode)),
+       st.integers(min_value=0, max_value=(1 << 20) - 1),
+       st.integers(min_value=0, max_value=(1 << 20) - 1),
+       st.integers(min_value=0, max_value=(1 << 20) - 1),
+       st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=(1 << 48) - 1),
+       st.booleans())
+def test_encode_decode_roundtrip(op, dest, src0, src1, mod, imm, stream):
+    word = MachineInstruction(opcode=op, dest=dest, src0=src0, src1=src1,
+                              modulus=mod, imm=imm, streaming=stream)
+    assert MachineInstruction.decode(word.encode()) == word
+
+
+def test_encoding_fits_128_bits():
+    word = MachineInstruction(opcode=Opcode.MMAC, dest=(1 << 20) - 1,
+                              src0=(1 << 20) - 1, src1=(1 << 20) - 1,
+                              modulus=255, imm=(1 << 48) - 1,
+                              streaming=True)
+    assert word.encode() < (1 << 128)

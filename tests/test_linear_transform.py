@@ -1,0 +1,100 @@
+"""Slot-space linear algebra: BSGS matvec, slot sums, replication."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.ckks.linear_transform import (
+    Diagonals,
+    bsgs_split,
+    matvec_bsgs,
+    replicate_slot,
+    required_rotations,
+    sum_slots,
+)
+from repro.schemes.ckks import CkksEvaluator, KeyGenerator
+
+TOL = 2e-2
+
+
+def _evaluator_with(ckks, steps):
+    keys = ckks.keygen.gen_keychain(ckks.sk, rotations=sorted(steps))
+    return CkksEvaluator(ckks.ctx, keys)
+
+
+def test_diagonals_from_matrix(rng):
+    a = rng.uniform(-1, 1, (8, 8))
+    d = Diagonals.from_matrix(a)
+    v = rng.uniform(-1, 1, 8)
+    assert np.abs(d.matvec_plain(v) - a @ v).max() < 1e-12
+
+
+def test_sparse_diagonals_skipped():
+    a = np.eye(8)
+    d = Diagonals.from_matrix(a)
+    assert len(d) == 1 and 0 in d.diagonals
+
+
+def test_bsgs_split_default():
+    assert bsgs_split(256) in (8, 16, 32)
+
+
+def test_required_rotations_subset(ckks_small, rng):
+    slots = ckks_small.params.slots
+    a = rng.uniform(-1, 1, (slots, slots))
+    d = Diagonals.from_matrix(a)
+    steps = required_rotations(d)
+    assert all(0 < s < slots for s in steps)
+
+
+def test_matvec_dense(ckks_small, rng):
+    slots = ckks_small.params.slots
+    a = (rng.uniform(-1, 1, (slots, slots))
+         + 1j * rng.uniform(-1, 1, (slots, slots))) / slots
+    d = Diagonals.from_matrix(a)
+    ev = _evaluator_with(ckks_small, required_rotations(d))
+    z = ckks_small.random_message(rng)
+    ct = ckks_small.encrypt(z)
+    out = ev.rescale(matvec_bsgs(ev, ct, d))
+    want = d.matvec_plain(z)
+    assert np.abs(ckks_small.decrypt(out) - want).max() < TOL
+
+
+def test_matvec_structured(ckks_small, rng):
+    """A 3-diagonal banded matrix (a convolution-like kernel)."""
+    slots = ckks_small.params.slots
+    a = np.zeros((slots, slots), dtype=complex)
+    i = np.arange(slots)
+    a[i, i] = 0.5
+    a[i, (i + 1) % slots] = 0.25
+    a[i, (i + 3) % slots] = -0.125
+    d = Diagonals.from_matrix(a)
+    assert len(d) == 3
+    ev = _evaluator_with(ckks_small, required_rotations(d))
+    z = ckks_small.random_message(rng)
+    out = ev.rescale(matvec_bsgs(ev, ckks_small.encrypt(z), d))
+    assert np.abs(ckks_small.decrypt(out) - d.matvec_plain(z)).max() < TOL
+
+
+def test_sum_slots(ckks_small, rng):
+    z = ckks_small.random_message(rng)
+    ev = _evaluator_with(ckks_small, [1, 2, 4])
+    out = sum_slots(ev, ckks_small.encrypt(z), 8)
+    got = ckks_small.decrypt(out)
+    want = sum(np.roll(z, -k) for k in range(8))
+    assert np.abs(got - want).max() < TOL
+
+
+def test_replicate_slot(ckks_small, rng):
+    z = np.zeros(ckks_small.params.slots, dtype=complex)
+    z[0] = 0.8
+    ev = _evaluator_with(ckks_small, [-1, -2, -4])
+    out = replicate_slot(ev, ckks_small.encrypt(z), 8)
+    got = ckks_small.decrypt(out)
+    assert np.abs(got[:8] - 0.8).max() < TOL
+
+
+def test_matvec_wrong_size(ckks_small, rng):
+    d = Diagonals.from_matrix(np.eye(8))
+    with pytest.raises(ValueError):
+        matvec_bsgs(ckks_small.ev, ckks_small.encrypt(
+            ckks_small.random_message(rng)), d)

@@ -1,0 +1,70 @@
+"""Montgomery SM/DM representation identities (paper section IV-D5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nttmath.montgomery import MontgomeryContext
+from repro.nttmath.primes import find_ntt_primes
+
+Q = find_ntt_primes(28, 64, 1)[0]
+
+
+@pytest.fixture(scope="module")
+def mont():
+    return MontgomeryContext(Q)
+
+
+@given(st.integers(min_value=0, max_value=Q - 1))
+@settings(max_examples=100)
+def test_sm_roundtrip(x):
+    m = MontgomeryContext(Q)
+    assert m.from_sm(m.to_sm(x)) == x
+
+
+@given(st.integers(min_value=0, max_value=Q - 1),
+       st.integers(min_value=0, max_value=Q - 1))
+@settings(max_examples=100)
+def test_sm_times_sm_is_sm(x, y):
+    m = MontgomeryContext(Q)
+    assert m.mont_mul(m.to_sm(x), m.to_sm(y)) == m.to_sm(x * y % Q)
+
+
+@given(st.integers(min_value=0, max_value=Q - 1),
+       st.integers(min_value=0, max_value=Q - 1))
+@settings(max_examples=100)
+def test_nm_times_dm_is_sm(x, y):
+    """The key identity behind merged BConv (paper eq. 5)."""
+    m = MontgomeryContext(Q)
+    assert m.mont_mul(x, m.to_dm(y)) == m.to_sm(x * y % Q)
+
+
+@given(st.integers(min_value=0, max_value=Q - 1),
+       st.integers(min_value=0, max_value=Q - 1))
+@settings(max_examples=100)
+def test_sm_times_nm_is_nm(x, y):
+    m = MontgomeryContext(Q)
+    assert m.mont_mul(m.to_sm(x), y) == x * y % Q
+
+
+def test_vector_ops_match_scalar(mont, rng):
+    xs = rng.integers(0, Q, 257)
+    ys = rng.integers(0, Q, 257)
+    v = mont.vec_mont_mul(xs, ys)
+    for i in range(0, 257, 31):
+        assert v[i] == mont.mont_mul(int(xs[i]), int(ys[i]))
+
+
+def test_vec_roundtrip(mont, rng):
+    xs = rng.integers(0, Q, 100)
+    assert np.array_equal(mont.vec_from_sm(mont.vec_to_sm(xs)), xs)
+
+
+def test_rejects_even_modulus():
+    with pytest.raises(ValueError):
+        MontgomeryContext(2 ** 20)
+
+
+def test_rejects_oversized_modulus():
+    with pytest.raises(ValueError):
+        MontgomeryContext((1 << 33) + 1, r_bits=32)

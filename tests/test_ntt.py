@@ -1,0 +1,125 @@
+"""Negacyclic NTT kernels: Cooley-Tukey pair and constant-geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nttmath.ntt import (
+    ConstantGeometryNTT,
+    NegacyclicNTT,
+    automorphism,
+    conjugation_element,
+    galois_element,
+    polymul_negacyclic_reference,
+)
+from repro.nttmath.primes import find_ntt_primes
+
+N = 64
+Q = find_ntt_primes(28, N, 1)[0]
+
+
+@pytest.fixture(scope="module")
+def ntt():
+    return NegacyclicNTT(N, Q)
+
+
+@pytest.fixture(scope="module")
+def cg():
+    return ConstantGeometryNTT(N, Q)
+
+
+def test_roundtrip(ntt, rng):
+    a = rng.integers(0, Q, N)
+    assert np.array_equal(ntt.inverse(ntt.forward(a)), a)
+
+
+def test_cg_roundtrip(cg, rng):
+    a = rng.integers(0, Q, N)
+    assert np.array_equal(cg.inverse(cg.forward(a)), a)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=Q - 1),
+                min_size=N, max_size=N),
+       st.lists(st.integers(min_value=0, max_value=Q - 1),
+                min_size=N, max_size=N))
+@settings(max_examples=25, deadline=None)
+def test_polymul_matches_schoolbook(a, b):
+    ntt = NegacyclicNTT(N, Q)
+    ref = polymul_negacyclic_reference(a, b, Q)
+    assert np.array_equal(ntt.polymul(np.array(a), np.array(b)), ref)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=Q - 1),
+                min_size=N, max_size=N),
+       st.lists(st.integers(min_value=0, max_value=Q - 1),
+                min_size=N, max_size=N))
+@settings(max_examples=10, deadline=None)
+def test_cg_polymul_matches_schoolbook(a, b):
+    cg = ConstantGeometryNTT(N, Q)
+    ref = polymul_negacyclic_reference(a, b, Q)
+    assert np.array_equal(cg.polymul(np.array(a), np.array(b)), ref)
+
+
+def test_linearity(ntt, rng):
+    """Paper eq. 2: NTT(a+b) = NTT(a) + NTT(b)."""
+    a = rng.integers(0, Q, N)
+    b = rng.integers(0, Q, N)
+    lhs = ntt.forward((a + b) % Q)
+    rhs = (ntt.forward(a) + ntt.forward(b)) % Q
+    assert np.array_equal(lhs, rhs)
+
+
+def test_convolution_theorem(ntt, rng):
+    """Paper eq. 2: NTT(a * b) = NTT(a) . NTT(b)."""
+    a = rng.integers(0, Q, N)
+    b = rng.integers(0, Q, N)
+    conv = polymul_negacyclic_reference(a, b, Q)
+    lhs = ntt.forward(conv)
+    rhs = ntt.forward(a) * ntt.forward(b) % Q
+    assert np.array_equal(lhs, rhs)
+
+
+@pytest.mark.parametrize("step", [1, 2, 5, 17])
+def test_automorphism_ntt_domain(ntt, rng, step):
+    """Paper eq. 2: NTT(sigma(a)) = BR(sigma'(BR(NTT(a))))."""
+    a = rng.integers(0, Q, N)
+    g = galois_element(step, N)
+    lhs = ntt.forward(automorphism(a, g, Q))
+    rhs = ntt.automorphism_ntt(ntt.forward(a), g)
+    assert np.array_equal(lhs, rhs)
+
+
+def test_automorphism_composition(rng):
+    a = rng.integers(0, Q, N)
+    g1 = galois_element(2, N)
+    g2 = galois_element(3, N)
+    lhs = automorphism(automorphism(a, g1, Q), g2, Q)
+    rhs = automorphism(a, g1 * g2 % (2 * N), Q)
+    assert np.array_equal(lhs, rhs)
+
+
+def test_conjugation_element_is_involution(rng):
+    a = rng.integers(0, Q, N)
+    g = conjugation_element(N)
+    assert np.array_equal(automorphism(automorphism(a, g, Q), g, Q),
+                          a % Q)
+
+
+def test_inverse_without_scaling(ntt, rng):
+    a = rng.integers(0, Q, N)
+    unscaled = ntt.inverse(ntt.forward(a), scale_by_n_inv=False)
+    assert np.array_equal(unscaled * ntt.n_inv % Q, a)
+
+
+def test_rejects_bad_modulus():
+    with pytest.raises(ValueError):
+        NegacyclicNTT(64, 17)          # not NTT friendly
+    with pytest.raises(ValueError):
+        NegacyclicNTT(63, Q)           # not a power of two
+    with pytest.raises(ValueError):
+        NegacyclicNTT(64, (1 << 33) + 1)   # too wide for int64 path
+
+
+def test_shape_validation(ntt):
+    with pytest.raises(ValueError):
+        ntt.forward(np.zeros(32))

@@ -1,0 +1,76 @@
+"""Full compiler pipeline invariants."""
+
+import pytest
+
+from repro.compiler.lowering import HeLowering, LoweringParams
+from repro.compiler.pipeline import CompileOptions, compile_program
+from repro.core.isa import Opcode
+
+LP = LoweringParams(n=2 ** 10, levels=6, dnum=3)
+
+
+def _program():
+    low = HeLowering(LP)
+    ct = low.fresh_ciphertext(6)
+    out = low.matmul_bsgs(ct, diag_count=8)
+    return low.finish(low.rescale(low.hmult(
+        out, out, low.switching_key("relin"))))
+
+
+def test_code_opt_reduces_instructions():
+    p = _program()
+    before = len(p.instrs)
+    result = compile_program(p, CompileOptions(
+        sram_bytes=LP.limb_bytes * 256))
+    assert result.stats.instrs_after_opt < before
+    assert 0.0 < result.stats.code_opt_fraction < 0.5
+
+
+def test_code_opt_disabled():
+    p = _program()
+    result = compile_program(p, CompileOptions(
+        sram_bytes=LP.limb_bytes * 256, code_opt=False))
+    assert result.stats.code_opt_fraction == 0.0
+
+
+def test_mix_preserved_semantically():
+    """Optimization must not change NTT/AUTO counts (it only removes
+    copies, constants and redundancy)."""
+    p = _program()
+    result = compile_program(p, CompileOptions(
+        sram_bytes=LP.limb_bytes * 256))
+    before = result.stats.mix_before
+    after = result.stats.mix_after
+    assert after["auto"] <= before["auto"]
+    assert after["ntt"] <= before["ntt"]
+    assert sum(after.values()) < sum(before.values())
+
+
+def test_streaming_toggle():
+    p1, p2 = _program(), _program()
+    on = compile_program(p1, CompileOptions(
+        sram_bytes=LP.limb_bytes * 64, streaming=True))
+    off = compile_program(p2, CompileOptions(
+        sram_bytes=LP.limb_bytes * 64, streaming=False))
+    assert on.stats.streaming_loads > 0
+    assert off.stats.streaming_loads == 0
+
+
+def test_mac_fusion_toggle():
+    p1, p2 = _program(), _program()
+    on = compile_program(p1, CompileOptions(
+        sram_bytes=LP.limb_bytes * 64, mac_fusion=True))
+    off = compile_program(p2, CompileOptions(
+        sram_bytes=LP.limb_bytes * 64, mac_fusion=False))
+    assert on.stats.macs_fused > 0
+    assert off.stats.macs_fused == 0
+    assert any(i.op is Opcode.MMAC for i in on.program.instrs)
+    assert not any(i.op is Opcode.MMAC for i in off.program.instrs)
+
+
+def test_dram_bytes_property():
+    p = _program()
+    result = compile_program(p, CompileOptions(
+        sram_bytes=LP.limb_bytes * 64))
+    assert result.dram_bytes == result.stats.alloc.dram_total_bytes
+    assert result.dram_bytes > 0

@@ -1,0 +1,42 @@
+"""EffactPlatform facade: compile + codegen + simulate in one call."""
+
+import pytest
+
+from repro import EffactPlatform
+from repro.compiler import CompileOptions, HeLowering, LoweringParams
+from repro.core.config import ASIC_EFFACT, FPGA_EFFACT
+
+
+def _simple_program(levels=6):
+    lp = LoweringParams(n=2 ** 11, levels=levels, dnum=3)
+    low = HeLowering(lp)
+    ct = low.fresh_ciphertext(levels)
+    out = low.rescale(low.hmult(ct, ct, low.switching_key("relin")))
+    return low.finish(out)
+
+
+def test_execute_returns_full_report():
+    platform = EffactPlatform()
+    report = platform.execute(_simple_program())
+    assert report.runtime_ms > 0
+    assert report.dram_bytes > 0
+    assert len(report.machine_code) == len(report.compiled.program.instrs)
+
+
+def test_fpga_config_slower_than_asic():
+    asic = EffactPlatform(ASIC_EFFACT).execute(_simple_program())
+    fpga = EffactPlatform(FPGA_EFFACT).execute(_simple_program())
+    assert fpga.runtime_ms > asic.runtime_ms
+
+
+def test_custom_options_respected():
+    options = CompileOptions(sram_bytes=ASIC_EFFACT.sram_bytes,
+                             streaming=False)
+    platform = EffactPlatform(ASIC_EFFACT, options)
+    report = platform.execute(_simple_program())
+    assert report.compiled.stats.streaming_loads == 0
+
+
+def test_area_power_passthrough():
+    breakdown = EffactPlatform().area_power()
+    assert breakdown.total_area_mm2 == pytest.approx(211.9, abs=0.2)

@@ -1,0 +1,66 @@
+"""Homomorphic Chebyshev evaluation (Paterson-Stockmeyer)."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.ckks.polyeval import (
+    ChebyshevEvaluator,
+    _chebyshev_divide,
+    chebyshev_eval_plain,
+    chebyshev_fit,
+    evaluate_chebyshev,
+)
+
+
+def test_chebyshev_divide_exact(rng):
+    """p == q*T_g + r as functions."""
+    coeffs = list(rng.uniform(-1, 1, 24))
+    q, r = _chebyshev_divide(coeffs, 8)
+    t = np.linspace(-1, 1, 97)
+    p_val = chebyshev_eval_plain(np.array(coeffs), t)
+    t_g = np.cos(8 * np.arccos(t))
+    got = chebyshev_eval_plain(np.array(q), t) * t_g \
+        + chebyshev_eval_plain(np.array(r), t)
+    assert np.abs(p_val - got).max() < 1e-9
+    assert len(r) - 1 < 8
+
+
+def test_chebyshev_fit_quality():
+    coeffs = chebyshev_fit(np.sin, 15)
+    t = np.linspace(-1, 1, 201)
+    assert np.abs(chebyshev_eval_plain(coeffs, t) - np.sin(t)).max() < 1e-12
+
+
+@pytest.mark.parametrize("degree", [3, 8, 15, 31])
+def test_homomorphic_eval_matches_plain(ckks_deep, rng, degree):
+    coeffs = chebyshev_fit(lambda t: np.sin(2.5 * t), degree)
+    z = rng.uniform(-1, 1, ckks_deep.params.slots)
+    ct = ckks_deep.encrypt(z)
+    out = evaluate_chebyshev(ckks_deep.ev, ct, coeffs)
+    got = np.real(ckks_deep.decrypt(out))
+    want = chebyshev_eval_plain(coeffs, z)
+    assert np.abs(got - want).max() < 2e-2
+
+
+def test_constant_polynomial(ckks_deep, rng):
+    z = rng.uniform(-1, 1, ckks_deep.params.slots)
+    out = evaluate_chebyshev(ckks_deep.ev, ckks_deep.encrypt(z), [0.37])
+    got = np.real(ckks_deep.decrypt(out))
+    assert np.abs(got - 0.37).max() < 1e-2
+
+
+def test_linear_polynomial(ckks_deep, rng):
+    z = rng.uniform(-1, 1, ckks_deep.params.slots)
+    out = evaluate_chebyshev(ckks_deep.ev, ckks_deep.encrypt(z),
+                             [0.1, 0.9])
+    got = np.real(ckks_deep.decrypt(out))
+    assert np.abs(got - (0.1 + 0.9 * z)).max() < 1e-2
+
+
+def test_depth_consumption_logarithmic(ckks_deep, rng):
+    z = rng.uniform(-1, 1, ckks_deep.params.slots)
+    ct = ckks_deep.encrypt(z)
+    coeffs = chebyshev_fit(lambda t: t ** 3, 31)
+    out = ChebyshevEvaluator(ckks_deep.ev, coeffs)(ct)
+    consumed = ct.level - out.level
+    assert consumed <= 8      # ~log2(31) + direct-sum level

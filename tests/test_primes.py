@@ -1,0 +1,90 @@
+"""Prime generation and primitive roots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nttmath.primes import (
+    find_ntt_primes,
+    is_prime,
+    random_ntt_prime,
+    root_of_unity,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 65537, 2 ** 31 - 1, 999999937]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 561, 6601, 65536, 2 ** 31 - 2]
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_known_primes(p):
+    assert is_prime(p)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites(n):
+    assert not is_prime(n)
+
+
+def test_carmichael_numbers_rejected():
+    for n in (561, 1105, 1729, 2465, 2821, 6601):
+        assert not is_prime(n)
+
+
+@given(st.integers(min_value=2, max_value=10 ** 6))
+@settings(max_examples=200)
+def test_is_prime_matches_trial_division(n):
+    def trial(m):
+        if m < 2:
+            return False
+        d = 2
+        while d * d <= m:
+            if m % d == 0:
+                return False
+            d += 1
+        return True
+
+    assert is_prime(n) == trial(n)
+
+
+@pytest.mark.parametrize("bits,n,count", [(28, 64, 5), (25, 256, 3),
+                                          (30, 4096, 4)])
+def test_find_ntt_primes_congruence(bits, n, count):
+    primes = find_ntt_primes(bits, n, count)
+    assert len(primes) == count
+    assert len(set(primes)) == count
+    for p in primes:
+        assert is_prime(p)
+        assert p % (2 * n) == 1
+        assert abs(p.bit_length() - bits) <= 1
+
+
+def test_find_ntt_primes_exclusion():
+    first = find_ntt_primes(28, 64, 3)
+    more = find_ntt_primes(28, 64, 3, exclude=tuple(first))
+    assert not set(first) & set(more)
+
+
+def test_find_ntt_primes_ascending():
+    primes = find_ntt_primes(25, 64, 3, descending=False)
+    for p in primes:
+        assert p > 2 ** 25
+
+
+def test_root_of_unity_properties():
+    n = 128
+    q = find_ntt_primes(28, n, 1)[0]
+    omega = root_of_unity(2 * n, q)
+    assert pow(omega, 2 * n, q) == 1
+    assert pow(omega, n, q) == q - 1   # primitive: omega^n = -1
+
+
+def test_root_of_unity_rejects_bad_order():
+    with pytest.raises(ValueError):
+        root_of_unity(64, 17)   # 64 does not divide 16
+
+
+def test_random_ntt_prime():
+    import random
+
+    rng = random.Random(0)
+    p = random_ntt_prime(26, 128, rng)
+    assert is_prime(p) and p % 256 == 1 and p.bit_length() == 26

@@ -1,0 +1,100 @@
+"""Property-based tests on the numeric substrates."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nttmath.ntt import NegacyclicNTT, automorphism, galois_element
+from repro.nttmath.primes import find_ntt_primes
+from repro.rns.basis import RnsBasis
+from repro.rns.bconv import base_convert_exact
+from repro.rns.poly import RnsPolynomial
+from repro.schemes.ckks.encoder import CkksEncoder
+from repro.schemes.ckks.polyeval import (
+    _chebyshev_divide,
+    chebyshev_eval_plain,
+)
+
+N = 32
+PRIMES = find_ntt_primes(28, N, 3)
+BASIS = RnsBasis(PRIMES)
+OTHER = RnsBasis(find_ntt_primes(30, N, 2, exclude=PRIMES))
+
+
+@given(st.lists(st.floats(min_value=-1, max_value=1),
+                min_size=8, max_size=20),
+       st.integers(min_value=2, max_value=12))
+@settings(max_examples=50)
+def test_chebyshev_divide_is_exact_identity(coeffs, g):
+    """p(t) == q(t)*T_g(t) + r(t) for arbitrary coefficients/splits."""
+    q, r = _chebyshev_divide(list(coeffs), g)
+    t = np.linspace(-1, 1, 63)
+    lhs = chebyshev_eval_plain(np.array(coeffs), t)
+    t_g = np.cos(g * np.arccos(np.clip(t, -1, 1)))
+    rhs = chebyshev_eval_plain(np.array(q), t) * t_g \
+        + chebyshev_eval_plain(np.array(r), t)
+    assert np.abs(lhs - rhs).max() < 1e-8
+    assert len(r) - 1 < g
+
+
+@given(st.integers(min_value=0, max_value=10 ** 12),
+       st.integers(min_value=0, max_value=10 ** 12))
+@settings(max_examples=50)
+def test_crt_is_ring_homomorphism(x, y):
+    q = BASIS.modulus
+    rx, ry = BASIS.decompose(x), BASIS.decompose(y)
+    summed = tuple((a + b) % p for a, b, p in zip(rx, ry, BASIS.primes))
+    prod = tuple((a * b) % p for a, b, p in zip(rx, ry, BASIS.primes))
+    assert BASIS.compose(summed) == (x + y) % q
+    assert BASIS.compose(prod) == (x * y) % q
+
+
+@given(st.integers(min_value=0, max_value=2 ** 40))
+@settings(max_examples=30)
+def test_exact_bconv_of_constants(value):
+    """A constant polynomial converts to the same constant."""
+    coeffs = [value] + [0] * (N - 1)
+    poly = RnsPolynomial.from_int_coeffs(BASIS, coeffs)
+    conv = base_convert_exact(poly, OTHER)
+    for i, p in enumerate(OTHER.primes):
+        assert conv.data[i][0] == value % p
+        assert np.all(conv.data[i][1:] == 0)
+
+
+@given(st.integers(min_value=1, max_value=15),
+       st.integers(min_value=1, max_value=15))
+@settings(max_examples=30, deadline=None)
+def test_ntt_automorphism_group_action(s1, s2):
+    rng = np.random.default_rng(s1 * 31 + s2)
+    q = PRIMES[0]
+    a = rng.integers(0, q, N)
+    g1, g2 = galois_element(s1, N), galois_element(s2, N)
+    lhs = automorphism(automorphism(a, g1, q), g2, q)
+    rhs = automorphism(a, g1 * g2 % (2 * N), q)
+    assert np.array_equal(lhs, rhs)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=40)
+def test_encoder_scales_linearly(seed):
+    rng = np.random.default_rng(seed)
+    enc = CkksEncoder(64)
+    z = rng.uniform(-1, 1, 32)
+    a = enc.embed(z)
+    b = enc.embed(2.0 * z)
+    assert np.abs(b - 2.0 * a).max() < 1e-9
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=20, deadline=None)
+def test_ntt_parseval_style_bijection(seed):
+    """Forward NTT is a bijection: distinct inputs map to distinct
+    outputs (checked via roundtrip on random pairs)."""
+    rng = np.random.default_rng(seed)
+    q = PRIMES[0]
+    ntt = NegacyclicNTT(N, q)
+    a = rng.integers(0, q, N)
+    b = rng.integers(0, q, N)
+    fa, fb = ntt.forward(a), ntt.forward(b)
+    if not np.array_equal(a, b):
+        assert not np.array_equal(fa, fb)
+    assert np.array_equal(ntt.inverse(fa), a)

@@ -1,0 +1,96 @@
+"""Linear-scan SRAM allocation with spilling."""
+
+import pytest
+
+from repro.compiler.lowering import HeLowering, LoweringParams
+from repro.compiler.passes import insert_loads, mark_streaming
+from repro.compiler.regalloc import OutOfSlotsError, allocate
+from repro.compiler.scheduler import apply_schedule, schedule
+from repro.core.isa import Opcode
+
+LP = LoweringParams(n=2 ** 10, levels=5, dnum=2)
+LIMB = LP.limb_bytes
+
+
+def _prepared_program(streaming=True):
+    low = HeLowering(LP)
+    x, y = low.fresh_ciphertext(5), low.fresh_ciphertext(5)
+    out = low.rescale(low.hmult(x, y, low.switching_key("relin")))
+    p = low.finish(out)
+    insert_loads(p)
+    if streaming:
+        mark_streaming(p)
+    apply_schedule(p, schedule(p))
+    return p
+
+
+def _check_allocation_valid(p):
+    """Every non-streaming operand must be slot-resident at its use."""
+    slot_of = {}
+    streaming_dests = set()
+    for ins in p.instrs:
+        for s in ins.srcs:
+            origin = p.values[s].origin if s in p.values else "compute"
+            if origin in ("dram", "const"):
+                continue
+            resident = s in slot_of or s in streaming_dests \
+                or s in getattr(p, "forwarded", set())
+            assert resident, f"operand {s} not resident"
+        if ins.dest is not None:
+            if ins.op is Opcode.LOAD and ins.streaming:
+                streaming_dests.add(ins.dest)
+            else:
+                slot_of[ins.dest] = p.slot_of.get(ins.dest)
+
+
+def test_ample_sram_no_spills():
+    p = _prepared_program()
+    stats = allocate(p, sram_bytes=LIMB * 4096)
+    assert stats.spill_stores == 0
+    assert stats.spill_reloads == 0
+
+
+def test_tight_sram_spills_but_stays_correct():
+    p = _prepared_program()
+    stats = allocate(p, sram_bytes=LIMB * 16)
+    assert stats.spill_reloads + stats.remat_reloads > 0
+    assert stats.dram_load_bytes > 0
+    _check_allocation_valid(p)
+
+
+def test_dram_accounting_consistent():
+    p = _prepared_program()
+    stats = allocate(p, sram_bytes=LIMB * 24)
+    loads = sum(1 for i in p.instrs if i.op is Opcode.LOAD)
+    stores = sum(1 for i in p.instrs if i.op is Opcode.STORE)
+    assert stats.dram_load_bytes == loads * LIMB
+    assert stats.dram_store_bytes == stores * LIMB
+
+
+def test_smaller_sram_more_traffic():
+    traffic = []
+    for slots in (16, 64, 4096):
+        p = _prepared_program()
+        stats = allocate(p, sram_bytes=LIMB * slots)
+        traffic.append(stats.dram_total_bytes)
+    assert traffic[0] >= traffic[1] >= traffic[2]
+
+
+def test_streaming_reduces_pressure():
+    p_stream = _prepared_program(streaming=True)
+    p_plain = _prepared_program(streaming=False)
+    s1 = allocate(p_stream, sram_bytes=LIMB * 16)
+    s2 = allocate(p_plain, sram_bytes=LIMB * 16)
+    assert s1.dram_total_bytes <= s2.dram_total_bytes
+
+
+def test_out_of_slots_raises():
+    p = _prepared_program()
+    with pytest.raises(OutOfSlotsError):
+        allocate(p, sram_bytes=LIMB * 4)
+
+
+def test_peak_slots_bounded():
+    p = _prepared_program()
+    stats = allocate(p, sram_bytes=LIMB * 32)
+    assert stats.peak_slots_used <= stats.slot_count

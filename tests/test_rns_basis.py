@@ -1,0 +1,67 @@
+"""RNS basis: CRT composition/decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nttmath.primes import find_ntt_primes
+from repro.rns.basis import RnsBasis
+
+PRIMES = find_ntt_primes(28, 64, 4)
+BASIS = RnsBasis(PRIMES)
+
+
+@given(st.integers(min_value=0))
+@settings(max_examples=100)
+def test_crt_roundtrip(x):
+    x %= BASIS.modulus
+    assert BASIS.compose(BASIS.decompose(x)) == x
+
+
+@given(st.integers(min_value=-10 ** 30, max_value=10 ** 30))
+@settings(max_examples=50)
+def test_signed_compose(x):
+    residues = BASIS.decompose(x)
+    got = BASIS.compose_signed(residues)
+    assert (got - x) % BASIS.modulus == 0
+    assert -BASIS.modulus // 2 <= got <= BASIS.modulus // 2
+
+
+def test_qhat_identities():
+    for j, p in enumerate(BASIS.primes):
+        assert BASIS.q_hat[j] * p == BASIS.modulus
+        assert BASIS.q_hat[j] * BASIS.q_hat_inv[j] % p == 1
+
+
+def test_prefix_and_digit():
+    assert BASIS.prefix(2).primes == tuple(PRIMES[:2])
+    assert BASIS.digit(1, 2).primes == tuple(PRIMES[2:4])
+    with pytest.raises(ValueError):
+        BASIS.prefix(9)
+    with pytest.raises(ValueError):
+        BASIS.digit(5, 2)
+
+
+def test_extend_disjoint():
+    extra = RnsBasis(find_ntt_primes(30, 64, 2))
+    joined = BASIS.extend(extra)
+    assert len(joined) == 6
+    assert joined.modulus == BASIS.modulus * extra.modulus
+
+
+def test_duplicate_primes_rejected():
+    with pytest.raises(ValueError):
+        RnsBasis([PRIMES[0], PRIMES[0]])
+
+
+def test_poly_compose_roundtrip(rng):
+    data = np.stack([rng.integers(0, p, 16) for p in PRIMES])
+    values = BASIS.compose_poly(data)
+    back = BASIS.decompose_poly(values)
+    assert np.array_equal(back, data)
+
+
+def test_compose_signed_poly_centres(rng):
+    coeffs = [int(v) for v in rng.integers(-1000, 1000, 16)]
+    data = BASIS.decompose_poly(coeffs)
+    assert BASIS.compose_signed_poly(data) == coeffs

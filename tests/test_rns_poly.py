@@ -1,0 +1,104 @@
+"""Residue polynomials: arithmetic vs big-integer reference."""
+
+import numpy as np
+import pytest
+
+from repro.nttmath.primes import find_ntt_primes
+from repro.nttmath.ntt import galois_element, polymul_negacyclic_reference
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import RnsPolynomial, ntt_table
+
+N = 32
+BASIS = RnsBasis(find_ntt_primes(28, N, 3))
+
+
+def _random(rng):
+    return RnsPolynomial.random_uniform(BASIS, N, rng)
+
+
+def test_ntt_roundtrip(rng):
+    a = _random(rng)
+    assert np.array_equal(a.to_ntt().to_coeff().data, a.data)
+
+
+def test_add_matches_bigint(rng):
+    a, b = _random(rng), _random(rng)
+    got = (a + b).to_int_coeffs(signed=False)
+    q = BASIS.modulus
+    want = [(x + y) % q for x, y in
+            zip(a.to_int_coeffs(signed=False),
+                b.to_int_coeffs(signed=False))]
+    assert got == want
+
+
+def test_sub_neg_consistent(rng):
+    a, b = _random(rng), _random(rng)
+    assert np.array_equal((a - b).data, (a + (-b)).data)
+
+
+def test_polymul_matches_reference(rng):
+    a, b = _random(rng), _random(rng)
+    prod = (a * b).to_coeff()
+    for j, q in enumerate(BASIS.primes):
+        ref = polymul_negacyclic_reference(a.data[j], b.data[j], q)
+        assert np.array_equal(prod.data[j], ref)
+
+
+def test_scalar_multiplication(rng):
+    a = _random(rng)
+    got = a.mul_scalar(12345).to_int_coeffs(signed=False)
+    q = BASIS.modulus
+    want = [x * 12345 % q for x in a.to_int_coeffs(signed=False)]
+    assert got == want
+
+
+def test_per_limb_scalars(rng):
+    a = _random(rng)
+    scalars = [3, 5, 7]
+    out = a.mul_scalar_per_limb(scalars)
+    for j, (s, p) in enumerate(zip(scalars, BASIS.primes)):
+        assert np.array_equal(out.data[j], a.data[j] * s % p)
+
+
+def test_automorphism_consistent_between_domains(rng):
+    a = _random(rng)
+    g = galois_element(3, N)
+    coeff_route = a.apply_automorphism(g).to_ntt()
+    ntt_route = a.to_ntt().apply_automorphism(g)
+    assert np.array_equal(coeff_route.data, ntt_route.data)
+
+
+def test_ternary_sparse(rng):
+    poly = RnsPolynomial.random_ternary(BASIS, N, rng, hamming_weight=5)
+    coeffs = poly.to_int_coeffs()
+    assert sum(1 for c in coeffs if c != 0) == 5
+    assert all(c in (-1, 0, 1) for c in coeffs)
+
+
+def test_from_int_coeffs_large(rng):
+    big = [BASIS.modulus - 1, 0, 1, -1] + [0] * (N - 4)
+    poly = RnsPolynomial.from_int_coeffs(BASIS, big)
+    back = poly.to_int_coeffs(signed=True)
+    assert back[0] == -1      # q-1 = -1 centred
+    assert back[2] == 1 and back[3] == -1
+
+
+def test_drop_to(rng):
+    a = _random(rng)
+    dropped = a.drop_to(BASIS.prefix(2))
+    assert dropped.level_count == 2
+    assert np.array_equal(dropped.data, a.data[:2])
+    with pytest.raises(ValueError):
+        a.drop_to(RnsBasis(find_ntt_primes(30, N, 1)))
+
+
+def test_domain_mismatch_rejected(rng):
+    a = _random(rng)
+    with pytest.raises(ValueError):
+        _ = a + a.to_ntt()
+
+
+def test_ntt_table_cache():
+    t1 = ntt_table(N, BASIS.primes[0])
+    t2 = ntt_table(N, BASIS.primes[0])
+    assert t1 is t2

@@ -1,0 +1,65 @@
+"""Static scheduling: topological validity and policies."""
+
+import pytest
+
+from repro.compiler.ir import Program
+from repro.compiler.lowering import HeLowering, LoweringParams
+from repro.compiler.scheduler import apply_schedule, schedule
+from repro.core.isa import Opcode
+
+
+def _sample_program():
+    lp = LoweringParams(n=2 ** 10, levels=5, dnum=2)
+    low = HeLowering(lp)
+    x, y = low.fresh_ciphertext(5), low.fresh_ciphertext(5)
+    out = low.rescale(low.hmult(x, y, low.switching_key("relin")))
+    return low.finish(out)
+
+
+def _is_topological(program, order):
+    position = {idx: i for i, idx in enumerate(order)}
+    producer = {}
+    for idx, ins in enumerate(program.instrs):
+        if ins.dest is not None:
+            producer[ins.dest] = idx
+    for idx, ins in enumerate(program.instrs):
+        for s in ins.srcs:
+            p = producer.get(s)
+            if p is not None and p != idx:
+                if position[p] >= position[idx]:
+                    return False
+    return True
+
+
+def test_naive_schedule_is_identity():
+    p = _sample_program()
+    assert schedule(p, policy="naive") == list(range(len(p.instrs)))
+
+
+def test_list_schedule_topological():
+    p = _sample_program()
+    order = schedule(p, policy="list")
+    assert sorted(order) == list(range(len(p.instrs)))
+    assert _is_topological(p, order)
+
+
+@pytest.mark.parametrize("band", [16, 256, 10 ** 9])
+def test_band_sizes_stay_topological(band):
+    p = _sample_program()
+    order = schedule(p, policy="list", band_size=band)
+    assert _is_topological(p, order)
+
+
+def test_apply_schedule_reorders():
+    p = _sample_program()
+    order = schedule(p, policy="list")
+    first = p.instrs[order[0]]
+    apply_schedule(p, order)
+    assert p.instrs[0] is first
+    p.validate()
+
+
+def test_unknown_policy_rejected():
+    p = _sample_program()
+    with pytest.raises(ValueError):
+        schedule(p, policy="magic")

@@ -1,0 +1,81 @@
+"""Cycle-level simulator and timing model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch.simulator import simulate
+from repro.arch.units import TimingModel
+from repro.compiler.lowering import HeLowering, LoweringParams
+from repro.compiler.pipeline import CompileOptions, compile_program
+from repro.core.config import ASIC_EFFACT
+from repro.core.isa import Opcode
+
+LP = LoweringParams(n=2 ** 12, levels=6, dnum=3)
+
+
+def _compiled(options=None):
+    low = HeLowering(LP)
+    ct = low.fresh_ciphertext(6)
+    out = low.rescale(low.hmult(ct, ct, low.switching_key("relin")))
+    return compile_program(low.finish(out), options or CompileOptions(
+        sram_bytes=ASIC_EFFACT.sram_bytes))
+
+
+def test_timing_model_basics():
+    t = TimingModel(ASIC_EFFACT, 2 ** 16)
+    assert t.cycles(Opcode.MMUL) == 2 ** 16 // 1024
+    assert t.cycles(Opcode.NTT) == (2 ** 15 * 16) // 1024
+    assert t.cycles(Opcode.MMAC) == 2 ** 16 // 1024   # on NTT butterflies
+    assert t.cycles(Opcode.AUTO) == 2 ** 16 // 1024
+
+
+def test_mac_without_reuse_costs_more():
+    reuse = TimingModel(ASIC_EFFACT, 2 ** 16)
+    no_reuse = TimingModel(replace(ASIC_EFFACT, ntt_mac_reuse=False),
+                           2 ** 16)
+    assert no_reuse.cycles(Opcode.MMAC) > reuse.cycles(Opcode.MMAC)
+    assert no_reuse.unit_for(Opcode.MMAC) == "mmul"
+
+
+def test_fine_vs_fully_pipelined_ntt():
+    fine = TimingModel(ASIC_EFFACT, 2 ** 16)
+    full = TimingModel(replace(ASIC_EFFACT, fine_grained_ntt=False),
+                       2 ** 16)
+    assert full.cycles(Opcode.NTT) < fine.cycles(Opcode.NTT)
+
+
+def test_simulation_produces_sane_stats():
+    result = _compiled()
+    sim = simulate(result.program, ASIC_EFFACT)
+    assert sim.cycles > 0
+    assert sim.runtime_ms > 0
+    assert 0 <= sim.dram_bw_utilization <= 1.0
+    for unit in ("ntt", "mmul", "madd", "auto"):
+        assert 0 <= sim.utilization(unit) <= 1.0
+    assert sim.dram_bytes > 0
+
+
+def test_more_compute_is_faster():
+    result = _compiled()
+    slow = simulate(result.program, ASIC_EFFACT)
+    fast_cfg = ASIC_EFFACT.scaled(4, "big")
+    result2 = _compiled()
+    fast = simulate(result2.program, fast_cfg)
+    assert fast.cycles < slow.cycles
+
+
+def test_more_bandwidth_helps_memory_bound():
+    opts = CompileOptions(sram_bytes=LP.limb_bytes * 32)
+    r1 = _compiled(opts)
+    base = simulate(r1.program, ASIC_EFFACT)
+    r2 = _compiled(opts)
+    wide = simulate(r2.program,
+                    replace(ASIC_EFFACT, hbm_bw_bytes_per_cycle=24_000))
+    assert wide.cycles < base.cycles
+
+
+def test_dram_accounting_matches_alloc():
+    result = _compiled()
+    sim = simulate(result.program, ASIC_EFFACT)
+    assert sim.dram_bytes == result.stats.alloc.dram_total_bytes

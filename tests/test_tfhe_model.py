@@ -1,0 +1,45 @@
+"""TFHE cost model (paper section VI-D)."""
+
+import pytest
+
+from repro.analysis.performance import tfhe_bootstrap_ms
+from repro.schemes.tfhe import (
+    PAPER_TFHE_BOOTSTRAP_MS,
+    TfheParams,
+    blind_rotation_counts,
+    bootstrap_counts,
+)
+
+
+def test_counts_scale_with_lwe_dimension():
+    small = blind_rotation_counts(TfheParams(n_lwe=100))
+    large = blind_rotation_counts(TfheParams(n_lwe=200))
+    assert large.ntt == 2 * small.ntt
+    assert large.mult == 2 * small.mult
+
+
+def test_bootstrap_includes_all_phases():
+    rot = blind_rotation_counts(TfheParams())
+    total = bootstrap_counts(TfheParams())
+    assert total.ntt == rot.ntt
+    assert total.mult > rot.mult
+    assert total.auto_shift > rot.auto_shift
+
+
+def test_limb_count():
+    assert TfheParams().limbs == 5   # ceil(218 / 54)
+
+
+def test_bootstrap_time_same_order_as_paper():
+    """Model within ~5x of the paper's 0.576 ms (cost-model fidelity)."""
+    ms = tfhe_bootstrap_ms()
+    assert PAPER_TFHE_BOOTSTRAP_MS / 5 < ms < PAPER_TFHE_BOOTSTRAP_MS * 5
+
+
+def test_more_butterflies_is_faster():
+    from dataclasses import replace
+
+    from repro.core.config import ASIC_EFFACT
+
+    fast = replace(ASIC_EFFACT, ntt_butterflies=4096)
+    assert tfhe_bootstrap_ms(fast) < tfhe_bootstrap_ms(ASIC_EFFACT)

@@ -1,0 +1,86 @@
+"""Bootstrapping IR workload: Figure 3 mix and Table III structure."""
+
+import pytest
+
+from repro.compiler.lowering import LoweringParams
+from repro.schemes.ckks.params import (
+    PAPER_BOOT_256,
+    PAPER_BOOT_FULL,
+    BootstrappingParams,
+)
+from repro.workloads.bootstrap_workload import (
+    bootstrap_workload,
+    build_bootstrap_program,
+)
+
+
+def test_table3_parameters():
+    assert PAPER_BOOT_FULL.slots == 2 ** 15
+    assert PAPER_BOOT_FULL.n == 2 ** 16
+    assert PAPER_BOOT_FULL.levels == 24
+    assert PAPER_BOOT_FULL.l_boot == 15
+    assert (PAPER_BOOT_FULL.l_cts, PAPER_BOOT_FULL.l_evalmod,
+            PAPER_BOOT_FULL.l_stc) == (4, 8, 3)
+    assert PAPER_BOOT_FULL.dnum == 4
+    assert PAPER_BOOT_256.slots == 2 ** 8
+    assert PAPER_BOOT_256.l_boot == 13
+
+
+def test_sub_levels_must_sum():
+    with pytest.raises(ValueError):
+        BootstrappingParams(slots=4, n=16, levels=24, l_boot=15,
+                            l_cts=5, l_evalmod=8, l_stc=3,
+                            log_q=54, dnum=4)
+
+
+@pytest.fixture(scope="module")
+def boot_program():
+    lp = LoweringParams(n=2 ** 13, levels=24, dnum=4)
+    return build_bootstrap_program(lp, PAPER_BOOT_FULL)
+
+
+def test_figure3_mult_add_dominates(boot_program):
+    """Paper Fig. 3: MULT+ADD ~90.9% of instructions."""
+    mix = boot_program.instruction_mix()
+    total = sum(mix.values())
+    mult_add = sum(mix[t] for t in ("mult", "add", "bc_mult", "bc_add"))
+    assert 0.85 < mult_add / total < 0.95
+
+
+def test_figure3_ntt_share(boot_program):
+    """Paper Fig. 3: NTT ~6.5-7% of instructions."""
+    mix = boot_program.instruction_mix()
+    total = sum(mix.values())
+    assert 0.04 < (mix["ntt"] + mix["intt"]) / total < 0.10
+
+
+def test_figure3_bconv_majority_of_mult(boot_program):
+    """Paper: 52.7% of MULT and 51.6% of ADD belong to BConv."""
+    mix = boot_program.instruction_mix()
+    assert mix["bc_mult"] / (mix["bc_mult"] + mix["mult"]) > 0.45
+    assert mix["bc_add"] / (mix["bc_add"] + mix["add"]) > 0.45
+
+
+def test_mix_independent_of_ring_degree():
+    """Instruction counts depend on (levels, dnum), not N, so reduced-N
+    runs are faithful for mix analysis."""
+    lp_small = LoweringParams(n=2 ** 12, levels=24, dnum=4)
+    lp_large = LoweringParams(n=2 ** 14, levels=24, dnum=4)
+    m1 = build_bootstrap_program(lp_small, PAPER_BOOT_FULL) \
+        .instruction_mix()
+    m2 = build_bootstrap_program(lp_large, PAPER_BOOT_FULL) \
+        .instruction_mix()
+    assert m1 == m2
+
+
+def test_workload_amortization():
+    wl = bootstrap_workload(n=2 ** 13)
+    assert wl.slots == 2 ** 15
+    assert wl.amortization_levels == 9   # L - L_boot = 24 - 15
+
+
+def test_detail_scales_program():
+    lp = LoweringParams(n=2 ** 12, levels=24, dnum=4)
+    full = build_bootstrap_program(lp, PAPER_BOOT_FULL, detail=1.0)
+    small = build_bootstrap_program(lp, PAPER_BOOT_FULL, detail=0.3)
+    assert len(small.instrs) < len(full.instrs)

@@ -1,0 +1,48 @@
+"""DB-lookup on BGV: functional correctness."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.bgv import BgvParams
+from repro.workloads.dblookup import EncryptedDatabase, dblookup_workload
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = EncryptedDatabase(BgvParams(
+        n=32, t=2 ** 16 + 1, q_bits=30, q_count=36, p_extra=2, seed=4))
+    keys = np.array([3, 17, 42, 99, 7, 42])
+    vals = np.array([100, 200, 300, 400, 500, 600])
+    database.store(keys, vals)
+    return database
+
+
+@pytest.mark.slow
+def test_lookup_hit(db):
+    res = db.decrypt_result(db.lookup(17))
+    assert res[1] == 200
+    assert res[0] == res[2] == 0
+
+
+@pytest.mark.slow
+def test_lookup_multiple_matches(db):
+    res = db.decrypt_result(db.lookup(42))
+    assert res[2] == 300 and res[5] == 600
+    assert res[0] == res[1] == 0
+
+
+@pytest.mark.slow
+def test_lookup_miss(db):
+    res = db.decrypt_result(db.lookup(1234))
+    assert np.all(res[:6] == 0)
+
+
+def test_requires_fermat_friendly_t():
+    with pytest.raises(ValueError):
+        EncryptedDatabase(BgvParams(n=32, t_bits=17, q_count=8))
+
+
+def test_workload_structure():
+    wl = dblookup_workload(n=2 ** 13, levels=11)
+    mix = wl.instruction_mix()
+    assert mix["mult"] > 0 and mix["auto"] > 0

@@ -1,0 +1,68 @@
+"""HELR: functional encrypted training + IR workload structure."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.ckks import CkksParams
+from repro.workloads.helr import (
+    HelrConfig,
+    HelrTrainer,
+    accuracy,
+    helr_workload,
+    sigmoid_poly,
+    train_plain,
+)
+
+
+@pytest.fixture(scope="module")
+def helr_setup():
+    cfg = HelrConfig(features=4, samples=32, learning_rate=1.0)
+    params = CkksParams(n=2 ** 9, levels=16, dnum=2, scale_bits=25,
+                        q0_bits=29, p_bits=30, seed=3)
+    return cfg, HelrTrainer(cfg, params)
+
+
+def _data(cfg, rng):
+    true_w = np.array([0.8, -0.6, 0.4, 0.1])
+    x = np.clip(rng.normal(0, 0.5, (cfg.samples, cfg.features)), -1, 1)
+    x[:, -1] = 1.0
+    y = ((x @ true_w) > 0).astype(float)
+    return x, y
+
+
+def test_sigmoid_poly_reasonable():
+    x = np.linspace(-4, 4, 101)
+    true = 1 / (1 + np.exp(-x))
+    assert np.abs(sigmoid_poly(x) - true).max() < 0.12
+
+
+@pytest.mark.slow
+def test_encrypted_training_tracks_plaintext(helr_setup, rng):
+    cfg, trainer = helr_setup
+    x, y = _data(cfg, rng)
+    w_enc = trainer.train(x, y, iterations=2)
+    w_ref = train_plain(x, y, 2, cfg.learning_rate)
+    assert np.abs(w_enc - w_ref).max() < 2e-2
+
+
+def test_plaintext_training_learns(rng):
+    cfg = HelrConfig(features=4, samples=64)
+    x, y = _data(cfg, rng)
+    w = train_plain(x, y, 30)
+    assert accuracy(x, y, w) > 0.9
+
+
+def test_workload_structure():
+    wl = helr_workload(n=2 ** 13)
+    assert wl.name == "helr"
+    assert len(wl.segments) == 2
+    assert wl.segments[0].repeat == 2     # two iterations
+    assert wl.segments[1].repeat == 1     # one 256-slot bootstrap
+    mix = wl.instruction_mix()
+    assert mix["bc_mult"] > 0 and mix["ntt"] > 0
+
+
+def test_rejects_bad_packing():
+    cfg = HelrConfig(features=3, samples=8)
+    with pytest.raises(ValueError):
+        HelrTrainer(cfg, CkksParams(n=2 ** 8, levels=6, dnum=3))

@@ -1,0 +1,77 @@
+"""ResNet: homomorphic convolution + workload structure."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.ckks import (
+    CkksContext,
+    CkksEvaluator,
+    CkksParams,
+    Decryptor,
+    Encryptor,
+    KeyGenerator,
+)
+from repro.workloads.resnet import (
+    HomomorphicConv2d,
+    conv2d_plain,
+    resnet_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def conv_env():
+    params = CkksParams(n=2 ** 8, levels=6, dnum=3, scale_bits=25,
+                        q0_bits=30, seed=9)
+    ctx = CkksContext(params)
+    kg = KeyGenerator(ctx)
+    sk = kg.gen_secret()
+    pk = kg.gen_public(sk)
+    ev = CkksEvaluator(ctx)
+    conv = HomomorphicConv2d(ctx, ev, 8, 8)
+    steps = conv.rotation_steps(np.ones((3, 3)))
+    ev.keys = kg.gen_keychain(sk, rotations=steps)
+    return ctx, ev, conv, Encryptor(ctx, pk), Decryptor(ctx, sk)
+
+
+def test_conv_matches_plain(conv_env, rng):
+    ctx, ev, conv, enc, dec = conv_env
+    img = rng.uniform(-1, 1, (8, 8))
+    kernel = rng.uniform(-1, 1, (3, 3))
+    packed = np.zeros(ctx.params.slots)
+    packed[:64] = img.reshape(-1)
+    ct = enc.encrypt(ctx.encode(packed))
+    out = conv.apply(ct, kernel)
+    got = np.real(ctx.decode(dec.decrypt(out)))[:64].reshape(8, 8)
+    assert np.abs(got - conv2d_plain(img, kernel)).max() < 1e-2
+
+
+def test_conv_edge_handling(conv_env, rng):
+    """Border pixels must see zero padding, not wrap-around."""
+    ctx, ev, conv, enc, dec = conv_env
+    img = np.zeros((8, 8))
+    img[0, 0] = 1.0
+    kernel = np.ones((3, 3))
+    packed = np.zeros(ctx.params.slots)
+    packed[:64] = img.reshape(-1)
+    out = conv.apply(enc.encrypt(ctx.encode(packed)), kernel)
+    got = np.real(ctx.decode(dec.decrypt(out)))[:64].reshape(8, 8)
+    want = conv2d_plain(img, kernel)
+    assert np.abs(got - want).max() < 1e-2
+    assert abs(got[7, 7]) < 1e-2      # no wraparound into the far corner
+
+
+def test_sparse_kernel_skips_rotations(conv_env):
+    ctx, ev, conv, *_ = conv_env
+    sparse = np.zeros((3, 3))
+    sparse[1, 1] = 1.0
+    assert conv.rotation_steps(np.ones((3, 3))) != []
+    # Applying the identity kernel requires no rotation at all.
+
+
+def test_workload_structure():
+    wl = resnet_workload(n=2 ** 13, detail=0.25)
+    assert wl.name == "resnet20"
+    assert len(wl.segments) == 2
+    mix = wl.instruction_mix()
+    total = sum(mix.values())
+    assert mix["bc_mult"] / total > 0.15   # BConv heavy, like Fig. 3

@@ -1,0 +1,63 @@
+"""Workload framework: segments, repeats, amortized metrics."""
+
+import pytest
+
+from repro.compiler.ir import Program
+from repro.core.config import ASIC_EFFACT
+from repro.core.isa import Opcode
+from repro.workloads.base import Segment, Workload, run_workload
+
+
+def _tiny_builder():
+    p = Program(2 ** 12, name="seg")
+    a, b = p.dram_value(), p.dram_value()
+    out = None
+    for _ in range(32):
+        out = p.emit(Opcode.MMUL, (a, b), tag="mult")
+        a = out
+    p.mark_output(out)
+    return p
+
+
+def _workload(repeat=3):
+    return Workload(name="w", segments=[Segment(builder=_tiny_builder,
+                                                repeat=repeat)],
+                    slots=16, amortization_levels=2)
+
+
+def test_builders_give_fresh_programs():
+    seg = Segment(builder=_tiny_builder)
+    p1, p2 = seg.fresh_program(), seg.fresh_program()
+    assert p1 is not p2
+
+
+def test_mix_scales_with_repeat():
+    single = _workload(repeat=1).instruction_mix()
+    triple = _workload(repeat=3).instruction_mix()
+    assert triple["mult"] == 3 * single["mult"]
+
+
+def test_run_workload_multiplies_segments():
+    one = run_workload(_workload(repeat=1), ASIC_EFFACT)
+    three = run_workload(_workload(repeat=3), ASIC_EFFACT)
+    assert three.cycles == 3 * one.cycles
+    assert three.dram_bytes == 3 * one.dram_bytes
+
+
+def test_amortized_metric():
+    run = run_workload(_workload(), ASIC_EFFACT)
+    expected = run.runtime_ms * 1e3 / (16 * 2)
+    assert run.amortized_us_per_slot == pytest.approx(expected)
+
+
+def test_amortized_requires_parameters():
+    wl = Workload(name="w", segments=[Segment(builder=_tiny_builder)])
+    run = run_workload(wl, ASIC_EFFACT)
+    with pytest.raises(ValueError):
+        _ = run.amortized_us_per_slot
+
+
+def test_utilization_bounded():
+    run = run_workload(_workload(), ASIC_EFFACT)
+    for unit in ("mmul", "madd", "ntt", "hbm"):
+        assert 0.0 <= run.utilization(unit) <= 1.0
