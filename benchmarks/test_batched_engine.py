@@ -1,0 +1,191 @@
+"""Batched limb-parallel engine vs. the seed's per-limb loops.
+
+Times every level-1 kernel (paper Fig. 1) two ways at ``n = 4096``,
+``L = 8``:
+
+* **per-limb** — the seed dataflow: a Python loop issuing one
+  ``(N,)`` numpy kernel per limb (``NegacyclicNTT`` rows, per-limb
+  ``%``-reduced MAC chains, the doubly-nested BConv loop, per-call
+  automorphism permutation rebuilds);
+* **batched** — one :class:`BatchedNTT`/Shoup/BLAS expression over the
+  whole ``(L, N)`` stack.
+
+Both sides are checked for bitwise-equal outputs before timing, so the
+table is a pure dataflow comparison.  The headline row is the
+double-hoisted rotation inner step (automorphism + key-MAC per digit
+— the BSGS inner loop that hoisting leaves after amortising the
+transforms); the ISSUE's acceptance bar is >= 3x there.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.nttmath.batched import BatchedNTT
+from repro.nttmath.ntt import NegacyclicNTT, galois_element
+from repro.nttmath.primes import find_ntt_primes
+from repro.rns.basis import RnsBasis
+from repro.rns.bconv import base_convert
+from repro.rns.poly import (
+    RnsPolynomial,
+    pointwise_mac_shoup,
+    shoup_precompute,
+)
+
+#: Acceptance-point parameters (ISSUE 1): n = 4096, L >= 8.
+ENGINE_N = int(os.environ.get("REPRO_BENCH_ENGINE_N", 4096))
+ENGINE_LIMBS = 8
+DNUM = 4
+REPEATS = int(os.environ.get("REPRO_BENCH_ENGINE_REPEATS", 9))
+#: Multiplier on every asserted speedup floor.  1.0 is the acceptance
+#: bar for quiet machines; CI sets < 1 because shared runners add
+#: sustained timing noise that best-of-N repeats cannot cancel.
+SLACK = float(os.environ.get("REPRO_BENCH_SPEEDUP_SLACK", 1.0))
+
+
+def _best_of(fn, repeats=REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_batched_engine_speedup():
+    n, limbs = ENGINE_N, ENGINE_LIMBS
+    primes = find_ntt_primes(28, n, limbs)
+    basis = RnsBasis(primes)
+    other = RnsBasis(find_ntt_primes(29, n, limbs, exclude=tuple(primes)))
+    rng = np.random.default_rng(20260728)
+    p_col = np.array(primes, dtype=np.int64)[:, None]
+
+    def draw():
+        return rng.integers(0, p_col, size=(limbs, n), dtype=np.int64)
+
+    data = draw()
+    poly = RnsPolynomial(basis, data)
+    eng = BatchedNTT(n, primes)
+    per_limb = [NegacyclicNTT(n, q) for q in primes]
+    fwd = eng.forward(data)
+    g = galois_element(5, n)
+
+    # hoisted-rotation operands: DNUM lifted digits x (b, a) key pair
+    digits = [RnsPolynomial(basis, draw(), is_ntt=True)
+              for _ in range(DNUM)]
+    key_b = [RnsPolynomial(basis, draw(), is_ntt=True) for _ in range(DNUM)]
+    key_a = [RnsPolynomial(basis, draw(), is_ntt=True) for _ in range(DNUM)]
+    tab_b = [shoup_precompute(k) for k in key_b]
+    tab_a = [shoup_precompute(k) for k in key_a]
+    c0 = draw()
+
+    # ------------------------------------------------------------------
+    # seed-dataflow implementations (per-limb Python loops)
+    # ------------------------------------------------------------------
+    def seed_forward():
+        return [per_limb[j].forward(data[j]) for j in range(limbs)]
+
+    def seed_inverse():
+        return [per_limb[j].inverse(fwd[j]) for j in range(limbs)]
+
+    def seed_auto():
+        return [per_limb[j].automorphism_ntt(fwd[j], g)
+                for j in range(limbs)]
+
+    def seed_bconv():
+        v = np.empty_like(poly.data)
+        for j, q in enumerate(basis.primes):
+            v[j] = poly.data[j] * (basis.q_hat_inv[j] % q) % q
+        out = np.zeros((len(other), n), dtype=np.int64)
+        for i, p in enumerate(other.primes):
+            acc = np.zeros(n, dtype=np.int64)
+            for j in range(limbs):
+                acc = (acc + v[j] * (basis.q_hat[j] % p)) % p
+            out[i] = acc
+        return out
+
+    def seed_mac():
+        acc = np.zeros((limbs, n), dtype=np.int64)
+        for d, k in zip(digits, key_b):
+            for j, q in enumerate(primes):
+                acc[j] = (acc[j] + d.data[j] * k.data[j] % q) % q
+        return acc
+
+    def seed_rotation_step():
+        rotated = [np.stack([per_limb[j].automorphism_ntt(d.data[j], g)
+                             for j in range(limbs)]) for d in digits]
+        rc0 = np.stack([per_limb[j].automorphism_ntt(c0[j], g)
+                        for j in range(limbs)])
+        acc0 = np.zeros((limbs, n), dtype=np.int64)
+        acc1 = np.zeros((limbs, n), dtype=np.int64)
+        for r, b, a in zip(rotated, key_b, key_a):
+            for j, q in enumerate(primes):
+                acc0[j] = (acc0[j] + r[j] * b.data[j] % q) % q
+                acc1[j] = (acc1[j] + r[j] * a.data[j] % q) % q
+        return rc0, acc0, acc1
+
+    # ------------------------------------------------------------------
+    # batched implementations
+    # ------------------------------------------------------------------
+    def batched_rotation_step():
+        rotated = [RnsPolynomial(basis, eng.automorphism_ntt(d.data, g),
+                                 is_ntt=True) for d in digits]
+        rc0 = eng.automorphism_ntt(c0, g)
+        acc0 = pointwise_mac_shoup(rotated, tab_b, basis)
+        acc1 = pointwise_mac_shoup(rotated, tab_a, basis)
+        return rc0, acc0.data, acc1.data
+
+    # bitwise equivalence before timing anything
+    assert np.array_equal(np.stack(seed_forward()), eng.forward(data))
+    assert np.array_equal(np.stack(seed_inverse()), eng.inverse(fwd))
+    assert np.array_equal(np.stack(seed_auto()),
+                          eng.automorphism_ntt(fwd, g))
+    assert np.array_equal(seed_bconv(), base_convert(poly, other).data)
+    assert np.array_equal(seed_mac(),
+                          pointwise_mac_shoup(digits, tab_b, basis).data)
+    for s, b in zip(seed_rotation_step(), batched_rotation_step()):
+        assert np.array_equal(s, b)
+
+    rows = []
+
+    def measure(name, seed_fn, batched_fn):
+        t_seed = _best_of(seed_fn)
+        t_batched = _best_of(batched_fn)
+        speedup = t_seed / t_batched
+        rows.append([name, f"{t_seed * 1e3:.2f}",
+                     f"{t_batched * 1e3:.2f}", f"{speedup:.2f}x"])
+        return speedup
+
+    s_fwd = measure("NTT forward", seed_forward, lambda: eng.forward(data))
+    s_inv = measure("NTT inverse", seed_inverse, lambda: eng.inverse(fwd))
+    s_auto = measure("automorphism (NTT domain)", seed_auto,
+                     lambda: eng.automorphism_ntt(fwd, g))
+    s_bconv = measure("BConv 8->8 limbs", seed_bconv,
+                      lambda: base_convert(poly, other))
+    s_mac = measure(f"key-MAC ({DNUM} digits)", seed_mac,
+                    lambda: pointwise_mac_shoup(digits, tab_b, basis))
+    s_rot = measure(f"hoisted rotation step (dnum={DNUM})",
+                    seed_rotation_step, batched_rotation_step)
+
+    print()
+    print(format_table(
+        ["kernel", "per-limb ms", "batched ms", "speedup"], rows,
+        title=f"Batched engine vs per-limb loops "
+              f"(n={n}, L={limbs}, best of {REPEATS})"))
+
+    # Acceptance (ISSUE 1): >= 3x on the headline batched-engine kernel
+    # at n=4096, L>=8.  The rotation inner step is where the batched
+    # dataflow pays off most: one cached gather replaces L permutation
+    # rebuilds and the key-MAC runs division-free on frozen keys.
+    assert s_rot >= 3.0 * SLACK, f"rotation step speedup {s_rot:.2f}x"
+    assert s_auto >= 5.0 * SLACK, f"automorphism speedup {s_auto:.2f}x"
+    # Conservative floors for the rest (guards against regressions
+    # while tolerating timing noise).
+    assert s_fwd >= 1.5 * SLACK, f"forward NTT speedup {s_fwd:.2f}x"
+    assert s_inv >= 1.3 * SLACK, f"inverse NTT speedup {s_inv:.2f}x"
+    assert s_bconv >= 1.0 * SLACK, f"BConv speedup {s_bconv:.2f}x"
+    assert s_mac >= 1.2 * SLACK, f"key-MAC speedup {s_mac:.2f}x"

@@ -1,0 +1,46 @@
+"""Repository-wide pytest configuration: the tier split.
+
+Tier 1 (``python -m pytest -x -q``) must stay fast: it runs the
+functional suite under ``tests/`` and skips everything marked ``bench``
+(all of ``benchmarks/``, which regenerate paper tables and time
+kernels) or ``slow``.  Opt back in with ``--run-bench`` /
+``--run-slow`` or the ``REPRO_RUN_BENCH=1`` / ``REPRO_RUN_SLOW=1``
+environment variables (handy for CI matrix entries).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent / "benchmarks"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-bench", action="store_true", default=False,
+        help="run benchmark-tier tests (everything under benchmarks/)")
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="run tests marked slow")
+
+
+def pytest_collection_modifyitems(config, items):
+    run_bench = (config.getoption("--run-bench")
+                 or os.environ.get("REPRO_RUN_BENCH") == "1")
+    run_slow = (config.getoption("--run-slow")
+                or os.environ.get("REPRO_RUN_SLOW") == "1")
+    skip_bench = pytest.mark.skip(
+        reason="benchmark tier: pass --run-bench or REPRO_RUN_BENCH=1")
+    skip_slow = pytest.mark.skip(
+        reason="slow test: pass --run-slow or REPRO_RUN_SLOW=1")
+    for item in items:
+        path = pathlib.Path(str(item.fspath)).resolve()
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
+        if not run_bench and item.get_closest_marker("bench"):
+            item.add_marker(skip_bench)
+        if not run_slow and item.get_closest_marker("slow"):
+            item.add_marker(skip_slow)

@@ -1,11 +1,18 @@
 """Number-theoretic substrate: primes, bit reversal, NTT, Montgomery."""
 
+from .batched import (
+    BatchedNTT,
+    BatchedPlan,
+    clear_caches,
+    get_plan,
+    plan_cache_size,
+)
 from .bitrev import (
     bit_reverse,
     bit_reverse_indices,
     bit_reverse_permute,
 )
-from .montgomery import MontgomeryContext
+from .montgomery import BatchedMontgomery, MontgomeryContext
 from .ntt import (
     ConstantGeometryNTT,
     NegacyclicNTT,
@@ -17,6 +24,9 @@ from .ntt import (
 from .primes import find_ntt_primes, is_prime, root_of_unity
 
 __all__ = [
+    "BatchedMontgomery",
+    "BatchedNTT",
+    "BatchedPlan",
     "ConstantGeometryNTT",
     "MontgomeryContext",
     "NegacyclicNTT",
@@ -24,10 +34,13 @@ __all__ = [
     "bit_reverse",
     "bit_reverse_indices",
     "bit_reverse_permute",
+    "clear_caches",
     "conjugation_element",
     "find_ntt_primes",
     "galois_element",
+    "get_plan",
     "is_prime",
+    "plan_cache_size",
     "polymul_negacyclic_reference",
     "root_of_unity",
 ]

@@ -1,0 +1,609 @@
+"""Batched limb-parallel negacyclic NTT engine.
+
+The per-limb kernels in :mod:`repro.nttmath.ntt` transform one ``(N,)``
+residue row at a time, so an ``(L, N)`` RNS stack pays ``L`` Python
+round trips per butterfly stage.  EFFACT's vector ISA treats the limb
+axis as just more vector lanes (paper Fig. 1): every level-1 operation
+is issued once over the whole residue stack.  :class:`BatchedNTT`
+mirrors that dataflow in numpy by carrying the per-limb moduli as an
+``(L, 1)`` column vector and stacked bit-reversed twiddle tables of
+shape ``(L, N)``, so each butterfly stage is a handful of vector
+expressions over all limbs at once.
+
+Three implementation techniques keep integer division out of the hot
+loops while leaving every canonical output bitwise identical to the
+``%``-based per-limb reference (the property
+:mod:`tests.test_batched_ntt` pins down):
+
+* **Shoup multiplication** — each twiddle ``w`` carries a companion
+  ``w' = floor(w*2^32/q)``; then ``x*w - ((x*w') >> 32)*q`` equals
+  ``x*w mod q`` up to one additive ``q``.  Two multiplies and a shift
+  replace the division.
+* **Lazy (Harvey-style) reduction** — intermediate values ride in
+  ``[0, 2q)`` / ``[0, 4q)`` and are folded down with a wraparound
+  ``minimum`` trick; only the final canonicalisation lands in
+  ``[0, q)``.  Fused radix-4 stages use the relaxed Shoup bound
+  (inputs up to ``4q``), which requires ``q < 2^30``; wider moduli
+  fall back to per-stage-reduced radix-2.
+* **Workspace pooling** — stage temporaries come from a tagged scratch
+  pool instead of fresh 100KB+ allocations per vector op (single
+  threaded, like the rest of this repository).
+
+:class:`BatchedPlan` bundles the engine with lazily built per-limb
+scalar kernels and is cached per ``(n, primes)`` in a bounded LRU.
+RNS-CKKS level dropping walks prefixes of one prime chain, so a plan
+for a prefix basis is derived from any cached superset plan by row
+slicing — a zero-copy view, not a rebuild.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from .bitrev import bit_reverse_indices
+from .ntt import NegacyclicNTT, _check_modulus
+from .primes import root_of_unity
+
+_SHIFT = np.uint64(32)
+
+# ----------------------------------------------------------------------
+# Tagged scratch pool (single-threaded; cleared by clear_caches)
+# ----------------------------------------------------------------------
+_SCRATCH: dict[tuple, np.ndarray] = {}
+
+
+def scratch(tag: str, shape: tuple[int, ...]) -> np.ndarray:
+    """A reusable uint64 buffer for ``tag``/``shape``.
+
+    Callers must fully overwrite it before reading.  Distinct call
+    sites use distinct tags so no two live buffers alias.
+    """
+    key = (tag, shape)
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        buf = np.empty(shape, dtype=np.uint64)
+        _SCRATCH[key] = buf
+    return buf
+
+
+def shoup_companion(values_u: np.ndarray, q_col_u: np.ndarray) -> np.ndarray:
+    """Per-element Shoup companions ``floor(v * 2^32 / q)``.
+
+    Pairing a constant operand stack with its companion turns every
+    later modular multiply against it into two uint64 multiplies and a
+    shift (no division) via :func:`shoup_mul_lazy` — EFFACT's
+    precomputed-constant philosophy applied to key material and BConv
+    weights.
+    """
+    return (values_u << _SHIFT) // q_col_u
+
+
+def shoup_mul_lazy(x_u: np.ndarray, s_u: np.ndarray, s_sh: np.ndarray,
+                   q_u, *, out: np.ndarray | None = None,
+                   hi: np.ndarray | None = None) -> np.ndarray:
+    """``x*s mod q`` landed lazily in [0, 2q), all uint64.
+
+    Exact up to one additive ``q``; requires ``x < 2^32`` elementwise
+    (canonical residues always qualify) and ``s < q < 2^31``.  ``out``
+    and ``hi`` may supply preallocated result/scratch buffers; ``out``
+    must not alias ``x``.
+    """
+    if hi is None:
+        hi = x_u * s_sh
+    else:
+        np.multiply(x_u, s_sh, out=hi)
+    hi >>= _SHIFT
+    hi *= q_u
+    if out is None:
+        out = x_u * s_u
+    else:
+        np.multiply(x_u, s_u, out=out)
+    out -= hi
+    return out
+
+
+class BatchedNTT:
+    """Negacyclic NTT over a stack of residue rings ``Z_q[X]/(X^n+1)``.
+
+    Parameters
+    ----------
+    n:
+        Ring degree, a power of two.
+    primes:
+        One NTT-friendly prime per limb (``q = 1 (mod 2n)``, ``q < 2^31``
+        so int64 butterfly products cannot overflow).
+    """
+
+    def __init__(self, n: int, primes):
+        primes = tuple(int(q) for q in primes)
+        if n & (n - 1) or n < 2:
+            raise ValueError(f"n must be a power of two >= 2, got {n}")
+        if not primes:
+            raise ValueError("need at least one limb modulus")
+        for q in primes:
+            if (q - 1) % (2 * n) != 0:
+                raise ValueError(f"q = {q} is not NTT friendly for n = {n}")
+            _check_modulus(q)
+        self.n = n
+        self.primes = primes
+        self.limbs = len(primes)
+        self.q_col = np.array(primes, dtype=np.int64).reshape(-1, 1)
+        self._rev = bit_reverse_indices(n)
+        psi = [root_of_unity(2 * n, q) for q in primes]
+        psi_inv = [pow(p, -1, q) for p, q in zip(psi, primes)]
+        psi_col = np.array(psi, dtype=np.int64).reshape(-1, 1)
+        psi_inv_col = np.array(psi_inv, dtype=np.int64).reshape(-1, 1)
+        self._psi_br = self._power_table(psi_col)[:, self._rev]
+        self._psi_inv_br = self._power_table(psi_inv_col)[:, self._rev]
+        self.n_inv_col = np.array([pow(n, -1, q) for q in primes],
+                                  dtype=np.int64).reshape(-1, 1)
+        self._q_u = self.q_col.astype(np.uint64)
+        self._q2_u = self._q_u * np.uint64(2)
+        self._psi_u = self._psi_br.astype(np.uint64)
+        self._psi_inv_u = self._psi_inv_br.astype(np.uint64)
+        self._psi_sh = shoup_companion(self._psi_u, self._q_u)
+        self._psi_inv_sh = shoup_companion(self._psi_inv_u, self._q_u)
+        self._n_inv_u = self.n_inv_col.astype(np.uint64)
+        self._n_inv_sh = shoup_companion(self._n_inv_u, self._q_u)
+        # Fused radix-4 stages rely on the relaxed Shoup bound (inputs
+        # up to 4q still land in [0, 2q)), which needs q < 2^30.  Wider
+        # moduli take the plain radix-2 path with per-stage reduction.
+        self._fused = max(q.bit_length() for q in primes) <= 30
+        # Permutation caches shared with prefix-derived engines: they
+        # depend only on (n, galois_elt), never on the moduli.
+        self._auto_ntt_idx: dict[int, np.ndarray] = {}
+        self._auto_coeff_maps: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @classmethod
+    def _prefix_of(cls, parent: "BatchedNTT", count: int) -> "BatchedNTT":
+        """Zero-copy engine for the first ``count`` limbs of ``parent``."""
+        self = cls.__new__(cls)
+        self.n = parent.n
+        self.primes = parent.primes[:count]
+        self.limbs = count
+        self.q_col = parent.q_col[:count]
+        self._rev = parent._rev
+        self._psi_br = parent._psi_br[:count]
+        self._psi_inv_br = parent._psi_inv_br[:count]
+        self.n_inv_col = parent.n_inv_col[:count]
+        self._q_u = parent._q_u[:count]
+        self._q2_u = parent._q2_u[:count]
+        self._psi_u = parent._psi_u[:count]
+        self._psi_inv_u = parent._psi_inv_u[:count]
+        self._psi_sh = parent._psi_sh[:count]
+        self._psi_inv_sh = parent._psi_inv_sh[:count]
+        self._n_inv_u = parent._n_inv_u[:count]
+        self._n_inv_sh = parent._n_inv_sh[:count]
+        self._fused = parent._fused
+        self._auto_ntt_idx = parent._auto_ntt_idx
+        self._auto_coeff_maps = parent._auto_coeff_maps
+        return self
+
+    def _power_table(self, base_col: np.ndarray) -> np.ndarray:
+        """``table[j, i] = base[j]**i mod q[j]`` via a binary ladder:
+        log2(n) vectorized square-and-multiply sweeps instead of an
+        ``O(L*n)`` Python loop."""
+        exps = np.arange(self.n, dtype=np.int64)
+        table = np.ones((self.limbs, self.n), dtype=np.int64)
+        square = base_col % self.q_col
+        for k in range(self.n.bit_length() - 1):
+            odd = ((exps >> k) & 1).astype(bool)
+            table[:, odd] = table[:, odd] * square % self.q_col
+            square = square * square % self.q_col
+        return table
+
+    def _check(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=np.int64)
+        if data.shape != (self.limbs, self.n):
+            raise ValueError(
+                f"expected shape ({self.limbs}, {self.n}), got {data.shape}")
+        return data
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lazy_csub(x: np.ndarray, bound: np.ndarray,
+                   tmp: np.ndarray | None = None) -> None:
+        """In place: [0, 2*bound) -> [0, bound) via wraparound min."""
+        if tmp is None:
+            np.minimum(x, x - bound, out=x)
+        else:
+            np.subtract(x, bound, out=tmp)
+            np.minimum(x, tmp, out=x)
+
+    def _ws(self, tag: str, parts: int) -> np.ndarray:
+        """Quarter-/half-stack scratch slab for the stage loops."""
+        return scratch(tag, (self.limbs, self.n // parts))
+
+    def forward(self, data: np.ndarray) -> np.ndarray:
+        """Natural-order coefficient stack -> bit-reversed NTT stack."""
+        a = (self._check(data) % self.q_col).astype(np.uint64)
+        if self._fused:
+            self._forward_fused(a)
+            self._lazy_csub(a, self._q2_u)
+        else:
+            self._forward_radix2(a)
+        self._lazy_csub(a, self._q_u)
+        return a.astype(np.int64)
+
+    def _forward_fused(self, a: np.ndarray) -> None:
+        """Radix-4 fused DIT stages; values ride lazily in [0, 4q)."""
+        n = self.n
+        q_b = self._q_u[:, :, None]
+        q2_b = self._q2_u[:, :, None]
+        psi, psi_sh = self._psi_u, self._psi_sh
+        if n >= 4:
+            bufs = [self._ws(f"f4_{i}", 4) for i in range(6)]
+        m, t = 1, n
+        while m * 2 < n:
+            t4 = t // 4
+            blocks = a.reshape(self.limbs, m, 4, t4)
+            x0 = blocks[:, :, 0, :]
+            x1 = blocks[:, :, 1, :]
+            x2 = blocks[:, :, 2, :]
+            x3 = blocks[:, :, 3, :]
+            shape = (self.limbs, m, t4)
+            b0, b1, b2, b3, b4, b5 = (b.reshape(shape) for b in bufs)
+            s_m = psi[:, m:2 * m, None]
+            s_m_sh = psi_sh[:, m:2 * m, None]
+            s_a = psi[:, 2 * m:4 * m:2, None]
+            s_a_sh = psi_sh[:, 2 * m:4 * m:2, None]
+            s_b = psi[:, 2 * m + 1:4 * m:2, None]
+            s_b_sh = psi_sh[:, 2 * m + 1:4 * m:2, None]
+            v2 = shoup_mul_lazy(x2, s_m, s_m_sh, q_b, out=b1, hi=b0)
+            v3 = shoup_mul_lazy(x3, s_m, s_m_sh, q_b, out=b2, hi=b0)
+            np.subtract(x0, q2_b, out=b0)
+            u0 = np.minimum(x0, b0, out=b3)            # < 2q
+            np.subtract(x1, q2_b, out=b0)
+            u1 = np.minimum(x1, b0, out=b4)
+            mid1 = np.add(u1, v3, out=b5)              # < 4q
+            u1 += q2_b
+            mid3 = np.subtract(u1, v3, out=b4)         # < 4q
+            w1 = shoup_mul_lazy(mid1, s_a, s_a_sh, q_b, out=b2, hi=b0)
+            w3 = shoup_mul_lazy(mid3, s_b, s_b_sh, q_b, out=b5, hi=b0)
+            mid0 = np.add(u0, v2, out=b4)
+            u0 += q2_b
+            mid2 = np.subtract(u0, v2, out=b3)
+            self._lazy_csub(mid0, q2_b, b0)            # < 2q
+            self._lazy_csub(mid2, q2_b, b0)
+            np.add(mid0, w1, out=x0)                   # outputs < 4q
+            mid0 += q2_b
+            mid0 -= w1
+            blocks[:, :, 1, :] = mid0
+            np.add(mid2, w3, out=x2)
+            mid2 += q2_b
+            mid2 -= w3
+            blocks[:, :, 3, :] = mid2
+            m *= 4
+            t = t4
+        if m < n:                                      # odd stage count
+            t //= 2
+            blocks = a.reshape(self.limbs, m, 2 * t)
+            shape = (self.limbs, m, t)
+            h0 = self._ws("f2_0", 2).reshape(shape)
+            h1 = self._ws("f2_1", 2).reshape(shape)
+            h2 = self._ws("f2_2", 2).reshape(shape)
+            xl = blocks[:, :, :t]
+            xr = blocks[:, :, t:]
+            s = psi[:, m:2 * m, None]
+            s_sh = psi_sh[:, m:2 * m, None]
+            np.subtract(xr, q2_b, out=h0)
+            x_red = np.minimum(xr, h0, out=h1)
+            v = shoup_mul_lazy(x_red, s, s_sh, q_b, out=h2, hi=h0)
+            np.subtract(xl, q2_b, out=h0)
+            u = np.minimum(xl, h0, out=h1)
+            np.add(u, v, out=xl)
+            u += q2_b
+            u -= v
+            blocks[:, :, t:] = u
+        # values are < 4q here; forward() folds them down to [0, q)
+
+    def _forward_radix2(self, a: np.ndarray) -> None:
+        """Reference-dataflow radix-2 stages, values in [0, 4q) (used
+        for 31-bit moduli where the relaxed fused bound fails)."""
+        q_b = self._q_u[:, :, None]
+        q2_b = self._q2_u[:, :, None]
+        t, m = self.n, 1
+        while m < self.n:
+            t //= 2
+            blocks = a.reshape(self.limbs, m, 2 * t)
+            shape = (self.limbs, m, t)
+            h0 = self._ws("r2_0", 2).reshape(shape)
+            h1 = self._ws("r2_1", 2).reshape(shape)
+            h2 = self._ws("r2_2", 2).reshape(shape)
+            s = self._psi_u[:, m:2 * m, None]
+            s_sh = self._psi_sh[:, m:2 * m, None]
+            xl = blocks[:, :, :t]
+            xr = blocks[:, :, t:]
+            np.subtract(xr, q2_b, out=h0)
+            x_red = np.minimum(xr, h0, out=h1)         # < 2q
+            v = shoup_mul_lazy(x_red, s, s_sh, q_b, out=h2, hi=h0)
+            np.subtract(xl, q2_b, out=h0)
+            u = np.minimum(xl, h0, out=h1)             # < 2q
+            np.add(u, v, out=xl)                       # < 4q
+            u += q2_b
+            u -= v
+            blocks[:, :, t:] = u
+            m *= 2
+        self._lazy_csub(a, self._q2_u)
+
+    def inverse(self, data: np.ndarray, *,
+                scale_by_n_inv: bool = True) -> np.ndarray:
+        """Bit-reversed NTT stack -> natural-order coefficient stack.
+
+        ``scale_by_n_inv=False`` skips the trailing 1/n multiply, the
+        hook :class:`repro.rns.bconv.MergedBConv` folds into its first
+        constant (paper eq. 5).
+        """
+        a = (self._check(data) % self.q_col).astype(np.uint64)
+        if self._fused:
+            self._inverse_fused(a)
+        else:
+            self._inverse_radix2(a)
+        # values < 2q here
+        if scale_by_n_inv:
+            a = shoup_mul_lazy(a, self._n_inv_u, self._n_inv_sh, self._q_u)
+        self._lazy_csub(a, self._q_u)
+        return a.astype(np.int64)
+
+    def _inverse_fused(self, a: np.ndarray) -> None:
+        """Radix-4 fused GS stages; values ride lazily in [0, 2q)."""
+        n = self.n
+        q_b = self._q_u[:, :, None]
+        q2_b = self._q2_u[:, :, None]
+        psi, psi_sh = self._psi_inv_u, self._psi_inv_sh
+        if n >= 4:
+            bufs = [self._ws(f"i4_{i}", 4) for i in range(6)]
+        m, t = n, 1
+        while m > 2:
+            h1 = m // 2
+            h2 = m // 4
+            blocks = a.reshape(self.limbs, h2, 4, t)
+            z0 = blocks[:, :, 0, :]
+            z1 = blocks[:, :, 1, :]
+            z2 = blocks[:, :, 2, :]
+            z3 = blocks[:, :, 3, :]
+            shape = (self.limbs, h2, t)
+            b0, b1, b2, b3, b4, b5 = (b.reshape(shape) for b in bufs)
+            s_a = psi[:, h1:2 * h1:2, None]
+            s_a_sh = psi_sh[:, h1:2 * h1:2, None]
+            s_b = psi[:, h1 + 1:2 * h1:2, None]
+            s_b_sh = psi_sh[:, h1 + 1:2 * h1:2, None]
+            s_c = psi[:, h2:2 * h2, None]
+            s_c_sh = psi_sh[:, h2:2 * h2, None]
+            w0 = np.add(z0, z1, out=b0)                # < 4q
+            p0 = np.add(z0, q2_b, out=b1)
+            p0 -= z1
+            d0 = shoup_mul_lazy(p0, s_a, s_a_sh, q_b, out=b3, hi=b2)
+            w1 = np.add(z2, z3, out=b1)
+            p1 = np.add(z2, q2_b, out=b2)
+            p1 -= z3
+            d1 = shoup_mul_lazy(p1, s_b, s_b_sh, q_b, out=b5, hi=b4)
+            self._lazy_csub(w0, q2_b, b2)              # < 2q
+            self._lazy_csub(w1, q2_b, b2)
+            out0 = np.add(w0, w1, out=b2)              # < 4q
+            self._lazy_csub(out0, q2_b, b4)
+            blocks[:, :, 0, :] = out0
+            w0 += q2_b
+            w0 -= w1                                   # < 4q
+            blocks[:, :, 2, :] = shoup_mul_lazy(w0, s_c, s_c_sh, q_b,
+                                                out=b1, hi=b4)
+            out1 = np.add(d0, d1, out=b2)
+            self._lazy_csub(out1, q2_b, b4)
+            blocks[:, :, 1, :] = out1
+            d0 += q2_b
+            d0 -= d1
+            blocks[:, :, 3, :] = shoup_mul_lazy(d0, s_c, s_c_sh, q_b,
+                                                out=b1, hi=b4)
+            t *= 4
+            m //= 4
+        if m == 2:                                     # odd stage count
+            blocks = a.reshape(self.limbs, 1, 2 * t)
+            shape = (self.limbs, 1, t)
+            h0 = self._ws("i2_0", 2).reshape(shape)
+            h1 = self._ws("i2_1", 2).reshape(shape)
+            zl = blocks[:, :, :t]
+            zr = blocks[:, :, t:]
+            s = psi[:, 1:2, None]
+            s_sh = psi_sh[:, 1:2, None]
+            d = np.add(zl, q2_b, out=h0)
+            d -= zr                                    # < 4q
+            w = np.add(zl, zr, out=h1)
+            self._lazy_csub(w, q2_b)
+            blocks[:, :, :t] = w
+            blocks[:, :, t:] = shoup_mul_lazy(d, s, s_sh, q_b)
+        # values are < 2q here
+
+    def _inverse_radix2(self, a: np.ndarray) -> None:
+        """Radix-2 GS stages reduced each stage (31-bit moduli)."""
+        q_b = self._q_u[:, :, None]
+        q2_b = self._q2_u[:, :, None]
+        t, m = 1, self.n
+        while m > 1:
+            h = m // 2
+            blocks = a.reshape(self.limbs, h, 2 * t)
+            shape = (self.limbs, h, t)
+            h0 = self._ws("ir_0", 2).reshape(shape)
+            h1 = self._ws("ir_1", 2).reshape(shape)
+            h2 = self._ws("ir_2", 2).reshape(shape)
+            s = self._psi_inv_u[:, h:2 * h, None]
+            s_sh = self._psi_inv_sh[:, h:2 * h, None]
+            zl = blocks[:, :, :t]
+            zr = blocks[:, :, t:]
+            d = np.add(zl, q2_b, out=h0)
+            d -= zr                                    # < 4q
+            self._lazy_csub(d, q2_b, h1)               # < 2q
+            w = np.add(zl, zr, out=h1)
+            self._lazy_csub(w, q2_b, h2)
+            blocks[:, :, :t] = w
+            blocks[:, :, t:] = shoup_mul_lazy(d, s, s_sh, q_b,
+                                              out=h2, hi=h1)
+            t *= 2
+            m = h
+        # values are < 2q here
+
+    def pointwise_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise modular product of two ``(L, n)`` stacks."""
+        return self._check(a) * self._check(b) % self.q_col
+
+    def polymul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of naturally-ordered coefficient stacks."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(fa * fb % self.q_col)
+
+    # ------------------------------------------------------------------
+    # Automorphisms
+    # ------------------------------------------------------------------
+    def automorphism_ntt(self, data: np.ndarray,
+                         galois_elt: int) -> np.ndarray:
+        """sigma'_s on bit-reversed NTT stacks: one gather per stack.
+
+        The per-limb reference composes BR -> sigma'_s -> BR; the three
+        permutations collapse into a single cached index vector that is
+        independent of the moduli, so all limbs share one fancy-index.
+        """
+        idx = self._auto_ntt_idx.get(galois_elt)
+        if idx is None:
+            rev = self._rev
+            i = np.arange(self.n, dtype=np.int64)
+            src = (((2 * i + 1) * galois_elt) % (2 * self.n) - 1) // 2
+            src %= self.n
+            idx = rev[src[rev]]
+            self._auto_ntt_idx[galois_elt] = idx
+        return self._check(data)[:, idx]
+
+    def automorphism_coeff(self, data: np.ndarray,
+                           galois_elt: int) -> np.ndarray:
+        """Coefficient-domain ``a(X) -> a(X^g)`` on the whole stack."""
+        maps = self._auto_coeff_maps.get(galois_elt)
+        if maps is None:
+            i = np.arange(self.n, dtype=np.int64)
+            j = (i * galois_elt) % (2 * self.n)
+            flip = j >= self.n
+            j = np.where(flip, j - self.n, j)
+            maps = (j, flip)
+            self._auto_coeff_maps[galois_elt] = maps
+        j, flip = maps
+        data = self._check(data)
+        out = np.zeros_like(data)
+        out[:, j] = np.where(flip, (-data) % self.q_col, data % self.q_col)
+        return out
+
+
+class BatchedPlan:
+    """Precomputed batched-kernel state for one ``(n, primes)`` stack.
+
+    Owns the :class:`BatchedNTT` engine plus lazily built per-limb
+    :class:`NegacyclicNTT` kernels (for callers that still transform a
+    single row, e.g. the BFV/BGV plaintext packers).  All caching for a
+    basis lives on its plan object, so dropping the plan releases every
+    derived table.
+    """
+
+    __slots__ = ("n", "primes", "q_col", "_ntt", "_limb_ntts")
+
+    def __init__(self, n: int, primes, *, ntt: BatchedNTT | None = None):
+        self.n = int(n)
+        self.primes = tuple(int(q) for q in primes)
+        self.q_col = np.array(self.primes, dtype=np.int64).reshape(-1, 1)
+        self._ntt = ntt
+        self._limb_ntts: dict[int, NegacyclicNTT] = {}
+
+    @property
+    def ntt(self) -> BatchedNTT:
+        """The batched engine, built on first use — callers that only
+        need a scalar per-limb kernel (e.g. ``ntt_table``) never pay
+        for the stacked twiddle tables."""
+        if self._ntt is None:
+            self._ntt = BatchedNTT(self.n, self.primes)
+        return self._ntt
+
+    def limb_ntt(self, index: int) -> NegacyclicNTT:
+        """Scalar per-limb kernel for limb ``index`` (built on demand)."""
+        table = self._limb_ntts.get(index)
+        if table is None:
+            table = NegacyclicNTT(self.n, self.primes[index])
+            self._limb_ntts[index] = table
+        return table
+
+    def prefix(self, count: int) -> "BatchedPlan":
+        """Plan for the first ``count`` limbs, sharing twiddle memory
+        with this plan's engine when it has been built."""
+        if not 1 <= count <= len(self.primes):
+            raise ValueError(f"invalid prefix length {count}")
+        derived = None
+        if self._ntt is not None:
+            derived = BatchedNTT._prefix_of(self._ntt, count)
+        return BatchedPlan(self.n, self.primes[:count], ntt=derived)
+
+    def __repr__(self) -> str:
+        return f"BatchedPlan(n={self.n}, limbs={len(self.primes)})"
+
+
+#: Upper bound on live plans; old plans are evicted least-recently-used
+#: so long-running services cycling through parameter sets cannot grow
+#: the cache without bound (each plan holds O(L*n) twiddle words).
+PLAN_CACHE_MAX = 64
+
+_PLAN_CACHE: "OrderedDict[tuple[int, tuple[int, ...]], BatchedPlan]" = \
+    OrderedDict()
+
+_EXTRA_CLEARERS: list[Callable[[], None]] = []
+
+
+def get_plan(n: int, primes) -> BatchedPlan:
+    """Basis-keyed plan cache: one :class:`BatchedPlan` per
+    ``(n, primes)``, derived by row-slicing when a cached superset plan
+    already holds the twiddles for this prefix."""
+    key = (int(n), tuple(int(q) for q in primes))
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = _derive_from_superset(key)
+        if plan is None:
+            plan = BatchedPlan(key[0], key[1])
+        _PLAN_CACHE[key] = plan
+        while len(_PLAN_CACHE) > PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    else:
+        _PLAN_CACHE.move_to_end(key)
+    return plan
+
+
+def _derive_from_superset(key) -> BatchedPlan | None:
+    n, primes = key
+    count = len(primes)
+    for (cached_n, cached_primes), plan in _PLAN_CACHE.items():
+        if cached_n == n and len(cached_primes) > count \
+                and cached_primes[:count] == primes:
+            return plan.prefix(count)
+    return None
+
+
+def plan_cache_size() -> int:
+    """Number of live plans (exposed for cache-bound tests)."""
+    return len(_PLAN_CACHE)
+
+
+def register_cache_clearer(fn: Callable[[], None]) -> None:
+    """Let sibling modules (e.g. BConv weight tables) hook into
+    :func:`clear_caches` without an import cycle."""
+    _EXTRA_CLEARERS.append(fn)
+
+
+def clear_caches() -> None:
+    """Drop every cached plan, scratch slab, and registered sibling
+    cache."""
+    _PLAN_CACHE.clear()
+    _SCRATCH.clear()
+    for fn in _EXTRA_CLEARERS:
+        fn()
+
+
+def ntt_table(n: int, q: int) -> NegacyclicNTT:
+    """Shared scalar NTT kernel, cached on the single-limb plan."""
+    return get_plan(n, (q,)).limb_ntt(0)

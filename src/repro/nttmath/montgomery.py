@@ -87,3 +87,45 @@ class MontgomeryContext:
         u = (t + m * np.uint64(self.q)) >> np.uint64(self.r_bits)
         u = np.where(u >= self.q, u - np.uint64(self.q), u)
         return u.astype(np.int64)
+
+
+class BatchedMontgomery:
+    """Limb-parallel Montgomery multiply with one modulus per row.
+
+    Where :class:`MontgomeryContext` reduces a single residue ring,
+    this carries the per-limb moduli and ``q'`` constants as ``(L, 1)``
+    uint64 columns so one call reduces a whole ``(L, n)`` residue stack
+    — the batched counterpart the merged-BConv pipeline issues per
+    instruction instead of per limb.  Outputs are bitwise identical to
+    per-limb :meth:`MontgomeryContext.vec_mont_mul`.
+    """
+
+    def __init__(self, primes, r_bits: int = 32):
+        primes = tuple(int(q) for q in primes)
+        if r_bits > 32:
+            raise ValueError("batched path requires R <= 2^32")
+        for q in primes:
+            if q % 2 == 0:
+                raise ValueError("Montgomery reduction requires odd moduli")
+            if q.bit_length() > 31:
+                raise ValueError("batched path requires q < 2^31")
+        self.primes = primes
+        self.r_bits = r_bits
+        self.r = 1 << r_bits
+        self._mask = np.uint64(self.r - 1)
+        self._shift = np.uint64(r_bits)
+        self._q_col = np.array(primes, dtype=np.uint64).reshape(-1, 1)
+        self._q_neg_inv_col = np.array(
+            [(-pow(q, -1, self.r)) % self.r for q in primes],
+            dtype=np.uint64).reshape(-1, 1)
+
+    def mont_mul(self, a: np.ndarray, b) -> np.ndarray:
+        """Batched MontMult over an ``(L, n)`` stack; ``b`` may be a
+        stack, an ``(L, 1)`` constant column, or a scalar."""
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        t = a * b
+        m = (t & self._mask) * self._q_neg_inv_col & self._mask
+        u = (t + m * self._q_col) >> self._shift
+        u = np.where(u >= self._q_col, u - self._q_col, u)
+        return u.astype(np.int64)

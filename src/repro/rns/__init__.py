@@ -10,7 +10,7 @@ from .bconv import (
     mod_up,
     rescale_last,
 )
-from .poly import RnsPolynomial, ntt_table
+from .poly import RnsPolynomial, clear_caches, ntt_table, pointwise_mac
 
 __all__ = [
     "MergedBConv",
@@ -18,10 +18,12 @@ __all__ = [
     "RnsPolynomial",
     "base_convert",
     "base_convert_exact",
+    "clear_caches",
     "default_basis",
     "intt_then_merged_bconv",
     "mod_down",
     "mod_up",
     "ntt_table",
+    "pointwise_mac",
     "rescale_last",
 ]

@@ -31,6 +31,16 @@ class RnsBasis:
         self.q_hat = tuple(self.modulus // p for p in primes)
         self.q_hat_inv = tuple(
             pow(self.q_hat[j] % p, -1, p) for j, p in enumerate(primes))
+        # (L, 1) column vectors so limb-parallel kernels broadcast one
+        # expression over the whole residue stack.  Bases with primes
+        # beyond int64 fall back to the big-int paths (columns absent).
+        try:
+            self.q_col = np.array(primes, dtype=np.int64).reshape(-1, 1)
+            self.q_hat_inv_col = np.array(
+                self.q_hat_inv, dtype=np.int64).reshape(-1, 1)
+        except OverflowError:
+            self.q_col = None
+            self.q_hat_inv_col = None
 
     def __len__(self) -> int:
         return len(self.primes)
@@ -112,8 +122,21 @@ class RnsBasis:
         """Integer coefficient vector -> residue stack of shape (L, N).
 
         Coefficients may be arbitrarily large Python ints (or negative);
-        each limb is reduced into ``[0, q_j)``.
+        each limb is reduced into ``[0, q_j)``.  Machine-word inputs take
+        a single broadcast reduction over the whole stack.
         """
+        if self.q_col is not None:
+            # Unsigned/float inputs can wrap or truncate silently under
+            # an int64 cast (e.g. uint64 values >= 2^63); only
+            # signed-integer sources are provably exact here — the rest
+            # take the big-int path below.
+            try:
+                src = np.asarray(coeffs)
+            except (OverflowError, TypeError, ValueError):
+                src = None
+            if src is not None and src.ndim == 1 and src.dtype.kind == "i":
+                arr = np.asarray(src, dtype=np.int64)
+                return arr[None, :] % self.q_col
         n = len(coeffs)
         out = np.empty((len(self.primes), n), dtype=np.int64)
         for j, p in enumerate(self.primes):

@@ -8,6 +8,14 @@ instructions; the functions here are written in exactly that
 multiply-accumulate form so the compiler lowering in
 :mod:`repro.compiler.lowering` matches the arithmetic one-to-one.
 
+Every kernel is limb-parallel: the per-source-limb scaling is one
+broadcast multiply against the basis' ``(L, 1)`` constant columns, and
+the target accumulation reduces a whole ``(L_from, N)`` stack per
+output limb (partial sums stay unreduced — each term is below ``2^31``,
+so int64 holds hundreds of limbs).  The pre-reduced weight matrices
+``q_hat[j] mod p_i`` are cached per basis pair in a bounded LRU wired
+into :func:`repro.nttmath.batched.clear_caches`.
+
 The merged variant (paper eq. 5 / section IV-D5) folds the iNTT 1/N
 post-scaling and all Montgomery representation conversions into BConv's
 pre-computed constants, using the single-Montgomery (SM) and
@@ -16,12 +24,96 @@ double-Montgomery (DM) representations.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
-from ..nttmath.montgomery import MontgomeryContext
-from ..nttmath.ntt import NegacyclicNTT
+from ..nttmath.batched import (
+    get_plan,
+    register_cache_clearer,
+    scratch,
+    shoup_companion,
+    shoup_mul_lazy,
+)
+from ..nttmath.montgomery import BatchedMontgomery, MontgomeryContext
 from .basis import RnsBasis
-from .poly import RnsPolynomial, ntt_table
+from .poly import RnsPolynomial
+
+#: Source limbs per exact-matmul chunk: 32 terms of
+#: ``(2^31)*(2^16)`` stay below float64's 2^53 integer ceiling.
+_MATMUL_CHUNK = 32
+
+#: LRU of pre-reduced BConv weight matrices keyed by basis-pair primes.
+_WEIGHT_CACHE_MAX = 64
+_WEIGHT_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+register_cache_clearer(_WEIGHT_CACHE.clear)
+
+
+def _qhat_weights(from_basis: RnsBasis, to_basis: RnsBasis) -> np.ndarray:
+    """``W[i, j] = q_hat[j] mod p_i`` — the BConv MMAD constants —
+    held in float64 so the accumulation runs as BLAS matrix products."""
+    key = (from_basis.primes, to_basis.primes)
+    weights = _WEIGHT_CACHE.get(key)
+    if weights is None:
+        weights = np.array(
+            [[q_hat % p for q_hat in from_basis.q_hat]
+             for p in to_basis.primes], dtype=np.float64)
+        _WEIGHT_CACHE[key] = weights
+        while len(_WEIGHT_CACHE) > _WEIGHT_CACHE_MAX:
+            _WEIGHT_CACHE.popitem(last=False)
+    else:
+        _WEIGHT_CACHE.move_to_end(key)
+    return weights
+
+
+def _scaled_residues(poly: RnsPolynomial) -> np.ndarray:
+    """``v_j = a_j * qhat_inv_j mod q_j`` — one broadcast Shoup MMUL
+    over the stack, canonicalised so the fast-BConv overshoot stays
+    bitwise identical to the per-limb reference.
+
+    Returns a pooled uint64 buffer; consume it before the next BConv.
+    """
+    basis = poly.basis
+    q_u = basis.q_col.astype(np.uint64)
+    s_u = basis.q_hat_inv_col.astype(np.uint64)
+    s_sh = shoup_companion(s_u, q_u)
+    shape = poly.data.shape
+    x = scratch("bcv_x", shape)
+    hi = scratch("bcv_hi", shape)
+    v = scratch("bcv_v", shape)
+    np.copyto(x, poly.data, casting="unsafe")
+    shoup_mul_lazy(x, s_u, s_sh, q_u, out=v, hi=hi)
+    np.subtract(v, q_u, out=hi)
+    np.minimum(v, hi, out=v)
+    return v
+
+
+def _weighted_sums(v: np.ndarray, from_basis: RnsBasis,
+                   to_basis: RnsBasis) -> tuple[np.ndarray, np.ndarray]:
+    """``acc[i] = sum_j v_j * (q_hat_j mod p_i)`` exactly, plus the
+    target-modulus column.
+
+    The double limb loop of the reference becomes two BLAS matrix
+    products per 32-limb chunk: ``v`` splits into 16-bit halves so
+    every float64 dot product stays below 2^53 and remains exact.  The
+    returned int64 accumulator awaits a final ``% p`` (callers fold
+    their own corrections in first); residues after that reduction are
+    bitwise identical to the reference's reduce-every-step loop.
+    """
+    weights = _qhat_weights(from_basis, to_basis)
+    p_col = np.array(to_basis.primes, dtype=np.int64).reshape(-1, 1)
+    v_hi = (v >> np.uint64(16)).astype(np.float64)
+    v_lo = (v & np.uint64(0xFFFF)).astype(np.float64)
+    acc: np.ndarray | None = None
+    for lo in range(0, len(from_basis), _MATMUL_CHUNK):
+        sel = slice(lo, lo + _MATMUL_CHUNK)
+        s_hi = (weights[:, sel] @ v_hi[sel]).astype(np.int64)
+        s_lo = (weights[:, sel] @ v_lo[sel]).astype(np.int64)
+        part = ((s_hi % p_col) << 16) + s_lo
+        acc = part if acc is None else acc + part
+    assert acc is not None
+    return acc, p_col
 
 
 def base_convert(poly: RnsPolynomial, to_basis: RnsBasis) -> RnsPolynomial:
@@ -36,21 +128,9 @@ def base_convert(poly: RnsPolynomial, to_basis: RnsBasis) -> RnsPolynomial:
     """
     if poly.is_ntt:
         raise ValueError("BConv operates on coefficient-domain data")
-    from_basis = poly.basis
-    n = poly.n
-    # v_j = a_j * qhat_inv_j mod q_j   (one MMUL per source limb)
-    v = np.empty_like(poly.data)
-    for j, q in enumerate(from_basis.primes):
-        v[j] = poly.data[j] * (from_basis.q_hat_inv[j] % q) % q
-    # out_i = sum_j v_j * (qhat_j mod p_i)  (MMUL + MMAD chains)
-    out = np.zeros((len(to_basis), n), dtype=np.int64)
-    for i, p in enumerate(to_basis.primes):
-        acc = np.zeros(n, dtype=np.int64)
-        for j in range(len(from_basis)):
-            weight = from_basis.q_hat[j] % p
-            acc = (acc + v[j] * weight) % p
-        out[i] = acc
-    return RnsPolynomial(to_basis, out, is_ntt=False)
+    v = _scaled_residues(poly)
+    acc, p_col = _weighted_sums(v, poly.basis, to_basis)
+    return RnsPolynomial(to_basis, acc % p_col, is_ntt=False)
 
 
 def base_convert_exact(poly: RnsPolynomial,
@@ -64,23 +144,16 @@ def base_convert_exact(poly: RnsPolynomial,
     if poly.is_ntt:
         raise ValueError("BConv operates on coefficient-domain data")
     from_basis = poly.basis
-    n = poly.n
-    v = np.empty_like(poly.data)
-    frac = np.zeros(n, dtype=np.float64)
-    for j, q in enumerate(from_basis.primes):
-        v[j] = poly.data[j] * (from_basis.q_hat_inv[j] % q) % q
-        frac += v[j].astype(np.float64) / float(q)
+    v = _scaled_residues(poly)
+    frac = (v.astype(np.float64)
+            / from_basis.q_col.astype(np.float64)).sum(axis=0)
     e = np.rint(frac).astype(np.int64)
-    out = np.zeros((len(to_basis), n), dtype=np.int64)
+    acc, p_col = _weighted_sums(v, from_basis, to_basis)
     big_q = from_basis.modulus
-    for i, p in enumerate(to_basis.primes):
-        acc = np.zeros(n, dtype=np.int64)
-        for j in range(len(from_basis)):
-            weight = from_basis.q_hat[j] % p
-            acc = (acc + v[j] * weight) % p
-        acc = (acc - e * (big_q % p)) % p
-        out[i] = acc
-    return RnsPolynomial(to_basis, out, is_ntt=False)
+    q_mod_p = np.array([big_q % p for p in to_basis.primes],
+                       dtype=np.int64).reshape(-1, 1)
+    return RnsPolynomial(to_basis, (acc - e * q_mod_p) % p_col,
+                         is_ntt=False)
 
 
 def mod_up(poly: RnsPolynomial, full_basis: RnsBasis) -> RnsPolynomial:
@@ -95,13 +168,13 @@ def mod_up(poly: RnsPolynomial, full_basis: RnsBasis) -> RnsPolynomial:
     present = {p: j for j, p in enumerate(poly.basis.primes)}
     missing = RnsBasis([p for p in full_basis.primes if p not in present])
     converted = base_convert(poly, missing)
-    missing_index = {p: i for i, p in enumerate(missing.primes)}
+    rows = np.array([present.get(p, -1) for p in full_basis.primes])
     data = np.empty((len(full_basis), poly.n), dtype=np.int64)
-    for i, p in enumerate(full_basis.primes):
-        if p in present:
-            data[i] = poly.data[present[p]]
-        else:
-            data[i] = converted.data[missing_index[p]]
+    kept = rows >= 0
+    data[kept] = poly.data[rows[kept]]
+    # missing was built in full_basis order, so its rows line up with
+    # the ~kept positions as-is
+    data[~kept] = converted.data
     return RnsPolynomial(full_basis, data, is_ntt=False)
 
 
@@ -117,14 +190,13 @@ def mod_down(poly: RnsPolynomial, q_basis: RnsBasis,
     lq, lp = len(q_basis), len(p_basis)
     if len(poly.basis) != lq + lp:
         raise ValueError("input basis is not Q + P")
-    a_q = RnsPolynomial(q_basis, poly.data[:lq].copy(), is_ntt=False)
-    a_p = RnsPolynomial(p_basis, poly.data[lq:].copy(), is_ntt=False)
+    a_p = RnsPolynomial(p_basis, poly.data[lq:], is_ntt=False)
     correction = base_convert(a_p, q_basis)
     big_p = p_basis.modulus
-    data = np.empty((lq, poly.n), dtype=np.int64)
-    for j, q in enumerate(q_basis.primes):
-        p_inv = pow(big_p % q, -1, q)
-        data[j] = (a_q.data[j] - correction.data[j]) % q * p_inv % q
+    p_inv_col = np.array([pow(big_p % q, -1, q) for q in q_basis.primes],
+                         dtype=np.int64).reshape(-1, 1)
+    q_col = q_basis.q_col
+    data = (poly.data[:lq] - correction.data) % q_col * p_inv_col % q_col
     return RnsPolynomial(q_basis, data, is_ntt=False)
 
 
@@ -144,10 +216,10 @@ def rescale_last(poly: RnsPolynomial) -> RnsPolynomial:
     new_basis = poly.basis.prefix(len(poly.basis) - 1)
     # Centre the dropped limb so rounding is to nearest.
     centred = np.where(last > q_last // 2, last - q_last, last)
-    data = np.empty((len(new_basis), poly.n), dtype=np.int64)
-    for j, q in enumerate(new_basis.primes):
-        inv = pow(q_last % q, -1, q)
-        data[j] = (poly.data[j] - centred) % q * inv % q
+    inv_col = np.array([pow(q_last % q, -1, q) for q in new_basis.primes],
+                       dtype=np.int64).reshape(-1, 1)
+    q_col = new_basis.q_col
+    data = (poly.data[:-1] - centred) % q_col * inv_col % q_col
     return RnsPolynomial(new_basis, data, is_ntt=False)
 
 
@@ -155,7 +227,7 @@ class MergedBConv:
     """BConv with iNTT post-scale and Montgomery conversions folded in.
 
     Reproduces paper eq. 5: input limbs arrive in SM representation
-    *without* the iNTT 1/N scaling (``NegacyclicNTT.inverse(...,
+    *without* the iNTT 1/N scaling (``BatchedNTT.inverse(...,
     scale_by_n_inv=False)``); the first constant is pre-multiplied by
     ``1/N`` and kept NM, the second constant is kept DM, and the output
     lands in SM representation with zero explicit conversion steps.
@@ -165,19 +237,21 @@ class MergedBConv:
         self.from_basis = from_basis
         self.to_basis = to_basis
         self.n = n
-        self._mont_from = [MontgomeryContext(q) for q in from_basis.primes]
+        self._mont_from = BatchedMontgomery(from_basis.primes)
         self._mont_to = [MontgomeryContext(p) for p in to_basis.primes]
         # (qhat_inv_j * 1/N) mod q_j, kept in the NM representation.
-        self._c1_nm = []
-        for j, q in enumerate(from_basis.primes):
-            n_inv = pow(n, -1, q)
-            self._c1_nm.append(from_basis.q_hat_inv[j] * n_inv % q)
+        self._c1_nm_col = np.array(
+            [from_basis.q_hat_inv[j] * pow(n, -1, q) % q
+             for j, q in enumerate(from_basis.primes)],
+            dtype=np.int64).reshape(-1, 1)
         # (qhat_j mod p_i) in the DM representation of p_i.
-        self._c2_dm = []
+        self._c2_dm_cols = []
         for i, p in enumerate(to_basis.primes):
-            row = [self._mont_to[i].to_dm(from_basis.q_hat[j] % p)
-                   for j in range(len(from_basis))]
-            self._c2_dm.append(row)
+            col = np.array(
+                [self._mont_to[i].to_dm(from_basis.q_hat[j] % p)
+                 for j in range(len(from_basis))],
+                dtype=np.int64).reshape(-1, 1)
+            self._c2_dm_cols.append(col)
 
     def apply(self, unscaled_sm_limbs: np.ndarray) -> np.ndarray:
         """Convert SM-represented, 1/N-unscaled limbs; returns SM limbs.
@@ -188,20 +262,14 @@ class MergedBConv:
         limbs = np.asarray(unscaled_sm_limbs, dtype=np.int64)
         if limbs.shape != (len(self.from_basis), self.n):
             raise ValueError("input shape mismatch")
-        # MontMul(SM, NM) -> NM: one multiply also applies 1/N.
-        v_nm = np.empty_like(limbs)
-        for j, mont in enumerate(self._mont_from):
-            v_nm[j] = mont.vec_mont_mul(limbs[j], np.int64(self._c1_nm[j]))
-        out = np.zeros((len(self.to_basis), self.n), dtype=np.int64)
+        # MontMul(SM, NM) -> NM: one batched multiply also applies 1/N.
+        v_nm = self._mont_from.mont_mul(limbs, self._c1_nm_col)
+        out = np.empty((len(self.to_basis), self.n), dtype=np.int64)
         for i, (p, mont) in enumerate(zip(self.to_basis.primes,
                                           self._mont_to)):
-            acc = np.zeros(self.n, dtype=np.int64)
-            for j in range(len(self.from_basis)):
-                # MontMul(NM, DM) -> SM: lands back in SM for free.
-                term = mont.vec_mont_mul(v_nm[j] % p,
-                                         np.int64(self._c2_dm[i][j]))
-                acc = (acc + term) % p
-            out[i] = acc
+            # MontMul(NM, DM) -> SM: lands back in SM for free.
+            terms = mont.vec_mont_mul(v_nm % p, self._c2_dm_cols[i])
+            out[i] = terms.sum(axis=0) % p
         return out
 
     def reference(self, coeff_limbs: np.ndarray) -> np.ndarray:
@@ -217,12 +285,11 @@ def intt_then_merged_bconv(ntt_limbs_sm: np.ndarray, from_basis: RnsBasis,
     """The full ``iNTT -> BConv`` flow with merged constants.
 
     Demonstrates (and lets tests verify) that running the unscaled
-    iNTT butterflies on SM data followed by :class:`MergedBConv`
+    batched iNTT butterflies on SM data followed by :class:`MergedBConv`
     produces the same residues as the naive scale-then-convert flow.
     """
     merged = MergedBConv(from_basis, to_basis, n)
-    unscaled = np.empty_like(np.asarray(ntt_limbs_sm, dtype=np.int64))
-    for j, q in enumerate(from_basis.primes):
-        table = ntt_table(n, q)
-        unscaled[j] = table.inverse(ntt_limbs_sm[j], scale_by_n_inv=False)
+    plan = get_plan(n, from_basis.primes)
+    unscaled = plan.ntt.inverse(np.asarray(ntt_limbs_sm, dtype=np.int64),
+                                scale_by_n_inv=False)
     return merged.apply(unscaled)

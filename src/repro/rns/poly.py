@@ -5,26 +5,37 @@ residue polynomials (limbs), shape ``(L, N)`` with ``int64`` entries.
 Every homomorphic-evaluation kernel in :mod:`repro.schemes` reduces to
 the limb-wise vector operations defined here, mirroring the level-1
 operations of paper Figure 1 (vector ModAdd/ModMult, NTT, Auto).
+
+All operations treat the limb axis as a batch dimension: arithmetic
+broadcasts the basis' ``(L, 1)`` modulus column over the stack, and the
+domain transforms run on the :class:`~repro.nttmath.batched.BatchedNTT`
+engine from the basis-keyed plan cache, so no kernel loops over limbs
+in Python.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..nttmath.ntt import NegacyclicNTT, automorphism
+from ..nttmath.batched import (
+    BatchedPlan,
+    clear_caches,
+    get_plan,
+    ntt_table,
+    scratch,
+    shoup_companion,
+    shoup_mul_lazy,
+)
 from .basis import RnsBasis
 
-_NTT_CACHE: dict[tuple[int, int], NegacyclicNTT] = {}
-
-
-def ntt_table(n: int, q: int) -> NegacyclicNTT:
-    """Shared NTT kernel cache keyed by (ring degree, modulus)."""
-    key = (n, q)
-    table = _NTT_CACHE.get(key)
-    if table is None:
-        table = NegacyclicNTT(n, q)
-        _NTT_CACHE[key] = table
-    return table
+__all__ = [
+    "RnsPolynomial",
+    "clear_caches",
+    "ntt_table",
+    "pointwise_mac",
+    "pointwise_mac_shoup",
+    "shoup_precompute",
+]
 
 
 class RnsPolynomial:
@@ -43,6 +54,9 @@ class RnsPolynomial:
         self.data = data
         self.is_ntt = is_ntt
         self.n = data.shape[1]
+
+    def _plan(self) -> BatchedPlan:
+        return get_plan(self.n, self.basis.primes)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -63,19 +77,15 @@ class RnsPolynomial:
                           coeffs: np.ndarray) -> "RnsPolynomial":
         """From int64 coefficients already small enough per limb."""
         coeffs = np.asarray(coeffs, dtype=np.int64)
-        data = np.empty((len(basis), len(coeffs)), dtype=np.int64)
-        for j, p in enumerate(basis.primes):
-            data[j] = coeffs % p
-        return cls(basis, data, is_ntt=False)
+        return cls(basis, coeffs[None, :] % basis.q_col, is_ntt=False)
 
     @classmethod
     def random_uniform(cls, basis: RnsBasis, n: int,
                        rng: np.random.Generator) -> "RnsPolynomial":
         """Uniform element of R_Q (sampled limb-wise, which is uniform
-        by CRT)."""
-        data = np.empty((len(basis), n), dtype=np.int64)
-        for j, p in enumerate(basis.primes):
-            data[j] = rng.integers(0, p, n, dtype=np.int64)
+        by CRT); one broadcast draw covers the whole stack."""
+        data = rng.integers(0, basis.q_col, size=(len(basis), n),
+                            dtype=np.int64)
         return cls(basis, data, is_ntt=False)
 
     @classmethod
@@ -128,21 +138,17 @@ class RnsPolynomial:
     def to_ntt(self) -> "RnsPolynomial":
         if self.is_ntt:
             return self
-        data = np.empty_like(self.data)
-        for j, p in enumerate(self.basis.primes):
-            data[j] = ntt_table(self.n, p).forward(self.data[j])
-        return RnsPolynomial(self.basis, data, is_ntt=True)
+        return RnsPolynomial(self.basis, self._plan().ntt.forward(self.data),
+                             is_ntt=True)
 
     def to_coeff(self) -> "RnsPolynomial":
         if not self.is_ntt:
             return self
-        data = np.empty_like(self.data)
-        for j, p in enumerate(self.basis.primes):
-            data[j] = ntt_table(self.n, p).inverse(self.data[j])
-        return RnsPolynomial(self.basis, data, is_ntt=False)
+        return RnsPolynomial(self.basis, self._plan().ntt.inverse(self.data),
+                             is_ntt=False)
 
     # ------------------------------------------------------------------
-    # Arithmetic (limb-wise modular vector ops)
+    # Arithmetic (limb-parallel modular vector ops)
     # ------------------------------------------------------------------
     def _check_compatible(self, other: "RnsPolynomial") -> None:
         if self.basis != other.basis:
@@ -152,22 +158,16 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        data = np.empty_like(self.data)
-        for j, p in enumerate(self.basis.primes):
-            data[j] = (self.data[j] + other.data[j]) % p
+        data = (self.data + other.data) % self.basis.q_col
         return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        data = np.empty_like(self.data)
-        for j, p in enumerate(self.basis.primes):
-            data[j] = (self.data[j] - other.data[j]) % p
+        data = (self.data - other.data) % self.basis.q_col
         return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
 
     def __neg__(self) -> "RnsPolynomial":
-        data = np.empty_like(self.data)
-        for j, p in enumerate(self.basis.primes):
-            data[j] = (-self.data[j]) % p
+        data = (-self.data) % self.basis.q_col
         return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
@@ -178,9 +178,7 @@ class RnsPolynomial:
         self._check_basis_only(other)
         a = self.to_ntt()
         b = other.to_ntt()
-        data = np.empty_like(a.data)
-        for j, p in enumerate(self.basis.primes):
-            data[j] = a.data[j] * b.data[j] % p
+        data = a.data * b.data % self.basis.q_col
         return RnsPolynomial(self.basis, data, is_ntt=True)
 
     def _check_basis_only(self, other: "RnsPolynomial") -> None:
@@ -190,41 +188,39 @@ class RnsPolynomial:
     def pointwise_mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Element-wise modular product in the current domain."""
         self._check_compatible(other)
-        data = np.empty_like(self.data)
-        for j, p in enumerate(self.basis.primes):
-            data[j] = self.data[j] * other.data[j] % p
+        data = self.data * other.data % self.basis.q_col
         return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
 
     def mul_scalar(self, scalar: int) -> "RnsPolynomial":
         """Multiply by an integer constant (reduced per limb)."""
-        data = np.empty_like(self.data)
-        for j, p in enumerate(self.basis.primes):
-            data[j] = self.data[j] * (int(scalar) % p) % p
+        scalar = int(scalar)
+        s_col = np.array([scalar % p for p in self.basis.primes],
+                         dtype=np.int64).reshape(-1, 1)
+        data = self.data * s_col % self.basis.q_col
         return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
 
     def mul_scalar_per_limb(self, scalars) -> "RnsPolynomial":
         """Multiply limb j by ``scalars[j]`` (e.g. BConv constants)."""
         if len(scalars) != len(self.basis):
             raise ValueError("scalar count does not match basis")
-        data = np.empty_like(self.data)
-        for j, p in enumerate(self.basis.primes):
-            data[j] = self.data[j] * (int(scalars[j]) % p) % p
+        s_col = np.array([int(s) % p
+                          for s, p in zip(scalars, self.basis.primes)],
+                         dtype=np.int64).reshape(-1, 1)
+        data = self.data * s_col % self.basis.q_col
         return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
 
     # ------------------------------------------------------------------
     # Automorphism / level movement
     # ------------------------------------------------------------------
     def apply_automorphism(self, galois_elt: int) -> "RnsPolynomial":
-        """sigma_s on each limb.  In the NTT domain this is the pure
-        permutation EFFACT's fixed-network automorphism unit performs."""
-        data = np.empty_like(self.data)
+        """sigma_s on the whole stack.  In the NTT domain this is the
+        pure permutation EFFACT's fixed-network automorphism unit
+        performs (a single cached gather for all limbs)."""
+        engine = self._plan().ntt
         if self.is_ntt:
-            for j, p in enumerate(self.basis.primes):
-                data[j] = ntt_table(self.n, p).automorphism_ntt(
-                    self.data[j], galois_elt)
+            data = engine.automorphism_ntt(self.data, galois_elt)
         else:
-            for j, p in enumerate(self.basis.primes):
-                data[j] = automorphism(self.data[j], galois_elt, p)
+            data = engine.automorphism_coeff(self.data, galois_elt)
         return RnsPolynomial(self.basis, data, is_ntt=self.is_ntt)
 
     def drop_to(self, basis: RnsBasis) -> "RnsPolynomial":
@@ -237,3 +233,77 @@ class RnsPolynomial:
     def limb(self, index: int) -> np.ndarray:
         """Residue polynomial ``index`` (read-only view)."""
         return self.data[index]
+
+
+def pointwise_mac(pairs) -> RnsPolynomial:
+    """Multiply-accumulate ``sum_j a_j (*) b_j`` over pointwise pairs.
+
+    The inner-product shape of hybrid key switching (paper Fig. 2):
+    each product is reduced once, partial sums stay unreduced (every
+    term is ``< q < 2^31``, so thousands of terms fit in int64), and a
+    single final reduction lands the result — one pass instead of a
+    reduce-per-accumulate chain.  Results are bitwise identical to
+    repeated ``+``.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("pointwise_mac needs at least one pair")
+    first_a, first_b = pairs[0]
+    first_a._check_compatible(first_b)
+    q_col = first_a.basis.q_col
+    acc = first_a.data * first_b.data % q_col
+    for a, b in pairs[1:]:
+        a._check_compatible(b)
+        if a.basis != first_a.basis or a.is_ntt != first_a.is_ntt:
+            raise ValueError("pointwise_mac pairs must share basis/domain")
+        acc += a.data * b.data % q_col
+    return RnsPolynomial(first_a.basis, acc % q_col, is_ntt=first_a.is_ntt)
+
+
+def shoup_precompute(poly: RnsPolynomial) -> tuple[np.ndarray, np.ndarray]:
+    """Freeze a (static) polynomial for repeated multiplication.
+
+    Returns its residues as uint64 plus their Shoup companions; feed
+    both to :func:`pointwise_mac_shoup`.  Worth doing for operands that
+    are multiplied many times — switching keys, plaintext constants —
+    mirroring how EFFACT bakes Montgomery factors into constants.
+    """
+    values = poly.data.astype(np.uint64)
+    q_u = poly.basis.q_col.astype(np.uint64)
+    return values, shoup_companion(values, q_u)
+
+
+def pointwise_mac_shoup(polys, tables, basis: RnsBasis, *,
+                        is_ntt: bool = True) -> RnsPolynomial:
+    """:func:`pointwise_mac` against pre-frozen constant operands.
+
+    ``tables[j]`` is :func:`shoup_precompute` output matching
+    ``polys[j]``'s shape.  Each product is a division-free lazy Shoup
+    multiply in [0, 2q); partial sums stay unreduced and one final
+    reduction lands the canonical result — bitwise identical to the
+    plain MAC.
+    """
+    polys = list(polys)
+    tables = list(tables)
+    if len(polys) != len(tables):
+        raise ValueError(
+            f"{len(polys)} operands but {len(tables)} Shoup tables")
+    q_u = basis.q_col.astype(np.uint64)
+    acc: np.ndarray | None = None
+    for poly, (s_u, s_sh) in zip(polys, tables):
+        if poly.data.shape != s_u.shape:
+            raise ValueError("operand/table shape mismatch")
+        shape = poly.data.shape
+        x = scratch("mac_x", shape)
+        hi = scratch("mac_hi", shape)
+        term = scratch("mac_term", shape)
+        np.copyto(x, poly.data, casting="unsafe")
+        shoup_mul_lazy(x, s_u, s_sh, q_u, out=term, hi=hi)
+        if acc is None:
+            acc = scratch("mac_acc", shape)
+            np.copyto(acc, term)
+        else:
+            acc += term
+    if acc is None:
+        raise ValueError("pointwise_mac_shoup needs at least one operand")
+    return RnsPolynomial(basis, (acc % q_u).astype(np.int64), is_ntt=is_ntt)

@@ -14,7 +14,7 @@ import numpy as np
 from ...nttmath.ntt import conjugation_element, galois_element
 from ...rns.basis import RnsBasis
 from ...rns.bconv import mod_down, mod_up, rescale_last
-from ...rns.poly import RnsPolynomial
+from ...rns.poly import RnsPolynomial, pointwise_mac_shoup
 from .ciphertext import Ciphertext, Ciphertext3, Plaintext
 from .keys import CkksContext, KeyChain, SwitchingKey
 
@@ -201,16 +201,10 @@ class CkksEvaluator:
         ctx = self.context
         level = len(d2.basis) - 1
         ext = ctx.ext_basis(level)
-        acc0: RnsPolynomial | None = None
-        acc1: RnsPolynomial | None = None
-        for j, lifted in enumerate(self._decompose_and_lift(d2, level, ext)):
-            kb = self._restrict_key(key.b[j], level)
-            ka = self._restrict_key(key.a[j], level)
-            term0 = lifted.pointwise_mul(kb)
-            term1 = lifted.pointwise_mul(ka)
-            acc0 = term0 if acc0 is None else acc0 + term0
-            acc1 = term1 if acc1 is None else acc1 + term1
-        assert acc0 is not None and acc1 is not None
+        digits = list(self._decompose_and_lift(d2, level, ext))
+        b_tables, a_tables = self._restricted_tables(key, level, len(digits))
+        acc0 = pointwise_mac_shoup(digits, b_tables, ext)
+        acc1 = pointwise_mac_shoup(digits, a_tables, ext)
         q_basis = ctx.q_basis(level)
         ks0 = mod_down(acc0.to_coeff(), q_basis, ctx.p_basis).to_ntt()
         ks1 = mod_down(acc1.to_coeff(), q_basis, ctx.p_basis).to_ntt()
@@ -229,13 +223,20 @@ class CkksEvaluator:
                                   is_ntt=False)
             yield mod_up(digit, ext).to_ntt()
 
-    def _restrict_key(self, poly: RnsPolynomial,
-                      level: int) -> RnsPolynomial:
-        """Select the key rows for primes q_0..q_level plus the P limbs."""
-        ctx = self.context
-        k = len(ctx.p_basis)
-        rows = np.concatenate([poly.data[:level + 1], poly.data[-k:]])
-        return RnsPolynomial(ctx.ext_basis(level), rows, is_ntt=poly.is_ntt)
+    def _restricted_tables(self, key: SwitchingKey, level: int,
+                           count: int) -> tuple[list, list]:
+        """Shoup tables for the first ``count`` digits of ``key``,
+        restricted to the level's ext basis rows (q_0..q_level + P)."""
+        k = len(self.context.p_basis)
+
+        def restrict(table):
+            s_u, s_sh = table
+            return (np.concatenate([s_u[:level + 1], s_u[-k:]]),
+                    np.concatenate([s_sh[:level + 1], s_sh[-k:]]))
+
+        b_tables, a_tables = key.shoup_tables()
+        return ([restrict(t) for t in b_tables[:count]],
+                [restrict(t) for t in a_tables[:count]])
 
     # ------------------------------------------------------------------
     # Rotations (automorphism + key switch), plain and hoisted
@@ -285,17 +286,11 @@ class CkksEvaluator:
             if key is None:
                 raise ValueError(f"no Galois key for rotation step {step}")
             g = galois_element(step, ctx.n)
-            acc0: RnsPolynomial | None = None
-            acc1: RnsPolynomial | None = None
-            for j, digit in enumerate(lifted):
-                rotated = digit.apply_automorphism(g)
-                kb = self._restrict_key(key.b[j], level)
-                ka = self._restrict_key(key.a[j], level)
-                t0 = rotated.pointwise_mul(kb)
-                t1 = rotated.pointwise_mul(ka)
-                acc0 = t0 if acc0 is None else acc0 + t0
-                acc1 = t1 if acc1 is None else acc1 + t1
-            assert acc0 is not None and acc1 is not None
+            rotated = [digit.apply_automorphism(g) for digit in lifted]
+            b_tables, a_tables = self._restricted_tables(
+                key, level, len(rotated))
+            acc0 = pointwise_mac_shoup(rotated, b_tables, ext)
+            acc1 = pointwise_mac_shoup(rotated, a_tables, ext)
             ks0 = mod_down(acc0.to_coeff(), q_basis, ctx.p_basis).to_ntt()
             ks1 = mod_down(acc1.to_coeff(), q_basis, ctx.p_basis).to_ntt()
             rc0 = ct.c0.apply_automorphism(g)

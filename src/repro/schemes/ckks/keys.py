@@ -103,10 +103,21 @@ class SwitchingKey:
 
     b: list[RnsPolynomial]
     a: list[RnsPolynomial]
+    #: Lazily built Shoup companions (keys are static, so the one-off
+    #: precompute pays for itself after the first key switch).
+    _shoup: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def dnum(self) -> int:
         return len(self.b)
+
+    def shoup_tables(self) -> tuple[list, list]:
+        """Per-digit ``shoup_precompute`` pairs for ``b`` and ``a``."""
+        if self._shoup is None:
+            from ...rns.poly import shoup_precompute
+            self._shoup = ([shoup_precompute(p) for p in self.b],
+                           [shoup_precompute(p) for p in self.a])
+        return self._shoup
 
 
 @dataclass

@@ -1,0 +1,151 @@
+"""Property tests: the batched limb-parallel engine is bitwise
+identical to the per-limb reference kernels.
+
+`BatchedNTT` replaces ``L`` separate :class:`NegacyclicNTT` calls with
+single vector expressions over the ``(L, N)`` residue stack, using
+Shoup multiplication and lazy reduction internally.  None of that may
+change a single output bit: these tests draw randomized ``(n, basis)``
+configurations (hypothesis) and assert row-by-row equality against the
+reference dataflow, plus the algebraic identities (round trip,
+automorphism consistency) the CKKS layers rely on.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nttmath.batched import BatchedNTT, get_plan
+from repro.nttmath.ntt import (
+    NegacyclicNTT,
+    automorphism,
+    conjugation_element,
+    galois_element,
+)
+from repro.nttmath.primes import find_ntt_primes
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import (
+    RnsPolynomial,
+    pointwise_mac,
+    pointwise_mac_shoup,
+    shoup_precompute,
+)
+
+# Drawing (log2 n, prime bits, limb count, data seed) covers both the
+# fused radix-4 path (bits <= 30) and the radix-2 fallback (bits == 31),
+# odd and even stage counts, and single-limb stacks.
+CONFIG = st.tuples(
+    st.integers(min_value=1, max_value=6),     # log2 n -> n in 2..64
+    st.integers(min_value=20, max_value=31),   # modulus bits
+    st.integers(min_value=1, max_value=5),     # limbs
+    st.integers(min_value=0, max_value=2**31),  # data seed
+)
+
+
+def _setup(config):
+    n_log, bits, limbs, seed = config
+    n = 1 << n_log
+    primes = find_ntt_primes(bits, n, limbs)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, np.array(primes)[:, None], size=(limbs, n),
+                        dtype=np.int64)
+    return n, primes, data
+
+
+@given(CONFIG)
+@settings(max_examples=40, deadline=None)
+def test_forward_matches_per_limb_bitwise(config):
+    n, primes, data = _setup(config)
+    batched = BatchedNTT(n, primes)
+    got = batched.forward(data)
+    for j, q in enumerate(primes):
+        want = NegacyclicNTT(n, q).forward(data[j])
+        assert np.array_equal(got[j], want), f"limb {j} (q={q}) differs"
+
+
+@given(CONFIG)
+@settings(max_examples=40, deadline=None)
+def test_inverse_matches_per_limb_bitwise(config):
+    n, primes, data = _setup(config)
+    batched = BatchedNTT(n, primes)
+    values = batched.forward(data)
+    got = batched.inverse(values)
+    got_unscaled = batched.inverse(values, scale_by_n_inv=False)
+    for j, q in enumerate(primes):
+        ref = NegacyclicNTT(n, q)
+        assert np.array_equal(got[j], ref.inverse(values[j]))
+        assert np.array_equal(
+            got_unscaled[j], ref.inverse(values[j], scale_by_n_inv=False))
+
+
+@given(CONFIG)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_is_identity(config):
+    n, primes, data = _setup(config)
+    batched = BatchedNTT(n, primes)
+    assert np.array_equal(batched.inverse(batched.forward(data)), data)
+
+
+@given(CONFIG, st.integers(min_value=1, max_value=7))
+@settings(max_examples=40, deadline=None)
+def test_automorphism_ntt_matches_per_limb(config, step):
+    n, primes, data = _setup(config)
+    batched = BatchedNTT(n, primes)
+    values = batched.forward(data)
+    for g in (galois_element(step, n), conjugation_element(n)):
+        got = batched.automorphism_ntt(values, g)
+        for j, q in enumerate(primes):
+            want = NegacyclicNTT(n, q).automorphism_ntt(values[j], g)
+            assert np.array_equal(got[j], want), (g, j)
+
+
+@given(CONFIG, st.integers(min_value=1, max_value=7))
+@settings(max_examples=40, deadline=None)
+def test_automorphism_coeff_matches_per_limb(config, step):
+    n, primes, data = _setup(config)
+    batched = BatchedNTT(n, primes)
+    for g in (galois_element(step, n), conjugation_element(n)):
+        got = batched.automorphism_coeff(data, g)
+        for j, q in enumerate(primes):
+            assert np.array_equal(got[j], automorphism(data[j], g, q))
+
+
+@given(CONFIG, st.integers(min_value=1, max_value=7))
+@settings(max_examples=30, deadline=None)
+def test_poly_automorphism_domains_commute(config, step):
+    """NTT-domain permutation == coeff-domain map + transform."""
+    n, primes, data = _setup(config)
+    basis = RnsBasis(primes)
+    poly = RnsPolynomial(basis, data)
+    g = galois_element(step, n)
+    coeff_route = poly.apply_automorphism(g).to_ntt()
+    ntt_route = poly.to_ntt().apply_automorphism(g)
+    assert np.array_equal(coeff_route.data, ntt_route.data)
+
+
+@given(CONFIG, st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_shoup_mac_matches_plain_mac(config, terms):
+    """The division-free key-MAC path equals the reduce-per-step MAC."""
+    n, primes, data = _setup(config)
+    basis = RnsBasis(primes)
+    rng = np.random.default_rng(data.sum() % (2**32))
+    mk = lambda: RnsPolynomial(
+        basis, rng.integers(0, np.array(primes)[:, None],
+                            size=data.shape, dtype=np.int64), is_ntt=True)
+    operands = [mk() for _ in range(terms)]
+    consts = [mk() for _ in range(terms)]
+    tables = [shoup_precompute(c) for c in consts]
+    plain = pointwise_mac(zip(operands, consts))
+    fast = pointwise_mac_shoup(operands, tables, basis)
+    assert np.array_equal(plain.data, fast.data)
+    assert fast.is_ntt
+
+
+@given(CONFIG)
+@settings(max_examples=30, deadline=None)
+def test_plan_engine_matches_fresh_engine(config):
+    """Cached/prefix-derived plans compute the same transform as a
+    freshly built engine (twiddle sharing must not change results)."""
+    n, primes, data = _setup(config)
+    fresh = BatchedNTT(n, primes)
+    planned = get_plan(n, primes).ntt
+    assert np.array_equal(fresh.forward(data), planned.forward(data))
