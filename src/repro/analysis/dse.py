@@ -29,8 +29,15 @@ class DsePoint:
 
 
 def sram_sweep(workload: Workload, base_config: HardwareConfig,
-               sizes_mb=DEFAULT_SWEEP_MB) -> list[DsePoint]:
-    """Simulate ``workload`` at each SRAM size (compute held fixed)."""
+               sizes_mb=DEFAULT_SWEEP_MB, *,
+               use_cache: bool = True) -> list[DsePoint]:
+    """Simulate ``workload`` at each SRAM size (compute held fixed).
+
+    The workload IR is built and packed once; each distinct SRAM
+    budget compiles once into the content-addressed compile cache, so
+    refining the sweep (extra sizes, repeated knee searches) only pays
+    for the new points.
+    """
     points = []
     for size_mb in sizes_mb:
         sram = int(size_mb * MIB)
@@ -38,7 +45,8 @@ def sram_sweep(workload: Workload, base_config: HardwareConfig,
                          name=f"{base_config.name}-{size_mb}MB",
                          sram_bytes=sram)
         options = CompileOptions(sram_bytes=sram)
-        run = run_workload(workload, config, options)
+        run = run_workload(workload, config, options,
+                           use_cache=use_cache)
         mult_add = (run.utilization("mmul") + run.utilization("madd")) / 2
         points.append(DsePoint(
             sram_mb=size_mb,

@@ -87,7 +87,13 @@ def paper_effact_rows() -> list[PerformanceRow]:
 
 def table7(*, n: int | None = None, detail: float = 1.0,
            include_fpga: bool = True) -> list[PerformanceRow]:
-    """The full Table VII: baselines + simulated EFFACT rows."""
+    """The full Table VII: baselines + simulated EFFACT rows.
+
+    The FPGA and ASIC rows rebuild identical workload IR; the
+    content-addressed compile cache deduplicates any rows whose
+    ``CompileOptions`` coincide, so adding accelerator rows costs
+    simulation time only.
+    """
     rows = baseline_rows()
     if include_fpga:
         rows.append(simulate_effact(FPGA_EFFACT, n=n, detail=detail))

@@ -24,14 +24,21 @@ class ScalePoint:
 
 
 def figure10(workloads: list[Workload],
-             configs: tuple[HardwareConfig, ...] = SCALABILITY_CONFIGS
-             ) -> list[ScalePoint]:
-    """Simulate every workload on every scaled configuration."""
+             configs: tuple[HardwareConfig, ...] = SCALABILITY_CONFIGS,
+             *, use_cache: bool = True) -> list[ScalePoint]:
+    """Simulate every workload on every scaled configuration.
+
+    Each workload's segments are built and packed once; scaled
+    configurations that share ``CompileOptions`` reuse compilations via
+    the content-addressed compile cache (the SRAM budget differs per
+    scaled config here, so each point compiles once per process, and
+    repeat figure10 invocations are compile-free).
+    """
     points: list[ScalePoint] = []
     for workload in workloads:
         base_runtime: float | None = None
         for config in configs:
-            run = run_workload(workload, config)
+            run = run_workload(workload, config, use_cache=use_cache)
             if base_runtime is None:
                 base_runtime = run.runtime_ms
             points.append(ScalePoint(

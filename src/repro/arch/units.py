@@ -15,6 +15,11 @@ import math
 from ..core.config import HardwareConfig
 from ..core.isa import Opcode
 
+#: Stable unit naming/indexing shared with the packed simulator.
+UNIT_NAMES: tuple[str, ...] = ("mmul", "madd", "ntt", "auto", "hbm",
+                               "sram", "scalar")
+UNIT_INDEX: dict[str, int] = {name: i for i, name in enumerate(UNIT_NAMES)}
+
 
 class TimingModel:
     """Per-instruction cycle counts for one hardware configuration."""
@@ -70,6 +75,28 @@ class TimingModel:
             Opcode.VCOPY: "sram",
             Opcode.SCALAR: "scalar",
         }[op]
+
+    def op_tables(self) -> tuple[list[int], list[int]]:
+        """Per-opcode ``(cycles, unit index)`` tables in
+        :data:`~repro.compiler.ir.OPCODES` order, for the packed
+        simulator's vectorized per-instruction precomputation."""
+        from ..compiler.ir import OPCODES
+        durations = [self.cycles(op) for op in OPCODES]
+        units = [UNIT_INDEX[self.unit_for(op)] for op in OPCODES]
+        return durations, units
+
+    def sram_bytes_table(self, max_srcs: int):
+        """``table[streaming, op_code, n_srcs]`` SRAM traffic, built by
+        evaluating :meth:`sram_bytes_touched` over its whole domain so
+        the packed simulator shares this single source of truth."""
+        import numpy as np
+
+        from ..compiler.ir import OPCODES
+        return np.array(
+            [[[self.sram_bytes_touched(op, k, streaming=bool(s))
+               for k in range(max_srcs + 1)]
+              for op in OPCODES]
+             for s in (0, 1)], dtype=np.int64)
 
     def sram_bytes_touched(self, op: Opcode, n_srcs: int, *,
                            streaming: bool = False) -> int:

@@ -13,11 +13,22 @@ produced on chip.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from collections import Counter
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.isa import Opcode
+
+#: Stable opcode numbering shared by every packed-IR consumer.
+OPCODES: tuple[Opcode, ...] = tuple(Opcode)
+OP_INDEX: dict[Opcode, int] = {op: i for i, op in enumerate(OPCODES)}
+
+#: ``Value.origin`` encoding for the packed value table.
+ORIGIN_CODES = ("compute", "dram", "const")
+_ORIGIN_INDEX = {name: i for i, name in enumerate(ORIGIN_CODES)}
 
 
 @dataclass(slots=True)
@@ -160,3 +171,287 @@ class Program:
         for vid in self.outputs:
             if vid not in defined:
                 raise ValueError(f"output {vid} never defined")
+
+
+class PackedProgram:
+    """Structure-of-arrays view of a :class:`Program`.
+
+    The list-of-``Instr`` representation walks one Python object per
+    residue instruction; bootstrap-scale traces are hundreds of
+    thousands of instructions, so every pass that touches each
+    instruction pays a Python round trip per row.  ``PackedProgram``
+    stores each instruction field as a numpy column (opcode code, dest,
+    fixed-width source matrix, modulus, immediate, tag id, streaming
+    flag) plus a packed value table (origin code, DRAM address, name),
+    so passes, the scheduler, the register allocator and the simulator
+    can treat the *instruction axis* the way the batched NTT engine
+    treats limbs: one vector expression over all rows.
+
+    Round-tripping is lossless: ``from_program`` / ``to_program``
+    preserve every ``Instr`` and ``Value`` field, the output set, the
+    value/address counters, and the ``forwarded`` / ``slot_of``
+    side-tables that the streaming pass and register allocator hang on
+    a program.
+    """
+
+    __slots__ = ("n", "name", "limb_bytes",
+                 "op", "dest", "srcs", "n_srcs", "modulus", "imm",
+                 "tag_id", "streaming", "tags", "_tag_index",
+                 "val_origin", "val_address", "val_names",
+                 "outputs", "forwarded", "slot_of")
+
+    def __init__(self, n: int, *, name: str = "program",
+                 limb_bytes: int | None = None):
+        self.n = n
+        self.name = name
+        self.limb_bytes = limb_bytes if limb_bytes is not None else n * 8
+        rows = 0
+        self.op = np.zeros(rows, dtype=np.int16)
+        self.dest = np.zeros(rows, dtype=np.int64)
+        self.srcs = np.full((rows, 3), -1, dtype=np.int64)
+        self.n_srcs = np.zeros(rows, dtype=np.int64)
+        self.modulus = np.zeros(rows, dtype=np.int64)
+        self.imm = np.zeros(rows, dtype=np.int64)
+        self.tag_id = np.zeros(rows, dtype=np.int16)
+        self.streaming = np.zeros(rows, dtype=bool)
+        self.tags: list[str] = []
+        self._tag_index: dict[str, int] = {}
+        self.val_origin = np.zeros(0, dtype=np.int8)
+        self.val_address = np.full(0, -1, dtype=np.int64)
+        self.val_names: list[str] = []
+        self.outputs = np.zeros(0, dtype=np.int64)
+        self.forwarded: np.ndarray | None = None
+        self.slot_of: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_instrs(self) -> int:
+        return len(self.op)
+
+    @property
+    def num_values(self) -> int:
+        return len(self.val_origin)
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def __repr__(self) -> str:
+        return (f"PackedProgram({self.name!r}, n={self.n}, "
+                f"{len(self.op)} instrs, {self.num_values} values)")
+
+    def tag_code(self, tag: str) -> int:
+        code = self._tag_index.get(tag)
+        if code is None:
+            code = len(self.tags)
+            self.tags.append(tag)
+            self._tag_index[tag] = code
+        return code
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_program(cls, program: Program) -> "PackedProgram":
+        self = cls(program.n, name=program.name,
+                   limb_bytes=program.limb_bytes)
+        instrs = program.instrs
+        rows = len(instrs)
+        self.op = np.fromiter((OP_INDEX[i.op] for i in instrs),
+                              dtype=np.int16, count=rows)
+        self.dest = np.fromiter(
+            (-1 if i.dest is None else i.dest for i in instrs),
+            dtype=np.int64, count=rows)
+        self.n_srcs = np.fromiter((len(i.srcs) for i in instrs),
+                                  dtype=np.int64, count=rows)
+        width = max(3, int(self.n_srcs.max()) if rows else 3)
+        self.srcs = np.full((rows, width), -1, dtype=np.int64)
+        flat = np.fromiter(
+            itertools.chain.from_iterable(i.srcs for i in instrs),
+            dtype=np.int64, count=int(self.n_srcs.sum()))
+        row_ids = np.repeat(np.arange(rows, dtype=np.int64), self.n_srcs)
+        col_ids = np.arange(len(flat), dtype=np.int64) - np.repeat(
+            np.cumsum(self.n_srcs) - self.n_srcs, self.n_srcs)
+        self.srcs[row_ids, col_ids] = flat
+        self.modulus = np.fromiter((i.modulus for i in instrs),
+                                   dtype=np.int64, count=rows)
+        self.imm = np.fromiter((i.imm for i in instrs),
+                               dtype=np.int64, count=rows)
+        self.tag_id = np.fromiter((self.tag_code(i.tag) for i in instrs),
+                                  dtype=np.int16, count=rows)
+        self.streaming = np.fromiter((i.streaming for i in instrs),
+                                     dtype=bool, count=rows)
+
+        nvals = len(program.values)
+        self.val_origin = np.fromiter(
+            (_ORIGIN_INDEX[program.values[v].origin] for v in range(nvals)),
+            dtype=np.int8, count=nvals)
+        self.val_address = np.fromiter(
+            (-1 if program.values[v].address is None
+             else program.values[v].address for v in range(nvals)),
+            dtype=np.int64, count=nvals)
+        self.val_names = [program.values[v].name for v in range(nvals)]
+        self.outputs = np.array(sorted(program.outputs), dtype=np.int64)
+
+        forwarded = getattr(program, "forwarded", None)
+        if forwarded is not None:
+            mask = np.zeros(nvals, dtype=bool)
+            if forwarded:
+                mask[np.fromiter(forwarded, dtype=np.int64,
+                                 count=len(forwarded))] = True
+            self.forwarded = mask
+        slot_of = getattr(program, "slot_of", None)
+        if slot_of is not None:
+            self.slot_of = dict(slot_of)
+        return self
+
+    def to_program(self) -> Program:
+        """Materialize a fresh, fully-equivalent :class:`Program`."""
+        program = Program(self.n, name=self.name, limb_bytes=self.limb_bytes)
+        self.write_back(program)
+        return program
+
+    def write_back(self, program: Program) -> Program:
+        """Overwrite ``program`` in place with this packed state."""
+        program.n = self.n
+        program.name = self.name
+        program.limb_bytes = self.limb_bytes
+        ops = OPCODES
+        tags = self.tags
+        op_l = self.op.tolist()
+        dest_l = self.dest.tolist()
+        nsrc_l = self.n_srcs.tolist()
+        srcs_l = self.srcs.tolist()
+        mod_l = self.modulus.tolist()
+        imm_l = self.imm.tolist()
+        tag_l = self.tag_id.tolist()
+        stream_l = self.streaming.tolist()
+        program.instrs = [
+            Instr(op=ops[op_l[i]],
+                  dest=None if dest_l[i] < 0 else dest_l[i],
+                  srcs=tuple(srcs_l[i][:nsrc_l[i]]),
+                  modulus=mod_l[i], imm=imm_l[i], tag=tags[tag_l[i]],
+                  streaming=stream_l[i])
+            for i in range(len(op_l))]
+        origin_l = self.val_origin.tolist()
+        addr_l = self.val_address.tolist()
+        names = self.val_names
+        program.values = {
+            vid: Value(vid=vid, origin=ORIGIN_CODES[origin_l[vid]],
+                       name=names[vid],
+                       address=None if addr_l[vid] < 0 else addr_l[vid])
+            for vid in range(len(origin_l))}
+        program.outputs = set(self.outputs.tolist())
+        program._next_vid = itertools.count(len(origin_l))
+        next_addr = int(max((a for a in addr_l if a >= 0), default=-1)) + 1
+        program._next_addr = itertools.count(next_addr)
+        if self.forwarded is not None:
+            program.forwarded = set(  # type: ignore[attr-defined]
+                np.nonzero(self.forwarded)[0].tolist())
+        if self.slot_of is not None:
+            program.slot_of = dict(self.slot_of)  # type: ignore
+        return program
+
+    def copy(self) -> "PackedProgram":
+        """Independent copy (column arrays are not shared)."""
+        other = PackedProgram(self.n, name=self.name,
+                              limb_bytes=self.limb_bytes)
+        for attr in ("op", "dest", "srcs", "n_srcs", "modulus", "imm",
+                     "tag_id", "streaming", "val_origin", "val_address",
+                     "outputs"):
+            setattr(other, attr, getattr(self, attr).copy())
+        other.tags = list(self.tags)
+        other._tag_index = dict(self._tag_index)
+        other.val_names = list(self.val_names)
+        other.forwarded = None if self.forwarded is None \
+            else self.forwarded.copy()
+        other.slot_of = None if self.slot_of is None else dict(self.slot_of)
+        return other
+
+    # ------------------------------------------------------------------
+    # Mutation helpers for the packed passes
+    # ------------------------------------------------------------------
+    def keep_rows(self, keep: np.ndarray) -> None:
+        """Filter instruction rows by a boolean mask (or index array)."""
+        for attr in ("op", "dest", "srcs", "n_srcs", "modulus", "imm",
+                     "tag_id", "streaming"):
+            setattr(self, attr, getattr(self, attr)[keep])
+
+    def permute_rows(self, order: np.ndarray) -> None:
+        """Reorder instructions (``order`` lists old row per new row)."""
+        self.keep_rows(order)
+
+    def map_values(self, mapping: np.ndarray) -> None:
+        """Rewrite every source and output through ``mapping`` (an
+        array over value ids); padding entries stay ``-1``."""
+        valid = self.srcs >= 0
+        self.srcs[valid] = mapping[self.srcs[valid]]
+        if len(self.outputs):
+            self.outputs = np.unique(mapping[self.outputs])
+
+    def append_values(self, count: int, *, origin: str = "compute",
+                      names: list[str] | None = None) -> int:
+        """Add ``count`` fresh values; returns the first new vid."""
+        first = self.num_values
+        code = _ORIGIN_INDEX[origin]
+        self.val_origin = np.concatenate(
+            [self.val_origin, np.full(count, code, dtype=np.int8)])
+        self.val_address = np.concatenate(
+            [self.val_address, np.full(count, -1, dtype=np.int64)])
+        self.val_names.extend(names if names is not None
+                              else [""] * count)
+        return first
+
+    # ------------------------------------------------------------------
+    # Analysis (vectorized twins of the Program helpers)
+    # ------------------------------------------------------------------
+    def use_counts_array(self) -> np.ndarray:
+        """Per-value use count (sources plus one per output)."""
+        flat = self.srcs[self.srcs >= 0]
+        counts = np.bincount(flat, minlength=self.num_values)
+        if len(self.outputs):
+            counts[self.outputs] += 1
+        return counts
+
+    def use_counts(self) -> Counter:
+        counts = self.use_counts_array()
+        nz = np.nonzero(counts)[0]
+        return Counter(dict(zip(nz.tolist(), counts[nz].tolist())))
+
+    def instruction_mix(self) -> Counter:
+        hidden = [OP_INDEX[o] for o in (Opcode.LOAD, Opcode.STORE,
+                                        Opcode.VCOPY)]
+        mask = ~np.isin(self.op, hidden)
+        counts = np.bincount(self.tag_id[mask], minlength=len(self.tags))
+        return Counter({tag: int(c)
+                        for tag, c in zip(self.tags, counts) if c})
+
+    def count(self, op: Opcode) -> int:
+        return int(np.count_nonzero(self.op == OP_INDEX[op]))
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of everything compilation can observe.
+
+        Value *names* and the program name are excluded — they never
+        influence a pass decision — so structurally identical programs
+        built by different frontends share compile-cache entries.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.n}|{self.limb_bytes}|{self.num_values}|"
+                 f"{sorted(self.tags)}".encode())
+        # Tag ids are interning-order dependent; hash tag names per row
+        # via a canonical renumbering instead.
+        canonical = np.argsort(np.argsort(
+            np.array(self.tags))) if self.tags else np.zeros(0, np.int64)
+        for col in (self.op.astype(np.int64), self.dest, self.srcs,
+                    self.n_srcs, self.modulus, self.imm,
+                    canonical[self.tag_id] if len(self.tags)
+                    else self.tag_id.astype(np.int64),
+                    self.streaming, self.val_origin, self.val_address,
+                    self.outputs):
+            h.update(np.ascontiguousarray(col).tobytes())
+        return h.hexdigest()

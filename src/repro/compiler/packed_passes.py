@@ -1,0 +1,406 @@
+"""Vectorized twins of the compiler passes over ``PackedProgram``.
+
+Every function here is a drop-in replacement for its reference twin in
+:mod:`repro.compiler.passes`, operating on packed numpy columns instead
+of a list of ``Instr`` objects, and producing *bit-identical* programs,
+statistics and pass return values (the differential suite in
+``tests/test_differential_compile.py`` pins this).
+
+The vectorization strategy mirrors PR 1's limb batching: whatever is
+order-independent across the instruction axis (masks, use counts,
+replacement maps, row filtering) becomes one numpy expression; the
+passes whose semantics are inherently sequential (value-numbering CSE,
+constant-chain merging, load placement) keep a Python loop, but only
+over the *candidate* rows — located vectorized — and only over plain
+``int`` lists, which removes the per-instruction attribute/dataclass
+overhead that dominates the reference implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.isa import Opcode
+from .ir import OP_INDEX, PackedProgram
+
+_MMUL = OP_INDEX[Opcode.MMUL]
+_MMAD = OP_INDEX[Opcode.MMAD]
+_MMAC = OP_INDEX[Opcode.MMAC]
+_NTT = OP_INDEX[Opcode.NTT]
+_INTT = OP_INDEX[Opcode.INTT]
+_AUTO = OP_INDEX[Opcode.AUTO]
+_LOAD = OP_INDEX[Opcode.LOAD]
+_STORE = OP_INDEX[Opcode.STORE]
+_VCOPY = OP_INDEX[Opcode.VCOPY]
+_SCALAR = OP_INDEX[Opcode.SCALAR]
+
+_PURE_CODES = (_MMUL, _MMAD, _MMAC, _NTT, _INTT, _AUTO)
+_MERGEABLE_TAGS = ("mult", "bc_mult")
+
+
+def _producer_array(packed: PackedProgram) -> np.ndarray:
+    producer = np.full(packed.num_values, -1, dtype=np.int64)
+    has_dest = packed.dest >= 0
+    producer[packed.dest[has_dest]] = np.nonzero(has_dest)[0]
+    return producer
+
+
+# ----------------------------------------------------------------------
+# Copy propagation
+# ----------------------------------------------------------------------
+def propagate_copies_packed(packed: PackedProgram) -> int:
+    """Vectorized VecCopy elimination: the copy map is a value-id
+    permutation resolved by pointer jumping, then applied to every
+    source column at once."""
+    vc = packed.op == _VCOPY
+    removed = int(np.count_nonzero(vc))
+    if not removed:
+        return 0
+    mapping = np.arange(packed.num_values, dtype=np.int64)
+    mapping[packed.dest[vc]] = packed.srcs[vc, 0]
+    while True:
+        hopped = mapping[mapping]
+        if np.array_equal(hopped, mapping):
+            break
+        mapping = hopped
+    packed.keep_rows(~vc)
+    packed.map_values(mapping)
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Constant-multiply merging
+# ----------------------------------------------------------------------
+def merge_constant_multiplies_packed(packed: PackedProgram,
+                                     const_registry: dict | None = None
+                                     ) -> int:
+    """Candidate rows (single-source constant MMULs on mergeable tags)
+    are located with one mask; the chain walk itself — whose registry
+    ids must be assigned in exactly the reference order — runs as a
+    narrow int-list loop over those rows only."""
+    if const_registry is None:
+        const_registry = {}
+    use_counts = packed.use_counts_array()
+    producer = _producer_array(packed)
+    mergeable = np.zeros(max(1, len(packed.tags)), dtype=bool)
+    for tag in _MERGEABLE_TAGS:
+        code = packed._tag_index.get(tag)
+        if code is not None:
+            mergeable[code] = True
+    cand_mask = ((packed.op == _MMUL) & (packed.n_srcs == 1)
+                 & (packed.imm != 0) & mergeable[packed.tag_id])
+    cand_rows = np.nonzero(cand_mask)[0]
+    if not cand_rows.size:
+        return 0
+
+    bc_code = packed.tag_code("bc_mult")
+    rows_l = cand_rows.tolist()
+    pos_of = {row: k for k, row in enumerate(rows_l)}
+    src0 = packed.srcs[cand_rows, 0].tolist()
+    imm = packed.imm[cand_rows].tolist()
+    is_bc = (packed.tag_id[cand_rows] == bc_code).tolist()
+    mod = packed.modulus[cand_rows].tolist()
+    uc = use_counts.tolist()
+    prod = producer.tolist()
+    out_set = set(packed.outputs.tolist())
+
+    removed_rows: set[int] = set()
+    removed = 0
+    for k, row in enumerate(rows_l):
+        src = src0[k]
+        prev_row = prod[src]
+        if prev_row < 0 or prev_row in removed_rows:
+            continue
+        pk = pos_of.get(prev_row)
+        if pk is None:
+            continue
+        if uc[src] != 1 or src in out_set:
+            continue
+        if mod[pk] != mod[k]:
+            continue
+        key = (imm[pk], imm[k])
+        if key not in const_registry:
+            const_registry[key] = -(len(const_registry) + 1)
+        src0[k] = src0[pk]
+        imm[k] = const_registry[key]
+        if is_bc[pk] or is_bc[k]:
+            is_bc[k] = True
+        removed_rows.add(prev_row)
+        removed += 1
+    if not removed:
+        return 0
+    packed.srcs[cand_rows, 0] = np.array(src0, dtype=np.int64)
+    packed.imm[cand_rows] = np.array(imm, dtype=np.int64)
+    packed.tag_id[cand_rows[np.array(is_bc)]] = bc_code
+    keep = np.ones(packed.num_instrs, dtype=bool)
+    keep[np.fromiter(removed_rows, dtype=np.int64,
+                     count=len(removed_rows))] = False
+    packed.keep_rows(keep)
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Common subexpression elimination
+# ----------------------------------------------------------------------
+def eliminate_common_subexpressions_packed(packed: PackedProgram) -> int:
+    """Value-numbering CSE.  Replacement cascades make the table walk
+    inherently sequential, so the loop stays — but only over pure rows
+    and plain int lists; the final source/output rewrite is one
+    vectorized map."""
+    pure_rows = np.nonzero(np.isin(packed.op, _PURE_CODES))[0]
+    if not pure_rows.size:
+        return 0
+    op_l = packed.op[pure_rows].tolist()
+    nsrc_l = packed.n_srcs[pure_rows].tolist()
+    s0_l = packed.srcs[pure_rows, 0].tolist()
+    s1_l = packed.srcs[pure_rows, 1].tolist()
+    s2_l = packed.srcs[pure_rows, 2].tolist()
+    mod_l = packed.modulus[pure_rows].tolist()
+    imm_l = packed.imm[pure_rows].tolist()
+    dest_l = packed.dest[pure_rows].tolist()
+    rows_l = pure_rows.tolist()
+
+    mapping = list(range(packed.num_values))
+    table: dict[tuple, int] = {}
+    table_get = table.get
+    dup_rows: list[int] = []
+    removed = 0
+    for k in range(len(rows_l)):
+        o = op_l[k]
+        ns = nsrc_l[k]
+        if ns == 2:
+            a = mapping[s0_l[k]]
+            b = mapping[s1_l[k]]
+            if a > b and (o == _MMUL or o == _MMAD):
+                a, b = b, a
+            key = (o, a, b, mod_l[k], imm_l[k])
+        elif ns == 1:
+            key = (o, mapping[s0_l[k]], mod_l[k], imm_l[k])
+        else:
+            key = (o, mapping[s0_l[k]], mapping[s1_l[k]],
+                   mapping[s2_l[k]], mod_l[k], imm_l[k])
+        hit = table_get(key)
+        if hit is None:
+            table[key] = dest_l[k]
+        else:
+            mapping[dest_l[k]] = hit
+            dup_rows.append(rows_l[k])
+            removed += 1
+    if not removed:
+        return 0
+    keep = np.ones(packed.num_instrs, dtype=bool)
+    keep[np.array(dup_rows, dtype=np.int64)] = False
+    packed.keep_rows(keep)
+    packed.map_values(np.array(mapping, dtype=np.int64))
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Dead code elimination
+# ----------------------------------------------------------------------
+def eliminate_dead_code_packed(packed: PackedProgram) -> int:
+    """Backward liveness over a flat CSR source list."""
+    n = packed.num_instrs
+    side = ((packed.op == _STORE) | (packed.op == _SCALAR)).tolist()
+    dest_l = packed.dest.tolist()
+    offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(packed.n_srcs)]).tolist()
+    flat = packed.srcs[packed.srcs >= 0].tolist()
+    live = bytearray(packed.num_values)
+    for vid in packed.outputs.tolist():
+        live[vid] = 1
+    keep = [False] * n
+    removed = 0
+    for i in range(n - 1, -1, -1):
+        dest = dest_l[i]
+        if side[i] or (dest >= 0 and live[dest]):
+            keep[i] = True
+            for s in flat[offsets[i]:offsets[i + 1]]:
+                live[s] = 1
+        else:
+            removed += 1
+    if removed:
+        packed.keep_rows(np.array(keep, dtype=bool))
+    return removed
+
+
+# ----------------------------------------------------------------------
+# MAC fusion
+# ----------------------------------------------------------------------
+def fuse_mac_packed(packed: PackedProgram) -> int:
+    """MMUL+MMAD peephole over vectorized candidate masks; the pairing
+    walk runs over MMAD rows only."""
+    mmad_rows = np.nonzero((packed.op == _MMAD)
+                           & (packed.n_srcs == 2))[0]
+    if not mmad_rows.size:
+        return 0
+    use_counts = packed.use_counts_array().tolist()
+    producer = _producer_array(packed).tolist()
+    out_set = set(packed.outputs.tolist())
+    fusable = ((packed.op == _MMUL) & (packed.n_srcs == 2)
+               & (packed.imm == 0)).tolist()
+    s0_l = packed.srcs[:, 0].tolist()
+    s1_l = packed.srcs[:, 1].tolist()
+    mod_l = packed.modulus.tolist()
+
+    removed_rows: set[int] = set()
+    fused_rows: list[int] = []
+    fused_srcs: list[tuple[int, int, int]] = []
+    for i in mmad_rows.tolist():
+        src = s0_l[i]
+        other = s1_l[i]
+        for _pos in (0, 1):
+            prev_row = producer[src]
+            if (prev_row >= 0 and prev_row not in removed_rows
+                    and fusable[prev_row]
+                    and use_counts[src] == 1 and src not in out_set
+                    and mod_l[prev_row] == mod_l[i]):
+                fused_rows.append(i)
+                fused_srcs.append((s0_l[prev_row], s1_l[prev_row],
+                                   other))
+                removed_rows.add(prev_row)
+                break
+            src, other = other, src
+    if not fused_rows:
+        return 0
+    rows = np.array(fused_rows, dtype=np.int64)
+    packed.op[rows] = _MMAC
+    packed.srcs[rows, :3] = np.array(fused_srcs, dtype=np.int64)
+    packed.n_srcs[rows] = 3
+    keep = np.ones(packed.num_instrs, dtype=bool)
+    keep[np.fromiter(removed_rows, dtype=np.int64,
+                     count=len(removed_rows))] = False
+    packed.keep_rows(keep)
+    return len(fused_rows)
+
+
+# ----------------------------------------------------------------------
+# Memory legalization
+# ----------------------------------------------------------------------
+def insert_loads_packed(packed: PackedProgram, *, reuse_window: int = 256,
+                        prefetch_distance: int = 12) -> int:
+    """Load insertion + prefetch hoisting.
+
+    DRAM/const operand slots are located with one mask over the source
+    matrix; the placement walk (whose reuse window is measured in
+    positions of the *output* stream) runs over those hits only.  The
+    final instruction order is assembled as an index array and applied
+    with a single column gather.
+    """
+    external = packed.val_origin != 0          # dram or const
+    valid = packed.srcs >= 0
+    ext_mask = np.zeros_like(valid)
+    ext_mask[valid] = external[packed.srcs[valid]]
+    hit_rows, hit_cols = np.nonzero(ext_mask)  # row-major == seed order
+
+    n = packed.num_instrs
+    src_mat = packed.srcs
+    mod_l = packed.modulus.tolist()
+    names = packed.val_names
+    last_load: dict[int, tuple[int, int]] = {}
+    new_names: list[str] = []
+    loads: list[tuple[int, int, int, int]] = []   # (row, src, dest, mod)
+    new_src: list[int] = []
+    shift = 0
+    next_vid = packed.num_values
+    hits = zip(hit_rows.tolist(), hit_cols.tolist())
+    src_pairs = src_mat[hit_rows, hit_cols].tolist()
+    for (row, _col), src in zip(hits, src_pairs):
+        pos = row + shift
+        cached = last_load.get(src)
+        if cached is not None and pos - cached[0] <= reuse_window:
+            new_src.append(cached[1])
+            continue
+        dest = next_vid
+        next_vid += 1
+        new_names.append(f"load({names[src]})")
+        loads.append((row, src, dest, mod_l[row]))
+        last_load[src] = (pos, dest)
+        shift += 1
+        new_src.append(dest)
+    inserted = len(loads)
+
+    # Assemble the merged order (original row i keeps id i; inserted
+    # load k gets id n + k), emulating _hoist_loads inline: every LOAD
+    # lands ``prefetch_distance`` slots before the current tail.
+    is_load = (packed.op == _LOAD).tolist()
+    order: list[int] = []
+    hoist = prefetch_distance > 0
+    load_ptr = 0
+    for i in range(n):
+        while load_ptr < inserted and loads[load_ptr][0] == i:
+            lid = n + load_ptr
+            if hoist:
+                order.insert(max(0, len(order) - prefetch_distance), lid)
+            else:
+                order.append(lid)
+            load_ptr += 1
+        if hoist and is_load[i]:
+            order.insert(max(0, len(order) - prefetch_distance), i)
+        else:
+            order.append(i)
+
+    if hit_rows.size:
+        packed.srcs[hit_rows, hit_cols] = np.array(new_src,
+                                                   dtype=np.int64)
+    if inserted:
+        packed.append_values(inserted, names=new_names)
+        width = packed.srcs.shape[1]
+        block_srcs = np.full((inserted, width), -1, dtype=np.int64)
+        arr = np.array(loads, dtype=np.int64)
+        block_srcs[:, 0] = arr[:, 1]
+        mem_code = packed.tag_code("mem")
+        packed.op = np.concatenate(
+            [packed.op, np.full(inserted, _LOAD, dtype=np.int16)])
+        packed.dest = np.concatenate([packed.dest, arr[:, 2]])
+        packed.srcs = np.concatenate([packed.srcs, block_srcs])
+        packed.n_srcs = np.concatenate(
+            [packed.n_srcs, np.ones(inserted, dtype=np.int64)])
+        packed.modulus = np.concatenate([packed.modulus, arr[:, 3]])
+        packed.imm = np.concatenate(
+            [packed.imm, np.zeros(inserted, dtype=np.int64)])
+        packed.tag_id = np.concatenate(
+            [packed.tag_id, np.full(inserted, mem_code, dtype=np.int16)])
+        packed.streaming = np.concatenate(
+            [packed.streaming, np.zeros(inserted, dtype=bool)])
+    if inserted or hoist:
+        packed.permute_rows(np.array(order, dtype=np.int64))
+    return inserted
+
+
+def mark_streaming_packed(packed: PackedProgram, *,
+                          streaming_loads_enabled: bool = True,
+                          forwarding_enabled: bool = True
+                          ) -> tuple[int, int]:
+    """Fully vectorized streaming/forwarding classification."""
+    use_counts = packed.use_counts_array()
+    out_mask = np.zeros(packed.num_values, dtype=bool)
+    if len(packed.outputs):
+        out_mask[packed.outputs] = True
+    has_dest = packed.dest >= 0
+    single = np.zeros(packed.num_instrs, dtype=bool)
+    dvals = packed.dest[has_dest]
+    single[has_dest] = (use_counts[dvals] == 1) & ~out_mask[dvals]
+    is_load = packed.op == _LOAD
+    is_store = packed.op == _STORE
+    stream_rows = is_load & single & streaming_loads_enabled
+    packed.streaming = packed.streaming | stream_rows
+    fwd_rows = (~is_load) & (~is_store) & single & forwarding_enabled
+    forwarded = np.zeros(packed.num_values, dtype=bool)
+    forwarded[packed.dest[fwd_rows]] = True
+    packed.forwarded = forwarded
+    return int(stream_rows.sum()), int(fwd_rows.sum())
+
+
+# ----------------------------------------------------------------------
+# Registry wiring: the packed halves of the registered-pass table.
+# ----------------------------------------------------------------------
+from .passes.registry import register_pass  # noqa: E402
+
+register_pass("copy-prop", packed=propagate_copies_packed)
+register_pass("const-merge", packed=merge_constant_multiplies_packed)
+register_pass("cse", packed=eliminate_common_subexpressions_packed)
+register_pass("dce", packed=eliminate_dead_code_packed)
+register_pass("mac-fuse", packed=fuse_mac_packed)
+register_pass("insert-loads", packed=insert_loads_packed)
+register_pass("mark-streaming", packed=mark_streaming_packed)

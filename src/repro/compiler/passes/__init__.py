@@ -14,8 +14,11 @@ from .cse import eliminate_common_subexpressions
 from .dce import eliminate_dead_code
 from .mac_fuse import fuse_mac
 from .memory import insert_loads, mark_streaming
+from .registry import PASS_REGISTRY, PassSpec, register_pass
 
 __all__ = [
+    "PASS_REGISTRY",
+    "PassSpec",
     "eliminate_common_subexpressions",
     "eliminate_dead_code",
     "fuse_mac",
@@ -23,4 +26,5 @@ __all__ = [
     "mark_streaming",
     "merge_constant_multiplies",
     "propagate_copies",
+    "register_pass",
 ]

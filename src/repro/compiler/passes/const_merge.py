@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ...core.isa import Opcode
 from ..ir import Program
+from .registry import register_pass
 
 _MERGEABLE_TAGS = {"mult", "bc_mult"}
 
@@ -73,3 +74,8 @@ def merge_constant_multiplies(program: Program,
         program.instrs = [ins for i, ins in enumerate(program.instrs)
                           if i not in removed_indices]
     return removed
+
+
+register_pass("const-merge", reference=merge_constant_multiplies,
+              description="compose constant-multiply chains "
+                          "(eq. 5 / section IV-D5)")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ...core.isa import Opcode
 from ..ir import Program
+from .registry import register_pass
 
 
 def propagate_copies(program: Program) -> int:
@@ -30,3 +31,7 @@ def propagate_copies(program: Program) -> int:
     program.instrs = kept
     program.outputs = {replacement.get(v, v) for v in program.outputs}
     return removed
+
+
+register_pass("copy-prop", reference=propagate_copies,
+              description="eliminate VecCopy chains (section IV-B1)")

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ...core.isa import Opcode
 from ..ir import Program
+from .registry import register_pass
 
 _PURE_OPS = {Opcode.MMUL, Opcode.MMAD, Opcode.MMAC, Opcode.NTT,
              Opcode.INTT, Opcode.AUTO}
@@ -47,3 +48,8 @@ def eliminate_common_subexpressions(program: Program) -> int:
     program.instrs = kept
     program.outputs = {replacement.get(v, v) for v in program.outputs}
     return removed
+
+
+register_pass("cse", reference=eliminate_common_subexpressions,
+              description="value-numbering common-subexpression "
+                          "elimination")

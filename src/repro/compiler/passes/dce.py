@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ...core.isa import Opcode
 from ..ir import Program
+from .registry import register_pass
 
 _SIDE_EFFECT_OPS = {Opcode.STORE, Opcode.SCALAR}
 
@@ -25,3 +26,7 @@ def eliminate_dead_code(program: Program) -> int:
         program.instrs = [ins for ins, keep in zip(program.instrs,
                                                    keep_flags) if keep]
     return removed
+
+
+register_pass("dce", reference=eliminate_dead_code,
+              description="drop instructions whose results are unused")

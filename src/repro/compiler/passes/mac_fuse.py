@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ...core.isa import Opcode
 from ..ir import Program
+from .registry import register_pass
 
 
 def fuse_mac(program: Program) -> int:
@@ -50,3 +51,8 @@ def fuse_mac(program: Program) -> int:
         program.instrs = [ins for i, ins in enumerate(program.instrs)
                           if i not in removed_indices]
     return fused
+
+
+register_pass("mac-fuse", reference=fuse_mac,
+              description="fuse MMUL+MMAD into MMAC for circuit-level "
+                          "NTT reuse (section IV-D3)")

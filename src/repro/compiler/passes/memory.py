@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ...core.isa import Opcode
 from ..ir import Program
+from .registry import register_pass
 
 
 def insert_loads(program: Program, *, reuse_window: int = 256,
@@ -117,3 +118,12 @@ def mark_streaming(program: Program, *, streaming_loads_enabled: bool = True,
             forwarded += 1
     program.forwarded = program_forwarded  # type: ignore[attr-defined]
     return streaming_loads, forwarded
+
+
+register_pass("insert-loads", reference=insert_loads,
+              description="materialize LoadRes staging + prefetch "
+                          "hoisting")
+register_pass("mark-streaming", reference=mark_streaming,
+              description="merge single-consumer loads into streaming "
+                          "ops; record FU-to-FU forwarding "
+                          "(section IV-B3)")

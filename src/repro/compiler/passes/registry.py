@@ -1,0 +1,53 @@
+"""The registered-pass table behind the pipeline's ``PassManager``.
+
+Every compiler pass registers here under a stable name, with up to two
+interchangeable implementations:
+
+* ``reference`` — the seed list-of-``Instr`` implementation (kept as
+  the differential-testing baseline and the spilling-allocator
+  fallback);
+* ``packed`` — the vectorized :class:`~repro.compiler.ir.PackedProgram`
+  twin.
+
+Registration is two-phase (the reference module and the packed module
+each fill in their half) so neither import direction creates a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class PassSpec:
+    """One named pass and its interchangeable implementations."""
+
+    name: str
+    description: str = ""
+    reference: Callable | None = None
+    packed: Callable | None = None
+
+    def implementation(self, engine: str) -> Callable:
+        fn = self.packed if engine == "packed" else self.reference
+        if fn is None:
+            raise ValueError(
+                f"pass {self.name!r} has no {engine!r} implementation")
+        return fn
+
+
+PASS_REGISTRY: dict[str, PassSpec] = {}
+
+
+def register_pass(name: str, *, reference: Callable | None = None,
+                  packed: Callable | None = None,
+                  description: str = "") -> PassSpec:
+    """Create or extend the spec for ``name`` (idempotent per half)."""
+    spec = PASS_REGISTRY.setdefault(name, PassSpec(name=name))
+    if reference is not None:
+        spec.reference = reference
+    if packed is not None:
+        spec.packed = packed
+    if description:
+        spec.description = description
+    return spec

@@ -7,25 +7,44 @@ scheduling -> linear-scan SRAM allocation -> codegen.
 Every stage can be toggled, which is how the sensitivity study
 (Figure 11) builds its baseline / MAD-enhanced / streaming / full
 configurations from one program.
+
+The pipeline is orchestrated by an explicit :class:`PassManager` over
+the registered-pass table (:mod:`repro.compiler.passes.registry`), with
+per-pass instrumentation (instruction counts, wall time) recorded on
+:class:`CompileStats`.  Two engines run the same pass sequence:
+
+* ``"packed"`` (default) — vectorized passes over a
+  :class:`~repro.compiler.ir.PackedProgram`;
+* ``"reference"`` — the seed list-of-``Instr`` implementations, kept
+  as the differential-testing baseline.
+
+Both produce bit-identical programs, statistics and schedules.
+
+Sweeps (Figure 10/11, the SRAM DSE) recompile the same workload for
+every hardware point; :func:`compile_packed_cached` memoizes compiles
+in a content-addressed cache keyed by ``(program fingerprint,
+CompileOptions)`` so each distinct configuration is compiled exactly
+once per process.  ``clear_compile_cache()`` is the explicit escape
+hatch (also hooked into :func:`repro.nttmath.batched.clear_caches`).
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import time
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
-from .ir import Program
-from .passes import (
-    eliminate_common_subexpressions,
-    eliminate_dead_code,
-    fuse_mac,
-    insert_loads,
-    mark_streaming,
-    merge_constant_multiplies,
-    propagate_copies,
+from ..nttmath.batched import register_cache_clearer
+from . import packed_passes  # noqa: F401  (registers the packed halves)
+from .ir import PackedProgram, Program
+from .passes.registry import PASS_REGISTRY
+from .regalloc import AllocationStats, allocate, allocate_packed
+from .scheduler import (
+    apply_schedule,
+    apply_schedule_packed,
+    schedule,
+    schedule_packed,
 )
-from .regalloc import AllocationStats, allocate
-from .scheduler import apply_schedule, schedule
 
 
 @dataclass(frozen=True)
@@ -45,6 +64,21 @@ class CompileOptions:
 
 
 @dataclass
+class PassRecord:
+    """Per-pass instrumentation the :class:`PassManager` collects."""
+
+    name: str
+    wall_s: float
+    instrs_before: int
+    instrs_after: int
+    detail: object = None           # the pass' own return value
+
+    @property
+    def instrs_removed(self) -> int:
+        return self.instrs_before - self.instrs_after
+
+
+@dataclass
 class CompileStats:
     """Everything the evaluation section reads off a compilation."""
 
@@ -61,6 +95,7 @@ class CompileStats:
     mix_before: Counter = field(default_factory=Counter)
     mix_after: Counter = field(default_factory=Counter)
     alloc: AllocationStats = field(default_factory=AllocationStats)
+    pass_records: list[PassRecord] = field(default_factory=list)
 
     @property
     def code_opt_fraction(self) -> float:
@@ -70,53 +105,272 @@ class CompileStats:
             return 0.0
         return 1.0 - self.instrs_after_opt / self.instrs_before_opt
 
+    @property
+    def compile_wall_s(self) -> float:
+        return sum(r.wall_s for r in self.pass_records)
 
-@dataclass
+
+class PassManager:
+    """Runs registered passes for one engine, recording per-pass
+    instruction counts and wall time."""
+
+    def __init__(self, engine: str = "packed"):
+        if engine not in ("packed", "reference"):
+            raise ValueError(f"unknown compile engine {engine!r}")
+        self.engine = engine
+        self.records: list[PassRecord] = []
+
+    def run(self, name: str, ir, *args, **kwargs):
+        fn = PASS_REGISTRY[name].implementation(self.engine)
+        before = len(ir)
+        t0 = time.perf_counter()
+        result = fn(ir, *args, **kwargs)
+        self.records.append(PassRecord(
+            name=name, wall_s=time.perf_counter() - t0,
+            instrs_before=before, instrs_after=len(ir), detail=result))
+        return result
+
+    def record(self, name: str, wall_s: float, before: int, after: int,
+               detail=None) -> None:
+        """Manual record for stages run outside the registry call path
+        (scheduling, allocation)."""
+        self.records.append(PassRecord(
+            name=name, wall_s=wall_s, instrs_before=before,
+            instrs_after=after, detail=detail))
+
+
 class CompiledProgram:
-    program: Program
-    options: CompileOptions
-    stats: CompileStats
+    """A compiled program plus its options and statistics.
+
+    ``packed`` is the authoritative result on the packed engine; the
+    ``program`` view materializes lazily from it, so cache-served sweep
+    consumers (which simulate straight off the packed columns) never
+    pay for ``Instr`` object construction.
+    """
+
+    __slots__ = ("_program", "packed", "options", "stats")
+
+    def __init__(self, program: Program | None = None, *,
+                 options: CompileOptions, stats: CompileStats,
+                 packed: PackedProgram | None = None):
+        if program is None and packed is None:
+            raise ValueError("need a program or a packed program")
+        self._program = program
+        self.packed = packed
+        self.options = options
+        self.stats = stats
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = self.packed.to_program()
+        return self._program
 
     @property
     def dram_bytes(self) -> int:
         return self.stats.alloc.dram_total_bytes
 
+    def __repr__(self) -> str:
+        ir = self.packed if self._program is None else self._program
+        return f"CompiledProgram({ir!r})"
 
-def compile_program(program: Program,
-                    options: CompileOptions | None = None
-                    ) -> CompiledProgram:
-    """Run the pipeline in place on ``program``."""
-    options = options or CompileOptions()
+
+def _compile_packed_ir(packed: PackedProgram,
+                       options: CompileOptions) -> CompileStats:
+    """Run the pass sequence in place on ``packed``."""
+    pm = PassManager("packed")
+    stats = CompileStats()
+    stats.instrs_before_opt = len(packed)
+    stats.mix_before = packed.instruction_mix()
+
+    if options.code_opt:
+        stats.copies_removed = pm.run("copy-prop", packed)
+        stats.consts_merged = pm.run("const-merge", packed, {})
+        stats.cse_removed = pm.run("cse", packed)
+        stats.dead_removed = pm.run("dce", packed)
+    stats.instrs_after_opt = len(packed)
+    stats.mix_after = packed.instruction_mix()
+
+    if options.mac_fusion:
+        stats.macs_fused = pm.run("mac-fuse", packed)
+
+    stats.loads_inserted = pm.run(
+        "insert-loads", packed, reuse_window=options.reuse_window,
+        prefetch_distance=options.prefetch_distance)
+    if options.streaming or options.forward_window > 0:
+        stats.streaming_loads, stats.forwarded_values = pm.run(
+            "mark-streaming", packed,
+            streaming_loads_enabled=options.streaming,
+            forwarding_enabled=options.forward_window > 0)
+
+    before = len(packed)
+    t0 = time.perf_counter()
+    order = schedule_packed(packed, policy=options.scheduling,
+                            band_size=options.band_size)
+    apply_schedule_packed(packed, order)
+    pm.record("schedule", time.perf_counter() - t0, before, len(packed),
+              options.scheduling)
+
+    before = len(packed)
+    t0 = time.perf_counter()
+    stats.alloc = allocate_packed(
+        packed, sram_bytes=options.sram_bytes,
+        forward_window=options.forward_window,
+        reserve_slots=options.reserve_slots)
+    pm.record("regalloc", time.perf_counter() - t0, before, len(packed))
+
+    stats.pass_records = pm.records
+    return stats
+
+
+def _compile_reference(program: Program,
+                       options: CompileOptions) -> CompiledProgram:
+    """The seed pipeline over ``Instr`` lists (differential baseline)."""
+    pm = PassManager("reference")
     stats = CompileStats()
     stats.instrs_before_opt = len(program.instrs)
     stats.mix_before = program.instruction_mix()
 
     if options.code_opt:
-        stats.copies_removed = propagate_copies(program)
-        registry: dict = {}
-        stats.consts_merged = merge_constant_multiplies(program, registry)
-        stats.cse_removed = eliminate_common_subexpressions(program)
-        stats.dead_removed = eliminate_dead_code(program)
+        stats.copies_removed = pm.run("copy-prop", program)
+        stats.consts_merged = pm.run("const-merge", program, {})
+        stats.cse_removed = pm.run("cse", program)
+        stats.dead_removed = pm.run("dce", program)
     stats.instrs_after_opt = len(program.instrs)
     stats.mix_after = program.instruction_mix()
 
     if options.mac_fusion:
-        stats.macs_fused = fuse_mac(program)
+        stats.macs_fused = pm.run("mac-fuse", program)
 
-    stats.loads_inserted = insert_loads(
-        program, reuse_window=options.reuse_window,
+    stats.loads_inserted = pm.run(
+        "insert-loads", program, reuse_window=options.reuse_window,
         prefetch_distance=options.prefetch_distance)
     if options.streaming or options.forward_window > 0:
-        stats.streaming_loads, stats.forwarded_values = mark_streaming(
-            program,
+        stats.streaming_loads, stats.forwarded_values = pm.run(
+            "mark-streaming", program,
             streaming_loads_enabled=options.streaming,
             forwarding_enabled=options.forward_window > 0)
 
+    before = len(program.instrs)
+    t0 = time.perf_counter()
     order = schedule(program, policy=options.scheduling,
                      band_size=options.band_size)
     apply_schedule(program, order)
+    pm.record("schedule", time.perf_counter() - t0, before,
+              len(program.instrs), options.scheduling)
 
+    before = len(program.instrs)
+    t0 = time.perf_counter()
     stats.alloc = allocate(program, sram_bytes=options.sram_bytes,
                            forward_window=options.forward_window,
                            reserve_slots=options.reserve_slots)
+    pm.record("regalloc", time.perf_counter() - t0, before,
+              len(program.instrs))
+
+    stats.pass_records = pm.records
     return CompiledProgram(program=program, options=options, stats=stats)
+
+
+def compile_program(program: Program,
+                    options: CompileOptions | None = None, *,
+                    engine: str = "packed") -> CompiledProgram:
+    """Run the pipeline in place on ``program``.
+
+    ``engine="packed"`` (default) compiles on the structure-of-arrays
+    IR and writes the result back into ``program``; ``"reference"``
+    runs the seed implementations.  Both are bit-identical.
+    """
+    options = options or CompileOptions()
+    if engine == "reference":
+        return _compile_reference(program, options)
+    if engine != "packed":
+        raise ValueError(f"unknown compile engine {engine!r}")
+    packed = PackedProgram.from_program(program)
+    stats = _compile_packed_ir(packed, options)
+    packed.write_back(program)
+    return CompiledProgram(program=program, options=options, stats=stats,
+                           packed=packed)
+
+
+def compile_packed(packed: PackedProgram,
+                   options: CompileOptions | None = None
+                   ) -> CompiledProgram:
+    """Compile a packed program in place (no ``Instr`` materialization;
+    ``.program`` stays lazy)."""
+    options = options or CompileOptions()
+    stats = _compile_packed_ir(packed, options)
+    return CompiledProgram(options=options, stats=stats, packed=packed)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed compile cache
+# ----------------------------------------------------------------------
+#: Upper bound on cached compilations.  Bootstrap-scale entries hold
+#: tens of MB of packed columns, so the bound stays modest — but it
+#: must cover the largest shipped sweep (Figure 10: three workloads
+#: across four scaled configurations = 12 points) with headroom, or
+#: the LRU would thrash and repeat sweeps would never be compile-free.
+COMPILE_CACHE_MAX = 16
+
+
+@dataclass
+class CompileCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+_COMPILE_CACHE: "OrderedDict[tuple[str, CompileOptions], CompiledProgram]" \
+    = OrderedDict()
+_CACHE_STATS = CompileCacheStats()
+
+
+def compile_packed_cached(template: PackedProgram,
+                          options: CompileOptions | None = None, *,
+                          fingerprint: str | None = None
+                          ) -> CompiledProgram:
+    """Compile ``template`` through the content-addressed cache.
+
+    The cache key is ``(template.fingerprint(), options)``; the
+    template itself is never mutated (a column copy is compiled), so a
+    workload segment can hand the same packed template to every sweep
+    point and each distinct ``CompileOptions`` is compiled once.
+    Cached :class:`CompiledProgram` objects are shared — treat them as
+    immutable.
+    """
+    options = options or CompileOptions()
+    if fingerprint is None:
+        fingerprint = template.fingerprint()
+    key = (fingerprint, options)
+    hit = _COMPILE_CACHE.get(key)
+    if hit is not None:
+        _COMPILE_CACHE.move_to_end(key)
+        _CACHE_STATS.hits += 1
+        return hit
+    _CACHE_STATS.misses += 1
+    compiled = compile_packed(template.copy(), options)
+    _COMPILE_CACHE[key] = compiled
+    while len(_COMPILE_CACHE) > COMPILE_CACHE_MAX:
+        _COMPILE_CACHE.popitem(last=False)
+        _CACHE_STATS.evictions += 1
+    return compiled
+
+
+def compile_cache_stats() -> CompileCacheStats:
+    """Hit/miss/eviction counters (process-wide)."""
+    return _CACHE_STATS
+
+
+def compile_cache_size() -> int:
+    return len(_COMPILE_CACHE)
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation and reset the counters."""
+    _COMPILE_CACHE.clear()
+    _CACHE_STATS.hits = _CACHE_STATS.misses = _CACHE_STATS.evictions = 0
+
+
+# One global escape hatch: clearing the numeric plan caches also drops
+# compiled programs.
+register_cache_clearer(clear_compile_cache)

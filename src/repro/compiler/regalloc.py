@@ -18,8 +18,10 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.isa import Opcode
-from .ir import Instr, Program
+from .ir import OP_INDEX, Instr, PackedProgram, Program
 
 
 @dataclass
@@ -224,4 +226,138 @@ def allocate(program: Program, *, sram_bytes: int,
         [v for v in slotless
          if v in forwarded])
     program.instrs = out
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Packed (vectorized) implementation
+# ----------------------------------------------------------------------
+_LOAD_CODE = OP_INDEX[Opcode.LOAD]
+_STORE_CODE = OP_INDEX[Opcode.STORE]
+
+
+def allocate_packed(packed: PackedProgram, *, sram_bytes: int,
+                    forward_window: int = 64,
+                    reserve_slots: int = 0) -> AllocationStats:
+    """Linear-scan allocation over a packed (scheduled) program.
+
+    Live intervals, slotless values and the peak-residency profile are
+    computed as vectorized interval arrays.  When the peak fits the
+    slot budget — every sweep at a sane SRAM size — no eviction can
+    ever fire, the instruction stream is unchanged, and the only
+    sequential piece left is the LIFO slot-id replay (plain int lists).
+    If the peak overflows, the allocator falls back to the reference
+    linear scan (identical eviction heuristics) and repacks its output,
+    so spilling configurations stay bit-identical to the seed.
+    """
+    limb_bytes = packed.limb_bytes
+    slot_count = sram_bytes // limb_bytes - reserve_slots
+    if slot_count < 8:
+        raise OutOfSlotsError(
+            f"{sram_bytes} bytes of SRAM hold only {slot_count} residue "
+            f"slots; need at least 8")
+
+    n = packed.num_instrs
+    nv = packed.num_values
+    valid = packed.srcs >= 0
+    rows, _cols = np.nonzero(valid)
+    svals = packed.srcs[valid]
+
+    uses_cnt = np.bincount(svals, minlength=nv)
+    last_use = np.full(nv, -1, dtype=np.int64)
+    if svals.size:
+        uniq, first_in_rev = np.unique(svals[::-1], return_index=True)
+        last_use[uniq] = rows[len(rows) - 1 - first_in_rev]
+    if len(packed.outputs):
+        uses_cnt[packed.outputs] += 1
+        last_use[packed.outputs] = n          # sentinel: never freed
+
+    dest = packed.dest
+    has_dest = dest >= 0
+    def_row = np.full(nv, -1, dtype=np.int64)
+    def_row[dest[has_dest]] = np.nonzero(has_dest)[0]
+
+    forwarded = packed.forwarded if packed.forwarded is not None \
+        else np.zeros(nv, dtype=bool)
+
+    # Slotless values: streaming single-use loads, and forwarded
+    # single-use intermediates close to their producer.
+    slotless = np.zeros(nv, dtype=bool)
+    is_load = packed.op == _LOAD_CODE
+    load_dests = dest[is_load & packed.streaming & has_dest]
+    slotless[load_dests[uses_cnt[load_dests] == 1]] = True
+    fwd_vals = np.nonzero(forwarded & (uses_cnt == 1)
+                          & (def_row >= 0) & ~slotless)[0]
+    near = last_use[fwd_vals] - def_row[fwd_vals] <= forward_window
+    slotless[fwd_vals[near]] = True
+
+    allocated = np.zeros(nv, dtype=bool)
+    dvals = dest[has_dest]
+    allocated[dvals] = ~slotless[dvals] & (uses_cnt[dvals] > 0)
+
+    avids = np.nonzero(allocated)[0]
+    alloc_rows = def_row[avids]
+    row_order = np.argsort(alloc_rows)        # one dest per row: unique
+    alloc_rows_sorted = alloc_rows[row_order]
+    alloc_vals_sorted = avids[row_order]
+    freed_vals = np.nonzero(allocated & (last_use < n))[0]
+    alloc_per_row = np.bincount(alloc_rows, minlength=n + 1)[:n]
+    free_per_row = np.bincount(last_use[freed_vals], minlength=n + 1)[:n]
+    live = np.cumsum(alloc_per_row - free_per_row)
+    peak = int(live[alloc_per_row > 0].max()) if alloc_rows.size else 0
+
+    if peak > slot_count:
+        # Spilling run: defer to the reference linear scan.
+        program = packed.to_program()
+        stats = allocate(program, sram_bytes=sram_bytes,
+                         forward_window=forward_window,
+                         reserve_slots=reserve_slots)
+        repacked = PackedProgram.from_program(program)
+        for attr in ("op", "dest", "srcs", "n_srcs", "modulus", "imm",
+                     "tag_id", "streaming", "val_origin", "val_address",
+                     "outputs"):
+            setattr(packed, attr, getattr(repacked, attr))
+        packed.tags = repacked.tags
+        packed._tag_index = repacked._tag_index
+        packed.val_names = repacked.val_names
+        packed.forwarded = repacked.forwarded
+        packed.slot_of = repacked.slot_of
+        return stats
+
+    # No-eviction fast path: instruction stream is untouched, traffic
+    # statistics are pure column counts.
+    stats = AllocationStats(slot_count=slot_count)
+    stats.peak_slots_used = peak
+    n_loads = int(np.count_nonzero(is_load))
+    n_stores = packed.count(Opcode.STORE)
+    stats.dram_load_bytes = n_loads * limb_bytes
+    stats.dram_store_bytes = n_stores * limb_bytes
+    stats.streaming_loads = int(np.count_nonzero(is_load
+                                                 & packed.streaming))
+    stats.forwarded_values = int(np.count_nonzero(slotless & forwarded))
+
+    # Replay the LIFO free-list to reproduce the reference slot ids.
+    # Free events follow source order within a row; first occurrence
+    # wins, exactly as the reference pops `slot_of` on first sight.
+    free_candidate = allocated.copy()
+    hit_mask = free_candidate[svals] & (last_use[svals] == rows)
+    f_rows = rows[hit_mask].tolist()
+    f_vals = svals[hit_mask].tolist()
+    a_rows = alloc_rows_sorted.tolist()
+    a_vals = alloc_vals_sorted.tolist()
+
+    slot_of: dict[int, int] = {}
+    free_slots = list(range(slot_count - 1, -1, -1))
+    fi, ai = 0, 0
+    fn, an = len(f_rows), len(a_rows)
+    while fi < fn or ai < an:
+        if ai >= an or (fi < fn and f_rows[fi] <= a_rows[ai]):
+            slot = slot_of.pop(f_vals[fi], None)
+            if slot is not None:
+                free_slots.append(slot)
+            fi += 1
+        else:
+            slot_of[a_vals[ai]] = free_slots.pop()
+            ai += 1
+    packed.slot_of = slot_of
     return stats

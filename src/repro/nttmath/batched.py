@@ -148,6 +148,20 @@ class BatchedNTT:
         self._psi_inv_sh = shoup_companion(self._psi_inv_u, self._q_u)
         self._n_inv_u = self.n_inv_col.astype(np.uint64)
         self._n_inv_sh = shoup_companion(self._n_inv_u, self._q_u)
+        # Merged final-stage inverse twiddles: the trailing 1/n scaling
+        # folds into the last butterfly stage's multiplies (ROADMAP
+        # open item), leaving an explicit 1/n only on the sum-side
+        # outputs that the final stage does not multiply at all.
+        # The radix-2 final stage (and the radix-4 stage's w-branch)
+        # uses psi_inv^br[1]; the radix-4 final stage's difference
+        # branches use psi_inv^br[2] and psi_inv^br[3].
+        self._fold1_u, self._fold1_sh = self._merged_ninv_twiddle(1)
+        if n >= 4:
+            self._fold2_u, self._fold2_sh = self._merged_ninv_twiddle(2)
+            self._fold3_u, self._fold3_sh = self._merged_ninv_twiddle(3)
+        else:
+            self._fold2_u = self._fold2_sh = None
+            self._fold3_u = self._fold3_sh = None
         # Fused radix-4 stages rely on the relaxed Shoup bound (inputs
         # up to 4q still land in [0, 2q)), which needs q < 2^30.  Wider
         # moduli take the plain radix-2 path with per-stage reduction.
@@ -177,10 +191,30 @@ class BatchedNTT:
         self._psi_inv_sh = parent._psi_inv_sh[:count]
         self._n_inv_u = parent._n_inv_u[:count]
         self._n_inv_sh = parent._n_inv_sh[:count]
+        self._fold1_u = parent._fold1_u[:count]
+        self._fold1_sh = parent._fold1_sh[:count]
+        self._fold2_u = None if parent._fold2_u is None \
+            else parent._fold2_u[:count]
+        self._fold2_sh = None if parent._fold2_sh is None \
+            else parent._fold2_sh[:count]
+        self._fold3_u = None if parent._fold3_u is None \
+            else parent._fold3_u[:count]
+        self._fold3_sh = None if parent._fold3_sh is None \
+            else parent._fold3_sh[:count]
         self._fused = parent._fused
         self._auto_ntt_idx = parent._auto_ntt_idx
         self._auto_coeff_maps = parent._auto_coeff_maps
         return self
+
+    def _merged_ninv_twiddle(self, index: int
+                             ) -> tuple[np.ndarray, np.ndarray]:
+        """``psi_inv^br[index] * n^-1 mod q`` per limb, with its Shoup
+        companion — a final-stage twiddle that also applies the iNTT
+        1/n scaling."""
+        merged = (self._psi_inv_br[:, index:index + 1]
+                  * self.n_inv_col % self.q_col)
+        merged_u = merged.astype(np.uint64)
+        return merged_u, shoup_companion(merged_u, self._q_u)
 
     def _power_table(self, base_col: np.ndarray) -> np.ndarray:
         """``table[j, i] = base[j]**i mod q[j]`` via a binary ladder:
@@ -341,27 +375,36 @@ class BatchedNTT:
         """
         a = (self._check(data) % self.q_col).astype(np.uint64)
         if self._fused:
-            self._inverse_fused(a)
+            self._inverse_fused(a, fold_ninv=scale_by_n_inv)
         else:
-            self._inverse_radix2(a)
-        # values < 2q here
-        if scale_by_n_inv:
-            a = shoup_mul_lazy(a, self._n_inv_u, self._n_inv_sh, self._q_u)
+            self._inverse_radix2(a, fold_ninv=scale_by_n_inv)
+        # values < 2q here; the 1/n scaling (when requested) was folded
+        # into the final-stage twiddles by the kernels above.
         self._lazy_csub(a, self._q_u)
         return a.astype(np.int64)
 
-    def _inverse_fused(self, a: np.ndarray) -> None:
-        """Radix-4 fused GS stages; values ride lazily in [0, 2q)."""
+    def _inverse_fused(self, a: np.ndarray, *,
+                       fold_ninv: bool = False) -> None:
+        """Radix-4 fused GS stages; values ride lazily in [0, 2q).
+
+        With ``fold_ninv`` the final stage's twiddle multiplies use the
+        pre-merged ``psi_inv * n^-1`` tables and the remaining sum-side
+        outputs take one explicit Shoup multiply by ``n^-1`` — exactly
+        the trailing 1/n scaling, one stage cheaper.
+        """
         n = self.n
         q_b = self._q_u[:, :, None]
         q2_b = self._q2_u[:, :, None]
         psi, psi_sh = self._psi_inv_u, self._psi_inv_sh
+        ninv = self._n_inv_u[:, :, None]
+        ninv_sh = self._n_inv_sh[:, :, None]
         if n >= 4:
             bufs = [self._ws(f"i4_{i}", 4) for i in range(6)]
         m, t = n, 1
         while m > 2:
             h1 = m // 2
             h2 = m // 4
+            final = fold_ninv and m == 4
             blocks = a.reshape(self.limbs, h2, 4, t)
             z0 = blocks[:, :, 0, :]
             z1 = blocks[:, :, 1, :]
@@ -369,10 +412,17 @@ class BatchedNTT:
             z3 = blocks[:, :, 3, :]
             shape = (self.limbs, h2, t)
             b0, b1, b2, b3, b4, b5 = (b.reshape(shape) for b in bufs)
-            s_a = psi[:, h1:2 * h1:2, None]
-            s_a_sh = psi_sh[:, h1:2 * h1:2, None]
-            s_b = psi[:, h1 + 1:2 * h1:2, None]
-            s_b_sh = psi_sh[:, h1 + 1:2 * h1:2, None]
+            if final:
+                # Last stage: psi_inv^br[2]/[3] carry the folded 1/n.
+                s_a, s_a_sh = (self._fold2_u[:, :, None],
+                               self._fold2_sh[:, :, None])
+                s_b, s_b_sh = (self._fold3_u[:, :, None],
+                               self._fold3_sh[:, :, None])
+            else:
+                s_a = psi[:, h1:2 * h1:2, None]
+                s_a_sh = psi_sh[:, h1:2 * h1:2, None]
+                s_b = psi[:, h1 + 1:2 * h1:2, None]
+                s_b_sh = psi_sh[:, h1 + 1:2 * h1:2, None]
             s_c = psi[:, h2:2 * h2, None]
             s_c_sh = psi_sh[:, h2:2 * h2, None]
             w0 = np.add(z0, z1, out=b0)                # < 4q
@@ -386,12 +436,24 @@ class BatchedNTT:
             self._lazy_csub(w0, q2_b, b2)              # < 2q
             self._lazy_csub(w1, q2_b, b2)
             out0 = np.add(w0, w1, out=b2)              # < 4q
-            self._lazy_csub(out0, q2_b, b4)
-            blocks[:, :, 0, :] = out0
-            w0 += q2_b
-            w0 -= w1                                   # < 4q
-            blocks[:, :, 2, :] = shoup_mul_lazy(w0, s_c, s_c_sh, q_b,
-                                                out=b1, hi=b4)
+            if final:
+                # w-branch twiddle psi_inv^br[1] also carries 1/n; the
+                # plain sum output takes the explicit 1/n multiply.
+                w0 += q2_b
+                w0 -= w1                               # < 4q
+                blocks[:, :, 2, :] = shoup_mul_lazy(
+                    w0, self._fold1_u[:, :, None],
+                    self._fold1_sh[:, :, None], q_b, out=b1, hi=b4)
+                self._lazy_csub(out0, q2_b, b4)
+                blocks[:, :, 0, :] = shoup_mul_lazy(
+                    out0, ninv, ninv_sh, q_b, out=b4, hi=b1)
+            else:
+                self._lazy_csub(out0, q2_b, b4)
+                blocks[:, :, 0, :] = out0
+                w0 += q2_b
+                w0 -= w1                               # < 4q
+                blocks[:, :, 2, :] = shoup_mul_lazy(w0, s_c, s_c_sh,
+                                                    q_b, out=b1, hi=b4)
             out1 = np.add(d0, d1, out=b2)
             self._lazy_csub(out1, q2_b, b4)
             blocks[:, :, 1, :] = out1
@@ -408,30 +470,48 @@ class BatchedNTT:
             h1 = self._ws("i2_1", 2).reshape(shape)
             zl = blocks[:, :, :t]
             zr = blocks[:, :, t:]
-            s = psi[:, 1:2, None]
-            s_sh = psi_sh[:, 1:2, None]
+            if fold_ninv:
+                s = self._fold1_u[:, :, None]
+                s_sh = self._fold1_sh[:, :, None]
+            else:
+                s = psi[:, 1:2, None]
+                s_sh = psi_sh[:, 1:2, None]
             d = np.add(zl, q2_b, out=h0)
             d -= zr                                    # < 4q
             w = np.add(zl, zr, out=h1)
             self._lazy_csub(w, q2_b)
-            blocks[:, :, :t] = w
+            if fold_ninv:
+                blocks[:, :, :t] = shoup_mul_lazy(w, ninv, ninv_sh, q_b)
+            else:
+                blocks[:, :, :t] = w
             blocks[:, :, t:] = shoup_mul_lazy(d, s, s_sh, q_b)
         # values are < 2q here
 
-    def _inverse_radix2(self, a: np.ndarray) -> None:
-        """Radix-2 GS stages reduced each stage (31-bit moduli)."""
+    def _inverse_radix2(self, a: np.ndarray, *,
+                        fold_ninv: bool = False) -> None:
+        """Radix-2 GS stages reduced each stage (31-bit moduli).
+
+        ``fold_ninv`` merges the 1/n scaling into the final stage: the
+        difference branch uses the pre-merged ``psi_inv * n^-1``
+        twiddle and the sum branch takes one explicit ``n^-1``
+        multiply."""
         q_b = self._q_u[:, :, None]
         q2_b = self._q2_u[:, :, None]
         t, m = 1, self.n
         while m > 1:
             h = m // 2
+            final = fold_ninv and m == 2
             blocks = a.reshape(self.limbs, h, 2 * t)
             shape = (self.limbs, h, t)
             h0 = self._ws("ir_0", 2).reshape(shape)
             h1 = self._ws("ir_1", 2).reshape(shape)
             h2 = self._ws("ir_2", 2).reshape(shape)
-            s = self._psi_inv_u[:, h:2 * h, None]
-            s_sh = self._psi_inv_sh[:, h:2 * h, None]
+            if final:
+                s = self._fold1_u[:, :, None]
+                s_sh = self._fold1_sh[:, :, None]
+            else:
+                s = self._psi_inv_u[:, h:2 * h, None]
+                s_sh = self._psi_inv_sh[:, h:2 * h, None]
             zl = blocks[:, :, :t]
             zr = blocks[:, :, t:]
             d = np.add(zl, q2_b, out=h0)
@@ -439,7 +519,13 @@ class BatchedNTT:
             self._lazy_csub(d, q2_b, h1)               # < 2q
             w = np.add(zl, zr, out=h1)
             self._lazy_csub(w, q2_b, h2)
-            blocks[:, :, :t] = w
+            if final:
+                h3 = self._ws("ir_3", 2).reshape(shape)
+                blocks[:, :, :t] = shoup_mul_lazy(
+                    w, self._n_inv_u[:, :, None],
+                    self._n_inv_sh[:, :, None], q_b, out=h3, hi=h2)
+            else:
+                blocks[:, :, :t] = w
             blocks[:, :, t:] = shoup_mul_lazy(d, s, s_sh, q_b,
                                               out=h2, hi=h1)
             t *= 2

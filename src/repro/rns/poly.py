@@ -34,6 +34,7 @@ __all__ = [
     "ntt_table",
     "pointwise_mac",
     "pointwise_mac_shoup",
+    "pointwise_mul_shoup",
     "shoup_precompute",
 ]
 
@@ -271,6 +272,35 @@ def shoup_precompute(poly: RnsPolynomial) -> tuple[np.ndarray, np.ndarray]:
     values = poly.data.astype(np.uint64)
     q_u = poly.basis.q_col.astype(np.uint64)
     return values, shoup_companion(values, q_u)
+
+
+def pointwise_mul_shoup(poly: RnsPolynomial,
+                        table: tuple[np.ndarray, np.ndarray]
+                        ) -> RnsPolynomial:
+    """Pointwise product against a :func:`shoup_precompute`-frozen
+    operand: two multiplies and a shift per element, no division.
+
+    ``table`` must match ``poly``'s shape (slice frozen rows for lower
+    levels — the Shoup companions are per-limb, so prefix rows stay
+    valid).  The result is canonical and bitwise identical to
+    ``poly.pointwise_mul(frozen_operand)``; the caller is responsible
+    for the two operands being in the same domain.
+    """
+    s_u, s_sh = table
+    if s_u.shape != poly.data.shape:
+        raise ValueError(
+            f"frozen table shape {s_u.shape} does not match "
+            f"polynomial shape {poly.data.shape}")
+    q_u = poly.basis.q_col.astype(np.uint64)
+    shape = poly.data.shape
+    x = scratch("pmul_x", shape)
+    hi = scratch("pmul_hi", shape)
+    out = scratch("pmul_out", shape)
+    np.copyto(x, poly.data, casting="unsafe")
+    shoup_mul_lazy(x, s_u, s_sh, q_u, out=out, hi=hi)
+    np.minimum(out, out - q_u, out=out)        # [0, 2q) -> canonical
+    return RnsPolynomial(poly.basis, out.astype(np.int64),
+                         is_ntt=poly.is_ntt)
 
 
 def pointwise_mac_shoup(polys, tables, basis: RnsBasis, *,

@@ -2,18 +2,29 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ...rns.basis import RnsBasis
-from ...rns.poly import RnsPolynomial
+from ...rns.poly import RnsPolynomial, shoup_precompute
 
 
 @dataclass
 class Plaintext:
-    """An encoded message: one polynomial plus its scaling factor."""
+    """An encoded message: one polynomial plus its scaling factor.
+
+    Plaintext operands are static constants (matrix diagonals,
+    EvalMod coefficients) multiplied against many ciphertexts, so the
+    NTT-domain residues are Shoup-frozen on first use and cached per
+    level — EFFACT's precomputed-constant philosophy applied to
+    plaintexts, mirroring the Shoup-frozen switching keys.  Treat the
+    polynomial as immutable after encoding.
+    """
 
     poly: RnsPolynomial
     scale: float
+    _frozen: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def level(self) -> int:
@@ -21,6 +32,27 @@ class Plaintext:
 
     def copy(self) -> "Plaintext":
         return Plaintext(poly=self.poly.copy(), scale=self.scale)
+
+    def frozen_ntt_tables(self, limbs: int) -> tuple[np.ndarray,
+                                                     np.ndarray]:
+        """Shoup-frozen NTT-domain residues restricted to the first
+        ``limbs`` limbs (companions are per-limb, so prefix rows of the
+        full-basis freeze stay valid)."""
+        full_limbs = len(self.poly.basis)
+        if limbs > full_limbs:
+            raise ValueError("plaintext level below ciphertext level")
+        hit = self._frozen.get(limbs)
+        if hit is None:
+            full = self._frozen.get(full_limbs)
+            if full is None:
+                ntt_poly = self.poly if self.poly.is_ntt \
+                    else self.poly.to_ntt()
+                full = shoup_precompute(ntt_poly)
+                self._frozen[full_limbs] = full
+            values, companions = full
+            hit = (values[:limbs], companions[:limbs])
+            self._frozen[limbs] = hit
+        return hit
 
 
 @dataclass

@@ -14,7 +14,11 @@ import numpy as np
 from ...nttmath.ntt import conjugation_element, galois_element
 from ...rns.basis import RnsBasis
 from ...rns.bconv import mod_down, mod_up, rescale_last
-from ...rns.poly import RnsPolynomial, pointwise_mac_shoup
+from ...rns.poly import (
+    RnsPolynomial,
+    pointwise_mac_shoup,
+    pointwise_mul_shoup,
+)
 from .ciphertext import Ciphertext, Ciphertext3, Plaintext
 from .keys import CkksContext, KeyChain, SwitchingKey
 
@@ -157,9 +161,19 @@ class CkksEvaluator:
         return self.multiply(ct, ct)
 
     def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
-        poly = self._match_plain(pt, ct)
-        return Ciphertext(c0=ct.c0.pointwise_mul(poly),
-                          c1=ct.c1.pointwise_mul(poly),
+        """Ciphertext-plaintext product with Shoup-frozen constants.
+
+        The plaintext's NTT residues (with Shoup companions) are frozen
+        once on the plaintext and sliced per level, so every repeated
+        diagonal/coefficient multiply is division-free — bitwise
+        identical to the plain ``pointwise_mul`` path.
+        """
+        if not ct.c0.is_ntt:
+            raise ValueError("multiply_plain expects an NTT-domain "
+                             "ciphertext")
+        tables = pt.frozen_ntt_tables(len(ct.basis))
+        return Ciphertext(c0=pointwise_mul_shoup(ct.c0, tables),
+                          c1=pointwise_mul_shoup(ct.c1, tables),
                           scale=ct.scale * pt.scale)
 
     def multiply_scalar(self, ct: Ciphertext, value: float,

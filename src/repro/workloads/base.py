@@ -7,6 +7,13 @@ distinct segment once per hardware configuration and multiplies, which
 keeps memory bounded at paper scale while preserving per-phase timing
 fidelity.  Segments carry *builders* (not programs) because the
 compiler pipeline mutates programs in place.
+
+Each segment owns a packed IR *template* built once per process; its
+content hash (:meth:`Segment.fingerprint`) keys the pipeline's
+content-addressed compile cache, so sensitivity/scalability/DSE sweeps
+that revisit the same ``(workload, CompileOptions)`` point — or rebuild
+an identical workload object — compile each distinct configuration
+exactly once and only re-run the (hardware-dependent) simulation.
 """
 
 from __future__ import annotations
@@ -16,9 +23,14 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..arch.simulator import SimulationResult, simulate
-from ..compiler.ir import Program
-from ..compiler.pipeline import CompiledProgram, CompileOptions, \
-    compile_program
+from ..compiler.ir import PackedProgram, Program
+from ..compiler.pipeline import (
+    CompiledProgram,
+    CompileOptions,
+    compile_packed,
+    compile_packed_cached,
+    compile_program,
+)
 from ..core.config import HardwareConfig
 
 
@@ -29,13 +41,30 @@ class Segment:
     builder: Callable[[], Program]
     repeat: int = 1
     _mix_cache: Counter | None = field(default=None, repr=False)
+    _template: PackedProgram | None = field(default=None, repr=False)
+    _fingerprint: str | None = field(default=None, repr=False)
 
     def fresh_program(self) -> Program:
         return self.builder()
 
+    def packed_template(self) -> PackedProgram:
+        """The segment's packed pre-compile IR, built once per process.
+        Callers must not mutate it — compile through
+        :func:`~repro.compiler.pipeline.compile_packed_cached` (which
+        copies) or take ``.copy()`` first."""
+        if self._template is None:
+            self._template = PackedProgram.from_program(self.builder())
+        return self._template
+
+    def fingerprint(self) -> str:
+        """Content hash of the built IR (the compile-cache key half)."""
+        if self._fingerprint is None:
+            self._fingerprint = self.packed_template().fingerprint()
+        return self._fingerprint
+
     def instruction_mix(self) -> Counter:
         if self._mix_cache is None:
-            self._mix_cache = self.builder().instruction_mix()
+            self._mix_cache = self.packed_template().instruction_mix()
         return self._mix_cache
 
 
@@ -96,15 +125,35 @@ class WorkloadRun:
 
 
 def run_workload(workload: Workload, config: HardwareConfig,
-                 options: CompileOptions | None = None) -> WorkloadRun:
-    """Build + compile every segment for ``config`` and simulate."""
+                 options: CompileOptions | None = None, *,
+                 use_cache: bool = True,
+                 engine: str = "packed") -> WorkloadRun:
+    """Build + compile every segment for ``config`` and simulate.
+
+    On the packed engine (default), compilation goes through the
+    content-addressed compile cache keyed by ``(segment fingerprint,
+    options)`` — sweeps over hardware points share compiled programs
+    whenever the options coincide — and simulation runs directly over
+    the packed columns.  ``use_cache=False`` forces a fresh compile;
+    ``engine="reference"`` runs the seed list-based pipeline.
+    """
     if options is None:
         options = CompileOptions(sram_bytes=config.sram_bytes)
     results = []
     compiled = []
     for seg in workload.segments:
-        cp = compile_program(seg.fresh_program(), options)
-        res = simulate(cp.program, config)
+        if engine == "packed":
+            if use_cache:
+                cp = compile_packed_cached(
+                    seg.packed_template(), options,
+                    fingerprint=seg.fingerprint())
+            else:
+                cp = compile_packed(seg.packed_template().copy(), options)
+            res = simulate(cp.packed, config)
+        else:
+            cp = compile_program(seg.fresh_program(), options,
+                                 engine=engine)
+            res = simulate(cp.program, config)
         results.append((res, seg.repeat))
         compiled.append(cp)
     return WorkloadRun(workload=workload, config=config,

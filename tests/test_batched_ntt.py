@@ -26,6 +26,7 @@ from repro.rns.poly import (
     RnsPolynomial,
     pointwise_mac,
     pointwise_mac_shoup,
+    pointwise_mul_shoup,
     shoup_precompute,
 )
 
@@ -149,3 +150,60 @@ def test_plan_engine_matches_fresh_engine(config):
     fresh = BatchedNTT(n, primes)
     planned = get_plan(n, primes).ntt
     assert np.array_equal(fresh.forward(data), planned.forward(data))
+
+
+@given(CONFIG)
+@settings(max_examples=40, deadline=None)
+def test_inverse_ninv_fold_matches_explicit_scaling(config):
+    """The 1/n scaling folded into the final-stage twiddles equals the
+    explicit trailing multiply, bitwise, on both kernel paths."""
+    n, primes, data = _setup(config)
+    batched = BatchedNTT(n, primes)
+    q_col = np.array(primes)[:, None]
+    folded = batched.inverse(data)
+    unscaled = batched.inverse(data, scale_by_n_inv=False)
+    n_inv = np.array([pow(n, -1, q) for q in primes])[:, None]
+    assert np.array_equal(folded, unscaled * n_inv % q_col)
+    # ... and still matches the per-limb reference exactly.
+    for j, q in enumerate(primes):
+        assert np.array_equal(folded[j], NegacyclicNTT(n, q).inverse(data[j]))
+
+
+@given(CONFIG)
+@settings(max_examples=40, deadline=None)
+def test_inverse_ninv_fold_survives_prefix_slicing(config):
+    """Prefix-derived engines share the merged final-stage twiddle
+    tables row-sliced; scaling must stay bitwise identical."""
+    n, primes, data = _setup(config)
+    parent = BatchedNTT(n, primes)
+    want = parent.inverse(data)
+    for count in range(1, len(primes) + 1):
+        child = BatchedNTT._prefix_of(parent, count)
+        assert np.array_equal(child.inverse(data[:count]), want[:count])
+
+
+@given(CONFIG)
+@settings(max_examples=40, deadline=None)
+def test_pointwise_mul_shoup_matches_reference(config):
+    """Shoup-frozen pointwise products (the multiply_plain path) are
+    bitwise identical to the `%`-based pointwise_mul."""
+    n, primes, data = _setup(config)
+    basis = RnsBasis(primes)
+    rng = np.random.default_rng((data.sum() + 1) % (2**32))
+    ct_side = RnsPolynomial(basis, data, is_ntt=True)
+    frozen_side = RnsPolynomial(
+        basis, rng.integers(0, np.array(primes)[:, None],
+                            size=data.shape, dtype=np.int64), is_ntt=True)
+    table = shoup_precompute(frozen_side)
+    want = ct_side.pointwise_mul(frozen_side)
+    got = pointwise_mul_shoup(ct_side, table)
+    assert np.array_equal(want.data, got.data)
+    assert got.is_ntt
+    # Prefix rows of the frozen table serve lower levels bitwise.
+    if len(primes) > 1:
+        sub_basis = RnsBasis(primes[:-1])
+        sub_ct = ct_side.drop_to(sub_basis)
+        sub_table = (table[0][:-1], table[1][:-1])
+        sub_want = sub_ct.pointwise_mul(frozen_side.drop_to(sub_basis))
+        assert np.array_equal(
+            pointwise_mul_shoup(sub_ct, sub_table).data, sub_want.data)

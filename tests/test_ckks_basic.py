@@ -148,3 +148,25 @@ def test_rescale_to_exact(ckks_small, rng):
     assert out.level == 3
     assert out.scale == target
     assert np.abs(ckks_small.decrypt(out) - z).max() < TOL
+
+
+def test_multiply_plain_frozen_matches_pointwise(ckks_small, rng):
+    """The Shoup-frozen multiply_plain path is bitwise identical to the
+    plain pointwise products, including after level drops that slice
+    the frozen tables, and the freeze is cached on the plaintext."""
+    z1, z2 = (ckks_small.random_message(rng) for _ in range(2))
+    ev = ckks_small.ev
+    pt = ckks_small.ctx.encode(z2)
+    ct = ckks_small.encrypt(z1)
+    for level in (ct.level, ct.level - 1):
+        cur = ev.drop_level(ct, level)
+        got = ev.multiply_plain(cur, pt)
+        poly = ev._match_plain(pt, cur)
+        assert np.array_equal(got.c0.data,
+                              cur.c0.pointwise_mul(poly).data)
+        assert np.array_equal(got.c1.data,
+                              cur.c1.pointwise_mul(poly).data)
+        assert got.scale == cur.scale * pt.scale
+    # Frozen tables are cached per limb count on the plaintext.
+    assert len(ct.basis) in pt._frozen
+    assert ct.level in pt._frozen  # level = limbs - 1 slice

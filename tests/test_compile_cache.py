@@ -1,0 +1,151 @@
+"""The content-addressed compile cache and workload fingerprints."""
+
+import pytest
+
+from repro.compiler.ir import PackedProgram
+from repro.compiler.lowering import HeLowering, LoweringParams
+from repro.compiler.pipeline import (
+    COMPILE_CACHE_MAX,
+    CompileOptions,
+    clear_compile_cache,
+    compile_cache_size,
+    compile_cache_stats,
+    compile_packed_cached,
+)
+from repro.core.config import ASIC_EFFACT
+from repro.workloads.base import Segment, Workload, run_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+def _builder(levels=5, diag=4):
+    lp = LoweringParams(n=2 ** 10, levels=levels, dnum=2)
+
+    def build():
+        low = HeLowering(lp)
+        ct = low.fresh_ciphertext(levels)
+        out = low.matmul_bsgs(ct, diag_count=diag)
+        return low.finish(low.rescale(low.hmult(
+            out, out, low.switching_key("relin"))))
+    return build
+
+
+def _template(levels=5, diag=4):
+    return PackedProgram.from_program(_builder(levels, diag)())
+
+
+OPTS = CompileOptions(sram_bytes=2 ** 10 * 8 * 64)
+
+
+def test_hit_on_identical_point():
+    template = _template()
+    first = compile_packed_cached(template, OPTS)
+    second = compile_packed_cached(template, OPTS)
+    assert second is first
+    stats = compile_cache_stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+
+
+def test_content_addressing_spans_rebuilt_programs():
+    """Two independently built but identical programs share an entry."""
+    first = compile_packed_cached(_template(), OPTS)
+    second = compile_packed_cached(_template(), OPTS)
+    assert second is first
+    assert compile_cache_size() == 1
+
+
+def test_distinct_options_or_programs_miss():
+    template = _template()
+    a = compile_packed_cached(template, OPTS)
+    b = compile_packed_cached(
+        template, CompileOptions(sram_bytes=OPTS.sram_bytes,
+                                 scheduling="naive"))
+    c = compile_packed_cached(_template(diag=6), OPTS)
+    assert a is not b and a is not c
+    assert compile_cache_stats().misses == 3
+
+
+def test_template_not_mutated_by_compile():
+    template = _template()
+    before = template.fingerprint()
+    compile_packed_cached(template, OPTS)
+    assert template.fingerprint() == before
+
+
+def test_lru_bound_and_clear():
+    for diag in range(COMPILE_CACHE_MAX + 3):
+        compile_packed_cached(_template(diag=diag + 1), OPTS)
+    assert compile_cache_size() == COMPILE_CACHE_MAX
+    assert compile_cache_stats().evictions == 3
+    clear_compile_cache()
+    assert compile_cache_size() == 0
+    assert compile_cache_stats().misses == 0
+
+
+def test_clear_caches_escape_hatch_drops_compiles():
+    from repro.nttmath.batched import clear_caches
+    compile_packed_cached(_template(), OPTS)
+    assert compile_cache_size() == 1
+    clear_caches()
+    assert compile_cache_size() == 0
+
+
+def test_segment_fingerprint_stable_across_instances():
+    s1 = Segment(builder=_builder())
+    s2 = Segment(builder=_builder())
+    assert s1.fingerprint() == s2.fingerprint()
+    assert s1.instruction_mix() == s2.instruction_mix()
+
+
+def test_run_workload_shares_compiles_across_configs():
+    """Sweep points with identical (fingerprint, options) compile once;
+    only the hardware-dependent simulation reruns."""
+    workload = Workload(name="w", segments=[Segment(builder=_builder())])
+    options = OPTS
+    run_a = run_workload(workload, ASIC_EFFACT, options)
+    misses_after_first = compile_cache_stats().misses
+    run_b = run_workload(workload, ASIC_EFFACT.scaled(2, "big"), options)
+    stats = compile_cache_stats()
+    assert misses_after_first == 1
+    assert stats.misses == 1 and stats.hits == 1
+    assert run_b.compiled[0] is run_a.compiled[0]
+    # Different hardware still simulates independently.
+    assert run_b.cycles < run_a.cycles
+
+
+def test_fig11_style_sweep_hits_cache_on_repeat():
+    """A Figure 11-style ladder compiles each rung once; re-running the
+    whole sweep is all cache hits."""
+    from repro.analysis.sensitivity import _step_options
+    workload = Workload(name="w", segments=[Segment(builder=_builder())])
+    steps = _step_options(OPTS.sram_bytes)
+    for _name, options, _mac in steps:
+        run_workload(workload, ASIC_EFFACT, options)
+    stats = compile_cache_stats()
+    assert stats.misses == len(steps)
+    for _name, options, _mac in steps:
+        run_workload(workload, ASIC_EFFACT, options)
+    stats = compile_cache_stats()
+    assert stats.misses == len(steps)
+    assert stats.hits == len(steps)
+
+
+def test_use_cache_false_bypasses():
+    workload = Workload(name="w", segments=[Segment(builder=_builder())])
+    run_workload(workload, ASIC_EFFACT, OPTS, use_cache=False)
+    stats = compile_cache_stats()
+    assert (stats.hits, stats.misses) == (0, 0)
+
+
+def test_reference_engine_matches_cached_cycles():
+    workload = Workload(name="w", segments=[Segment(builder=_builder())])
+    packed_run = run_workload(workload, ASIC_EFFACT, OPTS)
+    ref_run = run_workload(workload, ASIC_EFFACT, OPTS,
+                           engine="reference")
+    assert packed_run.cycles == ref_run.cycles
+    assert packed_run.dram_bytes == ref_run.dram_bytes

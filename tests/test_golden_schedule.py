@@ -1,0 +1,127 @@
+"""Golden determinism pins: schedules, cycle counts, allocation.
+
+The constants below were captured from the seed (pre-packed-IR)
+implementations on a small fixed program, across both scheduling
+policies and a spilling SRAM budget.  They pin scheduler/simulator
+determinism for every future engine rewrite: any change to schedule
+order, spill placement, slot assignment or the scoreboard recurrence
+shows up as a golden mismatch — on *both* engines, which must also
+agree with each other (see ``test_differential_compile``).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.arch.simulator import simulate
+from repro.compiler.ir import PackedProgram
+from repro.compiler.lowering import HeLowering, LoweringParams
+from repro.compiler.pipeline import CompileOptions, compile_program
+from repro.compiler.scheduler import schedule, schedule_packed
+from repro.core.config import ASIC_EFFACT
+
+ENGINES = ("reference", "packed")
+
+
+def _small_program():
+    lp = LoweringParams(n=2 ** 10, levels=5, dnum=2)
+    low = HeLowering(lp)
+    ct = low.fresh_ciphertext(5, "ct")
+    out = low.matmul_bsgs(ct, diag_count=4, name="mm")
+    out = low.rescale(low.hmult(out, out, low.switching_key("relin")))
+    return low.finish(out)
+
+
+def _order_sha(order) -> str:
+    return hashlib.sha256(
+        ",".join(map(str, order)).encode()).hexdigest()[:16]
+
+
+def _instr_sha(program) -> str:
+    return hashlib.sha256("|".join(
+        f"{i.op.value}:{i.dest}:{i.srcs}:{i.modulus}:{i.imm}:"
+        f"{i.streaming}" for i in program.instrs
+    ).encode()).hexdigest()[:16]
+
+
+GOLDEN_RAW_INSTRS = 1138
+GOLDEN_ORDERS = {
+    "naive": ("4e1e7b138f0fa4df", list(range(12))),
+    "list": ("5f78da66107ace99", [0, 2, 6, 8, 4, 10, 1, 3, 7, 9, 5, 11]),
+}
+#: policy -> (instrs, cycles, dram_bytes, stall, peak_slots, instr sha)
+GOLDEN_COMPILED = {
+    "naive": (1142, 3397, 1196032, 246503, 43, "cf6690ba2362d5c7"),
+    "list": (1142, 2580, 1196032, 199380, 45, "15a81aaba577fdcc"),
+}
+GOLDEN_UNIT_BUSY = {"auto": 36, "hbm": 584, "madd": 218, "mmul": 500,
+                    "ntt": 886, "scalar": 0, "sram": 1032}
+#: (instrs, cycles, dram, spill_stores, spill_reloads, remat_reloads,
+#:  peak, load_bytes, store_bytes, instr sha, slot sha)
+GOLDEN_SPILL = (1346, 3393, 2867200, 47, 90, 67, 16, 2482176, 385024,
+                "4b576105234844da", "d9cf7ee1edfbbce4")
+
+
+@pytest.mark.parametrize("policy", ["naive", "list"])
+def test_raw_schedule_orders_pinned(policy):
+    p = _small_program()
+    assert len(p.instrs) == GOLDEN_RAW_INSTRS
+    sha, head = GOLDEN_ORDERS[policy]
+    ref = schedule(p, policy=policy, band_size=32)
+    assert _order_sha(ref) == sha
+    assert ref[:12] == head
+    packed = schedule_packed(PackedProgram.from_program(p),
+                             policy=policy, band_size=32)
+    assert packed.tolist() == ref
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("policy", ["naive", "list"])
+def test_compiled_cycle_counts_pinned(engine, policy):
+    p = _small_program()
+    options = CompileOptions(sram_bytes=p.limb_bytes * 64,
+                             scheduling=policy)
+    cp = compile_program(p, options, engine=engine)
+    res = simulate(cp.packed if engine == "packed" else cp.program,
+                   ASIC_EFFACT)
+    instrs, cycles, dram, stall, peak, sha = GOLDEN_COMPILED[policy]
+    assert len(cp.program.instrs) == instrs
+    assert res.cycles == cycles
+    assert res.dram_bytes == dram
+    assert res.stall_cycles == stall
+    assert cp.stats.alloc.peak_slots_used == peak
+    assert _instr_sha(cp.program) == sha
+    assert res.unit_busy == GOLDEN_UNIT_BUSY
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_spilling_allocation_pinned(engine):
+    p = _small_program()
+    options = CompileOptions(sram_bytes=p.limb_bytes * 16)
+    cp = compile_program(p, options, engine=engine)
+    res = simulate(cp.packed if engine == "packed" else cp.program,
+                   ASIC_EFFACT)
+    (instrs, cycles, dram, stores, reloads, remats, peak, load_b,
+     store_b, sha, slot_sha) = GOLDEN_SPILL
+    alloc = cp.stats.alloc
+    assert len(cp.program.instrs) == instrs
+    assert res.cycles == cycles
+    assert res.dram_bytes == dram
+    assert (alloc.spill_stores, alloc.spill_reloads,
+            alloc.remat_reloads) == (stores, reloads, remats)
+    assert alloc.peak_slots_used == peak
+    assert (alloc.dram_load_bytes, alloc.dram_store_bytes) == \
+        (load_b, store_b)
+    assert _instr_sha(cp.program) == sha
+    slot_digest = hashlib.sha256(",".join(
+        f"{k}:{v}" for k, v in sorted(cp.program.slot_of.items())
+    ).encode()).hexdigest()[:16]
+    assert slot_digest == slot_sha
+
+
+def test_compiles_are_deterministic_across_runs():
+    shas = {_instr_sha(compile_program(
+        _small_program(),
+        CompileOptions(sram_bytes=2 ** 10 * 8 * 64)).program)
+        for _ in range(3)}
+    assert len(shas) == 1

@@ -1,0 +1,114 @@
+"""PackedProgram: lossless round-tripping and content fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import PackedProgram, Program
+from repro.compiler.lowering import HeLowering, LoweringParams
+from repro.compiler.pipeline import CompileOptions, compile_program
+from repro.core.isa import Opcode
+
+
+def _lowered_program():
+    lp = LoweringParams(n=2 ** 10, levels=5, dnum=2)
+    low = HeLowering(lp)
+    ct = low.fresh_ciphertext(5, "ct")
+    out = low.matmul_bsgs(ct, diag_count=4, name="mm")
+    out = low.rescale(low.hmult(out, out, low.switching_key("relin")))
+    return low.finish(out)
+
+
+def _hand_program():
+    p = Program(64, name="hand", limb_bytes=640)
+    a = p.dram_value("a")
+    c = p.const_value("c")
+    la, lc = p.load(a), p.load(c, modulus=2)
+    m = p.emit(Opcode.MMUL, (la, lc), modulus=1, imm=7, tag="mult")
+    mac = p.emit(Opcode.MMAC, (m, la, lc), tag="mult")
+    v = p.emit(Opcode.VCOPY, (mac,), tag="other")
+    p.store(v, modulus=3)
+    p.mark_output(m)
+    return p
+
+
+def _assert_same_program(p, q):
+    assert len(q.instrs) == len(p.instrs)
+    for a, b in zip(p.instrs, q.instrs):
+        assert (a.op, a.dest, a.srcs, a.modulus, a.imm, a.tag,
+                a.streaming) == (b.op, b.dest, b.srcs, b.modulus, b.imm,
+                                 b.tag, b.streaming)
+    assert q.outputs == p.outputs
+    assert set(q.values) == set(p.values)
+    for vid, val in p.values.items():
+        other = q.values[vid]
+        assert (val.origin, val.name, val.address) == \
+            (other.origin, other.name, other.address)
+    assert (q.n, q.name, q.limb_bytes) == (p.n, p.name, p.limb_bytes)
+
+
+@pytest.mark.parametrize("builder", [_lowered_program, _hand_program])
+def test_round_trip_lossless(builder):
+    p = builder()
+    q = PackedProgram.from_program(p).to_program()
+    _assert_same_program(p, q)
+    # Counters continue identically: fresh values/addresses line up.
+    assert q.new_value() == p.new_value()
+    assert q.dram_value() == p.dram_value()
+    assert q.values[max(q.values)].address == \
+        p.values[max(p.values)].address
+
+
+def test_round_trip_preserves_side_tables():
+    p = _lowered_program()
+    cp = compile_program(p, CompileOptions(sram_bytes=p.limb_bytes * 64))
+    packed = PackedProgram.from_program(cp.program)
+    q = packed.to_program()
+    _assert_same_program(cp.program, q)
+    assert q.slot_of == cp.program.slot_of
+    assert q.forwarded == cp.program.forwarded
+
+
+def test_analysis_twins_match():
+    p = _lowered_program()
+    packed = PackedProgram.from_program(p)
+    assert packed.use_counts() == p.use_counts()
+    assert packed.instruction_mix() == p.instruction_mix()
+    for op in Opcode:
+        assert packed.count(op) == p.count(op)
+    assert len(packed) == len(p)
+
+
+def test_fingerprint_is_content_addressed():
+    a = PackedProgram.from_program(_lowered_program())
+    b = PackedProgram.from_program(_lowered_program())
+    assert a.fingerprint() == b.fingerprint()
+    assert a.copy().fingerprint() == a.fingerprint()
+
+
+def test_fingerprint_ignores_names_but_not_structure():
+    p1 = _lowered_program()
+    p2 = _lowered_program()
+    p2.name = "renamed"
+    for val in p2.values.values():
+        val.name = val.name + "_x"
+    assert PackedProgram.from_program(p1).fingerprint() == \
+        PackedProgram.from_program(p2).fingerprint()
+    p3 = _lowered_program()
+    p3.instrs[10].imm += 1
+    assert PackedProgram.from_program(p1).fingerprint() != \
+        PackedProgram.from_program(p3).fingerprint()
+
+
+def test_copy_is_independent():
+    a = PackedProgram.from_program(_hand_program())
+    b = a.copy()
+    b.imm[0] = 999
+    b.val_names[0] = "changed"
+    assert a.imm[0] != 999
+    assert a.val_names[0] != "changed"
+
+
+def test_validate_survives_round_trip():
+    p = _lowered_program()
+    q = PackedProgram.from_program(p).to_program()
+    q.validate()

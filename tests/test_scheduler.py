@@ -63,3 +63,56 @@ def test_unknown_policy_rejected():
     p = _sample_program()
     with pytest.raises(ValueError):
         schedule(p, policy="magic")
+
+
+def _every_opcode_program():
+    from repro.compiler.ir import Program
+    p = Program(2 ** 10, name="all-ops")
+    a, c = p.dram_value("a"), p.const_value("c")
+    la, lc = p.load(a), p.load(c)
+    m = p.emit(Opcode.MMUL, (la, lc), tag="mult")
+    ad = p.emit(Opcode.MMAD, (m, la), tag="add")
+    mac = p.emit(Opcode.MMAC, (m, ad, la), tag="mult")
+    nt = p.emit(Opcode.NTT, (mac,), tag="ntt")
+    it = p.emit(Opcode.INTT, (nt,), tag="intt")
+    au = p.emit(Opcode.AUTO, (it,), imm=3, tag="auto")
+    vc = p.emit(Opcode.VCOPY, (au,), tag="other")
+    p.emit(Opcode.SCALAR, (), tag="other")
+    p.store(vc)
+    p.mark_output(au)
+    return p
+
+
+@pytest.mark.parametrize("policy", ["naive", "list"])
+def test_every_opcode_schedules(policy):
+    """Satellite: a program containing every Opcode schedules cleanly
+    on both implementations (no KeyError from the latency table)."""
+    from repro.compiler.ir import PackedProgram
+    from repro.compiler.scheduler import schedule_packed
+    p = _every_opcode_program()
+    assert {i.op for i in p.instrs} == set(Opcode)
+    ref = schedule(p, policy=policy, band_size=32)
+    assert sorted(ref) == list(range(len(p.instrs)))
+    assert _is_topological(p, ref)
+    packed = schedule_packed(PackedProgram.from_program(p),
+                             policy=policy, band_size=32)
+    assert packed.tolist() == ref
+
+
+def test_latency_weight_lookup_is_defaulted(monkeypatch):
+    """Opcodes missing from _LATENCY_WEIGHT fall back to the default
+    weight instead of raising KeyError."""
+    from repro.compiler import scheduler as sched_mod
+    from repro.compiler.ir import PackedProgram
+    from repro.compiler.scheduler import latency_weight, schedule_packed
+    trimmed = dict(sched_mod._LATENCY_WEIGHT)
+    del trimmed[Opcode.MMAC]
+    del trimmed[Opcode.SCALAR]
+    monkeypatch.setattr(sched_mod, "_LATENCY_WEIGHT", trimmed)
+    assert latency_weight(Opcode.MMAC) == sched_mod._DEFAULT_LATENCY_WEIGHT
+    p = _every_opcode_program()
+    ref = schedule(p, policy="list", band_size=32)
+    assert _is_topological(p, ref)
+    packed = schedule_packed(PackedProgram.from_program(p),
+                             policy="list", band_size=32)
+    assert packed.tolist() == ref
