@@ -6,14 +6,33 @@ documented against the paper's in EXPERIMENTS.md; the assertions here
 pin the *ordering* story the paper tells.
 """
 
+import pytest
+
 from repro.analysis import (
     format_table,
     paper_effact_rows,
     table7,
 )
 
+#: The paper's ring degree; the cross-accelerator orderings only hold
+#: near it.
+PAPER_N = 2 ** 16
+
 
 def test_tab07_performance(benchmark, bench_n, bench_detail):
+    """Known quirk (present in the seed too): the Table VII ordering
+    assertions only hold near the paper-scale ring degree N=65536 —
+    reduced ``REPRO_BENCH_N`` shrinks EFFACT's simulated times but not
+    the published baseline numbers, so the cross-accelerator
+    comparisons lose meaning.  Below paper scale the test skips with
+    the reason instead of failing."""
+    if bench_n < PAPER_N:
+        pytest.skip(
+            f"Table VII orderings compare simulated times against "
+            f"published paper numbers and only hold near paper scale "
+            f"(N={PAPER_N}); REPRO_BENCH_N={bench_n} regenerates the "
+            f"table but not the orderings (known seed quirk, see "
+            f"ROADMAP)")
     rows = benchmark.pedantic(
         lambda: table7(n=bench_n, detail=bench_detail),
         rounds=1, iterations=1)

@@ -1,0 +1,137 @@
+"""``python -m repro`` — the experiment-orchestration CLI.
+
+Examples::
+
+    # Figure 4 SRAM DSE, two worker processes, persistent store
+    python -m repro run fig4 --jobs 2 --store /tmp/repro-store
+
+    # same point grid again: 100% store-warm, zero recompute
+    python -m repro run fig4 --jobs 2 --store /tmp/repro-store \
+        --assert-warm
+
+    # ad-hoc grid over named axes
+    python -m repro run sweep --workload bootstrap --workload helr \
+        --config ASIC-EFFACT --config EFFACT-54 --n 8192
+
+    # inspect a store directory
+    python -m repro store /tmp/repro-store
+
+Without ``--store`` the ``REPRO_STORE_DIR`` environment variable (if
+set) selects the store; with neither, nothing persists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="EFFACT reproduction experiment harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a paper scenario or an ad-hoc sweep")
+    run.add_argument(
+        "scenario",
+        choices=["fig4", "fig10", "fig11", "tab7", "sweep"],
+        help="paper artifact to regenerate (or 'sweep' for named axes)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (1 = serial, debuggable)")
+    run.add_argument("--store", metavar="DIR", default=None,
+                     help="persistent artifact store directory "
+                          "(default: $REPRO_STORE_DIR, else off)")
+    run.add_argument("--n", type=int, default=None, metavar="RING",
+                     help="ring degree (default: paper scale 65536)")
+    run.add_argument("--detail", type=float, default=1.0,
+                     help="workload detail factor (1.0 = paper)")
+    run.add_argument("--workload", action="append", default=[],
+                     metavar="NAME",
+                     help="(sweep) workload axis entry, repeatable")
+    run.add_argument("--config", action="append", default=[],
+                     metavar="NAME",
+                     help="(sweep) hardware axis entry, repeatable")
+    run.add_argument("--assert-warm", action="store_true",
+                     help="exit 1 unless the sweep executed zero "
+                          "compiles and zero simulations (CI check "
+                          "that the store served every point)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-point progress lines")
+
+    store = sub.add_parser("store", help="inspect a store directory")
+    store.add_argument("dir", help="store root directory")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    # Imported here so ``python -m repro run --help`` stays instant.
+    from .exp import runner
+    from .exp.runner import SCENARIOS
+
+    def progress(point):
+        state = "warm" if point.warm else \
+            f"{point.compiles}c/{point.simulations}s"
+        print(f"  [{point.index + 1:>3}] {point.label:<40} "
+              f"{point.runtime_ms:>10.2f} ms   {point.wall_s:6.2f}s "
+              f"({state})", flush=True)
+
+    callback = None if args.quiet else progress
+    if args.scenario == "sweep":
+        if not args.workload or not args.config:
+            print("run sweep needs at least one --workload and one "
+                  "--config", file=sys.stderr)
+            return 2
+        report = runner.run_generic(
+            args.workload, args.config, n=args.n, detail=args.detail,
+            jobs=args.jobs, store=args.store, progress=callback)
+    else:
+        report = SCENARIOS[args.scenario](
+            n=args.n, detail=args.detail, jobs=args.jobs,
+            store=args.store, progress=callback)
+
+    sweep = report.sweep
+    print()
+    print(report.table)
+    print()
+    store_note = f" store={sweep.store_dir}" if sweep.store_dir else ""
+    print(f"[{sweep.name}] {len(sweep.points)} points in "
+          f"{sweep.wall_s:.2f}s (jobs={sweep.jobs}){store_note} "
+          f"compiles={sweep.total_compiles} "
+          f"simulations={sweep.total_simulations}")
+    if args.assert_warm and not sweep.warm:
+        print(f"ERROR: sweep was not store-warm "
+              f"(compiles={sweep.total_compiles}, "
+              f"simulations={sweep.total_simulations})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from pathlib import Path
+
+    from .exp.store import ArtifactStore
+    if not Path(args.dir).is_dir():
+        print(f"no store at {args.dir} (directory does not exist)",
+              file=sys.stderr)
+        return 1
+    store = ArtifactStore(args.dir)
+    entries = store.entry_count()
+    total = store.total_bytes()
+    print(f"store {store.root}: {entries} entries, "
+          f"{total / 2 ** 20:.1f} MiB "
+          f"(bound {store.max_bytes / 2 ** 20:.0f} MiB)")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_store(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,12 @@ Sweeps on-chip memory while holding compute constant and reports unit
 utilizations, DRAM bandwidth utilization and total runtime — the
 analysis behind EFFACT's choice of 27 MB ("the performance and
 efficiency turning points at 27MB and 54MB").
+
+The sweep itself rides the experiment engine
+(:mod:`repro.exp.sweep`): each SRAM budget is one grid point, compiled
+once into the content-addressed compile cache and — when a persistent
+store is active — memoized on disk so repeat DSE runs (knee searches,
+extra sizes) recompute nothing.
 """
 
 from __future__ import annotations
@@ -12,7 +18,8 @@ from dataclasses import dataclass, replace
 
 from ..compiler.pipeline import CompileOptions
 from ..core.config import MIB, HardwareConfig
-from ..workloads.base import Workload, run_workload
+from ..exp.sweep import PointResult, SweepSpec, Variant, run_sweep
+from ..workloads.base import Workload
 
 #: The paper's sweep range (MB).  27 and 54 are the turning points.
 DEFAULT_SWEEP_MB = (13.5, 27, 54, 108, 162)
@@ -28,35 +35,51 @@ class DsePoint:
     dram_bytes: int
 
 
+def sram_variants(base_config: HardwareConfig,
+                  sizes_mb=DEFAULT_SWEEP_MB) -> tuple[Variant, ...]:
+    """One sweep variant per SRAM budget (compute held fixed)."""
+    variants = []
+    for size_mb in sizes_mb:
+        sram = int(size_mb * MIB)
+        variants.append(Variant(
+            label=f"{size_mb}MB",
+            config=replace(base_config,
+                           name=f"{base_config.name}-{size_mb}MB",
+                           sram_bytes=sram),
+            options=CompileOptions(sram_bytes=sram)))
+    return tuple(variants)
+
+
+def dse_point(result: PointResult, size_mb: float) -> DsePoint:
+    """Fold one sweep point into the Figure 4 record."""
+    util = result.utilization
+    return DsePoint(
+        sram_mb=size_mb,
+        runtime_ms=result.runtime_ms,
+        dram_bw_utilization=util["hbm"],
+        ntt_utilization=util["ntt"],
+        mult_add_utilization=(util["mmul"] + util["madd"]) / 2,
+        dram_bytes=result.dram_bytes,
+    )
+
+
 def sram_sweep(workload: Workload, base_config: HardwareConfig,
                sizes_mb=DEFAULT_SWEEP_MB, *,
-               use_cache: bool = True) -> list[DsePoint]:
+               use_cache: bool = True, jobs: int = 1) -> list[DsePoint]:
     """Simulate ``workload`` at each SRAM size (compute held fixed).
 
     The workload IR is built and packed once; each distinct SRAM
     budget compiles once into the content-addressed compile cache, so
     refining the sweep (extra sizes, repeated knee searches) only pays
-    for the new points.
+    for the new points.  ``jobs > 1`` requires a declarative
+    :class:`~repro.exp.sweep.WorkloadSpec` workload.
     """
-    points = []
-    for size_mb in sizes_mb:
-        sram = int(size_mb * MIB)
-        config = replace(base_config,
-                         name=f"{base_config.name}-{size_mb}MB",
-                         sram_bytes=sram)
-        options = CompileOptions(sram_bytes=sram)
-        run = run_workload(workload, config, options,
-                           use_cache=use_cache)
-        mult_add = (run.utilization("mmul") + run.utilization("madd")) / 2
-        points.append(DsePoint(
-            sram_mb=size_mb,
-            runtime_ms=run.runtime_ms,
-            dram_bw_utilization=run.utilization("hbm"),
-            ntt_utilization=run.utilization("ntt"),
-            mult_add_utilization=mult_add,
-            dram_bytes=run.dram_bytes,
-        ))
-    return points
+    spec = SweepSpec(name="fig4", workloads=(workload,),
+                     variants=sram_variants(base_config, sizes_mb),
+                     use_cache=use_cache)
+    result = run_sweep(spec, jobs=jobs)
+    return [dse_point(point, size_mb)
+            for point, size_mb in zip(result.points, sizes_mb)]
 
 
 def knee_point(points: list[DsePoint], *,

@@ -19,12 +19,14 @@ from ..arch.baselines import (
     AcceleratorSpec,
 )
 from ..core.config import ASIC_EFFACT, FPGA_EFFACT, HardwareConfig
+from ..exp.sweep import (
+    PointResult,
+    SweepSpec,
+    Variant,
+    WorkloadSpec,
+    run_sweep,
+)
 from ..schemes.tfhe import TfheParams, bootstrap_counts
-from ..workloads.base import run_workload
-from ..workloads.bootstrap_workload import bootstrap_workload
-from ..workloads.dblookup import dblookup_workload
-from ..workloads.helr import helr_workload
-from ..workloads.resnet import resnet_workload
 
 
 @dataclass
@@ -39,27 +41,57 @@ class PerformanceRow:
     simulated: bool = False
 
 
-def simulate_effact(config: HardwareConfig, *, n: int | None = None,
-                    detail: float = 1.0) -> PerformanceRow:
-    """Produce EFFACT's Table VII row with the simulator."""
-    boot = bootstrap_workload(n=n, detail=detail)
-    boot_run = run_workload(boot, config)
-    helr = helr_workload(n=n, detail=detail)
-    helr_run = run_workload(helr, config)
-    resnet = resnet_workload(n=n, detail=detail)
-    resnet_run = run_workload(resnet, config)
-    # DB-lookup keeps its own parameter point (F1's N = 2^14 BGV
-    # setting) independent of the CKKS benchmarks' ring degree.
-    dbl = dblookup_workload(n=min(n, 2 ** 14) if n else 2 ** 14)
-    dbl_run = run_workload(dbl, config)
+def table7_workloads(*, n: int | None = None,
+                     detail: float = 1.0) -> tuple[WorkloadSpec, ...]:
+    """The four Table VII workload axes, declaratively (picklable).
+
+    DB-lookup keeps its own parameter point (F1's N = 2^14 BGV
+    setting) independent of the CKKS benchmarks' ring degree.
+    """
+    ck = {} if n is None else {"n": n}
+    return (
+        WorkloadSpec.make("bootstrap", detail=detail, **ck),
+        WorkloadSpec.make("helr", detail=detail, **ck),
+        WorkloadSpec.make("resnet", detail=detail, **ck),
+        WorkloadSpec.make("dblookup", n=min(n, 2 ** 14) if n else 2 ** 14),
+    )
+
+
+def fold_table7_rows(points: list[PointResult],
+                     config_names) -> list[PerformanceRow]:
+    """Group a tab7 sweep's points by configuration (one row per name,
+    in the given order) and fold each into its Table VII row."""
+    per_config: dict[str, list[PointResult]] = {n: [] for n in config_names}
+    for point in points:
+        per_config[point.config_name].append(point)
+    return [performance_row(name, per_config[name])
+            for name in config_names]
+
+
+def performance_row(name: str,
+                    points: list[PointResult]) -> PerformanceRow:
+    """Fold one config's four sweep points (bootstrap, HELR, ResNet,
+    DB-lookup order) into its Table VII row."""
+    boot, helr, resnet, dbl = points
     return PerformanceRow(
-        name=config.name,
-        boot_amortized_us=boot_run.amortized_us_per_slot,
-        helr_iter_ms=helr_run.runtime_ms / 2,   # 2 iters + 1 bootstrap
-        resnet_ms=resnet_run.runtime_ms,
-        dblookup_ms=dbl_run.runtime_ms,
+        name=name,
+        boot_amortized_us=boot.amortized_us_per_slot,
+        helr_iter_ms=helr.runtime_ms / 2,   # 2 iters + 1 bootstrap
+        resnet_ms=resnet.runtime_ms,
+        dblookup_ms=dbl.runtime_ms,
         simulated=True,
     )
+
+
+def simulate_effact(config: HardwareConfig, *, n: int | None = None,
+                    detail: float = 1.0, jobs: int = 1) -> PerformanceRow:
+    """Produce EFFACT's Table VII row with the simulator (one sweep
+    over the four workloads on ``config``)."""
+    spec = SweepSpec(name="tab7",
+                     workloads=table7_workloads(n=n, detail=detail),
+                     variants=(Variant(label=config.name, config=config),))
+    result = run_sweep(spec, jobs=jobs)
+    return performance_row(config.name, result.points)
 
 
 def baseline_rows() -> list[PerformanceRow]:
@@ -86,7 +118,7 @@ def paper_effact_rows() -> list[PerformanceRow]:
 
 
 def table7(*, n: int | None = None, detail: float = 1.0,
-           include_fpga: bool = True) -> list[PerformanceRow]:
+           include_fpga: bool = True, jobs: int = 1) -> list[PerformanceRow]:
     """The full Table VII: baselines + simulated EFFACT rows.
 
     The FPGA and ASIC rows rebuild identical workload IR; the
@@ -95,9 +127,15 @@ def table7(*, n: int | None = None, detail: float = 1.0,
     simulation time only.
     """
     rows = baseline_rows()
-    if include_fpga:
-        rows.append(simulate_effact(FPGA_EFFACT, n=n, detail=detail))
-    rows.append(simulate_effact(ASIC_EFFACT, n=n, detail=detail))
+    configs = (FPGA_EFFACT, ASIC_EFFACT) if include_fpga \
+        else (ASIC_EFFACT,)
+    spec = SweepSpec(name="tab7",
+                     workloads=table7_workloads(n=n, detail=detail),
+                     variants=tuple(Variant(label=c.name, config=c)
+                                    for c in configs))
+    result = run_sweep(spec, jobs=jobs)
+    rows.extend(fold_table7_rows(result.points,
+                                 [c.name for c in configs]))
     return rows
 
 

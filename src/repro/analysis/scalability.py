@@ -5,6 +5,13 @@ of the 27 MB baseline.  The paper's findings: all three benchmarks
 speed up monotonically; bootstrapping (most memory-bound) needs
 EFFACT-162 to catch ARK/CraterLake while HELR/ResNet already pass them
 at EFFACT-108.
+
+The grid (workloads x scaled configurations) runs on the experiment
+engine (:mod:`repro.exp.sweep`): each workload's segments are built and
+packed once, scaled configurations reuse compilations via the
+content-addressed compile cache, and the persistent artifact store
+(when active) makes repeat invocations — serial or parallel —
+compile- and simulation-free.
 """
 
 from __future__ import annotations
@@ -12,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.config import SCALABILITY_CONFIGS, HardwareConfig
-from ..workloads.base import Workload, run_workload
+from ..exp.sweep import PointResult, SweepSpec, Variant, run_sweep
+from ..workloads.base import Workload
 
 
 @dataclass
@@ -23,28 +31,33 @@ class ScalePoint:
     speedup_over_base: float
 
 
+def scaling_variants(configs: tuple[HardwareConfig, ...]
+                     = SCALABILITY_CONFIGS) -> tuple[Variant, ...]:
+    return tuple(Variant(label=c.name, config=c) for c in configs)
+
+
+def scale_points(points: list[PointResult],
+                 per_workload: int) -> list[ScalePoint]:
+    """Fold ordered sweep points (workload-major) into Fig 10 records;
+    the first configuration of each workload is the speedup base."""
+    out: list[ScalePoint] = []
+    for i, p in enumerate(points):
+        base = points[i - i % per_workload]
+        out.append(ScalePoint(
+            config_name=p.config_name,
+            workload_name=p.workload_name,
+            runtime_ms=p.runtime_ms,
+            speedup_over_base=base.runtime_ms / p.runtime_ms,
+        ))
+    return out
+
+
 def figure10(workloads: list[Workload],
              configs: tuple[HardwareConfig, ...] = SCALABILITY_CONFIGS,
-             *, use_cache: bool = True) -> list[ScalePoint]:
-    """Simulate every workload on every scaled configuration.
-
-    Each workload's segments are built and packed once; scaled
-    configurations that share ``CompileOptions`` reuse compilations via
-    the content-addressed compile cache (the SRAM budget differs per
-    scaled config here, so each point compiles once per process, and
-    repeat figure10 invocations are compile-free).
-    """
-    points: list[ScalePoint] = []
-    for workload in workloads:
-        base_runtime: float | None = None
-        for config in configs:
-            run = run_workload(workload, config, use_cache=use_cache)
-            if base_runtime is None:
-                base_runtime = run.runtime_ms
-            points.append(ScalePoint(
-                config_name=config.name,
-                workload_name=workload.name,
-                runtime_ms=run.runtime_ms,
-                speedup_over_base=base_runtime / run.runtime_ms,
-            ))
-    return points
+             *, use_cache: bool = True, jobs: int = 1) -> list[ScalePoint]:
+    """Simulate every workload on every scaled configuration."""
+    spec = SweepSpec(name="fig10", workloads=tuple(workloads),
+                     variants=scaling_variants(configs),
+                     use_cache=use_cache)
+    result = run_sweep(spec, jobs=jobs)
+    return scale_points(result.points, len(configs))

@@ -13,10 +13,11 @@ The paper reports: MAD-enhanced = 1.24x over baseline (DRAM and
 runtime); streaming/global removes 42.2% of DRAM transfers and 30.6% of
 runtime; circuit reuse adds 1.1x runtime at unchanged DRAM traffic.
 
-Each rung's compilation lands in the pipeline's content-addressed
-compile cache (keyed by workload fingerprint + ``CompileOptions``), so
-repeating the ladder — or running it inside a larger sweep harness —
-recompiles nothing; only the hardware-dependent simulation reruns.
+The four rungs run as one sweep on the experiment engine
+(:mod:`repro.exp.sweep`); each rung's compilation lands in the
+content-addressed compile cache (and the persistent artifact store
+when active), so repeating the ladder — or running it inside a larger
+sweep harness — recomputes nothing.
 """
 
 from __future__ import annotations
@@ -25,7 +26,8 @@ from dataclasses import dataclass, replace
 
 from ..compiler.pipeline import CompileOptions
 from ..core.config import ASIC_EFFACT, HardwareConfig
-from ..workloads.base import Workload, run_workload
+from ..exp.sweep import PointResult, SweepSpec, Variant, run_sweep
+from ..workloads.base import Workload
 
 #: The paper's Figure 11 hardware point (1 TB/s "for simplification").
 FIG11_CONFIG = replace(ASIC_EFFACT, name="fig11-base",
@@ -62,21 +64,34 @@ def _step_options(sram_bytes: int) -> list[tuple[str, CompileOptions, bool]]:
     ]
 
 
-def figure11(workload: Workload,
-             config: HardwareConfig = FIG11_CONFIG, *,
-             use_cache: bool = True) -> list[LadderStep]:
-    """Run the four-step ladder and return the cumulative results."""
-    steps: list[LadderStep] = []
-    for name, options, mac_reuse in _step_options(config.sram_bytes):
-        hw = replace(config, ntt_mac_reuse=mac_reuse)
-        run = run_workload(workload, hw, options, use_cache=use_cache)
-        steps.append(LadderStep(
-            name=name,
-            runtime_ms=run.runtime_ms,
-            dram_gb=run.dram_bytes / 2 ** 30,
-        ))
+def ladder_variants(config: HardwareConfig = FIG11_CONFIG
+                    ) -> tuple[Variant, ...]:
+    """The four cumulative rungs as sweep variants."""
+    return tuple(
+        Variant(label=name,
+                config=replace(config, ntt_mac_reuse=mac_reuse),
+                options=options)
+        for name, options, mac_reuse in _step_options(config.sram_bytes))
+
+
+def ladder_steps(points: list[PointResult]) -> list[LadderStep]:
+    """Fold sweep points (rung order) into the cumulative ladder."""
+    steps = [LadderStep(name=p.label.split("/", 1)[-1],
+                        runtime_ms=p.runtime_ms,
+                        dram_gb=p.dram_bytes / 2 ** 30)
+             for p in points]
     base = steps[0]
     for step in steps:
         step.speedup_over_baseline = base.runtime_ms / step.runtime_ms
         step.dram_ratio_to_baseline = step.dram_gb / base.dram_gb
     return steps
+
+
+def figure11(workload: Workload,
+             config: HardwareConfig = FIG11_CONFIG, *,
+             use_cache: bool = True, jobs: int = 1) -> list[LadderStep]:
+    """Run the four-step ladder and return the cumulative results."""
+    spec = SweepSpec(name="fig11", workloads=(workload,),
+                     variants=ladder_variants(config),
+                     use_cache=use_cache)
+    return ladder_steps(run_sweep(spec, jobs=jobs).points)

@@ -27,6 +27,16 @@ from ..core.config import HardwareConfig
 from ..core.isa import Opcode
 from .units import UNIT_NAMES, TimingModel
 
+#: Count of scoreboard simulations actually executed in this process
+#: (store-served results do not increment it) — the sweep engine reads
+#: deltas around each point to prove warm sweeps simulate nothing.
+_SIMULATIONS_EXECUTED = 0
+
+
+def simulations_executed() -> int:
+    """Process-wide number of simulator runs actually executed."""
+    return _SIMULATIONS_EXECUTED
+
 
 @dataclass
 class SimulationResult:
@@ -75,6 +85,8 @@ class EffactSimulator:
         self.config = config
 
     def run(self, program: Program) -> SimulationResult:
+        global _SIMULATIONS_EXECUTED
+        _SIMULATIONS_EXECUTED += 1
         cfg = self.config
         timing = TimingModel(cfg, program.n)
         unit_free: dict[str, int] = {
@@ -158,6 +170,8 @@ class EffactSimulator:
         as a tight loop over plain int lists.  Cycle-identical to
         :meth:`run` (pinned by the differential suite).
         """
+        global _SIMULATIONS_EXECUTED
+        _SIMULATIONS_EXECUTED += 1
         cfg = self.config
         timing = TimingModel(cfg, packed.n)
         nrows = packed.num_instrs

@@ -175,9 +175,22 @@ class CompiledProgram:
         return f"CompiledProgram({ir!r})"
 
 
+#: Compilations actually executed in this process (cache- or
+#: store-served results do not increment it); the sweep engine reads
+#: deltas around each point to prove warm sweeps compile nothing.
+_COMPILES_EXECUTED = 0
+
+
+def compiles_executed() -> int:
+    """Process-wide number of pass-pipeline runs actually executed."""
+    return _COMPILES_EXECUTED
+
+
 def _compile_packed_ir(packed: PackedProgram,
                        options: CompileOptions) -> CompileStats:
     """Run the pass sequence in place on ``packed``."""
+    global _COMPILES_EXECUTED
+    _COMPILES_EXECUTED += 1
     pm = PassManager("packed")
     stats = CompileStats()
     stats.instrs_before_opt = len(packed)
@@ -226,6 +239,8 @@ def _compile_packed_ir(packed: PackedProgram,
 def _compile_reference(program: Program,
                        options: CompileOptions) -> CompiledProgram:
     """The seed pipeline over ``Instr`` lists (differential baseline)."""
+    global _COMPILES_EXECUTED
+    _COMPILES_EXECUTED += 1
     pm = PassManager("reference")
     stats = CompileStats()
     stats.instrs_before_opt = len(program.instrs)
@@ -320,6 +335,16 @@ class CompileCacheStats:
     evictions: int = 0
 
 
+def _persistent_store():
+    """The active disk-backed artifact store, or None.
+
+    Imported lazily: :mod:`repro.exp.store` depends on this module, so
+    the import must not run until both are fully initialized.
+    """
+    from ..exp.store import active_store
+    return active_store()
+
+
 _COMPILE_CACHE: "OrderedDict[tuple[str, CompileOptions], CompiledProgram]" \
     = OrderedDict()
 _CACHE_STATS = CompileCacheStats()
@@ -337,6 +362,12 @@ def compile_packed_cached(template: PackedProgram,
     point and each distinct ``CompileOptions`` is compiled once.
     Cached :class:`CompiledProgram` objects are shared — treat them as
     immutable.
+
+    When a persistent artifact store is active (``REPRO_STORE_DIR`` or
+    :func:`repro.exp.store.using_store`), in-memory misses consult the
+    disk store before compiling, and fresh compilations are written
+    back — warm sweeps skip the pass pipeline entirely, across
+    processes.
     """
     options = options or CompileOptions()
     if fingerprint is None:
@@ -348,7 +379,14 @@ def compile_packed_cached(template: PackedProgram,
         _CACHE_STATS.hits += 1
         return hit
     _CACHE_STATS.misses += 1
-    compiled = compile_packed(template.copy(), options)
+    store = _persistent_store()
+    compiled = None
+    if store is not None:
+        compiled = store.get_compiled(fingerprint, options)
+    if compiled is None:
+        compiled = compile_packed(template.copy(), options)
+        if store is not None:
+            store.put_compiled(fingerprint, options, compiled)
     _COMPILE_CACHE[key] = compiled
     while len(_COMPILE_CACHE) > COMPILE_CACHE_MAX:
         _COMPILE_CACHE.popitem(last=False)

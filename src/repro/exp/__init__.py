@@ -1,0 +1,20 @@
+"""Experiment orchestration: artifact store, sweep engine, drivers.
+
+``repro.exp.store`` is imported eagerly (the compile/simulate hot paths
+consult it); ``sweep`` and ``runner`` load lazily so importing this
+package from low-level modules cannot create an import cycle through
+``repro.workloads`` / ``repro.analysis``.
+"""
+
+from . import store  # noqa: F401
+
+__all__ = ["runner", "store", "sweep"]
+
+
+def __getattr__(name):
+    if name in ("sweep", "runner"):
+        import importlib
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,406 @@
+"""Disk-backed, content-addressed artifact store for sweep results.
+
+The PR 2 compile cache memoizes compilations per process; this store
+persists them — and full :class:`~repro.arch.simulator.SimulationResult`
+records — across processes, keyed by content:
+
+* **compile entries** (``<root>/v1/compile/<key>.npz``) hold a compiled
+  :class:`~repro.compiler.ir.PackedProgram` (every numpy column, tags,
+  value names, spill map ``slot_of``, forwarding mask) plus its
+  :class:`~repro.compiler.pipeline.CompileStats`, keyed by
+  ``sha256(schema | program fingerprint | canonical CompileOptions)``;
+* **sim entries** (``<root>/v1/sim/<key>.json``) hold one simulation
+  outcome, keyed by the compile key material plus the canonical
+  :class:`~repro.core.config.HardwareConfig`.
+
+Properties the sweep engine relies on:
+
+* **versioned schema** — entries live under ``v{SCHEMA_VERSION}`` and
+  embed the version; a mismatch is treated as a miss, never a crash;
+* **corruption tolerance** — any exception while reading an entry
+  drops that file and reports a miss (a crashed writer cannot poison
+  later runs; writes are atomic ``os.replace`` renames anyway);
+* **size-bounded eviction** — when the store grows past ``max_bytes``
+  the least-recently-used entries (by mtime; hits re-touch) are
+  removed;
+* **off by default** — nothing is read or written unless the
+  ``REPRO_STORE_DIR`` environment variable names a directory or the
+  caller activates a store explicitly (:func:`using_store` /
+  :func:`set_active_store`), so tests stay hermetic.
+
+``PassRecord.detail`` payloads are dropped on serialization (they are
+free-form pass return values); every other statistic round-trips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..arch.simulator import SimulationResult
+from ..compiler.ir import PackedProgram
+from ..compiler.pipeline import (
+    CompiledProgram,
+    CompileOptions,
+    CompileStats,
+    PassRecord,
+)
+from ..core.config import HardwareConfig
+
+SCHEMA_VERSION = 1
+
+ENV_STORE_DIR = "REPRO_STORE_DIR"
+ENV_STORE_MAX_BYTES = "REPRO_STORE_MAX_BYTES"
+
+#: Default size bound: large enough for paper-scale sweeps (compile
+#: entries are tens of MB), small enough not to fill a laptop disk.
+DEFAULT_MAX_BYTES = 4 * 2 ** 30
+
+_PACKED_ARRAYS = ("op", "dest", "srcs", "n_srcs", "modulus", "imm",
+                  "tag_id", "streaming", "val_origin", "val_address",
+                  "outputs")
+
+_STATS_SCALARS = ("instrs_before_opt", "instrs_after_opt",
+                  "copies_removed", "consts_merged", "cse_removed",
+                  "dead_removed", "macs_fused", "loads_inserted",
+                  "streaming_loads", "forwarded_values")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON used for hashing dataclass field dumps."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def options_token(options: CompileOptions) -> str:
+    return canonical_json(dataclasses.asdict(options))
+
+
+def config_token(config: HardwareConfig) -> str:
+    return canonical_json(dataclasses.asdict(config))
+
+
+@dataclass
+class StoreStats:
+    """Per-store-instance hit/miss accounting."""
+
+    compile_hits: int = 0
+    compile_misses: int = 0
+    compile_stores: int = 0
+    sim_hits: int = 0
+    sim_misses: int = 0
+    sim_stores: int = 0
+    evictions: int = 0
+    corrupt_dropped: int = 0
+
+
+class ArtifactStore:
+    """Content-addressed persistence for compiles and simulations."""
+
+    def __init__(self, root, *, max_bytes: int | None = None):
+        self.root = Path(root)
+        if max_bytes is None:
+            max_bytes = int(os.environ.get(ENV_STORE_MAX_BYTES,
+                                           DEFAULT_MAX_BYTES))
+        self.max_bytes = max_bytes
+        self._compile_dir = self.root / f"v{SCHEMA_VERSION}" / "compile"
+        self._sim_dir = self.root / f"v{SCHEMA_VERSION}" / "sim"
+        self._compile_dir.mkdir(parents=True, exist_ok=True)
+        self._sim_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def compile_key(fingerprint: str, options: CompileOptions) -> str:
+        material = f"{SCHEMA_VERSION}|compile|{fingerprint}|" \
+                   f"{options_token(options)}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    @staticmethod
+    def sim_key(fingerprint: str, options: CompileOptions,
+                config: HardwareConfig) -> str:
+        material = f"{SCHEMA_VERSION}|sim|{fingerprint}|" \
+                   f"{options_token(options)}|{config_token(config)}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _compile_path(self, key: str) -> Path:
+        return self._compile_dir / f"{key}.npz"
+
+    def _sim_path(self, key: str) -> Path:
+        return self._sim_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Compiled programs
+    # ------------------------------------------------------------------
+    def get_compiled(self, fingerprint: str,
+                     options: CompileOptions) -> CompiledProgram | None:
+        path = self._compile_path(self.compile_key(fingerprint, options))
+        payload = self._load(path, self._read_compiled)
+        if payload is None:
+            self.stats.compile_misses += 1
+            return None
+        self.stats.compile_hits += 1
+        packed, stats = payload
+        return CompiledProgram(options=options, stats=stats, packed=packed)
+
+    def put_compiled(self, fingerprint: str, options: CompileOptions,
+                     compiled: CompiledProgram) -> None:
+        if compiled.packed is None:
+            raise ValueError("only packed compilations are persistable")
+        path = self._compile_path(self.compile_key(fingerprint, options))
+        meta, arrays = self._pack_compiled(compiled)
+        self._atomic_write(path, lambda f: np.savez(
+            f, meta=np.array(canonical_json(meta)), **arrays))
+        self.stats.compile_stores += 1
+        self._evict()
+
+    @staticmethod
+    def _pack_compiled(compiled: CompiledProgram) -> tuple[dict, dict]:
+        packed = compiled.packed
+        arrays = {name: getattr(packed, name) for name in _PACKED_ARRAYS}
+        if packed.forwarded is not None:
+            arrays["forwarded"] = packed.forwarded
+        if packed.slot_of is not None:
+            items = sorted(packed.slot_of.items())
+            arrays["slot_keys"] = np.array([k for k, _ in items],
+                                           dtype=np.int64)
+            arrays["slot_vals"] = np.array([v for _, v in items],
+                                           dtype=np.int64)
+        stats = compiled.stats
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "kind": "compile",
+            "n": packed.n,
+            "name": packed.name,
+            "limb_bytes": packed.limb_bytes,
+            "tags": list(packed.tags),
+            "val_names": list(packed.val_names),
+            "has_forwarded": packed.forwarded is not None,
+            "has_slot_of": packed.slot_of is not None,
+            "stats": {
+                "scalars": {f: int(getattr(stats, f))
+                            for f in _STATS_SCALARS},
+                "mix_before": dict(stats.mix_before),
+                "mix_after": dict(stats.mix_after),
+                "alloc": dataclasses.asdict(stats.alloc),
+                # ``detail`` is a free-form pass return value; dropped.
+                "pass_records": [
+                    {"name": r.name, "wall_s": r.wall_s,
+                     "instrs_before": r.instrs_before,
+                     "instrs_after": r.instrs_after}
+                    for r in stats.pass_records],
+            },
+        }
+        return meta, arrays
+
+    @staticmethod
+    def _read_compiled(path: Path) -> tuple[PackedProgram, CompileStats]:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"][()]))
+            if meta.get("schema") != SCHEMA_VERSION \
+                    or meta.get("kind") != "compile":
+                raise ValueError(f"schema mismatch in {path.name}")
+            packed = PackedProgram(int(meta["n"]), name=meta["name"],
+                                   limb_bytes=int(meta["limb_bytes"]))
+            for name in _PACKED_ARRAYS:
+                setattr(packed, name, archive[name])
+            packed.tags = list(meta["tags"])
+            packed._tag_index = {t: i for i, t in enumerate(packed.tags)}
+            packed.val_names = list(meta["val_names"])
+            if meta["has_forwarded"]:
+                packed.forwarded = archive["forwarded"]
+            if meta["has_slot_of"]:
+                packed.slot_of = dict(zip(
+                    archive["slot_keys"].tolist(),
+                    archive["slot_vals"].tolist()))
+        from collections import Counter
+
+        from ..compiler.regalloc import AllocationStats
+        doc = meta["stats"]
+        stats = CompileStats(**doc["scalars"])
+        stats.mix_before = Counter(doc["mix_before"])
+        stats.mix_after = Counter(doc["mix_after"])
+        stats.alloc = AllocationStats(**doc["alloc"])
+        stats.pass_records = [PassRecord(detail=None, **r)
+                              for r in doc["pass_records"]]
+        return packed, stats
+
+    # ------------------------------------------------------------------
+    # Simulation results
+    # ------------------------------------------------------------------
+    def get_sim(self, fingerprint: str, options: CompileOptions,
+                config: HardwareConfig) -> SimulationResult | None:
+        path = self._sim_path(self.sim_key(fingerprint, options, config))
+        result = self._load(path, self._read_sim)
+        if result is None:
+            self.stats.sim_misses += 1
+            return None
+        self.stats.sim_hits += 1
+        return result
+
+    def put_sim(self, fingerprint: str, options: CompileOptions,
+                config: HardwareConfig, result: SimulationResult) -> None:
+        path = self._sim_path(self.sim_key(fingerprint, options, config))
+        doc = {"schema": SCHEMA_VERSION, "kind": "sim",
+               "result": dataclasses.asdict(result)}
+        payload = canonical_json(doc).encode()
+        self._atomic_write(path, lambda f: f.write(payload))
+        self.stats.sim_stores += 1
+        self._evict()
+
+    @staticmethod
+    def _read_sim(path: Path) -> SimulationResult:
+        doc = json.loads(path.read_bytes())
+        if doc.get("schema") != SCHEMA_VERSION or doc.get("kind") != "sim":
+            raise ValueError(f"schema mismatch in {path.name}")
+        return SimulationResult(**doc["result"])
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def _load(self, path: Path, reader):
+        """Read an entry, dropping it (and reporting a miss) on any
+        corruption — truncated writes, schema drift, bad JSON."""
+        if not path.exists():
+            return None
+        try:
+            value = reader(path)
+        except Exception:
+            self.stats.corrupt_dropped += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)          # refresh LRU position
+        except OSError:
+            pass
+        return value
+
+    def _atomic_write(self, path: Path, writer) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                writer(handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _entries(self) -> list[Path]:
+        return [p for d in (self._compile_dir, self._sim_dir)
+                for p in d.iterdir() if p.suffix != ".tmp"]
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._entries())
+
+    def entry_count(self) -> int:
+        return len(self._entries())
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries until under ``max_bytes``.
+        The most recently touched entry always survives, so a bound
+        smaller than one artifact degrades to keep-latest rather than
+        thrashing to empty."""
+        entries = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, str(path), stat.st_size))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort()
+        for _, name, size in entries[:-1]:
+            try:
+                os.unlink(name)
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    def clear(self) -> None:
+        """Remove every entry (the schema directories stay)."""
+        for path in self._entries():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Active-store selection (explicit > environment > off)
+# ----------------------------------------------------------------------
+_EXPLICIT_STORE: ArtifactStore | None = None
+_EXPLICIT_SET = False
+_ENV_STORE: ArtifactStore | None = None
+
+
+def set_active_store(store: ArtifactStore | None) -> None:
+    """Pin the process-wide store (``None`` disables persistence even
+    if ``REPRO_STORE_DIR`` is set); :func:`reset_active_store` returns
+    control to the environment variable."""
+    global _EXPLICIT_STORE, _EXPLICIT_SET
+    _EXPLICIT_STORE = store
+    _EXPLICIT_SET = True
+
+
+def reset_active_store() -> None:
+    global _EXPLICIT_STORE, _EXPLICIT_SET, _ENV_STORE
+    _EXPLICIT_STORE = None
+    _EXPLICIT_SET = False
+    _ENV_STORE = None
+
+
+def active_store() -> ArtifactStore | None:
+    """The store compile/simulate paths should consult, or None.
+
+    Defaults to off; an explicitly set store wins over the
+    ``REPRO_STORE_DIR`` environment variable.
+    """
+    if _EXPLICIT_SET:
+        return _EXPLICIT_STORE
+    path = os.environ.get(ENV_STORE_DIR)
+    if not path:
+        return None
+    global _ENV_STORE
+    if _ENV_STORE is None or str(_ENV_STORE.root) != path:
+        _ENV_STORE = ArtifactStore(path)
+    return _ENV_STORE
+
+
+@contextmanager
+def using_store(store):
+    """Scoped activation: ``store`` is a directory path or an
+    :class:`ArtifactStore`; the previous active store is restored on
+    exit."""
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    global _EXPLICIT_STORE, _EXPLICIT_SET
+    prev_store, prev_set = _EXPLICIT_STORE, _EXPLICIT_SET
+    _EXPLICIT_STORE, _EXPLICIT_SET = store, True
+    try:
+        yield store
+    finally:
+        _EXPLICIT_STORE, _EXPLICIT_SET = prev_store, prev_set

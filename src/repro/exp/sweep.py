@@ -1,0 +1,334 @@
+"""Declarative sweep engine over (workload, hardware, options) grids.
+
+Every paper artifact — the Fig. 4 SRAM DSE, the Fig. 10 scalability
+curves, the Fig. 11 optimization ladder, Table VII — is a cross
+product of named axes.  A :class:`SweepSpec` states the grid once; the
+engine executes its points serially or across a
+``ProcessPoolExecutor``, memoizing each point against the persistent
+artifact store (:mod:`repro.exp.store`) so warm sweeps execute zero
+compiles and zero simulations, in any process.
+
+Parallel execution needs picklable point descriptions, so workload
+axes are declarative :class:`WorkloadSpec` entries (a registered
+factory name plus kwargs); the serial path additionally accepts
+in-memory :class:`~repro.workloads.base.Workload` objects, which is
+how the legacy ``repro.analysis`` drivers ride the engine without
+changing their signatures.
+
+Results come back as :class:`PointResult` records in deterministic
+point order (never completion order), each carrying the simulated
+aggregates plus per-point timing and executed-work counters — the
+evidence that a warm sweep recomputed nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..arch.simulator import simulations_executed
+from ..arch.units import UNIT_NAMES
+from ..compiler.pipeline import CompileOptions, compiles_executed
+from ..core.config import HardwareConfig
+from ..workloads import (
+    bootstrap_workload,
+    dblookup_workload,
+    helr_workload,
+    resnet_workload,
+)
+from ..workloads.base import Workload, run_workload
+from .store import ArtifactStore, StoreStats, active_store, using_store
+
+#: Factory registry backing :class:`WorkloadSpec`.  Worker processes
+#: resolve specs against their own copy (inherited via fork, or
+#: re-imported under spawn for the built-ins below); tests register
+#: extra factories with :func:`register_workload`.
+_WORKLOAD_FACTORIES: dict[str, Callable[..., Workload]] = {
+    "bootstrap": bootstrap_workload,
+    "helr": helr_workload,
+    "resnet": resnet_workload,
+    "dblookup": dblookup_workload,
+}
+
+
+def register_workload(name: str, factory: Callable[..., Workload]) -> None:
+    """Expose ``factory`` to declarative sweeps as ``name``."""
+    _WORKLOAD_FACTORIES[name] = factory
+
+
+def workload_names() -> tuple[str, ...]:
+    return tuple(sorted(_WORKLOAD_FACTORIES))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A picklable workload description: factory name + kwargs."""
+
+    factory: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, factory: str, **kwargs) -> "WorkloadSpec":
+        return cls(factory, tuple(sorted(kwargs.items())))
+
+    def build(self) -> Workload:
+        try:
+            fn = _WORKLOAD_FACTORIES[self.factory]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload factory {self.factory!r}; "
+                f"registered: {workload_names()}") from None
+        return fn(**dict(self.kwargs))
+
+    @property
+    def label(self) -> str:
+        return self.factory
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One hardware/compile point of the sweep's non-workload axis."""
+
+    label: str
+    config: HardwareConfig
+    options: CompileOptions | None = None      # None -> from config
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-specified grid point (cross of workload x variant)."""
+
+    index: int
+    label: str
+    workload: object                # WorkloadSpec | Workload
+    config: HardwareConfig
+    options: CompileOptions | None
+    use_cache: bool = True
+
+    @property
+    def parallel_safe(self) -> bool:
+        return isinstance(self.workload, WorkloadSpec)
+
+
+@dataclass
+class SweepSpec:
+    """Named axes; ``points()`` materializes the ordered grid."""
+
+    name: str
+    workloads: tuple            # of WorkloadSpec (or Workload: serial)
+    variants: tuple[Variant, ...]
+    use_cache: bool = True
+
+    def points(self) -> list[SweepPoint]:
+        pts: list[SweepPoint] = []
+        for workload in self.workloads:
+            wl_label = (workload.label if isinstance(workload, WorkloadSpec)
+                        else workload.name)
+            for variant in self.variants:
+                pts.append(SweepPoint(
+                    index=len(pts),
+                    label=f"{wl_label}/{variant.label}",
+                    workload=workload,
+                    config=variant.config,
+                    options=variant.options,
+                    use_cache=self.use_cache))
+        return pts
+
+
+@dataclass
+class PointResult:
+    """Aggregates of one simulated point plus execution accounting."""
+
+    index: int
+    label: str
+    workload_name: str
+    config_name: str
+    cycles: int
+    runtime_ms: float
+    dram_bytes: int
+    utilization: dict[str, float]
+    amortized_us_per_slot: float | None
+    wall_s: float
+    #: Pass-pipeline runs / scoreboard runs this point actually
+    #: executed (0 on a store-warm point).
+    compiles: int = 0
+    simulations: int = 0
+    store_compile_hits: int = 0
+    store_sim_hits: int = 0
+
+    @property
+    def warm(self) -> bool:
+        return self.compiles == 0 and self.simulations == 0
+
+    def same_outcome(self, other: "PointResult") -> bool:
+        """Simulation-outcome equality (ignores timing/provenance)."""
+        return (self.label == other.label
+                and self.cycles == other.cycles
+                and self.runtime_ms == other.runtime_ms
+                and self.dram_bytes == other.dram_bytes
+                and self.utilization == other.utilization
+                and self.amortized_us_per_slot
+                == other.amortized_us_per_slot)
+
+
+@dataclass
+class SweepResult:
+    """All point results (in point order) plus sweep-level accounting."""
+
+    name: str
+    points: list[PointResult]
+    wall_s: float
+    jobs: int
+    store_dir: str | None = None
+
+    @property
+    def total_compiles(self) -> int:
+        return sum(p.compiles for p in self.points)
+
+    @property
+    def total_simulations(self) -> int:
+        return sum(p.simulations for p in self.points)
+
+    @property
+    def warm(self) -> bool:
+        return self.total_compiles == 0 and self.total_simulations == 0
+
+    def by_label(self) -> dict[str, PointResult]:
+        return {p.label: p for p in self.points}
+
+
+def _execute_point(point: SweepPoint, workload: Workload) -> PointResult:
+    """Compile+simulate one point (store-memoized inside run_workload)
+    and fold the outcome into a picklable record."""
+    store = active_store()
+    if store is not None:
+        hits0 = (store.stats.compile_hits, store.stats.sim_hits)
+    compiles0 = compiles_executed()
+    sims0 = simulations_executed()
+    t0 = time.perf_counter()
+    run = run_workload(workload, point.config, point.options,
+                       use_cache=point.use_cache)
+    wall = time.perf_counter() - t0
+    try:
+        amortized = run.amortized_us_per_slot
+    except ValueError:
+        amortized = None
+    result = PointResult(
+        index=point.index,
+        label=point.label,
+        workload_name=workload.name,
+        config_name=point.config.name,
+        cycles=run.cycles,
+        runtime_ms=run.runtime_ms,
+        dram_bytes=run.dram_bytes,
+        utilization={u: run.utilization(u) for u in UNIT_NAMES},
+        amortized_us_per_slot=amortized,
+        wall_s=wall,
+        compiles=compiles_executed() - compiles0,
+        simulations=simulations_executed() - sims0,
+    )
+    if store is not None:
+        result.store_compile_hits = store.stats.compile_hits - hits0[0]
+        result.store_sim_hits = store.stats.sim_hits - hits0[1]
+    return result
+
+
+def _build_workload(point: SweepPoint) -> Workload:
+    if isinstance(point.workload, WorkloadSpec):
+        return point.workload.build()
+    return point.workload
+
+
+def _point_worker(point: SweepPoint,
+                  store_args: tuple[str, int] | None) -> PointResult:
+    """Module-level task for the process pool; ``store_args`` carries
+    ``(root, max_bytes)`` so workers honor the caller's size bound."""
+    workload = _build_workload(point)
+    if store_args is not None:
+        root, max_bytes = store_args
+        with using_store(ArtifactStore(root, max_bytes=max_bytes)):
+            return _execute_point(point, workload)
+    return _execute_point(point, workload)
+
+
+def _pool_context():
+    """Prefer fork so workers inherit :func:`register_workload`-ed
+    factories (spawn re-imports and only sees the built-ins)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
+
+
+def run_sweep(spec, *, jobs: int = 1,
+              store: "ArtifactStore | str | None" = None,
+              progress: Callable[[PointResult], None] | None = None
+              ) -> SweepResult:
+    """Execute every point of ``spec`` (a :class:`SweepSpec` or a list
+    of :class:`SweepPoint`) and return ordered results.
+
+    ``jobs=1`` runs serially in-process (full debuggability: no
+    pickling, workloads may be in-memory objects, pdb works).
+    ``jobs>1`` fans points out over a ``ProcessPoolExecutor``; each
+    worker memoizes against ``store`` (defaulting to the active store,
+    e.g. ``REPRO_STORE_DIR``), so grids larger than the worker count
+    never recompute a point another worker already persisted — and a
+    repeat sweep executes nothing at all.
+
+    ``progress`` (if given) is called with each :class:`PointResult`
+    as it completes — completion order, not point order.
+    """
+    if isinstance(spec, SweepSpec):
+        name, points = spec.name, spec.points()
+    else:
+        name, points = "sweep", list(spec)
+    if store is None:
+        store = active_store()
+    elif not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    store_args = None if store is None \
+        else (str(store.root), store.max_bytes)
+
+    t0 = time.perf_counter()
+    results: list[PointResult | None] = [None] * len(points)
+    if jobs <= 1 or len(points) <= 1:
+        built: dict[object, Workload] = {}
+        with using_store(store):
+            for point in points:
+                key = (point.workload
+                       if isinstance(point.workload, WorkloadSpec)
+                       else id(point.workload))
+                workload = built.get(key)
+                if workload is None:
+                    workload = _build_workload(point)
+                    built[key] = workload
+                result = _execute_point(point, workload)
+                results[point.index] = result
+                if progress is not None:
+                    progress(result)
+    else:
+        unpicklable = [p.label for p in points if not p.parallel_safe]
+        if unpicklable:
+            raise ValueError(
+                "parallel sweeps need declarative WorkloadSpec axes; "
+                f"in-memory workloads at: {unpicklable}")
+        with ProcessPoolExecutor(max_workers=jobs,
+                                 mp_context=_pool_context()) as pool:
+            futures = {pool.submit(_point_worker, p, store_args): p
+                       for p in points}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    result = future.result()
+                    results[result.index] = result
+                    if progress is not None:
+                        progress(result)
+    assert all(r is not None for r in results)
+    return SweepResult(name=name, points=results,
+                       wall_s=time.perf_counter() - t0, jobs=jobs,
+                       store_dir=None if store is None
+                       else str(store.root))

@@ -89,31 +89,36 @@ def _scaled_residues(poly: RnsPolynomial) -> np.ndarray:
     return v
 
 
-def _weighted_sums(v: np.ndarray, from_basis: RnsBasis,
-                   to_basis: RnsBasis) -> tuple[np.ndarray, np.ndarray]:
-    """``acc[i] = sum_j v_j * (q_hat_j mod p_i)`` exactly, plus the
-    target-modulus column.
+def _exact_matmul(weights: np.ndarray, v: np.ndarray,
+                  p_col: np.ndarray) -> np.ndarray:
+    """``acc[i] = sum_j v_j * weights[i, j]`` exactly via float64 BLAS.
 
-    The double limb loop of the reference becomes two BLAS matrix
-    products per 32-limb chunk: ``v`` splits into 16-bit halves so
-    every float64 dot product stays below 2^53 and remains exact.  The
-    returned int64 accumulator awaits a final ``% p`` (callers fold
-    their own corrections in first); residues after that reduction are
-    bitwise identical to the reference's reduce-every-step loop.
+    ``v`` (uint64, entries < 2^31) splits into 16-bit halves so every
+    dot product over a 32-limb chunk stays below 2^53 and remains
+    exact.  The returned int64 accumulator awaits a final ``% p``
+    (callers fold their own corrections in first); residues after that
+    reduction are bitwise identical to a reduce-every-step loop.
     """
-    weights = _qhat_weights(from_basis, to_basis)
-    p_col = np.array(to_basis.primes, dtype=np.int64).reshape(-1, 1)
     v_hi = (v >> np.uint64(16)).astype(np.float64)
     v_lo = (v & np.uint64(0xFFFF)).astype(np.float64)
     acc: np.ndarray | None = None
-    for lo in range(0, len(from_basis), _MATMUL_CHUNK):
+    for lo in range(0, v.shape[0], _MATMUL_CHUNK):
         sel = slice(lo, lo + _MATMUL_CHUNK)
         s_hi = (weights[:, sel] @ v_hi[sel]).astype(np.int64)
         s_lo = (weights[:, sel] @ v_lo[sel]).astype(np.int64)
         part = ((s_hi % p_col) << 16) + s_lo
         acc = part if acc is None else acc + part
     assert acc is not None
-    return acc, p_col
+    return acc
+
+
+def _weighted_sums(v: np.ndarray, from_basis: RnsBasis,
+                   to_basis: RnsBasis) -> tuple[np.ndarray, np.ndarray]:
+    """``acc[i] = sum_j v_j * (q_hat_j mod p_i)`` exactly, plus the
+    target-modulus column (the BConv MMAD as BLAS matrix products)."""
+    weights = _qhat_weights(from_basis, to_basis)
+    p_col = np.array(to_basis.primes, dtype=np.int64).reshape(-1, 1)
+    return _exact_matmul(weights, v, p_col), p_col
 
 
 def base_convert(poly: RnsPolynomial, to_basis: RnsBasis) -> RnsPolynomial:
@@ -252,17 +257,48 @@ class MergedBConv:
                  for j in range(len(from_basis))],
                 dtype=np.int64).reshape(-1, 1)
             self._c2_dm_cols.append(col)
+        # The same DM constants as a float64 weight matrix for the BLAS
+        # accumulation path, plus R^-1 mod p_i to fold every term's
+        # Montgomery reduction into one per-output-limb multiply.
+        self._c2_dm_mat = np.concatenate(
+            [col.reshape(1, -1) for col in self._c2_dm_cols]
+        ).astype(np.float64)
+        self._p_col = np.array(to_basis.primes,
+                               dtype=np.int64).reshape(-1, 1)
+        self._rinv_col = np.array(
+            [pow(mont.r, -1, p) for p, mont in zip(to_basis.primes,
+                                                   self._mont_to)],
+            dtype=np.int64).reshape(-1, 1)
 
     def apply(self, unscaled_sm_limbs: np.ndarray) -> np.ndarray:
         """Convert SM-represented, 1/N-unscaled limbs; returns SM limbs.
 
         ``unscaled_sm_limbs`` has shape (l, n): limb j is the raw output
         of an iNTT butterfly network (no 1/N) on SM-represented data.
+
+        The accumulation runs as exact float64 BLAS matrix products
+        (the :func:`_exact_matmul` trick): since every term satisfies
+        ``MontMul(v_j, c_ij) = v_j * c_ij * R^-1 (mod p_i)``, the sum
+        of per-term Montgomery products equals ``R^-1 * sum_j v_j *
+        c_ij (mod p_i)`` — one scalar multiply per output limb replaces
+        per-term REDC, and the canonical residues match
+        :meth:`apply_looped` bitwise.
         """
         limbs = np.asarray(unscaled_sm_limbs, dtype=np.int64)
         if limbs.shape != (len(self.from_basis), self.n):
             raise ValueError("input shape mismatch")
         # MontMul(SM, NM) -> NM: one batched multiply also applies 1/N.
+        v_nm = self._mont_from.mont_mul(limbs, self._c1_nm_col)
+        acc = _exact_matmul(self._c2_dm_mat, v_nm.astype(np.uint64),
+                            self._p_col)
+        return acc % self._p_col * self._rinv_col % self._p_col
+
+    def apply_looped(self, unscaled_sm_limbs: np.ndarray) -> np.ndarray:
+        """Per-target-limb MontMul loop — the differential reference
+        :meth:`apply`'s BLAS path must match bitwise."""
+        limbs = np.asarray(unscaled_sm_limbs, dtype=np.int64)
+        if limbs.shape != (len(self.from_basis), self.n):
+            raise ValueError("input shape mismatch")
         v_nm = self._mont_from.mont_mul(limbs, self._c1_nm_col)
         out = np.empty((len(self.to_basis), self.n), dtype=np.int64)
         for i, (p, mont) in enumerate(zip(self.to_basis.primes,

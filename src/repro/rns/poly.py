@@ -36,6 +36,8 @@ __all__ = [
     "pointwise_mac_shoup",
     "pointwise_mul_shoup",
     "shoup_precompute",
+    "to_coeff_stacked",
+    "to_ntt_stacked",
 ]
 
 
@@ -234,6 +236,62 @@ class RnsPolynomial:
     def limb(self, index: int) -> np.ndarray:
         """Residue polynomial ``index`` (read-only view)."""
         return self.data[index]
+
+
+def _transform_stacked(polys: list[RnsPolynomial], *,
+                       forward: bool) -> list[RnsPolynomial]:
+    """Run one batched transform over several concatenated stacks.
+
+    The limb axis is just more vector lanes to :class:`BatchedNTT`, so
+    k same-degree polynomials transform as a single ``(sum L_i, N)``
+    pass against the concatenated prime chain.  Every butterfly row
+    depends only on that row's modulus and twiddles, so each output
+    slice is bitwise identical to transforming its polynomial alone.
+    """
+    n = polys[0].n
+    for p in polys[1:]:
+        if p.n != n:
+            raise ValueError("stacked transform needs one ring degree")
+    primes = tuple(q for p in polys for q in p.basis.primes)
+    engine = get_plan(n, primes).ntt
+    data = np.concatenate([p.data for p in polys], axis=0)
+    out = engine.forward(data) if forward else engine.inverse(data)
+    result = []
+    row = 0
+    for p in polys:
+        limbs = len(p.basis)
+        result.append(RnsPolynomial(p.basis, out[row:row + limbs],
+                                    is_ntt=forward))
+        row += limbs
+    return result
+
+
+def to_coeff_stacked(polys) -> list[RnsPolynomial]:
+    """Inverse-transform several NTT-domain polynomials in one pass.
+
+    The key-switch use case stacks the two accumulators over the same
+    L-limb extended basis into a single ``(2L, N)`` iNTT instead of two
+    ``(L, N)`` ones.  Results are bitwise identical to calling
+    :meth:`RnsPolynomial.to_coeff` on each polynomial.
+    """
+    polys = list(polys)
+    if not polys:
+        raise ValueError("need at least one polynomial")
+    if any(not p.is_ntt for p in polys):
+        raise ValueError("to_coeff_stacked expects NTT-domain inputs")
+    return _transform_stacked(polys, forward=False)
+
+
+def to_ntt_stacked(polys) -> list[RnsPolynomial]:
+    """Forward-transform several coefficient-domain polynomials in one
+    stacked pass; bitwise identical to per-polynomial ``to_ntt``."""
+    polys = list(polys)
+    if not polys:
+        raise ValueError("need at least one polynomial")
+    if any(p.is_ntt for p in polys):
+        raise ValueError("to_ntt_stacked expects coefficient-domain "
+                         "inputs")
+    return _transform_stacked(polys, forward=True)
 
 
 def pointwise_mac(pairs) -> RnsPolynomial:

@@ -18,6 +18,8 @@ from ...rns.poly import (
     RnsPolynomial,
     pointwise_mac_shoup,
     pointwise_mul_shoup,
+    to_coeff_stacked,
+    to_ntt_stacked,
 )
 from .ciphertext import Ciphertext, Ciphertext3, Plaintext
 from .keys import CkksContext, KeyChain, SwitchingKey
@@ -220,8 +222,18 @@ class CkksEvaluator:
         acc0 = pointwise_mac_shoup(digits, b_tables, ext)
         acc1 = pointwise_mac_shoup(digits, a_tables, ext)
         q_basis = ctx.q_basis(level)
-        ks0 = mod_down(acc0.to_coeff(), q_basis, ctx.p_basis).to_ntt()
-        ks1 = mod_down(acc1.to_coeff(), q_basis, ctx.p_basis).to_ntt()
+        return self._mod_down_pair(acc0, acc1, q_basis)
+
+    def _mod_down_pair(self, acc0: RnsPolynomial, acc1: RnsPolynomial,
+                       q_basis: RnsBasis
+                       ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """ModDown both key-switch accumulators, running the two iNTTs
+        (and the two final NTTs) as single stacked ``(2L, N)``
+        transforms — bitwise identical to per-accumulator transforms."""
+        c0, c1 = to_coeff_stacked((acc0, acc1))
+        ks0 = mod_down(c0, q_basis, self.context.p_basis)
+        ks1 = mod_down(c1, q_basis, self.context.p_basis)
+        ks0, ks1 = to_ntt_stacked((ks0, ks1))
         return ks0, ks1
 
     def _decompose_and_lift(self, d2: RnsPolynomial, level: int,
@@ -305,8 +317,7 @@ class CkksEvaluator:
                 key, level, len(rotated))
             acc0 = pointwise_mac_shoup(rotated, b_tables, ext)
             acc1 = pointwise_mac_shoup(rotated, a_tables, ext)
-            ks0 = mod_down(acc0.to_coeff(), q_basis, ctx.p_basis).to_ntt()
-            ks1 = mod_down(acc1.to_coeff(), q_basis, ctx.p_basis).to_ntt()
+            ks0, ks1 = self._mod_down_pair(acc0, acc1, q_basis)
             rc0 = ct.c0.apply_automorphism(g)
             out[step] = Ciphertext(c0=rc0 + ks0, c1=ks1, scale=ct.scale)
         return out

@@ -32,6 +32,7 @@ from ..compiler.pipeline import (
     compile_program,
 )
 from ..core.config import HardwareConfig
+from ..exp.store import active_store
 
 
 @dataclass
@@ -93,7 +94,9 @@ class WorkloadRun:
     workload: Workload
     config: HardwareConfig
     segment_results: list[tuple[SimulationResult, int]]
-    compiled: list[CompiledProgram] = field(default_factory=list)
+    #: Per-segment compilations; ``None`` for segments served whole
+    #: from the persistent artifact store (no compile ran).
+    compiled: list[CompiledProgram | None] = field(default_factory=list)
 
     @property
     def cycles(self) -> int:
@@ -136,13 +139,27 @@ def run_workload(workload: Workload, config: HardwareConfig,
     whenever the options coincide — and simulation runs directly over
     the packed columns.  ``use_cache=False`` forces a fresh compile;
     ``engine="reference"`` runs the seed list-based pipeline.
+
+    When a persistent artifact store is active (``REPRO_STORE_DIR`` or
+    :func:`repro.exp.store.using_store`) and caching is on, each
+    segment first consults the store for a ``(fingerprint, options,
+    config)`` :class:`SimulationResult`: a hit skips both compile and
+    simulate for that segment (its ``compiled`` slot is ``None``);
+    fresh simulations are written back for the next process.
     """
     if options is None:
         options = CompileOptions(sram_bytes=config.sram_bytes)
+    store = active_store() if (use_cache and engine == "packed") else None
     results = []
     compiled = []
     for seg in workload.segments:
         if engine == "packed":
+            if store is not None:
+                res = store.get_sim(seg.fingerprint(), options, config)
+                if res is not None:
+                    results.append((res, seg.repeat))
+                    compiled.append(None)
+                    continue
             if use_cache:
                 cp = compile_packed_cached(
                     seg.packed_template(), options,
@@ -150,6 +167,8 @@ def run_workload(workload: Workload, config: HardwareConfig,
             else:
                 cp = compile_packed(seg.packed_template().copy(), options)
             res = simulate(cp.packed, config)
+            if store is not None:
+                store.put_sim(seg.fingerprint(), options, config, res)
         else:
             cp = compile_program(seg.fresh_program(), options,
                                  engine=engine)

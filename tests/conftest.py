@@ -62,3 +62,15 @@ def ckks_deep() -> CkksFixture:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _no_persistent_store(monkeypatch):
+    """Keep the tier-1 suite hermetic: the disk-backed artifact store
+    stays off even if the developer exports ``REPRO_STORE_DIR``.
+    Store tests opt back in with ``using_store`` / ``monkeypatch``."""
+    from repro.exp.store import reset_active_store
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    reset_active_store()
+    yield
+    reset_active_store()

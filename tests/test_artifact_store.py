@@ -1,0 +1,224 @@
+"""The disk-backed artifact store: round trips, eviction, corruption
+recovery, schema versioning, env switching, cross-process hits."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.arch.simulator import SimulationResult, simulate
+from repro.compiler.pipeline import (
+    CompileOptions,
+    clear_compile_cache,
+    compile_packed_cached,
+    compiles_executed,
+)
+from repro.core.config import ASIC_EFFACT
+from repro.exp.store import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    active_store,
+    reset_active_store,
+    set_active_store,
+    using_store,
+)
+from tiny_ir import TINY_SRAM, tiny_template as _template
+
+OPTS = CompileOptions(sram_bytes=TINY_SRAM)
+CONFIG = replace(ASIC_EFFACT, name="store-test", sram_bytes=TINY_SRAM)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+_PACKED_COLUMNS = ("op", "dest", "srcs", "n_srcs", "modulus", "imm",
+                   "tag_id", "streaming", "val_origin", "val_address",
+                   "outputs")
+
+
+def test_compiled_round_trip(tmp_path):
+    """A store-served compilation is bitwise identical to the original
+    — every packed column, the spill map, and the statistics — and
+    simulates to the same result."""
+    store = ArtifactStore(tmp_path)
+    template = _template()
+    fingerprint = template.fingerprint()
+    with using_store(store):
+        original = compile_packed_cached(template, OPTS,
+                                         fingerprint=fingerprint)
+    clear_compile_cache()
+    executed = compiles_executed()
+    with using_store(store):
+        loaded = compile_packed_cached(template, OPTS,
+                                       fingerprint=fingerprint)
+    assert compiles_executed() == executed, "should be store-served"
+    assert store.stats.compile_hits == 1
+    for column in _PACKED_COLUMNS:
+        assert np.array_equal(getattr(original.packed, column),
+                              getattr(loaded.packed, column)), column
+    assert original.packed.tags == loaded.packed.tags
+    assert original.packed.val_names == loaded.packed.val_names
+    assert original.packed.slot_of == loaded.packed.slot_of
+    if original.packed.forwarded is None:
+        assert loaded.packed.forwarded is None
+    else:
+        assert np.array_equal(original.packed.forwarded,
+                              loaded.packed.forwarded)
+    assert original.stats.alloc == loaded.stats.alloc
+    assert original.stats.mix_after == loaded.stats.mix_after
+    assert (original.stats.instrs_before_opt, original.stats.macs_fused) \
+        == (loaded.stats.instrs_before_opt, loaded.stats.macs_fused)
+    assert [r.name for r in original.stats.pass_records] \
+        == [r.name for r in loaded.stats.pass_records]
+    assert simulate(original.packed, CONFIG) \
+        == simulate(loaded.packed, CONFIG)
+
+
+def test_sim_round_trip(tmp_path):
+    store = ArtifactStore(tmp_path)
+    template = _template()
+    fingerprint = template.fingerprint()
+    with using_store(store):
+        compiled = compile_packed_cached(template, OPTS,
+                                         fingerprint=fingerprint)
+    result = simulate(compiled.packed, CONFIG)
+    store.put_sim(fingerprint, OPTS, CONFIG, result)
+    loaded = store.get_sim(fingerprint, OPTS, CONFIG)
+    assert loaded == result
+    # A different hardware point is a different entry.
+    other = replace(CONFIG, name="other", hbm_bw_bytes_per_cycle=100)
+    assert store.get_sim(fingerprint, OPTS, other) is None
+
+
+def test_eviction_under_size_bound(tmp_path):
+    """Least-recently-used entries fall out once the store exceeds
+    ``max_bytes``; the newest entry always survives."""
+    store = ArtifactStore(tmp_path, max_bytes=1)
+    result = SimulationResult(
+        config_name="c", program_name="p", cycles=1, freq_ghz=0.5,
+        instructions=1, dram_bytes=0, unit_busy={"ntt": 1})
+    stamp = 1_000_000_000
+    survivors = []
+    for i in range(4):
+        opts = CompileOptions(sram_bytes=1024 * (i + 1))
+        store.put_sim("fp", opts, CONFIG, result)
+        # Deterministic LRU order even on coarse-mtime filesystems.
+        survivors = store._entries()
+        for entry in survivors:
+            os.utime(entry, (stamp + i, stamp + i))
+    assert store.entry_count() == 1
+    assert store.stats.evictions == 3
+    # The survivor is the most recently written point.
+    last_opts = CompileOptions(sram_bytes=1024 * 4)
+    assert store.get_sim("fp", last_opts, CONFIG) == result
+
+
+def test_large_bound_keeps_everything(tmp_path):
+    store = ArtifactStore(tmp_path, max_bytes=2 ** 30)
+    result = SimulationResult(
+        config_name="c", program_name="p", cycles=1, freq_ghz=0.5,
+        instructions=1, dram_bytes=0)
+    for i in range(4):
+        store.put_sim("fp", CompileOptions(sram_bytes=1024 * (i + 1)),
+                      CONFIG, result)
+    assert store.entry_count() == 4
+    assert store.stats.evictions == 0
+
+
+def test_corrupt_entry_recovery(tmp_path):
+    """A truncated entry is dropped and reported as a miss; the slot
+    is reusable afterwards."""
+    store = ArtifactStore(tmp_path)
+    template = _template()
+    fingerprint = template.fingerprint()
+    with using_store(store):
+        compiled = compile_packed_cached(template, OPTS,
+                                         fingerprint=fingerprint)
+    [entry] = list(store._compile_dir.iterdir())
+    entry.write_bytes(entry.read_bytes()[:64])       # truncate
+    assert store.get_compiled(fingerprint, OPTS) is None
+    assert store.stats.corrupt_dropped == 1
+    assert not entry.exists()
+    store.put_compiled(fingerprint, OPTS, compiled)
+    assert store.get_compiled(fingerprint, OPTS) is not None
+
+
+def test_schema_mismatch_is_a_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    result = SimulationResult(
+        config_name="c", program_name="p", cycles=7, freq_ghz=0.5,
+        instructions=1, dram_bytes=0)
+    store.put_sim("fp", OPTS, CONFIG, result)
+    [entry] = list(store._sim_dir.iterdir())
+    doc = json.loads(entry.read_text())
+    doc["schema"] = SCHEMA_VERSION + 1
+    entry.write_text(json.dumps(doc))
+    assert store.get_sim("fp", OPTS, CONFIG) is None
+    assert store.stats.corrupt_dropped == 1
+    assert not entry.exists()
+
+
+def test_env_switch(tmp_path, monkeypatch):
+    """Off by default; ``REPRO_STORE_DIR`` turns persistence on; an
+    explicit store (or explicit None) overrides the environment."""
+    assert active_store() is None
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+    reset_active_store()
+    store = active_store()
+    assert store is not None and store.root == Path(tmp_path)
+    assert active_store() is store          # cached per path
+    set_active_store(None)
+    assert active_store() is None           # explicit off wins
+    reset_active_store()
+    assert active_store() is not None
+
+
+def test_cross_process_hit(tmp_path):
+    """A compilation persisted by one interpreter is served to the
+    next: content addressing spans processes."""
+    script = """
+import sys
+from repro.compiler.pipeline import CompileOptions, compile_packed_cached
+from repro.exp.store import using_store
+sys.path.insert(0, {test_dir!r})
+from tiny_ir import TINY_SRAM, tiny_template
+template = tiny_template()
+with using_store({store_dir!r}):
+    compile_packed_cached(template, CompileOptions(sram_bytes=TINY_SRAM))
+print(template.fingerprint())
+"""
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_STORE_DIR", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", script.format(
+            test_dir=str(Path(__file__).parent),
+            store_dir=str(tmp_path))],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    child_fingerprint = proc.stdout.strip().splitlines()[-1]
+
+    template = _template()
+    assert template.fingerprint() == child_fingerprint, \
+        "content fingerprints must agree across processes"
+    store = ArtifactStore(tmp_path)
+    executed = compiles_executed()
+    with using_store(store):
+        compiled = compile_packed_cached(template, OPTS)
+    assert compiles_executed() == executed, \
+        "must be served from the other process's store entry"
+    assert store.stats.compile_hits == 1
+    assert compiled.packed.num_instrs > 0

@@ -101,3 +101,27 @@ def test_merged_bconv_shape_check():
     merged = MergedBConv(C, B, N)
     with pytest.raises(ValueError):
         merged.apply(np.zeros((1, N), dtype=np.int64))
+    with pytest.raises(ValueError):
+        merged.apply_looped(np.zeros((1, N), dtype=np.int64))
+
+
+def test_merged_bconv_blas_matches_loop(rng):
+    """The exact-float64 matmul path is bitwise identical to the
+    per-target-limb MontMul loop (the seed implementation)."""
+    merged = MergedBConv(C, B, N)
+    for _ in range(5):
+        limbs = rng.integers(0, C.q_col, size=(len(C), N),
+                             dtype=np.int64)
+        assert np.array_equal(merged.apply(limbs),
+                              merged.apply_looped(limbs))
+
+
+def test_merged_bconv_blas_wide_basis(rng):
+    """Exactness holds past one 32-limb matmul chunk (chunked
+    accumulation with per-chunk reduction of the high halves)."""
+    wide = RnsBasis(find_ntt_primes(30, N, 40, exclude=B.primes))
+    merged = MergedBConv(wide, B, N)
+    limbs = rng.integers(0, wide.q_col, size=(len(wide), N),
+                         dtype=np.int64)
+    assert np.array_equal(merged.apply(limbs),
+                          merged.apply_looped(limbs))

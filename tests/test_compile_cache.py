@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.compiler.ir import PackedProgram
-from repro.compiler.lowering import HeLowering, LoweringParams
 from repro.compiler.pipeline import (
     COMPILE_CACHE_MAX,
     CompileOptions,
@@ -14,6 +12,11 @@ from repro.compiler.pipeline import (
 )
 from repro.core.config import ASIC_EFFACT
 from repro.workloads.base import Segment, Workload, run_workload
+from tiny_ir import (
+    TINY_SRAM,
+    tiny_builder as _builder,
+    tiny_template as _template,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -23,23 +26,7 @@ def _fresh_cache():
     clear_compile_cache()
 
 
-def _builder(levels=5, diag=4):
-    lp = LoweringParams(n=2 ** 10, levels=levels, dnum=2)
-
-    def build():
-        low = HeLowering(lp)
-        ct = low.fresh_ciphertext(levels)
-        out = low.matmul_bsgs(ct, diag_count=diag)
-        return low.finish(low.rescale(low.hmult(
-            out, out, low.switching_key("relin"))))
-    return build
-
-
-def _template(levels=5, diag=4):
-    return PackedProgram.from_program(_builder(levels, diag)())
-
-
-OPTS = CompileOptions(sram_bytes=2 ** 10 * 8 * 64)
+OPTS = CompileOptions(sram_bytes=TINY_SRAM)
 
 
 def test_hit_on_identical_point():

@@ -1,0 +1,161 @@
+"""The experiment sweep engine: ordering, serial/parallel equality,
+store-warm repeats, and the migrated analysis drivers."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.dse import sram_sweep
+from repro.analysis.sensitivity import figure11
+from repro.compiler.pipeline import CompileOptions, clear_compile_cache
+from repro.core.config import ASIC_EFFACT, MIB
+from repro.exp.store import ArtifactStore
+from repro.exp.sweep import (
+    SweepSpec,
+    Variant,
+    WorkloadSpec,
+    register_workload,
+    run_sweep,
+    workload_names,
+)
+from repro.workloads.base import run_workload
+from tiny_ir import TINY_SRAM as SRAM, tiny_workload as _tiny_workload
+
+# Parallel workers resolve the spec against their registry copy
+# (inherited via the pool's fork context).
+register_workload("tiny", _tiny_workload)
+
+
+def _variants(count: int = 2) -> tuple[Variant, ...]:
+    return tuple(
+        Variant(label=f"sram{i}",
+                config=replace(ASIC_EFFACT, name=f"tiny-cfg{i}",
+                               sram_bytes=SRAM * (i + 1)),
+                options=CompileOptions(sram_bytes=SRAM * (i + 1)))
+        for i in range(count))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+def test_registry_lists_builtins():
+    names = workload_names()
+    for builtin in ("bootstrap", "helr", "resnet", "dblookup", "tiny"):
+        assert builtin in names
+
+
+def test_point_grid_order_is_workload_major():
+    spec = SweepSpec(
+        name="grid",
+        workloads=(WorkloadSpec.make("tiny", levels=4),
+                   WorkloadSpec.make("tiny", levels=5)),
+        variants=_variants(2))
+    labels = [p.label for p in spec.points()]
+    assert labels == ["tiny/sram0", "tiny/sram1",
+                      "tiny/sram0", "tiny/sram1"]
+    assert [p.index for p in spec.points()] == [0, 1, 2, 3]
+
+
+def test_serial_sweep_matches_run_workload():
+    """The engine adds orchestration, not arithmetic: each point's
+    aggregates equal a direct ``run_workload`` call."""
+    workload = _tiny_workload()
+    spec = SweepSpec(name="serial", workloads=(workload,),
+                     variants=_variants(2))
+    result = run_sweep(spec)
+    assert [p.index for p in result.points] == [0, 1]
+    for point, variant in zip(result.points, _variants(2)):
+        direct = run_workload(workload, variant.config, variant.options)
+        assert point.cycles == direct.cycles
+        assert point.runtime_ms == direct.runtime_ms
+        assert point.dram_bytes == direct.dram_bytes
+        assert point.utilization["ntt"] == direct.utilization("ntt")
+        assert point.amortized_us_per_slot \
+            == direct.amortized_us_per_slot
+
+
+def test_parallel_cold_sweep_matches_serial(tmp_path):
+    """jobs >= 2 over a cold store produces results identical to the
+    serial driver output (the acceptance-criterion equality)."""
+    spec = SweepSpec(
+        name="par",
+        workloads=(WorkloadSpec.make("tiny", levels=4, diag=3),
+                   WorkloadSpec.make("tiny", levels=5, diag=4)),
+        variants=_variants(2))
+    serial = run_sweep(spec, jobs=1)
+    parallel = run_sweep(spec, jobs=2, store=tmp_path / "cold")
+    assert len(parallel.points) == 4
+    assert [p.index for p in parallel.points] == [0, 1, 2, 3]
+    for a, b in zip(serial.points, parallel.points):
+        assert a.same_outcome(b), (a.label, b.label)
+
+
+def test_parallel_needs_declarative_workloads():
+    spec = SweepSpec(name="bad", workloads=(_tiny_workload(),),
+                     variants=_variants(2))
+    with pytest.raises(ValueError, match="declarative"):
+        run_sweep(spec, jobs=2)
+
+
+def test_repeat_sweep_is_store_warm(tmp_path):
+    """A repeated sweep against the same store hits it for 100% of
+    points: zero compiles and zero simulations execute, serially and
+    with ``--jobs``-style process fan-out."""
+    store = ArtifactStore(tmp_path)
+    spec = SweepSpec(
+        name="warm",
+        workloads=(WorkloadSpec.make("tiny", levels=4, diag=3),),
+        variants=_variants(2))
+    cold = run_sweep(spec, store=store)
+    assert cold.total_compiles == 2 and cold.total_simulations == 2
+    assert not cold.warm
+
+    clear_compile_cache()               # memory cold, disk warm
+    warm = run_sweep(spec, store=store)
+    assert warm.warm, "serial repeat must execute nothing"
+    assert all(p.store_sim_hits >= 1 for p in warm.points)
+
+    warm_parallel = run_sweep(spec, jobs=2, store=store)
+    assert warm_parallel.warm, "parallel repeat must execute nothing"
+    for a, b, c in zip(cold.points, warm.points, warm_parallel.points):
+        assert a.same_outcome(b) and a.same_outcome(c)
+
+
+def test_progress_callback_sees_every_point(tmp_path):
+    seen = []
+    spec = SweepSpec(
+        name="progress",
+        workloads=(WorkloadSpec.make("tiny", levels=4, diag=3),),
+        variants=_variants(2))
+    run_sweep(spec, store=tmp_path / "s", progress=seen.append)
+    assert sorted(p.index for p in seen) == [0, 1]
+
+
+def test_sram_sweep_rides_the_engine_with_store(tmp_path):
+    """The migrated Fig 4 driver memoizes whole points: a repeated
+    sweep recomputes nothing and returns identical records."""
+    from repro.exp.store import using_store
+
+    workload = _tiny_workload()
+    cfg = replace(ASIC_EFFACT, sram_bytes=int(4 * MIB))
+    with using_store(ArtifactStore(tmp_path)):
+        first = sram_sweep(workload, cfg, sizes_mb=(1, 2))
+        clear_compile_cache()
+        second = sram_sweep(workload, cfg, sizes_mb=(1, 2))
+    assert first == second
+
+
+def test_figure11_ladder_shape_unchanged():
+    """Driver migration preserved the public contract."""
+    workload = _tiny_workload(levels=4, diag=3)
+    cfg = replace(ASIC_EFFACT, sram_bytes=int(2 * MIB))
+    steps = figure11(workload, cfg)
+    assert [s.name for s in steps][0] == "baseline"
+    assert steps[0].speedup_over_baseline == 1.0
+    assert len(steps) == 4

@@ -1,0 +1,43 @@
+"""Shared tiny HeLowering program/workload builders.
+
+One small-but-real compiled program shape (BSGS matmul -> HMULT ->
+rescale at n=1024) serves the compile-cache, artifact-store and sweep
+suites, so the canonical tiny fixture lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import PackedProgram
+from repro.compiler.lowering import HeLowering, LoweringParams
+from repro.workloads.base import Segment, Workload
+
+TINY_N = 2 ** 10
+
+#: An SRAM budget the tiny program compiles into without spilling.
+TINY_SRAM = TINY_N * 8 * 64
+
+
+def tiny_builder(levels: int = 5, diag: int = 4, n: int = TINY_N):
+    """A zero-argument IR builder (the :class:`Segment` contract)."""
+    lp = LoweringParams(n=n, levels=levels, dnum=2)
+
+    def build():
+        low = HeLowering(lp)
+        ct = low.fresh_ciphertext(levels)
+        out = low.matmul_bsgs(ct, diag_count=diag)
+        return low.finish(low.rescale(low.hmult(
+            out, out, low.switching_key("relin"))))
+    return build
+
+
+def tiny_template(levels: int = 5, diag: int = 4,
+                  n: int = TINY_N) -> PackedProgram:
+    return PackedProgram.from_program(tiny_builder(levels, diag, n)())
+
+
+def tiny_workload(*, levels: int = 5, diag: int = 4,
+                  repeat: int = 2) -> Workload:
+    return Workload(name=f"tiny-l{levels}d{diag}",
+                    segments=[Segment(tiny_builder(levels, diag),
+                                      repeat=repeat)],
+                    slots=TINY_N // 2, amortization_levels=levels)
