@@ -189,3 +189,88 @@ def test_batched_engine_speedup():
     assert s_inv >= 1.3 * SLACK, f"inverse NTT speedup {s_inv:.2f}x"
     assert s_bconv >= 1.0 * SLACK, f"BConv speedup {s_bconv:.2f}x"
     assert s_mac >= 1.2 * SLACK, f"key-MAC speedup {s_mac:.2f}x"
+
+
+def test_stacked_evaluator_speedup():
+    """Stacked ciphertext-pair evaluator vs the per-polynomial path.
+
+    Times the two CKKS hot paths of ISSUE 4 on a real context at
+    ``n = ENGINE_N``, ``L = 8`` limbs (level 7): the hoisted-rotation
+    inner step (one stacked digit gather + one Shoup MAC pass per
+    accumulator + stacked pair ModDown) and multiply+rescale (stacked
+    digit NTTs, pair BConv, pair rescale round trip).  Both paths are
+    checked bitwise-equal before timing, so the table is a pure
+    dataflow comparison; the acceptance bar is >= 1.3x on the
+    hoisted-rotation inner step.
+    """
+    from repro.schemes.ckks import (
+        CkksContext,
+        CkksEvaluator,
+        CkksParams,
+        Encryptor,
+        KeyGenerator,
+    )
+
+    steps = [1, 2, 3, 4, 6, 8, 12, 16]
+    params = CkksParams(n=ENGINE_N, levels=ENGINE_LIMBS - 1, dnum=DNUM,
+                        scale_bits=25, q0_bits=29, p_bits=30, seed=11)
+    ctx = CkksContext(params)
+    keygen = KeyGenerator(ctx)
+    sk = keygen.gen_secret()
+    pk = keygen.gen_public(sk)
+    keys = keygen.gen_keychain(sk, rotations=steps)
+    enc = Encryptor(ctx, pk)
+    stacked = CkksEvaluator(ctx, keys, stacked=True)
+    legacy = CkksEvaluator(ctx, keys, stacked=False)
+
+    rng = np.random.default_rng(20260728)
+    slots = params.slots
+
+    def message():
+        return (rng.uniform(-1, 1, slots) + 1j * rng.uniform(-1, 1, slots))
+
+    a = enc.encrypt(ctx.encode(message()))
+    b = enc.encrypt(ctx.encode(message()))
+
+    def check(x, y):
+        assert np.array_equal(x.c0.data, y.c0.data)
+        assert np.array_equal(x.c1.data, y.c1.data)
+
+    # bitwise equivalence before timing (also warms plan/table caches)
+    for step in steps:
+        check(stacked.rotate_hoisted(a, [step])[step],
+              legacy.rotate_hoisted(a, [step])[step])
+    check(stacked.rescale(stacked.multiply(a, b)),
+          legacy.rescale(legacy.multiply(a, b)))
+
+    rows = []
+
+    def measure(name, legacy_fn, stacked_fn):
+        t_legacy = _best_of(legacy_fn)
+        t_stacked = _best_of(stacked_fn)
+        speedup = t_legacy / t_stacked
+        rows.append([name, f"{t_legacy * 1e3:.2f}",
+                     f"{t_stacked * 1e3:.2f}", f"{speedup:.2f}x"])
+        return speedup
+
+    s_hoist = measure(
+        f"hoisted rotations ({len(steps)} steps)",
+        lambda: legacy.rotate_hoisted(a, steps),
+        lambda: stacked.rotate_hoisted(a, steps))
+    s_mulres = measure(
+        "multiply + rescale",
+        lambda: legacy.rescale(legacy.multiply(a, b)),
+        lambda: stacked.rescale(stacked.multiply(a, b)))
+
+    print()
+    print(format_table(
+        ["CKKS op", "per-poly ms", "stacked ms", "speedup"], rows,
+        title=f"Stacked-pair evaluator vs per-polynomial "
+              f"(n={ENGINE_N}, L={ENGINE_LIMBS}, best of {REPEATS})"))
+
+    # Acceptance (ISSUE 4): >= 1.3x on the hoisted-rotation and
+    # multiply+rescale inner steps at n=4096, L=8.
+    assert s_hoist >= 1.3 * SLACK, \
+        f"hoisted-rotation speedup {s_hoist:.2f}x"
+    assert s_mulres >= 1.3 * SLACK, \
+        f"multiply+rescale speedup {s_mulres:.2f}x"

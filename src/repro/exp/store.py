@@ -21,8 +21,11 @@ Properties the sweep engine relies on:
   drops that file and reports a miss (a crashed writer cannot poison
   later runs; writes are atomic ``os.replace`` renames anyway);
 * **size-bounded eviction** — when the store grows past ``max_bytes``
-  the least-recently-used entries (by mtime; hits re-touch) are
-  removed;
+  the least-recently-used entries are removed.  Recency is
+  ``st_mtime_ns`` plus a monotonic per-store sequence number persisted
+  in the schema directory's ``lru.json``, so rapid successive writes
+  (or hit re-touches) inside one coarse filesystem mtime tick still
+  evict in a deterministic, true-LRU order;
 * **off by default** — nothing is read or written unless the
   ``REPRO_STORE_DIR`` environment variable names a directory or the
   caller activates a store explicitly (:func:`using_store` /
@@ -39,6 +42,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -107,14 +111,49 @@ class ArtifactStore:
     def __init__(self, root, *, max_bytes: int | None = None):
         self.root = Path(root)
         if max_bytes is None:
-            max_bytes = int(os.environ.get(ENV_STORE_MAX_BYTES,
-                                           DEFAULT_MAX_BYTES))
+            max_bytes = self._max_bytes_from_env()
         self.max_bytes = max_bytes
-        self._compile_dir = self.root / f"v{SCHEMA_VERSION}" / "compile"
-        self._sim_dir = self.root / f"v{SCHEMA_VERSION}" / "sim"
+        schema_dir = self.root / f"v{SCHEMA_VERSION}"
+        self._compile_dir = schema_dir / "compile"
+        self._sim_dir = schema_dir / "sim"
         self._compile_dir.mkdir(parents=True, exist_ok=True)
         self._sim_dir.mkdir(parents=True, exist_ok=True)
+        self._lru_path = schema_dir / "lru.json"
+        #: (st_mtime_ns, st_size) of the journal as of our last
+        #: read/write — saves skip the merge read while it is ours.
+        self._lru_disk_state: tuple[int, int] | None = None
+        self._lru_seq = self._load_lru()
+        #: Names this instance removed; the merge-on-save must not
+        #: resurrect them from a stale on-disk journal.
+        self._dropped: set[str] = set()
+        self._seq = max(self._lru_seq.values(), default=0)
         self.stats = StoreStats()
+
+    @staticmethod
+    def _max_bytes_from_env() -> int:
+        """``REPRO_STORE_MAX_BYTES``, validated at construction so a
+        malformed value fails here with a clear message instead of as a
+        bare ``ValueError`` deep inside a sweep; an empty string is
+        ignored with a warning."""
+        raw = os.environ.get(ENV_STORE_MAX_BYTES)
+        if raw is None:
+            return DEFAULT_MAX_BYTES
+        if raw.strip() == "":
+            warnings.warn(
+                f"ignoring empty {ENV_STORE_MAX_BYTES}; using the "
+                f"default of {DEFAULT_MAX_BYTES} bytes",
+                stacklevel=3)
+            return DEFAULT_MAX_BYTES
+        try:
+            max_bytes = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_STORE_MAX_BYTES}={raw!r} is not a valid store "
+                f"size bound; expected an integer byte count") from None
+        if max_bytes < 0:
+            raise ValueError(
+                f"{ENV_STORE_MAX_BYTES}={raw!r} must be non-negative")
+        return max_bytes
 
     def __repr__(self) -> str:
         return f"ArtifactStore({str(self.root)!r})"
@@ -163,6 +202,7 @@ class ArtifactStore:
         meta, arrays = self._pack_compiled(compiled)
         self._atomic_write(path, lambda f: np.savez(
             f, meta=np.array(canonical_json(meta)), **arrays))
+        self._touch(path)
         self.stats.compile_stores += 1
         self._evict()
 
@@ -257,6 +297,7 @@ class ArtifactStore:
                "result": dataclasses.asdict(result)}
         payload = canonical_json(doc).encode()
         self._atomic_write(path, lambda f: f.write(payload))
+        self._touch(path)
         self.stats.sim_stores += 1
         self._evict()
 
@@ -270,6 +311,69 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Shared machinery
     # ------------------------------------------------------------------
+    # -- LRU bookkeeping: st_mtime_ns + a persisted sequence ----------
+    def _journal_state(self) -> tuple[int, int] | None:
+        try:
+            stat = self._lru_path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _load_lru(self) -> dict[str, int]:
+        """The on-disk access-order journal (``lru.json``); corruption
+        degrades to an empty journal, never a crash."""
+        self._lru_disk_state = self._journal_state()
+        try:
+            doc = json.loads(self._lru_path.read_bytes())
+            return {str(k): int(v) for k, v in doc.items()}
+        except (OSError, ValueError, TypeError, AttributeError):
+            return {}
+
+    def _save_lru(self) -> None:
+        """Persist the journal, folding the on-disk copy in first.
+
+        Concurrent sweep workers each rewrite the whole file; merging
+        (max sequence per entry) keeps their touches from being lost
+        to last-writer-wins.  The merge is best-effort — ``st_mtime_ns``
+        remains the primary cross-process recency signal and the
+        journal the tiebreaker — and stale names (entries another
+        process evicted) are harmless because eviction only orders
+        files that exist.  The merge read is skipped while the on-disk
+        journal is the one this instance last wrote (the single-writer
+        common case), so a touch usually costs one small serialize +
+        rename.
+        """
+        if self._journal_state() != self._lru_disk_state:
+            disk = self._load_lru()
+            for name, seq in disk.items():
+                if name in self._dropped:
+                    continue
+                if self._lru_seq.get(name, -1) < seq:
+                    self._lru_seq[name] = seq
+            self._seq = max(self._seq,
+                            max(self._lru_seq.values(), default=0))
+        payload = canonical_json(self._lru_seq).encode()
+        try:
+            self._atomic_write(self._lru_path, lambda f: f.write(payload))
+        except OSError:
+            return
+        self._lru_disk_state = self._journal_state()
+
+    def _touch(self, path: Path) -> None:
+        """Record an access: bump the monotonic sequence (persisted in
+        the entry metadata journal) and refresh the file mtime.  The
+        sequence breaks mtime ties, so writes and hit re-touches that
+        land inside one coarse filesystem timestamp tick still order
+        deterministically by true recency."""
+        self._seq += 1
+        self._dropped.discard(path.name)
+        self._lru_seq[path.name] = self._seq
+        self._save_lru()
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
     def _load(self, path: Path, reader):
         """Read an entry, dropping it (and reporting a miss) on any
         corruption — truncated writes, schema drift, bad JSON."""
@@ -283,11 +387,10 @@ class ArtifactStore:
                 path.unlink()
             except OSError:
                 pass
+            self._lru_seq.pop(path.name, None)
+            self._dropped.add(path.name)
             return None
-        try:
-            os.utime(path)          # refresh LRU position
-        except OSError:
-            pass
+        self._touch(path)           # refresh LRU position
         return value
 
     def _atomic_write(self, path: Path, writer) -> None:
@@ -315,9 +418,17 @@ class ArtifactStore:
 
     def _evict(self) -> None:
         """Drop least-recently-used entries until under ``max_bytes``.
-        The most recently touched entry always survives, so a bound
-        smaller than one artifact degrades to keep-latest rather than
-        thrashing to empty."""
+
+        Recency orders by ``(st_mtime_ns, journal sequence, name)``:
+        the nanosecond mtime is the cross-process signal, the persisted
+        sequence breaks same-tick ties (coarse-mtime filesystems, rapid
+        writes, hit re-touches), and the name makes the order total
+        even for entries unknown to the journal.  The most recently
+        touched entry always survives, so a bound smaller than one
+        artifact degrades to keep-latest rather than thrashing to
+        empty."""
+        # Fold in touches other workers persisted since our last merge.
+        self._save_lru()
         entries = []
         total = 0
         for path in self._entries():
@@ -325,20 +436,34 @@ class ArtifactStore:
                 stat = path.stat()
             except OSError:
                 continue
-            entries.append((stat.st_mtime, str(path), stat.st_size))
+            seq = self._lru_seq.get(path.name, -1)
+            entries.append((stat.st_mtime_ns, seq, path.name, str(path),
+                            stat.st_size))
             total += stat.st_size
+        # Prune journal names whose files are gone (another process
+        # evicted them) so the journal cannot grow without bound.
+        live = {name for _, _, name, _, _ in entries}
+        stale = [n for n in self._lru_seq if n not in live]
+        for name in stale:
+            self._lru_seq.pop(name, None)
+            self._dropped.add(name)
         if total <= self.max_bytes:
+            if stale:
+                self._save_lru()
             return
         entries.sort()
-        for _, name, size in entries[:-1]:
+        for _, _, name, full, size in entries[:-1]:
             try:
-                os.unlink(name)
+                os.unlink(full)
             except OSError:
                 continue
             self.stats.evictions += 1
+            self._lru_seq.pop(name, None)
+            self._dropped.add(name)
             total -= size
             if total <= self.max_bytes:
                 break
+        self._save_lru()
 
     def clear(self) -> None:
         """Remove every entry (the schema directories stay)."""
@@ -347,6 +472,9 @@ class ArtifactStore:
                 path.unlink()
             except OSError:
                 pass
+        self._dropped.update(self._lru_seq)
+        self._lru_seq.clear()
+        self._save_lru()
 
 
 # ----------------------------------------------------------------------

@@ -24,6 +24,8 @@ evidence that a warm sweep recomputed nothing.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -254,18 +256,62 @@ def _point_worker(point: SweepPoint,
     return _execute_point(point, workload)
 
 
-def _pool_context():
-    """Prefer fork so workers inherit :func:`register_workload`-ed
-    factories (spawn re-imports and only sees the built-ins)."""
+#: Environment override for the pool start method (e.g. ``spawn`` in
+#: CI to exercise the no-fork path Windows/macOS default to).
+ENV_START_METHOD = "REPRO_SWEEP_START_METHOD"
+
+
+def _pool_context(start_method: str | None = None):
+    """Multiprocessing context for the worker pool.
+
+    Resolution: explicit ``start_method`` argument, then the
+    ``REPRO_SWEEP_START_METHOD`` environment variable, then fork when
+    available (cheapest: workers inherit all process state).  Workers
+    no longer *depend* on fork inheritance — the pool initializer ships
+    the workload-factory registry — so any method is correct.
+    """
     methods = multiprocessing.get_all_start_methods()
+    requested = start_method or os.environ.get(ENV_START_METHOD)
+    if requested:
+        if requested not in methods:
+            raise ValueError(
+                f"start method {requested!r} is not available on this "
+                f"platform; choose from {methods}")
+        return multiprocessing.get_context(requested)
     return multiprocessing.get_context(
         "fork" if "fork" in methods else methods[0])
 
 
+def _shippable_factories() -> dict[str, Callable[..., Workload]]:
+    """The registry entries a spawned worker can receive: factories are
+    pickled by reference (module + qualname), so anything
+    unimportable-by-name (lambdas, locals) is left to fork
+    inheritance."""
+    out: dict[str, Callable[..., Workload]] = {}
+    for name, factory in _WORKLOAD_FACTORIES.items():
+        try:
+            pickle.dumps(factory)
+        except Exception:
+            continue
+        out[name] = factory
+    return out
+
+
+def _init_worker(factories: dict[str, Callable[..., Workload]]) -> None:
+    """Pool initializer: merge the parent's registry into the worker.
+
+    Under ``spawn`` (fork unavailable or requested explicitly) a worker
+    re-imports this module and would otherwise see only the built-in
+    factories — every :func:`register_workload`-ed spec would fail with
+    an unregistered-spec error.
+    """
+    _WORKLOAD_FACTORIES.update(factories)
+
+
 def run_sweep(spec, *, jobs: int = 1,
               store: "ArtifactStore | str | None" = None,
-              progress: Callable[[PointResult], None] | None = None
-              ) -> SweepResult:
+              progress: Callable[[PointResult], None] | None = None,
+              start_method: str | None = None) -> SweepResult:
     """Execute every point of ``spec`` (a :class:`SweepSpec` or a list
     of :class:`SweepPoint`) and return ordered results.
 
@@ -275,7 +321,11 @@ def run_sweep(spec, *, jobs: int = 1,
     worker memoizes against ``store`` (defaulting to the active store,
     e.g. ``REPRO_STORE_DIR``), so grids larger than the worker count
     never recompute a point another worker already persisted — and a
-    repeat sweep executes nothing at all.
+    repeat sweep executes nothing at all.  Workers receive the
+    caller's workload-factory registry through the pool initializer,
+    so registered factories resolve under any multiprocessing start
+    method (``start_method`` / ``REPRO_SWEEP_START_METHOD`` override
+    the fork-preferred default).
 
     ``progress`` (if given) is called with each :class:`PointResult`
     as it completes — completion order, not point order.
@@ -315,7 +365,10 @@ def run_sweep(spec, *, jobs: int = 1,
                 "parallel sweeps need declarative WorkloadSpec axes; "
                 f"in-memory workloads at: {unpicklable}")
         with ProcessPoolExecutor(max_workers=jobs,
-                                 mp_context=_pool_context()) as pool:
+                                 mp_context=_pool_context(start_method),
+                                 initializer=_init_worker,
+                                 initargs=(_shippable_factories(),)
+                                 ) as pool:
             futures = {pool.submit(_point_worker, p, store_args): p
                        for p in points}
             pending = set(futures)

@@ -171,40 +171,52 @@ class BatchedNTT:
         self._auto_ntt_idx: dict[int, np.ndarray] = {}
         self._auto_coeff_maps: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
+    #: Per-limb table attributes a derived engine re-slices from its
+    #: parent (uint companions included; fold tables may be None).
+    _ROW_TABLES = ("q_col", "_psi_br", "_psi_inv_br", "n_inv_col",
+                   "_q_u", "_q2_u", "_psi_u", "_psi_inv_u", "_psi_sh",
+                   "_psi_inv_sh", "_n_inv_u", "_n_inv_sh",
+                   "_fold1_u", "_fold1_sh", "_fold2_u", "_fold2_sh",
+                   "_fold3_u", "_fold3_sh")
+
     @classmethod
-    def _prefix_of(cls, parent: "BatchedNTT", count: int) -> "BatchedNTT":
-        """Zero-copy engine for the first ``count`` limbs of ``parent``."""
+    def _derived(cls, parent: "BatchedNTT", primes: tuple[int, ...],
+                 select) -> "BatchedNTT":
+        """Engine whose limb tables are ``table[select]`` of ``parent``'s
+        (a slice for zero-copy prefixes, an index array for stacked row
+        gathers).  Twiddles are never recomputed; the moduli-independent
+        permutation caches are shared with the parent."""
         self = cls.__new__(cls)
         self.n = parent.n
-        self.primes = parent.primes[:count]
-        self.limbs = count
-        self.q_col = parent.q_col[:count]
+        self.primes = primes
+        self.limbs = len(primes)
         self._rev = parent._rev
-        self._psi_br = parent._psi_br[:count]
-        self._psi_inv_br = parent._psi_inv_br[:count]
-        self.n_inv_col = parent.n_inv_col[:count]
-        self._q_u = parent._q_u[:count]
-        self._q2_u = parent._q2_u[:count]
-        self._psi_u = parent._psi_u[:count]
-        self._psi_inv_u = parent._psi_inv_u[:count]
-        self._psi_sh = parent._psi_sh[:count]
-        self._psi_inv_sh = parent._psi_inv_sh[:count]
-        self._n_inv_u = parent._n_inv_u[:count]
-        self._n_inv_sh = parent._n_inv_sh[:count]
-        self._fold1_u = parent._fold1_u[:count]
-        self._fold1_sh = parent._fold1_sh[:count]
-        self._fold2_u = None if parent._fold2_u is None \
-            else parent._fold2_u[:count]
-        self._fold2_sh = None if parent._fold2_sh is None \
-            else parent._fold2_sh[:count]
-        self._fold3_u = None if parent._fold3_u is None \
-            else parent._fold3_u[:count]
-        self._fold3_sh = None if parent._fold3_sh is None \
-            else parent._fold3_sh[:count]
-        self._fused = parent._fused
+        for name in cls._ROW_TABLES:
+            table = getattr(parent, name)
+            setattr(self, name, None if table is None else table[select])
+        # The relaxed fused-radix-4 bound depends only on the selected
+        # moduli, so a small-prime subset of a 31-bit-tainted chain
+        # still takes the fused path (both paths are bitwise identical).
+        self._fused = max(q.bit_length() for q in primes) <= 30
         self._auto_ntt_idx = parent._auto_ntt_idx
         self._auto_coeff_maps = parent._auto_coeff_maps
         return self
+
+    @classmethod
+    def _prefix_of(cls, parent: "BatchedNTT", count: int) -> "BatchedNTT":
+        """Zero-copy engine for the first ``count`` limbs of ``parent``."""
+        return cls._derived(parent, parent.primes[:count],
+                            slice(None, count))
+
+    @classmethod
+    def _rows_of(cls, parent: "BatchedNTT", rows) -> "BatchedNTT":
+        """Engine for an arbitrary (possibly repeating) row selection of
+        ``parent`` — the stacked-transform builder: k polynomials over
+        prefix/extended bases of one prime chain become a single
+        ``(sum L_i, N)`` engine whose tables are gathered, not rebuilt."""
+        rows = np.asarray(rows, dtype=np.intp)
+        primes = tuple(parent.primes[r] for r in rows)
+        return cls._derived(parent, primes, rows)
 
     def _merged_ninv_twiddle(self, index: int
                              ) -> tuple[np.ndarray, np.ndarray]:
@@ -545,13 +557,15 @@ class BatchedNTT:
     # ------------------------------------------------------------------
     # Automorphisms
     # ------------------------------------------------------------------
-    def automorphism_ntt(self, data: np.ndarray,
-                         galois_elt: int) -> np.ndarray:
+    def automorphism_ntt(self, data: np.ndarray, galois_elt: int, *,
+                         out: np.ndarray | None = None) -> np.ndarray:
         """sigma'_s on bit-reversed NTT stacks: one gather per stack.
 
         The per-limb reference composes BR -> sigma'_s -> BR; the three
         permutations collapse into a single cached index vector that is
         independent of the moduli, so all limbs share one fancy-index.
+        ``out`` (int64, same shape) lets stacked callers gather straight
+        into a preallocated slab.
         """
         idx = self._auto_ntt_idx.get(galois_elt)
         if idx is None:
@@ -561,7 +575,7 @@ class BatchedNTT:
             src %= self.n
             idx = rev[src[rev]]
             self._auto_ntt_idx[galois_elt] = idx
-        return self._check(data)[:, idx]
+        return np.take(self._check(data), idx, axis=1, out=out)
 
     def automorphism_coeff(self, data: np.ndarray,
                            galois_elt: int) -> np.ndarray:
@@ -668,6 +682,45 @@ def _derive_from_superset(key) -> BatchedPlan | None:
                 and cached_primes[:count] == primes:
             return plan.prefix(count)
     return None
+
+
+def get_stacked_plan(n: int, bases) -> BatchedPlan:
+    """Plan for several prime chains stacked into one ``(sum L_i, N)``
+    transform (the k-polynomial stacked-transform engine).
+
+    ``bases`` is a sequence of prime tuples — e.g. the two copies of a
+    ciphertext basis for a ``(2L, N)`` pair transform, or ``beta``
+    copies of an extended basis for the key-switch digit stack.  The
+    stacked chain may repeat primes (an :class:`RnsBasis` cannot), so
+    its engine is derived by *row-gathering* the tables of the plan for
+    the distinct-prime union chain instead of recomputing any power
+    table.  Every row transforms exactly as it would alone, so stacked
+    outputs are bitwise identical to per-chain transforms; stacked
+    plans share the bounded LRU cache with ordinary plans.
+    """
+    chains = [tuple(int(q) for q in base) for base in bases]
+    stacked = tuple(q for chain in chains for q in chain)
+    key = (int(n), stacked)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        union: list[int] = []
+        index: dict[int, int] = {}
+        for q in stacked:
+            if q not in index:
+                index[q] = len(union)
+                union.append(q)
+        donor = get_plan(n, tuple(union))
+        rows = [index[q] for q in stacked]
+        if rows == list(range(len(union))):
+            return donor
+        engine = BatchedNTT._rows_of(donor.ntt, rows)
+        plan = BatchedPlan(n, stacked, ntt=engine)
+        _PLAN_CACHE[key] = plan
+        while len(_PLAN_CACHE) > PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    else:
+        _PLAN_CACHE.move_to_end(key)
+    return plan
 
 
 def plan_cache_size() -> int:

@@ -49,6 +49,32 @@ _WEIGHT_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 
 register_cache_clearer(_WEIGHT_CACHE.clear)
 
+#: LRU of per-limb modular-inverse columns (the ModDown ``P^-1`` and
+#: rescale ``q_last^-1`` constants), keyed by ``(value, primes)``.
+_INV_COL_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+register_cache_clearer(_INV_COL_CACHE.clear)
+
+
+def inverse_mod_col(value: int, primes: tuple[int, ...]) -> np.ndarray:
+    """``value^-1 mod q`` per prime as an ``(L, 1)`` int64 column.
+
+    Cached: the same inverse column is needed on every ModDown of a
+    level (``P^-1``) and every rescale at a level (``q_last^-1``), and
+    hoisted rotations hit the ModDown one once per step.
+    """
+    key = (value, primes)
+    col = _INV_COL_CACHE.get(key)
+    if col is None:
+        col = np.array([pow(value % q, -1, q) for q in primes],
+                       dtype=np.int64).reshape(-1, 1)
+        _INV_COL_CACHE[key] = col
+        while len(_INV_COL_CACHE) > _WEIGHT_CACHE_MAX:
+            _INV_COL_CACHE.popitem(last=False)
+    else:
+        _INV_COL_CACHE.move_to_end(key)
+    return col
+
 
 def _qhat_weights(from_basis: RnsBasis, to_basis: RnsBasis) -> np.ndarray:
     """``W[i, j] = q_hat[j] mod p_i`` — the BConv MMAD constants —
@@ -67,22 +93,24 @@ def _qhat_weights(from_basis: RnsBasis, to_basis: RnsBasis) -> np.ndarray:
     return weights
 
 
-def _scaled_residues(poly: RnsPolynomial) -> np.ndarray:
+def _scaled_residues(data: np.ndarray, basis: RnsBasis) -> np.ndarray:
     """``v_j = a_j * qhat_inv_j mod q_j`` — one broadcast Shoup MMUL
     over the stack, canonicalised so the fast-BConv overshoot stays
     bitwise identical to the per-limb reference.
 
-    Returns a pooled uint64 buffer; consume it before the next BConv.
+    ``data`` is any int64 ``(L, M)`` stack over ``basis`` — the column
+    count is free, which is how the pair path runs both ciphertext
+    halves through one call.  Returns a pooled uint64 buffer; consume
+    it before the next BConv.
     """
-    basis = poly.basis
     q_u = basis.q_col.astype(np.uint64)
     s_u = basis.q_hat_inv_col.astype(np.uint64)
     s_sh = shoup_companion(s_u, q_u)
-    shape = poly.data.shape
+    shape = data.shape
     x = scratch("bcv_x", shape)
     hi = scratch("bcv_hi", shape)
     v = scratch("bcv_v", shape)
-    np.copyto(x, poly.data, casting="unsafe")
+    np.copyto(x, data, casting="unsafe")
     shoup_mul_lazy(x, s_u, s_sh, q_u, out=v, hi=hi)
     np.subtract(v, q_u, out=hi)
     np.minimum(v, hi, out=v)
@@ -121,6 +149,17 @@ def _weighted_sums(v: np.ndarray, from_basis: RnsBasis,
     return _exact_matmul(weights, v, p_col), p_col
 
 
+def _base_convert_data(data: np.ndarray, from_basis: RnsBasis,
+                       to_basis: RnsBasis) -> np.ndarray:
+    """Raw-array fast BConv: ``(L_from, M) -> (L_to, M)`` int64.
+
+    Column-count agnostic — the pair path widens ``M`` to ``2N`` so
+    both ciphertext halves convert in a single BLAS accumulation."""
+    v = _scaled_residues(data, from_basis)
+    acc, p_col = _weighted_sums(v, from_basis, to_basis)
+    return acc % p_col
+
+
 def base_convert(poly: RnsPolynomial, to_basis: RnsBasis) -> RnsPolynomial:
     """Fast base conversion ``BConv_{C->B}`` (paper eq. 3).
 
@@ -133,9 +172,9 @@ def base_convert(poly: RnsPolynomial, to_basis: RnsBasis) -> RnsPolynomial:
     """
     if poly.is_ntt:
         raise ValueError("BConv operates on coefficient-domain data")
-    v = _scaled_residues(poly)
-    acc, p_col = _weighted_sums(v, poly.basis, to_basis)
-    return RnsPolynomial(to_basis, acc % p_col, is_ntt=False)
+    return RnsPolynomial(to_basis,
+                         _base_convert_data(poly.data, poly.basis, to_basis),
+                         is_ntt=False)
 
 
 def base_convert_exact(poly: RnsPolynomial,
@@ -149,7 +188,7 @@ def base_convert_exact(poly: RnsPolynomial,
     if poly.is_ntt:
         raise ValueError("BConv operates on coefficient-domain data")
     from_basis = poly.basis
-    v = _scaled_residues(poly)
+    v = _scaled_residues(poly.data, from_basis)
     frac = (v.astype(np.float64)
             / from_basis.q_col.astype(np.float64)).sum(axis=0)
     e = np.rint(frac).astype(np.int64)
@@ -183,6 +222,17 @@ def mod_up(poly: RnsPolynomial, full_basis: RnsBasis) -> RnsPolynomial:
     return RnsPolynomial(full_basis, data, is_ntt=False)
 
 
+def _mod_down_data(data: np.ndarray, q_basis: RnsBasis,
+                   p_basis: RnsBasis) -> np.ndarray:
+    """Raw-array ModDown on a ``(L_q + L_p, M)`` stack (P limbs last):
+    ``result = (a - BConv_{P->Q}(a mod P)) * P^-1 mod Q``."""
+    lq = len(q_basis)
+    correction = _base_convert_data(data[lq:], p_basis, q_basis)
+    p_inv_col = inverse_mod_col(p_basis.modulus, q_basis.primes)
+    q_col = q_basis.q_col
+    return (data[:lq] - correction) % q_col * p_inv_col % q_col
+
+
 def mod_down(poly: RnsPolynomial, q_basis: RnsBasis,
              p_basis: RnsBasis) -> RnsPolynomial:
     """ModDown: divide by ``P`` and return to the Q basis.
@@ -195,14 +245,57 @@ def mod_down(poly: RnsPolynomial, q_basis: RnsBasis,
     lq, lp = len(q_basis), len(p_basis)
     if len(poly.basis) != lq + lp:
         raise ValueError("input basis is not Q + P")
-    a_p = RnsPolynomial(p_basis, poly.data[lq:], is_ntt=False)
-    correction = base_convert(a_p, q_basis)
-    big_p = p_basis.modulus
-    p_inv_col = np.array([pow(big_p % q, -1, q) for q in q_basis.primes],
-                         dtype=np.int64).reshape(-1, 1)
-    q_col = q_basis.q_col
-    data = (poly.data[:lq] - correction.data) % q_col * p_inv_col % q_col
-    return RnsPolynomial(q_basis, data, is_ntt=False)
+    return RnsPolynomial(q_basis, _mod_down_data(poly.data, q_basis,
+                                                 p_basis), is_ntt=False)
+
+
+def _pair_to_wide(pair: np.ndarray, rows: int) -> np.ndarray:
+    """``(2R, M)`` pair stack -> ``(R, 2M)`` wide stack (both halves of
+    limb j side by side), so per-limb constants broadcast once and the
+    BConv BLAS accumulation runs a single twice-as-wide product."""
+    two_r, m = pair.shape
+    if two_r != 2 * rows:
+        raise ValueError(f"expected a {2 * rows}-row pair stack, got "
+                         f"{two_r}")
+    return pair.reshape(2, rows, m).transpose(1, 0, 2).reshape(rows, 2 * m)
+
+
+def _wide_to_pair(wide: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_pair_to_wide`."""
+    rows, two_m = wide.shape
+    m = two_m // 2
+    return wide.reshape(rows, 2, m).transpose(1, 0, 2).reshape(2 * rows, m)
+
+
+def base_convert_pair(pair: np.ndarray, from_basis: RnsBasis,
+                      to_basis: RnsBasis) -> np.ndarray:
+    """Fast BConv of both halves of a stacked pair in one wide pass.
+
+    ``pair`` is a coefficient-domain ``(2*L_from, M)`` stack; both
+    halves share the conversion constants, so the scaling Shoup
+    multiply and the BLAS accumulation run once on ``(L_from, 2M)``
+    wide rows.  Rows are bitwise identical to :func:`base_convert` per
+    half.  This is the kernel under the evaluator's NTT-domain fused
+    ModDown (the ``ks = (acc - NTT(BConv_P(acc))) * P^-1`` dataflow the
+    IR lowering emits).
+    """
+    wide = _pair_to_wide(pair, len(from_basis))
+    return _wide_to_pair(_base_convert_data(wide, from_basis, to_basis))
+
+
+def mod_down_pair(pair: np.ndarray, q_basis: RnsBasis,
+                  p_basis: RnsBasis) -> np.ndarray:
+    """ModDown both halves of a stacked ciphertext pair at once.
+
+    ``pair`` is a coefficient-domain ``(2(L_q+L_p), M)`` stack — the
+    two key-switch accumulators (or any c0/c1 pair over Q+P) laid out
+    half after half.  Every arithmetic step and the BConv BLAS
+    accumulation run once on twice-as-wide rows, and the result rows
+    are bitwise identical to :func:`mod_down` on each half.
+    """
+    ext = len(q_basis) + len(p_basis)
+    wide = _pair_to_wide(pair, ext)
+    return _wide_to_pair(_mod_down_data(wide, q_basis, p_basis))
 
 
 def rescale_last(poly: RnsPolynomial) -> RnsPolynomial:
@@ -221,11 +314,38 @@ def rescale_last(poly: RnsPolynomial) -> RnsPolynomial:
     new_basis = poly.basis.prefix(len(poly.basis) - 1)
     # Centre the dropped limb so rounding is to nearest.
     centred = np.where(last > q_last // 2, last - q_last, last)
-    inv_col = np.array([pow(q_last % q, -1, q) for q in new_basis.primes],
-                       dtype=np.int64).reshape(-1, 1)
+    inv_col = inverse_mod_col(q_last, new_basis.primes)
     q_col = new_basis.q_col
     data = (poly.data[:-1] - centred) % q_col * inv_col % q_col
     return RnsPolynomial(new_basis, data, is_ntt=False)
+
+
+def rescale_last_pair(pair: np.ndarray, basis: RnsBasis) -> np.ndarray:
+    """CKKS rescale of a stacked ciphertext pair in one pass.
+
+    ``pair`` is a coefficient-domain ``(2L, N)`` stack of both
+    ciphertext halves over ``basis``; each half drops *its own* last
+    limb (rows ``L-1`` and ``2L-1``), so the arithmetic runs on a
+    ``(2, L, N)`` view with the per-limb constants broadcast across
+    the pair axis.  Returns the ``(2(L-1), N)`` result, bitwise
+    identical to :func:`rescale_last` on each half.
+    """
+    limbs = len(basis)
+    if limbs < 2:
+        raise ValueError("cannot rescale a single-limb polynomial")
+    if pair.shape[0] != 2 * limbs:
+        raise ValueError(f"expected a {2 * limbs}-row pair stack, got "
+                         f"{pair.shape[0]}")
+    n = pair.shape[1]
+    halves = pair.reshape(2, limbs, n)
+    last = halves[:, -1:, :]
+    q_last = basis.primes[-1]
+    centred = np.where(last > q_last // 2, last - q_last, last)
+    new_basis = basis.prefix(limbs - 1)
+    inv_col = inverse_mod_col(q_last, new_basis.primes)[None, :, :]
+    q_col = new_basis.q_col[None, :, :]
+    data = (halves[:, :-1, :] - centred) % q_col * inv_col % q_col
+    return data.reshape(2 * (limbs - 1), n)
 
 
 class MergedBConv:

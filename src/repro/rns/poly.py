@@ -18,9 +18,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..nttmath.batched import (
+    BatchedNTT,
     BatchedPlan,
     clear_caches,
     get_plan,
+    get_stacked_plan,
     ntt_table,
     scratch,
     shoup_companion,
@@ -35,7 +37,10 @@ __all__ = [
     "pointwise_mac",
     "pointwise_mac_shoup",
     "pointwise_mul_shoup",
+    "pointwise_mul_shoup_stacked",
     "shoup_precompute",
+    "stacked_engine",
+    "stacked_transform",
     "to_coeff_stacked",
     "to_ntt_stacked",
 ]
@@ -238,22 +243,45 @@ class RnsPolynomial:
         return self.data[index]
 
 
-def _transform_stacked(polys: list[RnsPolynomial], *,
-                       forward: bool) -> list[RnsPolynomial]:
-    """Run one batched transform over several concatenated stacks.
+def stacked_engine(n: int, bases) -> BatchedNTT:
+    """The ``(sum L_i, N)`` engine for several stacked bases.
+
+    ``bases`` entries are :class:`RnsBasis` objects or prime tuples;
+    the engine's tables are prefix/row slices of the union chain's
+    cached plan (mixed-basis prefix slicing), so a stacked engine is
+    never rebuilt from scratch.  Callers feed it concatenated stacks
+    directly — the evaluator's ciphertext-pair hot path.
+    """
+    chains = tuple(b.primes if isinstance(b, RnsBasis) else tuple(b)
+                   for b in bases)
+    return get_stacked_plan(n, chains).ntt
+
+
+def stacked_transform(polys, *, forward: bool) -> list[RnsPolynomial]:
+    """Transform k same-degree polynomials as one stacked pass.
 
     The limb axis is just more vector lanes to :class:`BatchedNTT`, so
-    k same-degree polynomials transform as a single ``(sum L_i, N)``
-    pass against the concatenated prime chain.  Every butterfly row
-    depends only on that row's modulus and twiddles, so each output
-    slice is bitwise identical to transforming its polynomial alone.
+    k polynomials over (possibly different, possibly repeating) bases
+    of one ring degree transform as a single ``(sum L_i, N)`` pass
+    against the concatenated prime chain.  Every butterfly row depends
+    only on that row's modulus and twiddles, so each output slice is
+    bitwise identical to transforming its polynomial alone; results
+    are zero-copy row views of the one output stack.
     """
+    polys = list(polys)
+    if not polys:
+        raise ValueError("need at least one polynomial")
     n = polys[0].n
     for p in polys[1:]:
         if p.n != n:
             raise ValueError("stacked transform needs one ring degree")
-    primes = tuple(q for p in polys for q in p.basis.primes)
-    engine = get_plan(n, primes).ntt
+        if p.is_ntt != polys[0].is_ntt:
+            raise ValueError("stacked transform needs one domain")
+    if polys[0].is_ntt != (not forward):
+        domain = "coefficient" if forward else "NTT"
+        raise ValueError(f"stacked transform expects {domain}-domain "
+                         f"inputs")
+    engine = stacked_engine(n, [p.basis for p in polys])
     data = np.concatenate([p.data for p in polys], axis=0)
     out = engine.forward(data) if forward else engine.inverse(data)
     result = []
@@ -269,29 +297,18 @@ def _transform_stacked(polys: list[RnsPolynomial], *,
 def to_coeff_stacked(polys) -> list[RnsPolynomial]:
     """Inverse-transform several NTT-domain polynomials in one pass.
 
-    The key-switch use case stacks the two accumulators over the same
-    L-limb extended basis into a single ``(2L, N)`` iNTT instead of two
-    ``(L, N)`` ones.  Results are bitwise identical to calling
+    E.g. the two key-switch accumulators over the same L-limb extended
+    basis become a single ``(2L, N)`` iNTT instead of two ``(L, N)``
+    ones.  Results are bitwise identical to calling
     :meth:`RnsPolynomial.to_coeff` on each polynomial.
     """
-    polys = list(polys)
-    if not polys:
-        raise ValueError("need at least one polynomial")
-    if any(not p.is_ntt for p in polys):
-        raise ValueError("to_coeff_stacked expects NTT-domain inputs")
-    return _transform_stacked(polys, forward=False)
+    return stacked_transform(polys, forward=False)
 
 
 def to_ntt_stacked(polys) -> list[RnsPolynomial]:
     """Forward-transform several coefficient-domain polynomials in one
     stacked pass; bitwise identical to per-polynomial ``to_ntt``."""
-    polys = list(polys)
-    if not polys:
-        raise ValueError("need at least one polynomial")
-    if any(p.is_ntt for p in polys):
-        raise ValueError("to_ntt_stacked expects coefficient-domain "
-                         "inputs")
-    return _transform_stacked(polys, forward=True)
+    return stacked_transform(polys, forward=True)
 
 
 def pointwise_mac(pairs) -> RnsPolynomial:
@@ -332,6 +349,33 @@ def shoup_precompute(poly: RnsPolynomial) -> tuple[np.ndarray, np.ndarray]:
     return values, shoup_companion(values, q_u)
 
 
+def pointwise_mul_shoup_stacked(data: np.ndarray,
+                                table: tuple[np.ndarray, np.ndarray],
+                                q_col: np.ndarray) -> np.ndarray:
+    """Shoup pointwise product on a raw (possibly stacked) limb stack.
+
+    ``data`` is an int64 ``(R, N)`` stack (e.g. a ``(2L, N)`` ciphertext
+    pair), ``table`` a matching :func:`shoup_precompute`-style
+    ``(values, companions)`` pair, ``q_col`` the per-row int64 modulus
+    column.  Returns the canonical int64 product stack — row for row
+    bitwise identical to :func:`pointwise_mul_shoup` on each slice.
+    """
+    s_u, s_sh = table
+    if s_u.shape != data.shape:
+        raise ValueError(
+            f"frozen table shape {s_u.shape} does not match "
+            f"operand shape {data.shape}")
+    q_u = q_col.astype(np.uint64)
+    shape = data.shape
+    x = scratch("pmul_x", shape)
+    hi = scratch("pmul_hi", shape)
+    out = scratch("pmul_out", shape)
+    np.copyto(x, data, casting="unsafe")
+    shoup_mul_lazy(x, s_u, s_sh, q_u, out=out, hi=hi)
+    np.minimum(out, out - q_u, out=out)        # [0, 2q) -> canonical
+    return out.astype(np.int64)
+
+
 def pointwise_mul_shoup(poly: RnsPolynomial,
                         table: tuple[np.ndarray, np.ndarray]
                         ) -> RnsPolynomial:
@@ -344,21 +388,9 @@ def pointwise_mul_shoup(poly: RnsPolynomial,
     ``poly.pointwise_mul(frozen_operand)``; the caller is responsible
     for the two operands being in the same domain.
     """
-    s_u, s_sh = table
-    if s_u.shape != poly.data.shape:
-        raise ValueError(
-            f"frozen table shape {s_u.shape} does not match "
-            f"polynomial shape {poly.data.shape}")
-    q_u = poly.basis.q_col.astype(np.uint64)
-    shape = poly.data.shape
-    x = scratch("pmul_x", shape)
-    hi = scratch("pmul_hi", shape)
-    out = scratch("pmul_out", shape)
-    np.copyto(x, poly.data, casting="unsafe")
-    shoup_mul_lazy(x, s_u, s_sh, q_u, out=out, hi=hi)
-    np.minimum(out, out - q_u, out=out)        # [0, 2q) -> canonical
-    return RnsPolynomial(poly.basis, out.astype(np.int64),
-                         is_ntt=poly.is_ntt)
+    out = pointwise_mul_shoup_stacked(poly.data, table,
+                                      poly.basis.q_col)
+    return RnsPolynomial(poly.basis, out, is_ntt=poly.is_ntt)
 
 
 def pointwise_mac_shoup(polys, tables, basis: RnsBasis, *,

@@ -107,13 +107,27 @@ class CkksBootstrapper:
 
         After the raise the underlying plaintext is ``m + q0 * I`` with
         a small integer polynomial ``I`` (bounded by the secret's
-        1-norm), which EvalMod later removes.
+        1-norm), which EvalMod later removes.  On the stacked
+        evaluator both halves lift through one broadcast decomposition
+        and a single ``(2(L+1), N)`` forward NTT.
         """
         ctx = self.context
         if ct.level != 0:
             ct = self.ev.drop_level(ct, 0)
         q0 = ct.basis.primes[0]
         top = ctx.q_basis(ctx.max_level)
+
+        if self.ev.stacked:
+            pair = ct.pair()
+            if ct.is_ntt:
+                pair = self.ev._pair_engine(ct.basis).inverse(pair)
+            # Level 0 means one limb per half: rows [0] is c0, [1] c1.
+            centred = np.where(pair > q0 // 2, pair - q0, pair)
+            lifted = (centred[:, None, :] % top.q_col).reshape(
+                2 * len(top), ct.n)
+            raised = self.ev._pair_engine(top).forward(lifted)
+            return Ciphertext.from_pair(top, raised, ct.scale,
+                                        is_ntt=True)
 
         def raise_poly(poly: RnsPolynomial) -> RnsPolynomial:
             coeffs = np.asarray(poly.to_coeff().data[0], dtype=np.int64)

@@ -106,6 +106,10 @@ class SwitchingKey:
     #: Lazily built Shoup companions (keys are static, so the one-off
     #: precompute pays for itself after the first key switch).
     _shoup: tuple | None = field(default=None, repr=False, compare=False)
+    #: Level-restricted digit-stacked tables keyed by ``(count, rows)``
+    #: (see :meth:`stacked_tables`); also static per key.
+    _stacked: dict = field(default_factory=dict, repr=False,
+                           compare=False)
 
     @property
     def dnum(self) -> int:
@@ -118,6 +122,30 @@ class SwitchingKey:
             self._shoup = ([shoup_precompute(p) for p in self.b],
                            [shoup_precompute(p) for p in self.a])
         return self._shoup
+
+    def stacked_tables(self, count: int, rows: tuple[int, ...]) -> tuple:
+        """Digit-stacked Shoup tables for the evaluator's one-pass MAC.
+
+        Restricts the first ``count`` digits of ``b`` and ``a`` to the
+        key-basis ``rows`` (a level's ``q_0..q_l + P`` selection) and
+        concatenates them along the limb axis, so the whole key MAC is
+        one ``(count*len(rows), N)`` Shoup multiply per accumulator.
+        Cached per ``(count, rows)`` — keys are static and the level
+        set a workload touches is small.
+        """
+        key = (count, rows)
+        hit = self._stacked.get(key)
+        if hit is None:
+            idx = np.asarray(rows, dtype=np.intp)
+            b_tables, a_tables = self.shoup_tables()
+
+            def stack(tables):
+                return (np.concatenate([t[0][idx] for t in tables[:count]]),
+                        np.concatenate([t[1][idx] for t in tables[:count]]))
+
+            hit = (stack(b_tables), stack(a_tables))
+            self._stacked[key] = hit
+        return hit
 
 
 @dataclass

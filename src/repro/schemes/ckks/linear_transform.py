@@ -7,6 +7,12 @@ are exactly the "normal MULT and ADD behind long iNTT-BConv-NTT chains"
 the paper's section III analysis identifies as 77.6% of non-BConv
 arithmetic, and they power CoeffToSlot/SlotToCoeff in bootstrapping,
 HELR's gradient computation, and ResNet's convolutions.
+
+Everything routes through the pair-stacked evaluator ops: the hoisted
+baby rotations share one stacked digit lift, each diagonal term is a
+single ``(2L, N)`` Shoup multiply against the plaintext's doubled
+frozen tables, and the accumulating adds are one batched expression
+per pair.
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ ciphertext-ciphertext product happens between operands aligned to the
 same level at scale ``S[level]`` (using
 :meth:`CkksEvaluator.rescale_to`), so additions never mix mismatched
 scales and no precision is lost to scale drift.
+
+The multiply/rescale ladder rides the pair-stacked evaluator: every
+``rescale``/``rescale_to`` in the power tree is a single ``(2L, N)``
+iNTT/NTT round trip and every relinearization consumes the stacked
+key-switch pipeline, which is where the deep EvalMod trees spend their
+time.
 """
 
 from __future__ import annotations

@@ -7,6 +7,10 @@ Two halves, like every workload in this repository:
   samples packed block-wise into slots.  The paper reports 96.67%
   inference accuracy after 30 iterations; the test suite checks our
   encrypted training tracks plaintext training on synthetic data.
+  Every gradient step runs on the stacked ciphertext-pair evaluator
+  (one ``(2L, N)`` kernel per multiply/rescale/rotation), so the
+  training loop embeds the same call shapes the paper's accelerator
+  pipelines.
 * :func:`helr_workload` — the paper-scale IR generator for Table VII:
   HELR starts at level 23 and performs 256-slot bootstrapping every two
   iterations (Table III row 2).

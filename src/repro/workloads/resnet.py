@@ -83,19 +83,26 @@ class HomomorphicConv2d:
     def apply(self, ct: Ciphertext, kernel: np.ndarray) -> Ciphertext:
         kh, kw = kernel.shape
         ev, ctx = self.ev, self.ctx
-        acc: Ciphertext | None = None
+        taps = []
         for di in range(-(kh // 2), kh // 2 + 1):
             for dj in range(-(kw // 2), kw // 2 + 1):
                 weight = float(kernel[di + kh // 2, dj + kw // 2])
-                if weight == 0.0:
-                    continue
-                step = di * self.w + dj
-                rotated = ct if step == 0 else ev.rotate(ct, step)
-                pt = ctx.encode(self._tap_mask(di, dj, weight),
-                                level=rotated.level,
-                                scale=float(rotated.basis.primes[-1]))
-                term = ev.multiply_plain(rotated, pt)
-                acc = term if acc is None else ev.add(acc, term)
+                if weight != 0.0:
+                    taps.append((di, dj, weight, di * self.w + dj))
+        if not taps:
+            raise ValueError("kernel has no non-zero taps")
+        # All taps rotate the same ciphertext: hoist the rotations so
+        # the decompose/ModUp/NTT of c1 (one stacked digit lift) is
+        # shared and each tap costs one automorphism gather + key MAC.
+        rotated = ev.rotate_hoisted(ct, sorted({t[3] for t in taps}))
+        acc: Ciphertext | None = None
+        for di, dj, weight, step in taps:
+            ct_r = rotated[step]
+            pt = ctx.encode(self._tap_mask(di, dj, weight),
+                            level=ct_r.level,
+                            scale=float(ct_r.basis.primes[-1]))
+            term = ev.multiply_plain(ct_r, pt)
+            acc = term if acc is None else ev.add(acc, term)
         assert acc is not None
         return ev.rescale(acc)
 

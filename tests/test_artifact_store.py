@@ -23,6 +23,8 @@ from repro.compiler.pipeline import (
 )
 from repro.core.config import ASIC_EFFACT
 from repro.exp.store import (
+    DEFAULT_MAX_BYTES,
+    ENV_STORE_MAX_BYTES,
     SCHEMA_VERSION,
     ArtifactStore,
     active_store,
@@ -123,6 +125,80 @@ def test_eviction_under_size_bound(tmp_path):
     # The survivor is the most recently written point.
     last_opts = CompileOptions(sram_bytes=1024 * 4)
     assert store.get_sim("fp", last_opts, CONFIG) == result
+
+
+def test_eviction_deterministic_under_identical_mtimes(tmp_path):
+    """Coarse-mtime regression: writes and hit re-touches that land in
+    one filesystem timestamp tick must still evict in true LRU order
+    via the sequence journal persisted next to the entries — not in
+    arbitrary path order, and not forgetting a same-tick re-touch."""
+    store = ArtifactStore(tmp_path, max_bytes=2 ** 30)
+    result = SimulationResult(
+        config_name="c", program_name="p", cycles=1, freq_ghz=0.5,
+        instructions=1, dram_bytes=0)
+    opts = [CompileOptions(sram_bytes=1024 * (i + 1)) for i in range(4)]
+    for o in opts:
+        store.put_sim("fp", o, CONFIG, result)
+    # A hit re-touch makes the oldest entry the most recent.
+    assert store.get_sim("fp", opts[0], CONFIG) == result
+    # Simulate coarse mtime granularity: every entry shares one tick.
+    stamp = 1_700_000_000
+    for entry in store._entries():
+        os.utime(entry, (stamp, stamp))
+    sizes = {p.name: p.stat().st_size for p in store._entries()}
+    expected = {store._sim_path(store.sim_key("fp", o, CONFIG)).name
+                for o in (opts[0], opts[3])}
+    # A fresh instance must see the persisted access order (the journal
+    # rides the store, not the process).
+    reopened = ArtifactStore(tmp_path,
+                             max_bytes=sum(sizes[n] for n in expected))
+    reopened._evict()
+    survivors = {p.name for p in reopened._entries()}
+    assert survivors == expected, \
+        "eviction must follow recorded access order, oldest first"
+    assert reopened.stats.evictions == 2
+
+
+def test_lru_journal_merges_across_instances(tmp_path):
+    """Parallel sweep workers each hold their own store instance and
+    rewrite the shared journal; merge-on-save must keep every
+    instance's touches instead of last-writer-wins dropping them."""
+    result = SimulationResult(
+        config_name="c", program_name="p", cycles=1, freq_ghz=0.5,
+        instructions=1, dram_bytes=0)
+    opts = [CompileOptions(sram_bytes=1024 * (i + 1)) for i in range(3)]
+    worker_a = ArtifactStore(tmp_path, max_bytes=2 ** 30)
+    worker_b = ArtifactStore(tmp_path, max_bytes=2 ** 30)
+    worker_a.put_sim("fp", opts[0], CONFIG, result)
+    worker_b.put_sim("fp", opts[1], CONFIG, result)   # b never saw a's
+    worker_a.put_sim("fp", opts[2], CONFIG, result)   # a never saw b's
+    fresh = ArtifactStore(tmp_path, max_bytes=2 ** 30)
+    names = {fresh._sim_path(fresh.sim_key("fp", o, CONFIG)).name
+             for o in opts}
+    assert names <= set(fresh._lru_seq), \
+        "journal lost another worker's touches"
+
+
+def test_max_bytes_env_is_validated(tmp_path, monkeypatch):
+    """A malformed REPRO_STORE_MAX_BYTES fails at store construction
+    with a message naming the variable, not as a bare int() error deep
+    inside a sweep; an explicit bound bypasses the environment."""
+    monkeypatch.setenv(ENV_STORE_MAX_BYTES, "four-gigs")
+    with pytest.raises(ValueError, match=ENV_STORE_MAX_BYTES):
+        ArtifactStore(tmp_path / "a")
+    monkeypatch.setenv(ENV_STORE_MAX_BYTES, "-5")
+    with pytest.raises(ValueError, match="non-negative"):
+        ArtifactStore(tmp_path / "b")
+    assert ArtifactStore(tmp_path / "c", max_bytes=7).max_bytes == 7
+    monkeypatch.setenv(ENV_STORE_MAX_BYTES, "12345")
+    assert ArtifactStore(tmp_path / "d").max_bytes == 12345
+
+
+def test_max_bytes_env_empty_string_warns(tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_STORE_MAX_BYTES, "   ")
+    with pytest.warns(UserWarning, match=ENV_STORE_MAX_BYTES):
+        store = ArtifactStore(tmp_path)
+    assert store.max_bytes == DEFAULT_MAX_BYTES
 
 
 def test_large_bound_keeps_everything(tmp_path):

@@ -1,0 +1,314 @@
+"""Stacked ciphertext-pair evaluator vs the legacy per-polynomial path.
+
+Every CKKS operation must be *bitwise* identical between
+``CkksEvaluator(stacked=True)`` (the default: one ``(2L, N)`` kernel
+per pair, stacked digit lifts, pair BConv) and ``stacked=False`` (the
+per-polynomial reference).  The property tests run random ciphertexts
+across several levels; golden-vector tests pin stacked rotate/rescale
+outputs on a self-contained deterministic context so a silent numeric
+change cannot hide behind a matching bug in both paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.nttmath.batched import get_plan, get_stacked_plan
+from repro.rns.poly import RnsPolynomial, stacked_engine, stacked_transform
+from repro.schemes.ckks import (
+    Ciphertext,
+    CkksBootstrapper,
+    CkksContext,
+    CkksEvaluator,
+    CkksParams,
+    Encryptor,
+    KeyGenerator,
+)
+
+SCALE = float(2 ** 25)
+LEVELS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def legacy(ckks_small) -> CkksEvaluator:
+    return CkksEvaluator(ckks_small.ctx, ckks_small.keys, stacked=False)
+
+
+def _random_ct(ckks, rng, level: int) -> Ciphertext:
+    """A uniformly random NTT-domain ciphertext at ``level`` (bitwise
+    differential tests need arbitrary residues, not just encryptions)."""
+    basis = ckks.ctx.q_basis(level)
+    n = ckks.ctx.n
+    return Ciphertext(
+        c0=RnsPolynomial.random_uniform(basis, n, rng).to_ntt(),
+        c1=RnsPolynomial.random_uniform(basis, n, rng).to_ntt(),
+        scale=SCALE)
+
+
+def _assert_same(a: Ciphertext, b: Ciphertext, what: str) -> None:
+    assert np.array_equal(a.c0.data, b.c0.data), f"{what}: c0 differs"
+    assert np.array_equal(a.c1.data, b.c1.data), f"{what}: c1 differs"
+    assert a.scale == b.scale, f"{what}: scale differs"
+    assert a.basis == b.basis, f"{what}: basis differs"
+
+
+def test_stacked_is_the_default(ckks_small):
+    assert ckks_small.ev.stacked
+
+
+def test_pair_view_round_trip(ckks_small, rng):
+    """Stacking rebinds c0/c1 as zero-copy views of the pair."""
+    ct = _random_ct(ckks_small, rng, 2)
+    c0_before = ct.c0.data.copy()
+    pair = ct.pair()
+    assert pair.shape == (2 * len(ct.basis), ct.n)
+    assert np.shares_memory(ct.c0.data, pair)
+    assert np.shares_memory(ct.c1.data, pair)
+    assert np.array_equal(ct.c0.data, c0_before)
+    assert ct.pair() is pair                      # cached
+    clone = ct.copy()
+    assert not np.shares_memory(clone.pair(), pair)
+    _assert_same(clone, ct, "copy")
+
+
+def test_add_sub_negate_bitwise(ckks_small, legacy, rng):
+    ev = ckks_small.ev
+    for level in LEVELS:
+        x = _random_ct(ckks_small, rng, level)
+        y = _random_ct(ckks_small, rng, level)
+        _assert_same(ev.add(x, y), legacy.add(x, y), f"add@{level}")
+        _assert_same(ev.sub(x, y), legacy.sub(x, y), f"sub@{level}")
+        _assert_same(ev.negate(x), legacy.negate(x), f"neg@{level}")
+
+
+def test_plain_ops_bitwise(ckks_small, legacy, rng):
+    ev = ckks_small.ev
+    for level in LEVELS:
+        ct = _random_ct(ckks_small, rng, level)
+        z = ckks_small.random_message(rng)
+        pt = ckks_small.ctx.encode(z, level=level, scale=SCALE)
+        _assert_same(ev.add_plain(ct, pt), legacy.add_plain(ct, pt),
+                     f"add_plain@{level}")
+        _assert_same(ev.sub_plain(ct, pt), legacy.sub_plain(ct, pt),
+                     f"sub_plain@{level}")
+        _assert_same(ev.multiply_plain(ct, pt),
+                     legacy.multiply_plain(ct, pt),
+                     f"multiply_plain@{level}")
+        _assert_same(ev.add_scalar(ct, 0.25 + 0.5j),
+                     legacy.add_scalar(ct, 0.25 + 0.5j),
+                     f"add_scalar@{level}")
+
+
+def test_scalar_ops_bitwise(ckks_small, legacy, rng):
+    ev = ckks_small.ev
+    for level in LEVELS:
+        ct = _random_ct(ckks_small, rng, level)
+        _assert_same(ev.multiply_int(ct, 7), legacy.multiply_int(ct, 7),
+                     f"multiply_int@{level}")
+        _assert_same(ev.multiply_scalar(ct, -1.75),
+                     legacy.multiply_scalar(ct, -1.75),
+                     f"multiply_scalar@{level}")
+
+
+def test_multiply_relin_rescale_bitwise(ckks_small, legacy, rng):
+    ev = ckks_small.ev
+    for level in LEVELS:
+        x = _random_ct(ckks_small, rng, level)
+        y = _random_ct(ckks_small, rng, level)
+        t3s = ev.multiply_no_relin(x, y)
+        t3l = legacy.multiply_no_relin(x, y)
+        for name in ("d0", "d1", "d2"):
+            assert np.array_equal(getattr(t3s, name).data,
+                                  getattr(t3l, name).data), \
+                f"multiply_no_relin {name}@{level}"
+        prod_s = ev.multiply(x, y)
+        prod_l = legacy.multiply(x, y)
+        _assert_same(prod_s, prod_l, f"multiply@{level}")
+        if level >= 1:
+            _assert_same(ev.rescale(prod_s), legacy.rescale(prod_l),
+                         f"rescale@{level}")
+
+
+def test_rescale_coeff_domain_bitwise(ckks_small, legacy, rng):
+    """Rescaling a coefficient-domain ciphertext takes the stacked
+    pair's full iNTT-free path (``rescale_last_pair``) and must match
+    the legacy round trip (which also lands in the NTT domain)."""
+    ev = ckks_small.ev
+    basis = ckks_small.ctx.q_basis(3)
+    n = ckks_small.ctx.n
+    ct = Ciphertext(c0=RnsPolynomial.random_uniform(basis, n, rng),
+                    c1=RnsPolynomial.random_uniform(basis, n, rng),
+                    scale=SCALE)
+    _assert_same(ev.rescale(ct), legacy.rescale(ct), "rescale-coeff")
+
+
+def test_rescale_to_and_drop_level_bitwise(ckks_small, legacy, rng):
+    ev = ckks_small.ev
+    ct = _random_ct(ckks_small, rng, 3)
+    for level in (2, 1):
+        _assert_same(ev.drop_level(ct, level),
+                     legacy.drop_level(ct, level), f"drop@{level}")
+        _assert_same(ev.rescale_to(ct, level, SCALE),
+                     legacy.rescale_to(ct, level, SCALE),
+                     f"rescale_to@{level}")
+
+
+def test_key_switch_bitwise(ckks_small, legacy, rng):
+    ev = ckks_small.ev
+    for level in LEVELS:
+        basis = ckks_small.ctx.q_basis(level)
+        d2 = RnsPolynomial.random_uniform(basis, ckks_small.ctx.n, rng)
+        ks_s = ev.key_switch(d2, ckks_small.keys.relin)
+        ks_l = legacy.key_switch(d2, ckks_small.keys.relin)
+        for got, want in zip(ks_s, ks_l):
+            assert np.array_equal(got.data, want.data), f"ks@{level}"
+            assert got.is_ntt and got.basis == basis
+
+
+def test_rotate_conjugate_bitwise(ckks_small, legacy, rng):
+    ev = ckks_small.ev
+    for level in LEVELS:
+        ct = _random_ct(ckks_small, rng, level)
+        for step in (1, 5, -2):
+            _assert_same(ev.rotate(ct, step), legacy.rotate(ct, step),
+                         f"rotate{step}@{level}")
+        _assert_same(ev.conjugate(ct), legacy.conjugate(ct),
+                     f"conjugate@{level}")
+
+
+def test_rotate_hoisted_bitwise(ckks_small, legacy, rng):
+    ev = ckks_small.ev
+    steps = [0, 1, 2, 5, -1]
+    for level in LEVELS:
+        ct = _random_ct(ckks_small, rng, level)
+        hoisted_s = ev.rotate_hoisted(ct, steps)
+        hoisted_l = legacy.rotate_hoisted(ct, steps)
+        assert hoisted_s.keys() == hoisted_l.keys()
+        for step in steps:
+            _assert_same(hoisted_s[step], hoisted_l[step],
+                         f"hoisted{step}@{level}")
+
+
+def test_rotate_hoisted_identity_steps_skip_the_lift(ckks_small, rng,
+                                                    monkeypatch):
+    """Identity-only step lists (e.g. a 1x1 conv kernel) must not pay
+    the decompose+ModUp+NTT digit lift — it runs lazily on the first
+    non-identity step."""
+    ev = ckks_small.ev
+    ct = _random_ct(ckks_small, rng, 2)
+
+    def boom(*args, **kwargs):
+        raise AssertionError("digit lift ran for identity-only steps")
+
+    monkeypatch.setattr(ev, "_lift_digits_stacked", boom)
+    out = ev.rotate_hoisted(ct, [0])
+    _assert_same(out[0], ct, "identity hoisted rotation")
+
+
+def test_mod_raise_bitwise(ckks_deep, rng):
+    """Bootstrap ModRaise: stacked pair lift equals per-poly lift."""
+    ev_l = CkksEvaluator(ckks_deep.ctx, ckks_deep.keys, stacked=False)
+    boot_s = CkksBootstrapper(ckks_deep.ctx, ckks_deep.ev)
+    boot_l = CkksBootstrapper(ckks_deep.ctx, ev_l)
+    ct = _random_ct(ckks_deep, rng, 0)
+    _assert_same(boot_s.mod_raise(ct), boot_l.mod_raise(ct), "mod_raise")
+
+
+# ----------------------------------------------------------------------
+# Stacked transform machinery (the rns/nttmath layer underneath)
+# ----------------------------------------------------------------------
+def test_stacked_transform_mixed_bases(ckks_small, rng):
+    """k polynomials over different prefix/ext bases transform in one
+    pass, bitwise identical to per-polynomial transforms, and the
+    outputs are views of one stack."""
+    ctx = ckks_small.ctx
+    bases = [ctx.q_basis(1), ctx.q_basis(3), ctx.ext_basis(2),
+             ctx.q_basis(3)]
+    polys = [RnsPolynomial.random_uniform(b, ctx.n, rng) for b in bases]
+    stacked = stacked_transform(polys, forward=True)
+    for got, poly in zip(stacked, polys):
+        assert np.array_equal(got.data, poly.to_ntt().data)
+        assert got.is_ntt
+    back = stacked_transform(stacked, forward=False)
+    for got, poly in zip(back, polys):
+        assert np.array_equal(got.data, poly.data)
+
+
+def test_stacked_plan_reuses_donor_tables(ckks_small):
+    """The stacked engine's twiddles are gathered from the union-chain
+    plan, never rebuilt — prefix slices stay zero-copy."""
+    ctx = ckks_small.ctx
+    basis = ctx.q_basis(3)
+    donor = get_plan(ctx.n, basis.primes)
+    plan = get_stacked_plan(ctx.n, (basis.primes, basis.primes))
+    assert plan.primes == basis.primes * 2
+    assert get_stacked_plan(ctx.n, (basis.primes, basis.primes)) is plan
+    engine = plan.ntt
+    assert engine.primes == basis.primes * 2
+    assert np.array_equal(engine._psi_u[:len(basis)],
+                          donor.ntt._psi_u[:len(basis)])
+
+
+def test_stacked_engine_transform_and_automorphism(ckks_small, rng):
+    ctx = ckks_small.ctx
+    basis = ctx.q_basis(2)
+    eng = stacked_engine(ctx.n, (basis, basis))
+    single = get_plan(ctx.n, basis.primes).ntt
+    limbs = len(basis)
+    data = np.concatenate([
+        RnsPolynomial.random_uniform(basis, ctx.n, rng).data
+        for _ in range(2)])
+    fwd = eng.forward(data)
+    assert np.array_equal(fwd[:limbs], single.forward(data[:limbs]))
+    assert np.array_equal(fwd[limbs:], single.forward(data[limbs:]))
+    assert np.array_equal(eng.inverse(fwd), data)
+    out = np.empty_like(fwd)
+    res = eng.automorphism_ntt(fwd, 3, out=out)
+    assert res is out
+    assert np.array_equal(out[:limbs], single.automorphism_ntt(
+        fwd[:limbs], 3))
+
+
+# ----------------------------------------------------------------------
+# Golden vectors: self-contained deterministic context (the shared
+# session fixtures draw from one rng stream, so goldens pin their own)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def golden_ckks():
+    params = CkksParams(n=2 ** 7, levels=3, dnum=2, scale_bits=25,
+                        q0_bits=29, p_bits=30, seed=424242)
+    ctx = CkksContext(params)
+    keygen = KeyGenerator(ctx)
+    sk = keygen.gen_secret()
+    pk = keygen.gen_public(sk)
+    keys = keygen.gen_keychain(sk, rotations=[1, 3])
+    enc = Encryptor(ctx, pk)
+    ev = CkksEvaluator(ctx, keys)
+    slots = params.slots
+    z = (np.linspace(-1.0, 1.0, slots)
+         + 1j * np.linspace(1.0, -1.0, slots))
+    ct = enc.encrypt(ctx.encode(z))
+    return ev, ct
+
+
+def _digest(ct: Ciphertext) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(ct.c0.data).tobytes())
+    h.update(np.ascontiguousarray(ct.c1.data).tobytes())
+    return h.hexdigest()[:16]
+
+
+def test_golden_stacked_rotate(golden_ckks):
+    ev, ct = golden_ckks
+    assert _digest(ev.rotate(ct, 1)) == "7f797a5931d5e69b"
+    assert _digest(ev.rotate(ct, 3)) == "513609594a5edb26"
+
+
+def test_golden_stacked_rescale(golden_ckks):
+    ev, ct = golden_ckks
+    prod = ev.rescale(ev.multiply(ct, ct))
+    assert _digest(prod) == "685b11f2d10d7ed7"
+    assert prod.level == ct.level - 1

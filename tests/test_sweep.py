@@ -96,6 +96,44 @@ def test_parallel_cold_sweep_matches_serial(tmp_path):
         assert a.same_outcome(b), (a.label, b.label)
 
 
+def test_spawn_sweep_resolves_registered_factories(tmp_path):
+    """Under an explicit ``spawn`` start method the workers re-import
+    the module and see only built-in factories; the pool initializer
+    must ship the caller's registry or every registered-spec point
+    dies with an unregistered-spec error (the pre-fix behavior of the
+    silent ``methods[0]`` fallback platforms)."""
+    spec = SweepSpec(
+        name="spawn",
+        workloads=(WorkloadSpec.make("tiny", levels=4, diag=3),),
+        variants=_variants(2))
+    serial = run_sweep(spec)
+    parallel = run_sweep(spec, jobs=2, store=tmp_path / "s",
+                         start_method="spawn")
+    assert [p.index for p in parallel.points] == [0, 1]
+    for a, b in zip(serial.points, parallel.points):
+        assert a.same_outcome(b), (a.label, b.label)
+
+
+def test_start_method_env_override(tmp_path, monkeypatch):
+    """REPRO_SWEEP_START_METHOD drives the pool context (the CI spawn
+    job sets it); unknown methods fail loudly instead of silently
+    falling back."""
+    from repro.exp.sweep import ENV_START_METHOD, _pool_context
+
+    monkeypatch.setenv(ENV_START_METHOD, "spawn")
+    assert _pool_context().get_start_method() == "spawn"
+    monkeypatch.setenv(ENV_START_METHOD, "warp-drive")
+    with pytest.raises(ValueError, match="warp-drive"):
+        _pool_context()
+    spec = SweepSpec(
+        name="env-spawn",
+        workloads=(WorkloadSpec.make("tiny", levels=4, diag=3),),
+        variants=_variants(1))
+    monkeypatch.setenv(ENV_START_METHOD, "spawn")
+    result = run_sweep(spec, jobs=2, store=tmp_path / "s")
+    assert len(result.points) == 1
+
+
 def test_parallel_needs_declarative_workloads():
     spec = SweepSpec(name="bad", workloads=(_tiny_workload(),),
                      variants=_variants(2))
