@@ -57,6 +57,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="exit 1 unless the sweep executed zero "
                           "compiles and zero simulations (CI check "
                           "that the store served every point)")
+    run.add_argument("--fresh-spec", action="store_true",
+                     help="skip the store's sweep-grid resumption "
+                          "check and record this run's grid as the "
+                          "new canonical one")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-point progress lines")
 
@@ -78,6 +82,7 @@ def _cmd_run(args) -> int:
               f"({state})", flush=True)
 
     callback = None if args.quiet else progress
+    verify_spec = not args.fresh_spec
     if args.scenario == "sweep":
         if not args.workload or not args.config:
             print("run sweep needs at least one --workload and one "
@@ -85,11 +90,13 @@ def _cmd_run(args) -> int:
             return 2
         report = runner.run_generic(
             args.workload, args.config, n=args.n, detail=args.detail,
-            jobs=args.jobs, store=args.store, progress=callback)
+            jobs=args.jobs, store=args.store, progress=callback,
+            verify_spec=verify_spec)
     else:
         report = SCENARIOS[args.scenario](
             n=args.n, detail=args.detail, jobs=args.jobs,
-            store=args.store, progress=callback)
+            store=args.store, progress=callback,
+            verify_spec=verify_spec)
 
     sweep = report.sweep
     print()

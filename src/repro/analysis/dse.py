@@ -77,7 +77,7 @@ def sram_sweep(workload: Workload, base_config: HardwareConfig,
     spec = SweepSpec(name="fig4", workloads=(workload,),
                      variants=sram_variants(base_config, sizes_mb),
                      use_cache=use_cache)
-    result = run_sweep(spec, jobs=jobs)
+    result = run_sweep(spec, jobs=jobs, verify_spec=False)
     return [dse_point(point, size_mb)
             for point, size_mb in zip(result.points, sizes_mb)]
 

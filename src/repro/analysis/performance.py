@@ -90,7 +90,7 @@ def simulate_effact(config: HardwareConfig, *, n: int | None = None,
     spec = SweepSpec(name="tab7",
                      workloads=table7_workloads(n=n, detail=detail),
                      variants=(Variant(label=config.name, config=config),))
-    result = run_sweep(spec, jobs=jobs)
+    result = run_sweep(spec, jobs=jobs, verify_spec=False)
     return performance_row(config.name, result.points)
 
 
@@ -133,7 +133,7 @@ def table7(*, n: int | None = None, detail: float = 1.0,
                      workloads=table7_workloads(n=n, detail=detail),
                      variants=tuple(Variant(label=c.name, config=c)
                                     for c in configs))
-    result = run_sweep(spec, jobs=jobs)
+    result = run_sweep(spec, jobs=jobs, verify_spec=False)
     rows.extend(fold_table7_rows(result.points,
                                  [c.name for c in configs]))
     return rows

@@ -59,5 +59,5 @@ def figure10(workloads: list[Workload],
     spec = SweepSpec(name="fig10", workloads=tuple(workloads),
                      variants=scaling_variants(configs),
                      use_cache=use_cache)
-    result = run_sweep(spec, jobs=jobs)
+    result = run_sweep(spec, jobs=jobs, verify_spec=False)
     return scale_points(result.points, len(configs))

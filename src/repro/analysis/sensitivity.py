@@ -94,4 +94,4 @@ def figure11(workload: Workload,
     spec = SweepSpec(name="fig11", workloads=(workload,),
                      variants=ladder_variants(config),
                      use_cache=use_cache)
-    return ladder_steps(run_sweep(spec, jobs=jobs).points)
+    return ladder_steps(run_sweep(spec, jobs=jobs, verify_spec=False).points)

@@ -465,6 +465,20 @@ class HeLowering:
               for j, (a, b) in enumerate(zip(rc0, ks0))]
         return CtHandle(c0=c0, c1=ks1, level=ct.level)
 
+    def conjugate(self, ct: CtHandle) -> CtHandle:
+        """Complex conjugation / orbit swap: the automorphism
+        ``x -> x^-1`` (imm ``-1``) plus a key switch with the dedicated
+        conjugation key — the same residue-level shape as HROT."""
+        key = self.switching_key("conjugation")
+        rc0 = [self._auto(v, -1, modulus=j)
+               for j, v in enumerate(ct.c0)]
+        rc1 = [self._auto(v, -1, modulus=j)
+               for j, v in enumerate(ct.c1)]
+        ks0, ks1 = self.key_switch(rc1, ct.level, key)
+        c0 = [self._mmad(a, b, modulus=j, tag=TAG_ADD)
+              for j, (a, b) in enumerate(zip(rc0, ks0))]
+        return CtHandle(c0=c0, c1=ks1, level=ct.level)
+
     def hoisted_rotations(self, ct: CtHandle,
                           steps: list[int]) -> dict[int, CtHandle]:
         """Hoisting: decompose/ModUp/NTT shared across steps, one

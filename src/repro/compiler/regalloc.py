@@ -307,22 +307,12 @@ def allocate_packed(packed: PackedProgram, *, sram_bytes: int,
     peak = int(live[alloc_per_row > 0].max()) if alloc_rows.size else 0
 
     if peak > slot_count:
-        # Spilling run: defer to the reference linear scan.
-        program = packed.to_program()
-        stats = allocate(program, sram_bytes=sram_bytes,
-                         forward_window=forward_window,
-                         reserve_slots=reserve_slots)
-        repacked = PackedProgram.from_program(program)
-        for attr in ("op", "dest", "srcs", "n_srcs", "modulus", "imm",
-                     "tag_id", "streaming", "val_origin", "val_address",
-                     "outputs"):
-            setattr(packed, attr, getattr(repacked, attr))
-        packed.tags = repacked.tags
-        packed._tag_index = repacked._tag_index
-        packed.val_names = repacked.val_names
-        packed.forwarded = repacked.forwarded
-        packed.slot_of = repacked.slot_of
-        return stats
+        # Spilling run: the columnar linear scan (bit-identical to the
+        # reference `allocate`, pinned by tests/test_regalloc.py).
+        return _allocate_spill_packed(
+            packed, slot_count=slot_count, limb_bytes=limb_bytes,
+            slotless=slotless, forwarded=forwarded, uses_cnt=uses_cnt,
+            def_row=def_row)
 
     # No-eviction fast path: instruction stream is untouched, traffic
     # statistics are pure column counts.
@@ -361,3 +351,236 @@ def allocate_packed(packed: PackedProgram, *, sram_bytes: int,
             ai += 1
     packed.slot_of = slot_of
     return stats
+
+
+def _allocate_spill_packed(packed: PackedProgram, *, slot_count: int,
+                           limb_bytes: int, slotless: np.ndarray,
+                           forwarded: np.ndarray, uses_cnt: np.ndarray,
+                           def_row: np.ndarray) -> AllocationStats:
+    """The spilling linear scan on packed columns (ROADMAP open item).
+
+    Replaces the old fallback — materialize every ``Instr``/``Value``
+    as Python objects, run the reference :func:`allocate`, repack — with
+    the same sequential eviction decisions driven by vectorized state:
+    use positions live in one CSR-style ``(starts, rows)`` pair instead
+    of per-value Python lists, cleanliness/def lookups are column
+    reads, and the rewritten instruction stream is assembled by
+    scattering the original columns around the (few) synthetic
+    LOAD/STOREs.  Spill maps, instruction streams and every statistic
+    are bit-identical to the reference scan, pinned by the forced-spill
+    differential in ``tests/test_regalloc.py``; only the Python-object
+    round trip is gone.
+    """
+    n = packed.num_instrs
+    nv = packed.num_values
+    INF = 1 << 60
+
+    # CSR use positions in (row, source-slot) order, exactly the order
+    # the reference builds its per-value lists in.
+    valid = packed.srcs >= 0
+    rows, _cols = np.nonzero(valid)
+    svals = packed.srcs[valid]
+    order = np.argsort(svals, kind="stable")
+    u_rows = rows[order].tolist()
+    starts = np.searchsorted(svals[order], np.arange(nv + 1)).tolist()
+    out_mask = np.zeros(nv, dtype=bool)
+    if len(packed.outputs):
+        out_mask[packed.outputs] = True
+    out_mask_l = out_mask.tolist()
+
+    origin_l = packed.val_origin.tolist()          # 0=compute else clean
+    def_row_l = def_row.tolist()
+    op_l = packed.op.tolist()
+    is_load_l = (packed.op == _LOAD_CODE).tolist()
+    streaming_l = packed.streaming.tolist()
+    dest_l = packed.dest.tolist()
+    modulus_l = packed.modulus.tolist()
+    n_srcs_l = packed.n_srcs.tolist()
+    srcs_rows = packed.srcs.tolist()
+    slotless_l = slotless.tolist()
+    has_use_l = (uses_cnt > 0).tolist()
+
+    stats = AllocationStats(slot_count=slot_count)
+    free_slots = list(range(slot_count - 1, -1, -1))
+    slot_of: dict[int, int] = {}
+    ptr = starts[:nv]                              # next-use cursors
+    spilled_dirty = [False] * nv
+    evicted = [False] * nv
+    victim_heap: list[tuple[int, int]] = []
+    clean_bonus = 1536
+
+    def next_use(vid: int, after: int) -> int:
+        p = ptr[vid]
+        end = starts[vid + 1]
+        while p < end and u_rows[p] < after:
+            p += 1
+        ptr[vid] = p
+        if p < end:
+            return u_rows[p]
+        return n if out_mask_l[vid] else INF
+
+    def is_clean(vid: int) -> bool:
+        if origin_l[vid] != 0 or spilled_dirty[vid]:
+            return True
+        pos = def_row_l[vid]
+        return pos >= 0 and is_load_l[pos]
+
+    #: Per-original-instruction synthetic ops, split by whether the
+    #: reference emitted them before (operand reloads + their
+    #: evictions) or after (destination-assignment evictions) the
+    #: instruction.  Entries: ("L", vid, modulus) or ("S", vid).
+    pre: dict[int, list] = {}
+    post: dict[int, list] = {}
+
+    def assign_slot(vid: int, idx: int, pinned: set[int],
+                    emit: list) -> None:
+        if free_slots:
+            slot_of[vid] = free_slots.pop()
+        else:
+            _evict(idx, pinned, emit)
+            slot_of[vid] = free_slots.pop()
+        stats.peak_slots_used = max(stats.peak_slots_used, len(slot_of))
+        key = next_use(vid, idx) + (clean_bonus if is_clean(vid) else 0)
+        heapq.heappush(victim_heap, (-key, vid))
+
+    def _evict(idx: int, pinned: set[int], emit: list) -> None:
+        deferred: list[tuple[int, int]] = []
+        try:
+            _evict_inner(idx, pinned, emit, deferred)
+        finally:
+            for entry in deferred:
+                heapq.heappush(victim_heap, entry)
+
+    def _evict_inner(idx: int, pinned: set[int], emit: list,
+                     deferred: list) -> None:
+        while victim_heap:
+            neg_nu, vid = heapq.heappop(victim_heap)
+            if vid not in slot_of:
+                continue
+            if vid in pinned:
+                deferred.append((neg_nu, vid))
+                continue
+            fresh = next_use(vid, idx) + (clean_bonus if is_clean(vid)
+                                          else 0)
+            if -neg_nu != fresh:
+                heapq.heappush(victim_heap, (-fresh, vid))
+                continue
+            free_slots.append(slot_of.pop(vid))
+            if next_use(vid, idx) < INF:
+                pos = def_row_l[vid]
+                remat = pos >= 0 and is_load_l[pos]
+                if remat or origin_l[vid] != 0 or spilled_dirty[vid]:
+                    evicted[vid] = True
+                else:
+                    emit.append(("S", vid))
+                    stats.spill_stores += 1
+                    stats.dram_store_bytes += limb_bytes
+                    spilled_dirty[vid] = True
+                    evicted[vid] = True
+            return
+        raise OutOfSlotsError("all SRAM slots pinned by one instruction")
+
+    for idx in range(n):
+        pinned: set[int] = set()
+        cur = srcs_rows[idx][:n_srcs_l[idx]]
+        for s in cur:
+            if slotless_l[s] or origin_l[s] != 0:
+                continue
+            if s in slot_of:
+                pinned.add(s)
+                continue
+            if evicted[s]:
+                evicted[s] = False
+                if spilled_dirty[s]:
+                    stats.spill_reloads += 1
+                else:
+                    stats.remat_reloads += 1
+                stats.dram_load_bytes += limb_bytes
+                emit = pre.setdefault(idx, [])
+                emit.append(("L", s, modulus_l[idx]))
+                assign_slot(s, idx, pinned, emit)
+                pinned.add(s)
+                continue
+            raise ValueError(f"operand {s} neither resident nor spilled")
+        if is_load_l[idx]:
+            stats.dram_load_bytes += limb_bytes
+            if streaming_l[idx]:
+                stats.streaming_loads += 1
+        elif op_l[idx] == _STORE_CODE:
+            stats.dram_store_bytes += limb_bytes
+        for s in cur:
+            if s in slot_of and next_use(s, idx + 1) >= INF:
+                free_slots.append(slot_of.pop(s))
+        d = dest_l[idx]
+        if d >= 0 and not slotless_l[d] and (has_use_l[d]
+                                             or out_mask_l[d]):
+            assign_slot(d, idx, pinned | {d}, post.setdefault(idx, []))
+
+    stats.forwarded_values = int(np.count_nonzero(slotless & forwarded))
+    packed.slot_of = slot_of
+    _scatter_spill_stream(packed, pre, post)
+    return stats
+
+
+def _scatter_spill_stream(packed: PackedProgram, pre: dict[int, list],
+                          post: dict[int, list]) -> None:
+    """Rebuild the instruction columns with the synthetic LOAD/STOREs
+    scattered around the originals (pre entries before row ``idx``,
+    post entries after), without materializing ``Instr`` objects."""
+    if not pre and not post:
+        return
+    n = packed.num_instrs
+    width = packed.srcs.shape[1]
+    pre_cnt = np.zeros(n, dtype=np.int64)
+    post_cnt = np.zeros(n, dtype=np.int64)
+    for idx, entries in pre.items():
+        pre_cnt[idx] = len(entries)
+    for idx, entries in post.items():
+        post_cnt[idx] = len(entries)
+    ends = np.cumsum(1 + pre_cnt + post_cnt)
+    orig_pos = ends - post_cnt - 1
+    total = int(ends[-1])
+
+    op = np.zeros(total, dtype=np.int16)
+    dest = np.full(total, -1, dtype=np.int64)
+    srcs = np.full((total, width), -1, dtype=np.int64)
+    n_srcs = np.zeros(total, dtype=np.int64)
+    modulus = np.zeros(total, dtype=np.int64)
+    imm = np.zeros(total, dtype=np.int64)
+    tag_id = np.zeros(total, dtype=np.int16)
+    streaming = np.zeros(total, dtype=bool)
+
+    op[orig_pos] = packed.op
+    dest[orig_pos] = packed.dest
+    srcs[orig_pos] = packed.srcs
+    n_srcs[orig_pos] = packed.n_srcs
+    modulus[orig_pos] = packed.modulus
+    imm[orig_pos] = packed.imm
+    tag_id[orig_pos] = packed.tag_id
+    streaming[orig_pos] = packed.streaming
+
+    mem_tag = packed.tag_code("mem")
+    for idx_map, base_of in ((pre, lambda i: orig_pos[i] - pre_cnt[i]),
+                             (post, lambda i: orig_pos[i] + 1)):
+        for idx, entries in idx_map.items():
+            row = int(base_of(idx))
+            for entry in entries:
+                if entry[0] == "L":
+                    op[row] = _LOAD_CODE
+                    dest[row] = entry[1]
+                    modulus[row] = entry[2]
+                else:
+                    op[row] = _STORE_CODE
+                    srcs[row, 0] = entry[1]
+                    n_srcs[row] = 1
+                tag_id[row] = mem_tag
+                row += 1
+
+    packed.op = op
+    packed.dest = dest
+    packed.srcs = srcs
+    packed.n_srcs = n_srcs
+    packed.modulus = modulus
+    packed.imm = imm
+    packed.tag_id = tag_id
+    packed.streaming = streaming

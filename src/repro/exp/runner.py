@@ -58,6 +58,16 @@ NAMED_CONFIGS: dict[str, HardwareConfig] = {
 PAPER_N = 2 ** 16
 
 
+def _spec_name(base: str, **params) -> str:
+    """Sweep-spec name including the parameterization, so the store's
+    resumption check compares like with like: ``fig4`` at ``--n 4096``
+    and at ``--n 8192`` are different grids with different names, not a
+    mismatch.  Defaults are elided to keep the common name short."""
+    parts = [f"{k}={v}" for k, v in sorted(params.items())
+             if v is not None and v != 1.0]
+    return f"{base}[{','.join(parts)}]" if parts else base
+
+
 @dataclass
 class ScenarioReport:
     """What one scenario hands back to the CLI."""
@@ -84,7 +94,7 @@ def fig4_spec(*, n: int | None = None, detail: float = 1.0,
         scale = 1.0 if n is None else n / PAPER_N
         sizes_mb = tuple(mb * scale for mb in DEFAULT_SWEEP_MB)
     spec = SweepSpec(
-        name="fig4",
+        name=_spec_name("fig4", n=n, detail=detail),
         workloads=(WorkloadSpec.make("bootstrap",
                                      **_workload_kwargs(n, detail)),),
         variants=sram_variants(ASIC_EFFACT, sizes_mb))
@@ -93,9 +103,10 @@ def fig4_spec(*, n: int | None = None, detail: float = 1.0,
 
 def run_fig4(*, n: int | None = None, detail: float = 1.0, jobs: int = 1,
              store: "ArtifactStore | str | None" = None,
-             progress=None) -> ScenarioReport:
+             progress=None, verify_spec: bool = True) -> ScenarioReport:
     spec, sizes_mb = fig4_spec(n=n, detail=detail)
-    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress)
+    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress,
+                      verify_spec=verify_spec)
     points = [dse_point(p, mb) for p, mb in zip(sweep.points, sizes_mb)]
     knee = knee_point(points)
     table = format_table(
@@ -119,7 +130,7 @@ def fig10_spec(*, n: int | None = None,
                detail: float = 1.0) -> SweepSpec:
     kwargs = _workload_kwargs(n, detail)
     return SweepSpec(
-        name="fig10",
+        name=_spec_name("fig10", n=n, detail=detail),
         workloads=(WorkloadSpec.make("bootstrap", **kwargs),
                    WorkloadSpec.make("helr", **kwargs),
                    WorkloadSpec.make("resnet", **kwargs)),
@@ -129,9 +140,10 @@ def fig10_spec(*, n: int | None = None,
 def run_fig10(*, n: int | None = None, detail: float = 1.0,
               jobs: int = 1,
               store: "ArtifactStore | str | None" = None,
-              progress=None) -> ScenarioReport:
+              progress=None, verify_spec: bool = True) -> ScenarioReport:
     spec = fig10_spec(n=n, detail=detail)
-    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress)
+    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress,
+                      verify_spec=verify_spec)
     points = scale_points(sweep.points, len(SCALABILITY_CONFIGS))
     table = format_table(
         ["workload", "config", "runtime ms", "speedup"],
@@ -148,7 +160,7 @@ def run_fig10(*, n: int | None = None, detail: float = 1.0,
 def fig11_spec(*, n: int | None = None,
                detail: float = 1.0) -> SweepSpec:
     return SweepSpec(
-        name="fig11",
+        name=_spec_name("fig11", n=n, detail=detail),
         workloads=(WorkloadSpec.make("bootstrap",
                                      **_workload_kwargs(n, detail)),),
         variants=ladder_variants(FIG11_CONFIG))
@@ -157,9 +169,10 @@ def fig11_spec(*, n: int | None = None,
 def run_fig11(*, n: int | None = None, detail: float = 1.0,
               jobs: int = 1,
               store: "ArtifactStore | str | None" = None,
-              progress=None) -> ScenarioReport:
+              progress=None, verify_spec: bool = True) -> ScenarioReport:
     spec = fig11_spec(n=n, detail=detail)
-    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress)
+    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress,
+                      verify_spec=verify_spec)
     steps = ladder_steps(sweep.points)
     table = format_table(
         ["configuration", "runtime ms", "DRAM GB", "speedup",
@@ -181,7 +194,9 @@ def tab7_spec(*, n: int | None = None, detail: float = 1.0,
     configs = (FPGA_EFFACT, ASIC_EFFACT) if include_fpga \
         else (ASIC_EFFACT,)
     return SweepSpec(
-        name="tab7",
+        name=_spec_name("tab7", n=n, detail=detail,
+                        configs="+".join(c.name for c in configs)
+                        if not include_fpga else None),
         workloads=table7_workloads(n=n, detail=detail),
         variants=tuple(Variant(label=c.name, config=c) for c in configs))
 
@@ -189,9 +204,10 @@ def tab7_spec(*, n: int | None = None, detail: float = 1.0,
 def run_tab7(*, n: int | None = None, detail: float = 1.0,
              jobs: int = 1,
              store: "ArtifactStore | str | None" = None,
-             progress=None) -> ScenarioReport:
+             progress=None, verify_spec: bool = True) -> ScenarioReport:
     spec = tab7_spec(n=n, detail=detail)
-    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress)
+    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress,
+                      verify_spec=verify_spec)
     rows = baseline_rows()
     rows.extend(fold_table7_rows(
         sweep.points, [v.config.name for v in spec.variants]))
@@ -228,17 +244,20 @@ def generic_spec(workloads: list[str], configs: list[str], *,
                 f"unknown config {name!r}; known: "
                 f"{sorted(NAMED_CONFIGS)}") from None
         variants.append(Variant(label=name, config=config))
-    return SweepSpec(name="sweep", workloads=tuple(wl_axis),
-                     variants=tuple(variants))
+    return SweepSpec(
+        name=_spec_name("sweep", workloads="+".join(workloads),
+                        configs="+".join(configs), n=n, detail=detail),
+        workloads=tuple(wl_axis), variants=tuple(variants))
 
 
 def run_generic(workloads: list[str], configs: list[str], *,
                 n: int | None = None, detail: float = 1.0,
                 jobs: int = 1,
                 store: "ArtifactStore | str | None" = None,
-                progress=None) -> ScenarioReport:
+                progress=None, verify_spec: bool = True) -> ScenarioReport:
     spec = generic_spec(workloads, configs, n=n, detail=detail)
-    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress)
+    sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress,
+                      verify_spec=verify_spec)
     table = format_table(
         ["point", "cycles", "runtime ms", "DRAM GiB", "wall s"],
         [[p.label, p.cycles, f"{p.runtime_ms:.2f}",

@@ -116,8 +116,10 @@ class ArtifactStore:
         schema_dir = self.root / f"v{SCHEMA_VERSION}"
         self._compile_dir = schema_dir / "compile"
         self._sim_dir = schema_dir / "sim"
+        self._spec_dir = schema_dir / "spec"
         self._compile_dir.mkdir(parents=True, exist_ok=True)
         self._sim_dir.mkdir(parents=True, exist_ok=True)
+        self._spec_dir.mkdir(parents=True, exist_ok=True)
         self._lru_path = schema_dir / "lru.json"
         #: (st_mtime_ns, st_size) of the journal as of our last
         #: read/write — saves skip the merge read while it is ours.
@@ -307,6 +309,45 @@ class ArtifactStore:
         if doc.get("schema") != SCHEMA_VERSION or doc.get("kind") != "sim":
             raise ValueError(f"schema mismatch in {path.name}")
         return SimulationResult(**doc["result"])
+
+    # ------------------------------------------------------------------
+    # Sweep-grid metadata (resumption safety)
+    # ------------------------------------------------------------------
+    def _spec_path(self, name: str) -> Path:
+        key = hashlib.sha256(
+            f"{SCHEMA_VERSION}|spec|{name}".encode()).hexdigest()
+        return self._spec_dir / f"{key}.json"
+
+    def get_spec(self, name: str) -> dict | None:
+        """The canonical grid previously persisted for sweep ``name``
+        (or ``None``); corruption drops the entry, never crashes."""
+        path = self._spec_path(name)
+        if not path.exists():
+            return None
+        try:
+            doc = json.loads(path.read_bytes())
+            if doc.get("schema") != SCHEMA_VERSION \
+                    or doc.get("kind") != "spec":
+                raise ValueError(f"schema mismatch in {path.name}")
+            return doc["grid"]
+        except Exception:
+            self.stats.corrupt_dropped += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put_spec(self, name: str, grid: dict) -> None:
+        """Persist sweep ``name``'s canonical grid next to its points,
+        so a restarted sweep can verify it is resuming the same grid.
+        Spec entries are tiny and exempt from LRU eviction — evicting
+        the resumption metadata would defeat its purpose."""
+        doc = {"schema": SCHEMA_VERSION, "kind": "spec", "name": name,
+               "grid": grid}
+        payload = canonical_json(doc).encode()
+        self._atomic_write(self._spec_path(name),
+                           lambda f: f.write(payload))
 
     # ------------------------------------------------------------------
     # Shared machinery

@@ -36,13 +36,21 @@ from ..arch.units import UNIT_NAMES
 from ..compiler.pipeline import CompileOptions, compiles_executed
 from ..core.config import HardwareConfig
 from ..workloads import (
+    bfv_dotproduct_workload,
     bootstrap_workload,
     dblookup_workload,
     helr_workload,
     resnet_workload,
 )
 from ..workloads.base import Workload, run_workload
-from .store import ArtifactStore, StoreStats, active_store, using_store
+from .store import (
+    ArtifactStore,
+    StoreStats,
+    active_store,
+    config_token,
+    options_token,
+    using_store,
+)
 
 #: Factory registry backing :class:`WorkloadSpec`.  Worker processes
 #: resolve specs against their own copy (inherited via fork, or
@@ -53,6 +61,7 @@ _WORKLOAD_FACTORIES: dict[str, Callable[..., Workload]] = {
     "helr": helr_workload,
     "resnet": resnet_workload,
     "dblookup": dblookup_workload,
+    "bfv_dotproduct": bfv_dotproduct_workload,
 }
 
 
@@ -138,6 +147,72 @@ class SweepSpec:
                     options=variant.options,
                     use_cache=self.use_cache))
         return pts
+
+
+class SweepSpecMismatch(ValueError):
+    """A sweep tried to resume against a store whose persisted grid for
+    the same sweep name differs — the points on disk belong to another
+    grid, so silently mixing them would corrupt the result set."""
+
+
+def spec_grid_token(name: str, points: list[SweepPoint]) -> dict:
+    """Canonical JSON-shaped description of a sweep grid.
+
+    Persisted next to the sweep's points in the :class:`ArtifactStore`
+    (``v1/spec/``) so a restarted sweep can verify it is resuming the
+    *same* grid: per point, the workload spec (factory + kwargs, or the
+    in-memory workload's name), the canonical ``CompileOptions`` /
+    ``HardwareConfig`` tokens, and the cache mode.
+    """
+    pts = []
+    for p in points:
+        if isinstance(p.workload, WorkloadSpec):
+            workload = {"factory": p.workload.factory,
+                        "kwargs": [[k, repr(v)]
+                                   for k, v in p.workload.kwargs]}
+        else:
+            # In-memory workloads have no declarative identity; their
+            # segment content fingerprints (already needed to execute
+            # the point) distinguish same-named grids built from
+            # different parameters.
+            workload = {"inline": getattr(p.workload, "name",
+                                          str(p.workload)),
+                        "fingerprints": [
+                            seg.fingerprint() for seg in
+                            getattr(p.workload, "segments", [])]}
+        pts.append({
+            "label": p.label,
+            "workload": workload,
+            "options": None if p.options is None
+            else options_token(p.options),
+            "config": config_token(p.config),
+            "use_cache": bool(p.use_cache),
+        })
+    return {"name": name, "points": pts}
+
+
+def _verify_spec(store: ArtifactStore, name: str,
+                 points: list[SweepPoint]) -> None:
+    """Refuse to resume a different grid under the same sweep name."""
+    grid = spec_grid_token(name, points)
+    prior = store.get_spec(name)
+    if prior is None:
+        store.put_spec(name, grid)
+        return
+    if prior == grid:
+        return
+    prior_pts = prior.get("points", [])
+    detail = f"{len(prior_pts)} point(s) on disk vs {len(grid['points'])}"
+    for old, new in zip(prior_pts, grid["points"]):
+        if old != new:
+            detail = (f"first mismatch at point {old.get('label')!r} "
+                      f"vs {new.get('label')!r}")
+            break
+    raise SweepSpecMismatch(
+        f"sweep {name!r} does not match the grid persisted in "
+        f"{store.root} ({detail}); refusing to resume a different "
+        f"grid — use a fresh store (or sweep name), or pass "
+        f"verify_spec=False to overwrite the recorded grid")
 
 
 @dataclass
@@ -311,7 +386,8 @@ def _init_worker(factories: dict[str, Callable[..., Workload]]) -> None:
 def run_sweep(spec, *, jobs: int = 1,
               store: "ArtifactStore | str | None" = None,
               progress: Callable[[PointResult], None] | None = None,
-              start_method: str | None = None) -> SweepResult:
+              start_method: str | None = None,
+              verify_spec: bool = True) -> SweepResult:
     """Execute every point of ``spec`` (a :class:`SweepSpec` or a list
     of :class:`SweepPoint`) and return ordered results.
 
@@ -329,6 +405,12 @@ def run_sweep(spec, *, jobs: int = 1,
 
     ``progress`` (if given) is called with each :class:`PointResult`
     as it completes — completion order, not point order.
+
+    When a store is active, the sweep's canonical grid is persisted
+    next to its points (``v1/spec/``) and re-checked on every run:
+    resuming the same name against a *different* grid raises
+    :class:`SweepSpecMismatch` instead of silently mixing result sets.
+    ``verify_spec=False`` skips the check and records the new grid.
     """
     if isinstance(spec, SweepSpec):
         name, points = spec.name, spec.points()
@@ -340,6 +422,13 @@ def run_sweep(spec, *, jobs: int = 1,
         store = ArtifactStore(store)
     store_args = None if store is None \
         else (str(store.root), store.max_bytes)
+    # Only named SweepSpecs carry a resumable identity; ad-hoc point
+    # lists all share the fallback name and are never cross-checked.
+    if store is not None and isinstance(spec, SweepSpec):
+        if verify_spec:
+            _verify_spec(store, name, points)
+        else:
+            store.put_spec(name, spec_grid_token(name, points))
 
     t0 = time.perf_counter()
     results: list[PointResult | None] = [None] * len(points)

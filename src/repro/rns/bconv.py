@@ -177,27 +177,86 @@ def base_convert(poly: RnsPolynomial, to_basis: RnsBasis) -> RnsPolynomial:
                          is_ntt=False)
 
 
+def reduce_mod_col(value: int, primes: tuple[int, ...]) -> np.ndarray:
+    """``value mod q`` per prime as an ``(L, 1)`` int64 column, cached
+    like :func:`inverse_mod_col` (the exact/centred conversions hit the
+    same ``Q mod p`` and ``Q//2 mod p`` constants on every call)."""
+    key = ("mod", value, primes)
+    col = _INV_COL_CACHE.get(key)
+    if col is None:
+        col = np.array([value % q for q in primes],
+                       dtype=np.int64).reshape(-1, 1)
+        _INV_COL_CACHE[key] = col
+        while len(_INV_COL_CACHE) > _WEIGHT_CACHE_MAX:
+            _INV_COL_CACHE.popitem(last=False)
+    else:
+        _INV_COL_CACHE.move_to_end(key)
+    return col
+
+
+def _base_convert_centered_data(data: np.ndarray, from_basis: RnsBasis,
+                                to_basis: RnsBasis) -> np.ndarray:
+    """Raw-array exact centred BConv: ``(L_from, M) -> (L_to, M)``.
+
+    ``data`` holds residues of a value ``a`` in ``[0, Q)``; the result
+    holds the *centred* representative ``cmod(a, Q)`` (in
+    ``(-Q/2, Q/2)``) reduced into each target prime.  The fast-BConv
+    overshoot is removed by the floating-point correction
+    ``e = round(sum_j v_j / q_j)`` (the HPS trick): the fractional part
+    of that sum is exactly ``a/Q``, so rounding — rather than
+    flooring — also subtracts the extra ``Q`` whenever ``a > Q/2``,
+    which is precisely the centring.  Column-count agnostic, so the
+    stack paths convert several polynomials in one BLAS accumulation,
+    bitwise identical per row slice.  This is the kernel under BFV's
+    scale-invariant multiply (centred tensor lift, ``round(t*d/Q)``)
+    and BGV's ``t``-corrected ModDown.
+    """
+    v = _scaled_residues(data, from_basis)
+    frac = (v.astype(np.float64)
+            / from_basis.q_col.astype(np.float64)).sum(axis=0)
+    e = np.rint(frac).astype(np.int64)
+    acc, p_col = _weighted_sums(v, from_basis, to_basis)
+    q_mod_p = reduce_mod_col(from_basis.modulus, to_basis.primes)
+    return (acc - e * q_mod_p) % p_col
+
+
 def base_convert_exact(poly: RnsPolynomial,
                        to_basis: RnsBasis) -> RnsPolynomial:
     """Base conversion with floating-point correction of the overshoot.
 
     Computes ``e = round(sum_j v_j / q_j)`` and subtracts ``e*Q``,
     giving the exact centred representative.  Used where the fast
-    variant's ``+eQ`` error is not acceptable (BFV scaling).
+    variant's ``+eQ`` error is not acceptable (BFV scaling, BGV's
+    ``t``-exact ModDown).
     """
     if poly.is_ntt:
         raise ValueError("BConv operates on coefficient-domain data")
-    from_basis = poly.basis
-    v = _scaled_residues(poly.data, from_basis)
-    frac = (v.astype(np.float64)
-            / from_basis.q_col.astype(np.float64)).sum(axis=0)
-    e = np.rint(frac).astype(np.int64)
-    acc, p_col = _weighted_sums(v, from_basis, to_basis)
-    big_q = from_basis.modulus
-    q_mod_p = np.array([big_q % p for p in to_basis.primes],
-                       dtype=np.int64).reshape(-1, 1)
-    return RnsPolynomial(to_basis, (acc - e * q_mod_p) % p_col,
-                         is_ntt=False)
+    return RnsPolynomial(
+        to_basis, _base_convert_centered_data(poly.data, poly.basis,
+                                              to_basis), is_ntt=False)
+
+
+#: The centred conversion *is* the exact conversion (see above); the
+#: alias keeps call sites self-documenting about which property they
+#: rely on.
+base_convert_centered = base_convert_exact
+
+
+def base_convert_centered_stack(stack: np.ndarray, from_basis: RnsBasis,
+                                to_basis: RnsBasis, k: int) -> np.ndarray:
+    """Centred-exact conversion of ``k`` stacked polynomials at once.
+
+    ``stack`` is a coefficient-domain ``(k*L_from, M)`` block (one
+    polynomial after another); the per-limb constants broadcast once
+    and the BLAS accumulation runs on ``(L_from, k*M)`` wide rows.
+    Rows are bitwise identical to :func:`base_convert_centered` per
+    polynomial — the float corrections sum the same ``L_from`` rows
+    per column, and the BLAS accumulation is exact integer arithmetic
+    in float64 halves, so stacking cannot change a single residue.
+    """
+    wide = _stack_to_wide(stack, len(from_basis), k)
+    return _wide_to_stack(
+        _base_convert_centered_data(wide, from_basis, to_basis), k)
 
 
 def mod_up(poly: RnsPolynomial, full_basis: RnsBasis) -> RnsPolynomial:
@@ -249,22 +308,37 @@ def mod_down(poly: RnsPolynomial, q_basis: RnsBasis,
                                                  p_basis), is_ntt=False)
 
 
+def _stack_to_wide(stack: np.ndarray, rows: int, k: int) -> np.ndarray:
+    """``(k*R, M)`` polynomial stack -> ``(R, k*M)`` wide stack (all k
+    copies of limb j side by side), so per-limb constants broadcast
+    once and the BConv BLAS accumulation runs a single k-times-as-wide
+    product."""
+    k_r, m = stack.shape
+    if k_r != k * rows:
+        raise ValueError(f"expected a {k * rows}-row stack, got {k_r}")
+    return stack.reshape(k, rows, m).transpose(1, 0, 2).reshape(rows,
+                                                                k * m)
+
+
+def _wide_to_stack(wide: np.ndarray, k: int) -> np.ndarray:
+    """Inverse of :func:`_stack_to_wide`."""
+    rows, k_m = wide.shape
+    m = k_m // k
+    return wide.reshape(rows, k, m).transpose(1, 0, 2).reshape(k * rows, m)
+
+
 def _pair_to_wide(pair: np.ndarray, rows: int) -> np.ndarray:
     """``(2R, M)`` pair stack -> ``(R, 2M)`` wide stack (both halves of
-    limb j side by side), so per-limb constants broadcast once and the
-    BConv BLAS accumulation runs a single twice-as-wide product."""
-    two_r, m = pair.shape
-    if two_r != 2 * rows:
+    limb j side by side)."""
+    if pair.shape[0] != 2 * rows:
         raise ValueError(f"expected a {2 * rows}-row pair stack, got "
-                         f"{two_r}")
-    return pair.reshape(2, rows, m).transpose(1, 0, 2).reshape(rows, 2 * m)
+                         f"{pair.shape[0]}")
+    return _stack_to_wide(pair, rows, 2)
 
 
 def _wide_to_pair(wide: np.ndarray) -> np.ndarray:
     """Inverse of :func:`_pair_to_wide`."""
-    rows, two_m = wide.shape
-    m = two_m // 2
-    return wide.reshape(rows, 2, m).transpose(1, 0, 2).reshape(2 * rows, m)
+    return _wide_to_stack(wide, 2)
 
 
 def base_convert_pair(pair: np.ndarray, from_basis: RnsBasis,

@@ -1,5 +1,11 @@
-"""FHE schemes supported by the EFFACT platform: CKKS, BGV, BFV, TFHE."""
+"""FHE schemes supported by the EFFACT platform: CKKS, BGV, BFV, TFHE.
 
-from . import bfv, bgv, ckks, tfhe
+CKKS, BFV and BGV all evaluate on the shared scheme-agnostic stacked
+RNS core (:mod:`repro.schemes.rns_core`); :mod:`repro.schemes.toy`
+keeps the seed's per-coefficient BFV/BGV implementations as
+correctness oracles.
+"""
 
-__all__ = ["bfv", "bgv", "ckks", "tfhe"]
+from . import bfv, bgv, ckks, rns_core, tfhe, toy
+
+__all__ = ["bfv", "bgv", "ckks", "rns_core", "tfhe", "toy"]

@@ -1,23 +1,70 @@
-"""BFV: scale-invariant exact integer FHE.
+"""BFV: scale-invariant exact integer FHE on the stacked RNS core.
 
 The third scheme of EFFACT's generality claim (paper abstract and
-section VI-D).  BFV encodes the plaintext at ``Delta = floor(Q/t)`` and
-its multiplication rescales the tensor product by ``t/Q`` with exact
-rounding.  Ring degree stays small in the functional runs, so the
-division/rounding steps use exact CRT-composed integers; the
-hardware-relevant decomposition of these operations into residue-level
-instructions is handled by the compiler lowering, not here.
+section VI-D).  BFV encodes the plaintext at ``Delta = floor(Q/t)``;
+its multiplication lifts both operand pairs to an extended basis
+``Q + R`` (``R > n*t*Q`` so the integer tensor is representable),
+tensors in the NTT domain, and rescales by ``t/Q`` with exact
+round-to-nearest — all as residue-level kernels:
+
+* the centred lifts and the ``round(t*d/Q)`` remainder run on the
+  exact/centred BConv kernels of :mod:`repro.rns.bconv`
+  (``base_convert_centered_stack`` — one wide BLAS accumulation for
+  all four operand polynomials / all three tensor components);
+* relinearization is the shared hybrid key switch of
+  :class:`repro.schemes.rns_core.RnsEvaluatorBase` (digit lift through
+  one ``(beta*E, N)`` NTT, digit-stacked Shoup key MACs, NTT-domain
+  ModDown), unchanged from CKKS — BFV tolerates the fast-BConv
+  ModDown overshoot as additive noise;
+* additions, plaintext ops and rotations come from the base class.
+
+``BfvScheme(ctx, stacked=False)`` is the per-polynomial reference
+path; both modes are bitwise identical
+(``tests/test_rns_core_schemes.py``).  The seed's big-int schoolbook
+implementation survives as :mod:`repro.schemes.toy` — the independent
+correctness oracle the port was validated against.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..nttmath.primes import find_ntt_primes
 from ..rns.basis import RnsBasis
+from ..rns.bconv import (
+    _base_convert_centered_data,
+    _stack_to_wide,
+    _wide_to_stack,
+    base_convert_centered,
+    base_convert_centered_stack,
+    inverse_mod_col,
+    reduce_mod_col,
+)
 from ..rns.poly import RnsPolynomial, ntt_table
+from .rns_core import (
+    Ciphertext,
+    KeyChain,
+    RnsContext,
+    RnsEvaluatorBase,
+    RnsKeyGenerator,
+    SecretKey,
+    SwitchingKey,
+    _pair_col,
+)
+
+__all__ = [
+    "BfvCiphertext",
+    "BfvContext",
+    "BfvEvaluator",
+    "BfvParams",
+    "BfvScheme",
+]
+
+#: BFV ciphertexts are plain stacked pairs; ``scale`` stays at 1.
+BfvCiphertext = Ciphertext
 
 
 @dataclass(frozen=True)
@@ -26,219 +73,294 @@ class BfvParams:
 
     n: int = 2 ** 6
     t_bits: int = 17
+    t: int | None = None      # explicit plaintext modulus (overrides bits)
     q_bits: int = 29
     q_count: int = 6
+    dnum: int = 2
     sigma: float = 3.2
     seed: int = 2025
 
+    def __post_init__(self):
+        if self.n & (self.n - 1):
+            raise ValueError("n must be a power of two")
+        if self.q_bits > 30:
+            raise ValueError("functional parameters require <= 31-bit "
+                             "primes (q_bits + 1 for P/R)")
 
-class BfvContext:
+    @property
+    def alpha(self) -> int:
+        """Primes per key-switching digit: ceil(q_count/dnum)."""
+        return math.ceil(self.q_count / self.dnum)
+
+    @property
+    def slots(self) -> int:
+        """BFV packs one Z_t value per coefficient slot."""
+        return self.n
+
+
+class BfvContext(RnsContext):
+    """Parameters, bases and the slot-packing NTT for BFV.
+
+    Three prime chains hang off the plaintext modulus ``t``:
+
+    * ``Q`` (``q_count`` primes) — the ciphertext modulus;
+    * ``P`` (``alpha`` primes, each > any digit product) — the hybrid
+      key-switching special modulus, exactly as in CKKS;
+    * ``R`` (sized so ``R > 2*n*t*Q``) — the multiplication extension
+      basis the scale-invariant tensor product lives on.
+    """
+
     def __init__(self, params: BfvParams):
         self.params = params
         n = params.n
-        self.t = find_ntt_primes(params.t_bits, n, 1)[0]
+        if params.t is not None:
+            if (params.t - 1) % (2 * n) != 0:
+                raise ValueError("t must be = 1 mod 2n for slot packing")
+            self.t = params.t
+        else:
+            self.t = find_ntt_primes(params.t_bits, n, 1)[0]
         q_primes = find_ntt_primes(params.q_bits, n, params.q_count,
                                    exclude=(self.t,))
-        self.q_basis = RnsBasis(q_primes)
-        self.delta = self.q_basis.modulus // self.t
+        self.q_full = RnsBasis(q_primes)
+        taken = (self.t,) + tuple(q_primes)
+        p_primes = find_ntt_primes(params.q_bits + 1, n, params.alpha,
+                                   exclude=taken)
+        self.p_basis = RnsBasis(p_primes)
+        self._check_special_modulus()
+        taken += tuple(p_primes)
+        r_bits = params.q_bits + 1
+        need = (self.q_full.modulus.bit_length() + self.t.bit_length()
+                + n.bit_length() + 2)
+        r_count = -(-need // (r_bits - 1))
+        r_primes = find_ntt_primes(r_bits, n, r_count, exclude=taken)
+        self.r_basis = RnsBasis(r_primes)
+        self.key_basis = self.q_full.extend(self.p_basis)
+        self.mul_basis = self.q_full.extend(self.r_basis)
+        self.delta = self.q_full.modulus // self.t
         self.rng = np.random.default_rng(params.seed)
         self._pack = ntt_table(n, self.t)
 
-    @property
-    def n(self) -> int:
-        return self.params.n
+    def _check_special_modulus(self) -> None:
+        """P must exceed every digit product or key-switch noise
+        explodes (the CKKS condition, shared by the hybrid keys)."""
+        alpha = self.params.alpha
+        for j in range(self.params.dnum):
+            digit = self.q_full.primes[j * alpha:(j + 1) * alpha]
+            if not digit:
+                continue
+            product = math.prod(digit)
+            if self.p_basis.modulus <= product:
+                raise ValueError(
+                    f"special modulus P must exceed digit {j} product; "
+                    f"raise dnum or shrink q_bits")
 
+    # ------------------------------------------------------------------
+    # SIMD packing: slot values in Z_t <-> plaintext polynomial
+    # ------------------------------------------------------------------
     def encode(self, slots) -> np.ndarray:
+        """Vector of n values in Z_t -> plaintext coefficients."""
         slots = np.asarray(slots, dtype=np.int64) % self.t
+        if slots.shape != (self.n,):
+            raise ValueError(f"expected {self.n} slots")
         return self._pack.inverse(slots)
 
     def decode(self, coeffs) -> np.ndarray:
+        """Plaintext coefficients -> slot values in Z_t."""
         return self._pack.forward(np.asarray(coeffs, dtype=np.int64)
                                   % self.t)
 
 
-@dataclass
-class BfvCiphertext:
-    """Coefficient-domain integer polynomials (exact big-int lists)."""
+class BfvEvaluator(RnsEvaluatorBase):
+    """BFV evaluation: base-class ops plus scale-invariant multiply."""
 
-    c0: list[int]
-    c1: list[int]
+    context: BfvContext
 
+    def multiply(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        """Scale-invariant HMULT: centred lift to ``Q+R``, NTT-domain
+        tensor, ``round(t*d/Q)`` rescale, hybrid relinearization.
 
-@dataclass
-class BfvSecretKey:
-    coeffs: np.ndarray
+        The stacked path runs one ``(4L, N)`` iNTT over both operand
+        pairs, one wide centred BConv lifting all four polynomials to
+        ``R``, one ``(4E, N)`` forward NTT, one ``(3E, N)`` iNTT over
+        the tensor triple, wide ``t/Q`` scaling, and the shared stacked
+        key switch — bitwise identical to the per-polynomial reference
+        (``stacked=False``).
+        """
+        if self.keys.relin is None:
+            raise ValueError("no relinearization key in the key chain")
+        if x.basis != y.basis:
+            raise ValueError("operand bases differ")
+        if not self.stacked:
+            return self._multiply_reference(x, y)
+        self._check_domains(x.is_ntt, True)
+        self._check_domains(y.is_ntt, True)
+        ctx = self.context
+        q, r, ext = ctx.q_full, ctx.r_basis, ctx.mul_basis
+        lq, lr, le = len(q), len(r), len(ext)
+        n = ctx.n
+        # One (4Lq, N) iNTT covers both operand pairs.
+        pairs = np.concatenate([x.pair(), y.pair()])
+        coeff = self.kernels.engine((q,) * 4).inverse(pairs)
+        # Centred lift to R: one wide exact BConv for all four polys.
+        r_rows = base_convert_centered_stack(coeff, q, r, 4)
+        # Only the R rows go through the forward NTT: the Q rows of the
+        # lifted stacks are ``forward(inverse(x)) == x`` — the original
+        # NTT-domain ciphertext rows, reused verbatim (the same trick
+        # the key-switch digit lift plays with its kept rows).
+        r_ntt = self.kernels.engine((r,) * 4).forward(r_rows)
+        ntt = np.empty((4 * le, n), dtype=np.int64)
+        for i in range(4):
+            ntt[i * le:i * le + lq] = pairs[i * lq:(i + 1) * lq]
+            ntt[i * le + lq:(i + 1) * le] = r_ntt[i * lr:(i + 1) * lr]
+        x0, x1, y0, y1 = (ntt[i * le:(i + 1) * le] for i in range(4))
+        e_col = ext.q_col
+        d0 = x0 * y0 % e_col
+        d2 = x1 * y1 % e_col
+        d1 = (x0 * y1 % e_col + x1 * y0 % e_col) % e_col
+        d_coeff = self.kernels.engine((ext,) * 3).inverse(
+            np.concatenate([d0, d1, d2]))
+        dq = self._scale_round_stack(d_coeff, 3)
+        d01 = self.kernels.engine((q, q)).forward(dq[:2 * lq])
+        d2p = RnsPolynomial(q, np.ascontiguousarray(dq[2 * lq:]),
+                            is_ntt=False)
+        ks_pair, _ = self._key_switch_pair(d2p, self.keys.relin)
+        out = (d01 + ks_pair) % _pair_col(q.q_col)
+        return type(x).from_pair(q, out, x.scale, is_ntt=True)
 
+    def _multiply_reference(self, x: Ciphertext,
+                            y: Ciphertext) -> Ciphertext:
+        """Per-polynomial reference: same kernels, one call per
+        polynomial / tensor component (the differential baseline)."""
+        ctx = self.context
+        q, r, ext = ctx.q_full, ctx.r_basis, ctx.mul_basis
+        lifted = []
+        for poly in (x.c0, x.c1, y.c0, y.c1):
+            c = poly.to_coeff()
+            rr = base_convert_centered(c, r)
+            data = np.concatenate([c.data, rr.data])
+            lifted.append(RnsPolynomial(ext, data, is_ntt=False).to_ntt())
+        x0, x1, y0, y1 = lifted
+        d0 = x0.pointwise_mul(y0)
+        d1 = x0.pointwise_mul(y1) + x1.pointwise_mul(y0)
+        d2 = x1.pointwise_mul(y1)
+        dq = [self._scale_round_stack(d.to_coeff().data, 1)
+              for d in (d0, d1, d2)]
+        ks0, ks1 = self.key_switch(
+            RnsPolynomial(q, dq[2], is_ntt=False), self.keys.relin)
+        c0 = RnsPolynomial(q, dq[0], is_ntt=False).to_ntt() + ks0
+        c1 = RnsPolynomial(q, dq[1], is_ntt=False).to_ntt() + ks1
+        return type(x)(c0=c0, c1=c1, scale=x.scale)
 
-@dataclass
-class BfvRelinKey:
-    """Base-2^w decomposed relinearization key: pairs per digit."""
-
-    b: list[list[int]]
-    a: list[list[int]]
-    base_bits: int
+    def _scale_round_stack(self, stack: np.ndarray, k: int) -> np.ndarray:
+        """``round(t*d/Q) mod Q`` for ``k`` stacked ``Q+R`` tensor
+        components: ``(t*d - cmod(t*d, Q)) * Q^-1`` on the R limbs,
+        then a centred exact conversion back to Q.  All arithmetic runs
+        on ``(E, k*N)`` wide rows; row slices are bitwise identical to
+        the ``k = 1`` per-component calls."""
+        ctx = self.context
+        q, r, ext = ctx.q_full, ctx.r_basis, ctx.mul_basis
+        lq = len(q)
+        wide = _stack_to_wide(stack, len(ext), k)
+        u = wide * reduce_mod_col(ctx.t, ext.primes) % ext.q_col
+        cmod_r = _base_convert_centered_data(u[:lq], q, r)
+        qinv_r = inverse_mod_col(q.modulus, r.primes)
+        res_r = (u[lq:] - cmod_r) % r.q_col * qinv_r % r.q_col
+        out_q = _base_convert_centered_data(res_r, r, q)
+        return _wide_to_stack(out_q, k)
 
 
 class BfvScheme:
-    """Keygen, encryption and evaluation for BFV (exact arithmetic)."""
+    """Keygen, encryption and evaluation for BFV on the RNS core."""
 
-    def __init__(self, context: BfvContext):
+    def __init__(self, context: BfvContext, *, stacked: bool = True):
         self.ctx = context
+        self.ev = BfvEvaluator(context, KeyChain(), stacked=stacked)
+        self.keygen = RnsKeyGenerator(context)
 
     # ------------------------------------------------------------------
-    def gen_secret(self) -> BfvSecretKey:
-        coeffs = self.ctx.rng.integers(-1, 2, self.ctx.n, dtype=np.int64)
-        return BfvSecretKey(coeffs=coeffs)
+    # Keys
+    # ------------------------------------------------------------------
+    def gen_secret(self) -> SecretKey:
+        return self.keygen.gen_secret()
 
-    def _uniform(self) -> list[int]:
-        q = self.ctx.q_basis.modulus
-        words = (q.bit_length() + 59) // 60 + 1
-        out = []
-        for _ in range(self.ctx.n):
-            value = 0
-            for _ in range(words):
-                value = (value << 60) | int(
-                    self.ctx.rng.integers(0, 1 << 60))
-            out.append(value % q)
-        return out
+    def gen_relin(self, sk: SecretKey) -> SwitchingKey:
+        key = self.keygen.gen_relin(sk)
+        self.ev.keys.relin = key
+        return key
 
-    def _gaussian(self) -> list[int]:
-        e = np.round(self.ctx.rng.normal(0, self.ctx.params.sigma,
-                                         self.ctx.n)).astype(np.int64)
-        return [int(v) for v in e]
+    def gen_galois(self, step: int, sk: SecretKey) -> SwitchingKey:
+        key = self.keygen.gen_galois(step, sk)
+        self.ev.keys.galois[step] = key
+        return key
 
-    def gen_relin(self, sk: BfvSecretKey,
-                  base_bits: int = 20) -> BfvRelinKey:
-        """RLWE encryptions of ``s^2 * 2^(w*i)`` for each digit i."""
-        ctx = self.ctx
-        q = ctx.q_basis.modulus
-        s = [int(v) for v in sk.coeffs]
-        s2 = polymul_negacyclic_reference_big(s, s, q)
-        digits = (q.bit_length() + base_bits - 1) // base_bits
-        b_list, a_list = [], []
-        for i in range(digits):
-            a = self._uniform()
-            e = self._gaussian()
-            a_s = polymul_negacyclic_reference_big(a, s, q)
-            factor = 1 << (base_bits * i)
-            b = [(-int(asj) + int(ej) + factor * s2j) % q
-                 for asj, ej, s2j in zip(a_s, e, s2)]
-            b_list.append(b)
-            a_list.append(a)
-        return BfvRelinKey(b=b_list, a=a_list, base_bits=base_bits)
+    def gen_conjugation(self, sk: SecretKey) -> SwitchingKey:
+        key = self.keygen.gen_conjugation(sk)
+        self.ev.keys.conjugation = key
+        return key
 
     # ------------------------------------------------------------------
-    def encrypt(self, slots, sk: BfvSecretKey) -> BfvCiphertext:
+    # Encrypt / decrypt (symmetric, sufficient for the workloads)
+    # ------------------------------------------------------------------
+    def encrypt(self, slots, sk: SecretKey) -> Ciphertext:
         ctx = self.ctx
-        q = ctx.q_basis.modulus
-        m = ctx.encode(slots)
-        a = self._uniform()
-        e = self._gaussian()
-        s = [int(v) for v in sk.coeffs]
-        a_s = polymul_negacyclic_reference_big(a, s, q)
-        c0 = [(-int(asj) + int(ej) + ctx.delta * int(mj)) % q
-              for asj, ej, mj in zip(a_s, e, m)]
-        return BfvCiphertext(c0=c0, c1=a)
+        basis = ctx.q_full
+        m = RnsPolynomial.from_small_coeffs(
+            basis, ctx.encode(slots)).mul_scalar(ctx.delta).to_ntt()
+        a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
+        e = RnsPolynomial.random_gaussian(basis, ctx.n, ctx.rng,
+                                          ctx.params.sigma).to_ntt()
+        s = sk.poly_ntt(basis)
+        c0 = -(a.pointwise_mul(s)) + e + m
+        return Ciphertext(c0=c0, c1=a, scale=1.0)
 
-    def decrypt(self, ct: BfvCiphertext, sk: BfvSecretKey) -> np.ndarray:
+    def decrypt(self, ct: Ciphertext, sk: SecretKey) -> np.ndarray:
         ctx = self.ctx
-        q = ctx.q_basis.modulus
-        s = [int(v) for v in sk.coeffs]
-        c1_s = polymul_negacyclic_reference_big(ct.c1, s, q)
-        noisy = [(c0j + int(c1sj)) % q for c0j, c1sj in zip(ct.c0, c1_s)]
-        m = [((ctx.t * v + q // 2) // q) % ctx.t for v in noisy]
+        s = sk.poly_ntt(ct.basis)
+        v = (ct.c0 + ct.c1.pointwise_mul(s)).to_coeff()
+        big_q = ct.basis.modulus
+        t = ctx.t
+        vals = v.basis.compose_poly(v.data)
+        m = [((2 * t * c + big_q) // (2 * big_q)) % t for c in vals]
         return ctx.decode(np.array(m, dtype=np.int64))
 
     # ------------------------------------------------------------------
-    def add(self, x: BfvCiphertext, y: BfvCiphertext) -> BfvCiphertext:
-        q = self.ctx.q_basis.modulus
-        return BfvCiphertext(
-            c0=[(a + b) % q for a, b in zip(x.c0, y.c0)],
-            c1=[(a + b) % q for a, b in zip(x.c1, y.c1)])
-
-    def multiply(self, x: BfvCiphertext, y: BfvCiphertext,
-                 rk: BfvRelinKey) -> BfvCiphertext:
-        """Tensor over the integers, scale by t/Q, relinearize."""
-        ctx = self.ctx
-        q = ctx.q_basis.modulus
-        lift = self._centered
-        x0, x1 = lift(x.c0), lift(x.c1)
-        y0, y1 = lift(y.c0), lift(y.c1)
-        d0 = self._scale_round(self._polymul_int(x0, y0))
-        d1 = self._scale_round(
-            [a + b for a, b in zip(self._polymul_int(x0, y1),
-                                   self._polymul_int(x1, y0))])
-        d2 = self._scale_round(self._polymul_int(x1, y1))
-        ks0, ks1 = self._relin_apply(d2, rk)
-        return BfvCiphertext(
-            c0=[(a + b) % q for a, b in zip(d0, ks0)],
-            c1=[(a + b) % q for a, b in zip(d1, ks1)])
-
+    # Homomorphic operations (delegated to the shared evaluator)
     # ------------------------------------------------------------------
-    def _centered(self, coeffs: list[int]) -> list[int]:
-        q = self.ctx.q_basis.modulus
-        return [c - q if c > q // 2 else c for c in coeffs]
+    def add(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        return self.ev.add(x, y)
 
-    def _polymul_int(self, a: list[int], b: list[int]) -> list[int]:
-        """Exact negacyclic product over the integers."""
+    def sub(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        return self.ev.sub(x, y)
+
+    def multiply(self, x: Ciphertext, y: Ciphertext,
+                 rk: SwitchingKey | None = None) -> Ciphertext:
+        """Multiply; an explicit ``rk`` applies to this call only (the
+        evaluator's installed relin key is restored afterwards)."""
+        if rk is None:
+            return self.ev.multiply(x, y)
+        prev = self.ev.keys.relin
+        self.ev.keys.relin = rk
+        try:
+            return self.ev.multiply(x, y)
+        finally:
+            self.ev.keys.relin = prev
+
+    def rotate(self, ct: Ciphertext, step: int) -> Ciphertext:
+        return self.ev.rotate(ct, step)
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        return self.ev.conjugate(ct)
+
+    def sum_slots(self, ct: Ciphertext) -> Ciphertext:
+        """Every slot becomes the sum over all ``n`` slots.
+
+        ``log2(n/2)`` doubling rotate-and-adds fold each slot's
+        ``<g>``-orbit (half the slots), and one conjugation+add merges
+        the two orbits — the standard automorphism-orbit total sum.
+        Requires Galois keys for steps ``2^k`` and the conjugation key.
+        """
         n = self.ctx.n
-        out = [0] * n
-        for i, ai in enumerate(a):
-            if ai == 0:
-                continue
-            for j, bj in enumerate(b):
-                k = i + j
-                term = ai * bj
-                if k < n:
-                    out[k] += term
-                else:
-                    out[k - n] -= term
-        return out
-
-    def _scale_round(self, coeffs: list[int]) -> list[int]:
-        """round(t * c / Q) mod Q, the BFV invariant scaling."""
-        ctx = self.ctx
-        q = ctx.q_basis.modulus
-        t = ctx.t
-        out = []
-        for c in coeffs:
-            scaled = (2 * t * c + q) // (2 * q)   # round-half-up
-            out.append(scaled % q)
-        return out
-
-    def _relin_apply(self, d2: list[int], rk: BfvRelinKey):
-        """Base-2^w digit decomposition MAC against the relin key."""
-        ctx = self.ctx
-        q = ctx.q_basis.modulus
-        w = rk.base_bits
-        digits = len(rk.b)
-        mask = (1 << w) - 1
-        ks0 = [0] * ctx.n
-        ks1 = [0] * ctx.n
-        remaining = [c % q for c in d2]
-        for i in range(digits):
-            digit = [c & mask for c in remaining]
-            remaining = [c >> w for c in remaining]
-            t0 = polymul_negacyclic_reference_big(digit, rk.b[i], q)
-            t1 = polymul_negacyclic_reference_big(digit, rk.a[i], q)
-            ks0 = [(a + b) % q for a, b in zip(ks0, t0)]
-            ks1 = [(a + b) % q for a, b in zip(ks1, t1)]
-        return ks0, ks1
-
-
-def polymul_negacyclic_reference_big(a: list[int], b: list[int],
-                                     q: int) -> list[int]:
-    """Schoolbook negacyclic product with Python-int (big) coefficients."""
-    n = len(a)
-    out = [0] * n
-    for i, ai in enumerate(a):
-        if ai == 0:
-            continue
-        for j, bj in enumerate(b):
-            k = i + j
-            term = ai * bj
-            if k < n:
-                out[k] = (out[k] + term) % q
-            else:
-                out[k - n] = (out[k - n] - term) % q
-    return out
+        out = ct
+        for k in range(int(math.log2(n // 2))):
+            out = self.ev.add(out, self.ev.rotate(out, 1 << k))
+        return self.ev.add(out, self.ev.conjugate(out))

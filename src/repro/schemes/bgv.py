@@ -1,20 +1,34 @@
-"""BGV: exact integer FHE over ``Z_t`` slots.
+"""BGV: exact integer FHE over ``Z_t`` slots, on the stacked RNS core.
 
 EFFACT supports BGV through the same residue-polynomial ISA (paper
-section VI-D evaluates HElib's DB-lookup on BGV); this module provides
-the functional scheme so the DB-lookup workload actually runs.
+section VI-D evaluates HElib's DB-lookup on BGV).  This module builds
+BGV directly on :class:`repro.schemes.rns_core.RnsEvaluatorBase`, so
+multiplication, rotations and hoisting ride the batched ``(2L, N)``
+hot path — the same stacked digit lifts, Shoup key MACs and pair-wide
+BConv the CKKS evaluator uses — with two BGV-specific twists:
 
-The implementation keeps ciphertexts in RNS form over a prime chain Q
-and uses a single-pair key-switching key over ``QP`` with ``P``
-comfortably larger than ``Q`` (noise from the undecomposed product is
-divided away by ``P``; the digit-decomposed variant lives in the CKKS
-evaluator, which is where the paper's key-switching analysis applies).
-Key-switch rounding is corrected to a multiple of ``t`` so exactness is
-preserved, the BGV-specific twist.
+* **keys carry ``t*e`` noise** (:class:`BgvKeyGenerator`), and the
+  hybrid key-switch ModDown is overridden with the *exact*
+  ``t``-corrected variant: the ``[acc]_P`` remainder is lifted to a
+  multiple of ``t`` (``delta = cmod([acc]_P) + P*lambda`` with
+  ``lambda = -cmod*P^-1 mod t``) using the exact centred BConv kernels
+  of :mod:`repro.rns.bconv`, so key switching never perturbs the
+  plaintext mod ``t``;
+* **modulus switching** reuses the shared NTT-domain last-limb kernel
+  (:meth:`~repro.schemes.rns_core.StackedKernels.switch_down_ntt`)
+  with the same ``t``-multiple correction, tracking the accumulated
+  plaintext factor ``q^-1 mod t`` on the ciphertext.
+
+``BgvScheme(ctx, stacked=False)`` is the per-polynomial reference;
+both modes are bitwise identical (``tests/test_rns_core_schemes.py``).
+The seed's undecomposed big-int implementation survives as
+:mod:`repro.schemes.toy` — the independent correctness/noise oracle
+the port was validated against.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,7 +36,46 @@ import numpy as np
 from ..nttmath.ntt import galois_element
 from ..nttmath.primes import find_ntt_primes
 from ..rns.basis import RnsBasis
-from ..rns.poly import RnsPolynomial, ntt_table
+from ..rns.bconv import (
+    _base_convert_centered_data,
+    _stack_to_wide,
+    _wide_to_stack,
+    inverse_mod_col,
+    reduce_mod_col,
+)
+from ..rns.poly import (
+    RnsPolynomial,
+    ntt_table,
+    stacked_engine,
+    to_coeff_stacked,
+    to_ntt_stacked,
+)
+from .rns_core import (
+    Ciphertext,
+    KeyChain,
+    Plaintext,
+    RnsContext,
+    RnsEvaluatorBase,
+    RnsKeyGenerator,
+    SecretKey,
+    SwitchingKey,
+    _pair_col,
+)
+
+__all__ = [
+    "BgvCiphertext",
+    "BgvContext",
+    "BgvEvaluator",
+    "BgvGaloisKey",
+    "BgvKeyGenerator",
+    "BgvParams",
+    "BgvScheme",
+    "BgvSecretKey",
+    "centered_mod_t",
+]
+
+#: BGV secrets are the shared ternary secrets of the RNS core.
+BgvSecretKey = SecretKey
 
 
 @dataclass(frozen=True)
@@ -34,7 +87,8 @@ class BgvParams:
     t: int | None = None      # explicit plaintext modulus (overrides bits)
     q_bits: int = 28
     q_count: int = 10
-    p_extra: int = 2          # P gets q_count + p_extra primes
+    dnum: int = 4
+    p_extra: int = 2          # P gets alpha + p_extra primes
     sigma: float = 3.2
     seed: int = 2025
 
@@ -42,8 +96,18 @@ class BgvParams:
         if self.n & (self.n - 1):
             raise ValueError("n must be a power of two")
 
+    @property
+    def alpha(self) -> int:
+        """Primes per key-switching digit: ceil(q_count/dnum)."""
+        return math.ceil(self.q_count / self.dnum)
 
-class BgvContext:
+    @property
+    def slots(self) -> int:
+        """BGV packs one Z_t value per coefficient slot."""
+        return self.n
+
+
+class BgvContext(RnsContext):
     """Parameters, bases and the slot-packing NTT for BGV."""
 
     def __init__(self, params: BgvParams):
@@ -57,18 +121,20 @@ class BgvContext:
             self.t = find_ntt_primes(params.t_bits, n, 1)[0]
         q_primes = find_ntt_primes(params.q_bits, n, params.q_count,
                                    exclude=(self.t,))
+        self.q_full = RnsBasis(q_primes)
         p_primes = find_ntt_primes(params.q_bits + 1, n,
-                                   params.q_count + params.p_extra,
+                                   params.alpha + params.p_extra,
                                    exclude=(self.t,) + tuple(q_primes))
-        self.q_basis = RnsBasis(q_primes)
         self.p_basis = RnsBasis(p_primes)
-        self.qp_basis = self.q_basis.extend(self.p_basis)
+        self.key_basis = self.q_full.extend(self.p_basis)
+        self.t_basis = RnsBasis((self.t,))
+        self.p_inv_t = pow(self.p_basis.modulus % self.t, -1, self.t)
+        #: Per-level ``Q_l + t`` target bases so the ModDown correction
+        #: lands both the mod-Q and mod-t centred residues in a single
+        #: exact BConv pass (cached: levels are few and reused).
+        self._qt_bases: dict[int, RnsBasis] = {}
         self.rng = np.random.default_rng(params.seed)
         self._pack = ntt_table(n, self.t)
-
-    @property
-    def n(self) -> int:
-        return self.params.n
 
     # ------------------------------------------------------------------
     # SIMD packing: slot values in Z_t <-> plaintext polynomial
@@ -85,61 +151,248 @@ class BgvContext:
         return self._pack.forward(np.asarray(coeffs, dtype=np.int64)
                                   % self.t)
 
+    def qt_basis(self, q_basis: RnsBasis) -> RnsBasis:
+        """``q_basis`` extended by ``t`` (one conversion target for the
+        ModDown correction's mod-Q and mod-t residues)."""
+        basis = self._qt_bases.get(len(q_basis))
+        if basis is None:
+            basis = RnsBasis(q_basis.primes + (self.t,))
+            self._qt_bases[len(q_basis)] = basis
+        return basis
 
-@dataclass
-class BgvCiphertext:
-    c0: RnsPolynomial
-    c1: RnsPolynomial
-    #: Accumulated plaintext factor mod t: modulus switching by q
-    #: multiplies the underlying plaintext by q^-1 mod t, which decrypt
-    #: undoes.  Ciphertexts must share a factor before addition.
-    scale_t: int = 1
+
+class BgvCiphertext(Ciphertext):
+    """A BGV ciphertext: the shared stacked pair plus the accumulated
+    plaintext factor mod ``t`` (modulus switching by ``q`` multiplies
+    the underlying plaintext by ``q^-1 mod t``, which decrypt undoes).
+    The factor rides in :attr:`scale` as an exact small float-integer;
+    ciphertexts must share a factor before addition."""
 
     @property
-    def basis(self) -> RnsBasis:
-        return self.c0.basis
-
-    @property
-    def level(self) -> int:
-        return len(self.c0.basis) - 1
-
-
-@dataclass
-class BgvSecretKey:
-    coeffs: np.ndarray
-
-    def poly_ntt(self, basis: RnsBasis) -> RnsPolynomial:
-        return RnsPolynomial.from_small_coeffs(basis, self.coeffs).to_ntt()
-
-
-@dataclass
-class BgvRelinKey:
-    b: RnsPolynomial   # -a*s + t*e + P*s^2 over QP (NTT)
-    a: RnsPolynomial
+    def scale_t(self) -> int:
+        return int(self.scale)
 
 
 @dataclass
 class BgvGaloisKey:
-    b: RnsPolynomial   # -a*s + t*e + P*sigma(s) over QP (NTT)
-    a: RnsPolynomial
+    """A rotation key bound to its Galois element, so ``rotate`` can
+    reject a key/step mismatch."""
+
+    key: SwitchingKey
     galois_elt: int
+
+
+def centered_mod_t(poly: RnsPolynomial, t: int) -> np.ndarray:
+    """Centred coefficients of ``poly`` reduced into ``[0, t)``.
+
+    The overflow-safe replacement for composing per-coefficient CRT
+    big-ints and multiplying before reduction: an exact centred BConv
+    into the single-prime basis ``{t}`` keeps every intermediate below
+    ``2^62`` (``(t-1) * correction`` products included, since both
+    factors are already reduced mod ``t < 2^31``).  The naive
+    ``coeffs * correction % t`` over int64 centred coefficients wraps
+    silently once ``|c| * correction >= 2^63`` — the regression test in
+    ``tests/test_bgv.py`` pins this.
+    """
+    if poly.is_ntt:
+        raise ValueError("centered_mod_t expects coefficient-domain data")
+    return _base_convert_centered_data(poly.data, poly.basis,
+                                       RnsBasis((t,)))[0]
+
+
+class BgvKeyGenerator(RnsKeyGenerator):
+    """Gadget keys with ``t*e`` noise, so key-switch noise stays a
+    multiple of ``t`` and exactness survives relinearization."""
+
+    def _noise_poly(self, basis: RnsBasis) -> RnsPolynomial:
+        ctx = self.context
+        e = RnsPolynomial.random_gaussian(basis, ctx.n, ctx.rng,
+                                          ctx.params.sigma)
+        return e.mul_scalar(ctx.t).to_ntt()
+
+
+class BgvEvaluator(RnsEvaluatorBase):
+    """BGV evaluation: base-class ops with the exact ``t``-corrected
+    ModDown and modulus switching."""
+
+    context: BgvContext
+
+    # -- scale/level semantics -----------------------------------------
+    def _align(self, x: Ciphertext, y: Ciphertext):
+        if x.basis != y.basis:
+            raise ValueError("operand bases differ; mod-switch both "
+                             "operands identically first")
+        return x, y
+
+    def _check_scales(self, a: float, b: float) -> None:
+        if a != b:
+            raise ValueError("plaintext factors differ; mod-switch both "
+                             "operands identically before adding")
+
+    # -- exact t-corrected ModDown -------------------------------------
+    def _moddown_delta(self, p_rows: np.ndarray,
+                       q_basis: RnsBasis) -> np.ndarray:
+        """``delta`` rows mod Q for the exact BGV ModDown.
+
+        ``p_rows`` holds ``[acc]_P`` (coefficient domain, any column
+        count); ``delta = cmod([acc]_P) + P*lambda`` with
+        ``lambda = [-cmod * P^-1]_t`` centred, so ``delta ≡ acc mod P``
+        and ``delta ≡ 0 mod t`` — the division by ``P`` then leaves the
+        plaintext untouched.  Everything runs on the exact centred
+        BConv kernels; no big-int CRT, no int64 overflow
+        (``P mod q * lambda`` stays below ``2^62``).
+        """
+        ctx = self.context
+        t = ctx.t
+        cen = _base_convert_centered_data(p_rows, ctx.p_basis,
+                                          ctx.qt_basis(q_basis))
+        cen_q, cen_t = cen[:-1], cen[-1]
+        lam = (t - cen_t) % t * ctx.p_inv_t % t
+        lam = np.where(lam > t // 2, lam - t, lam)
+        p_mod_q = reduce_mod_col(ctx.p_basis.modulus, q_basis.primes)
+        return (cen_q + p_mod_q * lam) % q_basis.q_col
+
+    def _mod_down_pair_stacked(self, acc_pair: np.ndarray, ext: RnsBasis,
+                               q_basis: RnsBasis) -> np.ndarray:
+        """NTT-domain ModDown of the accumulator pair with the
+        ``t``-multiple correction (overrides the fast-BConv CKKS/BFV
+        version; same dataflow, exact arithmetic)."""
+        ctx = self.context
+        n = ctx.n
+        p_basis = ctx.p_basis
+        l1 = len(q_basis)
+        ext_limbs = len(ext)
+        acc_p = np.concatenate([acc_pair[l1:ext_limbs],
+                                acc_pair[ext_limbs + l1:]])
+        coeff_p = stacked_engine(n, (p_basis, p_basis)).inverse(acc_p)
+        wide = _stack_to_wide(coeff_p, len(p_basis), 2)
+        corr = _wide_to_stack(self._moddown_delta(wide, q_basis), 2)
+        corr_ntt = stacked_engine(n, (q_basis, q_basis)).forward(corr)
+        acc_q = np.concatenate([acc_pair[:l1],
+                                acc_pair[ext_limbs:ext_limbs + l1]])
+        p_inv_col = inverse_mod_col(p_basis.modulus, q_basis.primes)
+        q2_col = _pair_col(q_basis.q_col)
+        return (acc_q - corr_ntt) % q2_col * _pair_col(p_inv_col) % q2_col
+
+    def _mod_down_pair(self, acc0: RnsPolynomial, acc1: RnsPolynomial,
+                       q_basis: RnsBasis
+                       ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Per-accumulator exact ModDown (the differential reference)."""
+        c0, c1 = to_coeff_stacked((acc0, acc1))
+        ks0 = self._mod_down_exact(c0, q_basis)
+        ks1 = self._mod_down_exact(c1, q_basis)
+        return to_ntt_stacked((ks0, ks1))
+
+    def _mod_down_exact(self, poly: RnsPolynomial,
+                        q_basis: RnsBasis) -> RnsPolynomial:
+        lq = len(q_basis)
+        delta = self._moddown_delta(poly.data[lq:], q_basis)
+        p_inv = inverse_mod_col(self.context.p_basis.modulus,
+                                q_basis.primes)
+        q_col = q_basis.q_col
+        data = (poly.data[:lq] - delta) % q_col * p_inv % q_col
+        return RnsPolynomial(q_basis, data, is_ntt=False)
+
+    # -- multiplication -------------------------------------------------
+    def multiply(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        """Tensor product then relinearization; the plaintext factor
+        multiplies mod ``t`` in exact integer arithmetic (the float
+        product of two 31-bit factors would round past 2^53)."""
+        t = self.context.t
+        out = super().multiply(x, y)
+        out.scale = float(int(x.scale) * int(y.scale) % t)
+        return out
+
+    # -- modulus switching ----------------------------------------------
+    def _switch_delta(self, q_last: int):
+        """Correction hook for the shared last-limb kernel: lift the
+        centred dropped limb to a multiple of ``t``."""
+        t = self.context.t
+        q_inv_t = pow(q_last % t, -1, t)
+
+        def delta_fn(centred: np.ndarray) -> np.ndarray:
+            k = (-centred * q_inv_t) % t
+            k = np.where(k > t // 2, k - t, k)
+            return centred + q_last * k
+
+        return delta_fn
+
+    def mod_switch(self, ct: Ciphertext, times: int = 1) -> Ciphertext:
+        """BGV modulus switching: divide by the last chain prime(s)
+        while keeping the plaintext mod t intact (up to the tracked
+        q^-1 factor) and shrinking the noise by ~q each time.
+
+        The stacked path is the shared NTT-domain rescale kernel with
+        the ``t``-multiple correction; the reference path round-trips
+        each polynomial through the coefficient domain.  Both are
+        bitwise identical.
+        """
+        t = self.context.t
+        factor = int(ct.scale)
+        out = ct
+        for _ in range(times):
+            basis = out.basis
+            if len(basis) < 2:
+                raise ValueError("no limbs left to switch away")
+            q_last = basis.primes[-1]
+            if self.stacked and out.is_ntt:
+                pair, new_basis = self.kernels.switch_down_ntt(
+                    out.pair(), basis, 2,
+                    delta_fn=self._switch_delta(q_last))
+                out = BgvCiphertext.from_pair(new_basis, pair, 1.0,
+                                              is_ntt=True)
+            else:
+                out = BgvCiphertext(c0=self._mod_switch_poly(out.c0),
+                                    c1=self._mod_switch_poly(out.c1),
+                                    scale=1.0)
+            factor = factor * pow(q_last, -1, t) % t
+        out.scale = float(factor)
+        return out
+
+    def _mod_switch_poly(self, poly: RnsPolynomial) -> RnsPolynomial:
+        """Coefficient-domain single-polynomial modulus switch (the
+        differential reference for :meth:`mod_switch`)."""
+        coeff = poly.to_coeff()
+        basis = coeff.basis
+        q_last = basis.primes[-1]
+        last = coeff.data[-1]
+        centred = np.where(last > q_last // 2, last - q_last, last)
+        delta = self._switch_delta(q_last)(centred)
+        new_basis = basis.prefix(len(basis) - 1)
+        inv_col = inverse_mod_col(q_last, new_basis.primes)
+        q_col = new_basis.q_col
+        data = (coeff.data[:-1] - delta[None, :] % q_col) \
+            % q_col * inv_col % q_col
+        return RnsPolynomial(new_basis, data, is_ntt=False).to_ntt()
 
 
 class BgvScheme:
     """Keygen, encryption and homomorphic evaluation for BGV."""
 
-    def __init__(self, context: BgvContext):
+    def __init__(self, context: BgvContext, *, stacked: bool = True):
         self.ctx = context
+        self.ev = BgvEvaluator(context, KeyChain(), stacked=stacked)
+        self.keygen = BgvKeyGenerator(context)
 
     # ------------------------------------------------------------------
     # Keys
     # ------------------------------------------------------------------
-    def gen_secret(self) -> BgvSecretKey:
-        ctx = self.ctx
-        poly = RnsPolynomial.random_ternary(ctx.q_basis, ctx.n, ctx.rng)
-        coeffs = np.array(poly.to_int_coeffs(signed=True), dtype=np.int64)
-        return BgvSecretKey(coeffs=coeffs)
+    def gen_secret(self) -> SecretKey:
+        return self.keygen.gen_secret()
 
+    def gen_relin(self, sk: SecretKey) -> SwitchingKey:
+        key = self.keygen.gen_relin(sk)
+        self.ev.keys.relin = key
+        return key
+
+    def gen_galois(self, step: int, sk: SecretKey) -> BgvGaloisKey:
+        key = self.keygen.gen_galois(step, sk)
+        return BgvGaloisKey(key=key,
+                            galois_elt=galois_element(step, self.ctx.n))
+
+    # ------------------------------------------------------------------
+    # Encrypt / decrypt (symmetric, sufficient for the workloads)
+    # ------------------------------------------------------------------
     def _noise(self, basis: RnsBasis) -> RnsPolynomial:
         """t * e with e discrete Gaussian (BGV places noise at t*e)."""
         ctx = self.ctx
@@ -147,51 +400,27 @@ class BgvScheme:
                                           ctx.params.sigma)
         return e.mul_scalar(ctx.t)
 
-    def gen_relin(self, sk: BgvSecretKey) -> BgvRelinKey:
+    def encrypt(self, slots, sk: SecretKey) -> BgvCiphertext:
         ctx = self.ctx
-        basis = ctx.qp_basis
-        s = sk.poly_ntt(basis)
-        a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
-        b = (-(a.pointwise_mul(s)) + self._noise(basis).to_ntt()
-             + s.pointwise_mul(s).mul_scalar(ctx.p_basis.modulus))
-        return BgvRelinKey(b=b, a=a)
-
-    def gen_galois(self, step: int, sk: BgvSecretKey) -> BgvGaloisKey:
-        ctx = self.ctx
-        basis = ctx.qp_basis
-        g = galois_element(step, ctx.n)
-        s = sk.poly_ntt(basis)
-        target = RnsPolynomial.from_small_coeffs(
-            basis, sk.coeffs).apply_automorphism(g).to_ntt()
-        a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
-        b = (-(a.pointwise_mul(s)) + self._noise(basis).to_ntt()
-             + target.mul_scalar(ctx.p_basis.modulus))
-        return BgvGaloisKey(b=b, a=a, galois_elt=g)
-
-    # ------------------------------------------------------------------
-    # Encrypt / decrypt (symmetric, sufficient for the workloads)
-    # ------------------------------------------------------------------
-    def encrypt(self, slots, sk: BgvSecretKey) -> BgvCiphertext:
-        ctx = self.ctx
-        basis = ctx.q_basis
+        basis = ctx.q_full
         m = RnsPolynomial.from_small_coeffs(basis,
                                             ctx.encode(slots)).to_ntt()
         a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
         s = sk.poly_ntt(basis)
         c0 = -(a.pointwise_mul(s)) + self._noise(basis).to_ntt() + m
-        return BgvCiphertext(c0=c0, c1=a)
+        return BgvCiphertext(c0=c0, c1=a, scale=1.0)
 
-    def decrypt(self, ct: BgvCiphertext, sk: BgvSecretKey) -> np.ndarray:
+    def decrypt(self, ct: BgvCiphertext, sk: SecretKey) -> np.ndarray:
+        ctx = self.ctx
+        t = ctx.t
         s = sk.poly_ntt(ct.basis)
-        m = ct.c0 + ct.c1.pointwise_mul(s)
-        coeffs = m.to_int_coeffs(signed=True)
-        correction = pow(ct.scale_t, -1, self.ctx.t)
-        reduced = np.array([c * correction % self.ctx.t for c in coeffs],
-                           dtype=np.int64)
-        return self.ctx.decode(reduced)
+        m = (ct.c0 + ct.c1.pointwise_mul(s)).to_coeff()
+        residues = centered_mod_t(m, t)
+        correction = pow(int(ct.scale), -1, t)
+        return ctx.decode(residues * correction % t)
 
     def noise_budget_bits(self, ct: BgvCiphertext,
-                          sk: BgvSecretKey) -> int:
+                          sk: SecretKey) -> int:
         """log2(Q / (2 * |noise|)): bits of multiplicative headroom."""
         s = sk.poly_ntt(ct.basis)
         m = ct.c0 + ct.c1.pointwise_mul(s)
@@ -204,48 +433,35 @@ class BgvScheme:
     # Homomorphic operations
     # ------------------------------------------------------------------
     def add(self, x: BgvCiphertext, y: BgvCiphertext) -> BgvCiphertext:
-        self._check_factors(x, y)
-        return BgvCiphertext(c0=x.c0 + y.c0, c1=x.c1 + y.c1,
-                             scale_t=x.scale_t)
-
-    def _check_factors(self, x: BgvCiphertext, y: BgvCiphertext) -> None:
-        if x.scale_t != y.scale_t:
-            raise ValueError("plaintext factors differ; mod-switch both "
-                             "operands identically before adding")
-        if x.basis != y.basis:
-            raise ValueError("operand bases differ")
+        return self.ev.add(x, y)
 
     def sub(self, x: BgvCiphertext, y: BgvCiphertext) -> BgvCiphertext:
-        self._check_factors(x, y)
-        return BgvCiphertext(c0=x.c0 - y.c0, c1=x.c1 - y.c1,
-                             scale_t=x.scale_t)
+        return self.ev.sub(x, y)
 
     def add_plain(self, ct: BgvCiphertext, slots) -> BgvCiphertext:
         m = RnsPolynomial.from_small_coeffs(
             ct.basis, self.ctx.encode(slots)).to_ntt()
         if ct.scale_t != 1:
             m = m.mul_scalar(ct.scale_t)
-        return BgvCiphertext(c0=ct.c0 + m, c1=ct.c1.copy(),
-                             scale_t=ct.scale_t)
+        return self.ev.add_plain(ct, Plaintext(poly=m, scale=ct.scale))
 
     def mul_plain(self, ct: BgvCiphertext, slots) -> BgvCiphertext:
         m = RnsPolynomial.from_small_coeffs(
             ct.basis, self.ctx.encode(slots)).to_ntt()
-        return BgvCiphertext(c0=ct.c0.pointwise_mul(m),
-                             c1=ct.c1.pointwise_mul(m),
-                             scale_t=ct.scale_t)
+        return self.ev.multiply_plain(ct, Plaintext(poly=m, scale=1.0))
 
     def multiply(self, x: BgvCiphertext, y: BgvCiphertext,
-                 rk: BgvRelinKey) -> BgvCiphertext:
-        """Tensor product then relinearization."""
-        if x.basis != y.basis:
-            raise ValueError("operand bases differ")
-        d0 = x.c0.pointwise_mul(y.c0)
-        d1 = x.c0.pointwise_mul(y.c1) + x.c1.pointwise_mul(y.c0)
-        d2 = x.c1.pointwise_mul(y.c1)
-        ks0, ks1 = self._key_switch(d2, rk.b, rk.a)
-        return BgvCiphertext(c0=d0 + ks0, c1=d1 + ks1,
-                             scale_t=x.scale_t * y.scale_t % self.ctx.t)
+                 rk: SwitchingKey | None = None) -> BgvCiphertext:
+        """Multiply; an explicit ``rk`` applies to this call only (the
+        evaluator's installed relin key is restored afterwards)."""
+        if rk is None:
+            return self.ev.multiply(x, y)
+        prev = self.ev.keys.relin
+        self.ev.keys.relin = rk
+        try:
+            return self.ev.multiply(x, y)
+        finally:
+            self.ev.keys.relin = prev
 
     def rotate(self, ct: BgvCiphertext, step: int,
                gk: BgvGaloisKey) -> BgvCiphertext:
@@ -253,99 +469,8 @@ class BgvScheme:
         g = galois_element(step, self.ctx.n)
         if g != gk.galois_elt:
             raise ValueError("Galois key does not match rotation step")
-        rc0 = ct.c0.apply_automorphism(g)
-        rc1 = ct.c1.apply_automorphism(g)
-        ks0, ks1 = self._key_switch(rc1, gk.b, gk.a)
-        return BgvCiphertext(c0=rc0 + ks0, c1=ks1, scale_t=ct.scale_t)
+        return self.ev._apply_galois(ct, g, gk.key)
 
     def mod_switch(self, ct: BgvCiphertext, times: int = 1
                    ) -> BgvCiphertext:
-        """BGV modulus switching: divide by the last chain prime(s)
-        while keeping the plaintext mod t intact (up to the tracked
-        q^-1 factor) and shrinking the noise by ~q each time."""
-        t = self.ctx.t
-        c0, c1 = ct.c0, ct.c1
-        factor = ct.scale_t
-        for _ in range(times):
-            if len(c0.basis) < 2:
-                raise ValueError("no limbs left to switch away")
-            q_last = c0.basis.primes[-1]
-            c0 = _bgv_drop_limb(c0, t)
-            c1 = _bgv_drop_limb(c1, t)
-            factor = factor * pow(q_last, -1, t) % t
-        return BgvCiphertext(c0=c0, c1=c1, scale_t=factor)
-
-    # ------------------------------------------------------------------
-    def _key_switch(self, d2: RnsPolynomial, kb: RnsPolynomial,
-                    ka: RnsPolynomial):
-        """Undecomposed key switch with t-divisible rounding.
-
-        Lift d2 to QP, multiply by the key, then divide by P with the
-        correction delta chosen ``= d2*key mod P`` and ``= 0 mod t`` so
-        the BGV plaintext is untouched.
-        """
-        ctx = self.ctx
-        from ..rns.bconv import mod_up
-
-        basis = d2.basis
-        ext = basis.extend(ctx.p_basis)
-        lifted = mod_up(d2.to_coeff(), ext).to_ntt()
-        w0 = lifted.pointwise_mul(self._restrict(kb, basis))
-        w1 = lifted.pointwise_mul(self._restrict(ka, basis))
-        return self._div_p(w0, basis), self._div_p(w1, basis)
-
-    def _restrict(self, key_poly: RnsPolynomial,
-                  q_basis: RnsBasis) -> RnsPolynomial:
-        """Key rows for the current Q prefix plus all P limbs."""
-        lq_full = len(self.ctx.q_basis)
-        rows = np.concatenate([key_poly.data[:len(q_basis)],
-                               key_poly.data[lq_full:]])
-        return RnsPolynomial(q_basis.extend(self.ctx.p_basis), rows,
-                             is_ntt=key_poly.is_ntt)
-
-    def _div_p(self, w: RnsPolynomial,
-               q_basis: RnsBasis | None = None) -> RnsPolynomial:
-        """(w - delta)/P over Q, with delta = [w]_P lifted to 0 mod t."""
-        ctx = self.ctx
-        if q_basis is None:
-            q_basis = ctx.q_basis
-        lq = len(q_basis)
-        w = w.to_coeff()
-        p_part = RnsPolynomial(ctx.p_basis, w.data[lq:].copy(),
-                               is_ntt=False)
-        # Centered delta as exact integers (n is small for BGV runs).
-        delta = p_part.to_int_coeffs(signed=True)
-        big_p = ctx.p_basis.modulus
-        t = ctx.t
-        p_inv_t = pow(big_p % t, -1, t)
-        adjusted = []
-        for d in delta:
-            k = (-d * p_inv_t) % t
-            if k > t // 2:
-                k -= t
-            adjusted.append(d + big_p * k)
-        out = np.empty((lq, ctx.n), dtype=np.int64)
-        for j, q in enumerate(q_basis.primes):
-            inv = pow(big_p % q, -1, q)
-            dmod = np.array([d % q for d in adjusted], dtype=np.int64)
-            out[j] = (w.data[j] - dmod) % q * inv % q
-        return RnsPolynomial(q_basis, out, is_ntt=False).to_ntt()
-
-
-def _bgv_drop_limb(poly: RnsPolynomial, t: int) -> RnsPolynomial:
-    """One BGV modulus switch: ``(c - delta)/q_last`` with the
-    correction ``delta = [c]_q_last`` lifted to a multiple of ``t``."""
-    coeff = poly.to_coeff()
-    q_last = coeff.basis.primes[-1]
-    last = coeff.data[-1]
-    centred = np.where(last > q_last // 2, last - q_last, last)
-    q_inv_t = pow(q_last, -1, t)
-    k = (-centred * q_inv_t) % t
-    k = np.where(k > t // 2, k - t, k)
-    new_basis = coeff.basis.prefix(len(coeff.basis) - 1)
-    out = np.empty((len(new_basis), coeff.n), dtype=np.int64)
-    for j, q in enumerate(new_basis.primes):
-        inv = pow(q_last % q, -1, q)
-        delta = (centred + q_last * k) % q
-        out[j] = (coeff.data[j] - delta) % q * inv % q
-    return RnsPolynomial(new_basis, out, is_ntt=False).to_ntt()
+        return self.ev.mod_switch(ct, times=times)

@@ -1,169 +1,13 @@
-"""Plaintext and ciphertext containers for RNS-CKKS."""
+"""Plaintext and ciphertext containers for RNS-CKKS.
+
+The containers themselves are scheme-agnostic — a CKKS ciphertext is
+the same ``(2L, N)`` stacked residue pair BFV and BGV use — so they
+live in :mod:`repro.schemes.rns_core`; this module re-exports them
+under their historical import path.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..rns_core import Ciphertext, Ciphertext3, Plaintext
 
-import numpy as np
-
-from ...rns.basis import RnsBasis
-from ...rns.poly import RnsPolynomial, shoup_precompute
-
-
-@dataclass
-class Plaintext:
-    """An encoded message: one polynomial plus its scaling factor.
-
-    Plaintext operands are static constants (matrix diagonals,
-    EvalMod coefficients) multiplied against many ciphertexts, so the
-    NTT-domain residues are Shoup-frozen on first use and cached per
-    level — EFFACT's precomputed-constant philosophy applied to
-    plaintexts, mirroring the Shoup-frozen switching keys.  Treat the
-    polynomial as immutable after encoding.
-    """
-
-    poly: RnsPolynomial
-    scale: float
-    _frozen: dict = field(default_factory=dict, repr=False, compare=False)
-
-    @property
-    def level(self) -> int:
-        return len(self.poly.basis) - 1
-
-    def copy(self) -> "Plaintext":
-        return Plaintext(poly=self.poly.copy(), scale=self.scale)
-
-    def frozen_ntt_tables(self, limbs: int) -> tuple[np.ndarray,
-                                                     np.ndarray]:
-        """Shoup-frozen NTT-domain residues restricted to the first
-        ``limbs`` limbs (companions are per-limb, so prefix rows of the
-        full-basis freeze stay valid)."""
-        full_limbs = len(self.poly.basis)
-        if limbs > full_limbs:
-            raise ValueError("plaintext level below ciphertext level")
-        hit = self._frozen.get(limbs)
-        if hit is None:
-            full = self._frozen.get(full_limbs)
-            if full is None:
-                ntt_poly = self.poly if self.poly.is_ntt \
-                    else self.poly.to_ntt()
-                full = shoup_precompute(ntt_poly)
-                self._frozen[full_limbs] = full
-            values, companions = full
-            hit = (values[:limbs], companions[:limbs])
-            self._frozen[limbs] = hit
-        return hit
-
-    def frozen_pair_tables(self, limbs: int) -> tuple[np.ndarray,
-                                                      np.ndarray]:
-        """The :meth:`frozen_ntt_tables` rows doubled to ``2*limbs``
-        for one Shoup multiply against a stacked ciphertext pair —
-        built once per level and cached, like the single tables."""
-        key = ("pair", limbs)
-        hit = self._frozen.get(key)
-        if hit is None:
-            values, companions = self.frozen_ntt_tables(limbs)
-            hit = (np.concatenate([values, values]),
-                   np.concatenate([companions, companions]))
-            self._frozen[key] = hit
-        return hit
-
-
-@dataclass
-class Ciphertext:
-    """A CKKS ciphertext ``(c0, c1)`` with ``c0 + c1*s = scale*m + e``.
-
-    Both polynomials are kept in the NTT (evaluation) domain between
-    operations, matching how real accelerators (and this paper's data
-    flow diagrams) stage ciphertext data.
-
-    The stacked evaluator additionally views the pair as one
-    ``(2L, N)`` residue stack (:meth:`pair`): ``c0`` occupies the first
-    ``L`` rows and ``c1`` the last ``L``, so domain transforms,
-    automorphisms and modular arithmetic issue one batched kernel for
-    the whole ciphertext.  Ciphertexts built from two separate
-    polynomials stack lazily on first use; after stacking, ``c0`` and
-    ``c1`` are zero-copy row views of the shared stack.
-    """
-
-    c0: RnsPolynomial
-    c1: RnsPolynomial
-    scale: float
-    _pair: np.ndarray | None = field(default=None, repr=False,
-                                     compare=False)
-
-    def __post_init__(self):
-        if self.c0.basis != self.c1.basis:
-            raise ValueError("ciphertext components must share a basis")
-
-    @classmethod
-    def from_pair(cls, basis: RnsBasis, pair: np.ndarray, scale: float,
-                  *, is_ntt: bool = True) -> "Ciphertext":
-        """Wrap a stacked ``(2L, N)`` residue pair; ``c0``/``c1`` are
-        row views, so no data is copied."""
-        pair = np.ascontiguousarray(pair, dtype=np.int64)
-        limbs = len(basis)
-        if pair.ndim != 2 or pair.shape[0] != 2 * limbs:
-            raise ValueError(
-                f"pair shape {pair.shape} does not match a "
-                f"{limbs}-limb basis")
-        ct = cls(c0=RnsPolynomial(basis, pair[:limbs], is_ntt=is_ntt),
-                 c1=RnsPolynomial(basis, pair[limbs:], is_ntt=is_ntt),
-                 scale=scale)
-        ct._pair = pair
-        return ct
-
-    def pair(self) -> np.ndarray:
-        """The stacked ``(2L, N)`` view of ``(c0, c1)``.
-
-        Builds the stack on first call (one concatenation) and rebinds
-        ``c0``/``c1`` as views of it, so later in-place consumers can
-        never desynchronise the two representations.
-        """
-        if self._pair is None:
-            if self.c0.is_ntt != self.c1.is_ntt:
-                raise ValueError("cannot stack a mixed-domain "
-                                 "ciphertext pair")
-            pair = np.concatenate([self.c0.data, self.c1.data])
-            limbs = len(self.basis)
-            self.c0 = RnsPolynomial(self.basis, pair[:limbs],
-                                    is_ntt=self.c0.is_ntt)
-            self.c1 = RnsPolynomial(self.basis, pair[limbs:],
-                                    is_ntt=self.c1.is_ntt)
-            self._pair = pair
-        return self._pair
-
-    @property
-    def basis(self) -> RnsBasis:
-        return self.c0.basis
-
-    @property
-    def is_ntt(self) -> bool:
-        return self.c0.is_ntt
-
-    @property
-    def level(self) -> int:
-        """Current level l: the basis holds l+1 limbs (paper Table I)."""
-        return len(self.c0.basis) - 1
-
-    @property
-    def n(self) -> int:
-        return self.c0.n
-
-    def copy(self) -> "Ciphertext":
-        if self._pair is not None:
-            return Ciphertext.from_pair(self.basis, self._pair.copy(),
-                                        self.scale, is_ntt=self.c0.is_ntt)
-        return Ciphertext(c0=self.c0.copy(), c1=self.c1.copy(),
-                          scale=self.scale)
-
-
-@dataclass
-class Ciphertext3:
-    """The pre-relinearization triple ``(d0, d1, d2)`` of HMULT,
-    decryptable under ``(1, s, s^2)`` (paper section II-C)."""
-
-    d0: RnsPolynomial
-    d1: RnsPolynomial
-    d2: RnsPolynomial
-    scale: float
+__all__ = ["Ciphertext", "Ciphertext3", "Plaintext"]

@@ -6,6 +6,15 @@ automorphism, BConv) — the same decomposition
 :mod:`repro.compiler.lowering` performs symbolically when compiling for
 the EFFACT architecture.
 
+The scheme-independent machinery — stacked ciphertext-pair layout,
+stacked key switching (digit lift through one ``(beta*E, N)`` NTT,
+Shoup MACs against digit-stacked key tables, NTT-domain ModDown),
+pair-wide BConv, plaintext Shoup-table caching, rotation hoisting —
+lives in :class:`repro.schemes.rns_core.RnsEvaluatorBase`, which BFV
+and BGV share.  This subclass adds only what is CKKS: approximate
+scale tracking, rescaling by the last chain prime, and real/complex
+scalar encoding.
+
 The evaluator runs in one of two modes:
 
 * **stacked** (the default) — every ciphertext is treated as a single
@@ -26,97 +35,32 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...nttmath.batched import get_plan, scratch, shoup_mul_lazy
-from ...nttmath.ntt import conjugation_element, galois_element
-from ...rns.basis import RnsBasis
-from ...rns.bconv import (
-    base_convert,
-    base_convert_pair,
-    inverse_mod_col,
-    mod_down,
-    mod_up,
-    rescale_last,
-    rescale_last_pair,
-)
-from ...rns.poly import (
-    RnsPolynomial,
-    pointwise_mac_shoup,
-    pointwise_mul_shoup,
-    pointwise_mul_shoup_stacked,
-    stacked_engine,
-    to_coeff_stacked,
-    to_ntt_stacked,
-)
-from .ciphertext import Ciphertext, Ciphertext3, Plaintext
-from .keys import CkksContext, KeyChain, SwitchingKey
-
-_SCALE_TOLERANCE = 1e-6
+from ...rns.bconv import rescale_last, rescale_last_pair
+from ..rns_core import RnsEvaluatorBase
+from .ciphertext import Ciphertext
+from .keys import CkksContext, KeyChain
 
 
-def _pair_col(col: np.ndarray) -> np.ndarray:
-    """Double an ``(L, 1)`` per-limb constant column to ``(2L, 1)`` so
-    one broadcast expression covers a stacked ciphertext pair."""
-    return np.concatenate([col, col])
-
-
-class CkksEvaluator:
+class CkksEvaluator(RnsEvaluatorBase):
     """Stateless evaluator bound to a context and a key chain."""
 
     def __init__(self, context: CkksContext, keys: KeyChain | None = None,
                  *, stacked: bool = True):
-        self.context = context
-        self.keys = keys or KeyChain()
-        self.stacked = stacked
-
-    def _pair_engine(self, basis: RnsBasis):
-        """The ``(2L, N)`` engine transforming both ciphertext halves
-        over ``basis`` in one pass."""
-        return stacked_engine(self.context.n, (basis, basis))
+        super().__init__(context, keys, stacked=stacked)
 
     # ------------------------------------------------------------------
-    # Level and scale maintenance
+    # Scale maintenance (the CKKS-specific piece)
     # ------------------------------------------------------------------
-    def drop_level(self, ct: Ciphertext, level: int) -> Ciphertext:
-        """Drop to a lower level without rescaling (Mod Down in Fig 1b)."""
-        if level > ct.level:
-            raise ValueError("cannot raise a ciphertext level by dropping")
-        if level == ct.level:
-            return ct
-        basis = self.context.q_basis(level)
-        if not self.stacked:
-            return Ciphertext(c0=ct.c0.drop_to(basis),
-                              c1=ct.c1.drop_to(basis), scale=ct.scale)
-        limbs = len(ct.basis)
-        l1 = level + 1
-        pair = ct.pair()
-        out = np.concatenate([pair[:l1], pair[limbs:limbs + l1]])
-        return Ciphertext.from_pair(basis, out, ct.scale, is_ntt=ct.is_ntt)
-
-    def _align(self, x: Ciphertext,
-               y: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
-        level = min(x.level, y.level)
-        return self.drop_level(x, level), self.drop_level(y, level)
-
-    def _check_scales(self, a: float, b: float) -> None:
-        if abs(a - b) > _SCALE_TOLERANCE * max(a, b):
-            raise ValueError(
-                f"scale mismatch: {a:g} vs {b:g}; rescale or use "
-                f"multiply_scalar to match scales first")
-
-    def _check_domains(self, a: bool, b: bool) -> None:
-        if a != b:
-            raise ValueError("domain mismatch (ntt vs coeff)")
-
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """Divide by the last chain prime and drop one level.
 
-        The stacked path keeps the pair in the NTT domain: only the
-        dropped limb of each half is iNTT'd (2 rows), its centred
-        re-reductions are NTT'd back, and the subtract + q_last^-1
-        scaling fold in the NTT domain — the modulus-switch dataflow
-        the IR lowering emits, bitwise identical to the coefficient
-        round trip because the NTT is Z_q-linear and commutes with
-        per-limb constants.
+        The stacked path keeps the pair in the NTT domain via the
+        shared :meth:`~repro.schemes.rns_core.StackedKernels.\
+switch_down_ntt` kernel (identity correction): only the dropped limb
+        of each half is iNTT'd (2 rows), its centred re-reductions are
+        NTT'd back, and the subtract + q_last^-1 scaling fold in the
+        NTT domain — the modulus-switch dataflow the IR lowering emits,
+        bitwise identical to the coefficient round trip.
         """
         q_last = ct.basis.primes[-1]
         if not self.stacked:
@@ -127,28 +71,14 @@ class CkksEvaluator:
         limbs = len(basis)
         if limbs < 2:
             raise ValueError("cannot rescale a single-limb polynomial")
-        new_basis = basis.prefix(limbs - 1)
         pair = ct.pair()
-        n = ct.n
         if not ct.is_ntt:
+            new_basis = basis.prefix(limbs - 1)
             down = rescale_last_pair(pair, basis)
             out = self._pair_engine(new_basis).forward(down)
             return Ciphertext.from_pair(new_basis, out,
                                         ct.scale / q_last, is_ntt=True)
-        last = np.concatenate([pair[limbs - 1:limbs], pair[2 * limbs - 1:]])
-        last_chain = ((q_last,), (q_last,))
-        last_coeff = stacked_engine(self.context.n,
-                                    last_chain).inverse(last)
-        centred = np.where(last_coeff > q_last // 2,
-                           last_coeff - q_last, last_coeff)
-        corr = (centred[:, None, :] % new_basis.q_col).reshape(
-            2 * (limbs - 1), n)
-        corr_ntt = self._pair_engine(new_basis).forward(corr)
-        acc = np.concatenate([pair[:limbs - 1],
-                              pair[limbs:2 * limbs - 1]])
-        inv_col = inverse_mod_col(q_last, new_basis.primes)
-        q2_col = _pair_col(new_basis.q_col)
-        out = (acc - corr_ntt) % q2_col * _pair_col(inv_col) % q2_col
+        out, new_basis = self.kernels.switch_down_ntt(pair, basis, 2)
         return Ciphertext.from_pair(new_basis, out, ct.scale / q_last,
                                     is_ntt=True)
 
@@ -183,163 +113,13 @@ class CkksEvaluator:
         return out
 
     # ------------------------------------------------------------------
-    # Addition family
+    # Scalar encoding (CKKS approximates reals/complex)
     # ------------------------------------------------------------------
-    def add(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
-        x, y = self._align(x, y)
-        self._check_scales(x.scale, y.scale)
-        if not self.stacked:
-            return Ciphertext(c0=x.c0 + y.c0, c1=x.c1 + y.c1,
-                              scale=x.scale)
-        self._check_domains(x.is_ntt, y.is_ntt)
-        pair = (x.pair() + y.pair()) % _pair_col(x.basis.q_col)
-        return Ciphertext.from_pair(x.basis, pair, x.scale,
-                                    is_ntt=x.is_ntt)
-
-    def sub(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
-        x, y = self._align(x, y)
-        self._check_scales(x.scale, y.scale)
-        if not self.stacked:
-            return Ciphertext(c0=x.c0 - y.c0, c1=x.c1 - y.c1,
-                              scale=x.scale)
-        self._check_domains(x.is_ntt, y.is_ntt)
-        pair = (x.pair() - y.pair()) % _pair_col(x.basis.q_col)
-        return Ciphertext.from_pair(x.basis, pair, x.scale,
-                                    is_ntt=x.is_ntt)
-
-    def negate(self, ct: Ciphertext) -> Ciphertext:
-        if not self.stacked:
-            return Ciphertext(c0=-ct.c0, c1=-ct.c1, scale=ct.scale)
-        pair = (-ct.pair()) % _pair_col(ct.basis.q_col)
-        return Ciphertext.from_pair(ct.basis, pair, ct.scale,
-                                    is_ntt=ct.is_ntt)
-
-    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
-        self._check_scales(ct.scale, pt.scale)
-        poly = self._match_plain(pt, ct)
-        if not self.stacked:
-            return Ciphertext(c0=ct.c0 + poly, c1=ct.c1.copy(),
-                              scale=ct.scale)
-        self._check_domains(ct.is_ntt, poly.is_ntt)
-        limbs = len(ct.basis)
-        out = ct.pair().copy()
-        out[:limbs] = (out[:limbs] + poly.data) % ct.basis.q_col
-        return Ciphertext.from_pair(ct.basis, out, ct.scale,
-                                    is_ntt=ct.is_ntt)
-
-    def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
-        self._check_scales(ct.scale, pt.scale)
-        poly = self._match_plain(pt, ct)
-        if not self.stacked:
-            return Ciphertext(c0=ct.c0 - poly, c1=ct.c1.copy(),
-                              scale=ct.scale)
-        self._check_domains(ct.is_ntt, poly.is_ntt)
-        limbs = len(ct.basis)
-        out = ct.pair().copy()
-        out[:limbs] = (out[:limbs] - poly.data) % ct.basis.q_col
-        return Ciphertext.from_pair(ct.basis, out, ct.scale,
-                                    is_ntt=ct.is_ntt)
-
     def add_scalar(self, ct: Ciphertext, value: complex) -> Ciphertext:
         pt = self.context.encode(
             np.full(self.context.params.slots, value),
             level=ct.level, scale=ct.scale)
         return self.add_plain(ct, pt)
-
-    def _match_plain(self, pt: Plaintext, ct: Ciphertext) -> RnsPolynomial:
-        poly = pt.poly if pt.poly.is_ntt else pt.poly.to_ntt()
-        if poly.basis == ct.basis:
-            return poly
-        if len(poly.basis) < len(ct.basis):
-            raise ValueError("plaintext level below ciphertext level")
-        return RnsPolynomial(ct.basis, poly.data[:len(ct.basis)].copy(),
-                             is_ntt=True)
-
-    # ------------------------------------------------------------------
-    # Multiplication family
-    # ------------------------------------------------------------------
-    def multiply_no_relin(self, x: Ciphertext,
-                          y: Ciphertext) -> Ciphertext3:
-        x, y = self._align(x, y)
-        if not self.stacked:
-            d0 = x.c0.pointwise_mul(y.c0)
-            d1 = x.c0.pointwise_mul(y.c1) + x.c1.pointwise_mul(y.c0)
-            d2 = x.c1.pointwise_mul(y.c1)
-            return Ciphertext3(d0=d0, d1=d1, d2=d2,
-                               scale=x.scale * y.scale)
-        self._check_domains(x.is_ntt, y.is_ntt)
-        basis = x.basis
-        q_col = basis.q_col
-        limbs = len(basis)
-        # One stacked product yields [d0; d2]; d1 is the cross term.
-        outer = x.pair() * y.pair() % _pair_col(q_col)
-        d1 = (x.c0.data * y.c1.data % q_col
-              + x.c1.data * y.c0.data % q_col) % q_col
-        return Ciphertext3(
-            d0=RnsPolynomial(basis, outer[:limbs], is_ntt=x.is_ntt),
-            d1=RnsPolynomial(basis, d1, is_ntt=x.is_ntt),
-            d2=RnsPolynomial(basis, outer[limbs:], is_ntt=x.is_ntt),
-            scale=x.scale * y.scale)
-
-    def relinearize(self, ct3: Ciphertext3) -> Ciphertext:
-        if self.keys.relin is None:
-            raise ValueError("no relinearization key in the key chain")
-        if not self.stacked:
-            ks0, ks1 = self.key_switch(ct3.d2.to_coeff(), self.keys.relin)
-            return Ciphertext(c0=ct3.d0 + ks0, c1=ct3.d1 + ks1,
-                              scale=ct3.scale)
-        self._check_domains(ct3.d0.is_ntt, True)
-        d2 = ct3.d2
-        ks_pair, q_basis = self._key_switch_pair(
-            d2.to_coeff(), self.keys.relin,
-            ntt_rows=d2.data if d2.is_ntt else None)
-        d01 = np.concatenate([ct3.d0.data, ct3.d1.data])
-        out = (d01 + ks_pair) % _pair_col(q_basis.q_col)
-        return Ciphertext.from_pair(q_basis, out, ct3.scale, is_ntt=True)
-
-    def multiply(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
-        """HMULT with relinearization; caller rescales when ready."""
-        return self.relinearize(self.multiply_no_relin(x, y))
-
-    def square(self, ct: Ciphertext) -> Ciphertext:
-        return self.multiply(ct, ct)
-
-    def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
-        """Ciphertext-plaintext product with Shoup-frozen constants.
-
-        The plaintext's NTT residues (with Shoup companions) are frozen
-        once on the plaintext and sliced per level, so every repeated
-        diagonal/coefficient multiply is division-free — bitwise
-        identical to the plain ``pointwise_mul`` path.  The stacked
-        path multiplies both ciphertext halves against the doubled
-        frozen tables in a single Shoup pass.
-        """
-        if not ct.c0.is_ntt:
-            raise ValueError("multiply_plain expects an NTT-domain "
-                             "ciphertext")
-        if not self.stacked:
-            tables = pt.frozen_ntt_tables(len(ct.basis))
-            return Ciphertext(c0=pointwise_mul_shoup(ct.c0, tables),
-                              c1=pointwise_mul_shoup(ct.c1, tables),
-                              scale=ct.scale * pt.scale)
-        tables = pt.frozen_pair_tables(len(ct.basis))
-        out = pointwise_mul_shoup_stacked(ct.pair(), tables,
-                                          _pair_col(ct.basis.q_col))
-        return Ciphertext.from_pair(ct.basis, out, ct.scale * pt.scale,
-                                    is_ntt=True)
-
-    def _mul_int(self, ct: Ciphertext, value: int,
-                 scale: float) -> Ciphertext:
-        """Both components times an integer constant, at ``scale``."""
-        if not self.stacked:
-            return Ciphertext(c0=ct.c0.mul_scalar(value),
-                              c1=ct.c1.mul_scalar(value), scale=scale)
-        value = int(value)
-        basis = ct.basis
-        s_col = np.array([value % p for p in basis.primes],
-                         dtype=np.int64).reshape(-1, 1)
-        pair = ct.pair() * _pair_col(s_col) % _pair_col(basis.q_col)
-        return Ciphertext.from_pair(basis, pair, scale, is_ntt=ct.is_ntt)
 
     def multiply_scalar(self, ct: Ciphertext, value: float,
                         scale: float | None = None) -> Ciphertext:
@@ -354,329 +134,3 @@ class CkksEvaluator:
             scale = float(ct.basis.primes[-1])
         encoded = int(round(value * scale))
         return self._mul_int(ct, encoded, ct.scale * scale)
-
-    def multiply_int(self, ct: Ciphertext, value: int) -> Ciphertext:
-        """Multiply by a small integer without scale growth."""
-        return self._mul_int(ct, value, ct.scale)
-
-    # ------------------------------------------------------------------
-    # Key switching (hybrid, dnum digits) — the iNTT-BConv-NTT pipeline
-    # ------------------------------------------------------------------
-    def key_switch(self, d2: RnsPolynomial,
-                   key: SwitchingKey) -> tuple[RnsPolynomial, RnsPolynomial]:
-        """Switch coefficient-domain ``d2`` to the secret key; returns
-        NTT-domain ``(ks0, ks1)`` over d2's basis.
-
-        This is the paper's Figure 2 data flow: per digit, iNTT (already
-        done by the caller handing coefficient data), BConv (inside
-        :func:`mod_up`), NTT, then multiply-accumulate with the evk and
-        a final ModDown.  On the stacked path the digit NTTs run as one
-        ``(beta*E, N)`` pass, both key MACs as one Shoup multiply each
-        over the digit stack, and both ModDown accumulators as stacked
-        pair transforms.
-        """
-        if d2.is_ntt:
-            raise ValueError("key_switch expects coefficient-domain input")
-        if not self.stacked:
-            ctx = self.context
-            level = len(d2.basis) - 1
-            ext = ctx.ext_basis(level)
-            digits = list(self._decompose_and_lift(d2, level, ext))
-            b_tables, a_tables = self._restricted_tables(key, level,
-                                                         len(digits))
-            acc0 = pointwise_mac_shoup(digits, b_tables, ext)
-            acc1 = pointwise_mac_shoup(digits, a_tables, ext)
-            q_basis = ctx.q_basis(level)
-            return self._mod_down_pair(acc0, acc1, q_basis)
-        ks_pair, q_basis = self._key_switch_pair(d2, key)
-        limbs = len(q_basis)
-        return (RnsPolynomial(q_basis, ks_pair[:limbs], is_ntt=True),
-                RnsPolynomial(q_basis, ks_pair[limbs:], is_ntt=True))
-
-    # -- stacked key-switch internals ----------------------------------
-    def _key_switch_pair(self, d2: RnsPolynomial, key: SwitchingKey,
-                         ntt_rows: np.ndarray | None = None
-                         ) -> tuple[np.ndarray, RnsBasis]:
-        """Full stacked key switch of coefficient-domain ``d2``:
-        returns the NTT-domain ``(2(l+1), N)`` ks pair and its basis.
-        ``ntt_rows`` optionally carries the NTT-domain source ``d2``
-        was derived from (``d2 = iNTT(ntt_rows)``), letting the digit
-        lift skip re-transforming the kept rows."""
-        ctx = self.context
-        level = len(d2.basis) - 1
-        ext = ctx.ext_basis(level)
-        beta = ctx.num_digits(level)
-        lifted = self._lift_digits_stacked(d2.data, level, ext, beta,
-                                           ntt_rows=ntt_rows)
-        acc_pair = self._key_mac_pair(lifted, key, level, beta, ext)
-        q_basis = ctx.q_basis(level)
-        return self._mod_down_pair_stacked(acc_pair, ext, q_basis), q_basis
-
-    def _lift_digits_stacked(self, data: np.ndarray, level: int,
-                             ext: RnsBasis, beta: int, *,
-                             ntt_rows: np.ndarray | None = None
-                             ) -> np.ndarray:
-        """Decompose + ModUp all digits, then run their forward NTTs as
-        one stacked pass; returns the NTT-domain ``(beta*E, N)`` digit
-        stack (digit ``j`` occupies rows ``j*E..(j+1)*E``).
-
-        When ``ntt_rows`` (the NTT-domain rows ``data`` was iNTT'd
-        from) is available, each digit's kept rows are taken from it
-        verbatim — ``forward(inverse(x)) == x`` bitwise — and only the
-        BConv-extended rows go through the forward NTT, as one
-        mixed-basis ``(beta*(E-alpha), N)`` stacked transform.
-        """
-        ctx = self.context
-        alpha = ctx.params.alpha
-        ext_limbs = len(ext)
-        n = data.shape[1]
-        if ntt_rows is None:
-            coeff = np.empty((beta * ext_limbs, n), dtype=np.int64)
-            for j in range(beta):
-                primes = ctx.digit_primes(j, level)
-                rows = slice(j * alpha, j * alpha + len(primes))
-                digit = RnsPolynomial(RnsBasis(primes), data[rows],
-                                      is_ntt=False)
-                coeff[j * ext_limbs:(j + 1) * ext_limbs] = \
-                    mod_up(digit, ext).data
-            engine = stacked_engine(ctx.n, (ext,) * beta)
-            return engine.forward(coeff)
-        lifted = np.empty((beta * ext_limbs, n), dtype=np.int64)
-        blocks, chains, placements = [], [], []
-        for j in range(beta):
-            primes = ctx.digit_primes(j, level)
-            lo = j * alpha
-            hi = lo + len(primes)
-            digit = RnsPolynomial(RnsBasis(primes), data[lo:hi],
-                                  is_ntt=False)
-            kept = set(primes)
-            missing = RnsBasis([p for p in ext.primes if p not in kept])
-            blocks.append(base_convert(digit, missing).data)
-            chains.append(missing.primes)
-            placements.append(np.array(
-                [i for i, p in enumerate(ext.primes) if p not in kept],
-                dtype=np.intp) + j * ext_limbs)
-            lifted[j * ext_limbs + lo:j * ext_limbs + hi] = \
-                ntt_rows[lo:hi]
-        converted = stacked_engine(ctx.n, tuple(chains)).forward(
-            np.concatenate(blocks))
-        row = 0
-        for rows in placements:
-            lifted[rows] = converted[row:row + len(rows)]
-            row += len(rows)
-        return lifted
-
-    def _key_mac_pair(self, lifted: np.ndarray, key: SwitchingKey,
-                      level: int, beta: int, ext: RnsBasis) -> np.ndarray:
-        """Both key MACs over the stacked digit block in one Shoup
-        multiply each: ``acc0 = sum_j d_j (*) b_j`` lands in rows
-        ``:E`` and ``acc1`` in rows ``E:`` — bitwise identical to
-        :func:`pointwise_mac_shoup` per accumulator (uint64 partial
-        sums are order-independent; one final reduction)."""
-        ext_limbs = len(ext)
-        n = lifted.shape[1]
-        k = len(self.context.p_basis)
-        total = self.context.max_level + 1 + k
-        rows = tuple(range(level + 1)) + tuple(range(total - k, total))
-        (b_u, b_sh), (a_u, a_sh) = key.stacked_tables(beta, rows)
-        q_u = ext.q_col.astype(np.uint64)
-        q_tiled = np.tile(q_u, (beta, 1))
-        x = scratch("kmac_x", lifted.shape)
-        hi = scratch("kmac_hi", lifted.shape)
-        terms = scratch("kmac_t", lifted.shape)
-        np.copyto(x, lifted, casting="unsafe")
-        acc = np.empty((2 * ext_limbs, n), dtype=np.uint64)
-        shoup_mul_lazy(x, b_u, b_sh, q_tiled, out=terms, hi=hi)
-        np.sum(terms.reshape(beta, ext_limbs, n), axis=0,
-               out=acc[:ext_limbs])
-        shoup_mul_lazy(x, a_u, a_sh, q_tiled, out=terms, hi=hi)
-        np.sum(terms.reshape(beta, ext_limbs, n), axis=0,
-               out=acc[ext_limbs:])
-        acc %= np.concatenate([q_u, q_u])
-        return acc.astype(np.int64)
-
-    def _mod_down_pair_stacked(self, acc_pair: np.ndarray, ext: RnsBasis,
-                               q_basis: RnsBasis) -> np.ndarray:
-        """ModDown the stacked accumulator pair in the NTT domain:
-        ``ks = (acc - NTT(BConv_P(iNTT(acc_P)))) * P^-1 mod Q``.
-
-        Only the ``2k`` P-limb rows round-trip through the iNTT; the
-        correction converts in one pair BConv and returns through one
-        ``(2(l+1), N)`` NTT, and the subtraction/scaling stay on the
-        NTT-domain accumulators — the exact dataflow
-        :meth:`repro.compiler.lowering.HeLowering.key_switch` emits,
-        bitwise identical to the full coefficient round trip by NTT
-        linearity."""
-        n = self.context.n
-        p_basis = self.context.p_basis
-        l1 = len(q_basis)
-        ext_limbs = len(ext)
-        acc_p = np.concatenate([acc_pair[l1:ext_limbs],
-                                acc_pair[ext_limbs + l1:]])
-        coeff_p = stacked_engine(n, (p_basis, p_basis)).inverse(acc_p)
-        corr = base_convert_pair(coeff_p, p_basis, q_basis)
-        corr_ntt = stacked_engine(n, (q_basis, q_basis)).forward(corr)
-        acc_q = np.concatenate([acc_pair[:l1],
-                                acc_pair[ext_limbs:ext_limbs + l1]])
-        p_inv_col = inverse_mod_col(p_basis.modulus, q_basis.primes)
-        q2_col = _pair_col(q_basis.q_col)
-        return (acc_q - corr_ntt) % q2_col * _pair_col(p_inv_col) % q2_col
-
-    # -- legacy key-switch internals (the differential reference) ------
-    def _mod_down_pair(self, acc0: RnsPolynomial, acc1: RnsPolynomial,
-                       q_basis: RnsBasis
-                       ) -> tuple[RnsPolynomial, RnsPolynomial]:
-        """ModDown both key-switch accumulators, running the two iNTTs
-        (and the two final NTTs) as single stacked ``(2L, N)``
-        transforms — bitwise identical to per-accumulator transforms."""
-        c0, c1 = to_coeff_stacked((acc0, acc1))
-        ks0 = mod_down(c0, q_basis, self.context.p_basis)
-        ks1 = mod_down(c1, q_basis, self.context.p_basis)
-        ks0, ks1 = to_ntt_stacked((ks0, ks1))
-        return ks0, ks1
-
-    def _decompose_and_lift(self, d2: RnsPolynomial, level: int,
-                            ext: RnsBasis):
-        """Yield each digit of ``d2`` lifted (ModUp) to the ext basis,
-        in the NTT domain."""
-        ctx = self.context
-        alpha = ctx.params.alpha
-        for j in range(ctx.num_digits(level)):
-            primes = ctx.digit_primes(j, level)
-            rows = slice(j * alpha, j * alpha + len(primes))
-            digit = RnsPolynomial(RnsBasis(primes), d2.data[rows].copy(),
-                                  is_ntt=False)
-            yield mod_up(digit, ext).to_ntt()
-
-    def _restricted_tables(self, key: SwitchingKey, level: int,
-                           count: int) -> tuple[list, list]:
-        """Shoup tables for the first ``count`` digits of ``key``,
-        restricted to the level's ext basis rows (q_0..q_level + P)."""
-        k = len(self.context.p_basis)
-
-        def restrict(table):
-            s_u, s_sh = table
-            return (np.concatenate([s_u[:level + 1], s_u[-k:]]),
-                    np.concatenate([s_sh[:level + 1], s_sh[-k:]]))
-
-        b_tables, a_tables = key.shoup_tables()
-        return ([restrict(t) for t in b_tables[:count]],
-                [restrict(t) for t in a_tables[:count]])
-
-    # ------------------------------------------------------------------
-    # Rotations (automorphism + key switch), plain and hoisted
-    # ------------------------------------------------------------------
-    def rotate(self, ct: Ciphertext, step: int) -> Ciphertext:
-        if step % self.context.params.slots == 0:
-            return ct.copy()
-        key = self.keys.galois.get(step)
-        if key is None:
-            raise ValueError(f"no Galois key for rotation step {step}")
-        g = galois_element(step, self.context.n)
-        return self._apply_galois(ct, g, key)
-
-    def conjugate(self, ct: Ciphertext) -> Ciphertext:
-        if self.keys.conjugation is None:
-            raise ValueError("no conjugation key in the key chain")
-        g = conjugation_element(self.context.n)
-        return self._apply_galois(ct, g, self.keys.conjugation)
-
-    def _apply_galois(self, ct: Ciphertext, galois_elt: int,
-                      key: SwitchingKey) -> Ciphertext:
-        if not self.stacked or not ct.is_ntt:
-            rc0 = ct.c0.apply_automorphism(galois_elt)
-            rc1 = ct.c1.apply_automorphism(galois_elt)
-            ks0, ks1 = self.key_switch(rc1.to_coeff(), key)
-            return Ciphertext(c0=rc0 + ks0, c1=ks1, scale=ct.scale)
-        basis = ct.basis
-        limbs = len(basis)
-        # One gather rotates both halves of the pair at once.
-        r_pair = self._pair_engine(basis).automorphism_ntt(ct.pair(),
-                                                           galois_elt)
-        rc1 = RnsPolynomial(basis, r_pair[limbs:], is_ntt=True)
-        ks_pair, _ = self._key_switch_pair(rc1.to_coeff(), key,
-                                           ntt_rows=rc1.data)
-        out = ks_pair
-        out[:limbs] = (out[:limbs] + r_pair[:limbs]) % basis.q_col
-        return Ciphertext.from_pair(basis, out, ct.scale, is_ntt=True)
-
-    def rotate_hoisted(self, ct: Ciphertext,
-                       steps) -> dict[int, Ciphertext]:
-        """Rotate one ciphertext by many steps, decomposing c1 once.
-
-        The expensive decompose + ModUp + NTT runs once (as a single
-        stacked ``(beta*E, N)`` transform on the stacked path); each
-        rotation then only permutes the NTT-domain digit stack — one
-        gather for all digits (EFFACT's automorphism unit) — and
-        multiply-accumulates with its Galois key, the hoisting pattern
-        the paper's section III analysis builds on.
-        """
-        if not self.stacked or not ct.is_ntt:
-            return self._rotate_hoisted_legacy(ct, steps)
-        ctx = self.context
-        level = ct.level
-        ext = ctx.ext_basis(level)
-        beta = ctx.num_digits(level)
-        basis = ct.basis
-        limbs = len(basis)
-        base_engine = get_plan(ctx.n, basis.primes).ntt
-        digit_engine = stacked_engine(ctx.n, (ext,) * beta)
-        # The expensive decompose+ModUp+NTT lift runs lazily on the
-        # first non-identity step, so identity-only requests pay
-        # nothing (e.g. a 1x1 convolution kernel's center tap).
-        lifted: np.ndarray | None = None
-        rotated: np.ndarray | None = None
-        out: dict[int, Ciphertext] = {}
-        for step in steps:
-            if step % ctx.params.slots == 0:
-                out[step] = ct.copy()
-                continue
-            key = self.keys.galois.get(step)
-            if key is None:
-                raise ValueError(f"no Galois key for rotation step {step}")
-            if lifted is None:
-                lifted = self._lift_digits_stacked(
-                    ct.c1.to_coeff().data, level, ext, beta,
-                    ntt_rows=ct.c1.data)
-                rotated = np.empty_like(lifted)
-            g = galois_element(step, ctx.n)
-            digit_engine.automorphism_ntt(lifted, g, out=rotated)
-            acc_pair = self._key_mac_pair(rotated, key, level, beta, ext)
-            ks_pair = self._mod_down_pair_stacked(acc_pair, ext, basis)
-            rc0 = base_engine.automorphism_ntt(ct.c0.data, g)
-            ks_pair[:limbs] = (ks_pair[:limbs] + rc0) % basis.q_col
-            out[step] = Ciphertext.from_pair(basis, ks_pair, ct.scale,
-                                             is_ntt=True)
-        return out
-
-    def _rotate_hoisted_legacy(self, ct: Ciphertext,
-                               steps) -> dict[int, Ciphertext]:
-        """Per-polynomial hoisted rotations (the differential
-        reference): per-digit automorphism gathers and per-accumulator
-        key MACs."""
-        ctx = self.context
-        level = ct.level
-        ext = ctx.ext_basis(level)
-        lifted: list | None = None
-        q_basis = ctx.q_basis(level)
-        out: dict[int, Ciphertext] = {}
-        for step in steps:
-            if step % ctx.params.slots == 0:
-                out[step] = ct.copy()
-                continue
-            key = self.keys.galois.get(step)
-            if key is None:
-                raise ValueError(f"no Galois key for rotation step {step}")
-            if lifted is None:
-                lifted = list(self._decompose_and_lift(
-                    ct.c1.to_coeff(), level, ext))
-            g = galois_element(step, ctx.n)
-            rotated = [digit.apply_automorphism(g) for digit in lifted]
-            b_tables, a_tables = self._restricted_tables(
-                key, level, len(rotated))
-            acc0 = pointwise_mac_shoup(rotated, b_tables, ext)
-            acc1 = pointwise_mac_shoup(rotated, a_tables, ext)
-            ks0, ks1 = self._mod_down_pair(acc0, acc1, q_basis)
-            rc0 = ct.c0.apply_automorphism(g)
-            out[step] = Ciphertext(c0=rc0 + ks0, c1=ks1, scale=ct.scale)
-        return out

@@ -1,27 +1,45 @@
 """CKKS context, key material, encryption and decryption.
 
-Key switching follows the hybrid (digit-decomposed) construction of
-Han-Ki, the algorithm the paper targets (section II-C, ``dnum``
-decompose digits): the switching key holds one ciphertext per digit,
-``evk_j = (-a_j*s + e_j + g_j*target, a_j)`` over the extended basis
-``QP`` with gadget factor ``g_j = P * Q~_j * [Q~_j^{-1}]_{Q_j}``.
+The gadget (hybrid / dnum) switching-key machinery is scheme-agnostic
+and lives in :mod:`repro.schemes.rns_core`
+(:class:`~repro.schemes.rns_core.RnsKeyGenerator`); this module binds
+it to CKKS parameters and adds the encryption-side pieces (public
+keys, encoder wiring, Encryptor/Decryptor).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ...nttmath.ntt import conjugation_element, galois_element
 from ...rns.basis import RnsBasis
 from ...rns.poly import RnsPolynomial
-from .ciphertext import Ciphertext, Plaintext
+from ..rns_core import (
+    Ciphertext,
+    KeyChain,
+    Plaintext,
+    RnsContext,
+    RnsKeyGenerator,
+    SecretKey,
+    SwitchingKey,
+)
 from .encoder import CkksEncoder
 from .params import CkksParams, build_moduli
 
+__all__ = [
+    "CkksContext",
+    "Decryptor",
+    "Encryptor",
+    "KeyChain",
+    "KeyGenerator",
+    "PublicKey",
+    "SecretKey",
+    "SwitchingKey",
+]
 
-class CkksContext:
+
+class CkksContext(RnsContext):
     """Shared parameter/basis/encoder state for one CKKS instance."""
 
     def __init__(self, params: CkksParams):
@@ -30,38 +48,6 @@ class CkksContext:
         self.key_basis = self.q_full.extend(self.p_basis)
         self.encoder = CkksEncoder(params.n)
         self.rng = np.random.default_rng(params.seed)
-
-    @property
-    def n(self) -> int:
-        return self.params.n
-
-    @property
-    def max_level(self) -> int:
-        return self.params.max_level
-
-    def q_basis(self, level: int) -> RnsBasis:
-        """Basis of a level-``level`` ciphertext: primes q_0..q_level."""
-        if not 0 <= level <= self.max_level:
-            raise ValueError(f"level {level} out of range")
-        return self.q_full.prefix(level + 1)
-
-    def ext_basis(self, level: int) -> RnsBasis:
-        """Key-switching working basis ``C_l + P``."""
-        return self.q_basis(level).extend(self.p_basis)
-
-    def digit_primes(self, digit: int, level: int) -> tuple[int, ...]:
-        """Digit ``digit``'s primes restricted to the current chain."""
-        alpha = self.params.alpha
-        lo = digit * alpha
-        hi = min(lo + alpha, level + 1)
-        if lo > level:
-            return ()
-        return self.q_full.primes[lo:hi]
-
-    def num_digits(self, level: int) -> int:
-        """beta: digits needed to cover a level-``level`` ciphertext."""
-        alpha = self.params.alpha
-        return -(-(level + 1) // alpha)
 
     def encode(self, values, *, level: int | None = None,
                scale: float | None = None) -> Plaintext:
@@ -77,99 +63,13 @@ class CkksContext:
 
 
 @dataclass
-class SecretKey:
-    """Ternary secret; stored as small coefficients so it can be
-    materialized over any basis (Q at any level, or QP for keys)."""
-
-    coeffs: np.ndarray
-
-    def poly(self, basis: RnsBasis) -> RnsPolynomial:
-        return RnsPolynomial.from_small_coeffs(basis, self.coeffs)
-
-    def poly_ntt(self, basis: RnsBasis) -> RnsPolynomial:
-        return self.poly(basis).to_ntt()
-
-
-@dataclass
 class PublicKey:
     b: RnsPolynomial   # -a*s + e  (NTT domain, level-L basis)
     a: RnsPolynomial
 
 
-@dataclass
-class SwitchingKey:
-    """One hybrid key-switching key: a pair of polynomials per digit,
-    all over the full QP basis in the NTT domain."""
-
-    b: list[RnsPolynomial]
-    a: list[RnsPolynomial]
-    #: Lazily built Shoup companions (keys are static, so the one-off
-    #: precompute pays for itself after the first key switch).
-    _shoup: tuple | None = field(default=None, repr=False, compare=False)
-    #: Level-restricted digit-stacked tables keyed by ``(count, rows)``
-    #: (see :meth:`stacked_tables`); also static per key.
-    _stacked: dict = field(default_factory=dict, repr=False,
-                           compare=False)
-
-    @property
-    def dnum(self) -> int:
-        return len(self.b)
-
-    def shoup_tables(self) -> tuple[list, list]:
-        """Per-digit ``shoup_precompute`` pairs for ``b`` and ``a``."""
-        if self._shoup is None:
-            from ...rns.poly import shoup_precompute
-            self._shoup = ([shoup_precompute(p) for p in self.b],
-                           [shoup_precompute(p) for p in self.a])
-        return self._shoup
-
-    def stacked_tables(self, count: int, rows: tuple[int, ...]) -> tuple:
-        """Digit-stacked Shoup tables for the evaluator's one-pass MAC.
-
-        Restricts the first ``count`` digits of ``b`` and ``a`` to the
-        key-basis ``rows`` (a level's ``q_0..q_l + P`` selection) and
-        concatenates them along the limb axis, so the whole key MAC is
-        one ``(count*len(rows), N)`` Shoup multiply per accumulator.
-        Cached per ``(count, rows)`` — keys are static and the level
-        set a workload touches is small.
-        """
-        key = (count, rows)
-        hit = self._stacked.get(key)
-        if hit is None:
-            idx = np.asarray(rows, dtype=np.intp)
-            b_tables, a_tables = self.shoup_tables()
-
-            def stack(tables):
-                return (np.concatenate([t[0][idx] for t in tables[:count]]),
-                        np.concatenate([t[1][idx] for t in tables[:count]]))
-
-            hit = (stack(b_tables), stack(a_tables))
-            self._stacked[key] = hit
-        return hit
-
-
-@dataclass
-class KeyChain:
-    """All evaluation keys an application needs."""
-
-    relin: SwitchingKey | None = None
-    galois: dict[int, SwitchingKey] = field(default_factory=dict)
-    conjugation: SwitchingKey | None = None
-
-
-class KeyGenerator:
-    """Samples secret/public/evaluation keys for a context."""
-
-    def __init__(self, context: CkksContext):
-        self.context = context
-
-    def gen_secret(self) -> SecretKey:
-        ctx = self.context
-        poly = RnsPolynomial.random_ternary(
-            ctx.q_full, ctx.n, ctx.rng,
-            hamming_weight=ctx.params.hamming_weight)
-        coeffs = np.array(poly.to_int_coeffs(signed=True), dtype=np.int64)
-        return SecretKey(coeffs=coeffs)
+class KeyGenerator(RnsKeyGenerator):
+    """Samples secret/public/evaluation keys for a CKKS context."""
 
     def gen_public(self, sk: SecretKey) -> PublicKey:
         ctx = self.context
@@ -180,67 +80,6 @@ class KeyGenerator:
         s = sk.poly_ntt(basis)
         b = -(a.pointwise_mul(s)) + e
         return PublicKey(b=b, a=a)
-
-    # ------------------------------------------------------------------
-    # Switching keys (hybrid / dnum gadget)
-    # ------------------------------------------------------------------
-    def _gadget_factor(self, digit: int) -> int:
-        """g_j = P * Q~_j * [Q~_j^{-1}]_{Q_j} (an integer mod QP)."""
-        ctx = self.context
-        alpha = ctx.params.alpha
-        primes = ctx.q_full.primes
-        lo = digit * alpha
-        hi = min(lo + alpha, len(primes))
-        digit_product = 1
-        for p in primes[lo:hi]:
-            digit_product *= p
-        q_tilde = ctx.q_full.modulus // digit_product
-        inv = pow(q_tilde % digit_product, -1, digit_product)
-        return ctx.p_basis.modulus * q_tilde * inv
-
-    def gen_switching_key(self, target: RnsPolynomial,
-                          sk: SecretKey) -> SwitchingKey:
-        """Key switching ``target -> s`` (target given over QP, NTT)."""
-        ctx = self.context
-        basis = ctx.key_basis
-        s = sk.poly_ntt(basis)
-        b_list, a_list = [], []
-        for j in range(ctx.params.dnum):
-            g = self._gadget_factor(j)
-            a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
-            e = RnsPolynomial.random_gaussian(basis, ctx.n, ctx.rng,
-                                              ctx.params.sigma).to_ntt()
-            b = -(a.pointwise_mul(s)) + e + target.mul_scalar(g)
-            b_list.append(b)
-            a_list.append(a)
-        return SwitchingKey(b=b_list, a=a_list)
-
-    def gen_relin(self, sk: SecretKey) -> SwitchingKey:
-        """evk for s^2 -> s (used by HMULT relinearization)."""
-        ctx = self.context
-        s = sk.poly_ntt(ctx.key_basis)
-        return self.gen_switching_key(s.pointwise_mul(s), sk)
-
-    def gen_galois(self, step: int, sk: SecretKey) -> SwitchingKey:
-        """Key for rotation by ``step`` slots: sigma_g(s) -> s."""
-        ctx = self.context
-        g = galois_element(step, ctx.n)
-        target = sk.poly(ctx.key_basis).apply_automorphism(g).to_ntt()
-        return self.gen_switching_key(target, sk)
-
-    def gen_conjugation(self, sk: SecretKey) -> SwitchingKey:
-        ctx = self.context
-        g = conjugation_element(ctx.n)
-        target = sk.poly(ctx.key_basis).apply_automorphism(g).to_ntt()
-        return self.gen_switching_key(target, sk)
-
-    def gen_keychain(self, sk: SecretKey, *,
-                     rotations=()) -> KeyChain:
-        chain = KeyChain(relin=self.gen_relin(sk))
-        for step in rotations:
-            chain.galois[step] = self.gen_galois(step, sk)
-        chain.conjugation = self.gen_conjugation(sk)
-        return chain
 
 
 class Encryptor:

@@ -1,0 +1,1085 @@
+"""Scheme-agnostic stacked RNS evaluator core.
+
+Every RLWE scheme in this repository (CKKS, BFV, BGV) evaluates on the
+same residue-polynomial substrate: ciphertexts are ``(c0, c1)`` pairs
+of ``(L, N)`` limb stacks, and every homomorphic operation decomposes
+into the level-1 kernels of paper Figure 1 (vector ModAdd/ModMult,
+NTT/iNTT, automorphism, BConv).  This module owns the
+scheme-independent machinery; the scheme modules contribute only their
+plaintext semantics (scale tracking, exact reduction mod ``t``,
+scale-invariant multiply).
+
+Kernel -> evaluator-op map
+--------------------------
+
+=====================================  ================================
+kernel                                 used by
+=====================================  ================================
+``Ciphertext.pair``                    every stacked op: one ``(2L, N)``
+                                       view covering both halves
+``StackedKernels.engine``              stacked NTT/iNTT/automorphism
+                                       over mixed prime chains
+``StackedKernels.switch_down_ntt``     CKKS ``rescale`` (identity
+                                       correction) and BGV
+                                       ``mod_switch`` (``t``-multiple
+                                       correction) — the NTT-domain
+                                       last-limb modulus switch
+``RnsEvaluatorBase._lift_digits_stacked``  decompose + ModUp + one
+                                       ``(beta*E, N)`` NTT: HMULT
+                                       relinearization, rotations,
+                                       hoisted rotations (all schemes)
+``RnsEvaluatorBase._key_mac_pair``     both key MACs as one Shoup pass
+                                       each against digit-stacked key
+                                       tables (``SwitchingKey``)
+``RnsEvaluatorBase._mod_down_pair_stacked``  NTT-domain ModDown
+                                       ``(acc - NTT(BConv_P(iNTT(acc_P))))
+                                       * P^-1`` — overridden by BGV
+                                       with the exact ``t``-corrected
+                                       variant
+``Plaintext.frozen_pair_tables``       Shoup-frozen plaintext constants
+                                       for ``multiply_plain`` on the
+                                       doubled pair stack
+=====================================  ================================
+
+Both evaluator modes are bitwise identical: ``stacked=True`` (default)
+issues one batched kernel per ciphertext pair; ``stacked=False`` is the
+per-polynomial differential reference every scheme pins in its test
+suite (``tests/test_stacked_evaluator.py`` for CKKS,
+``tests/test_rns_core_schemes.py`` for BFV/BGV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nttmath.batched import get_plan, scratch, shoup_mul_lazy
+from ..nttmath.ntt import conjugation_element, galois_element
+from ..rns.basis import RnsBasis
+from ..rns.bconv import (
+    base_convert,
+    base_convert_pair,
+    inverse_mod_col,
+    mod_down,
+    mod_up,
+)
+from ..rns.poly import (
+    RnsPolynomial,
+    pointwise_mac_shoup,
+    pointwise_mul_shoup,
+    pointwise_mul_shoup_stacked,
+    shoup_precompute,
+    stacked_engine,
+    to_coeff_stacked,
+    to_ntt_stacked,
+)
+
+_SCALE_TOLERANCE = 1e-6
+
+
+def _pair_col(col: np.ndarray) -> np.ndarray:
+    """Double an ``(L, 1)`` per-limb constant column to ``(2L, 1)`` so
+    one broadcast expression covers a stacked ciphertext pair."""
+    return np.concatenate([col, col])
+
+
+# ======================================================================
+# Containers
+# ======================================================================
+@dataclass
+class Plaintext:
+    """An encoded message: one polynomial plus its scaling factor.
+
+    Plaintext operands are static constants (matrix diagonals,
+    EvalMod coefficients, BGV masks) multiplied against many
+    ciphertexts, so the NTT-domain residues are Shoup-frozen on first
+    use and cached per level — EFFACT's precomputed-constant philosophy
+    applied to plaintexts, mirroring the Shoup-frozen switching keys.
+    Treat the polynomial as immutable after encoding.
+    """
+
+    poly: RnsPolynomial
+    scale: float
+    _frozen: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def level(self) -> int:
+        return len(self.poly.basis) - 1
+
+    def copy(self) -> "Plaintext":
+        return Plaintext(poly=self.poly.copy(), scale=self.scale)
+
+    def frozen_ntt_tables(self, limbs: int) -> tuple[np.ndarray,
+                                                     np.ndarray]:
+        """Shoup-frozen NTT-domain residues restricted to the first
+        ``limbs`` limbs (companions are per-limb, so prefix rows of the
+        full-basis freeze stay valid)."""
+        full_limbs = len(self.poly.basis)
+        if limbs > full_limbs:
+            raise ValueError("plaintext level below ciphertext level")
+        hit = self._frozen.get(limbs)
+        if hit is None:
+            full = self._frozen.get(full_limbs)
+            if full is None:
+                ntt_poly = self.poly if self.poly.is_ntt \
+                    else self.poly.to_ntt()
+                full = shoup_precompute(ntt_poly)
+                self._frozen[full_limbs] = full
+            values, companions = full
+            hit = (values[:limbs], companions[:limbs])
+            self._frozen[limbs] = hit
+        return hit
+
+    def frozen_pair_tables(self, limbs: int) -> tuple[np.ndarray,
+                                                      np.ndarray]:
+        """The :meth:`frozen_ntt_tables` rows doubled to ``2*limbs``
+        for one Shoup multiply against a stacked ciphertext pair —
+        built once per level and cached, like the single tables."""
+        key = ("pair", limbs)
+        hit = self._frozen.get(key)
+        if hit is None:
+            values, companions = self.frozen_ntt_tables(limbs)
+            hit = (np.concatenate([values, values]),
+                   np.concatenate([companions, companions]))
+            self._frozen[key] = hit
+        return hit
+
+
+@dataclass
+class Ciphertext:
+    """An RLWE ciphertext ``(c0, c1)`` with ``c0 + c1*s = payload``.
+
+    Both polynomials are kept in the NTT (evaluation) domain between
+    operations, matching how real accelerators (and this paper's data
+    flow diagrams) stage ciphertext data.  The ``scale`` field is
+    scheme-defined: CKKS tracks the encoding scale, BGV the accumulated
+    plaintext factor mod ``t`` (an exact small integer), BFV leaves it
+    at 1.
+
+    The stacked evaluator additionally views the pair as one
+    ``(2L, N)`` residue stack (:meth:`pair`): ``c0`` occupies the first
+    ``L`` rows and ``c1`` the last ``L``, so domain transforms,
+    automorphisms and modular arithmetic issue one batched kernel for
+    the whole ciphertext.  Ciphertexts built from two separate
+    polynomials stack lazily on first use; after stacking, ``c0`` and
+    ``c1`` are zero-copy row views of the shared stack.
+    """
+
+    c0: RnsPolynomial
+    c1: RnsPolynomial
+    scale: float
+    _pair: np.ndarray | None = field(default=None, repr=False,
+                                     compare=False)
+
+    def __post_init__(self):
+        if self.c0.basis != self.c1.basis:
+            raise ValueError("ciphertext components must share a basis")
+
+    @classmethod
+    def from_pair(cls, basis: RnsBasis, pair: np.ndarray, scale: float,
+                  *, is_ntt: bool = True) -> "Ciphertext":
+        """Wrap a stacked ``(2L, N)`` residue pair; ``c0``/``c1`` are
+        row views, so no data is copied."""
+        pair = np.ascontiguousarray(pair, dtype=np.int64)
+        limbs = len(basis)
+        if pair.ndim != 2 or pair.shape[0] != 2 * limbs:
+            raise ValueError(
+                f"pair shape {pair.shape} does not match a "
+                f"{limbs}-limb basis")
+        ct = cls(c0=RnsPolynomial(basis, pair[:limbs], is_ntt=is_ntt),
+                 c1=RnsPolynomial(basis, pair[limbs:], is_ntt=is_ntt),
+                 scale=scale)
+        ct._pair = pair
+        return ct
+
+    def pair(self) -> np.ndarray:
+        """The stacked ``(2L, N)`` view of ``(c0, c1)``.
+
+        Builds the stack on first call (one concatenation) and rebinds
+        ``c0``/``c1`` as views of it, so later in-place consumers can
+        never desynchronise the two representations.
+        """
+        if self._pair is None:
+            if self.c0.is_ntt != self.c1.is_ntt:
+                raise ValueError("cannot stack a mixed-domain "
+                                 "ciphertext pair")
+            pair = np.concatenate([self.c0.data, self.c1.data])
+            limbs = len(self.basis)
+            self.c0 = RnsPolynomial(self.basis, pair[:limbs],
+                                    is_ntt=self.c0.is_ntt)
+            self.c1 = RnsPolynomial(self.basis, pair[limbs:],
+                                    is_ntt=self.c1.is_ntt)
+            self._pair = pair
+        return self._pair
+
+    @property
+    def basis(self) -> RnsBasis:
+        return self.c0.basis
+
+    @property
+    def is_ntt(self) -> bool:
+        return self.c0.is_ntt
+
+    @property
+    def level(self) -> int:
+        """Current level l: the basis holds l+1 limbs (paper Table I)."""
+        return len(self.c0.basis) - 1
+
+    @property
+    def n(self) -> int:
+        return self.c0.n
+
+    def copy(self) -> "Ciphertext":
+        cls = type(self)
+        if self._pair is not None:
+            return cls.from_pair(self.basis, self._pair.copy(),
+                                 self.scale, is_ntt=self.c0.is_ntt)
+        return cls(c0=self.c0.copy(), c1=self.c1.copy(),
+                   scale=self.scale)
+
+
+@dataclass
+class Ciphertext3:
+    """The pre-relinearization triple ``(d0, d1, d2)`` of HMULT,
+    decryptable under ``(1, s, s^2)`` (paper section II-C)."""
+
+    d0: RnsPolynomial
+    d1: RnsPolynomial
+    d2: RnsPolynomial
+    scale: float
+
+
+# ======================================================================
+# Key material (gadget RLWE keys shared by every scheme)
+# ======================================================================
+@dataclass
+class SecretKey:
+    """Ternary secret; stored as small coefficients so it can be
+    materialized over any basis (Q at any level, or QP for keys)."""
+
+    coeffs: np.ndarray
+
+    def poly(self, basis: RnsBasis) -> RnsPolynomial:
+        return RnsPolynomial.from_small_coeffs(basis, self.coeffs)
+
+    def poly_ntt(self, basis: RnsBasis) -> RnsPolynomial:
+        return self.poly(basis).to_ntt()
+
+
+@dataclass
+class SwitchingKey:
+    """One hybrid key-switching key: a pair of polynomials per digit,
+    all over the full QP basis in the NTT domain."""
+
+    b: list[RnsPolynomial]
+    a: list[RnsPolynomial]
+    #: Lazily built Shoup companions (keys are static, so the one-off
+    #: precompute pays for itself after the first key switch).
+    _shoup: tuple | None = field(default=None, repr=False, compare=False)
+    #: Level-restricted digit-stacked tables keyed by ``(count, rows)``
+    #: (see :meth:`stacked_tables`); also static per key.
+    _stacked: dict = field(default_factory=dict, repr=False,
+                           compare=False)
+
+    @property
+    def dnum(self) -> int:
+        return len(self.b)
+
+    def shoup_tables(self) -> tuple[list, list]:
+        """Per-digit ``shoup_precompute`` pairs for ``b`` and ``a``."""
+        if self._shoup is None:
+            self._shoup = ([shoup_precompute(p) for p in self.b],
+                           [shoup_precompute(p) for p in self.a])
+        return self._shoup
+
+    def stacked_tables(self, count: int, rows: tuple[int, ...]) -> tuple:
+        """Digit-stacked Shoup tables for the evaluator's one-pass MAC.
+
+        Restricts the first ``count`` digits of ``b`` and ``a`` to the
+        key-basis ``rows`` (a level's ``q_0..q_l + P`` selection) and
+        concatenates them along the limb axis, so the whole key MAC is
+        one ``(count*len(rows), N)`` Shoup multiply per accumulator.
+        Cached per ``(count, rows)`` — keys are static and the level
+        set a workload touches is small.
+        """
+        key = (count, rows)
+        hit = self._stacked.get(key)
+        if hit is None:
+            idx = np.asarray(rows, dtype=np.intp)
+            b_tables, a_tables = self.shoup_tables()
+
+            def stack(tables):
+                return (np.concatenate([t[0][idx] for t in tables[:count]]),
+                        np.concatenate([t[1][idx] for t in tables[:count]]))
+
+            hit = (stack(b_tables), stack(a_tables))
+            self._stacked[key] = hit
+        return hit
+
+
+@dataclass
+class KeyChain:
+    """All evaluation keys an application needs."""
+
+    relin: SwitchingKey | None = None
+    galois: dict[int, SwitchingKey] = field(default_factory=dict)
+    conjugation: SwitchingKey | None = None
+
+
+# ======================================================================
+# Context interface
+# ======================================================================
+class RnsContext:
+    """Basis/level bookkeeping every scheme context shares.
+
+    Subclasses populate ``params`` (with ``n``, ``alpha``, ``dnum``,
+    ``sigma`` attributes), ``q_full`` (the full prime chain),
+    ``p_basis`` (the key-switching special modulus), ``key_basis``
+    (``q_full + p``) and ``rng``; this base derives the leveled views
+    the evaluator and key generator consume.
+    """
+
+    params: object
+    q_full: RnsBasis
+    p_basis: RnsBasis
+    key_basis: RnsBasis
+    rng: np.random.Generator
+
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    @property
+    def max_level(self) -> int:
+        return len(self.q_full) - 1
+
+    def q_basis(self, level: int) -> RnsBasis:
+        """Basis of a level-``level`` ciphertext: primes q_0..q_level."""
+        if not 0 <= level <= self.max_level:
+            raise ValueError(f"level {level} out of range")
+        return self.q_full.prefix(level + 1)
+
+    def ext_basis(self, level: int) -> RnsBasis:
+        """Key-switching working basis ``C_l + P``."""
+        return self.q_basis(level).extend(self.p_basis)
+
+    def digit_primes(self, digit: int, level: int) -> tuple[int, ...]:
+        """Digit ``digit``'s primes restricted to the current chain."""
+        alpha = self.params.alpha
+        lo = digit * alpha
+        hi = min(lo + alpha, level + 1)
+        if lo > level:
+            return ()
+        return self.q_full.primes[lo:hi]
+
+    def num_digits(self, level: int) -> int:
+        """beta: digits needed to cover a level-``level`` ciphertext."""
+        alpha = self.params.alpha
+        return -(-(level + 1) // alpha)
+
+
+class RnsKeyGenerator:
+    """Samples gadget (hybrid / dnum) switching keys for a context.
+
+    Key switching follows the hybrid construction of Han-Ki, the
+    algorithm the paper targets (section II-C, ``dnum`` decompose
+    digits): the switching key holds one ciphertext per digit,
+    ``evk_j = (-a_j*s + noise_j + g_j*target, a_j)`` over the extended
+    basis ``QP`` with gadget factor
+    ``g_j = P * Q~_j * [Q~_j^{-1}]_{Q_j}``.  The noise term is
+    scheme-defined (:meth:`_noise_poly`): Gaussian ``e`` for CKKS/BFV,
+    ``t*e`` for BGV so key-switch noise stays a multiple of ``t``.
+    """
+
+    def __init__(self, context: RnsContext):
+        self.context = context
+
+    def gen_secret(self) -> SecretKey:
+        ctx = self.context
+        poly = RnsPolynomial.random_ternary(
+            ctx.q_full, ctx.n, ctx.rng,
+            hamming_weight=getattr(ctx.params, "hamming_weight", None))
+        coeffs = np.array(poly.to_int_coeffs(signed=True), dtype=np.int64)
+        return SecretKey(coeffs=coeffs)
+
+    def _noise_poly(self, basis: RnsBasis) -> RnsPolynomial:
+        """NTT-domain key noise; BGV overrides with ``t*e``."""
+        ctx = self.context
+        return RnsPolynomial.random_gaussian(
+            basis, ctx.n, ctx.rng, ctx.params.sigma).to_ntt()
+
+    def _gadget_factor(self, digit: int) -> int:
+        """g_j = P * Q~_j * [Q~_j^{-1}]_{Q_j} (an integer mod QP)."""
+        ctx = self.context
+        alpha = ctx.params.alpha
+        primes = ctx.q_full.primes
+        lo = digit * alpha
+        hi = min(lo + alpha, len(primes))
+        digit_product = 1
+        for p in primes[lo:hi]:
+            digit_product *= p
+        q_tilde = ctx.q_full.modulus // digit_product
+        inv = pow(q_tilde % digit_product, -1, digit_product)
+        return ctx.p_basis.modulus * q_tilde * inv
+
+    def gen_switching_key(self, target: RnsPolynomial,
+                          sk: SecretKey) -> SwitchingKey:
+        """Key switching ``target -> s`` (target given over QP, NTT)."""
+        ctx = self.context
+        basis = ctx.key_basis
+        s = sk.poly_ntt(basis)
+        b_list, a_list = [], []
+        for j in range(ctx.params.dnum):
+            g = self._gadget_factor(j)
+            a = RnsPolynomial.random_uniform(basis, ctx.n, ctx.rng).to_ntt()
+            e = self._noise_poly(basis)
+            b = -(a.pointwise_mul(s)) + e + target.mul_scalar(g)
+            b_list.append(b)
+            a_list.append(a)
+        return SwitchingKey(b=b_list, a=a_list)
+
+    def gen_relin(self, sk: SecretKey) -> SwitchingKey:
+        """evk for s^2 -> s (used by HMULT relinearization)."""
+        ctx = self.context
+        s = sk.poly_ntt(ctx.key_basis)
+        return self.gen_switching_key(s.pointwise_mul(s), sk)
+
+    def gen_galois(self, step: int, sk: SecretKey) -> SwitchingKey:
+        """Key for rotation by ``step`` slots: sigma_g(s) -> s."""
+        ctx = self.context
+        g = galois_element(step, ctx.n)
+        target = sk.poly(ctx.key_basis).apply_automorphism(g).to_ntt()
+        return self.gen_switching_key(target, sk)
+
+    def gen_conjugation(self, sk: SecretKey) -> SwitchingKey:
+        ctx = self.context
+        g = conjugation_element(ctx.n)
+        target = sk.poly(ctx.key_basis).apply_automorphism(g).to_ntt()
+        return self.gen_switching_key(target, sk)
+
+    def gen_keychain(self, sk: SecretKey, *,
+                     rotations=()) -> KeyChain:
+        chain = KeyChain(relin=self.gen_relin(sk))
+        for step in rotations:
+            chain.galois[step] = self.gen_galois(step, sk)
+        chain.conjugation = self.gen_conjugation(sk)
+        return chain
+
+
+# ======================================================================
+# Stacked kernels
+# ======================================================================
+class StackedKernels:
+    """Scheme-independent ``(k*L, N)`` stack kernels for one ring degree.
+
+    Thin, stateless veneer over the plan-cached stacked engines plus
+    the generic NTT-domain modulus-switch kernel that CKKS rescale and
+    BGV modulus switching share.  Row slices of every kernel are
+    bitwise identical to running each polynomial alone, which is what
+    makes the ``stacked=False`` reference paths exact differentials.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def engine(self, bases):
+        """The stacked engine over a tuple of bases/prime chains."""
+        return stacked_engine(self.n, bases)
+
+    def pair_engine(self, basis: RnsBasis):
+        """The ``(2L, N)`` engine transforming both ciphertext halves
+        over ``basis`` in one pass."""
+        return stacked_engine(self.n, (basis, basis))
+
+    def switch_down_ntt(self, stack: np.ndarray, basis: RnsBasis,
+                        k: int, *, delta_fn=None
+                        ) -> tuple[np.ndarray, RnsBasis]:
+        """Drop the last limb of ``k`` stacked NTT-domain polynomials.
+
+        The modulus-switch dataflow the IR lowering emits: only the
+        dropped limb of each polynomial is iNTT'd (k rows), its
+        (optionally corrected) centred re-reductions are NTT'd back,
+        and the subtract + ``q_last^-1`` scaling fold in the NTT
+        domain — bitwise identical to the coefficient round trip
+        because the NTT is Z_q-linear and commutes with per-limb
+        constants.
+
+        ``delta_fn`` maps the centred dropped rows ``(k, N)`` to the
+        integer correction actually subtracted: ``None`` (identity) is
+        the CKKS rescale; BGV passes the lift to a multiple of ``t``.
+        """
+        limbs = len(basis)
+        if limbs < 2:
+            raise ValueError("cannot rescale a single-limb polynomial")
+        if stack.shape[0] != k * limbs:
+            raise ValueError(
+                f"expected a {k * limbs}-row stack, got {stack.shape[0]}")
+        q_last = basis.primes[-1]
+        new_basis = basis.prefix(limbs - 1)
+        n = stack.shape[1]
+        last = np.concatenate(
+            [stack[i * limbs + limbs - 1:(i + 1) * limbs]
+             for i in range(k)])
+        last_coeff = self.engine(((q_last,),) * k).inverse(last)
+        centred = np.where(last_coeff > q_last // 2,
+                           last_coeff - q_last, last_coeff)
+        delta = centred if delta_fn is None else delta_fn(centred)
+        corr = (delta[:, None, :] % new_basis.q_col).reshape(
+            k * (limbs - 1), n)
+        corr_ntt = self.engine((new_basis,) * k).forward(corr)
+        acc = np.concatenate(
+            [stack[i * limbs:(i + 1) * limbs - 1] for i in range(k)])
+        inv_col = inverse_mod_col(q_last, new_basis.primes)
+        qk_col = np.concatenate([new_basis.q_col] * k)
+        invk_col = np.concatenate([inv_col] * k)
+        out = (acc - corr_ntt) % qk_col * invk_col % qk_col
+        return out, new_basis
+
+
+# ======================================================================
+# Evaluator base
+# ======================================================================
+class RnsEvaluatorBase:
+    """Stateless evaluator core bound to a context and a key chain.
+
+    Hosts every scheme-independent operation of the stacked hot path;
+    scheme subclasses add their plaintext semantics (CKKS scale
+    management, BGV factor tracking and ``t``-exact modulus switching,
+    BFV scale-invariant multiply) and may override the ModDown hooks.
+    """
+
+    def __init__(self, context: RnsContext, keys: KeyChain | None = None,
+                 *, stacked: bool = True):
+        self.context = context
+        self.keys = keys or KeyChain()
+        self.stacked = stacked
+        self.kernels = StackedKernels(context.n)
+
+    def _pair_engine(self, basis: RnsBasis):
+        """The ``(2L, N)`` engine transforming both ciphertext halves
+        over ``basis`` in one pass."""
+        return self.kernels.pair_engine(basis)
+
+    # ------------------------------------------------------------------
+    # Level and scale maintenance
+    # ------------------------------------------------------------------
+    def drop_level(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Drop to a lower level without rescaling (Mod Down in Fig 1b)."""
+        if level > ct.level:
+            raise ValueError("cannot raise a ciphertext level by dropping")
+        if level == ct.level:
+            return ct
+        basis = self.context.q_basis(level)
+        if not self.stacked:
+            return type(ct)(c0=ct.c0.drop_to(basis),
+                            c1=ct.c1.drop_to(basis), scale=ct.scale)
+        limbs = len(ct.basis)
+        l1 = level + 1
+        pair = ct.pair()
+        out = np.concatenate([pair[:l1], pair[limbs:limbs + l1]])
+        return type(ct).from_pair(basis, out, ct.scale, is_ntt=ct.is_ntt)
+
+    def _align(self, x: Ciphertext,
+               y: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        level = min(x.level, y.level)
+        return self.drop_level(x, level), self.drop_level(y, level)
+
+    def _check_scales(self, a: float, b: float) -> None:
+        if abs(a - b) > _SCALE_TOLERANCE * max(a, b):
+            raise ValueError(
+                f"scale mismatch: {a:g} vs {b:g}; rescale or use "
+                f"multiply_scalar to match scales first")
+
+    def _check_domains(self, a: bool, b: bool) -> None:
+        if a != b:
+            raise ValueError("domain mismatch (ntt vs coeff)")
+
+    # ------------------------------------------------------------------
+    # Addition family
+    # ------------------------------------------------------------------
+    def add(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        x, y = self._align(x, y)
+        self._check_scales(x.scale, y.scale)
+        if not self.stacked:
+            return type(x)(c0=x.c0 + y.c0, c1=x.c1 + y.c1,
+                           scale=x.scale)
+        self._check_domains(x.is_ntt, y.is_ntt)
+        pair = (x.pair() + y.pair()) % _pair_col(x.basis.q_col)
+        return type(x).from_pair(x.basis, pair, x.scale,
+                                 is_ntt=x.is_ntt)
+
+    def sub(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        x, y = self._align(x, y)
+        self._check_scales(x.scale, y.scale)
+        if not self.stacked:
+            return type(x)(c0=x.c0 - y.c0, c1=x.c1 - y.c1,
+                           scale=x.scale)
+        self._check_domains(x.is_ntt, y.is_ntt)
+        pair = (x.pair() - y.pair()) % _pair_col(x.basis.q_col)
+        return type(x).from_pair(x.basis, pair, x.scale,
+                                 is_ntt=x.is_ntt)
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        if not self.stacked:
+            return type(ct)(c0=-ct.c0, c1=-ct.c1, scale=ct.scale)
+        pair = (-ct.pair()) % _pair_col(ct.basis.q_col)
+        return type(ct).from_pair(ct.basis, pair, ct.scale,
+                                  is_ntt=ct.is_ntt)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        self._check_scales(ct.scale, pt.scale)
+        poly = self._match_plain(pt, ct)
+        if not self.stacked:
+            return type(ct)(c0=ct.c0 + poly, c1=ct.c1.copy(),
+                            scale=ct.scale)
+        self._check_domains(ct.is_ntt, poly.is_ntt)
+        limbs = len(ct.basis)
+        out = ct.pair().copy()
+        out[:limbs] = (out[:limbs] + poly.data) % ct.basis.q_col
+        return type(ct).from_pair(ct.basis, out, ct.scale,
+                                  is_ntt=ct.is_ntt)
+
+    def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        self._check_scales(ct.scale, pt.scale)
+        poly = self._match_plain(pt, ct)
+        if not self.stacked:
+            return type(ct)(c0=ct.c0 - poly, c1=ct.c1.copy(),
+                            scale=ct.scale)
+        self._check_domains(ct.is_ntt, poly.is_ntt)
+        limbs = len(ct.basis)
+        out = ct.pair().copy()
+        out[:limbs] = (out[:limbs] - poly.data) % ct.basis.q_col
+        return type(ct).from_pair(ct.basis, out, ct.scale,
+                                  is_ntt=ct.is_ntt)
+
+    def _match_plain(self, pt: Plaintext, ct: Ciphertext) -> RnsPolynomial:
+        poly = pt.poly if pt.poly.is_ntt else pt.poly.to_ntt()
+        if poly.basis == ct.basis:
+            return poly
+        if len(poly.basis) < len(ct.basis):
+            raise ValueError("plaintext level below ciphertext level")
+        return RnsPolynomial(ct.basis, poly.data[:len(ct.basis)].copy(),
+                             is_ntt=True)
+
+    # ------------------------------------------------------------------
+    # Multiplication family
+    # ------------------------------------------------------------------
+    def multiply_no_relin(self, x: Ciphertext,
+                          y: Ciphertext) -> Ciphertext3:
+        x, y = self._align(x, y)
+        if not self.stacked:
+            d0 = x.c0.pointwise_mul(y.c0)
+            d1 = x.c0.pointwise_mul(y.c1) + x.c1.pointwise_mul(y.c0)
+            d2 = x.c1.pointwise_mul(y.c1)
+            return Ciphertext3(d0=d0, d1=d1, d2=d2,
+                               scale=x.scale * y.scale)
+        self._check_domains(x.is_ntt, y.is_ntt)
+        basis = x.basis
+        q_col = basis.q_col
+        limbs = len(basis)
+        # One stacked product yields [d0; d2]; d1 is the cross term.
+        outer = x.pair() * y.pair() % _pair_col(q_col)
+        d1 = (x.c0.data * y.c1.data % q_col
+              + x.c1.data * y.c0.data % q_col) % q_col
+        return Ciphertext3(
+            d0=RnsPolynomial(basis, outer[:limbs], is_ntt=x.is_ntt),
+            d1=RnsPolynomial(basis, d1, is_ntt=x.is_ntt),
+            d2=RnsPolynomial(basis, outer[limbs:], is_ntt=x.is_ntt),
+            scale=x.scale * y.scale)
+
+    def relinearize(self, ct3: Ciphertext3, *,
+                    out_cls: type | None = None) -> Ciphertext:
+        if self.keys.relin is None:
+            raise ValueError("no relinearization key in the key chain")
+        cls = out_cls or Ciphertext
+        if not self.stacked:
+            ks0, ks1 = self.key_switch(ct3.d2.to_coeff(), self.keys.relin)
+            return cls(c0=ct3.d0 + ks0, c1=ct3.d1 + ks1,
+                       scale=ct3.scale)
+        self._check_domains(ct3.d0.is_ntt, True)
+        d2 = ct3.d2
+        ks_pair, q_basis = self._key_switch_pair(
+            d2.to_coeff(), self.keys.relin,
+            ntt_rows=d2.data if d2.is_ntt else None)
+        d01 = np.concatenate([ct3.d0.data, ct3.d1.data])
+        out = (d01 + ks_pair) % _pair_col(q_basis.q_col)
+        return cls.from_pair(q_basis, out, ct3.scale, is_ntt=True)
+
+    def multiply(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        """HMULT with relinearization; caller rescales when ready."""
+        return self.relinearize(self.multiply_no_relin(x, y),
+                                out_cls=type(x))
+
+    def square(self, ct: Ciphertext) -> Ciphertext:
+        return self.multiply(ct, ct)
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Ciphertext-plaintext product with Shoup-frozen constants.
+
+        The plaintext's NTT residues (with Shoup companions) are frozen
+        once on the plaintext and sliced per level, so every repeated
+        diagonal/coefficient multiply is division-free — bitwise
+        identical to the plain ``pointwise_mul`` path.  The stacked
+        path multiplies both ciphertext halves against the doubled
+        frozen tables in a single Shoup pass.
+        """
+        if not ct.c0.is_ntt:
+            raise ValueError("multiply_plain expects an NTT-domain "
+                             "ciphertext")
+        if not self.stacked:
+            tables = pt.frozen_ntt_tables(len(ct.basis))
+            return type(ct)(c0=pointwise_mul_shoup(ct.c0, tables),
+                            c1=pointwise_mul_shoup(ct.c1, tables),
+                            scale=ct.scale * pt.scale)
+        tables = pt.frozen_pair_tables(len(ct.basis))
+        out = pointwise_mul_shoup_stacked(ct.pair(), tables,
+                                          _pair_col(ct.basis.q_col))
+        return type(ct).from_pair(ct.basis, out, ct.scale * pt.scale,
+                                  is_ntt=True)
+
+    def _mul_int(self, ct: Ciphertext, value: int,
+                 scale: float) -> Ciphertext:
+        """Both components times an integer constant, at ``scale``."""
+        if not self.stacked:
+            return type(ct)(c0=ct.c0.mul_scalar(value),
+                            c1=ct.c1.mul_scalar(value), scale=scale)
+        value = int(value)
+        basis = ct.basis
+        s_col = np.array([value % p for p in basis.primes],
+                         dtype=np.int64).reshape(-1, 1)
+        pair = ct.pair() * _pair_col(s_col) % _pair_col(basis.q_col)
+        return type(ct).from_pair(basis, pair, scale, is_ntt=ct.is_ntt)
+
+    def multiply_int(self, ct: Ciphertext, value: int) -> Ciphertext:
+        """Multiply by a small integer without scale growth."""
+        return self._mul_int(ct, value, ct.scale)
+
+    # ------------------------------------------------------------------
+    # Key switching (hybrid, dnum digits) — the iNTT-BConv-NTT pipeline
+    # ------------------------------------------------------------------
+    def key_switch(self, d2: RnsPolynomial,
+                   key: SwitchingKey) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Switch coefficient-domain ``d2`` to the secret key; returns
+        NTT-domain ``(ks0, ks1)`` over d2's basis.
+
+        This is the paper's Figure 2 data flow: per digit, iNTT (already
+        done by the caller handing coefficient data), BConv (inside
+        :func:`mod_up`), NTT, then multiply-accumulate with the evk and
+        a final ModDown.  On the stacked path the digit NTTs run as one
+        ``(beta*E, N)`` pass, both key MACs as one Shoup multiply each
+        over the digit stack, and both ModDown accumulators as stacked
+        pair transforms.
+        """
+        if d2.is_ntt:
+            raise ValueError("key_switch expects coefficient-domain input")
+        if not self.stacked:
+            ctx = self.context
+            level = len(d2.basis) - 1
+            ext = ctx.ext_basis(level)
+            digits = list(self._decompose_and_lift(d2, level, ext))
+            b_tables, a_tables = self._restricted_tables(key, level,
+                                                         len(digits))
+            acc0 = pointwise_mac_shoup(digits, b_tables, ext)
+            acc1 = pointwise_mac_shoup(digits, a_tables, ext)
+            q_basis = ctx.q_basis(level)
+            return self._mod_down_pair(acc0, acc1, q_basis)
+        ks_pair, q_basis = self._key_switch_pair(d2, key)
+        limbs = len(q_basis)
+        return (RnsPolynomial(q_basis, ks_pair[:limbs], is_ntt=True),
+                RnsPolynomial(q_basis, ks_pair[limbs:], is_ntt=True))
+
+    # -- stacked key-switch internals ----------------------------------
+    def _key_switch_pair(self, d2: RnsPolynomial, key: SwitchingKey,
+                         ntt_rows: np.ndarray | None = None
+                         ) -> tuple[np.ndarray, RnsBasis]:
+        """Full stacked key switch of coefficient-domain ``d2``:
+        returns the NTT-domain ``(2(l+1), N)`` ks pair and its basis.
+        ``ntt_rows`` optionally carries the NTT-domain source ``d2``
+        was derived from (``d2 = iNTT(ntt_rows)``), letting the digit
+        lift skip re-transforming the kept rows."""
+        ctx = self.context
+        level = len(d2.basis) - 1
+        ext = ctx.ext_basis(level)
+        beta = ctx.num_digits(level)
+        lifted = self._lift_digits_stacked(d2.data, level, ext, beta,
+                                           ntt_rows=ntt_rows)
+        acc_pair = self._key_mac_pair(lifted, key, level, beta, ext)
+        q_basis = ctx.q_basis(level)
+        return self._mod_down_pair_stacked(acc_pair, ext, q_basis), q_basis
+
+    def _lift_digits_stacked(self, data: np.ndarray, level: int,
+                             ext: RnsBasis, beta: int, *,
+                             ntt_rows: np.ndarray | None = None
+                             ) -> np.ndarray:
+        """Decompose + ModUp all digits, then run their forward NTTs as
+        one stacked pass; returns the NTT-domain ``(beta*E, N)`` digit
+        stack (digit ``j`` occupies rows ``j*E..(j+1)*E``).
+
+        When ``ntt_rows`` (the NTT-domain rows ``data`` was iNTT'd
+        from) is available, each digit's kept rows are taken from it
+        verbatim — ``forward(inverse(x)) == x`` bitwise — and only the
+        BConv-extended rows go through the forward NTT, as one
+        mixed-basis ``(beta*(E-alpha), N)`` stacked transform.
+        """
+        ctx = self.context
+        alpha = ctx.params.alpha
+        ext_limbs = len(ext)
+        n = data.shape[1]
+        if ntt_rows is None:
+            coeff = np.empty((beta * ext_limbs, n), dtype=np.int64)
+            for j in range(beta):
+                primes = ctx.digit_primes(j, level)
+                rows = slice(j * alpha, j * alpha + len(primes))
+                digit = RnsPolynomial(RnsBasis(primes), data[rows],
+                                      is_ntt=False)
+                coeff[j * ext_limbs:(j + 1) * ext_limbs] = \
+                    mod_up(digit, ext).data
+            engine = stacked_engine(ctx.n, (ext,) * beta)
+            return engine.forward(coeff)
+        lifted = np.empty((beta * ext_limbs, n), dtype=np.int64)
+        blocks, chains, placements = [], [], []
+        for j in range(beta):
+            primes = ctx.digit_primes(j, level)
+            lo = j * alpha
+            hi = lo + len(primes)
+            digit = RnsPolynomial(RnsBasis(primes), data[lo:hi],
+                                  is_ntt=False)
+            kept = set(primes)
+            missing = RnsBasis([p for p in ext.primes if p not in kept])
+            blocks.append(base_convert(digit, missing).data)
+            chains.append(missing.primes)
+            placements.append(np.array(
+                [i for i, p in enumerate(ext.primes) if p not in kept],
+                dtype=np.intp) + j * ext_limbs)
+            lifted[j * ext_limbs + lo:j * ext_limbs + hi] = \
+                ntt_rows[lo:hi]
+        converted = stacked_engine(ctx.n, tuple(chains)).forward(
+            np.concatenate(blocks))
+        row = 0
+        for rows in placements:
+            lifted[rows] = converted[row:row + len(rows)]
+            row += len(rows)
+        return lifted
+
+    def _key_mac_pair(self, lifted: np.ndarray, key: SwitchingKey,
+                      level: int, beta: int, ext: RnsBasis) -> np.ndarray:
+        """Both key MACs over the stacked digit block in one Shoup
+        multiply each: ``acc0 = sum_j d_j (*) b_j`` lands in rows
+        ``:E`` and ``acc1`` in rows ``E:`` — bitwise identical to
+        :func:`pointwise_mac_shoup` per accumulator (uint64 partial
+        sums are order-independent; one final reduction)."""
+        ext_limbs = len(ext)
+        n = lifted.shape[1]
+        k = len(self.context.p_basis)
+        total = self.context.max_level + 1 + k
+        rows = tuple(range(level + 1)) + tuple(range(total - k, total))
+        (b_u, b_sh), (a_u, a_sh) = key.stacked_tables(beta, rows)
+        q_u = ext.q_col.astype(np.uint64)
+        q_tiled = np.tile(q_u, (beta, 1))
+        x = scratch("kmac_x", lifted.shape)
+        hi = scratch("kmac_hi", lifted.shape)
+        terms = scratch("kmac_t", lifted.shape)
+        np.copyto(x, lifted, casting="unsafe")
+        acc = np.empty((2 * ext_limbs, n), dtype=np.uint64)
+        shoup_mul_lazy(x, b_u, b_sh, q_tiled, out=terms, hi=hi)
+        np.sum(terms.reshape(beta, ext_limbs, n), axis=0,
+               out=acc[:ext_limbs])
+        shoup_mul_lazy(x, a_u, a_sh, q_tiled, out=terms, hi=hi)
+        np.sum(terms.reshape(beta, ext_limbs, n), axis=0,
+               out=acc[ext_limbs:])
+        acc %= np.concatenate([q_u, q_u])
+        return acc.astype(np.int64)
+
+    def _mod_down_pair_stacked(self, acc_pair: np.ndarray, ext: RnsBasis,
+                               q_basis: RnsBasis) -> np.ndarray:
+        """ModDown the stacked accumulator pair in the NTT domain:
+        ``ks = (acc - NTT(BConv_P(iNTT(acc_P)))) * P^-1 mod Q``.
+
+        Only the ``2k`` P-limb rows round-trip through the iNTT; the
+        correction converts in one pair BConv and returns through one
+        ``(2(l+1), N)`` NTT, and the subtraction/scaling stay on the
+        NTT-domain accumulators — the exact dataflow
+        :meth:`repro.compiler.lowering.HeLowering.key_switch` emits,
+        bitwise identical to the full coefficient round trip by NTT
+        linearity.  BGV overrides this (and :meth:`_mod_down_pair`)
+        with the exact ``t``-corrected variant."""
+        n = self.context.n
+        p_basis = self.context.p_basis
+        l1 = len(q_basis)
+        ext_limbs = len(ext)
+        acc_p = np.concatenate([acc_pair[l1:ext_limbs],
+                                acc_pair[ext_limbs + l1:]])
+        coeff_p = stacked_engine(n, (p_basis, p_basis)).inverse(acc_p)
+        corr = base_convert_pair(coeff_p, p_basis, q_basis)
+        corr_ntt = stacked_engine(n, (q_basis, q_basis)).forward(corr)
+        acc_q = np.concatenate([acc_pair[:l1],
+                                acc_pair[ext_limbs:ext_limbs + l1]])
+        p_inv_col = inverse_mod_col(p_basis.modulus, q_basis.primes)
+        q2_col = _pair_col(q_basis.q_col)
+        return (acc_q - corr_ntt) % q2_col * _pair_col(p_inv_col) % q2_col
+
+    # -- legacy key-switch internals (the differential reference) ------
+    def _mod_down_pair(self, acc0: RnsPolynomial, acc1: RnsPolynomial,
+                       q_basis: RnsBasis
+                       ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """ModDown both key-switch accumulators, running the two iNTTs
+        (and the two final NTTs) as single stacked ``(2L, N)``
+        transforms — bitwise identical to per-accumulator transforms."""
+        c0, c1 = to_coeff_stacked((acc0, acc1))
+        ks0 = mod_down(c0, q_basis, self.context.p_basis)
+        ks1 = mod_down(c1, q_basis, self.context.p_basis)
+        ks0, ks1 = to_ntt_stacked((ks0, ks1))
+        return ks0, ks1
+
+    def _decompose_and_lift(self, d2: RnsPolynomial, level: int,
+                            ext: RnsBasis):
+        """Yield each digit of ``d2`` lifted (ModUp) to the ext basis,
+        in the NTT domain."""
+        ctx = self.context
+        alpha = ctx.params.alpha
+        for j in range(ctx.num_digits(level)):
+            primes = ctx.digit_primes(j, level)
+            rows = slice(j * alpha, j * alpha + len(primes))
+            digit = RnsPolynomial(RnsBasis(primes), d2.data[rows].copy(),
+                                  is_ntt=False)
+            yield mod_up(digit, ext).to_ntt()
+
+    def _restricted_tables(self, key: SwitchingKey, level: int,
+                           count: int) -> tuple[list, list]:
+        """Shoup tables for the first ``count`` digits of ``key``,
+        restricted to the level's ext basis rows (q_0..q_level + P)."""
+        k = len(self.context.p_basis)
+
+        def restrict(table):
+            s_u, s_sh = table
+            return (np.concatenate([s_u[:level + 1], s_u[-k:]]),
+                    np.concatenate([s_sh[:level + 1], s_sh[-k:]]))
+
+        b_tables, a_tables = key.shoup_tables()
+        return ([restrict(t) for t in b_tables[:count]],
+                [restrict(t) for t in a_tables[:count]])
+
+    # ------------------------------------------------------------------
+    # Rotations (automorphism + key switch), plain and hoisted
+    # ------------------------------------------------------------------
+    def _identity_step(self, step: int) -> bool:
+        """Whether rotating by ``step`` is the identity permutation."""
+        return step % self.context.params.slots == 0
+
+    def rotate(self, ct: Ciphertext, step: int) -> Ciphertext:
+        if self._identity_step(step):
+            return ct.copy()
+        key = self.keys.galois.get(step)
+        if key is None:
+            raise ValueError(f"no Galois key for rotation step {step}")
+        g = galois_element(step, self.context.n)
+        return self._apply_galois(ct, g, key)
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        if self.keys.conjugation is None:
+            raise ValueError("no conjugation key in the key chain")
+        g = conjugation_element(self.context.n)
+        return self._apply_galois(ct, g, self.keys.conjugation)
+
+    def _apply_galois(self, ct: Ciphertext, galois_elt: int,
+                      key: SwitchingKey) -> Ciphertext:
+        if not self.stacked or not ct.is_ntt:
+            rc0 = ct.c0.apply_automorphism(galois_elt)
+            rc1 = ct.c1.apply_automorphism(galois_elt)
+            ks0, ks1 = self.key_switch(rc1.to_coeff(), key)
+            return type(ct)(c0=rc0 + ks0, c1=ks1, scale=ct.scale)
+        basis = ct.basis
+        limbs = len(basis)
+        # One gather rotates both halves of the pair at once.
+        r_pair = self._pair_engine(basis).automorphism_ntt(ct.pair(),
+                                                           galois_elt)
+        rc1 = RnsPolynomial(basis, r_pair[limbs:], is_ntt=True)
+        ks_pair, _ = self._key_switch_pair(rc1.to_coeff(), key,
+                                           ntt_rows=rc1.data)
+        out = ks_pair
+        out[:limbs] = (out[:limbs] + r_pair[:limbs]) % basis.q_col
+        return type(ct).from_pair(basis, out, ct.scale, is_ntt=True)
+
+    def rotate_hoisted(self, ct: Ciphertext,
+                       steps) -> dict[int, Ciphertext]:
+        """Rotate one ciphertext by many steps, decomposing c1 once.
+
+        The expensive decompose + ModUp + NTT runs once (as a single
+        stacked ``(beta*E, N)`` transform on the stacked path); each
+        rotation then only permutes the NTT-domain digit stack — one
+        gather for all digits (EFFACT's automorphism unit) — and
+        multiply-accumulates with its Galois key, the hoisting pattern
+        the paper's section III analysis builds on.
+        """
+        if not self.stacked or not ct.is_ntt:
+            return self._rotate_hoisted_legacy(ct, steps)
+        ctx = self.context
+        level = ct.level
+        ext = ctx.ext_basis(level)
+        beta = ctx.num_digits(level)
+        basis = ct.basis
+        limbs = len(basis)
+        base_engine = get_plan(ctx.n, basis.primes).ntt
+        digit_engine = stacked_engine(ctx.n, (ext,) * beta)
+        # The expensive decompose+ModUp+NTT lift runs lazily on the
+        # first non-identity step, so identity-only requests pay
+        # nothing (e.g. a 1x1 convolution kernel's center tap).
+        lifted: np.ndarray | None = None
+        rotated: np.ndarray | None = None
+        out: dict[int, Ciphertext] = {}
+        for step in steps:
+            if self._identity_step(step):
+                out[step] = ct.copy()
+                continue
+            key = self.keys.galois.get(step)
+            if key is None:
+                raise ValueError(f"no Galois key for rotation step {step}")
+            if lifted is None:
+                lifted = self._lift_digits_stacked(
+                    ct.c1.to_coeff().data, level, ext, beta,
+                    ntt_rows=ct.c1.data)
+                rotated = np.empty_like(lifted)
+            g = galois_element(step, ctx.n)
+            digit_engine.automorphism_ntt(lifted, g, out=rotated)
+            acc_pair = self._key_mac_pair(rotated, key, level, beta, ext)
+            ks_pair = self._mod_down_pair_stacked(acc_pair, ext, basis)
+            rc0 = base_engine.automorphism_ntt(ct.c0.data, g)
+            ks_pair[:limbs] = (ks_pair[:limbs] + rc0) % basis.q_col
+            out[step] = type(ct).from_pair(basis, ks_pair, ct.scale,
+                                           is_ntt=True)
+        return out
+
+    def _rotate_hoisted_legacy(self, ct: Ciphertext,
+                               steps) -> dict[int, Ciphertext]:
+        """Per-polynomial hoisted rotations (the differential
+        reference): per-digit automorphism gathers and per-accumulator
+        key MACs."""
+        ctx = self.context
+        level = ct.level
+        ext = ctx.ext_basis(level)
+        lifted: list | None = None
+        q_basis = ctx.q_basis(level)
+        out: dict[int, Ciphertext] = {}
+        for step in steps:
+            if self._identity_step(step):
+                out[step] = ct.copy()
+                continue
+            key = self.keys.galois.get(step)
+            if key is None:
+                raise ValueError(f"no Galois key for rotation step {step}")
+            if lifted is None:
+                lifted = list(self._decompose_and_lift(
+                    ct.c1.to_coeff(), level, ext))
+            g = galois_element(step, ctx.n)
+            rotated = [digit.apply_automorphism(g) for digit in lifted]
+            b_tables, a_tables = self._restricted_tables(
+                key, level, len(rotated))
+            acc0 = pointwise_mac_shoup(rotated, b_tables, ext)
+            acc1 = pointwise_mac_shoup(rotated, a_tables, ext)
+            ks0, ks1 = self._mod_down_pair(acc0, acc1, q_basis)
+            rc0 = ct.c0.apply_automorphism(g)
+            out[step] = type(ct)(c0=rc0 + ks0, c1=ks1, scale=ct.scale)
+        return out

@@ -1,6 +1,11 @@
 """Paper benchmarks: bootstrapping, HELR, ResNet-20, DB-lookup."""
 
 from .base import Segment, Workload, WorkloadRun, run_workload
+from .bfv_dotproduct import (
+    BfvDotProduct,
+    bfv_dotproduct_workload,
+    build_bfv_dotproduct_program,
+)
 from .bootstrap_workload import bootstrap_workload, build_bootstrap_program
 from .dblookup import EncryptedDatabase, build_dblookup_program, \
     dblookup_workload
@@ -22,7 +27,10 @@ from .resnet import (
 )
 
 __all__ = [
+    "BfvDotProduct",
     "EncryptedDatabase",
+    "bfv_dotproduct_workload",
+    "build_bfv_dotproduct_program",
     "HelrConfig",
     "HelrTrainer",
     "HomomorphicConv2d",

@@ -1,0 +1,98 @@
+"""Encrypted integer dot product on BFV (the scheme-generality workload).
+
+Functional half: both integer vectors are slot-packed and encrypted;
+one ciphertext-ciphertext multiply forms the slotwise products and an
+automorphism-orbit rotation tree (``log2(n/2)`` doubling rotate-adds
+plus one conjugation) folds them into every slot — the BFV analogue of
+the HElib-style aggregation the DB-lookup workload runs on BGV.  All
+of it executes on the stacked :mod:`repro.schemes.rns_core` hot path.
+
+Paper-scale half: the same circuit lowered through
+:class:`repro.compiler.lowering.HeLowering` into residue-level
+MMUL/MMAD/NTT/AUTO instructions (BFV's ops are the same vector ISA —
+the paper's generality claim), compiled on the packed pass manager and
+simulated on the EFFACT scoreboard.  Registered with the sweep engine
+as ``bfv_dotproduct``, so it runs through ``python -m repro run sweep
+--workload bfv_dotproduct --config ASIC-EFFACT`` and the exp store.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..compiler.ir import Program
+from ..compiler.lowering import HeLowering, LoweringParams
+from ..schemes.bfv import BfvContext, BfvParams, BfvScheme
+from .base import Segment, Workload
+
+
+# ---------------------------------------------------------------------
+# Functional dot product on the real BFV scheme
+# ---------------------------------------------------------------------
+class BfvDotProduct:
+    """Slot-packed encrypted dot product ``<x, y> mod t``."""
+
+    def __init__(self, params: BfvParams | None = None):
+        if params is None:
+            params = BfvParams(n=64, q_count=6, dnum=2)
+        self.ctx = BfvContext(params)
+        self.scheme = BfvScheme(self.ctx)
+        self.sk = self.scheme.gen_secret()
+        self.scheme.gen_relin(self.sk)
+        for k in range(int(math.log2(self.ctx.n // 2))):
+            self.scheme.gen_galois(1 << k, self.sk)
+        self.scheme.gen_conjugation(self.sk)
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> int:
+        """Homomorphic ``sum_i x_i * y_i mod t`` (exact)."""
+        sch, ctx = self.scheme, self.ctx
+        if len(x) != ctx.n or len(y) != ctx.n:
+            raise ValueError(f"expected {ctx.n}-element vectors")
+        cx = sch.encrypt(x, self.sk)
+        cy = sch.encrypt(y, self.sk)
+        total = sch.sum_slots(sch.multiply(cx, cy))
+        return int(sch.decrypt(total, self.sk)[0])
+
+
+# ---------------------------------------------------------------------
+# Paper-scale IR workload
+# ---------------------------------------------------------------------
+def build_bfv_dotproduct_program(lp: LoweringParams, *,
+                                 name: str = "bfv_dot") -> Program:
+    """The residue-level dot-product circuit, mirroring the functional
+    :meth:`BfvScheme.sum_slots` flow: one HMULT (slotwise products), a
+    log-depth rotate-and-add aggregation tree over the rotation orbit,
+    and the final conjugate+add that merges the two orbits.  BFV is
+    unleveled, so every stage runs at the full chain (no rescales) —
+    noise budget, not limbs, is consumed."""
+    low = HeLowering(lp, name)
+    relin = low.switching_key("relin")
+    x = low.fresh_ciphertext(lp.levels, "x")
+    y = low.fresh_ciphertext(lp.levels, "y")
+    ct = low.hmult(x, y, relin)
+    for k in range(int(math.log2(lp.n)) - 1):
+        ct = low.hadd(ct, low.rotate(ct, 1 << k))
+    return low.finish(low.hadd(ct, low.conjugate(ct)))
+
+
+def bfv_dotproduct_workload(*, n: int = 2 ** 14, levels: int = 7,
+                            dnum: int = 4,
+                            detail: float = 1.0) -> Workload:
+    """Batched encrypted dot products (F1-scale BFV parameter point).
+
+    ``detail`` scales the number of dot-product queries amortized over
+    one compiled segment (>= 1), mirroring how the other workloads use
+    it as a size knob.
+    """
+    lp = LoweringParams(n=n, levels=levels, dnum=dnum, log_q=54)
+    repeat = max(1, round(4 * detail))
+    return Workload(
+        name="bfv_dotproduct",
+        segments=[Segment(
+            builder=lambda: build_bfv_dotproduct_program(lp),
+            repeat=repeat)],
+        slots=n,
+        amortization_levels=1,
+    )

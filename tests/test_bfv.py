@@ -49,4 +49,4 @@ def test_multiply_depth2(bfv, rng):
 
 def test_delta_definition(bfv):
     ctx, *_ = bfv
-    assert ctx.delta == ctx.q_basis.modulus // ctx.t
+    assert ctx.delta == ctx.q_full.modulus // ctx.t

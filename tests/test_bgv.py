@@ -78,7 +78,7 @@ def test_mod_switch_preserves_plaintext(bgv, rng):
     ctx, scheme, sk, rk = bgv
     x = _vec(ctx, rng)
     ct = scheme.mod_switch(scheme.encrypt(x, sk), times=2)
-    assert len(ct.basis) == len(ctx.q_basis) - 2
+    assert len(ct.basis) == len(ctx.q_full) - 2
     assert np.array_equal(scheme.decrypt(ct, sk), x)
 
 
@@ -111,6 +111,57 @@ def test_rotation_permutes_slots(bgv, rng):
     got = scheme.decrypt(scheme.rotate(scheme.encrypt(x, sk), 1, gk), sk)
     assert sorted(got) == sorted(x)
     assert not np.array_equal(got, x)
+
+
+def test_decrypt_reduction_overflow_regression():
+    """The seed's plaintext reduction (``c * correction % t`` over the
+    centred coefficients) silently wraps once it is vectorized in int64
+    and ``|c| * correction >= 2^63`` — large ``t`` times large centred
+    coefficients.  The centred-BConv reduction (:func:`centered_mod_t`)
+    reduces mod ``t`` *before* multiplying, so every intermediate stays
+    below ``2^62``; it must match exact Python-int arithmetic where the
+    naive expression does not."""
+    from repro.rns.poly import RnsPolynomial
+    from repro.schemes.bgv import centered_mod_t
+
+    ctx = BgvContext(BgvParams(n=32, t_bits=30, q_bits=28, q_count=2,
+                               seed=3))
+    t = ctx.t
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, ctx.q_full.q_col, size=(2, 32),
+                        dtype=np.int64)
+    poly = RnsPolynomial(ctx.q_full, data, is_ntt=False)
+    correction = pow(12345, -1, t)
+    exact = np.array([int(c) % t * correction % t
+                      for c in poly.to_int_coeffs(signed=True)],
+                     dtype=np.int64)
+    # Safe path: reduce mod t first, multiply small residues.
+    got = centered_mod_t(poly, t) * correction % t
+    assert np.array_equal(got, exact)
+    # The seed pattern, vectorized: centred coefficients are ~Q/2
+    # (here ~2^55) and correction is ~2^30, so the int64 product wraps.
+    centred_int64 = np.array(poly.to_int_coeffs(signed=True),
+                             dtype=np.int64)
+    with np.errstate(over="ignore"):
+        naive = centred_int64 * correction % t
+    assert not np.array_equal(naive, exact), \
+        "naive reduction unexpectedly survived; regression fixture stale"
+
+
+def test_stacked_matches_reference_bitwise(bgv, rng):
+    """The scheme's default stacked evaluator and the per-polynomial
+    reference must agree bitwise (the full matrix lives in
+    tests/test_rns_core_schemes.py; this is the in-suite smoke)."""
+    ctx, scheme, sk, rk = bgv
+    ref = BgvScheme(ctx, stacked=False)
+    ref.ev.keys.relin = rk
+    x, y = _vec(ctx, rng), _vec(ctx, rng)
+    cx, cy = scheme.encrypt(x, sk), scheme.encrypt(y, sk)
+    a = scheme.ev.multiply(cx, cy)
+    b = ref.ev.multiply(cx, cy)
+    assert np.array_equal(a.c0.data, b.c0.data)
+    assert np.array_equal(a.c1.data, b.c1.data)
+    assert a.scale == b.scale
 
 
 def test_explicit_plaintext_modulus():

@@ -1,0 +1,326 @@
+"""Scheme-agnostic RNS core: BFV/BGV on the stacked hot path.
+
+Three layers of guarantees:
+
+* **differential** — every BFV/BGV operation is *bitwise* identical
+  between the stacked evaluator (one ``(2L, N)`` kernel per pair,
+  stacked digit lifts, wide exact BConv) and the per-polynomial
+  reference (``stacked=False``), across levels for BGV;
+* **golden** — encrypt/multiply/switch digests pinned on deterministic
+  contexts, so a numeric change cannot hide behind a matching bug in
+  both paths;
+* **oracle** — the seed's per-coefficient implementations
+  (:mod:`repro.schemes.toy`) agree with the new schemes at the
+  plaintext level on identical inputs.
+
+CKKS is covered by ``tests/test_stacked_evaluator.py`` running
+unchanged against the refactored base class; here we only pin the
+subclass relationship.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+import pytest
+
+from repro.schemes.bfv import BfvContext, BfvParams, BfvScheme
+from repro.schemes.bgv import BgvContext, BgvParams, BgvScheme
+from repro.schemes.ckks import CkksEvaluator
+from repro.schemes.rns_core import (
+    Ciphertext,
+    RnsEvaluatorBase,
+    StackedKernels,
+)
+from repro.schemes.toy import (
+    ToyBfvContext,
+    ToyBfvParams,
+    ToyBfvScheme,
+    ToyBgvContext,
+    ToyBgvParams,
+    ToyBgvScheme,
+)
+
+
+def _assert_same(a: Ciphertext, b: Ciphertext, what: str) -> None:
+    assert np.array_equal(a.c0.data, b.c0.data), f"{what}: c0 differs"
+    assert np.array_equal(a.c1.data, b.c1.data), f"{what}: c1 differs"
+    assert a.scale == b.scale, f"{what}: scale differs"
+    assert a.basis == b.basis, f"{what}: basis differs"
+
+
+def _digest(ct: Ciphertext) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(ct.c0.data).tobytes())
+    h.update(np.ascontiguousarray(ct.c1.data).tobytes())
+    return h.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# The evaluator hierarchy
+# ----------------------------------------------------------------------
+def test_ckks_is_a_thin_subclass():
+    """CKKS rides the shared core: the evaluator subclasses
+    RnsEvaluatorBase and every key-switch kernel is inherited, not
+    reimplemented."""
+    assert issubclass(CkksEvaluator, RnsEvaluatorBase)
+    for name in ("_key_switch_pair", "_lift_digits_stacked",
+                 "_key_mac_pair", "_mod_down_pair_stacked",
+                 "key_switch", "rotate_hoisted", "multiply_plain"):
+        assert getattr(CkksEvaluator, name) \
+            is getattr(RnsEvaluatorBase, name), name
+
+
+def test_all_schemes_share_the_base():
+    from repro.schemes.bfv import BfvEvaluator
+    from repro.schemes.bgv import BgvEvaluator
+    assert issubclass(BfvEvaluator, RnsEvaluatorBase)
+    assert issubclass(BgvEvaluator, RnsEvaluatorBase)
+
+
+def test_switch_down_ntt_rejects_bad_stack():
+    from repro.nttmath.primes import find_ntt_primes
+    from repro.rns.basis import RnsBasis
+
+    kern = StackedKernels(8)
+    basis = RnsBasis(find_ntt_primes(20, 8, 2))
+    with pytest.raises(ValueError, match="row"):
+        kern.switch_down_ntt(np.zeros((3, 8), dtype=np.int64), basis, 2)
+    single = RnsBasis(basis.primes[:1])
+    with pytest.raises(ValueError, match="single-limb"):
+        kern.switch_down_ntt(np.zeros((2, 8), dtype=np.int64), single, 2)
+
+
+# ----------------------------------------------------------------------
+# BFV: stacked vs per-polynomial reference, bitwise
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def bfv_pair():
+    ctx = BfvContext(BfvParams(n=64, q_count=6, dnum=2, seed=20260728))
+    stacked = BfvScheme(ctx, stacked=True)
+    sk = stacked.gen_secret()
+    rk = stacked.gen_relin(sk)
+    for k in range(int(math.log2(ctx.n // 2))):
+        stacked.gen_galois(1 << k, sk)
+    stacked.gen_conjugation(sk)
+    reference = BfvScheme(ctx, stacked=False)
+    reference.ev.keys = stacked.ev.keys
+    return ctx, stacked, reference, sk, rk
+
+
+def test_bfv_stacked_matches_reference(bfv_pair, rng):
+    ctx, stacked, reference, sk, rk = bfv_pair
+    x = rng.integers(0, ctx.t, ctx.n)
+    y = rng.integers(0, ctx.t, ctx.n)
+    cx, cy = stacked.encrypt(x, sk), stacked.encrypt(y, sk)
+    _assert_same(stacked.add(cx, cy), reference.add(cx, cy), "add")
+    _assert_same(stacked.sub(cx, cy), reference.sub(cx, cy), "sub")
+    _assert_same(stacked.ev.negate(cx), reference.ev.negate(cx), "neg")
+    prod_s = stacked.ev.multiply(cx, cy)
+    prod_r = reference.ev.multiply(cx, cy)
+    _assert_same(prod_s, prod_r, "multiply")
+    # depth 2 on the already-multiplied ciphertext
+    _assert_same(stacked.ev.multiply(prod_s, cx),
+                 reference.ev.multiply(prod_r, cx), "multiply-depth2")
+    _assert_same(stacked.rotate(cx, 2), reference.rotate(cx, 2),
+                 "rotate")
+    _assert_same(stacked.conjugate(cx), reference.conjugate(cx),
+                 "conjugate")
+
+
+def test_bfv_matches_plain_arithmetic(bfv_pair, rng):
+    ctx, stacked, reference, sk, rk = bfv_pair
+    x = rng.integers(0, ctx.t, ctx.n)
+    y = rng.integers(0, ctx.t, ctx.n)
+    cm = stacked.multiply(stacked.encrypt(x, sk),
+                          stacked.encrypt(y, sk), rk)
+    assert np.array_equal(stacked.decrypt(cm, sk), x * y % ctx.t)
+    assert np.array_equal(reference.decrypt(cm, sk), x * y % ctx.t)
+
+
+def test_bfv_dot_product_exact(rng):
+    from repro.workloads.bfv_dotproduct import BfvDotProduct
+
+    dotter = BfvDotProduct(BfvParams(n=32, q_count=5, dnum=2, seed=42))
+    n, t = dotter.ctx.n, dotter.ctx.t
+    x = rng.integers(0, t, n)
+    y = rng.integers(0, t, n)
+    want = int((x.astype(object) * y.astype(object)).sum() % t)
+    assert dotter.dot(x, y) == want
+
+
+# ----------------------------------------------------------------------
+# BGV: stacked vs reference across levels, bitwise
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def bgv_pair():
+    ctx = BgvContext(BgvParams(n=64, q_count=8, dnum=4, seed=20260728))
+    stacked = BgvScheme(ctx, stacked=True)
+    sk = stacked.gen_secret()
+    rk = stacked.gen_relin(sk)
+    gk = stacked.gen_galois(3, sk)
+    reference = BgvScheme(ctx, stacked=False)
+    reference.ev.keys = stacked.ev.keys
+    return ctx, stacked, reference, sk, rk, gk
+
+
+def test_bgv_stacked_matches_reference_across_levels(bgv_pair, rng):
+    ctx, stacked, reference, sk, rk, gk = bgv_pair
+    x = rng.integers(0, ctx.t, ctx.n)
+    y = rng.integers(0, ctx.t, ctx.n)
+    cx, cy = stacked.encrypt(x, sk), stacked.encrypt(y, sk)
+    # full level
+    _assert_same(stacked.add(cx, cy), reference.add(cx, cy), "add@L")
+    _assert_same(stacked.mul_plain(cx, y), reference.mul_plain(cx, y),
+                 "mul_plain@L")
+    _assert_same(stacked.add_plain(cx, y), reference.add_plain(cx, y),
+                 "add_plain@L")
+    _assert_same(stacked.ev.multiply(cx, cy),
+                 reference.ev.multiply(cx, cy), "multiply@L")
+    _assert_same(stacked.rotate(cx, 3, gk), reference.rotate(cx, 3, gk),
+                 "rotate@L")
+    # walk down the chain: switch, then operate at each lower level
+    cs, cr = cx, cx
+    for drop in (1, 2):
+        cs = stacked.mod_switch(cs, times=1)
+        cr = reference.mod_switch(cr, times=1)
+        _assert_same(cs, cr, f"mod_switch-{drop}")
+        _assert_same(stacked.ev.multiply(cs, cs),
+                     reference.ev.multiply(cr, cr),
+                     f"multiply@L-{drop}")
+        _assert_same(stacked.rotate(cs, 3, gk),
+                     reference.rotate(cr, 3, gk), f"rotate@L-{drop}")
+        _assert_same(stacked.add_plain(cs, y),
+                     reference.add_plain(cr, y), f"add_plain@L-{drop}")
+
+
+def test_bgv_exactness_survives_the_stack(bgv_pair, rng):
+    """The t-corrected ModDown and modulus switch must keep arithmetic
+    exact through a squaring chain on the stacked path."""
+    ctx, stacked, reference, sk, rk, gk = bgv_pair
+    x = rng.integers(0, ctx.t, ctx.n)
+    for scheme in (stacked, reference):
+        ct = scheme.encrypt(x, sk)
+        expect = x.copy()
+        for _ in range(2):
+            ct = scheme.mod_switch(scheme.multiply(ct, ct, rk), times=2)
+            expect = expect * expect % ctx.t
+        assert np.array_equal(scheme.decrypt(ct, sk), expect)
+
+
+# ----------------------------------------------------------------------
+# Golden vectors (deterministic contexts, pinned digests)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def golden_bfv():
+    ctx = BfvContext(BfvParams(n=32, q_count=5, dnum=2, seed=424242))
+    scheme = BfvScheme(ctx)
+    sk = scheme.gen_secret()
+    scheme.gen_relin(sk)
+    scheme.gen_galois(1, sk)
+    x = np.arange(ctx.n, dtype=np.int64) % ctx.t
+    y = (np.arange(ctx.n, dtype=np.int64) * 7 + 3) % ctx.t
+    return scheme, sk, scheme.encrypt(x, sk), scheme.encrypt(y, sk)
+
+
+def test_golden_bfv_vectors(golden_bfv):
+    scheme, sk, cx, cy = golden_bfv
+    assert _digest(cx) == "8ba50286c3e9b130"
+    assert _digest(scheme.ev.multiply(cx, cy)) == "99d96a293b2b7008"
+    assert _digest(scheme.rotate(cx, 1)) == "b0d3fd7454c1aee7"
+
+
+@pytest.fixture(scope="module")
+def golden_bgv():
+    ctx = BgvContext(BgvParams(n=32, q_count=6, dnum=3, seed=424242))
+    scheme = BgvScheme(ctx)
+    sk = scheme.gen_secret()
+    scheme.gen_relin(sk)
+    x = np.arange(ctx.n, dtype=np.int64) % ctx.t
+    y = (np.arange(ctx.n, dtype=np.int64) * 5 + 1) % ctx.t
+    return scheme, sk, scheme.encrypt(x, sk), scheme.encrypt(y, sk)
+
+
+def test_golden_bgv_vectors(golden_bgv):
+    scheme, sk, cx, cy = golden_bgv
+    assert _digest(cx) == "ffa8bd72cd510336"
+    assert _digest(scheme.ev.multiply(cx, cy)) == "fd3934c2cd55a4e7"
+    assert _digest(scheme.mod_switch(cx, times=2)) == "da9c77874c3058d9"
+
+
+# ----------------------------------------------------------------------
+# The seed implementations as oracles
+# ----------------------------------------------------------------------
+def test_toy_bfv_oracle_agrees(rng):
+    """The seed's exact big-int BFV and the stacked RNS BFV compute the
+    same plaintext arithmetic on identical inputs."""
+    toy = ToyBfvScheme(ToyBfvContext(ToyBfvParams(n=16, q_count=4,
+                                                  seed=5)))
+    new = BfvScheme(BfvContext(BfvParams(n=16, q_count=4, dnum=2,
+                                         seed=5)))
+    t_sk = toy.gen_secret()
+    t_rk = toy.gen_relin(t_sk)
+    n_sk = new.gen_secret()
+    n_rk = new.gen_relin(n_sk)
+    t = min(toy.ctx.t, new.ctx.t)
+    x = rng.integers(0, t, 16)
+    y = rng.integers(0, t, 16)
+    toy_prod = toy.decrypt(
+        toy.multiply(toy.encrypt(x, t_sk), toy.encrypt(y, t_sk), t_rk),
+        t_sk)
+    new_prod = new.decrypt(
+        new.multiply(new.encrypt(x, n_sk), new.encrypt(y, n_sk), n_rk),
+        n_sk)
+    assert np.array_equal(toy_prod, x * y % toy.ctx.t)
+    assert np.array_equal(new_prod, x * y % new.ctx.t)
+
+
+def test_toy_bgv_oracle_agrees(rng):
+    """The seed's single-pair-key BGV and the hybrid-key stacked BGV
+    agree at the plaintext level, including through mod switching, and
+    show the same noise-budget behaviour."""
+    toy = ToyBgvScheme(ToyBgvContext(ToyBgvParams(n=32, q_count=8,
+                                                  seed=5)))
+    new = BgvScheme(BgvContext(BgvParams(n=32, q_count=8, dnum=4,
+                                         seed=5)))
+    t_sk = toy.gen_secret()
+    t_rk = toy.gen_relin(t_sk)
+    n_sk = new.gen_secret()
+    n_rk = new.gen_relin(n_sk)
+    x = rng.integers(0, min(toy.ctx.t, new.ctx.t), 32)
+    toy_ct = toy.mod_switch(
+        toy.multiply(toy.encrypt(x, t_sk), toy.encrypt(x, t_sk), t_rk),
+        times=2)
+    new_ct = new.mod_switch(
+        new.multiply(new.encrypt(x, n_sk), new.encrypt(x, n_sk), n_rk),
+        times=2)
+    assert np.array_equal(toy.decrypt(toy_ct, t_sk), x * x % toy.ctx.t)
+    assert np.array_equal(new.decrypt(new_ct, n_sk), x * x % new.ctx.t)
+    # both implementations report a healthy positive budget after the
+    # switch (the noise oracle role: mod switching restores headroom)
+    assert toy.noise_budget_bits(toy_ct, t_sk) > 0
+    assert new.noise_budget_bits(new_ct, n_sk) > 0
+
+
+# ----------------------------------------------------------------------
+# Workload integration: lower -> compile -> simulate
+# ----------------------------------------------------------------------
+def test_bfv_dotproduct_workload_compiles_and_simulates():
+    from repro.core.config import ASIC_EFFACT
+    from repro.workloads.base import run_workload
+    from repro.workloads.bfv_dotproduct import bfv_dotproduct_workload
+
+    wl = bfv_dotproduct_workload(n=2 ** 12, levels=5, dnum=2)
+    mix = wl.instruction_mix()
+    assert mix["mult"] > 0 and mix["auto"] > 0 and mix["ntt"] > 0
+    run = run_workload(wl, ASIC_EFFACT)
+    assert run.cycles > 0
+    assert run.runtime_ms > 0
+
+
+def test_bfv_dotproduct_registered_with_sweep_engine():
+    from repro.exp.sweep import workload_names
+
+    assert "bfv_dotproduct" in workload_names()

@@ -197,3 +197,57 @@ def test_figure11_ladder_shape_unchanged():
     assert [s.name for s in steps][0] == "baseline"
     assert steps[0].speedup_over_baseline == 1.0
     assert len(steps) == 4
+
+
+# ----------------------------------------------------------------------
+# Sweep resumption metadata (spec persisted next to its points)
+# ----------------------------------------------------------------------
+def test_spec_persisted_and_warm_resume_allowed(tmp_path):
+    from repro.exp.sweep import spec_grid_token
+
+    store = ArtifactStore(tmp_path)
+    spec = SweepSpec(name="resume", workloads=(
+        WorkloadSpec.make("tiny", levels=4),), variants=_variants(1))
+    cold = run_sweep(spec, store=store)
+    assert store.get_spec("resume") == spec_grid_token(
+        "resume", spec.points())
+    warm = run_sweep(spec, store=store)      # same grid: no complaint
+    assert warm.warm
+
+
+def test_spec_mismatch_raises_clear_error(tmp_path):
+    from repro.exp.sweep import SweepSpecMismatch
+
+    store = ArtifactStore(tmp_path)
+    spec = SweepSpec(name="resume", workloads=(
+        WorkloadSpec.make("tiny", levels=4),), variants=_variants(1))
+    run_sweep(spec, store=store)
+    changed = SweepSpec(name="resume", workloads=(
+        WorkloadSpec.make("tiny", levels=5),), variants=_variants(1))
+    with pytest.raises(SweepSpecMismatch, match="resume"):
+        run_sweep(changed, store=store)
+    # opting out records the new grid and proceeds
+    result = run_sweep(changed, store=store, verify_spec=False)
+    assert len(result.points) == 1
+    run_sweep(changed, store=store)          # now the recorded grid
+
+
+def test_spec_corruption_degrades_to_rewrite(tmp_path):
+    store = ArtifactStore(tmp_path)
+    spec = SweepSpec(name="resume", workloads=(
+        WorkloadSpec.make("tiny", levels=4),), variants=_variants(1))
+    run_sweep(spec, store=store)
+    store._spec_path("resume").write_bytes(b"{not json")
+    assert store.get_spec("resume") is None   # dropped, not crashed
+    run_sweep(spec, store=store)              # re-persisted
+    assert store.get_spec("resume") is not None
+
+
+def test_spec_entries_survive_eviction(tmp_path):
+    """Spec metadata is exempt from the LRU size bound (evicting the
+    resumption record would defeat it)."""
+    store = ArtifactStore(tmp_path, max_bytes=1)
+    spec = SweepSpec(name="resume", workloads=(
+        WorkloadSpec.make("tiny", levels=4),), variants=_variants(1))
+    run_sweep(spec, store=store)
+    assert store.get_spec("resume") is not None
