@@ -53,6 +53,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--config", action="append", default=[],
                      metavar="NAME",
                      help="(sweep) hardware axis entry, repeatable")
+    run.add_argument("--engine", choices=["packed", "exec"],
+                     default="packed",
+                     help="(sweep) 'exec' also runs each compiled "
+                          "point on the batched NTT engine and "
+                          "reports measured wall time next to the "
+                          "simulator's predicted cycles")
     run.add_argument("--assert-warm", action="store_true",
                      help="exit 1 unless the sweep executed zero "
                           "compiles and zero simulations (CI check "
@@ -91,8 +97,12 @@ def _cmd_run(args) -> int:
         report = runner.run_generic(
             args.workload, args.config, n=args.n, detail=args.detail,
             jobs=args.jobs, store=args.store, progress=callback,
-            verify_spec=verify_spec)
+            verify_spec=verify_spec, engine=args.engine)
     else:
+        if args.engine != "packed":
+            print("--engine exec is only supported for the generic "
+                  "'sweep' scenario", file=sys.stderr)
+            return 2
         report = SCENARIOS[args.scenario](
             n=args.n, detail=args.detail, jobs=args.jobs,
             store=args.store, progress=callback,

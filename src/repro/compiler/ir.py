@@ -73,6 +73,12 @@ class Program:
         self._next_vid = itertools.count()
         self._next_addr = itertools.count()
         self.outputs: set[int] = set()
+        #: Optional frontend side tables (set by HeLowering; carried
+        #: through packing so the execution backend can resolve
+        #: immediates and size the prime chain).
+        self.const_names: dict[int, str] | None = None
+        self.prime_meta: tuple[int, int] | None = None
+        self.merged_imms: dict[tuple[int, int], int] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -198,7 +204,8 @@ class PackedProgram:
                  "op", "dest", "srcs", "n_srcs", "modulus", "imm",
                  "tag_id", "streaming", "tags", "_tag_index",
                  "val_origin", "val_address", "val_names",
-                 "outputs", "forwarded", "slot_of")
+                 "outputs", "forwarded", "slot_of",
+                 "const_names", "prime_meta", "merged_imms")
 
     def __init__(self, n: int, *, name: str = "program",
                  limb_bytes: int | None = None):
@@ -222,6 +229,12 @@ class PackedProgram:
         self.outputs = np.zeros(0, dtype=np.int64)
         self.forwarded: np.ndarray | None = None
         self.slot_of: dict[int, int] | None = None
+        #: Frontend side tables (see :class:`Program`); excluded from
+        #: :meth:`fingerprint` like ``val_names`` — they never change
+        #: a pass decision, only how execution resolves immediates.
+        self.const_names: dict[int, str] | None = None
+        self.prime_meta: tuple[int, int] | None = None
+        self.merged_imms: dict[tuple[int, int], int] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -304,6 +317,15 @@ class PackedProgram:
         slot_of = getattr(program, "slot_of", None)
         if slot_of is not None:
             self.slot_of = dict(slot_of)
+        const_names = getattr(program, "const_names", None)
+        if const_names is not None:
+            self.const_names = dict(const_names)
+        prime_meta = getattr(program, "prime_meta", None)
+        if prime_meta is not None:
+            self.prime_meta = tuple(prime_meta)
+        merged = getattr(program, "merged_imms", None)
+        if merged is not None:
+            self.merged_imms = dict(merged)
         return self
 
     def to_program(self) -> Program:
@@ -351,6 +373,11 @@ class PackedProgram:
                 np.nonzero(self.forwarded)[0].tolist())
         if self.slot_of is not None:
             program.slot_of = dict(self.slot_of)  # type: ignore
+        program.const_names = None if self.const_names is None \
+            else dict(self.const_names)
+        program.prime_meta = self.prime_meta
+        program.merged_imms = None if self.merged_imms is None \
+            else dict(self.merged_imms)
         return program
 
     def copy(self) -> "PackedProgram":
@@ -367,6 +394,11 @@ class PackedProgram:
         other.forwarded = None if self.forwarded is None \
             else self.forwarded.copy()
         other.slot_of = None if self.slot_of is None else dict(self.slot_of)
+        other.const_names = None if self.const_names is None \
+            else dict(self.const_names)
+        other.prime_meta = self.prime_meta
+        other.merged_imms = None if self.merged_imms is None \
+            else dict(self.merged_imms)
         return other
 
     # ------------------------------------------------------------------

@@ -97,6 +97,9 @@ class HeLowering:
         self.params = params
         self.program = Program(params.n, name=name,
                                limb_bytes=params.limb_bytes)
+        p = params
+        self.program.prime_meta = (p.levels + 1, p.k_special)
+        self.program.const_names = {}
         self._key_cache: dict[str, KeyHandle] = {}
         self._consts: dict[str, int] = {}
 
@@ -105,10 +108,24 @@ class HeLowering:
 
         Two constant multiplies with the same id are the same math, so
         CSE may merge them and the constant-merge peephole may compose
-        them symbolically."""
+        them symbolically.  The id -> name table rides on the program
+        (:attr:`Program.const_names`) so the execution backend can
+        resolve each immediate to its concrete per-prime value."""
         if name not in self._consts:
             self._consts[name] = len(self._consts) + 1
+            self.program.const_names[self._consts[name]] = name
         return self._consts[name]
+
+    def _gmod(self, i: int, l1: int) -> int:
+        """Global prime-chain column for extended-basis limb ``i``.
+
+        Q limbs keep their chain index; the ``k_special`` P limbs live
+        after *all* ``levels + 1`` Q primes, so a modulus index denotes
+        the same prime at every level (a level-relative index would
+        make e.g. index 5 mean ``q_5`` in one instruction and ``p_0``
+        in another, which a cycle simulator never notices but an
+        execution backend cannot tolerate)."""
+        return i if i < l1 else self.params.levels + 1 + (i - l1)
 
     # ------------------------------------------------------------------
     # Emission helpers
@@ -187,10 +204,20 @@ class HeLowering:
     # ------------------------------------------------------------------
     # Domain transforms
     # ------------------------------------------------------------------
-    def intt_poly(self, limbs: list[int]) -> list[int]:
-        """iNTT + the naive 1/N post-scaling constant multiply."""
+    def intt_poly(self, limbs: list[int],
+                  mods: list[int] | None = None) -> list[int]:
+        """iNTT + the naive 1/N post-scaling constant multiply.
+
+        ``mods`` gives the global prime-chain column of each limb;
+        the default is the Q-basis identity ``0..len(limbs)-1`` (a
+        ciphertext at level ``len(limbs) - 1``).  Key switching passes
+        explicit columns for its P limbs so both the twiddle basis and
+        the ``ninv`` constant resolve against the right prime.
+        """
+        if mods is None:
+            mods = list(range(len(limbs)))
         out = []
-        for j, v in enumerate(limbs):
+        for j, v in zip(mods, limbs):
             raw = self._intt_raw(v, modulus=j)
             out.append(self._mmul(raw, modulus=j,
                                   imm=self._const(f"ninv[{j}]"),
@@ -292,41 +319,42 @@ class HeLowering:
             """Digit j's ModUp result at extended limb i (NTT domain)."""
             lo = j * p.alpha
             hi = min(lo + p.alpha, l1)
+            g = self._gmod(i, l1)
             if lo <= i < hi:
-                base = self._vcopy(coeff[i], modulus=i)
+                base = self._vcopy(coeff[i], modulus=g)
             else:
                 acc: int | None = None
-                for jj, vj in enumerate(v[j]):
+                for jj, vj in enumerate(v[j], start=lo):
                     term = self._mmul(
-                        vj, modulus=i,
+                        vj, modulus=g,
                         imm=self._const(f"{shape}.qhat[{jj}][{i}]"),
                         tag=TAG_BCONV_MULT)
                     acc = term if acc is None else self._mmad(
-                        acc, term, modulus=i, tag=TAG_BCONV_ADD)
+                        acc, term, modulus=g, tag=TAG_BCONV_ADD)
                 assert acc is not None
-                base = self._mmul(acc, modulus=i,
+                base = self._mmul(acc, modulus=g,
                                   imm=self._const(f"to_sm[{i}]"),
                                   tag=TAG_MULT)
-            base = self._ntt(base, modulus=i)
+            base = self._ntt(base, modulus=g)
             if pre_rotated is not None:
-                base = self._auto(base, pre_rotated, modulus=i)
+                base = self._auto(base, pre_rotated, modulus=g)
             return base
 
         def mac_limb(i: int) -> tuple[int, int]:
             """Accumulate all digits' key products at extended limb i."""
-            key_row = i if i < l1 else p.levels + 1 + (i - l1)
+            g = self._gmod(i, l1)
             acc0: int | None = None
             acc1: int | None = None
             for j in range(beta):
                 lifted = lifted_limb(j, i)
-                t0 = self._mmul(lifted, key.b[j][key_row], modulus=i,
+                t0 = self._mmul(lifted, key.b[j][g], modulus=g,
                                 tag=TAG_MULT)
-                t1 = self._mmul(lifted, key.a[j][key_row], modulus=i,
+                t1 = self._mmul(lifted, key.a[j][g], modulus=g,
                                 tag=TAG_MULT)
                 acc0 = t0 if acc0 is None else self._mmad(
-                    acc0, t0, modulus=i, tag=TAG_ADD)
+                    acc0, t0, modulus=g, tag=TAG_ADD)
                 acc1 = t1 if acc1 is None else self._mmad(
-                    acc1, t1, modulus=i, tag=TAG_ADD)
+                    acc1, t1, modulus=g, tag=TAG_ADD)
             assert acc0 is not None and acc1 is not None
             return acc0, acc1
 
@@ -335,14 +363,15 @@ class HeLowering:
         pv0: list[int] = []
         pv1: list[int] = []
         for i in range(l1, ext):
+            g = self._gmod(i, l1)
             w0, w1 = mac_limb(i)
             for w, pv in ((w0, pv0), (w1, pv1)):
-                c = self.intt_poly([w])[0]
-                nm = self._mmul(c, modulus=i,
-                                imm=self._const(f"to_nm[p{i}]"),
+                c = self.intt_poly([w], [g])[0]
+                nm = self._mmul(c, modulus=g,
+                                imm=self._const(f"to_nm[p{i - l1}]"),
                                 tag=TAG_MULT)
                 pv.append(self._mmul(
-                    nm, modulus=i,
+                    nm, modulus=g,
                     imm=self._const(f"md{l1}.qhatinv[{i - l1}]"),
                     tag=TAG_BCONV_MULT))
 
@@ -431,25 +460,45 @@ class HeLowering:
     def rescale(self, ct: CtHandle) -> CtHandle:
         """Drop the last limb: iNTT, subtract, scale, NTT back.
 
-        Emits the naive Montgomery conversions around the modulus
-        switch (section IV-D5's penalty) for the optimizer to remove.
+        Uses the SEAL-style half trick so the dataflow is *exact*
+        modular arithmetic the execution backend reproduces bitwise:
+        with ``half = q_l // 2`` and ``t = (c_l + half) mod q_l``, the
+        centred last limb is ``t - half`` exactly (q_l odd), so
+
+            out_j = (c_j - t + half) * q_l^{-1}  (mod q_j)
+
+        decomposes into pure modular mul/adds: ``c_j*qinv + t*(-qinv)
+        + half*qinv``.  The naive Montgomery conversion around the
+        modulus switch (section IV-D5's penalty) is still emitted as a
+        ``to_nm`` multiply on ``t`` for the optimizer to remove.
         """
         new_l1 = ct.level
+        lvl = ct.level
         out = []
         for comp in (ct.c0, ct.c1):
             coeff = self.intt_poly(comp)
-            last = coeff[-1]
-            last_nm = self._mmul(last, modulus=ct.level,
-                                 imm=self._const(f"to_nm[{ct.level}]"),
-                                 tag=TAG_MULT)
+            t = self._mmad(coeff[-1], modulus=lvl,
+                           imm=self._const(f"rescale.half[{lvl}]"),
+                           tag=TAG_ADD)
+            t = self._mmul(t, modulus=lvl,
+                           imm=self._const(f"to_nm[{lvl}]"),
+                           tag=TAG_MULT)
             limbs = []
             for j in range(new_l1):
-                diff = self._mmad(coeff[j], last_nm, modulus=j, tag=TAG_ADD)
-                scaled = self._mmul(
-                    diff, modulus=j,
-                    imm=self._const(f"rescale.qinv[{ct.level}][{j}]"),
+                u = self._mmul(
+                    coeff[j], modulus=j,
+                    imm=self._const(f"rescale.qinv[{lvl}][{j}]"),
                     tag=TAG_MULT)
-                limbs.append(self._ntt(scaled, modulus=j))
+                w = self._mmul(
+                    t, modulus=j,
+                    imm=self._const(f"rescale.negqinv[{lvl}][{j}]"),
+                    tag=TAG_MULT)
+                s = self._mmad(u, w, modulus=j, tag=TAG_ADD)
+                shifted = self._mmad(
+                    s, modulus=j,
+                    imm=self._const(f"rescale.halfqinv[{lvl}][{j}]"),
+                    tag=TAG_ADD)
+                limbs.append(self._ntt(shifted, modulus=j))
             out.append(limbs)
         return CtHandle(c0=out[0], c1=out[1], level=ct.level - 1)
 

@@ -320,29 +320,54 @@ def insert_loads_packed(packed: PackedProgram, *, reuse_window: int = 256,
         new_src.append(dest)
     inserted = len(loads)
 
+    if hit_rows.size:
+        packed.srcs[hit_rows, hit_cols] = np.array(new_src,
+                                                   dtype=np.int64)
+
     # Assemble the merged order (original row i keeps id i; inserted
     # load k gets id n + k), emulating _hoist_loads inline: every LOAD
     # lands ``prefetch_distance`` slots before the current tail.
+    #
+    # A hoisted LOAD must still land *after* whatever defines its
+    # sources.  Inserted staging loads only read DRAM/const values, but
+    # an original (user-written) LOAD row may now read a staging value
+    # defined at most ``prefetch_distance`` slots back — at the stream
+    # head the ``max(0, ...)`` floor used to collapse both inserts to
+    # position 0, emitting the consumer *before* its staging load.
     is_load = (packed.op == _LOAD).tolist()
+    dest_l = packed.dest.tolist()
+    nsrc_l = packed.n_srcs.tolist()
+    nv = packed.num_values                     # staging vids are >= nv
+    origin_compute = (packed.val_origin == 0).tolist()
     order: list[int] = []
     hoist = prefetch_distance > 0
     load_ptr = 0
+
+    def hoisted_insert(ident: int, deps) -> None:
+        pos = max(0, len(order) - prefetch_distance)
+        if deps:
+            for r in range(len(order) - 1, pos - 1, -1):
+                oid = order[r]
+                d = loads[oid - n][2] if oid >= n else dest_l[oid]
+                if d in deps:
+                    pos = r + 1
+                    break
+        order.insert(pos, ident)
+
     for i in range(n):
         while load_ptr < inserted and loads[load_ptr][0] == i:
             lid = n + load_ptr
             if hoist:
-                order.insert(max(0, len(order) - prefetch_distance), lid)
+                hoisted_insert(lid, ())
             else:
                 order.append(lid)
             load_ptr += 1
         if hoist and is_load[i]:
-            order.insert(max(0, len(order) - prefetch_distance), i)
+            deps = {s for s in src_mat[i][:nsrc_l[i]].tolist()
+                    if s >= nv or (s >= 0 and origin_compute[s])}
+            hoisted_insert(i, deps)
         else:
             order.append(i)
-
-    if hit_rows.size:
-        packed.srcs[hit_rows, hit_cols] = np.array(new_src,
-                                                   dtype=np.int64)
     if inserted:
         packed.append_values(inserted, names=new_names)
         width = packed.srcs.shape[1]

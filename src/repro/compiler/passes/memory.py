@@ -61,18 +61,32 @@ def insert_loads(program: Program, *, reuse_window: int = 256,
         ins.srcs = tuple(new_srcs)
         new_instrs.append(ins)
     if prefetch_distance > 0:
-        new_instrs = _hoist_loads(new_instrs, prefetch_distance)
+        new_instrs = _hoist_loads(program, new_instrs, prefetch_distance)
     program.instrs = new_instrs
     return inserted
 
 
-def _hoist_loads(instrs: list, distance: int) -> list:
-    """Move each LOAD ``distance`` slots earlier (it only depends on
-    immutable DRAM data, so any earlier position is legal)."""
+def _hoist_loads(program: Program, instrs: list, distance: int) -> list:
+    """Move each LOAD ``distance`` slots earlier.
+
+    A staging load only depends on immutable DRAM data, so any earlier
+    position is legal — but a user-written LOAD may (after rewriting)
+    read a *staging value* defined at most ``distance`` slots back, and
+    near the stream head the ``max(0, ...)`` floor used to collapse the
+    consumer to the same position as its producer, emitting it first.
+    Hoisting therefore never crosses an instruction that defines one of
+    the load's compute-origin sources."""
     out: list = []
     for ins in instrs:
         if ins.op is Opcode.LOAD:
             position = max(0, len(out) - distance)
+            deps = {s for s in ins.srcs
+                    if program.values[s].origin == "compute"}
+            if deps:
+                for r in range(len(out) - 1, position - 1, -1):
+                    if out[r].dest in deps:
+                        position = r + 1
+                        break
             out.insert(position, ins)
         else:
             out.append(ins)

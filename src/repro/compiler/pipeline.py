@@ -198,7 +198,13 @@ def _compile_packed_ir(packed: PackedProgram,
 
     if options.code_opt:
         stats.copies_removed = pm.run("copy-prop", packed)
-        stats.consts_merged = pm.run("const-merge", packed, {})
+        # The merged-constant registry rides on the program so the
+        # execution backend can resolve the synthetic negative imm ids
+        # back to their (c1, c2) factor pairs.
+        if packed.merged_imms is None:
+            packed.merged_imms = {}
+        stats.consts_merged = pm.run("const-merge", packed,
+                                     packed.merged_imms)
         stats.cse_removed = pm.run("cse", packed)
         stats.dead_removed = pm.run("dce", packed)
     stats.instrs_after_opt = len(packed)
@@ -248,7 +254,10 @@ def _compile_reference(program: Program,
 
     if options.code_opt:
         stats.copies_removed = pm.run("copy-prop", program)
-        stats.consts_merged = pm.run("const-merge", program, {})
+        if getattr(program, "merged_imms", None) is None:
+            program.merged_imms = {}
+        stats.consts_merged = pm.run("const-merge", program,
+                                     program.merged_imms)
         stats.cse_removed = pm.run("cse", program)
         stats.dead_removed = pm.run("dce", program)
     stats.instrs_after_opt = len(program.instrs)

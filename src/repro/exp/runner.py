@@ -227,7 +227,8 @@ def run_tab7(*, n: int | None = None, detail: float = 1.0,
 # Scenario: generic sweep (named axes from the command line)
 # ----------------------------------------------------------------------
 def generic_spec(workloads: list[str], configs: list[str], *,
-                 n: int | None = None, detail: float = 1.0) -> SweepSpec:
+                 n: int | None = None, detail: float = 1.0,
+                 engine: str = "packed") -> SweepSpec:
     wl_axis = []
     for name in workloads:
         kwargs = _workload_kwargs(n, detail)
@@ -246,24 +247,41 @@ def generic_spec(workloads: list[str], configs: list[str], *,
         variants.append(Variant(label=name, config=config))
     return SweepSpec(
         name=_spec_name("sweep", workloads="+".join(workloads),
-                        configs="+".join(configs), n=n, detail=detail),
-        workloads=tuple(wl_axis), variants=tuple(variants))
+                        configs="+".join(configs), n=n, detail=detail,
+                        engine=None if engine == "packed" else engine),
+        workloads=tuple(wl_axis), variants=tuple(variants),
+        engine=engine)
 
 
 def run_generic(workloads: list[str], configs: list[str], *,
                 n: int | None = None, detail: float = 1.0,
                 jobs: int = 1,
                 store: "ArtifactStore | str | None" = None,
-                progress=None, verify_spec: bool = True) -> ScenarioReport:
-    spec = generic_spec(workloads, configs, n=n, detail=detail)
+                progress=None, verify_spec: bool = True,
+                engine: str = "packed") -> ScenarioReport:
+    spec = generic_spec(workloads, configs, n=n, detail=detail,
+                        engine=engine)
     sweep = run_sweep(spec, jobs=jobs, store=store, progress=progress,
                       verify_spec=verify_spec)
-    table = format_table(
-        ["point", "cycles", "runtime ms", "DRAM GiB", "wall s"],
-        [[p.label, p.cycles, f"{p.runtime_ms:.2f}",
-          f"{p.dram_bytes / 2 ** 30:.2f}", f"{p.wall_s:.2f}"]
-         for p in sweep.points],
-        title=f"Sweep: {len(sweep.points)} points")
+    if engine == "exec":
+        # Predicted (simulated accelerator) vs. executed (measured
+        # batched-engine wall clock) side by side.
+        table = format_table(
+            ["point", "predicted cycles", "predicted ms",
+             "executed s", "instrs"],
+            [[p.label, p.cycles, f"{p.runtime_ms:.2f}",
+              "-" if p.executed_wall_s is None
+              else f"{p.executed_wall_s:.2f}",
+              p.executed_instructions]
+             for p in sweep.points],
+            title=f"Sweep (executed): {len(sweep.points)} points")
+    else:
+        table = format_table(
+            ["point", "cycles", "runtime ms", "DRAM GiB", "wall s"],
+            [[p.label, p.cycles, f"{p.runtime_ms:.2f}",
+              f"{p.dram_bytes / 2 ** 30:.2f}", f"{p.wall_s:.2f}"]
+             for p in sweep.points],
+            title=f"Sweep: {len(sweep.points)} points")
     return ScenarioReport(title="sweep", table=table, sweep=sweep,
                           rows=list(sweep.points))
 

@@ -59,7 +59,7 @@ from ..compiler.pipeline import (
 )
 from ..core.config import HardwareConfig
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 ENV_STORE_DIR = "REPRO_STORE_DIR"
 ENV_STORE_MAX_BYTES = "REPRO_STORE_MAX_BYTES"
@@ -231,6 +231,15 @@ class ArtifactStore:
             "val_names": list(packed.val_names),
             "has_forwarded": packed.forwarded is not None,
             "has_slot_of": packed.slot_of is not None,
+            # Execution metadata: without these a cache-hit compile
+            # could simulate but not execute, so they persist too.
+            "const_names": None if packed.const_names is None
+            else {str(k): v for k, v in packed.const_names.items()},
+            "prime_meta": None if packed.prime_meta is None
+            else list(packed.prime_meta),
+            "merged_imms": None if packed.merged_imms is None
+            else [[a, b, mid]
+                  for (a, b), mid in sorted(packed.merged_imms.items())],
             "stats": {
                 "scalars": {f: int(getattr(stats, f))
                             for f in _STATS_SCALARS},
@@ -267,6 +276,14 @@ class ArtifactStore:
                 packed.slot_of = dict(zip(
                     archive["slot_keys"].tolist(),
                     archive["slot_vals"].tolist()))
+            if meta.get("const_names") is not None:
+                packed.const_names = {int(k): v for k, v
+                                      in meta["const_names"].items()}
+            if meta.get("prime_meta") is not None:
+                packed.prime_meta = tuple(meta["prime_meta"])
+            if meta.get("merged_imms") is not None:
+                packed.merged_imms = {(a, b): mid for a, b, mid
+                                      in meta["merged_imms"]}
         from collections import Counter
 
         from ..compiler.regalloc import AllocationStats
@@ -377,12 +394,18 @@ class ArtifactStore:
         (max sequence per entry) keeps their touches from being lost
         to last-writer-wins.  The merge is best-effort — ``st_mtime_ns``
         remains the primary cross-process recency signal and the
-        journal the tiebreaker — and stale names (entries another
-        process evicted) are harmless because eviction only orders
-        files that exist.  The merge read is skipped while the on-disk
-        journal is the one this instance last wrote (the single-writer
-        common case), so a touch usually costs one small serialize +
-        rename.
+        journal the tiebreaker.  The merge read is skipped while the
+        on-disk journal is the one this instance last wrote (the
+        single-writer common case), so a touch usually costs one small
+        serialize + rename.
+
+        Names whose entry file no longer exists (evicted or deleted by
+        another process) are pruned before writing: without this, the
+        merge resurrects every dead name any concurrent journal ever
+        held — only the process that ran the eviction knows to drop
+        them — and ``lru.json`` grows monotonically across eviction
+        cycles.  Pruned names join ``_dropped`` so a stale on-disk
+        journal cannot re-import them either.
         """
         if self._journal_state() != self._lru_disk_state:
             disk = self._load_lru()
@@ -393,12 +416,23 @@ class ArtifactStore:
                     self._lru_seq[name] = seq
             self._seq = max(self._seq,
                             max(self._lru_seq.values(), default=0))
+        dead = [name for name in self._lru_seq
+                if not self._entry_exists(name)]
+        for name in dead:
+            self._lru_seq.pop(name, None)
+            self._dropped.add(name)
         payload = canonical_json(self._lru_seq).encode()
         try:
             self._atomic_write(self._lru_path, lambda f: f.write(payload))
         except OSError:
             return
         self._lru_disk_state = self._journal_state()
+
+    def _entry_exists(self, name: str) -> bool:
+        """Whether the journal name still has a backing entry file."""
+        directory = self._compile_dir if name.endswith(".npz") \
+            else self._sim_dir
+        return (directory / name).exists()
 
     def _touch(self, path: Path) -> None:
         """Record an access: bump the monotonic sequence (persisted in

@@ -27,6 +27,7 @@ import multiprocessing
 import os
 import pickle
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable
@@ -65,6 +66,17 @@ _WORKLOAD_FACTORIES: dict[str, Callable[..., Workload]] = {
 }
 
 
+#: Worker-side record of registry entries the parent could not ship
+#: (factory name -> pickle failure), so a failing point can say *why*
+#: the factory is missing instead of claiming it was never registered.
+_UNSHIPPABLE: dict[str, str] = {}
+
+
+class UnshippableFactoryWarning(UserWarning):
+    """A registered workload factory could not be pickled and was not
+    shipped to the sweep worker pool."""
+
+
 def register_workload(name: str, factory: Callable[..., Workload]) -> None:
     """Expose ``factory`` to declarative sweeps as ``name``."""
     _WORKLOAD_FACTORIES[name] = factory
@@ -89,6 +101,14 @@ class WorkloadSpec:
         try:
             fn = _WORKLOAD_FACTORIES[self.factory]
         except KeyError:
+            reason = _UNSHIPPABLE.get(self.factory)
+            if reason is not None:
+                raise KeyError(
+                    f"workload factory {self.factory!r} is registered "
+                    f"in the parent process but could not be shipped "
+                    f"to this sweep worker ({reason}); register an "
+                    f"importable (module-level) factory for parallel "
+                    f"sweeps") from None
             raise KeyError(
                 f"unknown workload factory {self.factory!r}; "
                 f"registered: {workload_names()}") from None
@@ -118,6 +138,7 @@ class SweepPoint:
     config: HardwareConfig
     options: CompileOptions | None
     use_cache: bool = True
+    engine: str = "packed"          # "exec" also runs the program
 
     @property
     def parallel_safe(self) -> bool:
@@ -132,6 +153,10 @@ class SweepSpec:
     workloads: tuple            # of WorkloadSpec (or Workload: serial)
     variants: tuple[Variant, ...]
     use_cache: bool = True
+    #: ``"exec"`` additionally executes every compiled point on the
+    #: batched engine, so results carry measured wall time next to the
+    #: simulator's predicted cycles.
+    engine: str = "packed"
 
     def points(self) -> list[SweepPoint]:
         pts: list[SweepPoint] = []
@@ -145,7 +170,8 @@ class SweepSpec:
                     workload=workload,
                     config=variant.config,
                     options=variant.options,
-                    use_cache=self.use_cache))
+                    use_cache=self.use_cache,
+                    engine=self.engine))
         return pts
 
 
@@ -187,6 +213,7 @@ def spec_grid_token(name: str, points: list[SweepPoint]) -> dict:
             else options_token(p.options),
             "config": config_token(p.config),
             "use_cache": bool(p.use_cache),
+            "engine": p.engine,
         })
     return {"name": name, "points": pts}
 
@@ -235,6 +262,13 @@ class PointResult:
     simulations: int = 0
     store_compile_hits: int = 0
     store_sim_hits: int = 0
+    #: Measured execution wall seconds (repeat-weighted) and executed
+    #: instruction count when the point ran with ``engine="exec"``;
+    #: ``None``/0 on simulate-only points.  Together with ``cycles``
+    #: (predicted) these let fig-style artifacts report predicted vs.
+    #: executed side by side.
+    executed_wall_s: float | None = None
+    executed_instructions: int = 0
 
     @property
     def warm(self) -> bool:
@@ -287,7 +321,8 @@ def _execute_point(point: SweepPoint, workload: Workload) -> PointResult:
     sims0 = simulations_executed()
     t0 = time.perf_counter()
     run = run_workload(workload, point.config, point.options,
-                       use_cache=point.use_cache)
+                       use_cache=point.use_cache,
+                       engine=getattr(point, "engine", "packed"))
     wall = time.perf_counter() - t0
     try:
         amortized = run.amortized_us_per_slot
@@ -307,6 +342,11 @@ def _execute_point(point: SweepPoint, workload: Workload) -> PointResult:
         compiles=compiles_executed() - compiles0,
         simulations=simulations_executed() - sims0,
     )
+    if run.executed:
+        result.executed_wall_s = run.executed_wall_s
+        result.executed_instructions = sum(
+            e.instructions * rep for e, (_, rep)
+            in zip(run.executed, run.segment_results))
     if store is not None:
         result.store_compile_hits = store.stats.compile_hits - hits0[0]
         result.store_sim_hits = store.stats.sim_hits - hits0[1]
@@ -357,30 +397,49 @@ def _pool_context(start_method: str | None = None):
         "fork" if "fork" in methods else methods[0])
 
 
-def _shippable_factories() -> dict[str, Callable[..., Workload]]:
-    """The registry entries a spawned worker can receive: factories are
-    pickled by reference (module + qualname), so anything
-    unimportable-by-name (lambdas, locals) is left to fork
-    inheritance."""
+def _shippable_factories() -> tuple[dict[str, Callable[..., Workload]],
+                                    dict[str, str]]:
+    """Split the registry into (shippable, unshippable) for a worker
+    pool: factories are pickled by reference (module + qualname), so
+    anything unimportable-by-name (lambdas, locals) cannot ship.
+
+    Each unshippable entry raises an :class:`UnshippableFactoryWarning`
+    at pool construction instead of vanishing silently — under fork the
+    worker still inherits it, but under spawn every point using it will
+    fail, and the old silent drop made that failure claim the factory
+    was never registered at all.
+    """
     out: dict[str, Callable[..., Workload]] = {}
+    unshippable: dict[str, str] = {}
     for name, factory in _WORKLOAD_FACTORIES.items():
         try:
             pickle.dumps(factory)
-        except Exception:
+        except Exception as exc:
+            reason = f"{type(exc).__name__}: {exc}"
+            unshippable[name] = reason
+            warnings.warn(
+                f"workload factory {name!r} cannot be pickled and was "
+                f"not shipped to sweep workers ({reason}); points "
+                f"using it will fail under the spawn start method",
+                UnshippableFactoryWarning, stacklevel=3)
             continue
         out[name] = factory
-    return out
+    return out, unshippable
 
 
-def _init_worker(factories: dict[str, Callable[..., Workload]]) -> None:
+def _init_worker(factories: dict[str, Callable[..., Workload]],
+                 unshippable: dict[str, str] | None = None) -> None:
     """Pool initializer: merge the parent's registry into the worker.
 
     Under ``spawn`` (fork unavailable or requested explicitly) a worker
     re-imports this module and would otherwise see only the built-in
     factories — every :func:`register_workload`-ed spec would fail with
-    an unregistered-spec error.
+    an unregistered-spec error.  Names the parent knew but could not
+    pickle ride along so the worker's failure names the real cause.
     """
     _WORKLOAD_FACTORIES.update(factories)
+    if unshippable:
+        _UNSHIPPABLE.update(unshippable)
 
 
 def run_sweep(spec, *, jobs: int = 1,
@@ -453,10 +512,11 @@ def run_sweep(spec, *, jobs: int = 1,
             raise ValueError(
                 "parallel sweeps need declarative WorkloadSpec axes; "
                 f"in-memory workloads at: {unpicklable}")
+        shippable, unshippable = _shippable_factories()
         with ProcessPoolExecutor(max_workers=jobs,
                                  mp_context=_pool_context(start_method),
                                  initializer=_init_worker,
-                                 initargs=(_shippable_factories(),)
+                                 initargs=(shippable, unshippable)
                                  ) as pool:
             futures = {pool.submit(_point_worker, p, store_args): p
                        for p in points}

@@ -38,6 +38,8 @@ slicing — a zero-copy view, not a rebuild.
 
 from __future__ import annotations
 
+import os
+import traceback
 from collections import OrderedDict
 from typing import Callable
 
@@ -54,19 +56,75 @@ _SHIFT = np.uint64(32)
 # ----------------------------------------------------------------------
 _SCRATCH: dict[tuple, np.ndarray] = {}
 
+#: Environment switch for the debug borrow checker.  When set to a
+#: non-empty value other than ``"0"``, every :func:`scratch` call is a
+#: *borrow* that must be paired with :func:`release_scratch`: borrowing
+#: a ``(tag, shape)`` key that is already live raises
+#: :class:`ScratchAliasError` (two live borrows alias one buffer), and
+#: releasing poisons the buffer so use-after-release reads garbage
+#: loudly instead of stale-but-plausible data.
+SCRATCH_DEBUG_ENV = "REPRO_SCRATCH_DEBUG"
+
+#: Poison pattern written on release in debug mode — far outside any
+#: canonical residue, so arithmetic on a released buffer corrupts
+#: results detectably rather than silently reusing stale values.
+SCRATCH_POISON = np.uint64(0xDEADDEADDEADDEAD)
+
+_LIVE_BORROWS: dict[tuple, str] = {}
+
+
+class ScratchAliasError(RuntimeError):
+    """Two overlapping live borrows of one pooled scratch buffer."""
+
+
+def _scratch_debug() -> bool:
+    return os.environ.get(SCRATCH_DEBUG_ENV, "0") not in ("", "0")
+
 
 def scratch(tag: str, shape: tuple[int, ...]) -> np.ndarray:
     """A reusable uint64 buffer for ``tag``/``shape``.
 
     Callers must fully overwrite it before reading.  Distinct call
-    sites use distinct tags so no two live buffers alias.
+    sites use distinct tags so no two live buffers alias; under
+    ``REPRO_SCRATCH_DEBUG=1`` that contract is enforced — see
+    :data:`SCRATCH_DEBUG_ENV`.
     """
     key = (tag, shape)
     buf = _SCRATCH.get(key)
     if buf is None:
         buf = np.empty(shape, dtype=np.uint64)
         _SCRATCH[key] = buf
+    if _scratch_debug():
+        prev = _LIVE_BORROWS.get(key)
+        if prev is not None:
+            here = traceback.extract_stack(limit=3)[0]
+            raise ScratchAliasError(
+                f"scratch buffer {tag!r} {shape} borrowed at "
+                f"{here.filename}:{here.lineno} while still live "
+                f"(first borrowed at {prev}); overlapping borrows "
+                f"alias the same memory")
+        frame = traceback.extract_stack(limit=3)[0]
+        _LIVE_BORROWS[key] = f"{frame.filename}:{frame.lineno}"
     return buf
+
+
+def release_scratch(tag: str, shape: tuple[int, ...]) -> None:
+    """End a :func:`scratch` borrow (no-op outside debug mode).
+
+    In debug mode the buffer is poisoned with :data:`SCRATCH_POISON`
+    so any read after release produces loudly-wrong residues."""
+    if not _scratch_debug():
+        return
+    key = (tag, shape)
+    if _LIVE_BORROWS.pop(key, None) is not None:
+        buf = _SCRATCH.get(key)
+        if buf is not None:
+            buf.fill(SCRATCH_POISON)
+
+
+def live_scratch_borrows() -> dict[tuple, str]:
+    """Snapshot of currently-live borrows (debug-mode introspection)."""
+    return dict(_LIVE_BORROWS)
 
 
 def shoup_companion(values_u: np.ndarray, q_col_u: np.ndarray) -> np.ndarray:
@@ -265,6 +323,11 @@ class BatchedNTT:
         """Quarter-/half-stack scratch slab for the stage loops."""
         return scratch(tag, (self.limbs, self.n // parts))
 
+    def _ws_release(self, *tags_parts: tuple[str, int]) -> None:
+        """Release stage slabs borrowed via :meth:`_ws` (debug mode)."""
+        for tag, parts in tags_parts:
+            release_scratch(tag, (self.limbs, self.n // parts))
+
     def forward(self, data: np.ndarray) -> np.ndarray:
         """Natural-order coefficient stack -> bit-reversed NTT stack."""
         a = (self._check(data) % self.q_col).astype(np.uint64)
@@ -326,6 +389,8 @@ class BatchedNTT:
             blocks[:, :, 3, :] = mid2
             m *= 4
             t = t4
+        if n >= 4:
+            self._ws_release(*((f"f4_{i}", 4) for i in range(6)))
         if m < n:                                      # odd stage count
             t //= 2
             blocks = a.reshape(self.limbs, m, 2 * t)
@@ -346,6 +411,7 @@ class BatchedNTT:
             u += q2_b
             u -= v
             blocks[:, :, t:] = u
+            self._ws_release(("f2_0", 2), ("f2_1", 2), ("f2_2", 2))
         # values are < 4q here; forward() folds them down to [0, q)
 
     def _forward_radix2(self, a: np.ndarray) -> None:
@@ -353,14 +419,20 @@ class BatchedNTT:
         for 31-bit moduli where the relaxed fused bound fails)."""
         q_b = self._q_u[:, :, None]
         q2_b = self._q2_u[:, :, None]
+        # The half-stack slabs are borrowed once for the whole stage
+        # loop (m*t is invariant at n/2); a per-iteration scratch()
+        # call would be an overlapping live borrow.
+        w0 = self._ws("r2_0", 2)
+        w1 = self._ws("r2_1", 2)
+        w2 = self._ws("r2_2", 2)
         t, m = self.n, 1
         while m < self.n:
             t //= 2
             blocks = a.reshape(self.limbs, m, 2 * t)
             shape = (self.limbs, m, t)
-            h0 = self._ws("r2_0", 2).reshape(shape)
-            h1 = self._ws("r2_1", 2).reshape(shape)
-            h2 = self._ws("r2_2", 2).reshape(shape)
+            h0 = w0.reshape(shape)
+            h1 = w1.reshape(shape)
+            h2 = w2.reshape(shape)
             s = self._psi_u[:, m:2 * m, None]
             s_sh = self._psi_sh[:, m:2 * m, None]
             xl = blocks[:, :, :t]
@@ -375,6 +447,7 @@ class BatchedNTT:
             u -= v
             blocks[:, :, t:] = u
             m *= 2
+        self._ws_release(("r2_0", 2), ("r2_1", 2), ("r2_2", 2))
         self._lazy_csub(a, self._q2_u)
 
     def inverse(self, data: np.ndarray, *,
@@ -475,6 +548,8 @@ class BatchedNTT:
                                                 out=b1, hi=b4)
             t *= 4
             m //= 4
+        if n >= 4:
+            self._ws_release(*((f"i4_{i}", 4) for i in range(6)))
         if m == 2:                                     # odd stage count
             blocks = a.reshape(self.limbs, 1, 2 * t)
             shape = (self.limbs, 1, t)
@@ -497,6 +572,7 @@ class BatchedNTT:
             else:
                 blocks[:, :, :t] = w
             blocks[:, :, t:] = shoup_mul_lazy(d, s, s_sh, q_b)
+            self._ws_release(("i2_0", 2), ("i2_1", 2))
         # values are < 2q here
 
     def _inverse_radix2(self, a: np.ndarray, *,
@@ -509,15 +585,21 @@ class BatchedNTT:
         multiply."""
         q_b = self._q_u[:, :, None]
         q2_b = self._q2_u[:, :, None]
+        # Borrowed once across the stage loop (h*t invariant at n/2);
+        # re-borrowing per iteration would overlap the live borrow.
+        w0 = self._ws("ir_0", 2)
+        w1 = self._ws("ir_1", 2)
+        w2 = self._ws("ir_2", 2)
+        w3 = self._ws("ir_3", 2) if fold_ninv else None
         t, m = 1, self.n
         while m > 1:
             h = m // 2
             final = fold_ninv and m == 2
             blocks = a.reshape(self.limbs, h, 2 * t)
             shape = (self.limbs, h, t)
-            h0 = self._ws("ir_0", 2).reshape(shape)
-            h1 = self._ws("ir_1", 2).reshape(shape)
-            h2 = self._ws("ir_2", 2).reshape(shape)
+            h0 = w0.reshape(shape)
+            h1 = w1.reshape(shape)
+            h2 = w2.reshape(shape)
             if final:
                 s = self._fold1_u[:, :, None]
                 s_sh = self._fold1_sh[:, :, None]
@@ -532,7 +614,7 @@ class BatchedNTT:
             w = np.add(zl, zr, out=h1)
             self._lazy_csub(w, q2_b, h2)
             if final:
-                h3 = self._ws("ir_3", 2).reshape(shape)
+                h3 = w3.reshape(shape)
                 blocks[:, :, :t] = shoup_mul_lazy(
                     w, self._n_inv_u[:, :, None],
                     self._n_inv_sh[:, :, None], q_b, out=h3, hi=h2)
@@ -542,6 +624,9 @@ class BatchedNTT:
                                               out=h2, hi=h1)
             t *= 2
             m = h
+        self._ws_release(("ir_0", 2), ("ir_1", 2), ("ir_2", 2))
+        if fold_ninv:
+            self._ws_release(("ir_3", 2))
         # values are < 2q here
 
     def pointwise_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -739,6 +824,7 @@ def clear_caches() -> None:
     cache."""
     _PLAN_CACHE.clear()
     _SCRATCH.clear()
+    _LIVE_BORROWS.clear()
     for fn in _EXTRA_CLEARERS:
         fn()
 

@@ -31,6 +31,7 @@ import numpy as np
 from ..nttmath.batched import (
     get_plan,
     register_cache_clearer,
+    release_scratch,
     scratch,
     shoup_companion,
     shoup_mul_lazy,
@@ -114,6 +115,9 @@ def _scaled_residues(data: np.ndarray, basis: RnsBasis) -> np.ndarray:
     shoup_mul_lazy(x, s_u, s_sh, q_u, out=v, hi=hi)
     np.subtract(v, q_u, out=hi)
     np.minimum(v, hi, out=v)
+    release_scratch("bcv_x", shape)
+    release_scratch("bcv_hi", shape)
+    # bcv_v stays borrowed: the caller owns it until it releases.
     return v
 
 
@@ -157,6 +161,7 @@ def _base_convert_data(data: np.ndarray, from_basis: RnsBasis,
     both ciphertext halves convert in a single BLAS accumulation."""
     v = _scaled_residues(data, from_basis)
     acc, p_col = _weighted_sums(v, from_basis, to_basis)
+    release_scratch("bcv_v", v.shape)
     return acc % p_col
 
 
@@ -216,6 +221,7 @@ def _base_convert_centered_data(data: np.ndarray, from_basis: RnsBasis,
             / from_basis.q_col.astype(np.float64)).sum(axis=0)
     e = np.rint(frac).astype(np.int64)
     acc, p_col = _weighted_sums(v, from_basis, to_basis)
+    release_scratch("bcv_v", v.shape)
     q_mod_p = reduce_mod_col(from_basis.modulus, to_basis.primes)
     return (acc - e * q_mod_p) % p_col
 

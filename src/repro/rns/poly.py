@@ -24,6 +24,7 @@ from ..nttmath.batched import (
     get_plan,
     get_stacked_plan,
     ntt_table,
+    release_scratch,
     scratch,
     shoup_companion,
     shoup_mul_lazy,
@@ -373,7 +374,10 @@ def pointwise_mul_shoup_stacked(data: np.ndarray,
     np.copyto(x, data, casting="unsafe")
     shoup_mul_lazy(x, s_u, s_sh, q_u, out=out, hi=hi)
     np.minimum(out, out - q_u, out=out)        # [0, 2q) -> canonical
-    return out.astype(np.int64)
+    result = out.astype(np.int64)              # copy; pool can recycle
+    for tag in ("pmul_x", "pmul_hi", "pmul_out"):
+        release_scratch(tag, shape)
+    return result
 
 
 def pointwise_mul_shoup(poly: RnsPolynomial,
@@ -410,10 +414,14 @@ def pointwise_mac_shoup(polys, tables, basis: RnsBasis, *,
             f"{len(polys)} operands but {len(tables)} Shoup tables")
     q_u = basis.q_col.astype(np.uint64)
     acc: np.ndarray | None = None
+    acc_shape: tuple[int, ...] | None = None
     for poly, (s_u, s_sh) in zip(polys, tables):
         if poly.data.shape != s_u.shape:
             raise ValueError("operand/table shape mismatch")
         shape = poly.data.shape
+        # Borrow/release per term: the x/hi/term slabs are dead once
+        # the term is accumulated, and a re-borrow while live would be
+        # an overlapping-borrow aliasing hazard under the debug pool.
         x = scratch("mac_x", shape)
         hi = scratch("mac_hi", shape)
         term = scratch("mac_term", shape)
@@ -421,9 +429,15 @@ def pointwise_mac_shoup(polys, tables, basis: RnsBasis, *,
         shoup_mul_lazy(x, s_u, s_sh, q_u, out=term, hi=hi)
         if acc is None:
             acc = scratch("mac_acc", shape)
+            acc_shape = shape
             np.copyto(acc, term)
         else:
             acc += term
+        for tag in ("mac_x", "mac_hi", "mac_term"):
+            release_scratch(tag, shape)
     if acc is None:
         raise ValueError("pointwise_mac_shoup needs at least one operand")
-    return RnsPolynomial(basis, (acc % q_u).astype(np.int64), is_ntt=is_ntt)
+    result = (acc % q_u).astype(np.int64)      # copy; pool can recycle
+    assert acc_shape is not None
+    release_scratch("mac_acc", acc_shape)
+    return RnsPolynomial(basis, result, is_ntt=is_ntt)

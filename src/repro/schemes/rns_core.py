@@ -54,7 +54,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..nttmath.batched import get_plan, scratch, shoup_mul_lazy
+from ..nttmath.batched import (
+    get_plan,
+    release_scratch,
+    scratch,
+    shoup_mul_lazy,
+)
 from ..nttmath.ntt import conjugation_element, galois_element
 from ..rns.basis import RnsBasis
 from ..rns.bconv import (
@@ -890,6 +895,8 @@ class RnsEvaluatorBase:
         shoup_mul_lazy(x, a_u, a_sh, q_tiled, out=terms, hi=hi)
         np.sum(terms.reshape(beta, ext_limbs, n), axis=0,
                out=acc[ext_limbs:])
+        for tag in ("kmac_x", "kmac_hi", "kmac_t"):
+            release_scratch(tag, lifted.shape)
         acc %= np.concatenate([q_u, q_u])
         return acc.astype(np.int64)
 

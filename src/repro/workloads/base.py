@@ -97,6 +97,9 @@ class WorkloadRun:
     #: Per-segment compilations; ``None`` for segments served whole
     #: from the persistent artifact store (no compile ran).
     compiled: list[CompiledProgram | None] = field(default_factory=list)
+    #: Per-segment :class:`~repro.compiler.exec_backend.ExecutionResult`
+    #: when run with ``engine="exec"``; empty otherwise.
+    executed: list = field(default_factory=list)
 
     @property
     def cycles(self) -> int:
@@ -109,6 +112,22 @@ class WorkloadRun:
     @property
     def dram_bytes(self) -> int:
         return sum(r.dram_bytes * rep for r, rep in self.segment_results)
+
+    @property
+    def executed_wall_s(self) -> float:
+        """Measured execution wall time (repeat-weighted, like
+        :attr:`cycles`); only meaningful after ``engine="exec"``."""
+        if not self.executed:
+            raise ValueError(
+                "workload was not executed (use engine='exec')")
+        return sum(e.wall_s * rep for e, (_, rep)
+                   in zip(self.executed, self.segment_results))
+
+    @property
+    def predicted_s(self) -> float:
+        """Simulated accelerator runtime in seconds, for side-by-side
+        predicted-vs-executed reporting."""
+        return self.runtime_ms / 1e3
 
     @property
     def amortized_us_per_slot(self) -> float:
@@ -140,6 +159,13 @@ def run_workload(workload: Workload, config: HardwareConfig,
     the packed columns.  ``use_cache=False`` forces a fresh compile;
     ``engine="reference"`` runs the seed list-based pipeline.
 
+    ``engine="exec"`` compiles exactly like the packed engine (same
+    compile cache) and *additionally runs the scheduled program* on
+    the batched NTT engine against synthesized bindings, so the run
+    carries measured wall time (:attr:`WorkloadRun.executed_wall_s`)
+    next to the simulator's predicted cycles.  The simulation-result
+    store shortcut is skipped — execution needs the compiled program.
+
     When a persistent artifact store is active (``REPRO_STORE_DIR`` or
     :func:`repro.exp.store.using_store`) and caching is on, each
     segment first consults the store for a ``(fingerprint, options,
@@ -152,8 +178,9 @@ def run_workload(workload: Workload, config: HardwareConfig,
     store = active_store() if (use_cache and engine == "packed") else None
     results = []
     compiled = []
+    executed = []
     for seg in workload.segments:
-        if engine == "packed":
+        if engine in ("packed", "exec"):
             if store is not None:
                 res = store.get_sim(seg.fingerprint(), options, config)
                 if res is not None:
@@ -169,6 +196,13 @@ def run_workload(workload: Workload, config: HardwareConfig,
             res = simulate(cp.packed, config)
             if store is not None:
                 store.put_sim(seg.fingerprint(), options, config, res)
+            if engine == "exec":
+                from ..compiler.exec_backend import (
+                    execute_packed,
+                    synthesize_bindings,
+                )
+                executed.append(execute_packed(
+                    cp, synthesize_bindings(cp.packed)))
         else:
             cp = compile_program(seg.fresh_program(), options,
                                  engine=engine)
@@ -176,4 +210,5 @@ def run_workload(workload: Workload, config: HardwareConfig,
         results.append((res, seg.repeat))
         compiled.append(cp)
     return WorkloadRun(workload=workload, config=config,
-                       segment_results=results, compiled=compiled)
+                       segment_results=results, compiled=compiled,
+                       executed=executed)

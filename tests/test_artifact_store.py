@@ -179,6 +179,37 @@ def test_lru_journal_merges_across_instances(tmp_path):
         "journal lost another worker's touches"
 
 
+def test_lru_journal_stays_bounded_across_eviction_cycles(tmp_path):
+    """Names evicted by one worker must not live on in the journals of
+    the others.
+
+    Only the evicting instance knows a name died; every other instance
+    still holds it in memory and the merge-on-save used to write it
+    back to ``lru.json`` on every touch, so across eviction cycles the
+    journal grew by one dead name per evicted entry, without bound.
+    The save-time prune drops any journal name whose entry file is
+    gone (regression: failed before the prune with ~12 dead names)."""
+    result = SimulationResult(
+        config_name="c", program_name="p", cycles=1, freq_ghz=0.5,
+        instructions=1, dram_bytes=0)
+    # Writer evicts aggressively; reader only ever sees cache hits, so
+    # its journal knowledge of dead names is never corrected by its
+    # own evictions.
+    writer = ArtifactStore(tmp_path, max_bytes=1)
+    reader = ArtifactStore(tmp_path, max_bytes=2 ** 30)
+    cycles = 12
+    for i in range(cycles):
+        opts = CompileOptions(sram_bytes=1024 * (i + 1))
+        writer.put_sim("fp", opts, CONFIG, result)   # evicts cycle i-1
+        assert reader.get_sim("fp", opts, CONFIG) == result
+    assert writer.stats.evictions == cycles - 1
+    doc = json.loads(writer._lru_path.read_bytes())
+    live = {p.name for p in writer._entries()}
+    assert set(doc) <= live, \
+        f"journal holds {len(set(doc) - live)} dead names"
+    assert len(doc) <= 2, "journal grew across eviction cycles"
+
+
 def test_max_bytes_env_is_validated(tmp_path, monkeypatch):
     """A malformed REPRO_STORE_MAX_BYTES fails at store construction
     with a message naming the variable, not as a bare int() error deep

@@ -14,8 +14,10 @@ from repro.core.config import ASIC_EFFACT, MIB
 from repro.exp.store import ArtifactStore
 from repro.exp.sweep import (
     SweepSpec,
+    UnshippableFactoryWarning,
     Variant,
     WorkloadSpec,
+    _WORKLOAD_FACTORIES,
     register_workload,
     run_sweep,
     workload_names,
@@ -112,6 +114,71 @@ def test_spawn_sweep_resolves_registered_factories(tmp_path):
     assert [p.index for p in parallel.points] == [0, 1]
     for a, b in zip(serial.points, parallel.points):
         assert a.same_outcome(b), (a.label, b.label)
+
+
+def test_unshippable_factory_warns_at_pool_construction(tmp_path):
+    """A registered factory that cannot pickle (a lambda, a local) used
+    to vanish silently from the worker registry; pool construction must
+    name it in an :class:`UnshippableFactoryWarning`.  Under fork the
+    sweep still succeeds (workers inherit the factory), which is
+    exactly why the silent drop went unnoticed."""
+    register_workload("local-lambda",
+                      lambda **kw: _tiny_workload(levels=4, diag=3))
+    try:
+        spec = SweepSpec(
+            name="warnpool",
+            workloads=(WorkloadSpec.make("local-lambda"),),
+            variants=_variants(2))
+        with pytest.warns(UnshippableFactoryWarning,
+                          match="local-lambda"):
+            result = run_sweep(spec, jobs=2, store=tmp_path / "w",
+                               start_method="fork")
+        assert len(result.points) == 2
+    finally:
+        _WORKLOAD_FACTORIES.pop("local-lambda", None)
+
+
+def test_spawn_worker_error_names_unshippable_factory(tmp_path):
+    """Under spawn a worker cannot inherit an unpicklable factory; its
+    failure must say the factory was registered but unshippable —
+    pre-fix it claimed the factory was never registered at all, which
+    pointed debugging at the wrong place."""
+    register_workload("local-lambda",
+                      lambda **kw: _tiny_workload(levels=4, diag=3))
+    try:
+        spec = SweepSpec(
+            name="spawnfail",
+            workloads=(WorkloadSpec.make("local-lambda"),),
+            variants=_variants(2))   # >1 point: actually hits the pool
+        with pytest.warns(UnshippableFactoryWarning):
+            with pytest.raises(KeyError,
+                               match="could not be shipped"):
+                run_sweep(spec, jobs=2, store=tmp_path / "s",
+                          start_method="spawn")
+    finally:
+        _WORKLOAD_FACTORIES.pop("local-lambda", None)
+
+
+def test_exec_engine_sweep_reports_executed_timings(tmp_path):
+    """``engine="exec"`` points actually run the scheduled program and
+    report measured wall time + executed instruction counts next to
+    the predicted cycles; the simulated aggregates stay identical to
+    the packed engine's."""
+    spec = SweepSpec(
+        name="exec",
+        workloads=(WorkloadSpec.make("tiny", levels=4, diag=3),),
+        variants=_variants(1), engine="exec")
+    result = run_sweep(spec)
+    packed = run_sweep(SweepSpec(
+        name="exec-ref",
+        workloads=(WorkloadSpec.make("tiny", levels=4, diag=3),),
+        variants=_variants(1)))
+    for p, q in zip(result.points, packed.points):
+        assert p.same_outcome(q)
+        assert p.executed_wall_s is not None and p.executed_wall_s > 0
+        assert p.executed_instructions > 0
+        assert q.executed_wall_s is None
+        assert q.executed_instructions == 0
 
 
 def test_start_method_env_override(tmp_path, monkeypatch):
