@@ -116,7 +116,8 @@ def _cmd_run(args) -> int:
     print(f"[{sweep.name}] {len(sweep.points)} points in "
           f"{sweep.wall_s:.2f}s (jobs={sweep.jobs}){store_note} "
           f"compiles={sweep.total_compiles} "
-          f"simulations={sweep.total_simulations}")
+          f"simulations={sweep.total_simulations} "
+          f"plans={sweep.total_plans_built}")
     if args.assert_warm and not sweep.warm:
         print(f"ERROR: sweep was not store-warm "
               f"(compiles={sweep.total_compiles}, "

@@ -1,6 +1,15 @@
 """EFFACT compiler backend: IR, lowering, passes, scheduling, codegen."""
 
 from .codegen import generate
+from .exec_backend import (
+    ExecBindings,
+    ExecutionResult,
+    execute_interpreted,
+    execute_packed,
+    execute_reference,
+    synthesize_bindings,
+)
+from .exec_plan import ExecPlan, build_exec_plan, get_exec_plan, plans_built
 from .ir import Instr, Program, Value
 from .lowering import (
     CtHandle,
@@ -24,6 +33,9 @@ __all__ = [
     "CompileStats",
     "CompiledProgram",
     "CtHandle",
+    "ExecBindings",
+    "ExecPlan",
+    "ExecutionResult",
     "HeLowering",
     "Instr",
     "KeyHandle",
@@ -34,7 +46,14 @@ __all__ = [
     "Value",
     "allocate",
     "apply_schedule",
+    "build_exec_plan",
     "compile_program",
+    "execute_interpreted",
+    "execute_packed",
+    "execute_reference",
     "generate",
+    "get_exec_plan",
+    "plans_built",
     "schedule",
+    "synthesize_bindings",
 ]

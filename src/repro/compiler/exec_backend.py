@@ -9,22 +9,29 @@ cross-checked bitwise against :class:`repro.schemes.rns_core.
 RnsEvaluatorBase`, which turns the whole compiler into a testable
 artifact instead of a cost model.
 
-Dispatch is *run-vectorized*: consecutive instructions with the same
+The default :func:`execute_packed` path is *planned*: a one-time
+:class:`~repro.compiler.exec_plan.ExecPlan` (cached in-process and in
+the ArtifactStore, keyed off the program fingerprint + bindings
+shape) precomputes every run boundary, gather/scatter index array,
+prime/immediate column, and slot-arena row assignment, so replay is a
+tight loop of fancy-indexed vector expressions and stacked engine
+calls.  See :mod:`repro.compiler.exec_plan` for the architecture.
+
+:func:`execute_interpreted` preserves the PR 6 run-vectorized
+interpreter as an oracle: consecutive instructions with the same
 shape (opcode, source arity, and for AUTO the Galois immediate) are
 gathered into one ``(k, N)`` stack and issued as a single numpy
-expression or one stacked NTT/iNTT/automorphism, mirroring how the
-batched engine treats limbs as extra vector lanes.  A run is cut when
-an instruction consumes a value defined inside it (a true dependency)
-— never merely because the modulus changes, since the per-row modulus
-rides along as a ``(k, 1)`` column exactly like the engine's
-``q_col``.
+expression or one stacked NTT/iNTT/automorphism, with a dict-keyed
+buffer pool recycled through use counts.  It shares no dispatch
+machinery with the planned path, so agreement between the two (and
+with :func:`execute_reference`) is evidence, not tautology.
 
 Exactness: every engine prime is below 2**31, so ``x * y`` of two
 canonical residues fits in 62 bits and ``(x * y + z) % q`` is exact in
 uint64 — no Shoup companions needed on this path.  All values are kept
 canonical in ``[0, q)``; the NTT engine is Z_q-linear and its
 forward/inverse round trip is bitwise (pinned by the tier-1 suite), so
-the interpreter reproduces the evaluator's results bit for bit.
+every engine here reproduces the evaluator's results bit for bit.
 
 Buffers: the interpreter is vid-addressed, not slot-addressed — the
 register allocator's ``slot_of`` is residual (entries pop as values
@@ -32,12 +39,15 @@ die), so it cannot serve as a vid->slot map.  Instead the buffer pool
 is preallocated to the allocation's ``peak_slots_used`` and rows are
 recycled through a free list as use counts hit zero; spill STOREs
 (dest ``-1``) copy to a spill side table, reload LOADs (no sources)
-restore from it or rematerialize DRAM/const values by name.
+restore from it or rematerialize DRAM/const values by name.  The
+planned path applies the same lifetime rules statically to assign
+arena rows (see ``build_exec_plan``).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import re
 import time
 from dataclasses import dataclass, field
@@ -48,15 +58,22 @@ from ..core.isa import Opcode
 from ..nttmath.batched import get_stacked_plan
 from ..nttmath.ntt import conjugation_element, galois_element
 from ..nttmath.primes import find_ntt_primes
+from .exec_plan import get_exec_plan, plans_built, replay_plan
 from .ir import OP_INDEX, PackedProgram, Program
 
 __all__ = [
     "ExecBindings",
     "ExecutionResult",
+    "execute_interpreted",
     "execute_packed",
     "execute_reference",
     "synthesize_bindings",
 ]
+
+#: Opt-in per-step wall-time profiling of the planned replay
+#: (surfaced as ``ExecutionResult.profile`` and the runner's
+#: per-opcode table).
+ENV_EXEC_PROFILE = "REPRO_EXEC_PROFILE"
 
 _MMUL = OP_INDEX[Opcode.MMUL]
 _MMAD = OP_INDEX[Opcode.MMAD]
@@ -294,22 +311,67 @@ class ExecutionResult:
     peak_buffers: int
     spill_stores: int = 0
     spill_reloads: int = 0
+    #: Whether this execution had to *build* its plan (False when the
+    #: plan came from the in-process cache or the ArtifactStore, and
+    #: always False on the interpreted path).
+    plan_built: bool = False
+    #: ``{step label: [wall_s, instructions]}`` when profiling was
+    #: requested via ``REPRO_EXEC_PROFILE=1``; ``None`` otherwise.
+    profile: dict[str, list] | None = None
 
     @property
     def mean_run_length(self) -> float:
+        # Guarded: an empty instruction stream executes zero runs.
         return self.instructions / self.runs if self.runs else 0.0
 
 
 # ----------------------------------------------------------------------
-# The run-vectorized interpreter
+# The planned path (default): cached plan build + arena replay
 # ----------------------------------------------------------------------
 def execute_packed(target, bindings: ExecBindings | None = None
                    ) -> ExecutionResult:
     """Execute a scheduled packed program against the batched engine.
 
+    ``target`` is a :class:`PackedProgram` or a ``CompiledProgram``.
+    The stream is compiled once into a cached
+    :class:`~repro.compiler.exec_plan.ExecPlan` (content-addressed off
+    the program fingerprint + bindings shape, persisted through the
+    ArtifactStore when one is active) and then *replayed* against a
+    preallocated slot arena; ``wall_s`` covers replay only, which is
+    what a steady-state serving loop would pay.  Returns the output
+    residue rows keyed by value id, canonical in ``[0, q)``, bitwise
+    identical to :func:`execute_interpreted` and
+    :func:`execute_reference`.
+    """
+    packed = getattr(target, "packed", target)
+    if not isinstance(packed, PackedProgram):
+        raise TypeError(f"cannot execute {type(target).__name__}")
+    if bindings is None:
+        bindings = synthesize_bindings(packed)
+    built_before = plans_built()
+    plan = get_exec_plan(packed, bindings)
+    profile = os.environ.get(ENV_EXEC_PROFILE, "") == "1"
+    outputs, wall, prof = replay_plan(plan, bindings, profile=profile)
+    return ExecutionResult(
+        outputs=outputs, wall_s=wall, instructions=plan.instructions,
+        runs=plan.runs, peak_buffers=plan.peak_live,
+        spill_stores=plan.spill_stores,
+        spill_reloads=plan.spill_reloads,
+        plan_built=plans_built() > built_before, profile=prof)
+
+
+# ----------------------------------------------------------------------
+# The run-vectorized interpreter (PR 6; kept as an oracle)
+# ----------------------------------------------------------------------
+def execute_interpreted(target, bindings: ExecBindings | None = None
+                        ) -> ExecutionResult:
+    """Execute by re-deriving runs and buffers on every call.
+
     ``target`` is a :class:`PackedProgram` or a ``CompiledProgram``
     (whose allocation stats size the buffer pool).  Returns the output
-    residue rows keyed by value id, canonical in ``[0, q)``.
+    residue rows keyed by value id, canonical in ``[0, q)``.  This is
+    the PR 6 engine, retained as a differential oracle for the planned
+    path and as the baseline for the plan-speedup benchmark.
     """
     packed = getattr(target, "packed", target)
     if not isinstance(packed, PackedProgram):
@@ -558,9 +620,10 @@ def execute_reference(program: Program,
     """Naive one-instruction-at-a-time interpreter over the list IR.
 
     Deliberately shares no dispatch machinery with
-    :func:`execute_packed` — no run grouping, no buffer pool, one
-    single-row stacked plan per prime — so agreement between the two is
-    evidence about the vectorized dispatcher, not a tautology.
+    :func:`execute_packed` or :func:`execute_interpreted` — no run
+    grouping, no buffer pool, no plan, one single-row stacked plan per
+    prime — so agreement between the engines is evidence about the
+    vectorized dispatchers, not a tautology.
     """
     if bindings is None:
         bindings = synthesize_bindings(program)

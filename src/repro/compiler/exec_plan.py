@@ -1,0 +1,1069 @@
+"""Precompiled execution plans: build once, replay many times.
+
+The PR 6 interpreter (:mod:`repro.compiler.exec_backend`) re-derives
+run boundaries, prime columns, and gather indices in Python on every
+``execute_packed`` call, and every fetch/define round-trips each
+``(N,)`` row through a dict-keyed buffer pool with an explicit copy.
+But the instruction stream is *static* — the paper's whole premise —
+so all of that per-execution analysis can be hoisted into a one-time
+:class:`ExecPlan`:
+
+* **Plan build** (:func:`build_exec_plan`) walks the scheduled stream
+  once, mirroring the interpreter's semantics (use counts,
+  spill/reload/remat decisions) to assign every value a row in a
+  single ``(arena_rows, N)`` int64 **slot arena**, and emits a short
+  list of vectorized steps carrying precomputed numpy index arrays:
+  elementwise steps (``(x op y) % q_col`` over gathered arena rows,
+  with MUL/ADD rows of equal arity merged into one masked step and
+  MAC runs fused as ``(x*y+z) % q_col``), stacked NTT/iNTT/AUTO
+  steps, arena row copies (VCOPY / spill stores / spill reloads /
+  staging loads), batched named-DRAM loads, and scalar fills.  The
+  sealed steps are then rescheduled by dataflow wavefronts
+  (:func:`_merge_steps`) — build uses fresh SSA-style rows so only
+  true RAW chains constrain the schedule — and finally renamed onto a
+  compact arena by a linear-scan pass (:func:`_compact_rows`).
+* **Plan replay** (:func:`replay_plan`) is a tight loop over those
+  steps: fancy-index gather → one vector expression or one stacked
+  engine call → fancy-index scatter.  No buffer dict, no per-row
+  ``np.empty`` + copy, no Python analysis.
+
+Exactness: every engine prime is below 2**31, so products of
+canonical residues fit in 62 bits and ``(x * y + z) % q`` is exact in
+int64 — the arena therefore stays int64 end to end (mixing uint64
+indices/operands with int64 arena rows would promote to float64),
+and replay is bitwise-identical to both the interpreter and
+``execute_reference`` (pinned by the fuzzer and oracle suites).
+
+Aliasing: a staging LOAD or VCOPY whose live source dies at that use
+and whose dest is fresh just *transfers* the arena row — zero replay
+cost.  This is safe because the interpreter's copy-then-free leaves
+the same bits in a buffer the dest exclusively owns.  Within a step,
+gathers complete before scatters (fancy indexing copies), and the
+compaction pass never hands a physical row to a new value while any
+step still reads it, so replay order plus renaming can never alias a
+live value.
+
+Caching: plans are content-addressed off ``(program fingerprint,
+names fingerprint, bindings token)`` — the structural hash alone is
+not enough because the plan bakes in DRAM value *names* (which
+``fingerprint()`` deliberately ignores) and the concrete prime chain
+(which determines the precomputed immediate columns).  The
+in-process cache is bounded and registered with
+:func:`repro.nttmath.batched.clear_caches`; plans also persist
+through the :class:`~repro.exp.store.ArtifactStore` (schema v3) so a
+store-warm sweep point skips compile, simulate, *and* plan build.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.isa import Opcode
+from ..nttmath.batched import get_stacked_plan, register_cache_clearer
+from ..nttmath.ntt import conjugation_element, galois_element
+from .ir import OP_INDEX, PackedProgram
+
+__all__ = [
+    "ExecPlan",
+    "PlanStep",
+    "build_exec_plan",
+    "clear_exec_plan_cache",
+    "get_exec_plan",
+    "plan_from_payload",
+    "plan_to_payload",
+    "plans_built",
+    "replay_plan",
+]
+
+_MMUL = OP_INDEX[Opcode.MMUL]
+_MMAD = OP_INDEX[Opcode.MMAD]
+_MMAC = OP_INDEX[Opcode.MMAC]
+_NTT = OP_INDEX[Opcode.NTT]
+_INTT = OP_INDEX[Opcode.INTT]
+_AUTO = OP_INDEX[Opcode.AUTO]
+_LOAD = OP_INDEX[Opcode.LOAD]
+_STORE = OP_INDEX[Opcode.STORE]
+_VCOPY = OP_INDEX[Opcode.VCOPY]
+_SCALAR = OP_INDEX[Opcode.SCALAR]
+
+_ELEMENTWISE = (_MMUL, _MMAD, _MMAC)
+_FFT = (_NTT, _INTT, _AUTO)
+
+#: Step kinds (stable small ints; persisted in store payloads).
+K_EW = 0      # masked elementwise: (x*y | x+y | x*y+z) % q_col
+K_FFT = 1     # stacked NTT / iNTT / automorphism
+K_COPY = 2    # arena row copies (vcopy, spill store/reload, staging)
+K_DRAM = 3    # batched named-DRAM loads into arena rows
+K_FILL = 4    # scalar fills
+
+
+class PlanStep:
+    """One vectorized replay step; which fields are live depends on
+    ``kind`` (see module docstring).  ``engine`` is resolved lazily
+    from ``primes`` on first replay and never serialized."""
+
+    __slots__ = ("kind", "label", "n_instrs", "out", "a", "b", "c",
+                 "q_col", "imm_col", "mask", "mul", "nsrc",
+                 "fft", "elt", "primes", "engine",
+                 "names", "qs", "vals")
+
+    def __init__(self, kind: int, label: str, n_instrs: int = 0):
+        self.kind = kind
+        self.label = label
+        self.n_instrs = n_instrs
+        self.out = None       # dest rows: int64 array (or list pre-seal)
+        self.a = None         # first-source rows
+        self.b = None         # second-source rows (EW arity >= 2)
+        self.c = None         # third-source rows (MAC)
+        self.q_col = None     # (k, 1) int64 per-row primes (EW)
+        self.imm_col = None   # (k, 1) int64 resolved immediates (EW/1)
+        self.mask = None      # (k, 1) bool: True rows multiply (mixed)
+        self.mul = None       # homogeneous EW: True=MMUL, False=MMAD
+        self.nsrc = 0         # EW source arity
+        self.fft = 0          # 0=NTT, 1=iNTT, 2=AUTO
+        self.elt = 0          # Galois element (AUTO)
+        self.primes = None    # per-row primes tuple (FFT engine key)
+        self.engine = None    # lazily-resolved stacked NTT engine
+        self.names = None     # DRAM value names (K_DRAM)
+        self.qs = None        # per-entry reduction primes (K_DRAM)
+        self.vals = None      # (k, 1) int64 fill values (K_FILL)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"PlanStep({self.label!r}, kind={self.kind}, "
+                f"instrs={self.n_instrs})")
+
+
+class ExecPlan:
+    """A replayable vector program over a preallocated slot arena."""
+
+    __slots__ = ("n", "key", "steps", "arena_rows", "instructions",
+                 "runs", "peak_live", "spill_stores", "spill_reloads",
+                 "output_rows", "free_instrs", "_arena")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.key = None
+        self.steps: list[PlanStep] = []
+        self.arena_rows = 0
+        self.instructions = 0
+        self.runs = 0
+        self.peak_live = 0
+        self.spill_stores = 0
+        self.spill_reloads = 0
+        #: ``[(vid, arena_row), ...]`` for the program outputs.
+        self.output_rows: list[tuple[int, int]] = []
+        #: Instructions that cost nothing at replay (aliased loads,
+        #: stores of never-materialized values), by label.
+        self.free_instrs: dict[str, int] = {}
+        self._arena = None
+
+    def arena(self) -> np.ndarray:
+        """The plan's reusable ``(arena_rows, N)`` int64 scratch."""
+        if self._arena is None or self._arena.shape[0] < self.arena_rows:
+            self._arena = np.empty((self.arena_rows, self.n),
+                                   dtype=np.int64)
+        return self._arena
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ExecPlan({self.instructions} instrs -> "
+                f"{len(self.steps)} steps, arena={self.arena_rows})")
+
+
+# ----------------------------------------------------------------------
+# Plan build
+# ----------------------------------------------------------------------
+def build_exec_plan(packed: PackedProgram, bindings) -> ExecPlan:
+    """Walk the scheduled stream once and emit a replayable plan.
+
+    Mirrors the interpreter's semantics exactly (same use-count driven
+    lifetimes, the same spill/reload/remat decisions, the same
+    in-place DRAM fetch re-reduced at each use-site prime) so replay
+    is bitwise-identical to :func:`~repro.compiler.exec_backend.
+    execute_interpreted`.
+    """
+    if not isinstance(packed, PackedProgram):
+        raise TypeError(f"cannot plan {type(packed).__name__}")
+    n = packed.n
+    op_l = packed.op.tolist()
+    dest_l = packed.dest.tolist()
+    nsrc_l = packed.n_srcs.tolist()
+    srcs_l = packed.srcs.tolist()
+    mod_l = packed.modulus.tolist()
+    imm_l = packed.imm.tolist()
+    origin_l = packed.val_origin.tolist()
+    names = packed.val_names
+    counts = packed.use_counts_array().tolist()
+    const_names = packed.const_names or {}
+    inv_merged = {mid: pair
+                  for pair, mid in (packed.merged_imms or {}).items()}
+
+    reload_source: dict[int, int] = {}
+    for i, op in enumerate(op_l):
+        if op == _LOAD and nsrc_l[i] == 1:
+            reload_source.setdefault(dest_l[i], srcs_l[i][0])
+
+    plan = ExecPlan(n)
+    steps = plan.steps
+    slot: dict[int, int] = {}        # vid -> virtual row
+    # Build-time rows are *virtual* and never recycled: a fresh row per
+    # write keeps the step dependency DAG free of WAR/WAW edges from
+    # row reuse, so the wavefront scheduler (_merge_steps) reaches full
+    # dataflow width.  _compact_rows renames the merged schedule back
+    # onto a small physical arena afterwards.
+    spill_row: dict[int, int] = {}   # vid -> dedicated spill row
+    spilled: set[int] = set()        # vids with a live spill copy
+    hi = 0                           # virtual-row high-water mark
+    peak_live = 0
+
+    def alloc() -> int:
+        nonlocal hi
+        row = hi
+        hi += 1
+        return row
+
+    def define(vid: int) -> int:
+        nonlocal peak_live
+        row = slot.get(vid)
+        if row is None:
+            row = alloc()
+            slot[vid] = row
+            if len(slot) > peak_live:
+                peak_live = len(slot)
+        return row
+
+    def consume(vid: int) -> None:
+        left = counts[vid] = counts[vid] - 1
+        if left == 0:
+            slot.pop(vid, None)
+
+    def count_free(label: str) -> None:
+        plan.free_instrs[label] = plan.free_instrs.get(label, 0) + 1
+
+    # -- mergeable trailing step (COPY / DRAM / FILL singles) ----------
+    open_step: list = [None]
+    open_srcs: set[int] = set()
+    open_dsts: set[int] = set()
+
+    def close_open() -> None:
+        open_step[0] = None
+        open_srcs.clear()
+        open_dsts.clear()
+
+    def emit_copy(src_row: int, dst_row: int, label: str) -> None:
+        st = open_step[0]
+        if (st is None or st.kind != K_COPY or st.label != label
+                or src_row in open_dsts or dst_row in open_dsts
+                or dst_row in open_srcs):
+            close_open()
+            st = PlanStep(K_COPY, label)
+            st.a, st.out = [], []
+            steps.append(st)
+            open_step[0] = st
+        st.a.append(src_row)
+        st.out.append(dst_row)
+        st.n_instrs += 1
+        open_srcs.add(src_row)
+        open_dsts.add(dst_row)
+
+    def emit_dram(dst_row: int, name: str, q: int, label: str) -> None:
+        st = open_step[0]
+        if (st is None or st.kind != K_DRAM or st.label != label
+                or dst_row in open_dsts or dst_row in open_srcs):
+            close_open()
+            st = PlanStep(K_DRAM, label)
+            st.out, st.names, st.qs = [], [], []
+            steps.append(st)
+            open_step[0] = st
+        st.out.append(dst_row)
+        st.names.append(name)
+        st.qs.append(q)
+        st.n_instrs += 1
+        open_dsts.add(dst_row)
+
+    def emit_fill(dst_row: int, value: int) -> None:
+        st = open_step[0]
+        if (st is None or st.kind != K_FILL
+                or dst_row in open_dsts or dst_row in open_srcs):
+            close_open()
+            st = PlanStep(K_FILL, "scalar")
+            st.out, st.vals = [], []
+            steps.append(st)
+            open_step[0] = st
+        st.out.append(dst_row)
+        st.vals.append(value)
+        st.n_instrs += 1
+        open_dsts.add(dst_row)
+
+    # -- run assembly (elementwise and FFT) ----------------------------
+    def source_rows(run, primes, arity):
+        """Arena rows for every source of a run, materializing DRAM
+        values into per-step temp rows (deduped by ``(vid, q)`` —
+        in-place fetches re-reduce at the use-site prime, so the same
+        vid at two moduli is two different arrays)."""
+        dram_cache: dict[tuple[int, int], int] = {}
+        dram_entries: list[tuple[int, str, int]] = []
+        cols = [[0] * len(run) for _ in range(arity)]
+        for r, row in enumerate(run):
+            q = primes[r]
+            ss = srcs_l[row]
+            for pos in range(arity):
+                vid = ss[pos]
+                rr = slot.get(vid)
+                if rr is None:
+                    if origin_l[vid] != 0:
+                        ck = (vid, q)
+                        rr = dram_cache.get(ck)
+                        if rr is None:
+                            rr = alloc()
+                            dram_cache[ck] = rr
+                            dram_entries.append((rr, names[vid], q))
+                    else:
+                        raise KeyError(
+                            f"value {vid} used before definition "
+                            f"(op stream corrupt?)")
+                cols[pos][r] = rr
+        return cols, dram_entries
+
+    def flush_run_dram(dram_entries) -> None:
+        if not dram_entries:
+            return
+        st = PlanStep(K_DRAM, "load-dram")
+        st.out = [row for row, _, _ in dram_entries]
+        st.names = [name for _, name, _ in dram_entries]
+        st.qs = [q for _, _, q in dram_entries]
+        steps.append(st)
+
+    rows = len(op_l)
+    idx = 0
+    while idx < rows:
+        op = op_l[idx]
+
+        if op in _ELEMENTWISE:
+            # Grow a maximal equal-arity run with no internal RAW edge.
+            # Unlike the interpreter's equal-opcode scan, MMUL and MMAD
+            # rows merge freely (a mask column picks the expression);
+            # MMAC rows (arity 3) merge with each other.
+            arity = nsrc_l[idx]
+            run = [idx]
+            run_dests = {dest_l[idx]}
+            j = idx + 1
+            while j < rows and op_l[j] in _ELEMENTWISE \
+                    and nsrc_l[j] == arity:
+                if any(s in run_dests for s in srcs_l[j][:arity]):
+                    break
+                run.append(j)
+                run_dests.add(dest_l[j])
+                j += 1
+            close_open()
+            k = len(run)
+            primes = [bindings.prime(mod_l[r]) for r in run]
+            cols, dram_entries = source_rows(run, primes, arity)
+            st = PlanStep(K_EW, "", n_instrs=k)
+            st.nsrc = arity
+            st.q_col = np.array(primes, dtype=np.int64).reshape(k, 1)
+            if arity == 1:
+                st.imm_col = np.array(
+                    [bindings.imm_value(imm_l[row], primes[r],
+                                        const_names, inv_merged)
+                     for r, row in enumerate(run)],
+                    dtype=np.int64).reshape(k, 1)
+            ops = [op_l[r] for r in run]
+            if arity == 3:
+                st.label = "mmac"
+            else:
+                muls = [o == _MMUL for o in ops]
+                if all(muls):
+                    st.mul, st.label = True, "mmul"
+                elif not any(muls):
+                    st.mul, st.label = False, "mmad"
+                else:
+                    st.mask = np.array(muls, dtype=bool).reshape(k, 1)
+                    st.label = "mmul+mmad"
+            st.out = np.array([define(dest_l[r]) for r in run],
+                              dtype=np.int64)
+            st.a = np.array(cols[0], dtype=np.int64)
+            if arity >= 2:
+                st.b = np.array(cols[1], dtype=np.int64)
+            if arity == 3:
+                st.c = np.array(cols[2], dtype=np.int64)
+            for row in run:
+                for s in srcs_l[row][:arity]:
+                    consume(s)
+            flush_run_dram(dram_entries)
+            steps.append(st)
+            idx = j
+
+        elif op in _FFT:
+            imm0 = imm_l[idx]
+            run = [idx]
+            run_dests = {dest_l[idx]}
+            j = idx + 1
+            while j < rows and op_l[j] == op \
+                    and (op != _AUTO or imm_l[j] == imm0):
+                if srcs_l[j][0] in run_dests:
+                    break
+                run.append(j)
+                run_dests.add(dest_l[j])
+                j += 1
+            close_open()
+            k = len(run)
+            primes = [bindings.prime(mod_l[r]) for r in run]
+            cols, dram_entries = source_rows(run, primes, 1)
+            st = PlanStep(K_FFT, "", n_instrs=k)
+            st.primes = tuple(primes)
+            if op == _NTT:
+                st.fft, st.label = 0, "ntt"
+            elif op == _INTT:
+                st.fft, st.label = 1, "intt"
+            else:
+                st.fft, st.label = 2, "auto"
+                st.elt = (conjugation_element(n) if imm0 == -1
+                          else galois_element(imm0, n))
+            st.out = np.array([define(dest_l[r]) for r in run],
+                              dtype=np.int64)
+            st.a = np.array(cols[0], dtype=np.int64)
+            for row in run:
+                consume(srcs_l[row][0])
+            flush_run_dram(dram_entries)
+            steps.append(st)
+            idx = j
+
+        elif op == _LOAD:
+            q = bindings.prime(mod_l[idx])
+            vid = dest_l[idx]
+            if nsrc_l[idx] == 1:
+                src = srcs_l[idx][0]
+                src_r = slot.get(src)
+                if src_r is not None:
+                    # Live compute value (staging load).  If this is
+                    # its last use and the dest is fresh, transfer the
+                    # arena row instead of copying.
+                    if counts[src] == 1 and vid != src \
+                            and slot.get(vid) is None:
+                        slot[vid] = slot.pop(src)
+                        counts[src] = 0
+                        count_free("load (aliased)")
+                    else:
+                        emit_copy(src_r, define(vid), "load-copy")
+                        consume(src)
+                elif origin_l[src] != 0:
+                    emit_dram(define(vid), names[src], q, "load-dram")
+                    consume(src)
+                else:
+                    raise KeyError(
+                        f"value {src} used before definition "
+                        f"(op stream corrupt?)")
+            else:
+                # Reload: spilled copy, else rematerialize by name.
+                if vid in spilled:
+                    emit_copy(spill_row[vid], define(vid),
+                              "spill-reload")
+                    plan.spill_reloads += 1
+                elif origin_l[vid] != 0:
+                    emit_dram(define(vid), names[vid], q, "remat")
+                else:
+                    src = reload_source.get(vid)
+                    while src is not None and origin_l[src] == 0:
+                        src = reload_source.get(src)
+                    if src is None:
+                        raise KeyError(
+                            f"reload of value {vid}: never spilled and "
+                            f"no DRAM origin to rematerialize")
+                    emit_dram(define(vid), names[src], q, "remat")
+            idx += 1
+
+        elif op == _STORE:
+            src = srcs_l[idx][0]
+            src_r = slot.get(src)
+            if src_r is not None:
+                sp = spill_row.get(src)
+                if sp is None:
+                    sp = alloc()       # dedicated, never recycled
+                    spill_row[src] = sp
+                emit_copy(src_r, sp, "spill-store")
+                spilled.add(src)
+                plan.spill_stores += 1
+            else:
+                count_free("store (no-op)")
+            consume(src)
+            idx += 1
+
+        elif op == _VCOPY:
+            q = bindings.prime(mod_l[idx])
+            src = srcs_l[idx][0]
+            vid = dest_l[idx]
+            src_r = slot.get(src)
+            if src_r is not None:
+                if counts[src] == 1 and vid != src \
+                        and slot.get(vid) is None:
+                    slot[vid] = slot.pop(src)
+                    counts[src] = 0
+                    count_free("vcopy (aliased)")
+                else:
+                    emit_copy(src_r, define(vid), "vcopy")
+                    consume(src)
+            elif origin_l[src] != 0:
+                emit_dram(define(vid), names[src], q, "load-dram")
+                consume(src)
+            else:
+                raise KeyError(
+                    f"value {src} used before definition "
+                    f"(op stream corrupt?)")
+            idx += 1
+
+        elif op == _SCALAR:
+            q = bindings.prime(mod_l[idx])
+            emit_fill(define(dest_l[idx]), imm_l[idx] % q)
+            idx += 1
+
+        else:
+            raise NotImplementedError(
+                f"opcode {packed.op[idx]} has no execution rule")
+
+    close_open()
+
+    for vid in packed.outputs.tolist():
+        row = slot.get(vid)
+        if row is None:
+            raise KeyError(f"output value {vid} was never materialized")
+        plan.output_rows.append((vid, row))
+
+    # Seal: list payloads become index arrays.
+    for st in steps:
+        if st.kind in (K_COPY, K_FILL):
+            st.out = np.array(st.out, dtype=np.int64)
+            if st.kind == K_COPY:
+                st.a = np.array(st.a, dtype=np.int64)
+            else:
+                st.vals = np.array(st.vals,
+                                   dtype=np.int64).reshape(-1, 1)
+        elif st.kind == K_DRAM:
+            st.out = [int(r) for r in st.out]
+
+    plan.steps = _merge_steps(steps)
+    plan.instructions = rows
+    plan.runs = len(plan.steps)
+    plan.peak_live = peak_live
+    _compact_rows(plan, hi)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Step merging (wavefront scheduling over the step dependency DAG)
+# ----------------------------------------------------------------------
+def _step_rows(st: PlanStep) -> tuple[set[int], set[int]]:
+    """``(reads, writes)`` arena-row sets of a sealed step."""
+    if st.kind == K_EW:
+        reads = set(st.a.tolist())
+        if st.b is not None:
+            reads.update(st.b.tolist())
+        if st.c is not None:
+            reads.update(st.c.tolist())
+        return reads, set(st.out.tolist())
+    if st.kind in (K_FFT, K_COPY):
+        return set(st.a.tolist()), set(st.out.tolist())
+    if st.kind == K_DRAM:
+        return set(), set(st.out)
+    return set(), set(st.out.tolist())            # K_FILL
+
+
+def _ew_mask(st: PlanStep) -> np.ndarray:
+    if st.mask is not None:
+        return st.mask
+    return np.full((len(st.out), 1), bool(st.mul), dtype=bool)
+
+
+def _merge_into(dst: PlanStep, src: PlanStep) -> None:
+    """Append ``src``'s rows to ``dst`` (same kind, compatible)."""
+    if dst.kind == K_EW and dst.nsrc < 3 and dst.mul != src.mul:
+        # Mixed MUL/ADD: switch to the masked expression.
+        dst.mask = np.vstack((_ew_mask(dst), _ew_mask(src)))
+        dst.mul = None
+        dst.label = "mmul+mmad"
+    elif dst.kind == K_EW and dst.mask is not None:
+        dst.mask = np.vstack((dst.mask, _ew_mask(src)))
+    if dst.kind == K_DRAM:
+        dst.out = dst.out + src.out
+        dst.names = dst.names + src.names
+        dst.qs = dst.qs + src.qs
+    else:
+        dst.out = np.concatenate((dst.out, src.out))
+        if dst.a is not None:
+            dst.a = np.concatenate((dst.a, src.a))
+        if dst.b is not None:
+            dst.b = np.concatenate((dst.b, src.b))
+        if dst.c is not None:
+            dst.c = np.concatenate((dst.c, src.c))
+        if dst.q_col is not None:
+            dst.q_col = np.vstack((dst.q_col, src.q_col))
+        if dst.imm_col is not None:
+            dst.imm_col = np.vstack((dst.imm_col, src.imm_col))
+        if dst.vals is not None:
+            dst.vals = np.vstack((dst.vals, src.vals))
+        if dst.kind == K_FFT:
+            dst.primes = dst.primes + src.primes
+            dst.engine = None                     # key changed
+    dst.n_instrs += src.n_instrs
+
+
+def _class_key(st: PlanStep):
+    if st.kind == K_EW:
+        return (K_EW, st.nsrc)
+    if st.kind == K_FFT:
+        return (K_FFT, st.fft, st.elt)
+    if st.kind in (K_COPY, K_DRAM):
+        return (st.kind, st.label)
+    return (K_FILL,)
+
+
+def _merge_steps(steps: list[PlanStep]) -> list[PlanStep]:
+    """Reschedule the sealed stream by dataflow wavefronts and merge
+    each wavefront's compatible steps — the plan-level run growth the
+    in-order interpreter cannot do.
+
+    Scheduled streams interleave, say, one NTT per conv diagonal with
+    the MAC that consumes it; in program order every NTT run has length
+    one, and a local hoisting pass cannot widen it either, because an
+    NTT can never move above the rotation that produced its input even
+    though its merge target sits further up.  Replay order only has to
+    respect dataflow, which on a sealed plan is fully visible as
+    arena-row read/write sets.  So build the step dependency DAG
+    (RAW/WAR/WAW edges via last-writer/reader tracking per row), then
+    list-schedule it in wavefronts: every step whose predecessors have
+    all executed is *ready*, and ready steps are pairwise independent
+    by construction — any row conflict between two steps puts an edge
+    between them.  Each wavefront emits one merged step per
+    compatibility class.  The payoff is wide stacked FFT calls, one
+    big up-front DRAM gather, and long masked elementwise steps
+    instead of hundreds of single-row dispatches; only genuinely
+    serial chains (MAC accumulators) stay narrow.
+    """
+    nsteps = len(steps)
+    preds = [0] * nsteps
+    succs: list[list[int]] = [[] for _ in range(nsteps)]
+    last_writer: dict[int, int] = {}
+    readers: dict[int, list[int]] = {}
+
+    def edge(a: int, b: int) -> None:
+        # Duplicate edges are fine: each one both increments the
+        # predecessor count and later decrements it once.
+        if a != b:
+            succs[a].append(b)
+            preds[b] += 1
+
+    for i, st in enumerate(steps):
+        reads, writes = _step_rows(st)
+        for x in reads:
+            w = last_writer.get(x)
+            if w is not None:
+                edge(w, i)                         # RAW
+            readers.setdefault(x, []).append(i)
+        for x in writes:
+            w = last_writer.get(x)
+            if w is not None:
+                edge(w, i)                         # WAW
+            for r in readers.get(x, ()):
+                edge(r, i)                         # WAR
+            last_writer[x] = i
+            readers[x] = []
+
+    # Greedy class-batched emission.  A plain ASAP wavefront sweep
+    # (emit every ready class each round) splits same-class steps that
+    # sit at different dataflow depths into separate rounds.  Instead,
+    # keep ready steps pooled by class and emit ONE class per round:
+    # unemitted classes keep accumulating members as other emissions
+    # unlock their predecessors.  Prefer a class with no unscheduled
+    # members left (emitting it can't lose future width), else the
+    # widest ready class.  Any emission order is safe: a ready step's
+    # predecessors are all emitted, and two ready steps are always
+    # pairwise independent — a dependency between them would keep the
+    # successor's predecessor count nonzero while the other waits in
+    # the pool.
+    remaining: dict[tuple, int] = {}
+    for st in steps:
+        k = _class_key(st)
+        remaining[k] = remaining.get(k, 0) + 1
+    merged: list[PlanStep] = []
+    pools: OrderedDict[tuple, list[int]] = OrderedDict()
+    for i in range(nsteps):
+        if preds[i] == 0:
+            pools.setdefault(_class_key(steps[i]), []).append(i)
+    scheduled = 0
+    while pools:
+        key = max(pools, key=lambda k: (len(pools[k]) == remaining[k],
+                                        len(pools[k]),
+                                        -min(pools[k])))
+        members = sorted(pools.pop(key))           # program order
+        remaining[key] -= len(members)
+        base = steps[members[0]]
+        for j in members[1:]:
+            _merge_into(base, steps[j])
+        merged.append(base)
+        scheduled += len(members)
+        for i in members:
+            for s in succs[i]:
+                preds[s] -= 1
+                if preds[s] == 0:
+                    pools.setdefault(_class_key(steps[s]),
+                                     []).append(s)
+    if scheduled != nsteps:                        # pragma: no cover
+        raise AssertionError(
+            f"step scheduler dropped {nsteps - scheduled} steps "
+            f"(dependency cycle in the plan DAG?)")
+    return merged
+
+
+def _compact_rows(plan: ExecPlan, virtual_rows: int) -> None:
+    """Rename the merged schedule's virtual rows onto a compact arena.
+
+    Build allocates a fresh virtual row per write so the scheduler
+    sees only true dependencies; in the final step order each virtual
+    row is live from its defining step to its last referencing step,
+    and a linear scan reassigns physical rows from a free pool.  A
+    virtual row keeps one physical row for its entire life (nothing
+    references it after release), so the rename is a single global map
+    applied vectorized to every index array.  Writes allocate before
+    this step's releases are pooled, so a physical row freed by a step
+    can never be scribbled on by that same step.
+    """
+    last_use = [-1] * virtual_rows
+    step_rows: list[tuple[set[int], set[int]]] = []
+    for i, st in enumerate(plan.steps):
+        reads, writes = _step_rows(st)
+        step_rows.append((reads, writes))
+        for x in reads:
+            last_use[x] = i
+        for x in writes:
+            last_use[x] = i
+    for _, row in plan.output_rows:
+        last_use[row] = len(plan.steps)      # pinned past the end
+    remap = np.full(virtual_rows, -1, dtype=np.int64)
+    pool: list[int] = []
+    hi = 0
+    for i, (reads, writes) in enumerate(step_rows):
+        for x in sorted(writes):
+            if remap[x] < 0:
+                if pool:
+                    remap[x] = pool.pop()
+                else:
+                    remap[x] = hi
+                    hi += 1
+        for x in sorted(reads | writes):
+            if last_use[x] == i:
+                pool.append(int(remap[x]))
+    for st in plan.steps:
+        if st.kind == K_DRAM:
+            st.out = [int(remap[r]) for r in st.out]
+        else:
+            st.out = remap[st.out]
+            if st.a is not None:
+                st.a = remap[st.a]
+            if st.b is not None:
+                st.b = remap[st.b]
+            if st.c is not None:
+                st.c = remap[st.c]
+    plan.output_rows = [(vid, int(remap[row]))
+                        for vid, row in plan.output_rows]
+    plan.arena_rows = hi
+
+
+# ----------------------------------------------------------------------
+# Plan replay
+# ----------------------------------------------------------------------
+def _exec_step(st: PlanStep, arena: np.ndarray, bindings,
+               n: int) -> None:
+    kind = st.kind
+    if kind == K_EW:
+        x = arena[st.a]
+        if st.nsrc == 3:
+            res = (x * arena[st.b] + arena[st.c]) % st.q_col
+        else:
+            y = arena[st.b] if st.nsrc == 2 else st.imm_col
+            if st.mask is not None:
+                res = np.where(st.mask, x * y, x + y) % st.q_col
+            elif st.mul:
+                res = (x * y) % st.q_col
+            else:
+                res = (x + y) % st.q_col
+        arena[st.out] = res
+    elif kind == K_FFT:
+        eng = st.engine
+        if eng is None:
+            eng = get_stacked_plan(
+                n, tuple((q,) for q in st.primes)).ntt
+            st.engine = eng
+        data = arena[st.a]
+        if st.fft == 0:
+            out = eng.forward(data)
+        elif st.fft == 1:
+            # IR iNTT is raw: the 1/N fold is an explicit multiply.
+            out = eng.inverse(data, scale_by_n_inv=False)
+        else:
+            out = eng.automorphism_ntt(data, st.elt)
+        arena[st.out] = out
+    elif kind == K_COPY:
+        arena[st.out] = arena[st.a]
+    elif kind == K_DRAM:
+        out, names, qs = st.out, st.names, st.qs
+        for i in range(len(out)):
+            arena[out[i]] = bindings.dram_array(names[i], qs[i])
+    else:                                       # K_FILL
+        arena[st.out] = st.vals
+
+
+def replay_plan(plan: ExecPlan, bindings, *, profile: bool = False):
+    """Execute a plan; returns ``(outputs, wall_s, profile_dict)``.
+
+    ``profile_dict`` is ``None`` unless ``profile`` is set, in which
+    case it maps a step label to ``[wall_s, instructions]`` (replay
+    then times each step individually, which adds a few microseconds
+    of clock overhead per step — opt-in for that reason).
+    """
+    from time import perf_counter
+
+    arena = plan.arena()
+    n = plan.n
+    prof: dict[str, list] | None = None
+    t0 = perf_counter()
+    if profile:
+        prof = {}
+        for st in plan.steps:
+            ts = perf_counter()
+            _exec_step(st, arena, bindings, n)
+            dt = perf_counter() - ts
+            acc = prof.get(st.label)
+            if acc is None:
+                prof[st.label] = [dt, st.n_instrs]
+            else:
+                acc[0] += dt
+                acc[1] += st.n_instrs
+        for label, count in plan.free_instrs.items():
+            acc = prof.get(label)
+            if acc is None:
+                prof[label] = [0.0, count]
+            else:
+                acc[1] += count
+    else:
+        for st in plan.steps:
+            _exec_step(st, arena, bindings, n)
+    outputs = {vid: arena[row].copy() for vid, row in plan.output_rows}
+    wall = perf_counter() - t0
+    return outputs, wall, prof
+
+
+# ----------------------------------------------------------------------
+# Content-addressed plan cache (in-process, bounded, store-backed)
+# ----------------------------------------------------------------------
+#: In-memory LRU bound; plans are index arrays (small next to the
+#: arena), but sweeps iterate many compile variants.
+PLAN_CACHE_MAX = 16
+
+_PLAN_CACHE: OrderedDict[tuple, ExecPlan] = OrderedDict()
+_PLANS_BUILT = 0
+
+
+def plans_built() -> int:
+    """Process-global count of plans actually *built* (store hits and
+    in-memory hits do not count) — the sweep engine differences this
+    around each point to report plan-warmth."""
+    return _PLANS_BUILT
+
+
+def clear_exec_plan_cache() -> None:
+    _PLAN_CACHE.clear()
+
+
+register_cache_clearer(clear_exec_plan_cache)
+
+
+def _persistent_store():
+    """The active ArtifactStore, if any (imported lazily: ``exp``
+    depends on ``compiler``, not the reverse)."""
+    try:
+        from ..exp.store import active_store
+    except ImportError:  # pragma: no cover - exp is part of the tree
+        return None
+    return active_store()
+
+
+def bindings_token(bindings) -> str:
+    """Canonical identity of what a plan bakes in from its bindings:
+    the ring degree, the concrete prime chains (they determine q/imm
+    columns and engine keys), and pinned scalar immediates.  DRAM
+    arrays are *not* included — replay reads them live."""
+    scalars = ",".join(f"{k}={v}"
+                       for k, v in sorted(bindings.scalars.items()))
+    return (f"n={bindings.n}"
+            f"|q={','.join(str(q) for q in bindings.q)}"
+            f"|p={','.join(str(p) for p in bindings.p)}"
+            f"|s={scalars}")
+
+
+def get_exec_plan(target, bindings) -> ExecPlan:
+    """The cached plan for ``(target, bindings)``; builds (and
+    persists) on miss.  ``target`` is a PackedProgram or a
+    CompiledProgram."""
+    global _PLANS_BUILT
+    packed = getattr(target, "packed", target)
+    if not isinstance(packed, PackedProgram):
+        raise TypeError(f"cannot execute {type(target).__name__}")
+    key = (packed.fingerprint(), packed.names_fingerprint(),
+           bindings_token(bindings))
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _PLAN_CACHE.move_to_end(key)
+        return plan
+    store = _persistent_store()
+    if store is not None:
+        plan = store.get_plan(*key)
+    if plan is None:
+        plan = build_exec_plan(packed, bindings)
+        _PLANS_BUILT += 1
+        if store is not None:
+            store.put_plan(*key, plan)
+    plan.key = key
+    _PLAN_CACHE[key] = plan
+    while len(_PLAN_CACHE) > PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Store payloads
+# ----------------------------------------------------------------------
+#: Per-kind scalar fields serialized into the step records.
+def plan_to_payload(plan: ExecPlan) -> tuple[dict, dict]:
+    """``(meta, arrays)`` for npz persistence.  Index/column arrays
+    are concatenated into two flat int64 vectors (``idx`` carries row
+    indices, ``col`` carries primes/immediates/masks/fills); each step
+    record stores offsets into them.  DRAM names stay in the JSON
+    meta; engines are re-resolved lazily on load."""
+    idx_parts: list[np.ndarray] = []
+    col_parts: list[np.ndarray] = []
+    offsets = [0, 0]
+
+    def put(parts, pos, arr):
+        arr = np.ascontiguousarray(arr, dtype=np.int64).ravel()
+        parts.append(arr)
+        off = offsets[pos]
+        offsets[pos] = off + arr.size
+        return [off, int(arr.size)]
+
+    put_idx = lambda arr: put(idx_parts, 0, arr)   # noqa: E731
+    put_col = lambda arr: put(col_parts, 1, arr)   # noqa: E731
+
+    recs = []
+    for st in plan.steps:
+        rec: dict = {"k": st.kind, "l": st.label, "i": st.n_instrs}
+        if st.kind == K_EW:
+            rec["o"] = put_idx(st.out)
+            rec["a"] = put_idx(st.a)
+            rec["ns"] = st.nsrc
+            if st.b is not None:
+                rec["b"] = put_idx(st.b)
+            if st.c is not None:
+                rec["c"] = put_idx(st.c)
+            rec["q"] = put_col(st.q_col)
+            if st.imm_col is not None:
+                rec["m"] = put_col(st.imm_col)
+            if st.mask is not None:
+                rec["msk"] = put_col(st.mask.astype(np.int64))
+            if st.mul is not None:
+                rec["mul"] = bool(st.mul)
+        elif st.kind == K_FFT:
+            rec["o"] = put_idx(st.out)
+            rec["a"] = put_idx(st.a)
+            rec["f"] = st.fft
+            rec["e"] = st.elt
+            rec["p"] = put_col(np.array(st.primes, dtype=np.int64))
+        elif st.kind == K_COPY:
+            rec["o"] = put_idx(st.out)
+            rec["a"] = put_idx(st.a)
+        elif st.kind == K_DRAM:
+            rec["o"] = list(st.out)
+            rec["nm"] = list(st.names)
+            rec["qs"] = [int(q) for q in st.qs]
+        else:                                   # K_FILL
+            rec["o"] = put_idx(st.out)
+            rec["v"] = put_col(st.vals)
+        recs.append(rec)
+
+    meta = {
+        "n": plan.n,
+        "arena_rows": plan.arena_rows,
+        "instructions": plan.instructions,
+        "runs": plan.runs,
+        "peak_live": plan.peak_live,
+        "spill_stores": plan.spill_stores,
+        "spill_reloads": plan.spill_reloads,
+        "outputs": [[int(v), int(r)] for v, r in plan.output_rows],
+        "free_instrs": dict(plan.free_instrs),
+        "steps": recs,
+    }
+    empty = np.zeros(0, dtype=np.int64)
+    arrays = {
+        "idx": np.concatenate(idx_parts) if idx_parts else empty,
+        "col": np.concatenate(col_parts) if col_parts else empty,
+    }
+    return meta, arrays
+
+
+def plan_from_payload(meta: dict, idx: np.ndarray,
+                      col: np.ndarray) -> ExecPlan:
+    """Inverse of :func:`plan_to_payload`."""
+    plan = ExecPlan(int(meta["n"]))
+    plan.arena_rows = int(meta["arena_rows"])
+    plan.instructions = int(meta["instructions"])
+    plan.runs = int(meta["runs"])
+    plan.peak_live = int(meta["peak_live"])
+    plan.spill_stores = int(meta["spill_stores"])
+    plan.spill_reloads = int(meta["spill_reloads"])
+    plan.output_rows = [(int(v), int(r)) for v, r in meta["outputs"]]
+    plan.free_instrs = {str(k): int(v)
+                        for k, v in meta["free_instrs"].items()}
+
+    def take(parts, spec):
+        off, size = spec
+        return parts[off:off + size]
+
+    for rec in meta["steps"]:
+        st = PlanStep(int(rec["k"]), str(rec["l"]), int(rec["i"]))
+        kind = st.kind
+        if kind == K_EW:
+            k = st.n_instrs
+            st.out = take(idx, rec["o"])
+            st.a = take(idx, rec["a"])
+            st.nsrc = int(rec["ns"])
+            if "b" in rec:
+                st.b = take(idx, rec["b"])
+            if "c" in rec:
+                st.c = take(idx, rec["c"])
+            st.q_col = take(col, rec["q"]).reshape(k, 1)
+            if "m" in rec:
+                st.imm_col = take(col, rec["m"]).reshape(k, 1)
+            if "msk" in rec:
+                st.mask = take(col, rec["msk"]).astype(bool) \
+                    .reshape(k, 1)
+            if "mul" in rec:
+                st.mul = bool(rec["mul"])
+        elif kind == K_FFT:
+            st.out = take(idx, rec["o"])
+            st.a = take(idx, rec["a"])
+            st.fft = int(rec["f"])
+            st.elt = int(rec["e"])
+            st.primes = tuple(int(q)
+                              for q in take(col, rec["p"]).tolist())
+        elif kind == K_COPY:
+            st.out = take(idx, rec["o"])
+            st.a = take(idx, rec["a"])
+        elif kind == K_DRAM:
+            st.out = [int(r) for r in rec["o"]]
+            st.names = [str(nm) for nm in rec["nm"]]
+            st.qs = [int(q) for q in rec["qs"]]
+        else:                                   # K_FILL
+            st.out = take(idx, rec["o"])
+            st.vals = take(col, rec["v"]).reshape(-1, 1)
+        plan.steps.append(st)
+    return plan

@@ -205,7 +205,8 @@ class PackedProgram:
                  "tag_id", "streaming", "tags", "_tag_index",
                  "val_origin", "val_address", "val_names",
                  "outputs", "forwarded", "slot_of",
-                 "const_names", "prime_meta", "merged_imms")
+                 "const_names", "prime_meta", "merged_imms",
+                 "_fp_cache", "_names_fp_cache")
 
     def __init__(self, n: int, *, name: str = "program",
                  limb_bytes: int | None = None):
@@ -235,6 +236,14 @@ class PackedProgram:
         self.const_names: dict[int, str] | None = None
         self.prime_meta: tuple[int, int] | None = None
         self.merged_imms: dict[tuple[int, int], int] | None = None
+        #: Memoized identity hashes.  Valid only while the program is
+        #: treated as immutable: the mutation helpers below invalidate
+        #: them, but direct in-place column writes (as the packed
+        #: passes do mid-pipeline) do not — so callers must only
+        #: request a fingerprint on settled programs (templates and
+        #: compiled results), which is the existing usage contract.
+        self._fp_cache: str | None = None
+        self._names_fp_cache: str | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -260,6 +269,7 @@ class PackedProgram:
             code = len(self.tags)
             self.tags.append(tag)
             self._tag_index[tag] = code
+            self._fp_cache = None
         return code
 
     # ------------------------------------------------------------------
@@ -409,6 +419,7 @@ class PackedProgram:
         for attr in ("op", "dest", "srcs", "n_srcs", "modulus", "imm",
                      "tag_id", "streaming"):
             setattr(self, attr, getattr(self, attr)[keep])
+        self._fp_cache = None
 
     def permute_rows(self, order: np.ndarray) -> None:
         """Reorder instructions (``order`` lists old row per new row)."""
@@ -421,6 +432,7 @@ class PackedProgram:
         self.srcs[valid] = mapping[self.srcs[valid]]
         if len(self.outputs):
             self.outputs = np.unique(mapping[self.outputs])
+        self._fp_cache = None
 
     def append_values(self, count: int, *, origin: str = "compute",
                       names: list[str] | None = None) -> int:
@@ -433,6 +445,8 @@ class PackedProgram:
             [self.val_address, np.full(count, -1, dtype=np.int64)])
         self.val_names.extend(names if names is not None
                               else [""] * count)
+        self._fp_cache = None
+        self._names_fp_cache = None
         return first
 
     # ------------------------------------------------------------------
@@ -471,7 +485,12 @@ class PackedProgram:
         Value *names* and the program name are excluded — they never
         influence a pass decision — so structurally identical programs
         built by different frontends share compile-cache entries.
+        Memoized: hashing every column is O(rows), and the exec-plan
+        cache asks for the fingerprint of the same compiled program on
+        every :func:`~repro.compiler.exec_backend.execute_packed` call.
         """
+        if self._fp_cache is not None:
+            return self._fp_cache
         h = hashlib.sha256()
         h.update(f"{self.n}|{self.limb_bytes}|{self.num_values}|"
                  f"{sorted(self.tags)}".encode())
@@ -486,4 +505,24 @@ class PackedProgram:
                     self.streaming, self.val_origin, self.val_address,
                     self.outputs):
             h.update(np.ascontiguousarray(col).tobytes())
-        return h.hexdigest()
+        self._fp_cache = h.hexdigest()
+        return self._fp_cache
+
+    def names_fingerprint(self) -> str:
+        """Content hash of what *execution* observes beyond structure.
+
+        :meth:`fingerprint` deliberately ignores value names so that
+        structurally identical programs share compile-cache entries —
+        but an execution plan bakes in DRAM value names, constant
+        names, and the prime-chain shape, so its cache key must
+        distinguish programs that differ only there.  Memoized like
+        :meth:`fingerprint` (same immutability contract)."""
+        if self._names_fp_cache is not None:
+            return self._names_fp_cache
+        h = hashlib.sha256()
+        h.update("\x00".join(self.val_names).encode())
+        h.update(repr(sorted((self.const_names or {}).items())).encode())
+        h.update(repr(self.prime_meta).encode())
+        h.update(repr(sorted((self.merged_imms or {}).items())).encode())
+        self._names_fp_cache = h.hexdigest()
+        return self._names_fp_cache

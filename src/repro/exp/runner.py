@@ -223,6 +223,24 @@ def run_tab7(*, n: int | None = None, detail: float = 1.0,
                           rows=rows)
 
 
+def _aggregate_profile(points) -> list[list[str]]:
+    """Fold per-point ``executed_profile`` dicts (step label ->
+    ``[wall_s, instructions]``) into table rows sorted by wall time;
+    empty when no point ran under ``REPRO_EXEC_PROFILE=1``."""
+    agg: dict[str, list] = {}
+    for p in points:
+        for label, (wall, instrs) in (p.executed_profile or {}).items():
+            acc = agg.setdefault(label, [0.0, 0])
+            acc[0] += wall
+            acc[1] += instrs
+    if not agg:
+        return []
+    total = sum(w for w, _ in agg.values()) or 1.0
+    return [[label, f"{wall:.4f}", str(instrs), f"{wall / total:.1%}"]
+            for label, (wall, instrs)
+            in sorted(agg.items(), key=lambda kv: -kv[1][0])]
+
+
 # ----------------------------------------------------------------------
 # Scenario: generic sweep (named axes from the command line)
 # ----------------------------------------------------------------------
@@ -265,16 +283,24 @@ def run_generic(workloads: list[str], configs: list[str], *,
                       verify_spec=verify_spec)
     if engine == "exec":
         # Predicted (simulated accelerator) vs. executed (measured
-        # batched-engine wall clock) side by side.
+        # batched-engine wall clock) side by side; "plans" shows how
+        # many execution plans the point had to *build* (0 on a
+        # plan-warm point replaying cached/persisted plans).
         table = format_table(
             ["point", "predicted cycles", "predicted ms",
-             "executed s", "instrs"],
+             "executed s", "instrs", "plans"],
             [[p.label, p.cycles, f"{p.runtime_ms:.2f}",
               "-" if p.executed_wall_s is None
               else f"{p.executed_wall_s:.2f}",
-              p.executed_instructions]
+              p.executed_instructions, p.plans_built]
              for p in sweep.points],
             title=f"Sweep (executed): {len(sweep.points)} points")
+        profile = _aggregate_profile(sweep.points)
+        if profile:
+            table += "\n\n" + format_table(
+                ["step kind", "wall s", "instrs", "share"],
+                profile,
+                title="Executed per-step profile (REPRO_EXEC_PROFILE=1)")
     else:
         table = format_table(
             ["point", "cycles", "runtime ms", "DRAM GiB", "wall s"],

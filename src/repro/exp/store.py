@@ -4,14 +4,20 @@ The PR 2 compile cache memoizes compilations per process; this store
 persists them — and full :class:`~repro.arch.simulator.SimulationResult`
 records — across processes, keyed by content:
 
-* **compile entries** (``<root>/v1/compile/<key>.npz``) hold a compiled
+* **compile entries** (``<root>/v3/compile/<key>.npz``) hold a compiled
   :class:`~repro.compiler.ir.PackedProgram` (every numpy column, tags,
   value names, spill map ``slot_of``, forwarding mask) plus its
   :class:`~repro.compiler.pipeline.CompileStats`, keyed by
   ``sha256(schema | program fingerprint | canonical CompileOptions)``;
-* **sim entries** (``<root>/v1/sim/<key>.json``) hold one simulation
+* **sim entries** (``<root>/v3/sim/<key>.json``) hold one simulation
   outcome, keyed by the compile key material plus the canonical
-  :class:`~repro.core.config.HardwareConfig`.
+  :class:`~repro.core.config.HardwareConfig`;
+* **plan entries** (``<root>/v3/plan/<key>.plan.npz``) hold one
+  :class:`~repro.compiler.exec_plan.ExecPlan` (flat index/column
+  vectors plus per-step records), keyed by ``sha256(schema | program
+  fingerprint | names fingerprint | bindings token)`` — so a
+  store-warm exec sweep point skips compile, simulate, *and* plan
+  build.
 
 Properties the sweep engine relies on:
 
@@ -50,6 +56,7 @@ from pathlib import Path
 import numpy as np
 
 from ..arch.simulator import SimulationResult
+from ..compiler.exec_plan import ExecPlan, plan_from_payload, plan_to_payload
 from ..compiler.ir import PackedProgram
 from ..compiler.pipeline import (
     CompiledProgram,
@@ -59,7 +66,10 @@ from ..compiler.pipeline import (
 )
 from ..core.config import HardwareConfig
 
-SCHEMA_VERSION = 2
+#: v3: adds exec-plan entries (and their key material) to v2's
+#: executable compile metadata.  Older schema directories are simply
+#: ignored — a version bump reads as a cold store, never a crash.
+SCHEMA_VERSION = 3
 
 ENV_STORE_DIR = "REPRO_STORE_DIR"
 ENV_STORE_MAX_BYTES = "REPRO_STORE_MAX_BYTES"
@@ -101,6 +111,9 @@ class StoreStats:
     sim_hits: int = 0
     sim_misses: int = 0
     sim_stores: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_stores: int = 0
     evictions: int = 0
     corrupt_dropped: int = 0
 
@@ -116,9 +129,11 @@ class ArtifactStore:
         schema_dir = self.root / f"v{SCHEMA_VERSION}"
         self._compile_dir = schema_dir / "compile"
         self._sim_dir = schema_dir / "sim"
+        self._plan_dir = schema_dir / "plan"
         self._spec_dir = schema_dir / "spec"
         self._compile_dir.mkdir(parents=True, exist_ok=True)
         self._sim_dir.mkdir(parents=True, exist_ok=True)
+        self._plan_dir.mkdir(parents=True, exist_ok=True)
         self._spec_dir.mkdir(parents=True, exist_ok=True)
         self._lru_path = schema_dir / "lru.json"
         #: (st_mtime_ns, st_size) of the journal as of our last
@@ -176,11 +191,23 @@ class ArtifactStore:
                    f"{options_token(options)}|{config_token(config)}"
         return hashlib.sha256(material.encode()).hexdigest()
 
+    @staticmethod
+    def plan_key(fingerprint: str, names_fingerprint: str,
+                 bindings_token: str) -> str:
+        material = f"{SCHEMA_VERSION}|plan|{fingerprint}|" \
+                   f"{names_fingerprint}|{bindings_token}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
     def _compile_path(self, key: str) -> Path:
         return self._compile_dir / f"{key}.npz"
 
     def _sim_path(self, key: str) -> Path:
         return self._sim_dir / f"{key}.json"
+
+    def _plan_path(self, key: str) -> Path:
+        # The double suffix routes ``_entry_exists`` (and human eyes)
+        # to the right directory without a per-name index.
+        return self._plan_dir / f"{key}.plan.npz"
 
     # ------------------------------------------------------------------
     # Compiled programs
@@ -328,6 +355,42 @@ class ArtifactStore:
         return SimulationResult(**doc["result"])
 
     # ------------------------------------------------------------------
+    # Execution plans
+    # ------------------------------------------------------------------
+    def get_plan(self, fingerprint: str, names_fingerprint: str,
+                 bindings_token: str) -> ExecPlan | None:
+        path = self._plan_path(self.plan_key(
+            fingerprint, names_fingerprint, bindings_token))
+        plan = self._load(path, self._read_plan)
+        if plan is None:
+            self.stats.plan_misses += 1
+            return None
+        self.stats.plan_hits += 1
+        return plan
+
+    def put_plan(self, fingerprint: str, names_fingerprint: str,
+                 bindings_token: str, plan: ExecPlan) -> None:
+        path = self._plan_path(self.plan_key(
+            fingerprint, names_fingerprint, bindings_token))
+        meta, arrays = plan_to_payload(plan)
+        doc = {"schema": SCHEMA_VERSION, "kind": "plan", "plan": meta}
+        self._atomic_write(path, lambda f: np.savez(
+            f, meta=np.array(canonical_json(doc)), **arrays))
+        self._touch(path)
+        self.stats.plan_stores += 1
+        self._evict()
+
+    @staticmethod
+    def _read_plan(path: Path) -> ExecPlan:
+        with np.load(path, allow_pickle=False) as archive:
+            doc = json.loads(str(archive["meta"][()]))
+            if doc.get("schema") != SCHEMA_VERSION \
+                    or doc.get("kind") != "plan":
+                raise ValueError(f"schema mismatch in {path.name}")
+            return plan_from_payload(doc["plan"], archive["idx"],
+                                     archive["col"])
+
+    # ------------------------------------------------------------------
     # Sweep-grid metadata (resumption safety)
     # ------------------------------------------------------------------
     def _spec_path(self, name: str) -> Path:
@@ -430,8 +493,12 @@ class ArtifactStore:
 
     def _entry_exists(self, name: str) -> bool:
         """Whether the journal name still has a backing entry file."""
-        directory = self._compile_dir if name.endswith(".npz") \
-            else self._sim_dir
+        if name.endswith(".plan.npz"):
+            directory = self._plan_dir
+        elif name.endswith(".npz"):
+            directory = self._compile_dir
+        else:
+            directory = self._sim_dir
         return (directory / name).exists()
 
     def _touch(self, path: Path) -> None:
@@ -482,7 +549,8 @@ class ArtifactStore:
             raise
 
     def _entries(self) -> list[Path]:
-        return [p for d in (self._compile_dir, self._sim_dir)
+        return [p for d in (self._compile_dir, self._sim_dir,
+                            self._plan_dir)
                 for p in d.iterdir() if p.suffix != ".tmp"]
 
     def total_bytes(self) -> int:

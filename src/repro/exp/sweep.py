@@ -34,6 +34,7 @@ from typing import Callable
 
 from ..arch.simulator import simulations_executed
 from ..arch.units import UNIT_NAMES
+from ..compiler.exec_plan import plans_built
 from ..compiler.pipeline import CompileOptions, compiles_executed
 from ..core.config import HardwareConfig
 from ..workloads import (
@@ -269,6 +270,14 @@ class PointResult:
     #: executed side by side.
     executed_wall_s: float | None = None
     executed_instructions: int = 0
+    #: Execution-plan builds this point performed (0 when every
+    #: ``engine="exec"`` segment replayed a cached/persisted plan) and
+    #: plans served from the persistent store.
+    plans_built: int = 0
+    store_plan_hits: int = 0
+    #: Aggregated per-step-label ``[wall_s, instructions]`` breakdown
+    #: when the point executed under ``REPRO_EXEC_PROFILE=1``.
+    executed_profile: dict | None = None
 
     @property
     def warm(self) -> bool:
@@ -304,6 +313,10 @@ class SweepResult:
         return sum(p.simulations for p in self.points)
 
     @property
+    def total_plans_built(self) -> int:
+        return sum(p.plans_built for p in self.points)
+
+    @property
     def warm(self) -> bool:
         return self.total_compiles == 0 and self.total_simulations == 0
 
@@ -316,9 +329,11 @@ def _execute_point(point: SweepPoint, workload: Workload) -> PointResult:
     and fold the outcome into a picklable record."""
     store = active_store()
     if store is not None:
-        hits0 = (store.stats.compile_hits, store.stats.sim_hits)
+        hits0 = (store.stats.compile_hits, store.stats.sim_hits,
+                 store.stats.plan_hits)
     compiles0 = compiles_executed()
     sims0 = simulations_executed()
+    plans0 = plans_built()
     t0 = time.perf_counter()
     run = run_workload(workload, point.config, point.options,
                        use_cache=point.use_cache,
@@ -347,9 +362,12 @@ def _execute_point(point: SweepPoint, workload: Workload) -> PointResult:
         result.executed_instructions = sum(
             e.instructions * rep for e, (_, rep)
             in zip(run.executed, run.segment_results))
+        result.plans_built = plans_built() - plans0
+        result.executed_profile = run.executed_profile
     if store is not None:
         result.store_compile_hits = store.stats.compile_hits - hits0[0]
         result.store_sim_hits = store.stats.sim_hits - hits0[1]
+        result.store_plan_hits = store.stats.plan_hits - hits0[2]
     return result
 
 

@@ -77,8 +77,21 @@ class ScratchAliasError(RuntimeError):
     """Two overlapping live borrows of one pooled scratch buffer."""
 
 
+#: Lazily-sampled cache of the debug flag: ``scratch`` sits on the NTT
+#: hot path (tens of thousands of calls per executed program), so the
+#: environment is read once and re-sampled after :func:`clear_caches`
+#: (which the debug-mode test fixtures already call around their
+#: ``monkeypatch.setenv``).
+_SCRATCH_DEBUG_FLAG: bool | None = None
+
+
 def _scratch_debug() -> bool:
-    return os.environ.get(SCRATCH_DEBUG_ENV, "0") not in ("", "0")
+    global _SCRATCH_DEBUG_FLAG
+    flag = _SCRATCH_DEBUG_FLAG
+    if flag is None:
+        flag = os.environ.get(SCRATCH_DEBUG_ENV, "0") not in ("", "0")
+        _SCRATCH_DEBUG_FLAG = flag
+    return flag
 
 
 def scratch(tag: str, shape: tuple[int, ...]) -> np.ndarray:
@@ -821,10 +834,13 @@ def register_cache_clearer(fn: Callable[[], None]) -> None:
 
 def clear_caches() -> None:
     """Drop every cached plan, scratch slab, and registered sibling
-    cache."""
+    cache; the scratch-debug flag is re-sampled from the environment on
+    next use."""
+    global _SCRATCH_DEBUG_FLAG
     _PLAN_CACHE.clear()
     _SCRATCH.clear()
     _LIVE_BORROWS.clear()
+    _SCRATCH_DEBUG_FLAG = None
     for fn in _EXTRA_CLEARERS:
         fn()
 

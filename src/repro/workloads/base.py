@@ -124,6 +124,30 @@ class WorkloadRun:
                    in zip(self.executed, self.segment_results))
 
     @property
+    def plans_built(self) -> int:
+        """How many segments had to *build* their execution plan
+        (zero on a plan-warm run: every plan came from the in-process
+        cache or the artifact store)."""
+        return sum(1 for e in self.executed
+                   if getattr(e, "plan_built", False))
+
+    @property
+    def executed_profile(self) -> dict[str, list] | None:
+        """Aggregated per-step-label ``[wall_s, instructions]``
+        breakdown (repeat-weighted) when the run was executed under
+        ``REPRO_EXEC_PROFILE=1``; ``None`` otherwise."""
+        prof: dict[str, list] = {}
+        for e, (_, rep) in zip(self.executed, self.segment_results):
+            sub = getattr(e, "profile", None)
+            if not sub:
+                continue
+            for label, (wall, instrs) in sub.items():
+                acc = prof.setdefault(label, [0.0, 0])
+                acc[0] += wall * rep
+                acc[1] += instrs * rep
+        return prof or None
+
+    @property
     def predicted_s(self) -> float:
         """Simulated accelerator runtime in seconds, for side-by-side
         predicted-vs-executed reporting."""

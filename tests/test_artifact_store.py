@@ -292,6 +292,63 @@ def test_env_switch(tmp_path, monkeypatch):
     assert active_store() is not None
 
 
+def test_plan_round_trip_and_eviction(tmp_path):
+    """Plan entries (schema v3) round-trip through the store and
+    participate in the shared LRU bound like compile/sim entries."""
+    from repro.compiler.exec_backend import synthesize_bindings
+    from repro.compiler.exec_plan import (
+        bindings_token,
+        build_exec_plan,
+        replay_plan,
+    )
+
+    store = ArtifactStore(tmp_path, max_bytes=2 ** 30)
+    template = _template()
+    with using_store(store):
+        compiled = compile_packed_cached(template, OPTS)
+    bindings = synthesize_bindings(compiled.packed)
+    plan = build_exec_plan(compiled.packed, bindings)
+    key = (compiled.packed.fingerprint(),
+           compiled.packed.names_fingerprint(),
+           bindings_token(bindings))
+    store.put_plan(*key, plan)
+    assert store.stats.plan_stores == 1
+    loaded = store.get_plan(*key)
+    assert store.stats.plan_hits == 1
+    out1, _, _ = replay_plan(plan, bindings)
+    out2, _, _ = replay_plan(loaded, bindings)
+    for vid in out1:
+        assert np.array_equal(out1[vid], out2[vid])
+    # A different bindings shape is a different entry (miss).
+    assert store.get_plan(key[0], key[1], key[2] + "|x") is None
+    assert store.stats.plan_misses == 1
+    # Plan entries count toward the size bound and evict with the rest.
+    tiny = ArtifactStore(tmp_path, max_bytes=1)
+    tiny._evict()
+    assert tiny.entry_count() == 1, \
+        "plan entries must participate in eviction"
+
+
+def test_corrupt_plan_entry_recovery(tmp_path):
+    from repro.compiler.exec_backend import synthesize_bindings
+    from repro.compiler.exec_plan import bindings_token, build_exec_plan
+
+    store = ArtifactStore(tmp_path)
+    template = _template()
+    with using_store(store):
+        compiled = compile_packed_cached(template, OPTS)
+    bindings = synthesize_bindings(compiled.packed)
+    key = (compiled.packed.fingerprint(),
+           compiled.packed.names_fingerprint(),
+           bindings_token(bindings))
+    store.put_plan(*key, build_exec_plan(compiled.packed, bindings))
+    [entry] = list(store._plan_dir.iterdir())
+    entry.write_bytes(entry.read_bytes()[:32])       # truncate
+    assert store.get_plan(*key) is None
+    assert store.stats.corrupt_dropped == 1
+    assert not entry.exists()
+
+
 def test_cross_process_hit(tmp_path):
     """A compilation persisted by one interpreter is served to the
     next: content addressing spans processes."""

@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.compiler.exec_backend import (
+    execute_interpreted,
     execute_packed,
     execute_reference,
     synthesize_bindings,
@@ -146,13 +147,23 @@ def test_all_compile_variants_match_reference_oracle(seed):
     assert oracle, "fuzz program produced no outputs"
     for label, options in VARIANTS.items():
         compiled = compile_packed(packed.copy(), options)
+        # Planned replay (the default engine) and the run-vectorized
+        # interpreter both pin against the reference oracle, and hence
+        # against each other.
         result = execute_packed(compiled, bindings)
+        interp = execute_interpreted(compiled, bindings)
         assert set(result.outputs) == set(oracle), \
             f"{label}: output set changed"
+        assert set(interp.outputs) == set(oracle), \
+            f"{label}: interpreter output set changed"
         for vid in oracle:
             np.testing.assert_array_equal(
                 result.outputs[vid], oracle[vid],
                 err_msg=f"seed {seed}, variant {label}, output {vid}")
+            np.testing.assert_array_equal(
+                interp.outputs[vid], oracle[vid],
+                err_msg=f"seed {seed}, variant {label} (interpreter), "
+                        f"output {vid}")
 
 
 def test_fuzz_corpus_reaches_every_opcode():

@@ -179,6 +179,29 @@ def test_exec_engine_sweep_reports_executed_timings(tmp_path):
         assert p.executed_instructions > 0
         assert q.executed_wall_s is None
         assert q.executed_instructions == 0
+        assert q.plans_built == 0, "packed points never build plans"
+
+
+def test_exec_sweep_is_plan_warm_on_repeat(tmp_path):
+    """With a persistent store, a repeated ``engine="exec"`` sweep
+    replays persisted plans: the second run reports zero plans built
+    even after the in-process plan cache is dropped (what a fresh
+    process would see)."""
+    from repro.compiler.exec_plan import clear_exec_plan_cache
+
+    spec = SweepSpec(
+        name="exec-warm",
+        workloads=(WorkloadSpec.make("tiny", levels=4, diag=3),),
+        variants=_variants(1), engine="exec")
+    clear_exec_plan_cache()
+    cold = run_sweep(spec, store=tmp_path / "s")
+    assert cold.total_plans_built >= 1
+    clear_exec_plan_cache()
+    warm = run_sweep(spec, store=tmp_path / "s")
+    assert warm.total_plans_built == 0
+    assert sum(p.store_plan_hits for p in warm.points) >= 1
+    for a, b in zip(cold.points, warm.points):
+        assert a.same_outcome(b)
 
 
 def test_start_method_env_override(tmp_path, monkeypatch):
