@@ -16,8 +16,17 @@ Examples::
     # inspect a store directory
     python -m repro store /tmp/repro-store
 
+    # executed sweep with a Chrome-trace timeline (Perfetto-loadable)
+    python -m repro run sweep --workload bfv_dotproduct \
+        --config ASIC-EFFACT --engine exec --trace out.json
+
+    # validate a trace file and cross-check counters
+    python -m repro trace out.json --expect compile.executed=2
+
 Without ``--store`` the ``REPRO_STORE_DIR`` environment variable (if
-set) selects the store; with neither, nothing persists.
+set) selects the store; with neither, nothing persists.  Setting
+``REPRO_TRACE=1`` enables tracing without writing a file (a text
+report prints after the run).
 """
 
 from __future__ import annotations
@@ -69,16 +78,44 @@ def _build_parser() -> argparse.ArgumentParser:
                           "new canonical one")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-point progress lines")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="enable tracing and write a Chrome "
+                          "trace-event JSON (open in Perfetto or "
+                          "chrome://tracing) merging all workers")
 
     store = sub.add_parser("store", help="inspect a store directory")
     store.add_argument("dir", help="store root directory")
+
+    trace = sub.add_parser(
+        "trace", help="validate a --trace output file")
+    trace.add_argument("file", help="Chrome trace-event JSON to check")
+    trace.add_argument("--expect", action="append", default=[],
+                       metavar="COUNTER=VALUE",
+                       help="assert a counter total (missing counters "
+                            "read as 0); repeatable")
     return parser
+
+
+def _replay_coverage(events) -> float | None:
+    """Fraction of outer ``replay`` span wall covered by the per-step
+    ``replay.*`` child spans; ``None`` when nothing was replayed."""
+    from .obs import EV_DUR, EV_NAME
+    outer = sum(ev[EV_DUR] for ev in events if ev[EV_NAME] == "replay")
+    steps = sum(ev[EV_DUR] for ev in events
+                if ev[EV_NAME].startswith("replay."))
+    if outer <= 0.0:
+        return None
+    return steps / outer
 
 
 def _cmd_run(args) -> int:
     # Imported here so ``python -m repro run --help`` stays instant.
+    from . import obs
     from .exp import runner
     from .exp.runner import SCENARIOS
+
+    if args.trace:
+        obs.enable()
 
     def progress(point):
         state = "warm" if point.warm else \
@@ -118,6 +155,24 @@ def _cmd_run(args) -> int:
           f"compiles={sweep.total_compiles} "
           f"simulations={sweep.total_simulations} "
           f"plans={sweep.total_plans_built}")
+    if args.trace:
+        import json
+        import os
+
+        events, counters = obs.TRACER.drain()
+        doc = obs.chrome_trace(events, counters, main_pid=os.getpid())
+        with open(args.trace, "w") as fh:
+            json.dump(doc, fh)
+        line = (f"trace: {len(events)} spans -> {args.trace} "
+                f"(open in Perfetto / chrome://tracing)")
+        coverage = _replay_coverage(events)
+        if coverage is not None:
+            line += f" replay-span coverage={coverage:.1%}"
+        print(line)
+    elif obs.TRACER.enabled:
+        events, counters = obs.TRACER.drain()
+        print()
+        print(obs.text_report(events, counters))
     if args.assert_warm and not sweep.warm:
         print(f"ERROR: sweep was not store-warm "
               f"(compiles={sweep.total_compiles}, "
@@ -144,10 +199,51 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from .obs import validate_chrome_trace
+
+    try:
+        with open(args.file) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.file}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        validate_chrome_trace(doc)
+    except ValueError as exc:
+        print(f"invalid Chrome trace: {exc}", file=sys.stderr)
+        return 1
+    counters = doc.get("counters", {})
+    failures = []
+    for expect in args.expect:
+        name, _, raw = expect.partition("=")
+        if not _ or not name:
+            print(f"bad --expect {expect!r} (want COUNTER=VALUE)",
+                  file=sys.stderr)
+            return 2
+        actual = float(counters.get(name, 0))
+        if actual != float(raw):
+            failures.append(f"{name}={actual:g} (expected {raw})")
+    events = doc["traceEvents"]
+    spans = sum(1 for ev in events if ev.get("ph") == "X")
+    pids = {ev["pid"] for ev in events}
+    print(f"{args.file}: valid Chrome trace, {spans} spans across "
+          f"{len(pids)} process(es), {len(counters)} counters")
+    if failures:
+        print("counter mismatches: " + ", ".join(failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_store(args)
 
 

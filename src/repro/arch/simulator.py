@@ -25,6 +25,7 @@ import numpy as np
 from ..compiler.ir import OP_INDEX, PackedProgram, Program
 from ..core.config import HardwareConfig
 from ..core.isa import Opcode
+from ..obs import TRACER
 from .units import UNIT_NAMES, TimingModel
 
 #: Count of scoreboard simulations actually executed in this process
@@ -87,6 +88,7 @@ class EffactSimulator:
     def run(self, program: Program) -> SimulationResult:
         global _SIMULATIONS_EXECUTED
         _SIMULATIONS_EXECUTED += 1
+        TRACER.count("sim.executed")
         cfg = self.config
         timing = TimingModel(cfg, program.n)
         unit_free: dict[str, int] = {
@@ -172,6 +174,7 @@ class EffactSimulator:
         """
         global _SIMULATIONS_EXECUTED
         _SIMULATIONS_EXECUTED += 1
+        TRACER.count("sim.executed")
         cfg = self.config
         timing = TimingModel(cfg, packed.n)
         nrows = packed.num_instrs
@@ -266,6 +269,7 @@ def simulate(program: Program | PackedProgram,
              config: HardwareConfig) -> SimulationResult:
     """Convenience wrapper; dispatches on the IR representation."""
     sim = EffactSimulator(config)
-    if isinstance(program, PackedProgram):
-        return sim.run_packed(program)
-    return sim.run(program)
+    with TRACER.span("sim.scoreboard", config=config.name):
+        if isinstance(program, PackedProgram):
+            return sim.run_packed(program)
+        return sim.run(program)

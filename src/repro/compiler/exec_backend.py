@@ -50,6 +50,7 @@ import hashlib
 import os
 import re
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,9 +71,10 @@ __all__ = [
     "synthesize_bindings",
 ]
 
-#: Opt-in per-step wall-time profiling of the planned replay
-#: (surfaced as ``ExecutionResult.profile`` and the runner's
-#: per-opcode table).
+#: Deprecated alias for per-step wall-time profiling of the planned
+#: replay; superseded by the tracer (``REPRO_TRACE=1`` / ``--trace``),
+#: which populates ``ExecutionResult.profile`` *and* emits spans.
+#: Setting it still works but raises a :class:`DeprecationWarning`.
 ENV_EXEC_PROFILE = "REPRO_EXEC_PROFILE"
 
 _MMUL = OP_INDEX[Opcode.MMUL]
@@ -315,8 +317,9 @@ class ExecutionResult:
     #: plan came from the in-process cache or the ArtifactStore, and
     #: always False on the interpreted path).
     plan_built: bool = False
-    #: ``{step label: [wall_s, instructions]}`` when profiling was
-    #: requested via ``REPRO_EXEC_PROFILE=1``; ``None`` otherwise.
+    #: ``{step label: [wall_s, instructions]}`` when the tracer was
+    #: enabled (``REPRO_TRACE=1`` / ``--trace``) or the deprecated
+    #: ``REPRO_EXEC_PROFILE=1`` alias was set; ``None`` otherwise.
     profile: dict[str, list] | None = None
 
     @property
@@ -351,6 +354,11 @@ def execute_packed(target, bindings: ExecBindings | None = None
     built_before = plans_built()
     plan = get_exec_plan(packed, bindings)
     profile = os.environ.get(ENV_EXEC_PROFILE, "") == "1"
+    if profile:
+        warnings.warn(
+            f"{ENV_EXEC_PROFILE}=1 is deprecated; use REPRO_TRACE=1 "
+            "or --trace (the tracer populates ExecutionResult.profile "
+            "and emits spans)", DeprecationWarning, stacklevel=2)
     outputs, wall, prof = replay_plan(plan, bindings, profile=profile)
     return ExecutionResult(
         outputs=outputs, wall_s=wall, instructions=plan.instructions,

@@ -63,6 +63,7 @@ import numpy as np
 from ..core.isa import Opcode
 from ..nttmath.batched import get_stacked_plan, register_cache_clearer
 from ..nttmath.ntt import conjugation_element, galois_element
+from ..obs import TRACER
 from .ir import OP_INDEX, PackedProgram
 
 __all__ = [
@@ -813,21 +814,81 @@ def _exec_step(st: PlanStep, arena: np.ndarray, bindings,
         arena[st.out] = st.vals
 
 
+def _step_row_traffic(st: PlanStep) -> tuple[int, int]:
+    """(rows read from the arena, rows written to it) for one step."""
+    if st.kind == K_DRAM:
+        return 0, len(st.out)
+    written = int(st.out.size)
+    read = 0
+    if st.a is not None:
+        read += int(st.a.size)
+    if st.b is not None:
+        read += int(st.b.size)
+    if st.c is not None:
+        read += int(st.c.size)
+    return read, written
+
+
 def replay_plan(plan: ExecPlan, bindings, *, profile: bool = False):
     """Execute a plan; returns ``(outputs, wall_s, profile_dict)``.
 
-    ``profile_dict`` is ``None`` unless ``profile`` is set, in which
-    case it maps a step label to ``[wall_s, instructions]`` (replay
-    then times each step individually, which adds a few microseconds
-    of clock overhead per step — opt-in for that reason).
+    ``profile_dict`` is ``None`` unless ``profile`` is set or the
+    global tracer is enabled, in which case it maps a step label to
+    ``[wall_s, instructions]``.  Three loops, fastest first:
+
+    * neither: the bare step loop — no clock reads inside;
+    * ``profile`` only: one clock read around each step (the legacy
+      ``REPRO_EXEC_PROFILE`` payload);
+    * tracing: one clock read **per step boundary**, so each span's
+      duration runs boundary-to-boundary and the instrumentation cost
+      itself is attributed into step durations rather than falling
+      into inter-span gaps — the sum of ``replay.*`` spans accounts
+      for the whole loop, not just the step bodies.  Per-step spans
+      land as ``replay.<label>`` under an outer ``replay`` span, and
+      arena gather/scatter traffic feeds the ``exec.bytes_*``
+      counters.
     """
     from time import perf_counter
 
     arena = plan.arena()
     n = plan.n
     prof: dict[str, list] | None = None
+    tr = TRACER
     t0 = perf_counter()
-    if profile:
+    if tr.enabled:
+        prof = {}
+        rows_read = 0
+        rows_written = 0
+        tr.push("replay")
+        prev = t0
+        for st in plan.steps:
+            _exec_step(st, arena, bindings, n)
+            now = perf_counter()
+            dt = now - prev
+            tr.emit("replay." + st.label, prev, dt, None)
+            prev = now
+            acc = prof.get(st.label)
+            if acc is None:
+                prof[st.label] = [dt, st.n_instrs]
+            else:
+                acc[0] += dt
+                acc[1] += st.n_instrs
+            r, w = _step_row_traffic(st)
+            rows_read += r
+            rows_written += w
+        tr.pop()
+        outputs = {vid: arena[row].copy()
+                   for vid, row in plan.output_rows}
+        wall = perf_counter() - t0
+        tr.emit("replay", t0, wall,
+                {"steps": len(plan.steps),
+                 "instrs": plan.instructions})
+        row_bytes = n * 8
+        tr.count("exec.bytes_gathered", rows_read * row_bytes)
+        tr.count("exec.bytes_scattered", rows_written * row_bytes)
+        if plan.spill_reloads:
+            tr.count("exec.spill_reloads", plan.spill_reloads)
+    elif profile:
         prof = {}
         for st in plan.steps:
             ts = perf_counter()
@@ -839,17 +900,22 @@ def replay_plan(plan: ExecPlan, bindings, *, profile: bool = False):
             else:
                 acc[0] += dt
                 acc[1] += st.n_instrs
+        outputs = {vid: arena[row].copy()
+                   for vid, row in plan.output_rows}
+        wall = perf_counter() - t0
+    else:
+        for st in plan.steps:
+            _exec_step(st, arena, bindings, n)
+        outputs = {vid: arena[row].copy()
+                   for vid, row in plan.output_rows}
+        wall = perf_counter() - t0
+    if prof is not None:
         for label, count in plan.free_instrs.items():
             acc = prof.get(label)
             if acc is None:
                 prof[label] = [0.0, count]
             else:
                 acc[1] += count
-    else:
-        for st in plan.steps:
-            _exec_step(st, arena, bindings, n)
-    outputs = {vid: arena[row].copy() for vid, row in plan.output_rows}
-    wall = perf_counter() - t0
     return outputs, wall, prof
 
 
@@ -919,8 +985,10 @@ def get_exec_plan(target, bindings) -> ExecPlan:
     if store is not None:
         plan = store.get_plan(*key)
     if plan is None:
-        plan = build_exec_plan(packed, bindings)
+        with TRACER.span("plan.build"):
+            plan = build_exec_plan(packed, bindings)
         _PLANS_BUILT += 1
+        TRACER.count("exec.plans_built")
         if store is not None:
             store.put_plan(*key, plan)
     plan.key = key

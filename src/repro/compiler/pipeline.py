@@ -8,10 +8,12 @@ Every stage can be toggled, which is how the sensitivity study
 (Figure 11) builds its baseline / MAD-enhanced / streaming / full
 configurations from one program.
 
-The pipeline is orchestrated by an explicit :class:`PassManager` over
-the registered-pass table (:mod:`repro.compiler.passes.registry`), with
-per-pass instrumentation (instruction counts, wall time) recorded on
-:class:`CompileStats`.  Two engines run the same pass sequence:
+The pipeline is orchestrated by an explicit
+:class:`~repro.compiler.passes.registry.PassManager` over the
+registered-pass table (:mod:`repro.compiler.passes.registry`), with
+per-pass instrumentation (instruction counts, wall time, tracer
+spans) recorded through the manager's single ``stage()`` timing path
+onto :class:`CompileStats`.  Two engines run the same pass sequence:
 
 * ``"packed"`` (default) — vectorized passes over a
   :class:`~repro.compiler.ir.PackedProgram`;
@@ -30,14 +32,18 @@ hatch (also hooked into :func:`repro.nttmath.batched.clear_caches`).
 
 from __future__ import annotations
 
-import time
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
 from ..nttmath.batched import register_cache_clearer
+from ..obs import TRACER
 from . import packed_passes  # noqa: F401  (registers the packed halves)
 from .ir import PackedProgram, Program
-from .passes.registry import PASS_REGISTRY
+from .passes.registry import (  # noqa: F401  (re-exported: store.py et al.)
+    PASS_REGISTRY,
+    PassManager,
+    PassRecord,
+)
 from .regalloc import AllocationStats, allocate, allocate_packed
 from .scheduler import (
     apply_schedule,
@@ -61,21 +67,6 @@ class CompileOptions:
     reuse_window: int = 256         # DRAM-value SRAM-reuse distance
     prefetch_distance: int = 12     # load hoisting to hide HBM latency
     reserve_slots: int = 0
-
-
-@dataclass
-class PassRecord:
-    """Per-pass instrumentation the :class:`PassManager` collects."""
-
-    name: str
-    wall_s: float
-    instrs_before: int
-    instrs_after: int
-    detail: object = None           # the pass' own return value
-
-    @property
-    def instrs_removed(self) -> int:
-        return self.instrs_before - self.instrs_after
 
 
 @dataclass
@@ -108,35 +99,6 @@ class CompileStats:
     @property
     def compile_wall_s(self) -> float:
         return sum(r.wall_s for r in self.pass_records)
-
-
-class PassManager:
-    """Runs registered passes for one engine, recording per-pass
-    instruction counts and wall time."""
-
-    def __init__(self, engine: str = "packed"):
-        if engine not in ("packed", "reference"):
-            raise ValueError(f"unknown compile engine {engine!r}")
-        self.engine = engine
-        self.records: list[PassRecord] = []
-
-    def run(self, name: str, ir, *args, **kwargs):
-        fn = PASS_REGISTRY[name].implementation(self.engine)
-        before = len(ir)
-        t0 = time.perf_counter()
-        result = fn(ir, *args, **kwargs)
-        self.records.append(PassRecord(
-            name=name, wall_s=time.perf_counter() - t0,
-            instrs_before=before, instrs_after=len(ir), detail=result))
-        return result
-
-    def record(self, name: str, wall_s: float, before: int, after: int,
-               detail=None) -> None:
-        """Manual record for stages run outside the registry call path
-        (scheduling, allocation)."""
-        self.records.append(PassRecord(
-            name=name, wall_s=wall_s, instrs_before=before,
-            instrs_after=after, detail=detail))
 
 
 class CompiledProgram:
@@ -191,52 +153,49 @@ def _compile_packed_ir(packed: PackedProgram,
     """Run the pass sequence in place on ``packed``."""
     global _COMPILES_EXECUTED
     _COMPILES_EXECUTED += 1
+    TRACER.count("compile.executed")
     pm = PassManager("packed")
     stats = CompileStats()
-    stats.instrs_before_opt = len(packed)
-    stats.mix_before = packed.instruction_mix()
+    with TRACER.span("compile", engine="packed"):
+        stats.instrs_before_opt = len(packed)
+        stats.mix_before = packed.instruction_mix()
 
-    if options.code_opt:
-        stats.copies_removed = pm.run("copy-prop", packed)
-        # The merged-constant registry rides on the program so the
-        # execution backend can resolve the synthetic negative imm ids
-        # back to their (c1, c2) factor pairs.
-        if packed.merged_imms is None:
-            packed.merged_imms = {}
-        stats.consts_merged = pm.run("const-merge", packed,
-                                     packed.merged_imms)
-        stats.cse_removed = pm.run("cse", packed)
-        stats.dead_removed = pm.run("dce", packed)
-    stats.instrs_after_opt = len(packed)
-    stats.mix_after = packed.instruction_mix()
+        if options.code_opt:
+            stats.copies_removed = pm.run("copy-prop", packed)
+            # The merged-constant registry rides on the program so the
+            # execution backend can resolve the synthetic negative imm
+            # ids back to their (c1, c2) factor pairs.
+            if packed.merged_imms is None:
+                packed.merged_imms = {}
+            stats.consts_merged = pm.run("const-merge", packed,
+                                         packed.merged_imms)
+            stats.cse_removed = pm.run("cse", packed)
+            stats.dead_removed = pm.run("dce", packed)
+        stats.instrs_after_opt = len(packed)
+        stats.mix_after = packed.instruction_mix()
 
-    if options.mac_fusion:
-        stats.macs_fused = pm.run("mac-fuse", packed)
+        if options.mac_fusion:
+            stats.macs_fused = pm.run("mac-fuse", packed)
 
-    stats.loads_inserted = pm.run(
-        "insert-loads", packed, reuse_window=options.reuse_window,
-        prefetch_distance=options.prefetch_distance)
-    if options.streaming or options.forward_window > 0:
-        stats.streaming_loads, stats.forwarded_values = pm.run(
-            "mark-streaming", packed,
-            streaming_loads_enabled=options.streaming,
-            forwarding_enabled=options.forward_window > 0)
+        stats.loads_inserted = pm.run(
+            "insert-loads", packed, reuse_window=options.reuse_window,
+            prefetch_distance=options.prefetch_distance)
+        if options.streaming or options.forward_window > 0:
+            stats.streaming_loads, stats.forwarded_values = pm.run(
+                "mark-streaming", packed,
+                streaming_loads_enabled=options.streaming,
+                forwarding_enabled=options.forward_window > 0)
 
-    before = len(packed)
-    t0 = time.perf_counter()
-    order = schedule_packed(packed, policy=options.scheduling,
-                            band_size=options.band_size)
-    apply_schedule_packed(packed, order)
-    pm.record("schedule", time.perf_counter() - t0, before, len(packed),
-              options.scheduling)
+        with pm.stage("schedule", packed, detail=options.scheduling):
+            order = schedule_packed(packed, policy=options.scheduling,
+                                    band_size=options.band_size)
+            apply_schedule_packed(packed, order)
 
-    before = len(packed)
-    t0 = time.perf_counter()
-    stats.alloc = allocate_packed(
-        packed, sram_bytes=options.sram_bytes,
-        forward_window=options.forward_window,
-        reserve_slots=options.reserve_slots)
-    pm.record("regalloc", time.perf_counter() - t0, before, len(packed))
+        with pm.stage("regalloc", packed):
+            stats.alloc = allocate_packed(
+                packed, sram_bytes=options.sram_bytes,
+                forward_window=options.forward_window,
+                reserve_slots=options.reserve_slots)
 
     stats.pass_records = pm.records
     return stats
@@ -247,49 +206,46 @@ def _compile_reference(program: Program,
     """The seed pipeline over ``Instr`` lists (differential baseline)."""
     global _COMPILES_EXECUTED
     _COMPILES_EXECUTED += 1
+    TRACER.count("compile.executed")
     pm = PassManager("reference")
     stats = CompileStats()
-    stats.instrs_before_opt = len(program.instrs)
-    stats.mix_before = program.instruction_mix()
+    with TRACER.span("compile", engine="reference"):
+        stats.instrs_before_opt = len(program.instrs)
+        stats.mix_before = program.instruction_mix()
 
-    if options.code_opt:
-        stats.copies_removed = pm.run("copy-prop", program)
-        if getattr(program, "merged_imms", None) is None:
-            program.merged_imms = {}
-        stats.consts_merged = pm.run("const-merge", program,
-                                     program.merged_imms)
-        stats.cse_removed = pm.run("cse", program)
-        stats.dead_removed = pm.run("dce", program)
-    stats.instrs_after_opt = len(program.instrs)
-    stats.mix_after = program.instruction_mix()
+        if options.code_opt:
+            stats.copies_removed = pm.run("copy-prop", program)
+            if getattr(program, "merged_imms", None) is None:
+                program.merged_imms = {}
+            stats.consts_merged = pm.run("const-merge", program,
+                                         program.merged_imms)
+            stats.cse_removed = pm.run("cse", program)
+            stats.dead_removed = pm.run("dce", program)
+        stats.instrs_after_opt = len(program.instrs)
+        stats.mix_after = program.instruction_mix()
 
-    if options.mac_fusion:
-        stats.macs_fused = pm.run("mac-fuse", program)
+        if options.mac_fusion:
+            stats.macs_fused = pm.run("mac-fuse", program)
 
-    stats.loads_inserted = pm.run(
-        "insert-loads", program, reuse_window=options.reuse_window,
-        prefetch_distance=options.prefetch_distance)
-    if options.streaming or options.forward_window > 0:
-        stats.streaming_loads, stats.forwarded_values = pm.run(
-            "mark-streaming", program,
-            streaming_loads_enabled=options.streaming,
-            forwarding_enabled=options.forward_window > 0)
+        stats.loads_inserted = pm.run(
+            "insert-loads", program, reuse_window=options.reuse_window,
+            prefetch_distance=options.prefetch_distance)
+        if options.streaming or options.forward_window > 0:
+            stats.streaming_loads, stats.forwarded_values = pm.run(
+                "mark-streaming", program,
+                streaming_loads_enabled=options.streaming,
+                forwarding_enabled=options.forward_window > 0)
 
-    before = len(program.instrs)
-    t0 = time.perf_counter()
-    order = schedule(program, policy=options.scheduling,
-                     band_size=options.band_size)
-    apply_schedule(program, order)
-    pm.record("schedule", time.perf_counter() - t0, before,
-              len(program.instrs), options.scheduling)
+        with pm.stage("schedule", program, detail=options.scheduling):
+            order = schedule(program, policy=options.scheduling,
+                             band_size=options.band_size)
+            apply_schedule(program, order)
 
-    before = len(program.instrs)
-    t0 = time.perf_counter()
-    stats.alloc = allocate(program, sram_bytes=options.sram_bytes,
-                           forward_window=options.forward_window,
-                           reserve_slots=options.reserve_slots)
-    pm.record("regalloc", time.perf_counter() - t0, before,
-              len(program.instrs))
+        with pm.stage("regalloc", program):
+            stats.alloc = allocate(
+                program, sram_bytes=options.sram_bytes,
+                forward_window=options.forward_window,
+                reserve_slots=options.reserve_slots)
 
     stats.pass_records = pm.records
     return CompiledProgram(program=program, options=options, stats=stats)
@@ -386,8 +342,10 @@ def compile_packed_cached(template: PackedProgram,
     if hit is not None:
         _COMPILE_CACHE.move_to_end(key)
         _CACHE_STATS.hits += 1
+        TRACER.count("compile.cache.hits")
         return hit
     _CACHE_STATS.misses += 1
+    TRACER.count("compile.cache.misses")
     store = _persistent_store()
     compiled = None
     if store is not None:

@@ -226,7 +226,8 @@ def run_tab7(*, n: int | None = None, detail: float = 1.0,
 def _aggregate_profile(points) -> list[list[str]]:
     """Fold per-point ``executed_profile`` dicts (step label ->
     ``[wall_s, instructions]``) into table rows sorted by wall time;
-    empty when no point ran under ``REPRO_EXEC_PROFILE=1``."""
+    empty when no point executed with the tracer enabled (or under
+    the deprecated ``REPRO_EXEC_PROFILE=1`` alias)."""
     agg: dict[str, list] = {}
     for p in points:
         for label, (wall, instrs) in (p.executed_profile or {}).items():
@@ -283,15 +284,27 @@ def run_generic(workloads: list[str], configs: list[str], *,
                       verify_spec=verify_spec)
     if engine == "exec":
         # Predicted (simulated accelerator) vs. executed (measured
-        # batched-engine wall clock) side by side; "plans" shows how
-        # many execution plans the point had to *build* (0 on a
-        # plan-warm point replaying cached/persisted plans).
+        # batched-engine wall clock) vs. span-attributed wall (the sum
+        # of the tracer's per-step replay spans — "cover" is its share
+        # of the executed wall, blank when tracing was off); "plans"
+        # shows how many execution plans the point had to *build* (0
+        # on a plan-warm point replaying cached/persisted plans).
+        def span_cells(p):
+            prof = p.executed_profile
+            if not prof or p.executed_wall_s is None:
+                return ["-", "-"]
+            span_s = sum(wall for wall, _ in prof.values())
+            cover = span_s / p.executed_wall_s if p.executed_wall_s \
+                else 0.0
+            return [f"{span_s:.2f}", f"{cover:.0%}"]
+
         table = format_table(
             ["point", "predicted cycles", "predicted ms",
-             "executed s", "instrs", "plans"],
+             "executed s", "span s", "cover", "instrs", "plans"],
             [[p.label, p.cycles, f"{p.runtime_ms:.2f}",
               "-" if p.executed_wall_s is None
               else f"{p.executed_wall_s:.2f}",
+              *span_cells(p),
               p.executed_instructions, p.plans_built]
              for p in sweep.points],
             title=f"Sweep (executed): {len(sweep.points)} points")
@@ -300,7 +313,7 @@ def run_generic(workloads: list[str], configs: list[str], *,
             table += "\n\n" + format_table(
                 ["step kind", "wall s", "instrs", "share"],
                 profile,
-                title="Executed per-step profile (REPRO_EXEC_PROFILE=1)")
+                title="Executed per-step profile (tracer)")
     else:
         table = format_table(
             ["point", "cycles", "runtime ms", "DRAM GiB", "wall s"],

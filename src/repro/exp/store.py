@@ -65,6 +65,7 @@ from ..compiler.pipeline import (
     PassRecord,
 )
 from ..core.config import HardwareConfig
+from ..obs import TRACER
 
 #: v3: adds exec-plan entries (and their key material) to v2's
 #: executable compile metadata.  Older schema directories are simply
@@ -116,6 +117,13 @@ class StoreStats:
     plan_stores: int = 0
     evictions: int = 0
     corrupt_dropped: int = 0
+
+    def bump(self, name: str) -> None:
+        """Increment one stat and mirror it onto the process-global
+        telemetry counters as ``store.<name>`` (stats are per store
+        instance; the counters aggregate across stores)."""
+        setattr(self, name, getattr(self, name) + 1)
+        TRACER.count("store." + name)
 
 
 class ArtifactStore:
@@ -217,9 +225,9 @@ class ArtifactStore:
         path = self._compile_path(self.compile_key(fingerprint, options))
         payload = self._load(path, self._read_compiled)
         if payload is None:
-            self.stats.compile_misses += 1
+            self.stats.bump("compile_misses")
             return None
-        self.stats.compile_hits += 1
+        self.stats.bump("compile_hits")
         packed, stats = payload
         return CompiledProgram(options=options, stats=stats, packed=packed)
 
@@ -232,7 +240,7 @@ class ArtifactStore:
         self._atomic_write(path, lambda f: np.savez(
             f, meta=np.array(canonical_json(meta)), **arrays))
         self._touch(path)
-        self.stats.compile_stores += 1
+        self.stats.bump("compile_stores")
         self._evict()
 
     @staticmethod
@@ -331,9 +339,9 @@ class ArtifactStore:
         path = self._sim_path(self.sim_key(fingerprint, options, config))
         result = self._load(path, self._read_sim)
         if result is None:
-            self.stats.sim_misses += 1
+            self.stats.bump("sim_misses")
             return None
-        self.stats.sim_hits += 1
+        self.stats.bump("sim_hits")
         return result
 
     def put_sim(self, fingerprint: str, options: CompileOptions,
@@ -344,7 +352,7 @@ class ArtifactStore:
         payload = canonical_json(doc).encode()
         self._atomic_write(path, lambda f: f.write(payload))
         self._touch(path)
-        self.stats.sim_stores += 1
+        self.stats.bump("sim_stores")
         self._evict()
 
     @staticmethod
@@ -363,9 +371,9 @@ class ArtifactStore:
             fingerprint, names_fingerprint, bindings_token))
         plan = self._load(path, self._read_plan)
         if plan is None:
-            self.stats.plan_misses += 1
+            self.stats.bump("plan_misses")
             return None
-        self.stats.plan_hits += 1
+        self.stats.bump("plan_hits")
         return plan
 
     def put_plan(self, fingerprint: str, names_fingerprint: str,
@@ -377,7 +385,7 @@ class ArtifactStore:
         self._atomic_write(path, lambda f: np.savez(
             f, meta=np.array(canonical_json(doc)), **arrays))
         self._touch(path)
-        self.stats.plan_stores += 1
+        self.stats.bump("plan_stores")
         self._evict()
 
     @staticmethod
@@ -411,7 +419,7 @@ class ArtifactStore:
                 raise ValueError(f"schema mismatch in {path.name}")
             return doc["grid"]
         except Exception:
-            self.stats.corrupt_dropped += 1
+            self.stats.bump("corrupt_dropped")
             try:
                 path.unlink()
             except OSError:
@@ -524,7 +532,7 @@ class ArtifactStore:
         try:
             value = reader(path)
         except Exception:
-            self.stats.corrupt_dropped += 1
+            self.stats.bump("corrupt_dropped")
             try:
                 path.unlink()
             except OSError:
@@ -600,7 +608,7 @@ class ArtifactStore:
                 os.unlink(full)
             except OSError:
                 continue
-            self.stats.evictions += 1
+            self.stats.bump("evictions")
             self._lru_seq.pop(name, None)
             self._dropped.add(name)
             total -= size

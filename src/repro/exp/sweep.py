@@ -37,6 +37,7 @@ from ..arch.units import UNIT_NAMES
 from ..compiler.exec_plan import plans_built
 from ..compiler.pipeline import CompileOptions, compiles_executed
 from ..core.config import HardwareConfig
+from ..obs import TRACER
 from ..workloads import (
     bfv_dotproduct_workload,
     bootstrap_workload,
@@ -276,8 +277,14 @@ class PointResult:
     plans_built: int = 0
     store_plan_hits: int = 0
     #: Aggregated per-step-label ``[wall_s, instructions]`` breakdown
-    #: when the point executed under ``REPRO_EXEC_PROFILE=1``.
+    #: when the point executed with the tracer enabled (or under the
+    #: deprecated ``REPRO_EXEC_PROFILE=1`` alias).
     executed_profile: dict | None = None
+    #: Tracer events/counters drained in a sweep worker process and
+    #: shipped home with the result; the parent ingests them into its
+    #: own tracer and nulls these fields (they exist only in transit).
+    trace_events: list | None = None
+    trace_counters: dict | None = None
 
     @property
     def warm(self) -> bool:
@@ -335,9 +342,11 @@ def _execute_point(point: SweepPoint, workload: Workload) -> PointResult:
     sims0 = simulations_executed()
     plans0 = plans_built()
     t0 = time.perf_counter()
-    run = run_workload(workload, point.config, point.options,
-                       use_cache=point.use_cache,
-                       engine=getattr(point, "engine", "packed"))
+    with TRACER.span("sweep.point", label=point.label,
+                     engine=getattr(point, "engine", "packed")):
+        run = run_workload(workload, point.config, point.options,
+                           use_cache=point.use_cache,
+                           engine=getattr(point, "engine", "packed"))
     wall = time.perf_counter() - t0
     try:
         amortized = run.amortized_us_per_slot
@@ -385,8 +394,15 @@ def _point_worker(point: SweepPoint,
     if store_args is not None:
         root, max_bytes = store_args
         with using_store(ArtifactStore(root, max_bytes=max_bytes)):
-            return _execute_point(point, workload)
-    return _execute_point(point, workload)
+            result = _execute_point(point, workload)
+    else:
+        result = _execute_point(point, workload)
+    if TRACER.enabled:
+        # Ship this point's spans/counters home with the result; the
+        # parent ingests them onto its own timeline (perf_counter is
+        # system-wide monotonic on Linux, so timestamps line up).
+        result.trace_events, result.trace_counters = TRACER.drain()
+    return result
 
 
 #: Environment override for the pool start method (e.g. ``spawn`` in
@@ -446,7 +462,8 @@ def _shippable_factories() -> tuple[dict[str, Callable[..., Workload]],
 
 
 def _init_worker(factories: dict[str, Callable[..., Workload]],
-                 unshippable: dict[str, str] | None = None) -> None:
+                 unshippable: dict[str, str] | None = None,
+                 trace: bool = False) -> None:
     """Pool initializer: merge the parent's registry into the worker.
 
     Under ``spawn`` (fork unavailable or requested explicitly) a worker
@@ -454,10 +471,14 @@ def _init_worker(factories: dict[str, Callable[..., Workload]],
     factories — every :func:`register_workload`-ed spec would fail with
     an unregistered-spec error.  Names the parent knew but could not
     pickle ride along so the worker's failure names the real cause.
+    ``trace`` ships the parent tracer's enabled flag (the CLI enables
+    tracing programmatically, which ``spawn`` workers would not see).
     """
     _WORKLOAD_FACTORIES.update(factories)
     if unshippable:
         _UNSHIPPABLE.update(unshippable)
+    if trace:
+        TRACER.enabled = True
 
 
 def run_sweep(spec, *, jobs: int = 1,
@@ -534,7 +555,8 @@ def run_sweep(spec, *, jobs: int = 1,
         with ProcessPoolExecutor(max_workers=jobs,
                                  mp_context=_pool_context(start_method),
                                  initializer=_init_worker,
-                                 initargs=(shippable, unshippable)
+                                 initargs=(shippable, unshippable,
+                                           TRACER.enabled)
                                  ) as pool:
             futures = {pool.submit(_point_worker, p, store_args): p
                        for p in points}
@@ -544,6 +566,11 @@ def run_sweep(spec, *, jobs: int = 1,
                                      return_when=FIRST_COMPLETED)
                 for future in done:
                     result = future.result()
+                    if result.trace_events or result.trace_counters:
+                        TRACER.ingest(result.trace_events or [],
+                                      result.trace_counters)
+                        result.trace_events = None
+                        result.trace_counters = None
                     results[result.index] = result
                     if progress is not None:
                         progress(result)

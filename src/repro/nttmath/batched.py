@@ -41,10 +41,12 @@ from __future__ import annotations
 import os
 import traceback
 from collections import OrderedDict
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
 
+from ..obs import TRACER
 from .bitrev import bit_reverse_indices
 from .ntt import NegacyclicNTT, _check_modulus
 from .primes import root_of_unity
@@ -343,6 +345,8 @@ class BatchedNTT:
 
     def forward(self, data: np.ndarray) -> np.ndarray:
         """Natural-order coefficient stack -> bit-reversed NTT stack."""
+        tr = TRACER
+        t0 = perf_counter() if tr.enabled else 0.0
         a = (self._check(data) % self.q_col).astype(np.uint64)
         if self._fused:
             self._forward_fused(a)
@@ -350,7 +354,12 @@ class BatchedNTT:
         else:
             self._forward_radix2(a)
         self._lazy_csub(a, self._q_u)
-        return a.astype(np.int64)
+        out = a.astype(np.int64)
+        if tr.enabled:
+            tr.emit("ntt.forward", t0, perf_counter() - t0,
+                    {"limbs": self.limbs, "n": self.n})
+            tr.count("ntt.rows", self.limbs)
+        return out
 
     def _forward_fused(self, a: np.ndarray) -> None:
         """Radix-4 fused DIT stages; values ride lazily in [0, 4q)."""
@@ -471,6 +480,8 @@ class BatchedNTT:
         hook :class:`repro.rns.bconv.MergedBConv` folds into its first
         constant (paper eq. 5).
         """
+        tr = TRACER
+        t0 = perf_counter() if tr.enabled else 0.0
         a = (self._check(data) % self.q_col).astype(np.uint64)
         if self._fused:
             self._inverse_fused(a, fold_ninv=scale_by_n_inv)
@@ -479,7 +490,12 @@ class BatchedNTT:
         # values < 2q here; the 1/n scaling (when requested) was folded
         # into the final-stage twiddles by the kernels above.
         self._lazy_csub(a, self._q_u)
-        return a.astype(np.int64)
+        out = a.astype(np.int64)
+        if tr.enabled:
+            tr.emit("ntt.inverse", t0, perf_counter() - t0,
+                    {"limbs": self.limbs, "n": self.n})
+            tr.count("intt.rows", self.limbs)
+        return out
 
     def _inverse_fused(self, a: np.ndarray, *,
                        fold_ninv: bool = False) -> None:
@@ -665,6 +681,8 @@ class BatchedNTT:
         ``out`` (int64, same shape) lets stacked callers gather straight
         into a preallocated slab.
         """
+        tr = TRACER
+        t0 = perf_counter() if tr.enabled else 0.0
         idx = self._auto_ntt_idx.get(galois_elt)
         if idx is None:
             rev = self._rev
@@ -673,7 +691,12 @@ class BatchedNTT:
             src %= self.n
             idx = rev[src[rev]]
             self._auto_ntt_idx[galois_elt] = idx
-        return np.take(self._check(data), idx, axis=1, out=out)
+        result = np.take(self._check(data), idx, axis=1, out=out)
+        if tr.enabled:
+            tr.emit("ntt.automorphism", t0, perf_counter() - t0,
+                    {"limbs": self.limbs, "elt": galois_elt})
+            tr.count("auto.rows", self.limbs)
+        return result
 
     def automorphism_coeff(self, data: np.ndarray,
                            galois_elt: int) -> np.ndarray:
@@ -843,6 +866,11 @@ def clear_caches() -> None:
     _SCRATCH_DEBUG_FLAG = None
     for fn in _EXTRA_CLEARERS:
         fn()
+
+
+# Telemetry counters reset with the caches (events are left alone — a
+# trace in progress survives a cache clear, warmth counters restart).
+register_cache_clearer(TRACER.reset_counters)
 
 
 def ntt_table(n: int, q: int) -> NegacyclicNTT:

@@ -1,0 +1,56 @@
+"""Unified telemetry: nested tracing spans, engine counters, exporters.
+
+Usage pattern for instrumented code::
+
+    from repro.obs import TRACER
+
+    def hot_kernel(...):
+        tr = TRACER
+        if tr.enabled:            # one branch when tracing is off
+            with tr.span("ntt.forward", rows=rows):
+                ...
+            tr.count("ntt.rows", rows)
+
+Enable via ``REPRO_TRACE=1``, ``python -m repro run ... --trace
+out.json``, or :func:`repro.obs.enable`.  Export with
+:func:`chrome_trace` (Perfetto/``chrome://tracing``) or
+:func:`text_report`.
+"""
+
+from .core import (
+    ENV_TRACE,
+    EV_ATTRS,
+    EV_DUR,
+    EV_NAME,
+    EV_PATH,
+    EV_PID,
+    EV_TID,
+    EV_TS,
+    MAX_EVENTS,
+    SpanError,
+    TRACER,
+    Tracer,
+    disable,
+    enable,
+)
+from .export import chrome_trace, text_report, validate_chrome_trace
+
+__all__ = [
+    "ENV_TRACE",
+    "EV_ATTRS",
+    "EV_DUR",
+    "EV_NAME",
+    "EV_PATH",
+    "EV_PID",
+    "EV_TID",
+    "EV_TS",
+    "MAX_EVENTS",
+    "SpanError",
+    "TRACER",
+    "Tracer",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "text_report",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,282 @@
+"""The tracer: nested spans, counters, cross-process merge.
+
+One process-global :class:`Tracer` (module singleton :data:`TRACER`)
+serves every layer of the stack — batched NTT kernels, compiler
+passes, plan replay, sweep orchestration.  Design constraints, in
+order:
+
+* **Near-zero disabled overhead.**  ``TRACER.enabled`` is a plain
+  bool; hot paths guard with one ``if tr.enabled:`` branch and pay
+  nothing else.  ``span()`` returns a shared no-op context manager
+  when disabled, so even ``with``-based call sites cost one branch
+  plus an empty ``__enter__``/``__exit__`` pair.
+* **Monotonic clocks, comparable across processes.**  Timestamps are
+  raw ``time.perf_counter()`` readings (``CLOCK_MONOTONIC`` on Linux,
+  system-wide), so events collected in sweep worker processes merge
+  onto the parent's timeline without translation; exporters subtract
+  the global minimum.
+* **Thread safety.**  Span nesting rides a ``threading.local`` stack
+  (each thread nests independently); the event buffer and counters
+  are lock-guarded, and :func:`os.getpid`/:func:`threading.get_ident`
+  are sampled per event (never cached — fork would freeze a stale
+  pid).
+* **Plain-tuple events.**  An event is ``(name, path, ts, dur, pid,
+  tid, attrs)`` — cheap to create on the replay hot loop, trivially
+  picklable for the sweep engine's cross-process collection.  Field
+  index constants ``EV_*`` below are the stable accessor contract.
+
+Counters are process-global name -> number sums, independent of
+``enabled`` (callers on hot paths gate them behind the same branch as
+their spans; cheap call sites — store hits, compile counts — bump
+them unconditionally so warmth accounting is always available).
+:mod:`repro.nttmath.batched` registers :meth:`Tracer.reset_counters`
+with ``clear_caches()``, so the one global cache-reset hook also
+zeroes telemetry counters.
+
+This module imports only the standard library: everything in
+``repro`` may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from time import perf_counter
+
+__all__ = [
+    "ENV_TRACE",
+    "EV_ATTRS",
+    "EV_DUR",
+    "EV_NAME",
+    "EV_PATH",
+    "EV_PID",
+    "EV_TID",
+    "EV_TS",
+    "MAX_EVENTS",
+    "SpanError",
+    "TRACER",
+    "Tracer",
+]
+
+#: Environment switch: any non-empty value other than ``"0"`` enables
+#: the global tracer at import time (inherited by spawn/fork workers).
+ENV_TRACE = "REPRO_TRACE"
+
+#: Event tuple field indices (the stable accessor contract).
+EV_NAME = 0     # span name, e.g. "replay.ntt"
+EV_PATH = 1     # tuple of ancestor span names, self included
+EV_TS = 2       # raw perf_counter() start, seconds
+EV_DUR = 3      # duration, seconds
+EV_PID = 4      # os.getpid() at emit
+EV_TID = 5      # threading.get_ident() at emit
+EV_ATTRS = 6    # dict of structured attributes, or None
+
+#: Soft cap on buffered events; past it, new events are dropped and
+#: the ``obs.dropped`` counter records how many (a runaway trace must
+#: degrade, not exhaust memory).
+MAX_EVENTS = 500_000
+
+
+class SpanError(RuntimeError):
+    """Unbalanced manual span bracketing (``end`` without ``begin``,
+    or an ``end`` whose name does not match the innermost span)."""
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by ``span()`` when
+    tracing is disabled — no allocation per call site."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Nested-span recorder with named counters.
+
+    Two recording APIs layer on the same primitives:
+
+    * ``with tracer.span("ntt.forward", rows=16):`` — the general
+      context-manager form (balanced by construction);
+    * ``begin()``/``end()`` and ``push()``/``pop()``/``emit()`` — the
+      manual form for hot loops that want one clock read per boundary
+      (see ``replay_plan``); ``end`` raises :class:`SpanError` on
+      mismatched bracketing.
+
+    ``drain()`` hands the buffered events + counters to a collector
+    (the sweep engine ships them across process boundaries);
+    ``ingest()`` merges a drained batch into another tracer.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._events: list[tuple] = []
+        self._counters: dict[str, float] = {}
+        self._local = threading.local()
+
+    # -- span stack (per thread) ---------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def push(self, name: str) -> None:
+        """Open a span scope without timing it (the caller keeps its
+        own clock); children emitted before :meth:`pop` nest under
+        ``name``."""
+        self._stack().append((name, 0.0))
+
+    def pop(self) -> None:
+        stack = self._stack()
+        if not stack:
+            raise SpanError("pop() with no open span")
+        stack.pop()
+
+    def emit(self, name: str, ts: float, dur: float,
+             attrs: dict | None = None) -> None:
+        """Record a completed span at the current nesting depth.
+
+        ``ts`` is a raw :func:`time.perf_counter` reading; the event's
+        path is the open-span stack plus ``name`` itself."""
+        path = tuple(nm for nm, _ in self._stack()) + (name,)
+        ev = (name, path, ts, dur, os.getpid(),
+              threading.get_ident(), attrs)
+        with self._lock:
+            if len(self._events) < MAX_EVENTS:
+                self._events.append(ev)
+            else:
+                self._counters["obs.dropped"] = \
+                    self._counters.get("obs.dropped", 0) + 1
+
+    # -- timed spans ---------------------------------------------------
+    def begin(self, name: str) -> None:
+        """Open a timed span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._stack().append((name, perf_counter()))
+
+    def end(self, name: str | None = None,
+            attrs: dict | None = None) -> float:
+        """Close the innermost span and record it; returns its
+        duration.  ``name`` (when given) must match the innermost open
+        span, else :class:`SpanError`."""
+        if not self.enabled:
+            return 0.0
+        stack = self._stack()
+        if not stack:
+            raise SpanError(f"end({name!r}) with no open span")
+        opened, t0 = stack.pop()
+        if name is not None and opened != name:
+            stack.append((opened, t0))
+            raise SpanError(
+                f"end({name!r}) does not match the innermost open "
+                f"span {opened!r}")
+        dur = perf_counter() - t0
+        self.emit(opened, t0, dur, attrs)
+        return dur
+
+    class _Span:
+        __slots__ = ("_tracer", "_name", "_attrs")
+
+        def __init__(self, tracer: "Tracer", name: str, attrs):
+            self._tracer = tracer
+            self._name = name
+            self._attrs = attrs
+
+        def __enter__(self):
+            self._tracer.begin(self._name)
+            return self
+
+        def __exit__(self, *exc):
+            self._tracer.end(self._name, self._attrs)
+            return False
+
+    def span(self, name: str, **attrs):
+        """``with tracer.span("compile.cse", instrs=900):`` — records
+        one event on exit.  Disabled: a shared no-op context."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Tracer._Span(self, name, attrs or None)
+
+    def depth(self) -> int:
+        """Current thread's open-span nesting depth."""
+        return len(self._stack())
+
+    # -- counters ------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter (always active; hot
+        call sites gate behind ``tracer.enabled`` themselves)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self._counters.clear()
+
+    # -- collection ----------------------------------------------------
+    def events(self) -> list[tuple]:
+        """Snapshot of the buffered events (no reset)."""
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> tuple[list[tuple], dict[str, float]]:
+        """Remove and return ``(events, counters)`` — the handoff a
+        sweep worker ships to its parent after each point."""
+        with self._lock:
+            events = self._events
+            self._events = []
+            counters = self._counters
+            self._counters = {}
+        return events, counters
+
+    def ingest(self, events, counters=None) -> None:
+        """Merge a drained batch (possibly from another process)."""
+        with self._lock:
+            room = MAX_EVENTS - len(self._events)
+            if room >= len(events):
+                self._events.extend(events)
+            else:
+                self._events.extend(events[:room])
+                self._counters["obs.dropped"] = \
+                    self._counters.get("obs.dropped", 0) \
+                    + (len(events) - room)
+            for name, value in (counters or {}).items():
+                self._counters[name] = \
+                    self._counters.get(name, 0) + value
+
+    def reset(self) -> None:
+        """Drop all events and counters (the span stack is per-thread
+        and clears itself as spans close)."""
+        with self._lock:
+            self._events = []
+            self._counters = {}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_TRACE, "0") not in ("", "0")
+
+
+#: The process-global tracer every instrumented layer shares.  It is
+#: never replaced (hot paths cache the reference), only toggled.
+TRACER = Tracer(enabled=_env_enabled())
+
+
+def enable() -> None:
+    TRACER.enabled = True
+
+
+def disable() -> None:
+    TRACER.enabled = False

@@ -1,0 +1,138 @@
+"""Exporters for drained tracer events.
+
+Two output formats:
+
+* :func:`chrome_trace` — the Chrome trace-event JSON object format
+  (``chrome://tracing`` / Perfetto "Open trace file").  Every span
+  becomes a complete ("X") event; sweep-worker events land on their
+  own pid rows so a parallel run renders as one merged timeline.
+* :func:`text_report` — a plain-text hierarchical wall-time report
+  aggregated by span path, plus the counter table; the quick look
+  when a GUI is overkill.
+
+:func:`validate_chrome_trace` is the schema check the CI trace-smoke
+job runs against emitted files.
+"""
+
+from __future__ import annotations
+
+from .core import EV_ATTRS, EV_DUR, EV_NAME, EV_PATH, EV_PID, EV_TID, EV_TS
+
+__all__ = ["chrome_trace", "text_report", "validate_chrome_trace"]
+
+
+def chrome_trace(events, counters=None, main_pid=None):
+    """Render drained events as a Chrome trace-event JSON object.
+
+    Timestamps are normalised so the earliest event starts at 0 µs —
+    raw ``perf_counter`` origins are arbitrary per boot, and on Linux
+    the clock is system-wide, so events from sweep workers line up on
+    the same axis as the parent's.  ``counters`` (when given) is
+    attached as a top-level key; the viewer ignores it but the CI
+    smoke job and ``python -m repro trace`` read it back.
+    ``main_pid`` labels that process "repro (main)" in the process
+    rail; workers get "repro worker <pid>".
+    """
+    t0 = min((ev[EV_TS] for ev in events), default=0.0)
+    trace_events = []
+    pids = {}
+    for ev in events:
+        pid = ev[EV_PID]
+        pids.setdefault(pid, None)
+        record = {
+            "name": ev[EV_NAME],
+            "cat": ev[EV_PATH][0] if ev[EV_PATH] else ev[EV_NAME],
+            "ph": "X",
+            "ts": (ev[EV_TS] - t0) * 1e6,
+            "dur": ev[EV_DUR] * 1e6,
+            "pid": pid,
+            "tid": ev[EV_TID],
+        }
+        if ev[EV_ATTRS]:
+            record["args"] = ev[EV_ATTRS]
+        trace_events.append(record)
+    for pid in sorted(pids):
+        if main_pid is not None and pid == main_pid:
+            label = "repro (main)"
+        else:
+            label = f"repro worker {pid}"
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if counters is not None:
+        doc["counters"] = dict(counters)
+    return doc
+
+
+def validate_chrome_trace(doc):
+    """Raise ``ValueError`` unless ``doc`` is a well-formed Chrome
+    trace-event object: ``traceEvents`` list whose "X" entries carry
+    name/ts/dur/pid/tid with non-negative times, and whose "M"
+    entries are known metadata records."""
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph == "X":
+            for key, kind in (("name", str), ("ts", (int, float)),
+                              ("dur", (int, float)), ("pid", int),
+                              ("tid", int)):
+                if not isinstance(ev.get(key), kind):
+                    raise ValueError(
+                        f"traceEvents[{i}].{key} missing or wrong type")
+            if ev["ts"] < 0 or ev["dur"] < 0:
+                raise ValueError(f"traceEvents[{i}] has negative time")
+        elif ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name",
+                                      "process_labels",
+                                      "process_sort_index",
+                                      "thread_sort_index"):
+                raise ValueError(
+                    f"traceEvents[{i}] unknown metadata {ev.get('name')!r}")
+        else:
+            raise ValueError(f"traceEvents[{i}] unknown phase {ph!r}")
+    counters = doc.get("counters")
+    if counters is not None:
+        if not isinstance(counters, dict):
+            raise ValueError("counters must be an object")
+        for name, value in counters.items():
+            if not isinstance(value, (int, float)):
+                raise ValueError(f"counter {name!r} is not a number")
+
+
+def text_report(events, counters=None):
+    """Plain-text hierarchical report: wall time and call counts
+    aggregated by span path, children indented under parents, plus a
+    sorted counter table."""
+    agg = {}
+    for ev in events:
+        path = ev[EV_PATH]
+        acc = agg.get(path)
+        if acc is None:
+            agg[path] = [ev[EV_DUR], 1]
+        else:
+            acc[0] += ev[EV_DUR]
+            acc[1] += 1
+    lines = ["span                                      calls     wall s"]
+    for path in sorted(agg):
+        wall, calls = agg[path]
+        label = "  " * (len(path) - 1) + path[-1]
+        lines.append(f"{label:<40} {calls:>7} {wall:>10.4f}")
+    if counters:
+        lines.append("")
+        lines.append("counter                                        value")
+        for name in sorted(counters):
+            value = counters[name]
+            shown = f"{value:.0f}" if value == int(value) else f"{value:g}"
+            lines.append(f"{name:<40} {shown:>11}")
+    return "\n".join(lines)

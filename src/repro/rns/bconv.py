@@ -37,6 +37,7 @@ from ..nttmath.batched import (
     shoup_mul_lazy,
 )
 from ..nttmath.montgomery import BatchedMontgomery, MontgomeryContext
+from ..obs import TRACER
 from .basis import RnsBasis
 from .poly import RnsPolynomial
 
@@ -159,10 +160,16 @@ def _base_convert_data(data: np.ndarray, from_basis: RnsBasis,
 
     Column-count agnostic — the pair path widens ``M`` to ``2N`` so
     both ciphertext halves convert in a single BLAS accumulation."""
-    v = _scaled_residues(data, from_basis)
-    acc, p_col = _weighted_sums(v, from_basis, to_basis)
-    release_scratch("bcv_v", v.shape)
-    return acc % p_col
+    tr = TRACER
+    with tr.span("bconv.fast", rows_in=data.shape[0],
+                 rows_out=len(to_basis)):
+        v = _scaled_residues(data, from_basis)
+        acc, p_col = _weighted_sums(v, from_basis, to_basis)
+        release_scratch("bcv_v", v.shape)
+        result = acc % p_col
+    if tr.enabled:
+        tr.count("bconv.rows", data.shape[0])
+    return result
 
 
 def base_convert(poly: RnsPolynomial, to_basis: RnsBasis) -> RnsPolynomial:
@@ -216,14 +223,20 @@ def _base_convert_centered_data(data: np.ndarray, from_basis: RnsBasis,
     scale-invariant multiply (centred tensor lift, ``round(t*d/Q)``)
     and BGV's ``t``-corrected ModDown.
     """
-    v = _scaled_residues(data, from_basis)
-    frac = (v.astype(np.float64)
-            / from_basis.q_col.astype(np.float64)).sum(axis=0)
-    e = np.rint(frac).astype(np.int64)
-    acc, p_col = _weighted_sums(v, from_basis, to_basis)
-    release_scratch("bcv_v", v.shape)
-    q_mod_p = reduce_mod_col(from_basis.modulus, to_basis.primes)
-    return (acc - e * q_mod_p) % p_col
+    tr = TRACER
+    with tr.span("bconv.exact", rows_in=data.shape[0],
+                 rows_out=len(to_basis)):
+        v = _scaled_residues(data, from_basis)
+        frac = (v.astype(np.float64)
+                / from_basis.q_col.astype(np.float64)).sum(axis=0)
+        e = np.rint(frac).astype(np.int64)
+        acc, p_col = _weighted_sums(v, from_basis, to_basis)
+        release_scratch("bcv_v", v.shape)
+        q_mod_p = reduce_mod_col(from_basis.modulus, to_basis.primes)
+        result = (acc - e * q_mod_p) % p_col
+    if tr.enabled:
+        tr.count("bconv.rows", data.shape[0])
+    return result
 
 
 def base_convert_exact(poly: RnsPolynomial,
@@ -484,14 +497,22 @@ class MergedBConv:
         per-term REDC, and the canonical residues match
         :meth:`apply_looped` bitwise.
         """
-        limbs = np.asarray(unscaled_sm_limbs, dtype=np.int64)
-        if limbs.shape != (len(self.from_basis), self.n):
-            raise ValueError("input shape mismatch")
-        # MontMul(SM, NM) -> NM: one batched multiply also applies 1/N.
-        v_nm = self._mont_from.mont_mul(limbs, self._c1_nm_col)
-        acc = _exact_matmul(self._c2_dm_mat, v_nm.astype(np.uint64),
-                            self._p_col)
-        return acc % self._p_col * self._rinv_col % self._p_col
+        tr = TRACER
+        with tr.span("bconv.merged",
+                     rows_in=len(self.from_basis),
+                     rows_out=len(self.to_basis)):
+            limbs = np.asarray(unscaled_sm_limbs, dtype=np.int64)
+            if limbs.shape != (len(self.from_basis), self.n):
+                raise ValueError("input shape mismatch")
+            # MontMul(SM, NM) -> NM: one batched multiply also applies
+            # 1/N.
+            v_nm = self._mont_from.mont_mul(limbs, self._c1_nm_col)
+            acc = _exact_matmul(self._c2_dm_mat, v_nm.astype(np.uint64),
+                                self._p_col)
+            result = acc % self._p_col * self._rinv_col % self._p_col
+        if tr.enabled:
+            tr.count("bconv.rows", len(self.from_basis))
+        return result
 
     def apply_looped(self, unscaled_sm_limbs: np.ndarray) -> np.ndarray:
         """Per-target-limb MontMul loop — the differential reference

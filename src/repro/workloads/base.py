@@ -33,6 +33,7 @@ from ..compiler.pipeline import (
 )
 from ..core.config import HardwareConfig
 from ..exp.store import active_store
+from ..obs import TRACER
 
 
 @dataclass
@@ -134,8 +135,10 @@ class WorkloadRun:
     @property
     def executed_profile(self) -> dict[str, list] | None:
         """Aggregated per-step-label ``[wall_s, instructions]``
-        breakdown (repeat-weighted) when the run was executed under
-        ``REPRO_EXEC_PROFILE=1``; ``None`` otherwise."""
+        breakdown (repeat-weighted) when the run was executed with the
+        tracer enabled (``REPRO_TRACE=1`` / ``--trace``, or the
+        deprecated ``REPRO_EXEC_PROFILE=1`` alias); ``None``
+        otherwise."""
         prof: dict[str, list] = {}
         for e, (_, rep) in zip(self.executed, self.segment_results):
             sub = getattr(e, "profile", None)
@@ -203,36 +206,41 @@ def run_workload(workload: Workload, config: HardwareConfig,
     results = []
     compiled = []
     executed = []
-    for seg in workload.segments:
-        if engine in ("packed", "exec"):
-            if store is not None:
-                res = store.get_sim(seg.fingerprint(), options, config)
-                if res is not None:
-                    results.append((res, seg.repeat))
-                    compiled.append(None)
-                    continue
-            if use_cache:
-                cp = compile_packed_cached(
-                    seg.packed_template(), options,
-                    fingerprint=seg.fingerprint())
+    for index, seg in enumerate(workload.segments):
+        with TRACER.span("workload.segment", workload=workload.name,
+                         segment=index, repeat=seg.repeat):
+            if engine in ("packed", "exec"):
+                if store is not None:
+                    res = store.get_sim(seg.fingerprint(), options,
+                                        config)
+                    if res is not None:
+                        results.append((res, seg.repeat))
+                        compiled.append(None)
+                        continue
+                if use_cache:
+                    cp = compile_packed_cached(
+                        seg.packed_template(), options,
+                        fingerprint=seg.fingerprint())
+                else:
+                    cp = compile_packed(seg.packed_template().copy(),
+                                        options)
+                res = simulate(cp.packed, config)
+                if store is not None:
+                    store.put_sim(seg.fingerprint(), options, config,
+                                  res)
+                if engine == "exec":
+                    from ..compiler.exec_backend import (
+                        execute_packed,
+                        synthesize_bindings,
+                    )
+                    executed.append(execute_packed(
+                        cp, synthesize_bindings(cp.packed)))
             else:
-                cp = compile_packed(seg.packed_template().copy(), options)
-            res = simulate(cp.packed, config)
-            if store is not None:
-                store.put_sim(seg.fingerprint(), options, config, res)
-            if engine == "exec":
-                from ..compiler.exec_backend import (
-                    execute_packed,
-                    synthesize_bindings,
-                )
-                executed.append(execute_packed(
-                    cp, synthesize_bindings(cp.packed)))
-        else:
-            cp = compile_program(seg.fresh_program(), options,
-                                 engine=engine)
-            res = simulate(cp.program, config)
-        results.append((res, seg.repeat))
-        compiled.append(cp)
+                cp = compile_program(seg.fresh_program(), options,
+                                     engine=engine)
+                res = simulate(cp.program, config)
+            results.append((res, seg.repeat))
+            compiled.append(cp)
     return WorkloadRun(workload=workload, config=config,
                        segment_results=results, compiled=compiled,
                        executed=executed)
