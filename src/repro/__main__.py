@@ -93,6 +93,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="COUNTER=VALUE",
                        help="assert a counter total (missing counters "
                             "read as 0); repeatable")
+
+    verify = sub.add_parser(
+        "verify",
+        help="compile workloads with every static verifier suite on "
+             "and print a per-suite report (exit 1 on any diagnostic)")
+    verify.add_argument("--workload", action="append", default=[],
+                        metavar="NAME",
+                        help="workload to verify, repeatable "
+                             "(default: bfv_dotproduct, dblookup)")
+    verify.add_argument("--config", default="ASIC-EFFACT",
+                        metavar="NAME",
+                        help="hardware config supplying the SRAM "
+                             "budget (default: ASIC-EFFACT)")
+    verify.add_argument("--n", type=int, default=1024, metavar="RING",
+                        help="ring degree (default 1024: the suites "
+                             "check structure, not scale)")
+    verify.add_argument("--detail", type=float, default=1.0,
+                        help="workload detail factor")
     return parser
 
 
@@ -238,12 +256,70 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .compiler.exec_backend import synthesize_bindings
+    from .compiler.exec_plan import build_exec_plan
+    from .compiler.pipeline import CompileOptions, compile_packed
+    from .compiler.verify import VerifyError, verify_ir, verify_plan
+    from .exp.runner import NAMED_CONFIGS, workload_axis
+
+    try:
+        config = NAMED_CONFIGS[args.config]
+    except KeyError:
+        print(f"unknown config {args.config!r}; choose from "
+              f"{sorted(NAMED_CONFIGS)}", file=sys.stderr)
+        return 2
+    workloads = args.workload or ["bfv_dotproduct", "dblookup"]
+    options = CompileOptions(sram_bytes=config.sram_bytes, verify=True)
+
+    failures = 0
+    for spec in workload_axis(workloads, n=args.n, detail=args.detail):
+        workload = spec.build()
+        for idx, seg in enumerate(workload.segments):
+            label = f"{workload.name}/seg{idx}"
+            template = seg.packed_template()
+            diags = verify_ir(template)
+            suites = [("ir(pre)", diags)]
+            if not diags:
+                # The in-pipeline stages (verify-ir / verify-schedule
+                # / verify-regalloc) raise at the first broken stage.
+                compiled_ok = True
+                try:
+                    compiled = compile_packed(template.copy(), options)
+                except VerifyError as exc:
+                    suites.append(("pipeline", exc.diagnostics))
+                    compiled_ok = False
+                if compiled_ok:
+                    suites.append(("pipeline", []))
+                    bindings = synthesize_bindings(compiled.packed)
+                    plan = build_exec_plan(compiled.packed, bindings)
+                    suites.append(("plan", verify_plan(plan)))
+            for suite, diags in suites:
+                if diags:
+                    failures += len(diags)
+                    print(f"  {label:<32} {suite:<10} "
+                          f"FAIL ({len(diags)} diagnostic(s))")
+                    for diag in diags[:10]:
+                        print(f"    {diag}")
+                    if len(diags) > 10:
+                        print(f"    ... and {len(diags) - 10} more")
+                else:
+                    print(f"  {label:<32} {suite:<10} ok")
+    if failures:
+        print(f"verify: {failures} diagnostic(s)", file=sys.stderr)
+        return 1
+    print("verify: all suites clean")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     return _cmd_store(args)
 
 

@@ -47,7 +47,6 @@ arena rows (see ``build_exec_plan``).
 from __future__ import annotations
 
 import hashlib
-import os
 import re
 import time
 import warnings
@@ -55,6 +54,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.env import env_flag
 from ..core.isa import Opcode
 from ..nttmath.batched import get_stacked_plan
 from ..nttmath.ntt import conjugation_element, galois_element
@@ -353,7 +353,7 @@ def execute_packed(target, bindings: ExecBindings | None = None
         bindings = synthesize_bindings(packed)
     built_before = plans_built()
     plan = get_exec_plan(packed, bindings)
-    profile = os.environ.get(ENV_EXEC_PROFILE, "") == "1"
+    profile = env_flag(ENV_EXEC_PROFILE)
     if profile:
         warnings.warn(
             f"{ENV_EXEC_PROFILE}=1 is deprecated; use REPRO_TRACE=1 "

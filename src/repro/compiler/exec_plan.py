@@ -60,11 +60,13 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..core.env import ENV_VERIFY, env_flag
 from ..core.isa import Opcode
 from ..nttmath.batched import get_stacked_plan, register_cache_clearer
 from ..nttmath.ntt import conjugation_element, galois_element
 from ..obs import TRACER
 from .ir import OP_INDEX, PackedProgram
+from .verify import hazard_edges, raise_on, verify_plan
 
 __all__ = [
     "ExecPlan",
@@ -644,31 +646,17 @@ def _merge_steps(steps: list[PlanStep]) -> list[PlanStep]:
     nsteps = len(steps)
     preds = [0] * nsteps
     succs: list[list[int]] = [[] for _ in range(nsteps)]
-    last_writer: dict[int, int] = {}
-    readers: dict[int, list[int]] = {}
 
     def edge(a: int, b: int) -> None:
         # Duplicate edges are fine: each one both increments the
         # predecessor count and later decrements it once.
-        if a != b:
-            succs[a].append(b)
-            preds[b] += 1
+        succs[a].append(b)
+        preds[b] += 1
 
-    for i, st in enumerate(steps):
-        reads, writes = _step_rows(st)
-        for x in reads:
-            w = last_writer.get(x)
-            if w is not None:
-                edge(w, i)                         # RAW
-            readers.setdefault(x, []).append(i)
-        for x in writes:
-            w = last_writer.get(x)
-            if w is not None:
-                edge(w, i)                         # WAW
-            for r in readers.get(x, ()):
-                edge(r, i)                         # WAR
-            last_writer[x] = i
-            readers[x] = []
+    # RAW/WAW/WAR edges from last-writer/reader tracking; the
+    # machinery is shared with the static verifier (verify.py) so the
+    # scheduler's notion of a hazard and the verifier's cannot drift.
+    hazard_edges((_step_rows(st) for st in steps), edge)
 
     # Greedy class-batched emission.  A plain ASAP wavefront sweep
     # (emit every ready class each round) splits same-class steps that
@@ -989,6 +977,8 @@ def get_exec_plan(target, bindings) -> ExecPlan:
             plan = build_exec_plan(packed, bindings)
         _PLANS_BUILT += 1
         TRACER.count("exec.plans_built")
+        if env_flag(ENV_VERIFY):
+            raise_on(verify_plan(plan))
         if store is not None:
             store.put_plan(*key, plan)
     plan.key = key

@@ -15,6 +15,11 @@ from .dce import eliminate_dead_code
 from .mac_fuse import fuse_mac
 from .memory import insert_loads, mark_streaming
 from .registry import PASS_REGISTRY, PassSpec, register_pass
+from .verify_pass import (
+    verify_ir_pass,
+    verify_regalloc_pass,
+    verify_schedule_pass,
+)
 
 __all__ = [
     "PASS_REGISTRY",
@@ -27,4 +32,7 @@ __all__ = [
     "merge_constant_multiplies",
     "propagate_copies",
     "register_pass",
+    "verify_ir_pass",
+    "verify_regalloc_pass",
+    "verify_schedule_pass",
 ]

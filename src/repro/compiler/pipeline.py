@@ -35,6 +35,7 @@ from __future__ import annotations
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
+from ..core.env import ENV_VERIFY, env_flag
 from ..nttmath.batched import register_cache_clearer
 from ..obs import TRACER
 from . import packed_passes  # noqa: F401  (registers the packed halves)
@@ -67,6 +68,14 @@ class CompileOptions:
     reuse_window: int = 256         # DRAM-value SRAM-reuse distance
     prefetch_distance: int = 12     # load hoisting to hide HBM latency
     reserve_slots: int = 0
+    #: Run the static verifier suites (:mod:`repro.compiler.verify`)
+    #: as extra pipeline stages; ``REPRO_VERIFY=1`` forces them on
+    #: without touching compile-cache/store keys.
+    verify: bool = False
+
+
+def _verify_enabled(options: CompileOptions) -> bool:
+    return options.verify or env_flag(ENV_VERIFY)
 
 
 @dataclass
@@ -156,9 +165,12 @@ def _compile_packed_ir(packed: PackedProgram,
     TRACER.count("compile.executed")
     pm = PassManager("packed")
     stats = CompileStats()
+    verify_on = _verify_enabled(options)
     with TRACER.span("compile", engine="packed"):
         stats.instrs_before_opt = len(packed)
         stats.mix_before = packed.instruction_mix()
+        if verify_on:
+            pm.run("verify-ir", packed)
 
         if options.code_opt:
             stats.copies_removed = pm.run("copy-prop", packed)
@@ -186,16 +198,24 @@ def _compile_packed_ir(packed: PackedProgram,
                 streaming_loads_enabled=options.streaming,
                 forwarding_enabled=options.forward_window > 0)
 
+        pre_sched = packed.copy() if verify_on else None
         with pm.stage("schedule", packed, detail=options.scheduling):
             order = schedule_packed(packed, policy=options.scheduling,
                                     band_size=options.band_size)
             apply_schedule_packed(packed, order)
+        if verify_on:
+            pm.run("verify-schedule", packed, pre_sched, order)
 
         with pm.stage("regalloc", packed):
             stats.alloc = allocate_packed(
                 packed, sram_bytes=options.sram_bytes,
                 forward_window=options.forward_window,
                 reserve_slots=options.reserve_slots)
+        if verify_on:
+            pm.run("verify-regalloc", packed,
+                   sram_bytes=options.sram_bytes,
+                   forward_window=options.forward_window,
+                   reserve_slots=options.reserve_slots)
 
     stats.pass_records = pm.records
     return stats
@@ -209,9 +229,12 @@ def _compile_reference(program: Program,
     TRACER.count("compile.executed")
     pm = PassManager("reference")
     stats = CompileStats()
+    verify_on = _verify_enabled(options)
     with TRACER.span("compile", engine="reference"):
         stats.instrs_before_opt = len(program.instrs)
         stats.mix_before = program.instruction_mix()
+        if verify_on:
+            pm.run("verify-ir", program)
 
         if options.code_opt:
             stats.copies_removed = pm.run("copy-prop", program)
@@ -236,16 +259,25 @@ def _compile_reference(program: Program,
                 streaming_loads_enabled=options.streaming,
                 forwarding_enabled=options.forward_window > 0)
 
+        pre_sched = PackedProgram.from_program(program) if verify_on \
+            else None
         with pm.stage("schedule", program, detail=options.scheduling):
             order = schedule(program, policy=options.scheduling,
                              band_size=options.band_size)
             apply_schedule(program, order)
+        if verify_on:
+            pm.run("verify-schedule", program, pre_sched, order)
 
         with pm.stage("regalloc", program):
             stats.alloc = allocate(
                 program, sram_bytes=options.sram_bytes,
                 forward_window=options.forward_window,
                 reserve_slots=options.reserve_slots)
+        if verify_on:
+            pm.run("verify-regalloc", program,
+                   sram_bytes=options.sram_bytes,
+                   forward_window=options.forward_window,
+                   reserve_slots=options.reserve_slots)
 
     stats.pass_records = pm.records
     return CompiledProgram(program=program, options=options, stats=stats)

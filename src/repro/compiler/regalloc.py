@@ -236,27 +236,27 @@ _LOAD_CODE = OP_INDEX[Opcode.LOAD]
 _STORE_CODE = OP_INDEX[Opcode.STORE]
 
 
-def allocate_packed(packed: PackedProgram, *, sram_bytes: int,
-                    forward_window: int = 64,
-                    reserve_slots: int = 0) -> AllocationStats:
-    """Linear-scan allocation over a packed (scheduled) program.
-
-    Live intervals, slotless values and the peak-residency profile are
-    computed as vectorized interval arrays.  When the peak fits the
-    slot budget — every sweep at a sane SRAM size — no eviction can
-    ever fire, the instruction stream is unchanged, and the only
-    sequential piece left is the LIFO slot-id replay (plain int lists).
-    If the peak overflows, the allocator falls back to the reference
-    linear scan (identical eviction heuristics) and repacks its output,
-    so spilling configurations stay bit-identical to the seed.
-    """
-    limb_bytes = packed.limb_bytes
+def slot_budget(sram_bytes: int, limb_bytes: int,
+                reserve_slots: int = 0) -> int:
+    """Residue slots an SRAM budget buys ("view each part as a
+    register").  Raises :class:`OutOfSlotsError` below the minimum the
+    allocator needs; shared with the static verifier so both agree on
+    capacity."""
     slot_count = sram_bytes // limb_bytes - reserve_slots
     if slot_count < 8:
         raise OutOfSlotsError(
             f"{sram_bytes} bytes of SRAM hold only {slot_count} residue "
             f"slots; need at least 8")
+    return slot_count
 
+
+def value_usage(packed: PackedProgram):
+    """Vectorized per-value usage summary over the (scheduled) stream:
+    ``(uses_cnt, last_use, def_row, rows, svals)``, where ``rows`` /
+    ``svals`` are the flattened (row, source-vid) pairs in row-major
+    source order.  Outputs count one extra use at sentinel position
+    ``num_instrs`` (never freed).  Shared by the allocator and the
+    static verifier so both agree on liveness."""
     n = packed.num_instrs
     nv = packed.num_values
     valid = packed.srcs >= 0
@@ -276,12 +276,20 @@ def allocate_packed(packed: PackedProgram, *, sram_bytes: int,
     has_dest = dest >= 0
     def_row = np.full(nv, -1, dtype=np.int64)
     def_row[dest[has_dest]] = np.nonzero(has_dest)[0]
+    return uses_cnt, last_use, def_row, rows, svals
 
+
+def slotless_mask(packed: PackedProgram, *, forward_window: int,
+                  uses_cnt: np.ndarray, last_use: np.ndarray,
+                  def_row: np.ndarray) -> np.ndarray:
+    """Values that never occupy an SRAM slot: streaming single-use
+    loads, and forwarded single-use intermediates whose consumer sits
+    within the forwarding window of the producer."""
+    nv = packed.num_values
+    dest = packed.dest
+    has_dest = dest >= 0
     forwarded = packed.forwarded if packed.forwarded is not None \
         else np.zeros(nv, dtype=bool)
-
-    # Slotless values: streaming single-use loads, and forwarded
-    # single-use intermediates close to their producer.
     slotless = np.zeros(nv, dtype=bool)
     is_load = packed.op == _LOAD_CODE
     load_dests = dest[is_load & packed.streaming & has_dest]
@@ -290,6 +298,39 @@ def allocate_packed(packed: PackedProgram, *, sram_bytes: int,
                           & (def_row >= 0) & ~slotless)[0]
     near = last_use[fwd_vals] - def_row[fwd_vals] <= forward_window
     slotless[fwd_vals[near]] = True
+    return slotless
+
+
+def allocate_packed(packed: PackedProgram, *, sram_bytes: int,
+                    forward_window: int = 64,
+                    reserve_slots: int = 0) -> AllocationStats:
+    """Linear-scan allocation over a packed (scheduled) program.
+
+    Live intervals, slotless values and the peak-residency profile are
+    computed as vectorized interval arrays.  When the peak fits the
+    slot budget — every sweep at a sane SRAM size — no eviction can
+    ever fire, the instruction stream is unchanged, and the only
+    sequential piece left is the LIFO slot-id replay (plain int lists).
+    If the peak overflows, the allocator falls back to the reference
+    linear scan (identical eviction heuristics) and repacks its output,
+    so spilling configurations stay bit-identical to the seed.
+    """
+    limb_bytes = packed.limb_bytes
+    slot_count = slot_budget(sram_bytes, limb_bytes, reserve_slots)
+
+    n = packed.num_instrs
+    nv = packed.num_values
+    uses_cnt, last_use, def_row, rows, svals = value_usage(packed)
+
+    dest = packed.dest
+    has_dest = dest >= 0
+    is_load = packed.op == _LOAD_CODE
+
+    forwarded = packed.forwarded if packed.forwarded is not None \
+        else np.zeros(nv, dtype=bool)
+    slotless = slotless_mask(packed, forward_window=forward_window,
+                             uses_cnt=uses_cnt, last_use=last_use,
+                             def_row=def_row)
 
     allocated = np.zeros(nv, dtype=bool)
     dvals = dest[has_dest]

@@ -1,0 +1,729 @@
+"""Static verification of compiler IR, schedules, and execution plans.
+
+Every invariant the stack relies on *dynamically* — the differential
+fuzzer catching a hoisting bug at execute time, ``REPRO_SCRATCH_DEBUG``
+poisoning buffers to surface aliasing — has a static counterpart here:
+a pure function over the existing data structures that proves the
+property before anything runs.  Three suites:
+
+``verify_ir``
+    Well-formedness of :class:`~repro.compiler.ir.PackedProgram` SoA
+    columns: def-before-use SSA discipline, opcode arity and operand
+    legality against :mod:`repro.core.isa`, const-table /
+    ``prime_meta`` consistency.
+
+``verify_schedule``
+    A scheduled stream is a permutation of the pre-schedule stream
+    that respects every RAW/WAR/WAW hazard.  The hazard recomputation
+    (:func:`hazard_edges`) is the same last-writer/reader machinery
+    the plan builder's wavefront DAG uses — factored out here so the
+    verifier and ``exec_plan._merge_steps`` cannot drift apart.
+
+``verify_regalloc``
+    Post-allocation streams: no two values occupy one SRAM slot,
+    every spill reload has a matching store (or a legal
+    rematerialization chain, mirroring the allocator's cleanliness
+    rules), streaming loads are genuinely single-use, and a stream
+    with no spill code actually fits the slot budget.
+
+``verify_plan``
+    A static race detector for wavefront-merged
+    :class:`~repro.compiler.exec_plan.PlanStep` lists: gather/scatter
+    index arrays in arena bounds, write sets pairwise disjoint within
+    each merged step, reads only of rows already written (liveness
+    across the ``_compact_rows`` renaming), and the plan-level
+    instruction accounting.
+
+Each suite returns a list of :class:`Diagnostic` (empty = clean) and
+bumps ``verify.<suite>.runs`` / ``verify.<suite>.failures`` tracer
+counters; :func:`raise_on` turns a non-empty list into a
+:class:`VerifyError`.  The suites are wired into the pipeline as
+opt-in passes (``CompileOptions(verify=True)`` / ``REPRO_VERIFY=1``,
+see :mod:`repro.compiler.passes.verify_pass`) and surfaced as
+``python -m repro verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.isa import OPCODE_ARITY, Opcode
+from ..obs import TRACER
+from .alias import memory_dependencies_packed
+from .ir import OP_INDEX, OPCODES, ORIGIN_CODES, PackedProgram
+from .regalloc import slot_budget, slotless_mask, value_usage
+
+__all__ = [
+    "Diagnostic",
+    "VerifyError",
+    "hazard_edges",
+    "raise_on",
+    "verify_ir",
+    "verify_plan",
+    "verify_regalloc",
+    "verify_schedule",
+]
+
+#: Cap on reported offenders per check: a corrupted column flags every
+#: row; the first few carry all the signal.
+MAX_PER_CHECK = 25
+
+_LOAD = OP_INDEX[Opcode.LOAD]
+_STORE = OP_INDEX[Opcode.STORE]
+_MMUL = OP_INDEX[Opcode.MMUL]
+_MMAD = OP_INDEX[Opcode.MMAD]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding, pinned to an instruction/step index."""
+
+    suite: str      # "ir" | "schedule" | "regalloc" | "plan"
+    check: str      # stable check id, e.g. "def-before-use"
+    index: int      # offending instruction row / plan step (-1 = whole)
+    message: str
+
+    def __str__(self) -> str:
+        where = "program" if self.index < 0 else f"@{self.index}"
+        return f"[{self.suite}/{self.check} {where}] {self.message}"
+
+
+class VerifyError(ValueError):
+    """A verifier suite rejected the artifact; carries diagnostics."""
+
+    def __init__(self, diagnostics: list[Diagnostic]):
+        self.diagnostics = diagnostics
+        lines = [str(d) for d in diagnostics[:10]]
+        extra = len(diagnostics) - len(lines)
+        if extra > 0:
+            lines.append(f"... and {extra} more")
+        super().__init__(
+            f"{len(diagnostics)} verifier diagnostic(s):\n  "
+            + "\n  ".join(lines))
+
+
+def raise_on(diags: list[Diagnostic]) -> None:
+    if diags:
+        raise VerifyError(diags)
+
+
+# ----------------------------------------------------------------------
+# Shared hazard machinery
+# ----------------------------------------------------------------------
+def hazard_edges(accesses, emit) -> None:
+    """Emit every RAW/WAW/WAR ordering edge of an access stream.
+
+    ``accesses`` yields ``(reads, writes)`` id collections per
+    position; ``emit(a, b)`` is called for each hazard requiring
+    position ``a`` to stay before position ``b``.  Last-writer /
+    reader-list tracking, exactly the DAG construction
+    ``exec_plan._merge_steps`` schedules wavefronts from (it passes
+    arena-row sets; the schedule verifier passes per-instruction value
+    ids) — one implementation so the scheduler's notion of a hazard
+    and the verifier's can never diverge.  Duplicate edges are emitted
+    deliberately (the wavefront scheduler counts each one into and out
+    of the predecessor tally); self-edges are skipped.
+    """
+    last_writer: dict[int, int] = {}
+    readers: dict[int, list[int]] = {}
+    for i, (reads, writes) in enumerate(accesses):
+        for x in reads:
+            w = last_writer.get(x)
+            if w is not None and w != i:
+                emit(w, i)                         # RAW
+            readers.setdefault(x, []).append(i)
+        for x in writes:
+            w = last_writer.get(x)
+            if w is not None and w != i:
+                emit(w, i)                         # WAW
+            for r in readers.get(x, ()):
+                if r != i:
+                    emit(r, i)                     # WAR
+            last_writer[x] = i
+            readers[x] = []
+
+
+def _instr_accesses(packed: PackedProgram):
+    """Per-instruction ``(reads, writes)`` value-id streams."""
+    srcs_l = packed.srcs.tolist()
+    nsrc_l = packed.n_srcs.tolist()
+    dest_l = packed.dest.tolist()
+    for i in range(packed.num_instrs):
+        d = dest_l[i]
+        yield srcs_l[i][:nsrc_l[i]], ((d,) if d >= 0 else ())
+
+
+# ----------------------------------------------------------------------
+# Suite (a): IR well-formedness
+# ----------------------------------------------------------------------
+def _flag(diags: list[Diagnostic], suite: str, check: str,
+          indices, message) -> None:
+    """Append up to :data:`MAX_PER_CHECK` diagnostics for ``indices``;
+    ``message`` is a format callable receiving the index."""
+    shown = 0
+    total = 0
+    for idx in indices:
+        total += 1
+        if shown < MAX_PER_CHECK:
+            diags.append(Diagnostic(suite, check, int(idx),
+                                    message(int(idx))))
+            shown += 1
+    if total > shown:
+        diags.append(Diagnostic(
+            suite, check, -1,
+            f"... {total - shown} more {check} findings suppressed"))
+
+
+def verify_ir(packed: PackedProgram, *,
+              allow_reloads: bool = False) -> list[Diagnostic]:
+    """Column-level well-formedness of a packed program.
+
+    ``allow_reloads`` admits the post-regalloc dialect: nullary spill
+    reload/remat ``LOAD`` rows, which may re-define an already-defined
+    value (the one sanctioned violation of single-assignment).
+    """
+    TRACER.count("verify.ir.runs")
+    diags: list[Diagnostic] = []
+    n = packed.num_instrs
+    nv = packed.num_values
+    op = packed.op
+    dest = packed.dest
+    srcs = packed.srcs
+    n_srcs = packed.n_srcs
+    width = srcs.shape[1]
+
+    # column-shape: every instruction column is n long, every value
+    # column nv long; anything else makes the vector checks unsafe.
+    shapes = {"dest": len(dest), "srcs": len(srcs),
+              "n_srcs": len(n_srcs), "modulus": len(packed.modulus),
+              "imm": len(packed.imm), "tag_id": len(packed.tag_id),
+              "streaming": len(packed.streaming)}
+    bad_cols = [name for name, ln in shapes.items() if ln != n]
+    vshapes = {"val_address": len(packed.val_address),
+               "val_names": len(packed.val_names)}
+    bad_vcols = [name for name, ln in vshapes.items() if ln != nv]
+    if bad_cols or bad_vcols:
+        diags.append(Diagnostic(
+            "ir", "column-shape", -1,
+            f"column length mismatch: instr columns {bad_cols} != "
+            f"{n} rows / value columns {bad_vcols} != {nv} values"))
+        TRACER.count("verify.ir.failures", len(diags))
+        return diags
+
+    # opcode-range
+    bad = np.nonzero((op < 0) | (op >= len(OPCODES)))[0]
+    _flag(diags, "ir", "opcode-range", bad,
+          lambda i: f"opcode code {int(op[i])} outside the ISA "
+                    f"({len(OPCODES)} opcodes)")
+    if len(bad):
+        TRACER.count("verify.ir.failures", len(diags))
+        return diags
+
+    # arity: legal source counts per opcode (LOAD arity 0 is the
+    # post-regalloc spill-reload dialect only).
+    max_ar = width
+    legal = np.zeros((len(OPCODES), max_ar + 1), dtype=bool)
+    for opc, arities in OPCODE_ARITY.items():
+        for a in arities:
+            if a <= max_ar:
+                legal[OP_INDEX[opc], a] = True
+    if not allow_reloads:
+        legal[_LOAD, 0] = False
+    ns = np.clip(n_srcs, 0, max_ar)
+    bad = np.nonzero((n_srcs < 0) | (n_srcs > max_ar)
+                     | ~legal[op, ns])[0]
+    _flag(diags, "ir", "arity", bad,
+          lambda i: f"{OPCODES[int(op[i])].name} with "
+                    f"{int(n_srcs[i])} sources is illegal"
+                    + ("" if allow_reloads or int(n_srcs[i]) != 0
+                       or int(op[i]) != _LOAD else
+                       " before register allocation"))
+
+    # dest-legality: STORE consumes only; everything else defines.
+    is_store = op == _STORE
+    bad = np.nonzero((is_store & (dest != -1))
+                     | (~is_store & ((dest < 0) | (dest >= nv))))[0]
+    _flag(diags, "ir", "dest-legality", bad,
+          lambda i: f"{OPCODES[int(op[i])].name} dest {int(dest[i])} "
+                    + ("must be -1 (stores define nothing)"
+                       if is_store[i] else
+                       f"outside the value table [0, {nv})"))
+
+    # src-padding / src-range
+    col = np.arange(width)
+    within = col[None, :] < n_srcs[:, None]
+    bad = np.nonzero((~within & (srcs != -1)).any(axis=1))[0]
+    _flag(diags, "ir", "src-padding", bad,
+          lambda i: f"source slots beyond n_srcs={int(n_srcs[i])} "
+                    f"must be -1 padding, got {srcs[i].tolist()}")
+    bad_range = within & ((srcs < 0) | (srcs >= nv))
+    bad = np.nonzero(bad_range.any(axis=1))[0]
+    _flag(diags, "ir", "src-range", bad,
+          lambda i: f"source ids {srcs[i][:int(n_srcs[i])].tolist()} "
+                    f"outside the value table [0, {nv})")
+    if any(d.check in ("arity", "dest-legality", "src-range")
+           for d in diags):
+        TRACER.count("verify.ir.failures", len(diags))
+        return diags                 # SSA checks need sane indices
+
+    # value-table checks
+    origin = packed.val_origin
+    bad = np.nonzero((origin < 0) | (origin >= len(ORIGIN_CODES)))[0]
+    _flag(diags, "ir", "origin-code", bad,
+          lambda v: f"value {v} has origin code "
+                    f"{int(origin[v])} outside {list(ORIGIN_CODES)}")
+    if len(bad):
+        TRACER.count("verify.ir.failures", len(diags))
+        return diags
+    is_compute = origin == 0
+    bad = np.nonzero((origin == 1) & (packed.val_address < 0))[0]
+    _flag(diags, "ir", "dram-address", bad,
+          lambda v: f"dram value {v} ({packed.val_names[v]!r}) has "
+                    f"no DRAM address")
+
+    # multiple-def: at most one defining row per value; with
+    # allow_reloads, extra nullary-LOAD re-definitions are the spill
+    # dialect and legal.
+    has_dest = dest >= 0
+    def_rows = np.nonzero(has_dest)[0]
+    dvids = dest[def_rows]
+    is_reload_def = (op[def_rows] == _LOAD) & (n_srcs[def_rows] == 0)
+    primary = def_rows[~is_reload_def] if allow_reloads else def_rows
+    pvids = dest[primary]
+    counts = np.bincount(pvids, minlength=nv)
+    multi = counts > 1
+    if multi.any():
+        seen: set[int] = set()
+        offenders = []
+        for row, vid in zip(primary.tolist(), pvids.tolist()):
+            if multi[vid]:
+                if vid in seen:
+                    offenders.append((row, vid))
+                seen.add(vid)
+        _flag(diags, "ir", "multiple-def",
+              [r for r, _ in offenders],
+              lambda i: f"value {int(dest[i])} defined again "
+                        f"(single-assignment violation)")
+    # non-compute values must not be defined by compute rows
+    bad = np.nonzero(~is_compute[dvids])[0]
+    _flag(diags, "ir", "def-of-input", def_rows[bad],
+          lambda i: f"{OPCODES[int(op[i])].name} defines value "
+                    f"{int(dest[i])}, a "
+                    f"{ORIGIN_CODES[int(origin[dest[i]])]} input")
+
+    # def-before-use: every compute-origin source has a def at an
+    # earlier row (dram/const values exist from entry).
+    first_def = np.full(nv, n + 1, dtype=np.int64)
+    np.minimum.at(first_def, dvids, def_rows)
+    within = col[None, :] < n_srcs[:, None]
+    urows, _ucols = np.nonzero(within)
+    uvids = srcs[within]
+    bad_use = is_compute[uvids] & (first_def[uvids] >= urows)
+
+    def _undefined_at(i: int) -> str:
+        vids = [int(v) for v in srcs[i][:int(n_srcs[i])]
+                if is_compute[v] and first_def[v] >= i]
+        return (f"uses value(s) {sorted(set(vids))} before any "
+                f"definition")
+
+    _flag(diags, "ir", "def-before-use",
+          dict.fromkeys(urows[bad_use].tolist()), _undefined_at)
+
+    # output-defined
+    outs = packed.outputs
+    bad_out = (outs < 0) | (outs >= nv)
+    if (~bad_out).any():
+        ok = outs[~bad_out]
+        bad_out2 = is_compute[ok] & (first_def[ok] > n)
+        _flag(diags, "ir", "output-defined", ok[bad_out2],
+              lambda v: f"output value {v} is never defined")
+    _flag(diags, "ir", "output-range", outs[bad_out],
+          lambda v: f"output value {v} outside the value table")
+
+    # modulus-range
+    mod = packed.modulus
+    limit = None
+    if packed.prime_meta is not None:
+        q_count, p_count = packed.prime_meta
+        limit = q_count + p_count
+    bad = np.nonzero((mod < 0)
+                     | ((mod >= limit) if limit is not None
+                        else np.zeros(n, dtype=bool)))[0]
+    _flag(diags, "ir", "modulus-range", bad,
+          lambda i: f"modulus index {int(mod[i])} outside the prime "
+                    f"chain" + (f" (q+p = {limit})"
+                                if limit is not None else ""))
+
+    # merged-imm: synthetic negative const ids must resolve through
+    # the merged-constant registry (a bare KeyError at execute time
+    # otherwise).  Positive ids may be unnamed — bindings hash-
+    # synthesize those — so only the negative dialect is checked.
+    imm = packed.imm
+    ew1 = ((op == _MMUL) | (op == _MMAD)) & (n_srcs == 1)
+    neg = ew1 & (imm < 0)
+    if neg.any():
+        known = set((packed.merged_imms or {}).values())
+        rows_neg = np.nonzero(neg)[0]
+        bad = [r for r in rows_neg.tolist()
+               if int(imm[r]) not in known]
+        _flag(diags, "ir", "merged-imm", bad,
+              lambda i: f"merged const id {int(imm[i])} missing from "
+                        f"the merged_imms registry")
+
+    # (AUTO imm is deliberately unchecked: any integer is a legal
+    # Galois step — ``pow(5, step, 2n)`` handles negatives — and -1
+    # doubles as the conjugation sentinel.)
+
+    # streaming-flag: only loads ride the streaming FIFO.
+    bad = np.nonzero(packed.streaming & (op != _LOAD))[0]
+    _flag(diags, "ir", "streaming-flag", bad,
+          lambda i: f"streaming flag on "
+                    f"{OPCODES[int(op[i])].name} (loads only)")
+
+    if diags:
+        TRACER.count("verify.ir.failures", len(diags))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# Suite (b): schedule and register allocation
+# ----------------------------------------------------------------------
+def verify_schedule(pre: PackedProgram, order,
+                    post: PackedProgram | None = None
+                    ) -> list[Diagnostic]:
+    """``order`` is a hazard-respecting permutation of ``pre``.
+
+    Recomputes every RAW/WAR/WAW dependence of the pre-schedule
+    stream — value hazards through :func:`hazard_edges`, address
+    hazards through :func:`memory_dependencies_packed` — and checks
+    each edge lands in order.  With ``post`` given, also checks the
+    scheduled columns are exactly ``pre`` permuted (the scheduler
+    reorders; it must not rewrite).
+    """
+    TRACER.count("verify.schedule.runs")
+    diags: list[Diagnostic] = []
+    n = pre.num_instrs
+    order = np.asarray(order, dtype=np.int64)
+    if len(order) != n:
+        diags.append(Diagnostic(
+            "schedule", "order-length", -1,
+            f"order has {len(order)} entries for {n} instructions"))
+        TRACER.count("verify.schedule.failures", len(diags))
+        return diags
+    counts = np.bincount(order[(order >= 0) & (order < n)],
+                         minlength=n)
+    if (order < 0).any() or (order >= n).any() or (counts != 1).any():
+        missing = np.nonzero(counts == 0)[0][:5].tolist()
+        diags.append(Diagnostic(
+            "schedule", "order-permutation", -1,
+            f"order is not a permutation of range({n}); e.g. rows "
+            f"{missing} never scheduled"))
+        TRACER.count("verify.schedule.failures", len(diags))
+        return diags
+
+    pos = np.empty(n, dtype=np.int64)
+    pos[order] = np.arange(n)
+    pos_l = pos.tolist()
+    viol: list[tuple[int, int]] = []
+
+    def emit(a: int, b: int) -> None:
+        if pos_l[a] >= pos_l[b]:
+            viol.append((a, b))
+
+    hazard_edges(_instr_accesses(pre), emit)
+    mem_from, mem_to = memory_dependencies_packed(pre)
+    bad = pos[mem_from] >= pos[mem_to]
+    viol.extend(zip(mem_from[bad].tolist(), mem_to[bad].tolist()))
+    seen: set[tuple[int, int]] = set()
+    for a, b in viol:
+        if (a, b) in seen:
+            continue
+        seen.add((a, b))
+        if len(seen) > MAX_PER_CHECK:
+            diags.append(Diagnostic(
+                "schedule", "dataflow", -1,
+                f"... {len(viol) - MAX_PER_CHECK} more hazard "
+                f"violations suppressed"))
+            break
+        diags.append(Diagnostic(
+            "schedule", "dataflow", int(b),
+            f"instr {b} must stay after instr {a} (hazard), but the "
+            f"schedule puts it at {pos_l[b]} vs {pos_l[a]}"))
+
+    if post is not None:
+        for name in ("op", "dest", "srcs", "n_srcs", "modulus",
+                     "imm", "tag_id", "streaming"):
+            want = getattr(pre, name)[order]
+            got = getattr(post, name)
+            if got.shape != want.shape or not np.array_equal(got, want):
+                mismatch = np.nonzero(
+                    (got != want).reshape(len(got), -1).any(axis=1)
+                )[0] if got.shape == want.shape else [-1]
+                idx = int(mismatch[0]) if len(mismatch) else -1
+                diags.append(Diagnostic(
+                    "schedule", "stream-mismatch", idx,
+                    f"scheduled column {name!r} is not the permuted "
+                    f"pre-schedule column (first mismatch at "
+                    f"scheduled row {idx})"))
+                break
+
+    if diags:
+        TRACER.count("verify.schedule.failures", len(diags))
+    return diags
+
+
+def verify_regalloc(packed: PackedProgram, *, sram_bytes: int,
+                    forward_window: int = 64,
+                    reserve_slots: int = 0) -> list[Diagnostic]:
+    """Post-allocation invariants of a scheduled, allocated stream.
+
+    Recomputes the slot budget and liveness with the allocator's own
+    shared helpers (:func:`repro.compiler.regalloc.value_usage` /
+    :func:`~repro.compiler.regalloc.slotless_mask`) and checks:
+    residual ``slot_of`` entries are collision-free and in range;
+    every nullary spill-reload ``LOAD`` has a matching earlier spill
+    ``STORE`` or a legal rematerialization source (DRAM/const origin,
+    or an original staging load — exactly the allocator's cleanliness
+    rule); streaming loads are single-use; and a stream containing no
+    spill code has a liveness peak within the slot budget.
+    """
+    TRACER.count("verify.regalloc.runs")
+    diags: list[Diagnostic] = []
+    n = packed.num_instrs
+    nv = packed.num_values
+    slot_count = slot_budget(sram_bytes, packed.limb_bytes,
+                             reserve_slots)
+    uses_cnt, last_use, def_row, _rows, _svals = value_usage(packed)
+    slotless = slotless_mask(packed, forward_window=forward_window,
+                             uses_cnt=uses_cnt, last_use=last_use,
+                             def_row=def_row)
+
+    # slot-range / slot-collision over the residual slot map.
+    slot_of = packed.slot_of or {}
+    holders: dict[int, int] = {}
+    for vid, s in sorted(slot_of.items()):
+        if not 0 <= s < slot_count:
+            diags.append(Diagnostic(
+                "regalloc", "slot-range", int(vid),
+                f"value {vid} assigned slot {s} outside "
+                f"[0, {slot_count})"))
+            continue
+        other = holders.get(s)
+        if other is not None:
+            diags.append(Diagnostic(
+                "regalloc", "slot-collision", int(vid),
+                f"values {other} and {vid} both occupy slot {s}"))
+        holders[s] = vid
+
+    # reload-chain: walk the stream tracking which values have a live
+    # DRAM copy (spilled by STORE, loaded from DRAM, or non-compute
+    # origin); a nullary reload of anything else reads garbage.
+    op_l = packed.op.tolist()
+    dest_l = packed.dest.tolist()
+    nsrc_l = packed.n_srcs.tolist()
+    srcs_l = packed.srcs.tolist()
+    origin_l = packed.val_origin.tolist()
+    stored = [False] * nv
+    load_def = [False] * nv
+    n_reloads = 0
+    for i in range(n):
+        o = op_l[i]
+        if o == _LOAD:
+            vid = dest_l[i]
+            if nsrc_l[i] == 0:
+                n_reloads += 1
+                if not (origin_l[vid] != 0 or stored[vid]
+                        or load_def[vid]):
+                    diags.append(Diagnostic(
+                        "regalloc", "reload-chain", i,
+                        f"reload of value {vid} which was never "
+                        f"spilled (no earlier STORE) nor "
+                        f"rematerializable (compute origin)"))
+            load_def[vid] = True
+        elif o == _STORE and nsrc_l[i] > 0:
+            stored[srcs_l[i][0]] = True
+
+    # streaming-single-use
+    stream_rows = np.nonzero((packed.op == _LOAD)
+                             & packed.streaming)[0]
+    for i in stream_rows.tolist():
+        vid = dest_l[i]
+        if vid >= 0 and uses_cnt[vid] != 1:
+            diags.append(Diagnostic(
+                "regalloc", "streaming-single-use", int(i),
+                f"streaming load of value {vid} with "
+                f"{int(uses_cnt[vid])} uses (FIFO holds one)"))
+
+    # capacity: with no reload code present, the recomputed liveness
+    # peak must fit the budget (the allocator's no-eviction fast-path
+    # precondition).  Reloading streams fragment live ranges; their
+    # capacity proof is the reload-chain + collision checks above.
+    # Slot-residency ranges end at the last *non-store* use: a STORE
+    # of an evicted value is serviced from its DRAM copy
+    # (store-forwarding), so a range ending in a STORE may legally
+    # have left SRAM earlier — the under-approximation keeps this
+    # check free of false positives on streams the allocator spilled
+    # without ever reloading.
+    if n_reloads == 0:
+        dest = packed.dest
+        has_dest = dest >= 0
+        allocated = np.zeros(nv, dtype=bool)
+        dvals = dest[has_dest]
+        allocated[dvals] = ~slotless[dvals] & (uses_cnt[dvals] > 0)
+        width = packed.srcs.shape[1]
+        col = np.arange(width)
+        within = (col[None, :] < packed.n_srcs[:, None]) \
+            & (packed.op != _STORE)[:, None]
+        urows, _ucols = np.nonzero(within)
+        last_ns = def_row.copy()
+        np.maximum.at(last_ns, packed.srcs[within], urows)
+        # (Outputs are deliberately not pinned to the stream end:
+        # an evicted output is legally served from its DRAM copy.)
+        alloc_rows = def_row[np.nonzero(allocated)[0]]
+        freed_vals = np.nonzero(allocated & (last_ns < n))[0]
+        alloc_per_row = np.bincount(alloc_rows, minlength=n + 1)[:n]
+        free_per_row = np.bincount(last_ns[freed_vals],
+                                   minlength=n + 1)[:n]
+        live = np.cumsum(alloc_per_row - free_per_row)
+        peak = int(live[alloc_per_row > 0].max()) \
+            if alloc_rows.size else 0
+        if peak > slot_count:
+            row = int(np.nonzero(live > slot_count)[0][0])
+            diags.append(Diagnostic(
+                "regalloc", "capacity", row,
+                f"{peak} values live at once with no reload code, "
+                f"but the SRAM budget holds {slot_count} slots"))
+
+    if diags:
+        TRACER.count("verify.regalloc.failures", len(diags))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# Suite (c): execution-plan race detection
+# ----------------------------------------------------------------------
+def verify_plan(plan) -> list[Diagnostic]:
+    """Static race/liveness checks over a built
+    :class:`~repro.compiler.exec_plan.ExecPlan`.
+
+    Within each wavefront-merged step: every gather/scatter index in
+    ``[0, arena_rows)``, write rows pairwise distinct (two merged
+    lanes scattering into one row is exactly the race the greedy
+    class-batched scheduler promises away), and no row both read and
+    written (``_compact_rows`` releases a step's rows only after its
+    writes allocate, so an overlap means the renaming aliased a live
+    row).  Across steps: reads only of rows some earlier step wrote,
+    output rows written and in bounds, and the free-instruction
+    accounting ``sum(n_instrs) + sum(free_instrs) == instructions``.
+    """
+    from .exec_plan import K_DRAM, _step_rows
+
+    TRACER.count("verify.plan.runs")
+    diags: list[Diagnostic] = []
+    rows_hi = plan.arena_rows
+    written = np.zeros(max(rows_hi, 1), dtype=bool)
+
+    for si, st in enumerate(plan.steps):
+        arrays = [("out", st.out)]
+        for name in ("a", "b", "c"):
+            arr = getattr(st, name)
+            if arr is not None:
+                arrays.append((name, arr))
+        k = len(st.out)
+        shape_bad = False
+        for name, arr in arrays:
+            idx = np.asarray(arr, dtype=np.int64)
+            if len(idx) != k:
+                diags.append(Diagnostic(
+                    "plan", "step-shape", si,
+                    f"step {si} ({st.label!r}): index column "
+                    f"{name!r} has {len(idx)} rows, out has {k}"))
+                shape_bad = True
+            if len(idx) and (int(idx.min()) < 0
+                             or int(idx.max()) >= rows_hi):
+                diags.append(Diagnostic(
+                    "plan", "index-bounds", si,
+                    f"step {si} ({st.label!r}): {name!r} rows "
+                    f"outside the arena [0, {rows_hi})"))
+                shape_bad = True
+        if st.kind == K_DRAM:
+            if not (len(st.names) == len(st.qs) == k):
+                diags.append(Diagnostic(
+                    "plan", "step-shape", si,
+                    f"step {si} ({st.label!r}): {k} rows vs "
+                    f"{len(st.names)} names / {len(st.qs)} primes"))
+                shape_bad = True
+            if st.n_instrs > k:
+                diags.append(Diagnostic(
+                    "plan", "step-shape", si,
+                    f"step {si} ({st.label!r}): n_instrs "
+                    f"{st.n_instrs} exceeds {k} rows"))
+        elif st.n_instrs != k:
+            diags.append(Diagnostic(
+                "plan", "step-shape", si,
+                f"step {si} ({st.label!r}): n_instrs {st.n_instrs} "
+                f"!= {k} rows"))
+        if shape_bad:
+            continue
+
+        reads, writes = _step_rows(st)
+        out_arr = np.asarray(st.out, dtype=np.int64)
+        if len(writes) != len(out_arr):
+            dup_rows, dup_counts = np.unique(out_arr,
+                                             return_counts=True)
+            dups = dup_rows[dup_counts > 1][:5].tolist()
+            diags.append(Diagnostic(
+                "plan", "write-race", si,
+                f"step {si} ({st.label!r}): merged lanes scatter "
+                f"into shared arena row(s) {dups}"))
+        overlap = reads & writes
+        if overlap:
+            diags.append(Diagnostic(
+                "plan", "read-write-overlap", si,
+                f"step {si} ({st.label!r}): arena row(s) "
+                f"{sorted(overlap)[:5]} both read and written in "
+                f"one vector step"))
+        unread = [x for x in sorted(reads) if not written[x]]
+        if unread:
+            diags.append(Diagnostic(
+                "plan", "read-unwritten", si,
+                f"step {si} ({st.label!r}): reads arena row(s) "
+                f"{unread[:5]} that no earlier step wrote"))
+        for x in writes:
+            written[x] = True
+
+    seen_rows: dict[int, int] = {}
+    for vid, row in plan.output_rows:
+        if not 0 <= row < rows_hi:
+            diags.append(Diagnostic(
+                "plan", "output-rows", -1,
+                f"output value {vid} pinned to row {row} outside "
+                f"the arena [0, {rows_hi})"))
+            continue
+        if not written[row]:
+            diags.append(Diagnostic(
+                "plan", "output-rows", -1,
+                f"output value {vid} pinned to row {row}, which no "
+                f"step writes"))
+        other = seen_rows.get(row)
+        if other is not None:
+            diags.append(Diagnostic(
+                "plan", "output-rows", -1,
+                f"output values {other} and {vid} both pinned to "
+                f"arena row {row}"))
+        seen_rows[row] = vid
+
+    total = sum(st.n_instrs for st in plan.steps) \
+        + sum(plan.free_instrs.values())
+    if total != plan.instructions:
+        diags.append(Diagnostic(
+            "plan", "accounting", -1,
+            f"step instructions ({sum(st.n_instrs for st in plan.steps)})"
+            f" + free instructions ({sum(plan.free_instrs.values())})"
+            f" != {plan.instructions} stream instructions"))
+
+    if diags:
+        TRACER.count("verify.plan.failures", len(diags))
+    return diags

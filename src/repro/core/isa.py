@@ -59,6 +59,32 @@ OPCODE_UNIT = {
     Opcode.SCALAR: "scalar",
 }
 
+#: Legal vector-operand counts per opcode (the static verifier's
+#: arity table).  ``MMUL``/``MMAD`` take one source plus an immediate
+#: constant id, or two sources; ``MMAC`` is the fused three-source
+#: form.  ``LOAD`` is unary while staging a DRAM value into SRAM and
+#: nullary as a post-regalloc spill reload / rematerialization (the
+#: reload target is its own ``dest``), so arity 0 is only legal after
+#: register allocation.
+OPCODE_ARITY = {
+    Opcode.MMUL: (1, 2),
+    Opcode.MMAD: (1, 2),
+    Opcode.MMAC: (3,),
+    Opcode.NTT: (1,),
+    Opcode.INTT: (1,),
+    Opcode.AUTO: (1,),
+    Opcode.LOAD: (0, 1),
+    Opcode.STORE: (1,),
+    Opcode.VCOPY: (1,),
+    Opcode.SCALAR: (0,),
+}
+
+#: Opcodes that define a value.  ``STORE`` only consumes (its packed
+#: ``dest`` column is -1); everything else names a destination.
+OPCODE_HAS_DEST = {
+    op: op is not Opcode.STORE for op in Opcode
+}
+
 #: Instruction tags used for the paper's Figure 3 classification.
 TAG_BCONV_MULT = "bc_mult"
 TAG_BCONV_ADD = "bc_add"

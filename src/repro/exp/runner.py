@@ -85,6 +85,21 @@ def _workload_kwargs(n: int | None, detail: float) -> dict:
     return kwargs
 
 
+def workload_axis(workloads: list[str], *, n: int | None = None,
+                  detail: float = 1.0) -> list[WorkloadSpec]:
+    """Named workloads as buildable :class:`WorkloadSpec` entries,
+    with the per-workload kwargs quirks applied (shared by the sweep
+    scenarios and ``python -m repro verify``)."""
+    axis = []
+    for name in workloads:
+        kwargs = _workload_kwargs(n, detail)
+        if name == "dblookup":
+            # DB-lookup has no detail knob and its own N ceiling.
+            kwargs = {"n": min(n, 2 ** 14)} if n else {}
+        axis.append(WorkloadSpec.make(name, **kwargs))
+    return axis
+
+
 # ----------------------------------------------------------------------
 # Scenario: Figure 4 (SRAM DSE)
 # ----------------------------------------------------------------------
@@ -248,13 +263,7 @@ def _aggregate_profile(points) -> list[list[str]]:
 def generic_spec(workloads: list[str], configs: list[str], *,
                  n: int | None = None, detail: float = 1.0,
                  engine: str = "packed") -> SweepSpec:
-    wl_axis = []
-    for name in workloads:
-        kwargs = _workload_kwargs(n, detail)
-        if name == "dblookup":
-            # DB-lookup has no detail knob and its own N ceiling.
-            kwargs = {"n": min(n, 2 ** 14)} if n else {}
-        wl_axis.append(WorkloadSpec.make(name, **kwargs))
+    wl_axis = workload_axis(workloads, n=n, detail=detail)
     variants = []
     for name in configs:
         try:

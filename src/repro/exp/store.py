@@ -65,6 +65,7 @@ from ..compiler.pipeline import (
     PassRecord,
 )
 from ..core.config import HardwareConfig
+from ..core.env import env_int, env_str
 from ..obs import TRACER
 
 #: v3: adds exec-plan entries (and their key material) to v2's
@@ -160,25 +161,9 @@ class ArtifactStore:
         malformed value fails here with a clear message instead of as a
         bare ``ValueError`` deep inside a sweep; an empty string is
         ignored with a warning."""
-        raw = os.environ.get(ENV_STORE_MAX_BYTES)
-        if raw is None:
-            return DEFAULT_MAX_BYTES
-        if raw.strip() == "":
-            warnings.warn(
-                f"ignoring empty {ENV_STORE_MAX_BYTES}; using the "
-                f"default of {DEFAULT_MAX_BYTES} bytes",
-                stacklevel=3)
-            return DEFAULT_MAX_BYTES
-        try:
-            max_bytes = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{ENV_STORE_MAX_BYTES}={raw!r} is not a valid store "
-                f"size bound; expected an integer byte count") from None
-        if max_bytes < 0:
-            raise ValueError(
-                f"{ENV_STORE_MAX_BYTES}={raw!r} must be non-negative")
-        return max_bytes
+        return env_int(ENV_STORE_MAX_BYTES, DEFAULT_MAX_BYTES,
+                       minimum=0, what="store size bound",
+                       empty_warns=True, stacklevel=3)
 
     def __repr__(self) -> str:
         return f"ArtifactStore({str(self.root)!r})"
@@ -660,7 +645,7 @@ def active_store() -> ArtifactStore | None:
     """
     if _EXPLICIT_SET:
         return _EXPLICIT_STORE
-    path = os.environ.get(ENV_STORE_DIR)
+    path = env_str(ENV_STORE_DIR)
     if not path:
         return None
     global _ENV_STORE

@@ -24,7 +24,6 @@ evidence that a warm sweep recomputed nothing.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import pickle
 import time
 import warnings
@@ -36,6 +35,7 @@ from ..arch.simulator import simulations_executed
 from ..arch.units import UNIT_NAMES
 from ..compiler.exec_plan import plans_built
 from ..compiler.pipeline import CompileOptions, compiles_executed
+from ..core.env import env_str
 from ..core.config import HardwareConfig
 from ..obs import TRACER
 from ..workloads import (
@@ -420,7 +420,7 @@ def _pool_context(start_method: str | None = None):
     the workload-factory registry — so any method is correct.
     """
     methods = multiprocessing.get_all_start_methods()
-    requested = start_method or os.environ.get(ENV_START_METHOD)
+    requested = start_method or env_str(ENV_START_METHOD)
     if requested:
         if requested not in methods:
             raise ValueError(

@@ -38,7 +38,6 @@ slicing — a zero-copy view, not a rebuild.
 
 from __future__ import annotations
 
-import os
 import traceback
 from collections import OrderedDict
 from time import perf_counter
@@ -46,6 +45,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..core.env import env_flag
 from ..obs import TRACER
 from .bitrev import bit_reverse_indices
 from .ntt import NegacyclicNTT, _check_modulus
@@ -91,7 +91,7 @@ def _scratch_debug() -> bool:
     global _SCRATCH_DEBUG_FLAG
     flag = _SCRATCH_DEBUG_FLAG
     if flag is None:
-        flag = os.environ.get(SCRATCH_DEBUG_ENV, "0") not in ("", "0")
+        flag = env_flag(SCRATCH_DEBUG_ENV)
         _SCRATCH_DEBUG_FLAG = flag
     return flag
 

@@ -33,8 +33,9 @@ them unconditionally so warmth accounting is always available).
 with ``clear_caches()``, so the one global cache-reset hook also
 zeroes telemetry counters.
 
-This module imports only the standard library: everything in
-``repro`` may import it without cycles.
+This module imports only the standard library plus the (equally
+stdlib-only) :mod:`repro.core.env` parser: everything in ``repro``
+may import it without cycles.
 """
 
 from __future__ import annotations
@@ -42,6 +43,8 @@ from __future__ import annotations
 import os
 import threading
 from time import perf_counter
+
+from ..core.env import env_flag
 
 __all__ = [
     "ENV_TRACE",
@@ -58,7 +61,7 @@ __all__ = [
     "Tracer",
 ]
 
-#: Environment switch: any non-empty value other than ``"0"`` enables
+#: Environment switch: a truthy flag value (``1/true/yes/on``) enables
 #: the global tracer at import time (inherited by spawn/fork workers).
 ENV_TRACE = "REPRO_TRACE"
 
@@ -266,7 +269,7 @@ class Tracer:
 
 
 def _env_enabled() -> bool:
-    return os.environ.get(ENV_TRACE, "0") not in ("", "0")
+    return env_flag(ENV_TRACE)
 
 
 #: The process-global tracer every instrumented layer shares.  It is

@@ -140,11 +140,16 @@ def test_unknown_engine_rejected():
 def test_pass_records_instrumented():
     cp = compile_program(_he_program(),
                          CompileOptions(sram_bytes=LIMB * 64))
-    names = [r.name for r in cp.stats.pass_records]
+    # The opt-in verify-* stages (REPRO_VERIFY=1 in the ambient
+    # environment) are extras; the transformation pipeline itself
+    # must be exactly this sequence.
+    names = [r.name for r in cp.stats.pass_records
+             if not r.name.startswith("verify")]
     assert names == ["copy-prop", "const-merge", "cse", "dce",
                      "mac-fuse", "insert-loads", "mark-streaming",
                      "schedule", "regalloc"]
     assert all(r.wall_s >= 0 for r in cp.stats.pass_records)
-    assert cp.stats.pass_records[0].instrs_removed == \
-        cp.stats.copies_removed
+    transform = [r for r in cp.stats.pass_records
+                 if not r.name.startswith("verify")]
+    assert transform[0].instrs_removed == cp.stats.copies_removed
     assert cp.stats.compile_wall_s > 0

@@ -46,6 +46,14 @@ VARIANTS = {
 SEEDS = list(range(8))
 
 
+@pytest.fixture(autouse=True)
+def _static_verify(monkeypatch):
+    """Run every fuzz compile (and plan build) through the static
+    verifier: the corpus doubles as the verifier's no-false-positive
+    proof across all pass combinations, including spilling."""
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+
+
 def random_program(seed: int) -> Program:
     """A random SSA program over 2-3 moduli using the whole ISA.
 
