@@ -1,0 +1,22 @@
+"""Cross-ciphertext request batching.
+
+Groups pending evaluator requests that share a ``(scheme, basis, op)``
+shape into maximal :class:`~repro.schemes.rns_core.CiphertextBatch`
+fusions, so every group runs as one wide ``(2k*L, N)`` kernel instead
+of ``k`` per-ciphertext calls — the amortization seam a serving front
+end will coalesce live traffic onto.
+"""
+
+from .coalesce import (
+    BatchRequest,
+    coalesce,
+    default_max_rows,
+    execute_batched,
+)
+
+__all__ = [
+    "BatchRequest",
+    "coalesce",
+    "default_max_rows",
+    "execute_batched",
+]

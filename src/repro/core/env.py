@@ -13,6 +13,10 @@ stdlib present).
 Known variables (the canonical registry):
 
 =========================  ===========================================
+``REPRO_BATCH_MAX_ROWS``   cap on a fused cross-ciphertext batch
+                           stack's row count (``2k*L``); 0 (default)
+                           means unbounded
+                           (:mod:`repro.batch.coalesce`)
 ``REPRO_TRACE``            enable the global tracer at import time
 ``REPRO_VERIFY``           run the static verifier suites
                            (:mod:`repro.compiler.verify`) during

@@ -41,6 +41,7 @@ from ..obs import TRACER
 from ..workloads import (
     bfv_dotproduct_workload,
     bootstrap_workload,
+    ckks_batch_rotate_workload,
     dblookup_workload,
     helr_workload,
     resnet_workload,
@@ -65,6 +66,7 @@ _WORKLOAD_FACTORIES: dict[str, Callable[..., Workload]] = {
     "resnet": resnet_workload,
     "dblookup": dblookup_workload,
     "bfv_dotproduct": bfv_dotproduct_workload,
+    "ckks_batch_rotate": ckks_batch_rotate_workload,
 }
 
 

@@ -53,6 +53,13 @@ from .primes import root_of_unity
 
 _SHIFT = np.uint64(32)
 
+#: Cache-block budget (bytes of stack data per block) for the wide
+#: transforms: one block plus its quarter-stack stage scratch should
+#: fit comfortably in a per-core L2.  The stage loops stream the whole
+#: stack once per butterfly stage, so blocks that outgrow L2 pay
+#: log2(n) memory round trips instead of one.
+_NTT_BLOCK_BYTES = 1 << 18
+
 # ----------------------------------------------------------------------
 # Tagged scratch pool (single-threaded; cleared by clear_caches)
 # ----------------------------------------------------------------------
@@ -242,6 +249,7 @@ class BatchedNTT:
         # Permutation caches shared with prefix-derived engines: they
         # depend only on (n, galois_elt), never on the moduli.
         self._auto_ntt_idx: dict[int, np.ndarray] = {}
+        self._auto_ntt_inv: dict[int, np.ndarray] = {}
         self._auto_coeff_maps: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     #: Per-limb table attributes a derived engine re-slices from its
@@ -272,6 +280,7 @@ class BatchedNTT:
         # still takes the fused path (both paths are bitwise identical).
         self._fused = max(q.bit_length() for q in primes) <= 30
         self._auto_ntt_idx = parent._auto_ntt_idx
+        self._auto_ntt_inv = parent._auto_ntt_inv
         self._auto_coeff_maps = parent._auto_coeff_maps
         return self
 
@@ -315,10 +324,18 @@ class BatchedNTT:
         return table
 
     def _check(self, data: np.ndarray) -> np.ndarray:
+        """Validate a ``(k*limbs, n)`` stack for any integer ``k >= 1``.
+
+        The limb tables broadcast over a leading tile axis, so one
+        engine transforms any whole number of same-chain polynomial
+        stacks in a single pass (the cross-ciphertext batch path);
+        ``k = 1`` is the classic exact-shape contract."""
         data = np.asarray(data, dtype=np.int64)
-        if data.shape != (self.limbs, self.n):
+        if (data.ndim != 2 or data.shape[1] != self.n
+                or data.shape[0] == 0 or data.shape[0] % self.limbs):
             raise ValueError(
-                f"expected shape ({self.limbs}, {self.n}), got {data.shape}")
+                f"expected shape (k*{self.limbs}, {self.n}), "
+                f"got {data.shape}")
         return data
 
     # ------------------------------------------------------------------
@@ -334,50 +351,99 @@ class BatchedNTT:
             np.subtract(x, bound, out=tmp)
             np.minimum(x, tmp, out=x)
 
-    def _ws(self, tag: str, parts: int) -> np.ndarray:
+    def _ws(self, tag: str, parts: int, tiles: int = 1) -> np.ndarray:
         """Quarter-/half-stack scratch slab for the stage loops."""
-        return scratch(tag, (self.limbs, self.n // parts))
+        return scratch(tag, (tiles, self.limbs, self.n // parts))
 
-    def _ws_release(self, *tags_parts: tuple[str, int]) -> None:
+    def _ws_release(self, *tags_parts: tuple[str, int],
+                    tiles: int = 1) -> None:
         """Release stage slabs borrowed via :meth:`_ws` (debug mode)."""
         for tag, parts in tags_parts:
-            release_scratch(tag, (self.limbs, self.n // parts))
+            release_scratch(tag, (tiles, self.limbs, self.n // parts))
 
-    def forward(self, data: np.ndarray) -> np.ndarray:
-        """Natural-order coefficient stack -> bit-reversed NTT stack."""
+    def _block_tiles(self, tiles: int) -> int:
+        """Tiles per cache block for the stage loops.
+
+        The fused kernels stream the whole stack once per stage, so a
+        stack wider than L2 pays a full memory round trip *per stage*.
+        Chunking the independent tile axis so one block (data plus the
+        quarter-stack scratch slabs) stays cache-resident keeps every
+        stage after the first out of DRAM — bitwise identical because
+        tiles never interact."""
+        if tiles <= 1:
+            return tiles
+        tile_bytes = self.limbs * self.n * 8
+        return max(1, _NTT_BLOCK_BYTES // tile_bytes)
+
+    def forward(self, data: np.ndarray, *,
+                assume_reduced: bool = False) -> np.ndarray:
+        """Natural-order coefficient stack -> bit-reversed NTT stack.
+
+        Accepts ``(k*limbs, n)`` stacks: the limb tables broadcast over
+        a leading tile axis, so every tile transforms exactly as it
+        would alone — bitwise identical to ``k`` separate calls.  Wide
+        stacks are transformed in cache-sized tile blocks.
+        ``assume_reduced=True`` skips the defensive input ``% q`` pass
+        (an int64 division over the whole stack) — callers assert their
+        rows are canonical residues, under which the pass is the
+        identity."""
+        checked = self._check(data)
+        tiles = checked.shape[0] // self.limbs
+        block = self._block_tiles(tiles)
+        if block >= tiles:
+            return self._forward_one(checked,
+                                     assume_reduced=assume_reduced)
+        out = np.empty_like(checked)
+        step = block * self.limbs
+        for lo in range(0, checked.shape[0], step):
+            out[lo:lo + step] = self._forward_one(
+                checked[lo:lo + step], assume_reduced=assume_reduced)
+        return out
+
+    def _forward_one(self, checked: np.ndarray, *,
+                     assume_reduced: bool = False) -> np.ndarray:
         tr = TRACER
         t0 = perf_counter() if tr.enabled else 0.0
-        a = (self._check(data) % self.q_col).astype(np.uint64)
+        rows = checked.shape[0]
+        tiles = rows // self.limbs
+        a = checked.reshape(tiles, self.limbs, self.n)
+        if not assume_reduced:
+            a = a % self.q_col
+        a = a.astype(np.uint64)
         if self._fused:
             self._forward_fused(a)
             self._lazy_csub(a, self._q2_u)
         else:
             self._forward_radix2(a)
         self._lazy_csub(a, self._q_u)
-        out = a.astype(np.int64)
+        out = a.astype(np.int64).reshape(rows, self.n)
         if tr.enabled:
             tr.emit("ntt.forward", t0, perf_counter() - t0,
-                    {"limbs": self.limbs, "n": self.n})
-            tr.count("ntt.rows", self.limbs)
+                    {"limbs": self.limbs, "n": self.n, "tiles": tiles})
+            tr.count("ntt.rows", rows)
         return out
 
     def _forward_fused(self, a: np.ndarray) -> None:
-        """Radix-4 fused DIT stages; values ride lazily in [0, 4q)."""
+        """Radix-4 fused DIT stages; values ride lazily in [0, 4q).
+
+        ``a`` is ``(tiles, limbs, n)``; the ``(L, 1, 1)`` twiddle
+        columns broadcast over the leading tile axis untouched."""
         n = self.n
+        tiles = a.shape[0]
         q_b = self._q_u[:, :, None]
         q2_b = self._q2_u[:, :, None]
         psi, psi_sh = self._psi_u, self._psi_sh
         if n >= 4:
-            bufs = [self._ws(f"f4_{i}", 4) for i in range(6)]
+            bufs = [self._ws(f"f4_{i}", 4, tiles) for i in range(6)]
         m, t = 1, n
         while m * 2 < n:
             t4 = t // 4
-            blocks = a.reshape(self.limbs, m, 4, t4)
-            x0 = blocks[:, :, 0, :]
-            x1 = blocks[:, :, 1, :]
-            x2 = blocks[:, :, 2, :]
-            x3 = blocks[:, :, 3, :]
-            shape = (self.limbs, m, t4)
+            blocks = a.reshape(tiles, self.limbs, m, 4, t4)
+            x0 = blocks[:, :, :, 0, :]
+            x1 = blocks[:, :, :, 1, :]
+            x2 = blocks[:, :, :, 2, :]
+            x3 = blocks[:, :, :, 3, :]
+            shape = (tiles, self.limbs, m, t4)
             b0, b1, b2, b3, b4, b5 = (b.reshape(shape) for b in bufs)
             s_m = psi[:, m:2 * m, None]
             s_m_sh = psi_sh[:, m:2 * m, None]
@@ -404,24 +470,25 @@ class BatchedNTT:
             np.add(mid0, w1, out=x0)                   # outputs < 4q
             mid0 += q2_b
             mid0 -= w1
-            blocks[:, :, 1, :] = mid0
+            blocks[:, :, :, 1, :] = mid0
             np.add(mid2, w3, out=x2)
             mid2 += q2_b
             mid2 -= w3
-            blocks[:, :, 3, :] = mid2
+            blocks[:, :, :, 3, :] = mid2
             m *= 4
             t = t4
         if n >= 4:
-            self._ws_release(*((f"f4_{i}", 4) for i in range(6)))
+            self._ws_release(*((f"f4_{i}", 4) for i in range(6)),
+                             tiles=tiles)
         if m < n:                                      # odd stage count
             t //= 2
-            blocks = a.reshape(self.limbs, m, 2 * t)
-            shape = (self.limbs, m, t)
-            h0 = self._ws("f2_0", 2).reshape(shape)
-            h1 = self._ws("f2_1", 2).reshape(shape)
-            h2 = self._ws("f2_2", 2).reshape(shape)
-            xl = blocks[:, :, :t]
-            xr = blocks[:, :, t:]
+            blocks = a.reshape(tiles, self.limbs, m, 2 * t)
+            shape = (tiles, self.limbs, m, t)
+            h0 = self._ws("f2_0", 2, tiles).reshape(shape)
+            h1 = self._ws("f2_1", 2, tiles).reshape(shape)
+            h2 = self._ws("f2_2", 2, tiles).reshape(shape)
+            xl = blocks[:, :, :, :t]
+            xr = blocks[:, :, :, t:]
             s = psi[:, m:2 * m, None]
             s_sh = psi_sh[:, m:2 * m, None]
             np.subtract(xr, q2_b, out=h0)
@@ -432,33 +499,35 @@ class BatchedNTT:
             np.add(u, v, out=xl)
             u += q2_b
             u -= v
-            blocks[:, :, t:] = u
-            self._ws_release(("f2_0", 2), ("f2_1", 2), ("f2_2", 2))
+            blocks[:, :, :, t:] = u
+            self._ws_release(("f2_0", 2), ("f2_1", 2), ("f2_2", 2),
+                             tiles=tiles)
         # values are < 4q here; forward() folds them down to [0, q)
 
     def _forward_radix2(self, a: np.ndarray) -> None:
         """Reference-dataflow radix-2 stages, values in [0, 4q) (used
         for 31-bit moduli where the relaxed fused bound fails)."""
+        tiles = a.shape[0]
         q_b = self._q_u[:, :, None]
         q2_b = self._q2_u[:, :, None]
         # The half-stack slabs are borrowed once for the whole stage
         # loop (m*t is invariant at n/2); a per-iteration scratch()
         # call would be an overlapping live borrow.
-        w0 = self._ws("r2_0", 2)
-        w1 = self._ws("r2_1", 2)
-        w2 = self._ws("r2_2", 2)
+        w0 = self._ws("r2_0", 2, tiles)
+        w1 = self._ws("r2_1", 2, tiles)
+        w2 = self._ws("r2_2", 2, tiles)
         t, m = self.n, 1
         while m < self.n:
             t //= 2
-            blocks = a.reshape(self.limbs, m, 2 * t)
-            shape = (self.limbs, m, t)
+            blocks = a.reshape(tiles, self.limbs, m, 2 * t)
+            shape = (tiles, self.limbs, m, t)
             h0 = w0.reshape(shape)
             h1 = w1.reshape(shape)
             h2 = w2.reshape(shape)
             s = self._psi_u[:, m:2 * m, None]
             s_sh = self._psi_sh[:, m:2 * m, None]
-            xl = blocks[:, :, :t]
-            xr = blocks[:, :, t:]
+            xl = blocks[:, :, :, :t]
+            xr = blocks[:, :, :, t:]
             np.subtract(xr, q2_b, out=h0)
             x_red = np.minimum(xr, h0, out=h1)         # < 2q
             v = shoup_mul_lazy(x_red, s, s_sh, q_b, out=h2, hi=h0)
@@ -467,22 +536,50 @@ class BatchedNTT:
             np.add(u, v, out=xl)                       # < 4q
             u += q2_b
             u -= v
-            blocks[:, :, t:] = u
+            blocks[:, :, :, t:] = u
             m *= 2
-        self._ws_release(("r2_0", 2), ("r2_1", 2), ("r2_2", 2))
+        self._ws_release(("r2_0", 2), ("r2_1", 2), ("r2_2", 2),
+                         tiles=tiles)
         self._lazy_csub(a, self._q2_u)
 
     def inverse(self, data: np.ndarray, *,
-                scale_by_n_inv: bool = True) -> np.ndarray:
+                scale_by_n_inv: bool = True,
+                assume_reduced: bool = False) -> np.ndarray:
         """Bit-reversed NTT stack -> natural-order coefficient stack.
 
         ``scale_by_n_inv=False`` skips the trailing 1/n multiply, the
         hook :class:`repro.rns.bconv.MergedBConv` folds into its first
-        constant (paper eq. 5).
+        constant (paper eq. 5).  Wide stacks are transformed in
+        cache-sized tile blocks (see :meth:`_block_tiles`).
+        ``assume_reduced=True`` skips the defensive input ``% q`` pass
+        for callers whose rows are already canonical residues.
         """
+        checked = self._check(data)
+        tiles = checked.shape[0] // self.limbs
+        block = self._block_tiles(tiles)
+        if block >= tiles:
+            return self._inverse_one(checked,
+                                     scale_by_n_inv=scale_by_n_inv,
+                                     assume_reduced=assume_reduced)
+        out = np.empty_like(checked)
+        step = block * self.limbs
+        for lo in range(0, checked.shape[0], step):
+            out[lo:lo + step] = self._inverse_one(
+                checked[lo:lo + step], scale_by_n_inv=scale_by_n_inv,
+                assume_reduced=assume_reduced)
+        return out
+
+    def _inverse_one(self, checked: np.ndarray, *,
+                     scale_by_n_inv: bool = True,
+                     assume_reduced: bool = False) -> np.ndarray:
         tr = TRACER
         t0 = perf_counter() if tr.enabled else 0.0
-        a = (self._check(data) % self.q_col).astype(np.uint64)
+        rows = checked.shape[0]
+        tiles = rows // self.limbs
+        a = checked.reshape(tiles, self.limbs, self.n)
+        if not assume_reduced:
+            a = a % self.q_col
+        a = a.astype(np.uint64)
         if self._fused:
             self._inverse_fused(a, fold_ninv=scale_by_n_inv)
         else:
@@ -490,11 +587,11 @@ class BatchedNTT:
         # values < 2q here; the 1/n scaling (when requested) was folded
         # into the final-stage twiddles by the kernels above.
         self._lazy_csub(a, self._q_u)
-        out = a.astype(np.int64)
+        out = a.astype(np.int64).reshape(rows, self.n)
         if tr.enabled:
             tr.emit("ntt.inverse", t0, perf_counter() - t0,
-                    {"limbs": self.limbs, "n": self.n})
-            tr.count("intt.rows", self.limbs)
+                    {"limbs": self.limbs, "n": self.n, "tiles": tiles})
+            tr.count("intt.rows", rows)
         return out
 
     def _inverse_fused(self, a: np.ndarray, *,
@@ -507,24 +604,25 @@ class BatchedNTT:
         the trailing 1/n scaling, one stage cheaper.
         """
         n = self.n
+        tiles = a.shape[0]
         q_b = self._q_u[:, :, None]
         q2_b = self._q2_u[:, :, None]
         psi, psi_sh = self._psi_inv_u, self._psi_inv_sh
         ninv = self._n_inv_u[:, :, None]
         ninv_sh = self._n_inv_sh[:, :, None]
         if n >= 4:
-            bufs = [self._ws(f"i4_{i}", 4) for i in range(6)]
+            bufs = [self._ws(f"i4_{i}", 4, tiles) for i in range(6)]
         m, t = n, 1
         while m > 2:
             h1 = m // 2
             h2 = m // 4
             final = fold_ninv and m == 4
-            blocks = a.reshape(self.limbs, h2, 4, t)
-            z0 = blocks[:, :, 0, :]
-            z1 = blocks[:, :, 1, :]
-            z2 = blocks[:, :, 2, :]
-            z3 = blocks[:, :, 3, :]
-            shape = (self.limbs, h2, t)
+            blocks = a.reshape(tiles, self.limbs, h2, 4, t)
+            z0 = blocks[:, :, :, 0, :]
+            z1 = blocks[:, :, :, 1, :]
+            z2 = blocks[:, :, :, 2, :]
+            z3 = blocks[:, :, :, 3, :]
+            shape = (tiles, self.limbs, h2, t)
             b0, b1, b2, b3, b4, b5 = (b.reshape(shape) for b in bufs)
             if final:
                 # Last stage: psi_inv^br[2]/[3] carry the folded 1/n.
@@ -555,37 +653,39 @@ class BatchedNTT:
                 # plain sum output takes the explicit 1/n multiply.
                 w0 += q2_b
                 w0 -= w1                               # < 4q
-                blocks[:, :, 2, :] = shoup_mul_lazy(
+                blocks[:, :, :, 2, :] = shoup_mul_lazy(
                     w0, self._fold1_u[:, :, None],
                     self._fold1_sh[:, :, None], q_b, out=b1, hi=b4)
                 self._lazy_csub(out0, q2_b, b4)
-                blocks[:, :, 0, :] = shoup_mul_lazy(
+                blocks[:, :, :, 0, :] = shoup_mul_lazy(
                     out0, ninv, ninv_sh, q_b, out=b4, hi=b1)
             else:
                 self._lazy_csub(out0, q2_b, b4)
-                blocks[:, :, 0, :] = out0
+                blocks[:, :, :, 0, :] = out0
                 w0 += q2_b
                 w0 -= w1                               # < 4q
-                blocks[:, :, 2, :] = shoup_mul_lazy(w0, s_c, s_c_sh,
-                                                    q_b, out=b1, hi=b4)
+                blocks[:, :, :, 2, :] = shoup_mul_lazy(w0, s_c, s_c_sh,
+                                                       q_b, out=b1,
+                                                       hi=b4)
             out1 = np.add(d0, d1, out=b2)
             self._lazy_csub(out1, q2_b, b4)
-            blocks[:, :, 1, :] = out1
+            blocks[:, :, :, 1, :] = out1
             d0 += q2_b
             d0 -= d1
-            blocks[:, :, 3, :] = shoup_mul_lazy(d0, s_c, s_c_sh, q_b,
-                                                out=b1, hi=b4)
+            blocks[:, :, :, 3, :] = shoup_mul_lazy(d0, s_c, s_c_sh, q_b,
+                                                   out=b1, hi=b4)
             t *= 4
             m //= 4
         if n >= 4:
-            self._ws_release(*((f"i4_{i}", 4) for i in range(6)))
+            self._ws_release(*((f"i4_{i}", 4) for i in range(6)),
+                             tiles=tiles)
         if m == 2:                                     # odd stage count
-            blocks = a.reshape(self.limbs, 1, 2 * t)
-            shape = (self.limbs, 1, t)
-            h0 = self._ws("i2_0", 2).reshape(shape)
-            h1 = self._ws("i2_1", 2).reshape(shape)
-            zl = blocks[:, :, :t]
-            zr = blocks[:, :, t:]
+            blocks = a.reshape(tiles, self.limbs, 1, 2 * t)
+            shape = (tiles, self.limbs, 1, t)
+            h0 = self._ws("i2_0", 2, tiles).reshape(shape)
+            h1 = self._ws("i2_1", 2, tiles).reshape(shape)
+            zl = blocks[:, :, :, :t]
+            zr = blocks[:, :, :, t:]
             if fold_ninv:
                 s = self._fold1_u[:, :, None]
                 s_sh = self._fold1_sh[:, :, None]
@@ -597,11 +697,12 @@ class BatchedNTT:
             w = np.add(zl, zr, out=h1)
             self._lazy_csub(w, q2_b)
             if fold_ninv:
-                blocks[:, :, :t] = shoup_mul_lazy(w, ninv, ninv_sh, q_b)
+                blocks[:, :, :, :t] = shoup_mul_lazy(w, ninv, ninv_sh,
+                                                     q_b)
             else:
-                blocks[:, :, :t] = w
-            blocks[:, :, t:] = shoup_mul_lazy(d, s, s_sh, q_b)
-            self._ws_release(("i2_0", 2), ("i2_1", 2))
+                blocks[:, :, :, :t] = w
+            blocks[:, :, :, t:] = shoup_mul_lazy(d, s, s_sh, q_b)
+            self._ws_release(("i2_0", 2), ("i2_1", 2), tiles=tiles)
         # values are < 2q here
 
     def _inverse_radix2(self, a: np.ndarray, *,
@@ -612,20 +713,21 @@ class BatchedNTT:
         difference branch uses the pre-merged ``psi_inv * n^-1``
         twiddle and the sum branch takes one explicit ``n^-1``
         multiply."""
+        tiles = a.shape[0]
         q_b = self._q_u[:, :, None]
         q2_b = self._q2_u[:, :, None]
         # Borrowed once across the stage loop (h*t invariant at n/2);
         # re-borrowing per iteration would overlap the live borrow.
-        w0 = self._ws("ir_0", 2)
-        w1 = self._ws("ir_1", 2)
-        w2 = self._ws("ir_2", 2)
-        w3 = self._ws("ir_3", 2) if fold_ninv else None
+        w0 = self._ws("ir_0", 2, tiles)
+        w1 = self._ws("ir_1", 2, tiles)
+        w2 = self._ws("ir_2", 2, tiles)
+        w3 = self._ws("ir_3", 2, tiles) if fold_ninv else None
         t, m = 1, self.n
         while m > 1:
             h = m // 2
             final = fold_ninv and m == 2
-            blocks = a.reshape(self.limbs, h, 2 * t)
-            shape = (self.limbs, h, t)
+            blocks = a.reshape(tiles, self.limbs, h, 2 * t)
+            shape = (tiles, self.limbs, h, t)
             h0 = w0.reshape(shape)
             h1 = w1.reshape(shape)
             h2 = w2.reshape(shape)
@@ -635,8 +737,8 @@ class BatchedNTT:
             else:
                 s = self._psi_inv_u[:, h:2 * h, None]
                 s_sh = self._psi_inv_sh[:, h:2 * h, None]
-            zl = blocks[:, :, :t]
-            zr = blocks[:, :, t:]
+            zl = blocks[:, :, :, :t]
+            zr = blocks[:, :, :, t:]
             d = np.add(zl, q2_b, out=h0)
             d -= zr                                    # < 4q
             self._lazy_csub(d, q2_b, h1)               # < 2q
@@ -644,33 +746,74 @@ class BatchedNTT:
             self._lazy_csub(w, q2_b, h2)
             if final:
                 h3 = w3.reshape(shape)
-                blocks[:, :, :t] = shoup_mul_lazy(
+                blocks[:, :, :, :t] = shoup_mul_lazy(
                     w, self._n_inv_u[:, :, None],
                     self._n_inv_sh[:, :, None], q_b, out=h3, hi=h2)
             else:
-                blocks[:, :, :t] = w
-            blocks[:, :, t:] = shoup_mul_lazy(d, s, s_sh, q_b,
-                                              out=h2, hi=h1)
+                blocks[:, :, :, :t] = w
+            blocks[:, :, :, t:] = shoup_mul_lazy(d, s, s_sh, q_b,
+                                                 out=h2, hi=h1)
             t *= 2
             m = h
-        self._ws_release(("ir_0", 2), ("ir_1", 2), ("ir_2", 2))
+        self._ws_release(("ir_0", 2), ("ir_1", 2), ("ir_2", 2),
+                         tiles=tiles)
         if fold_ninv:
-            self._ws_release(("ir_3", 2))
+            self._ws_release(("ir_3", 2), tiles=tiles)
         # values are < 2q here
 
     def pointwise_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Element-wise modular product of two ``(L, n)`` stacks."""
-        return self._check(a) * self._check(b) % self.q_col
+        """Element-wise modular product of two ``(k*L, n)`` stacks."""
+        a = self._check(a)
+        b = self._check(b)
+        if a.shape != b.shape:
+            raise ValueError(
+                f"operand shapes differ: {a.shape} vs {b.shape}")
+        rows = a.shape[0]
+        tiles = rows // self.limbs
+        shape3 = (tiles, self.limbs, self.n)
+        return (a.reshape(shape3) * b.reshape(shape3)
+                % self.q_col).reshape(rows, self.n)
 
     def polymul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Negacyclic product of naturally-ordered coefficient stacks."""
         fa = self.forward(a)
         fb = self.forward(b)
-        return self.inverse(fa * fb % self.q_col)
+        return self.inverse(self.pointwise_mul(fa, fb))
 
     # ------------------------------------------------------------------
     # Automorphisms
     # ------------------------------------------------------------------
+    def automorphism_index(self, galois_elt: int) -> np.ndarray:
+        """The cached NTT-domain column permutation of sigma'_g: the
+        single index vector :meth:`automorphism_ntt` gathers with.
+        Moduli-independent, so every limb (and every engine over the
+        same ring degree) shares it.  Callers that compose the
+        permutation into precomputed constants (the batch evaluator's
+        rotated key tables) read it directly."""
+        idx = self._auto_ntt_idx.get(galois_elt)
+        if idx is None:
+            rev = self._rev
+            i = np.arange(self.n, dtype=np.int64)
+            src = (((2 * i + 1) * galois_elt) % (2 * self.n) - 1) // 2
+            src %= self.n
+            idx = rev[src[rev]]
+            self._auto_ntt_idx[galois_elt] = idx
+        return idx
+
+    def automorphism_index_inv(self, galois_elt: int) -> np.ndarray:
+        """Inverse of :meth:`automorphism_index`: gathering a constant
+        table by it, then the data by the forward index, lands every
+        column back where a plain forward gather of the product would
+        — the composition hoisted rotations use to pre-rotate key
+        tables."""
+        inv = self._auto_ntt_inv.get(galois_elt)
+        if inv is None:
+            idx = self.automorphism_index(galois_elt)
+            inv = np.empty_like(idx)
+            inv[idx] = np.arange(self.n, dtype=np.int64)
+            self._auto_ntt_inv[galois_elt] = inv
+        return inv
+
     def automorphism_ntt(self, data: np.ndarray, galois_elt: int, *,
                          out: np.ndarray | None = None) -> np.ndarray:
         """sigma'_s on bit-reversed NTT stacks: one gather per stack.
@@ -683,19 +826,12 @@ class BatchedNTT:
         """
         tr = TRACER
         t0 = perf_counter() if tr.enabled else 0.0
-        idx = self._auto_ntt_idx.get(galois_elt)
-        if idx is None:
-            rev = self._rev
-            i = np.arange(self.n, dtype=np.int64)
-            src = (((2 * i + 1) * galois_elt) % (2 * self.n) - 1) // 2
-            src %= self.n
-            idx = rev[src[rev]]
-            self._auto_ntt_idx[galois_elt] = idx
+        idx = self.automorphism_index(galois_elt)
         result = np.take(self._check(data), idx, axis=1, out=out)
         if tr.enabled:
             tr.emit("ntt.automorphism", t0, perf_counter() - t0,
                     {"limbs": self.limbs, "elt": galois_elt})
-            tr.count("auto.rows", self.limbs)
+            tr.count("auto.rows", result.shape[0])
         return result
 
     def automorphism_coeff(self, data: np.ndarray,
@@ -711,9 +847,12 @@ class BatchedNTT:
             self._auto_coeff_maps[galois_elt] = maps
         j, flip = maps
         data = self._check(data)
-        out = np.zeros_like(data)
-        out[:, j] = np.where(flip, (-data) % self.q_col, data % self.q_col)
-        return out
+        rows = data.shape[0]
+        d3 = data.reshape(rows // self.limbs, self.limbs, self.n)
+        out = np.zeros_like(d3)
+        out[:, :, j] = np.where(flip, (-d3) % self.q_col,
+                                d3 % self.q_col)
+        return out.reshape(rows, self.n)
 
 
 class BatchedPlan:
@@ -805,7 +944,8 @@ def _derive_from_superset(key) -> BatchedPlan | None:
     return None
 
 
-def get_stacked_plan(n: int, bases) -> BatchedPlan:
+def get_stacked_plan(n: int, bases, *, dedupe: bool = False
+                     ) -> BatchedPlan:
     """Plan for several prime chains stacked into one ``(sum L_i, N)``
     transform (the k-polynomial stacked-transform engine).
 
@@ -818,8 +958,18 @@ def get_stacked_plan(n: int, bases) -> BatchedPlan:
     table.  Every row transforms exactly as it would alone, so stacked
     outputs are bitwise identical to per-chain transforms; stacked
     plans share the bounded LRU cache with ordinary plans.
+
+    With ``dedupe=True`` (the cross-ciphertext batch path), ``k``
+    identical copies of one chain collapse onto the union chain's own
+    plan: the engine transforms ``(k*L, N)`` stacks tile-wise with a
+    single set of twiddle rows, so the plan's memory footprint — and
+    the cache's entry count — is independent of ``k``.  Dedupe is
+    opt-in so the established pair/digit stacks keep the row-gathered
+    layouts their kernels were tuned on.
     """
     chains = [tuple(int(q) for q in base) for base in bases]
+    if dedupe and len(set(chains)) == 1:
+        return get_plan(n, chains[0])
     stacked = tuple(q for chain in chains for q in chain)
     key = (int(n), stacked)
     plan = _PLAN_CACHE.get(key)
@@ -832,8 +982,6 @@ def get_stacked_plan(n: int, bases) -> BatchedPlan:
                 union.append(q)
         donor = get_plan(n, tuple(union))
         rows = [index[q] for q in stacked]
-        if rows == list(range(len(union))):
-            return donor
         engine = BatchedNTT._rows_of(donor.ntt, rows)
         plan = BatchedPlan(n, stacked, ntt=engine)
         _PLAN_CACHE[key] = plan

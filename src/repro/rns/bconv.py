@@ -45,6 +45,10 @@ from .poly import RnsPolynomial
 #: ``(2^31)*(2^16)`` stay below float64's 2^53 integer ceiling.
 _MATMUL_CHUNK = 32
 
+#: Batch-axis chunk bound for :func:`base_convert_stack` — keeps one
+#: chunk's output-side accumulator slabs around half of L2.
+_BCONV_BLOCK_BYTES = 1 << 19
+
 #: LRU of pre-reduced BConv weight matrices keyed by basis-pair primes.
 _WEIGHT_CACHE_MAX = 64
 _WEIGHT_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
@@ -360,35 +364,76 @@ def _wide_to_pair(wide: np.ndarray) -> np.ndarray:
     return _wide_to_stack(wide, 2)
 
 
+def base_convert_stack(stack: np.ndarray, from_basis: RnsBasis,
+                       to_basis: RnsBasis, k: int) -> np.ndarray:
+    """Fast BConv of ``k`` stacked polynomials in one wide pass.
+
+    ``stack`` is a coefficient-domain ``(k*L_from, M)`` block (one
+    polynomial after another); all ``k`` share the conversion
+    constants, so the scaling Shoup multiply and the BLAS accumulation
+    run once on ``(L_from, k*M)`` wide rows.  Rows are bitwise
+    identical to :func:`base_convert` per polynomial.  This is the
+    kernel under the evaluator's NTT-domain fused ModDown (the
+    ``ks = (acc - NTT(BConv_P(acc))) * P^-1`` dataflow the IR lowering
+    emits), widened across the cross-ciphertext batch axis.
+    """
+    l_from = len(from_basis)
+    l_to = len(to_basis)
+    m = stack.shape[1]
+    # Chunk the batch axis so the BLAS accumulator slabs stay
+    # cache-resident: one wide pass over all k spills its output-side
+    # temporaries once the stack outgrows L2, costing more than the
+    # saved call overhead.  Columns never interact, so chunking is
+    # bitwise neutral.
+    kc = max(1, _BCONV_BLOCK_BYTES // (l_to * m * 8))
+    if k <= kc:
+        wide = _stack_to_wide(stack, l_from, k)
+        return _wide_to_stack(_base_convert_data(wide, from_basis,
+                                                 to_basis), k)
+    out = np.empty((k * l_to, m), dtype=np.int64)
+    for lo in range(0, k, kc):
+        kk = min(kc, k - lo)
+        wide = _stack_to_wide(stack[lo * l_from:(lo + kk) * l_from],
+                              l_from, kk)
+        out[lo * l_to:(lo + kk) * l_to] = _wide_to_stack(
+            _base_convert_data(wide, from_basis, to_basis), kk)
+    return out
+
+
 def base_convert_pair(pair: np.ndarray, from_basis: RnsBasis,
                       to_basis: RnsBasis) -> np.ndarray:
-    """Fast BConv of both halves of a stacked pair in one wide pass.
+    """Fast BConv of both halves of a stacked pair in one wide pass
+    (the ``k = 2`` case of :func:`base_convert_stack`)."""
+    if pair.shape[0] != 2 * len(from_basis):
+        raise ValueError(f"expected a {2 * len(from_basis)}-row pair "
+                         f"stack, got {pair.shape[0]}")
+    return base_convert_stack(pair, from_basis, to_basis, 2)
 
-    ``pair`` is a coefficient-domain ``(2*L_from, M)`` stack; both
-    halves share the conversion constants, so the scaling Shoup
-    multiply and the BLAS accumulation run once on ``(L_from, 2M)``
-    wide rows.  Rows are bitwise identical to :func:`base_convert` per
-    half.  This is the kernel under the evaluator's NTT-domain fused
-    ModDown (the ``ks = (acc - NTT(BConv_P(acc))) * P^-1`` dataflow the
-    IR lowering emits).
+
+def mod_down_stack(stack: np.ndarray, q_basis: RnsBasis,
+                   p_basis: RnsBasis, k: int) -> np.ndarray:
+    """ModDown ``k`` stacked polynomials over Q+P at once.
+
+    ``stack`` is a coefficient-domain ``(k*(L_q+L_p), M)`` block (P
+    limbs last within each polynomial).  Every arithmetic step and the
+    BConv BLAS accumulation run once on k-times-as-wide rows, and the
+    result rows are bitwise identical to :func:`mod_down` per
+    polynomial.
     """
-    wide = _pair_to_wide(pair, len(from_basis))
-    return _wide_to_pair(_base_convert_data(wide, from_basis, to_basis))
+    ext = len(q_basis) + len(p_basis)
+    wide = _stack_to_wide(stack, ext, k)
+    return _wide_to_stack(_mod_down_data(wide, q_basis, p_basis), k)
 
 
 def mod_down_pair(pair: np.ndarray, q_basis: RnsBasis,
                   p_basis: RnsBasis) -> np.ndarray:
-    """ModDown both halves of a stacked ciphertext pair at once.
-
-    ``pair`` is a coefficient-domain ``(2(L_q+L_p), M)`` stack — the
-    two key-switch accumulators (or any c0/c1 pair over Q+P) laid out
-    half after half.  Every arithmetic step and the BConv BLAS
-    accumulation run once on twice-as-wide rows, and the result rows
-    are bitwise identical to :func:`mod_down` on each half.
-    """
+    """ModDown both halves of a stacked ciphertext pair at once (the
+    ``k = 2`` case of :func:`mod_down_stack`)."""
     ext = len(q_basis) + len(p_basis)
-    wide = _pair_to_wide(pair, ext)
-    return _wide_to_pair(_mod_down_data(wide, q_basis, p_basis))
+    if pair.shape[0] != 2 * ext:
+        raise ValueError(f"expected a {2 * ext}-row pair stack, got "
+                         f"{pair.shape[0]}")
+    return mod_down_stack(pair, q_basis, p_basis, 2)
 
 
 def rescale_last(poly: RnsPolynomial) -> RnsPolynomial:
@@ -413,32 +458,42 @@ def rescale_last(poly: RnsPolynomial) -> RnsPolynomial:
     return RnsPolynomial(new_basis, data, is_ntt=False)
 
 
-def rescale_last_pair(pair: np.ndarray, basis: RnsBasis) -> np.ndarray:
-    """CKKS rescale of a stacked ciphertext pair in one pass.
+def rescale_last_stack(stack: np.ndarray, basis: RnsBasis,
+                       k: int) -> np.ndarray:
+    """CKKS rescale of ``k`` stacked polynomials in one pass.
 
-    ``pair`` is a coefficient-domain ``(2L, N)`` stack of both
-    ciphertext halves over ``basis``; each half drops *its own* last
-    limb (rows ``L-1`` and ``2L-1``), so the arithmetic runs on a
-    ``(2, L, N)`` view with the per-limb constants broadcast across
-    the pair axis.  Returns the ``(2(L-1), N)`` result, bitwise
-    identical to :func:`rescale_last` on each half.
+    ``stack`` is a coefficient-domain ``(k*L, N)`` block of ``k``
+    polynomials over ``basis``; each polynomial drops *its own* last
+    limb, so the arithmetic runs on a ``(k, L, N)`` view with the
+    per-limb constants broadcast across the stack axis.  Returns the
+    ``(k*(L-1), N)`` result, bitwise identical to :func:`rescale_last`
+    per polynomial.
     """
     limbs = len(basis)
     if limbs < 2:
         raise ValueError("cannot rescale a single-limb polynomial")
-    if pair.shape[0] != 2 * limbs:
-        raise ValueError(f"expected a {2 * limbs}-row pair stack, got "
-                         f"{pair.shape[0]}")
-    n = pair.shape[1]
-    halves = pair.reshape(2, limbs, n)
-    last = halves[:, -1:, :]
+    if stack.shape[0] != k * limbs:
+        raise ValueError(f"expected a {k * limbs}-row stack, got "
+                         f"{stack.shape[0]}")
+    n = stack.shape[1]
+    polys = stack.reshape(k, limbs, n)
+    last = polys[:, -1:, :]
     q_last = basis.primes[-1]
     centred = np.where(last > q_last // 2, last - q_last, last)
     new_basis = basis.prefix(limbs - 1)
     inv_col = inverse_mod_col(q_last, new_basis.primes)[None, :, :]
     q_col = new_basis.q_col[None, :, :]
-    data = (halves[:, :-1, :] - centred) % q_col * inv_col % q_col
-    return data.reshape(2 * (limbs - 1), n)
+    data = (polys[:, :-1, :] - centred) % q_col * inv_col % q_col
+    return data.reshape(k * (limbs - 1), n)
+
+
+def rescale_last_pair(pair: np.ndarray, basis: RnsBasis) -> np.ndarray:
+    """CKKS rescale of a stacked ciphertext pair in one pass (the
+    ``k = 2`` case of :func:`rescale_last_stack`)."""
+    if pair.shape[0] != 2 * len(basis):
+        raise ValueError(f"expected a {2 * len(basis)}-row pair stack, "
+                         f"got {pair.shape[0]}")
+    return rescale_last_stack(pair, basis, 2)
 
 
 class MergedBConv:

@@ -52,6 +52,7 @@ from ..rns.poly import (
 )
 from .rns_core import (
     Ciphertext,
+    CiphertextBatch,
     KeyChain,
     Plaintext,
     RnsContext,
@@ -59,7 +60,9 @@ from .rns_core import (
     RnsKeyGenerator,
     SecretKey,
     SwitchingKey,
+    _batch_q_col,
     _pair_col,
+    _scale_by_inv_batch,
 )
 
 __all__ = [
@@ -274,6 +277,34 @@ class BgvEvaluator(RnsEvaluatorBase):
         q2_col = _pair_col(q_basis.q_col)
         return (acc_q - corr_ntt) % q2_col * _pair_col(p_inv_col) % q2_col
 
+    def _mod_down_batch_stacked(self, acc: np.ndarray, ext: RnsBasis,
+                                q_basis: RnsBasis, k: int) -> np.ndarray:
+        """NTT-domain ModDown of ``k`` accumulator pairs with the
+        ``t``-multiple correction (the batch row of
+        :meth:`_mod_down_pair_stacked`; same dataflow, exact
+        arithmetic)."""
+        ctx = self.context
+        n = ctx.n
+        p_basis = ctx.p_basis
+        l1 = len(q_basis)
+        ext_limbs = len(ext)
+        a4 = acc.reshape(k, 2, ext_limbs, n)
+        acc_p = np.ascontiguousarray(a4[:, :, l1:, :]).reshape(
+            2 * k * (ext_limbs - l1), n)
+        coeff_p = stacked_engine(n, (p_basis,) * (2 * k),
+                                 dedupe=True).inverse(
+            acc_p, assume_reduced=True)
+        wide = _stack_to_wide(coeff_p, len(p_basis), 2 * k)
+        corr = _wide_to_stack(self._moddown_delta(wide, q_basis), 2 * k)
+        corr_ntt = stacked_engine(n, (q_basis,) * (2 * k),
+                                  dedupe=True).forward(
+            corr, assume_reduced=True)
+        corr4 = corr_ntt.reshape(k, 2, l1, n)
+        np.subtract(a4[:, :, :l1, :], corr4, out=corr4)
+        qk_col = _batch_q_col(q_basis, 2 * k)
+        return _scale_by_inv_batch(corr_ntt, p_basis.modulus, q_basis,
+                                   qk_col, 2 * k)
+
     def _mod_down_pair(self, acc0: RnsPolynomial, acc1: RnsPolynomial,
                        q_basis: RnsBasis
                        ) -> tuple[RnsPolynomial, RnsPolynomial]:
@@ -302,6 +333,10 @@ class BgvEvaluator(RnsEvaluatorBase):
         out = super().multiply(x, y)
         out.scale = float(int(x.scale) * int(y.scale) % t)
         return out
+
+    def _mul_scale(self, sx: float, sy: float) -> float:
+        """Batched-product scale: the exact factor product mod ``t``."""
+        return float(int(sx) * int(sy) % self.context.t)
 
     # -- modulus switching ----------------------------------------------
     def _switch_delta(self, q_last: int):
@@ -348,6 +383,31 @@ class BgvEvaluator(RnsEvaluatorBase):
             factor = factor * pow(q_last, -1, t) % t
         out.scale = float(factor)
         return out
+
+    def batch_mod_switch(self, batch: CiphertextBatch,
+                         times: int = 1) -> CiphertextBatch:
+        """Modulus-switch ``k`` fused ciphertexts at once: the shared
+        last-limb kernel runs on all ``2k`` halves per step, with the
+        per-ciphertext ``q^-1`` factors tracked exactly mod ``t``."""
+        if not batch.is_ntt:
+            raise ValueError("batch_mod_switch expects an NTT-domain "
+                             "batch")
+        t = self.context.t
+        factors = [int(s) for s in batch.scales]
+        stack = batch.stack
+        basis = batch.basis
+        for _ in range(times):
+            if len(basis) < 2:
+                raise ValueError("no limbs left to switch away")
+            q_last = basis.primes[-1]
+            stack, basis = self.kernels.switch_down_ntt(
+                stack, basis, 2 * batch.k,
+                delta_fn=self._switch_delta(q_last), dedupe=True)
+            inv = pow(q_last, -1, t)
+            factors = [f * inv % t for f in factors]
+        return CiphertextBatch(basis=basis, stack=stack,
+                               scales=[float(f) for f in factors],
+                               is_ntt=True, ct_cls=batch.ct_cls)
 
     def _mod_switch_poly(self, poly: RnsPolynomial) -> RnsPolynomial:
         """Coefficient-domain single-polynomial modulus switch (the

@@ -50,14 +50,17 @@ suite (``tests/test_stacked_evaluator.py`` for CKKS,
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..nttmath.batched import (
     get_plan,
+    register_cache_clearer,
     release_scratch,
     scratch,
+    shoup_companion,
     shoup_mul_lazy,
 )
 from ..nttmath.ntt import conjugation_element, galois_element
@@ -65,6 +68,7 @@ from ..rns.basis import RnsBasis
 from ..rns.bconv import (
     base_convert,
     base_convert_pair,
+    base_convert_stack,
     inverse_mod_col,
     mod_down,
     mod_up,
@@ -87,6 +91,117 @@ def _pair_col(col: np.ndarray) -> np.ndarray:
     """Double an ``(L, 1)`` per-limb constant column to ``(2L, 1)`` so
     one broadcast expression covers a stacked ciphertext pair."""
     return np.concatenate([col, col])
+
+
+#: Upper bound on cached tiled constant columns; evicted LRU so a
+#: service cycling through many (basis, k) batch shapes cannot grow the
+#: cache without bound.
+BATCH_COL_CACHE_MAX = 256
+
+_BATCH_COL_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+
+def _batch_col(key: tuple, build) -> np.ndarray:
+    hit = _BATCH_COL_CACHE.get(key)
+    if hit is None:
+        hit = build()
+        _BATCH_COL_CACHE[key] = hit
+        while len(_BATCH_COL_CACHE) > BATCH_COL_CACHE_MAX:
+            _BATCH_COL_CACHE.popitem(last=False)
+    else:
+        _BATCH_COL_CACHE.move_to_end(key)
+    return hit
+
+
+def _batch_q_col(basis: RnsBasis, copies: int) -> np.ndarray:
+    """``copies`` stacked copies of the basis modulus column — the
+    broadcast constant of every cross-ciphertext batch kernel, cached
+    per ``(primes, copies)`` so repeated batch calls of one shape reuse
+    the same array."""
+    return _batch_col(("q", basis.primes, copies),
+                      lambda: np.tile(basis.q_col, (copies, 1)))
+
+
+def _batch_inv_col(value: int, basis: RnsBasis, copies: int) -> np.ndarray:
+    """``copies`` stacked copies of ``value^-1 mod q_j`` columns."""
+    return _batch_col(
+        ("inv", value, basis.primes, copies),
+        lambda: np.tile(inverse_mod_col(value, basis.primes),
+                        (copies, 1)))
+
+
+def _batch_inv_shoup(value: int, basis: RnsBasis,
+                     copies: int) -> tuple[np.ndarray, np.ndarray]:
+    """Tiled uint64 ``value^-1 mod q_j`` columns with Shoup companions.
+
+    The batch ModDown/rescale tails multiply a centred difference by
+    these constants; carrying the companion turns that multiply into
+    :func:`shoup_mul_lazy` (two multiplies and a shift) instead of an
+    int64 division pass over the wide stack.  Requires every ``q_j <
+    2^31`` (the callers guard)."""
+    def build():
+        inv_u = np.tile(inverse_mod_col(value, basis.primes),
+                        (copies, 1)).astype(np.uint64)
+        q_u = np.tile(basis.q_col, (copies, 1)).astype(np.uint64)
+        return inv_u, shoup_companion(inv_u, q_u)
+
+    return _batch_col(("invsh", value, basis.primes, copies), build)
+
+
+def _shoup_tail_ok(basis: RnsBasis) -> bool:
+    """Whether the lazy (division-free) batch tails apply: Shoup
+    multiplication needs ``q < 2^31`` so the shifted operand ``x + q <
+    2q`` stays below ``2^32``."""
+    return int(basis.q_col.max()) < (1 << 31)
+
+
+def _csub_into(x_u: np.ndarray, bound_u, tmp: np.ndarray) -> None:
+    """Fold ``x`` from ``[0, 2*bound)`` to ``[0, bound)`` in place.
+
+    The uint64 wraparound trick: ``x - bound`` underflows to a huge
+    value exactly when ``x < bound``, so an elementwise ``minimum``
+    selects the conditionally-subtracted lane — two cheap vector passes
+    instead of a division."""
+    np.subtract(x_u, bound_u, out=tmp)
+    np.minimum(x_u, tmp, out=x_u)
+
+
+def _scale_by_inv_batch(diff: np.ndarray, value: int, basis: RnsBasis,
+                        qk_col: np.ndarray, copies: int) -> np.ndarray:
+    """Canonical ``diff * value^-1 mod q`` over a tiled batch stack
+    whose rows sit in ``(-q, q)`` — the shared ModDown/rescale tail.
+
+    Division-free when every ``q_j < 2^31``: shift into ``(0, 2q)``
+    (the same residue class), Shoup-multiply by the cached ``value^-1``
+    companions, and fold the lazy ``[0, 2q)`` result with one
+    conditional subtract — bitwise identical to the floor-mod form
+    because both land the canonical residue.  Wider moduli fall back to
+    the fused single floor-mod (the product ``|diff| * inv`` stays
+    below ``2^63``).  ``diff`` is consumed (mutated) either way.
+    """
+    if _shoup_tail_ok(basis):
+        diff += qk_col
+        x_u = diff.view(np.uint64)
+        q_u = qk_col.view(np.uint64)
+        inv_u, inv_sh = _batch_inv_shoup(value, basis, copies)
+        out = np.empty_like(diff)
+        out_u = out.view(np.uint64)
+        hi = scratch("sinv_hi", diff.shape)
+        shoup_mul_lazy(x_u, inv_u, inv_sh, q_u, out=out_u, hi=hi)
+        _csub_into(out_u, q_u, hi)
+        release_scratch("sinv_hi", diff.shape)
+        return out
+    diff *= _batch_inv_col(value, basis, copies)
+    diff %= qk_col
+    return diff
+
+
+def batch_col_cache_size() -> int:
+    """Live tiled-column entries (exposed for cache-bound tests)."""
+    return len(_BATCH_COL_CACHE)
+
+
+register_cache_clearer(_BATCH_COL_CACHE.clear)
 
 
 # ======================================================================
@@ -147,6 +262,20 @@ class Plaintext:
             values, companions = self.frozen_ntt_tables(limbs)
             hit = (np.concatenate([values, values]),
                    np.concatenate([companions, companions]))
+            self._frozen[key] = hit
+        return hit
+
+    def frozen_batch_tables(self, limbs: int, k: int) -> tuple[np.ndarray,
+                                                               np.ndarray]:
+        """The :meth:`frozen_ntt_tables` rows tiled to ``2*k*limbs``
+        for one Shoup multiply against a k-ciphertext batch stack —
+        cached per ``(limbs, k)`` like the pair tables."""
+        key = ("batch", limbs, k)
+        hit = self._frozen.get(key)
+        if hit is None:
+            values, companions = self.frozen_ntt_tables(limbs)
+            hit = (np.tile(values, (2 * k, 1)),
+                   np.tile(companions, (2 * k, 1)))
             self._frozen[key] = hit
         return hit
 
@@ -253,6 +382,84 @@ class Ciphertext3:
     d1: RnsPolynomial
     d2: RnsPolynomial
     scale: float
+
+
+@dataclass
+class CiphertextBatch:
+    """``k`` independent same-basis ciphertexts as one contiguous
+    ``(2k*L, N)`` residue stack.
+
+    Ciphertext ``i`` occupies rows ``[2*i*L, 2*(i+1)*L)`` — its ``c0``
+    first, then its ``c1`` — so the batch is literally ``k`` ciphertext
+    pairs laid end to end, and every batch kernel is the stacked pair
+    kernel with ``k`` times as many tiles (the paper's amortization
+    axis extended across independent ciphertexts).  Scales (and the
+    concrete ciphertext class) stay per-batch metadata; levels cannot
+    differ inside a batch because all members share one basis.
+    """
+
+    basis: RnsBasis
+    stack: np.ndarray
+    scales: list[float]
+    is_ntt: bool = True
+    ct_cls: type = Ciphertext
+
+    def __post_init__(self):
+        rows = 2 * len(self.scales) * len(self.basis)
+        if self.stack.ndim != 2 or self.stack.shape[0] != rows:
+            raise ValueError(
+                f"stack shape {self.stack.shape} does not match "
+                f"{len(self.scales)} ciphertexts over a "
+                f"{len(self.basis)}-limb basis")
+
+    @classmethod
+    def from_ciphertexts(cls, cts) -> "CiphertextBatch":
+        """Fuse same-basis, same-domain ciphertexts into one stack."""
+        cts = list(cts)
+        if not cts:
+            raise ValueError("need at least one ciphertext")
+        first = cts[0]
+        for ct in cts[1:]:
+            if ct.basis != first.basis:
+                raise ValueError("batched ciphertexts must share a "
+                                 "basis; mod-switch/drop levels first")
+            if ct.is_ntt != first.is_ntt:
+                raise ValueError("batched ciphertexts must share a "
+                                 "domain")
+            if ct.n != first.n:
+                raise ValueError("batched ciphertexts must share a "
+                                 "ring degree")
+        stack = np.concatenate([ct.pair() for ct in cts])
+        return cls(basis=first.basis, stack=stack,
+                   scales=[ct.scale for ct in cts],
+                   is_ntt=first.is_ntt, ct_cls=type(first))
+
+    @property
+    def k(self) -> int:
+        return len(self.scales)
+
+    @property
+    def level(self) -> int:
+        return len(self.basis) - 1
+
+    @property
+    def n(self) -> int:
+        return self.stack.shape[1]
+
+    def split(self) -> list:
+        """The member ciphertexts as zero-copy row views of the stack."""
+        limbs = len(self.basis)
+        return [
+            self.ct_cls.from_pair(
+                self.basis,
+                self.stack[2 * i * limbs:2 * (i + 1) * limbs],
+                scale, is_ntt=self.is_ntt)
+            for i, scale in enumerate(self.scales)]
+
+    def copy(self) -> "CiphertextBatch":
+        return CiphertextBatch(basis=self.basis, stack=self.stack.copy(),
+                               scales=list(self.scales),
+                               is_ntt=self.is_ntt, ct_cls=self.ct_cls)
 
 
 # ======================================================================
@@ -490,9 +697,9 @@ class StackedKernels:
     def __init__(self, n: int):
         self.n = n
 
-    def engine(self, bases):
+    def engine(self, bases, *, dedupe: bool = False):
         """The stacked engine over a tuple of bases/prime chains."""
-        return stacked_engine(self.n, bases)
+        return stacked_engine(self.n, bases, dedupe=dedupe)
 
     def pair_engine(self, basis: RnsBasis):
         """The ``(2L, N)`` engine transforming both ciphertext halves
@@ -500,7 +707,7 @@ class StackedKernels:
         return stacked_engine(self.n, (basis, basis))
 
     def switch_down_ntt(self, stack: np.ndarray, basis: RnsBasis,
-                        k: int, *, delta_fn=None
+                        k: int, *, delta_fn=None, dedupe: bool = False
                         ) -> tuple[np.ndarray, RnsBasis]:
         """Drop the last limb of ``k`` stacked NTT-domain polynomials.
 
@@ -528,20 +735,50 @@ class StackedKernels:
         last = np.concatenate(
             [stack[i * limbs + limbs - 1:(i + 1) * limbs]
              for i in range(k)])
-        last_coeff = self.engine(((q_last,),) * k).inverse(last)
+        last_coeff = self.engine(((q_last,),) * k,
+                                 dedupe=dedupe).inverse(
+            last, assume_reduced=dedupe)
         centred = np.where(last_coeff > q_last // 2,
                            last_coeff - q_last, last_coeff)
         delta = centred if delta_fn is None else delta_fn(centred)
-        corr = (delta[:, None, :] % new_basis.q_col).reshape(
-            k * (limbs - 1), n)
-        corr_ntt = self.engine((new_basis,) * k).forward(corr)
+        if (dedupe and delta_fn is None
+                and q_last // 2 < min(new_basis.primes)):
+            # Batch rescale: |delta| <= q_last/2 < every q_j, so
+            # ``delta + q_j`` already sits in (0, 2q) and one
+            # conditional subtract replaces the broadcast division —
+            # the identical canonical residue.
+            corr = np.add(delta[:, None, :], new_basis.q_col)
+            corr = corr.reshape(k * (limbs - 1), n)
+            tmp = scratch("sdn_c", corr.shape)
+            _csub_into(corr.view(np.uint64),
+                       _batch_q_col(new_basis, k).view(np.uint64), tmp)
+            release_scratch("sdn_c", corr.shape)
+        else:
+            corr = (delta[:, None, :] % new_basis.q_col).reshape(
+                k * (limbs - 1), n)
+        corr_ntt = self.engine((new_basis,) * k,
+                               dedupe=dedupe).forward(
+            corr, assume_reduced=dedupe)
         acc = np.concatenate(
             [stack[i * limbs:(i + 1) * limbs - 1] for i in range(k)])
+        acc -= corr_ntt
+        if dedupe and _shoup_tail_ok(new_basis):
+            # Batch path: both operands were canonical, so the
+            # difference sits in (-q, q) and the division-free tail
+            # applies.
+            return _scale_by_inv_batch(
+                acc, q_last, new_basis, _batch_q_col(new_basis, k),
+                k), new_basis
         inv_col = inverse_mod_col(q_last, new_basis.primes)
         qk_col = np.concatenate([new_basis.q_col] * k)
         invk_col = np.concatenate([inv_col] * k)
-        out = (acc - corr_ntt) % qk_col * invk_col % qk_col
-        return out, new_basis
+        # The gathered stack is a fresh copy; fold the subtraction and
+        # both reductions into it rather than allocating (and
+        # streaming) three wide expression temporaries.
+        acc %= qk_col
+        acc *= invk_col
+        acc %= qk_col
+        return acc, new_basis
 
 
 # ======================================================================
@@ -797,6 +1034,10 @@ class RnsEvaluatorBase:
                 RnsPolynomial(q_basis, ks_pair[limbs:], is_ntt=True))
 
     # -- stacked key-switch internals ----------------------------------
+    # The pair path below is the established per-ciphertext kernel set
+    # (the bitwise oracle for the cross-ciphertext batch ops further
+    # down); the ``_*_batch`` variants generalize the same dataflow to
+    # k fused ciphertexts without touching this reference path.
     def _key_switch_pair(self, d2: RnsPolynomial, key: SwitchingKey,
                          ntt_rows: np.ndarray | None = None
                          ) -> tuple[np.ndarray, RnsBasis]:
@@ -927,6 +1168,204 @@ class RnsEvaluatorBase:
         p_inv_col = inverse_mod_col(p_basis.modulus, q_basis.primes)
         q2_col = _pair_col(q_basis.q_col)
         return (acc_q - corr_ntt) % q2_col * _pair_col(p_inv_col) % q2_col
+
+    def _key_switch_batch(self, data: np.ndarray, key: SwitchingKey,
+                          level: int, k: int, *,
+                          ntt_rows: np.ndarray | None = None
+                          ) -> tuple[np.ndarray, RnsBasis]:
+        """Key-switch ``k`` independent coefficient-domain polynomials
+        (a ct-major ``(k*(l+1), N)`` stack) in one fused pass: one
+        ``(k*beta*E, N)`` digit lift, one Shoup MAC per key half over
+        all ``k`` accumulators, and one ModDown folding all ``k``
+        ks-terms at once.  Returns the NTT-domain ``(2k*(l+1), N)``
+        ct-major pair stack and its basis.  ``ntt_rows`` optionally
+        carries the NTT-domain rows ``data`` was iNTT'd from (same
+        layout), letting the lift skip re-transforming kept rows.
+        Row slices are bitwise identical to ``k`` pair key switches —
+        the ``k = 1`` case *is* the pair path."""
+        ctx = self.context
+        ext = ctx.ext_basis(level)
+        beta = ctx.num_digits(level)
+        lifted = self._lift_digits_batch(data, level, ext, beta, k,
+                                         ntt_rows=ntt_rows)
+        acc = self._key_mac_batch(lifted, key, level, beta, ext, k)
+        q_basis = ctx.q_basis(level)
+        return self._mod_down_batch_stacked(acc, ext, q_basis, k), q_basis
+
+    def _lift_digits_batch(self, data: np.ndarray, level: int,
+                           ext: RnsBasis, beta: int, k: int, *,
+                           ntt_rows: np.ndarray | None = None
+                           ) -> np.ndarray:
+        """Decompose + ModUp all digits of ``k`` stacked polynomials,
+        then run every forward NTT as one stacked pass; returns the
+        NTT-domain ``(k*beta*E, N)`` digit stack, ct-major digit-inner
+        (ciphertext ``i``'s digit ``j`` occupies rows ``(i*beta+j)*E``
+        onward).
+
+        Each digit's BConv extension converts all ``k`` polynomials in
+        one wide pass (:func:`base_convert_stack`).  When ``ntt_rows``
+        (the NTT-domain rows ``data`` was iNTT'd from) is available,
+        every kept row is taken from it verbatim —
+        ``forward(inverse(x)) == x`` bitwise — and only the extended
+        rows go through forward NTTs, one ``(k*(E-alpha), N)``
+        single-chain transform per digit so each call rides the
+        deduped tile-wise engine (and its cache blocking) instead of a
+        ``k*beta``-chain row gather.
+        """
+        ctx = self.context
+        alpha = ctx.params.alpha
+        ext_limbs = len(ext)
+        n = data.shape[1]
+        l1 = level + 1
+        if ntt_rows is None:
+            coeff = np.empty((k * beta * ext_limbs, n), dtype=np.int64)
+            for j in range(beta):
+                primes = ctx.digit_primes(j, level)
+                lo = j * alpha
+                hi = lo + len(primes)
+                digit_stack = data[lo:hi] if k == 1 else np.concatenate(
+                    [data[i * l1 + lo:i * l1 + hi] for i in range(k)])
+                conv = base_convert_stack(
+                    digit_stack, RnsBasis(primes),
+                    RnsBasis([p for p in ext.primes if p not in primes]),
+                    k)
+                miss = len(conv) // k
+                miss_idx = np.array(
+                    [i for i, p in enumerate(ext.primes)
+                     if p not in primes], dtype=np.intp)
+                for i in range(k):
+                    block = coeff[(i * beta + j) * ext_limbs:
+                                  (i * beta + j + 1) * ext_limbs]
+                    block[lo:hi] = data[i * l1 + lo:i * l1 + hi]
+                    block[miss_idx] = conv[i * miss:(i + 1) * miss]
+            engine = stacked_engine(ctx.n, (ext,) * (beta * k),
+                                    dedupe=True)
+            return engine.forward(coeff, assume_reduced=True)
+        lifted = np.empty((k * beta * ext_limbs, n), dtype=np.int64)
+        for j in range(beta):
+            primes = ctx.digit_primes(j, level)
+            lo = j * alpha
+            hi = lo + len(primes)
+            digit_stack = data[lo:hi] if k == 1 else np.concatenate(
+                [data[i * l1 + lo:i * l1 + hi] for i in range(k)])
+            missing = RnsBasis([p for p in ext.primes if p not in primes])
+            conv = base_convert_stack(digit_stack,
+                                      RnsBasis(primes), missing, k)
+            conv = stacked_engine(ctx.n, (missing.primes,) * k,
+                                  dedupe=True).forward(
+                conv, assume_reduced=True)
+            # The digit keeps a contiguous band ext[lo:hi]; its missing
+            # primes are the two runs around it, in ext order, so each
+            # ciphertext's converted rows scatter as two slice writes.
+            miss = len(missing)
+            for i in range(k):
+                base_row = (i * beta + j) * ext_limbs
+                block = lifted[base_row:base_row + ext_limbs]
+                block[lo:hi] = ntt_rows[i * l1 + lo:i * l1 + hi]
+                block[:lo] = conv[i * miss:i * miss + lo]
+                block[hi:] = conv[i * miss + lo:(i + 1) * miss]
+        return lifted
+
+    def _key_mac_batch(self, lifted: np.ndarray, key: SwitchingKey,
+                       level: int, beta: int, ext: RnsBasis,
+                       k: int) -> np.ndarray:
+        """Both key MACs over ``k`` stacked digit blocks: per
+        ciphertext, each digit's ``(E, N)`` Shoup multiplies accumulate
+        straight into the ciphertext's accumulator pair while digit
+        slab, key-table slab, and scratch all stay cache-resident —
+        bitwise identical to :func:`pointwise_mac_shoup` per
+        accumulator (uint64 partial sums are exact mod ``2^64``, so
+        blocking never changes the reduced value).  ``lifted`` is read
+        through a zero-copy ``uint64`` view (canonical residues only).
+        Returns the ct-major ``(2k*E, N)`` accumulator stack (ct
+        ``i``: acc0 rows first, then acc1)."""
+        ext_limbs = len(ext)
+        n = lifted.shape[1]
+        p_limbs = len(self.context.p_basis)
+        total = self.context.max_level + 1 + p_limbs
+        rows = tuple(range(level + 1)) + tuple(range(total - p_limbs,
+                                                     total))
+        (b_u, b_sh), (a_u, a_sh) = key.stacked_tables(beta, rows)
+        q_u = ext.q_col.astype(np.uint64)
+        q_tiled = np.tile(q_u, (beta, 1))
+        x3 = lifted.view(np.uint64).reshape(k, beta * ext_limbs, n)
+        shape = (beta * ext_limbs, n)
+        hi = scratch("kmac_hi", shape)
+        terms = scratch("kmac_t", shape)
+        acc = np.empty((2 * k * ext_limbs, n), dtype=np.uint64)
+        acc4 = acc.reshape(k, 2, ext_limbs, n)
+        # One wide Shoup multiply per (ciphertext, half) over the whole
+        # digit block, summed along the digit axis — uint64 wraparound
+        # sums are exact mod 2^64, so any accumulation order yields the
+        # per-ciphertext MAC's bits.
+        for i in range(k):
+            x = x3[i]
+            shoup_mul_lazy(x, b_u, b_sh, q_tiled, out=terms, hi=hi)
+            np.sum(terms.reshape(beta, ext_limbs, n), axis=0,
+                   out=acc4[i, 0])
+            shoup_mul_lazy(x, a_u, a_sh, q_tiled, out=terms, hi=hi)
+            np.sum(terms.reshape(beta, ext_limbs, n), axis=0,
+                   out=acc4[i, 1])
+        for tag in ("kmac_hi", "kmac_t"):
+            release_scratch(tag, shape)
+        # Lazy products land in [0, 2q), so the digit sums sit below
+        # 2*beta*q: a halving conditional-subtract chain folds them to
+        # the canonical residue in a few cheap vector passes instead of
+        # one uint64 division pass over the wide accumulator — the same
+        # value ``% q`` produces, bitwise.
+        tmp = scratch("kmac_c", acc.shape)
+        tmp4 = tmp.reshape(k, 2, ext_limbs, n)
+        c = 1
+        while c < beta:
+            c <<= 1
+        while c:
+            np.subtract(acc4, q_u * np.uint64(c), out=tmp4)
+            np.minimum(acc4, tmp4, out=acc4)
+            c >>= 1
+        release_scratch("kmac_c", acc.shape)
+        # Reduced residues are < q < 2^63, so the signed reinterpret is
+        # bitwise exact and saves a wide-stack copy.
+        return acc.view(np.int64)
+
+    def _mod_down_batch_stacked(self, acc: np.ndarray, ext: RnsBasis,
+                                q_basis: RnsBasis, k: int) -> np.ndarray:
+        """ModDown ``k`` stacked accumulator pairs in the NTT domain:
+        ``ks = (acc - NTT(BConv_P(iNTT(acc_P)))) * P^-1 mod Q``.
+
+        Only the ``2k`` P-limb row groups round-trip through the iNTT;
+        the correction converts in one ``2k``-wide BConv and returns
+        through one ``(2k*(l+1), N)`` NTT, and the subtraction/scaling
+        stay on the NTT-domain accumulators — the exact dataflow
+        :meth:`repro.compiler.lowering.HeLowering.key_switch` emits,
+        bitwise identical to the full coefficient round trip by NTT
+        linearity.  Input is the ct-major accumulator stack from
+        :meth:`_key_mac_batch`; output is the ct-major ``(2k*(l+1),
+        N)`` pair stack (a :class:`CiphertextBatch` stack layout).
+        BGV overrides this (and :meth:`_mod_down_pair`) with the exact
+        ``t``-corrected variant."""
+        n = self.context.n
+        p_basis = self.context.p_basis
+        l1 = len(q_basis)
+        ext_limbs = len(ext)
+        a4 = acc.reshape(k, 2, ext_limbs, n)
+        acc_p = np.ascontiguousarray(a4[:, :, l1:, :]).reshape(
+            2 * k * (ext_limbs - l1), n)
+        coeff_p = stacked_engine(n, (p_basis,) * (2 * k),
+                                 dedupe=True).inverse(
+            acc_p, assume_reduced=True)
+        corr = base_convert_stack(coeff_p, p_basis, q_basis, 2 * k)
+        corr_ntt = stacked_engine(n, (q_basis,) * (2 * k),
+                                  dedupe=True).forward(
+            corr, assume_reduced=True)
+        # Subtract the strided Q-rows straight into the correction
+        # stack and reduce in place: no contiguous copy of acc_q and no
+        # expression temporaries (the wide stacks dwarf L2, so every
+        # avoided pass is a DRAM round trip).
+        corr4 = corr_ntt.reshape(k, 2, l1, n)
+        np.subtract(a4[:, :, :l1, :], corr4, out=corr4)
+        qk_col = _batch_q_col(q_basis, 2 * k)
+        return _scale_by_inv_batch(corr_ntt, p_basis.modulus, q_basis,
+                                   qk_col, 2 * k)
 
     # -- legacy key-switch internals (the differential reference) ------
     def _mod_down_pair(self, acc0: RnsPolynomial, acc1: RnsPolynomial,
@@ -1089,4 +1528,241 @@ class RnsEvaluatorBase:
             ks0, ks1 = self._mod_down_pair(acc0, acc1, q_basis)
             rc0 = ct.c0.apply_automorphism(g)
             out[step] = type(ct)(c0=rc0 + ks0, c1=ks1, scale=ct.scale)
+        return out
+
+    # ------------------------------------------------------------------
+    # Cross-ciphertext batch operations (k fused ciphertexts per kernel)
+    # ------------------------------------------------------------------
+    def _mul_scale(self, sx: float, sy: float) -> float:
+        """The scale of a ciphertext product; BGV overrides with its
+        ``mod t`` factor product."""
+        return sx * sy
+
+    def _check_batch(self, x: CiphertextBatch,
+                     y: CiphertextBatch) -> None:
+        if x.basis != y.basis:
+            raise ValueError("batch basis mismatch; drop levels before "
+                             "batching")
+        if x.k != y.k:
+            raise ValueError(f"batch width mismatch: {x.k} vs {y.k}")
+        self._check_domains(x.is_ntt, y.is_ntt)
+        for sa, sb in zip(x.scales, y.scales):
+            self._check_scales(sa, sb)
+
+    def batch_add(self, x: CiphertextBatch,
+                  y: CiphertextBatch) -> CiphertextBatch:
+        """Add ``k`` ciphertext pairs in one ``(2k*L, N)`` kernel."""
+        self._check_batch(x, y)
+        stack = (x.stack + y.stack) % _batch_q_col(x.basis, 2 * x.k)
+        return CiphertextBatch(basis=x.basis, stack=stack,
+                               scales=list(x.scales), is_ntt=x.is_ntt,
+                               ct_cls=x.ct_cls)
+
+    def batch_sub(self, x: CiphertextBatch,
+                  y: CiphertextBatch) -> CiphertextBatch:
+        """Subtract ``k`` ciphertext pairs in one wide kernel."""
+        self._check_batch(x, y)
+        stack = (x.stack - y.stack) % _batch_q_col(x.basis, 2 * x.k)
+        return CiphertextBatch(basis=x.basis, stack=stack,
+                               scales=list(x.scales), is_ntt=x.is_ntt,
+                               ct_cls=x.ct_cls)
+
+    def batch_negate(self, batch: CiphertextBatch) -> CiphertextBatch:
+        """Negate ``k`` ciphertext pairs in one wide kernel."""
+        stack = (-batch.stack) % _batch_q_col(batch.basis, 2 * batch.k)
+        return CiphertextBatch(basis=batch.basis, stack=stack,
+                               scales=list(batch.scales),
+                               is_ntt=batch.is_ntt, ct_cls=batch.ct_cls)
+
+    def batch_multiply_plain(self, batch: CiphertextBatch,
+                             pt: Plaintext) -> CiphertextBatch:
+        """One plaintext times ``k`` ciphertexts in a single Shoup pass
+        against ``2k``-tiled frozen tables (the rotation-free half of a
+        batched matrix-vector product)."""
+        if not batch.is_ntt:
+            raise ValueError("batch_multiply_plain expects an "
+                             "NTT-domain batch")
+        tables = pt.frozen_batch_tables(len(batch.basis), batch.k)
+        out = pointwise_mul_shoup_stacked(
+            batch.stack, tables, _batch_q_col(batch.basis, 2 * batch.k))
+        return CiphertextBatch(basis=batch.basis, stack=out,
+                               scales=[s * pt.scale
+                                       for s in batch.scales],
+                               is_ntt=True, ct_cls=batch.ct_cls)
+
+    def batch_multiply(self, x: CiphertextBatch,
+                       y: CiphertextBatch) -> CiphertextBatch:
+        """HMULT + relinearization of ``k`` independent ciphertext
+        products: one ``(2k*L, N)`` tensor stack, then one fused
+        ``k``-wide key switch of all ``d2`` terms."""
+        if self.keys.relin is None:
+            raise ValueError("no relinearization key in the key chain")
+        self._check_batch(x, y)
+        self._check_domains(x.is_ntt, True)
+        basis = x.basis
+        q_col = basis.q_col
+        limbs = len(basis)
+        k = x.k
+        n = x.n
+        q2k = _batch_q_col(basis, 2 * k)
+        # Tensor terms per ciphertext: each (2L, N) slice's products
+        # run while both operands sit in cache (the full 2kL stack
+        # would stream every expression temporary through DRAM);
+        # elementwise, so slicing is trivially bitwise identical.
+        x4 = x.stack.reshape(k, 2, limbs, n)
+        y4 = y.stack.reshape(k, 2, limbs, n)
+        outer = np.empty_like(x.stack)
+        outer4 = outer.reshape(k, 2, limbs, n)
+        d1 = np.empty((k, limbs, n), dtype=np.int64)
+        pair_col = _pair_col(q_col)
+        tmp_d1 = scratch("bmul_d1", (limbs, n))
+        for i in range(k):
+            lo = 2 * i * limbs
+            outer[lo:lo + 2 * limbs] = (
+                x.stack[lo:lo + 2 * limbs] * y.stack[lo:lo + 2 * limbs]
+                % pair_col)
+            # The two cross terms are canonical, so their sum is below
+            # 2q: conditional subtract, not a third division pass.
+            np.add(x4[i, 0] * y4[i, 1] % q_col,
+                   x4[i, 1] * y4[i, 0] % q_col, out=d1[i])
+            _csub_into(d1[i].view(np.uint64), q_col.view(np.uint64),
+                       tmp_d1)
+        release_scratch("bmul_d1", (limbs, n))
+        d2 = np.ascontiguousarray(outer4[:, 1]).reshape(k * limbs, n)
+        d2_coeff = self.kernels.engine((basis,) * k,
+                                       dedupe=True).inverse(
+            d2, assume_reduced=True)
+        ks, q_basis = self._key_switch_batch(d2_coeff, self.keys.relin,
+                                             x.level, k, ntt_rows=d2)
+        # ks is the freshly ModDown'd stack; fold d0/d1 into it in
+        # place instead of assembling a separate wide stack.
+        ks4 = ks.reshape(k, 2, limbs, n)
+        ks4[:, 0] += outer4[:, 0]
+        ks4[:, 1] += d1
+        # Both addends are canonical, so the sums sit below 2q — one
+        # conditional subtract replaces the division pass.
+        tmp = scratch("bmul_c", ks.shape)
+        _csub_into(ks.view(np.uint64), q2k.view(np.uint64), tmp)
+        release_scratch("bmul_c", ks.shape)
+        out = ks
+        scales = [self._mul_scale(sa, sb)
+                  for sa, sb in zip(x.scales, y.scales)]
+        return CiphertextBatch(basis=q_basis, stack=out, scales=scales,
+                               is_ntt=True, ct_cls=x.ct_cls)
+
+    def batch_key_switch(self, stack: np.ndarray, basis: RnsBasis,
+                         key: SwitchingKey,
+                         k: int) -> tuple[np.ndarray, RnsBasis]:
+        """Key-switch ``k`` stacked coefficient-domain polynomials over
+        ``basis`` in one fused pass (the public seam for batched
+        relinearization-like flows)."""
+        if stack.shape[0] != k * len(basis):
+            raise ValueError(
+                f"expected a {k * len(basis)}-row stack, got "
+                f"{stack.shape[0]}")
+        return self._key_switch_batch(stack, key, len(basis) - 1, k)
+
+    def batch_rotate(self, batch: CiphertextBatch,
+                     step: int) -> CiphertextBatch:
+        """Rotate all ``k`` ciphertexts by one step: one wide
+        automorphism gather and one ``k``-fused key switch."""
+        if self._identity_step(step):
+            return batch.copy()
+        key = self.keys.galois.get(step)
+        if key is None:
+            raise ValueError(f"no Galois key for rotation step {step}")
+        g = galois_element(step, self.context.n)
+        return self._apply_galois_batch(batch, g, key)
+
+    def batch_conjugate(self, batch: CiphertextBatch) -> CiphertextBatch:
+        if self.keys.conjugation is None:
+            raise ValueError("no conjugation key in the key chain")
+        g = conjugation_element(self.context.n)
+        return self._apply_galois_batch(batch, g,
+                                        self.keys.conjugation)
+
+    def _apply_galois_batch(self, batch: CiphertextBatch, galois_elt: int,
+                            key: SwitchingKey) -> CiphertextBatch:
+        if not batch.is_ntt:
+            raise ValueError("batch rotations expect NTT-domain batches")
+        basis = batch.basis
+        limbs = len(basis)
+        k = batch.k
+        n = batch.n
+        # One gather rotates all 2k halves at once.
+        r_stack = self.kernels.engine(
+            (basis,) * (2 * k), dedupe=True).automorphism_ntt(
+            batch.stack, galois_elt)
+        r4 = r_stack.reshape(k, 2, limbs, n)
+        rc1 = np.ascontiguousarray(r4[:, 1]).reshape(k * limbs, n)
+        c1_coeff = self.kernels.engine((basis,) * k,
+                                       dedupe=True).inverse(
+            rc1, assume_reduced=True)
+        ks, _ = self._key_switch_batch(c1_coeff, key, batch.level, k,
+                                       ntt_rows=rc1)
+        ks4 = ks.reshape(k, 2, limbs, n)
+        ks4[:, 0] += r4[:, 0]
+        # Canonical + canonical < 2q: conditional subtract, no division.
+        tmp = scratch("bgal_c", (k, limbs, n))
+        _csub_into(ks4[:, 0].view(np.uint64),
+                   basis.q_col.view(np.uint64), tmp)
+        release_scratch("bgal_c", (k, limbs, n))
+        return CiphertextBatch(basis=basis, stack=ks,
+                               scales=list(batch.scales), is_ntt=True,
+                               ct_cls=batch.ct_cls)
+
+    def batch_rotate_hoisted(self, batch: CiphertextBatch,
+                             steps) -> dict[int, CiphertextBatch]:
+        """Rotate ``k`` ciphertexts by many steps, decomposing every
+        ``c1`` once: the ``k`` digit lifts fuse into one
+        ``(k*beta*E, N)`` transform, and each step costs one wide
+        digit-stack gather plus one ``k``-fused MAC + ModDown — the
+        sequential hoisting dataflow with the per-ciphertext loop
+        folded into each kernel.  The per-step gather and ``sigma(c0)``
+        land in buffers reused across steps, and the static key tables
+        stay cache-hot across all (step, ciphertext) MACs."""
+        if not batch.is_ntt:
+            raise ValueError("batch rotations expect NTT-domain batches")
+        ctx = self.context
+        level = batch.level
+        ext = ctx.ext_basis(level)
+        beta = ctx.num_digits(level)
+        basis = batch.basis
+        limbs = len(basis)
+        k = batch.k
+        n = batch.n
+        b4 = batch.stack.reshape(k, 2, limbs, n)
+        c0_stack = np.ascontiguousarray(b4[:, 0]).reshape(k * limbs, n)
+        c1_stack = np.ascontiguousarray(b4[:, 1]).reshape(k * limbs, n)
+        base_engine = self.kernels.engine((basis,) * k, dedupe=True)
+        ext_engine = self.kernels.engine((ext,) * (2 * k), dedupe=True)
+        lifted: np.ndarray | None = None
+        out: dict[int, CiphertextBatch] = {}
+        for step in steps:
+            if self._identity_step(step):
+                out[step] = batch.copy()
+                continue
+            key = self.keys.galois.get(step)
+            if key is None:
+                raise ValueError(f"no Galois key for rotation step {step}")
+            if lifted is None:
+                lifted = self._lift_digits_batch(
+                    base_engine.inverse(c1_stack, assume_reduced=True),
+                    level, ext, beta, k, ntt_rows=c1_stack)
+                rotated = np.empty_like(lifted)
+                rc0 = np.empty_like(c0_stack)
+            g = galois_element(step, ctx.n)
+            ext_engine.automorphism_ntt(lifted, g, out=rotated)
+            acc = self._key_mac_batch(rotated, key, level, beta, ext, k)
+            ks = self._mod_down_batch_stacked(acc, ext, basis, k)
+            base_engine.automorphism_ntt(c0_stack, g, out=rc0)
+            ks4 = ks.reshape(k, 2, limbs, n)
+            ks4[:, 0] += rc0.reshape(k, limbs, n)
+            tmp = scratch("bhoist_c", (k, limbs, n))
+            _csub_into(ks4[:, 0].view(np.uint64),
+                       basis.q_col.view(np.uint64), tmp)
+            release_scratch("bhoist_c", (k, limbs, n))
+            out[step] = CiphertextBatch(basis=basis, stack=ks,
+                                        scales=list(batch.scales),
+                                        is_ntt=True, ct_cls=batch.ct_cls)
         return out

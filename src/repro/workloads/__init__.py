@@ -7,6 +7,10 @@ from .bfv_dotproduct import (
     build_bfv_dotproduct_program,
 )
 from .bootstrap_workload import bootstrap_workload, build_bootstrap_program
+from .ckks_batch_rotate import (
+    build_ckks_batch_rotate_program,
+    ckks_batch_rotate_workload,
+)
 from .dblookup import EncryptedDatabase, build_dblookup_program, \
     dblookup_workload
 from .helr import (
@@ -41,8 +45,10 @@ __all__ = [
     "accuracy",
     "bootstrap_workload",
     "build_bootstrap_program",
+    "build_ckks_batch_rotate_program",
     "build_conv_block",
     "build_dblookup_program",
+    "ckks_batch_rotate_workload",
     "build_helr_iteration",
     "conv2d_plain",
     "dblookup_workload",

@@ -1,0 +1,58 @@
+"""Cross-ciphertext batched rotation sweep workload.
+
+Models the serving shape :mod:`repro.batch.coalesce` optimizes: ``k``
+independent same-level CKKS ciphertexts each hoisted-rotated by the
+same step set — the request mix a batched inference front end
+coalesces into one :class:`~repro.schemes.rns_core.CiphertextBatch`
+kernel per step.  In IR form the ``k`` lifts emit
+instruction-identical decompose/BConv/NTT chains *per ciphertext*
+(hoisting collapses them within a ciphertext but not across
+ciphertexts — the cross-ciphertext fusion lives below the IR, in the
+evaluator's wide kernels), so sweeping this workload measures how much
+headroom the architecture has for the batch axis on top of classic
+hoisting.
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import Program
+from ..compiler.lowering import HeLowering, LoweringParams
+from .base import Segment, Workload
+
+
+def build_ckks_batch_rotate_program(lp: LoweringParams, *,
+                                    k: int = 8,
+                                    steps: tuple[int, ...] = (1, 2, 4, 8),
+                                    name: str = "ckks_batch_rotate"
+                                    ) -> Program:
+    """``k`` independent ciphertexts, each hoisted-rotated by every
+    step and summed (a batched rotate-reduce — the inner loop of a
+    request-batched matrix-vector product)."""
+    low = HeLowering(lp, name)
+    level = lp.levels
+    outs = []
+    for i in range(k):
+        ct = low.fresh_ciphertext(level, f"req{i}")
+        rotated = low.hoisted_rotations(ct, list(steps))
+        acc = rotated[steps[0]]
+        for step in steps[1:]:
+            acc = low.hadd(acc, rotated[step])
+        outs.append(acc)
+    return low.finish(*outs)
+
+
+def ckks_batch_rotate_workload(*, n: int = 2 ** 14, levels: int = 8,
+                               dnum: int = 4, k: int = 8,
+                               steps: tuple[int, ...] = (1, 2, 4, 8)
+                               ) -> Workload:
+    """The k-way batched rotation service point (n=2^14, L=8 default,
+    matching the batch benchmark's parameter scale)."""
+    lp = LoweringParams(n=n, levels=levels, dnum=dnum, log_q=54)
+    return Workload(
+        name="ckks_batch_rotate",
+        segments=[Segment(
+            builder=lambda: build_ckks_batch_rotate_program(
+                lp, k=k, steps=tuple(steps)))],
+        slots=n // 2,
+        amortization_levels=1,
+    )

@@ -1,0 +1,152 @@
+"""The batching planner: grouping, ordering, row caps, telemetry,
+and the ``REPRO_BATCH_MAX_ROWS`` knob."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BatchRequest,
+    coalesce,
+    default_max_rows,
+    execute_batched,
+)
+from repro.obs import TRACER
+from repro.schemes.ckks import (
+    CkksContext,
+    CkksEvaluator,
+    CkksParams,
+    Encryptor,
+    KeyGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def ckks():
+    params = CkksParams(n=2 ** 7, levels=4, dnum=2, scale_bits=25,
+                        q0_bits=29, p_bits=30, seed=2024)
+    ctx = CkksContext(params)
+    keygen = KeyGenerator(ctx)
+    sk = keygen.gen_secret()
+    pk = keygen.gen_public(sk)
+    keys = keygen.gen_keychain(sk, rotations=[1, 3])
+    enc = Encryptor(ctx, pk)
+    ev = CkksEvaluator(ctx, keys)
+    rng = np.random.default_rng(3)
+    cts = []
+    for _ in range(8):
+        z = (rng.uniform(-1, 1, params.slots)
+             + 1j * rng.uniform(-1, 1, params.slots))
+        cts.append(enc.encrypt(ctx.encode(z)))
+    pt = ctx.encode(rng.uniform(-1, 1, params.slots))
+    return ctx, ev, cts, pt
+
+
+def test_coalesce_groups_same_shape_requests(ckks):
+    _, ev, cts, _ = ckks
+    reqs = [BatchRequest("rotate", ct, arg=1) for ct in cts[:4]]
+    groups = coalesce(reqs)
+    assert len(groups) == 1
+    assert [idx for idx, _ in groups[0]] == [0, 1, 2, 3]
+
+
+def test_coalesce_splits_on_shape_and_arg(ckks):
+    _, ev, cts, _ = ckks
+    low = ev.drop_level(cts[2], 2)
+    reqs = [
+        BatchRequest("rotate", cts[0], arg=1),
+        BatchRequest("rotate", cts[1], arg=3),   # different step
+        BatchRequest("rotate", low, arg=1),      # different basis
+        BatchRequest("negate", cts[3]),          # different op
+        BatchRequest("rotate", cts[4], arg=1),   # fuses with request 0
+    ]
+    groups = coalesce(reqs)
+    assert [[idx for idx, _ in g] for g in groups] == \
+        [[0, 4], [1], [2], [3]]
+
+
+def test_coalesce_respects_max_rows(ckks):
+    _, ev, cts, _ = ckks
+    limbs = len(cts[0].basis)
+    reqs = [BatchRequest("negate", ct) for ct in cts[:6]]
+    # Cap at two ciphertexts' worth of rows per fused stack.
+    groups = coalesce(reqs, max_rows=4 * limbs)
+    assert [len(g) for g in groups] == [2, 2, 2]
+    # Unbounded fuses everything.
+    assert [len(g) for g in coalesce(reqs, max_rows=0)] == [6]
+
+
+def test_coalesce_rejects_unknown_op(ckks):
+    _, _, cts, _ = ckks
+    with pytest.raises(ValueError, match="unknown batchable op"):
+        coalesce([BatchRequest("frobnicate", cts[0])])
+
+
+def test_execute_batched_matches_sequential(ckks):
+    _, ev, cts, pt = ckks
+    reqs = [
+        BatchRequest("rotate", cts[0], arg=1),
+        BatchRequest("multiply_plain", cts[1], arg=pt),
+        BatchRequest("rotate", cts[2], arg=1),
+        BatchRequest("add", cts[3], arg=cts[4]),
+        BatchRequest("rotate_hoisted", cts[5], arg=(0, 1, 3)),
+        BatchRequest("negate", cts[6]),
+    ]
+    results = execute_batched(ev, reqs)
+    want = [
+        ev.rotate(cts[0], 1),
+        ev.multiply_plain(cts[1], pt),
+        ev.rotate(cts[2], 1),
+        ev.add(cts[3], cts[4]),
+        ev.rotate_hoisted(cts[5], (0, 1, 3)),
+        ev.negate(cts[6]),
+    ]
+    for got, exp in zip(results[:4] + results[5:], want[:4] + want[5:]):
+        assert np.array_equal(got.pair(), exp.pair())
+    for step in (0, 1, 3):
+        assert np.array_equal(results[4][step].pair(),
+                              want[4][step].pair())
+
+
+def test_execute_batched_emits_occupancy_telemetry(ckks):
+    _, ev, cts, _ = ckks
+    reqs = [BatchRequest("rotate", ct, arg=1) for ct in cts[:4]]
+    limbs = len(cts[0].basis)
+    was = TRACER.enabled
+    TRACER.drain()
+    TRACER.enabled = True
+    try:
+        execute_batched(ev, reqs)
+        events, counters = TRACER.drain()
+    finally:
+        TRACER.enabled = was
+    assert counters["batch.requests"] == 4
+    assert counters["batch.k"] == 4
+    assert counters["batch.rows"] == 8 * limbs
+    fuse = [ev_t for ev_t in events if ev_t[0] == "batch.fuse"]
+    assert len(fuse) == 1
+    assert fuse[0][-1] == {"op": "rotate", "k": 4, "rows": 8 * limbs}
+
+
+def test_default_max_rows_env_knob(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH_MAX_ROWS", raising=False)
+    assert default_max_rows() == 0
+    monkeypatch.setenv("REPRO_BATCH_MAX_ROWS", "64")
+    assert default_max_rows() == 64
+    monkeypatch.setenv("REPRO_BATCH_MAX_ROWS", "-1")
+    with pytest.raises(ValueError, match="REPRO_BATCH_MAX_ROWS"):
+        default_max_rows()
+    monkeypatch.setenv("REPRO_BATCH_MAX_ROWS", "many")
+    with pytest.raises(ValueError, match="REPRO_BATCH_MAX_ROWS"):
+        default_max_rows()
+
+
+def test_env_knob_bounds_fusion(ckks, monkeypatch):
+    _, ev, cts, _ = ckks
+    limbs = len(cts[0].basis)
+    monkeypatch.setenv("REPRO_BATCH_MAX_ROWS", str(2 * limbs))
+    reqs = [BatchRequest("negate", ct) for ct in cts[:3]]
+    groups = coalesce(reqs)
+    assert [len(g) for g in groups] == [1, 1, 1]
+    results = execute_batched(ev, reqs)
+    for got, ct in zip(results, cts[:3]):
+        assert np.array_equal(got.pair(), ev.negate(ct).pair())

@@ -238,16 +238,23 @@ def test_stacked_transform_mixed_bases(ckks_small, rng):
 
 
 def test_stacked_plan_reuses_donor_tables(ckks_small):
-    """The stacked engine's twiddles are gathered from the union-chain
-    plan, never rebuilt — prefix slices stay zero-copy."""
+    """Repeated identical chains collapse onto the union-chain plan
+    under ``dedupe=True`` (the batch path) — tile-wise transforms
+    share one set of twiddle rows.  Default calls keep the dedicated
+    row-gathered engine, the layout every pair-path kernel was tuned
+    on."""
     ctx = ckks_small.ctx
     basis = ctx.q_basis(3)
     donor = get_plan(ctx.n, basis.primes)
-    plan = get_stacked_plan(ctx.n, (basis.primes, basis.primes))
-    assert plan.primes == basis.primes * 2
-    assert get_stacked_plan(ctx.n, (basis.primes, basis.primes)) is plan
-    engine = plan.ntt
-    assert engine.primes == basis.primes * 2
+    for k in (2, 3, 8):
+        plan = get_stacked_plan(ctx.n, (basis.primes,) * k, dedupe=True)
+        assert plan is donor
+        assert plan.primes == basis.primes
+    pair = get_stacked_plan(ctx.n, (basis.primes, basis.primes))
+    assert pair is not donor
+    assert pair is get_stacked_plan(ctx.n, (basis.primes, basis.primes))
+    engine = pair.ntt
+    assert engine.primes == basis.primes + basis.primes
     assert np.array_equal(engine._psi_u[:len(basis)],
                           donor.ntt._psi_u[:len(basis)])
 
